@@ -1,0 +1,15 @@
+"""Benchmark-suite configuration.
+
+Every ``test_bench_*`` module regenerates one row of DESIGN.md's
+experiment index and prints the corresponding table/figure through
+``repro.experiments.reporting`` so the output can be diffed against
+EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def print_report(title: str, body: str) -> None:
+    """Uniform report block around the captured benchmark output."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

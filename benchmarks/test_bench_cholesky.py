@@ -1,0 +1,74 @@
+"""XTRA-CHOL — tiled Cholesky: the second domain application.
+
+The paper's introduction motivates task-based offloading for scientific
+kernels beyond DGEMM; tiled Cholesky is the canonical irregular task
+graph (POTRF/TRSM/SYRK/GEMM with a sequential spine).  Reported like
+Figure 5: single core vs CPU-parallel vs CPU+2GPU.
+"""
+
+import pytest
+
+from repro.pdl.catalog import load_platform
+from repro.perf.models import PerfModel
+from repro.runtime.engine import RuntimeEngine
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import cholesky_flops, submit_tiled_cholesky
+from benchmarks.conftest import print_report
+
+N, BS = 8192, 512
+
+
+def run_on(platform_name):
+    engine = RuntimeEngine(load_platform(platform_name), scheduler="dmda")
+    submit_tiled_cholesky(engine, N, BS)
+    return engine.run()
+
+
+def test_bench_cholesky_figure(benchmark):
+    def figure():
+        platform = load_platform("xeon_x5550_dual")
+        # serial baseline: the whole factorization on one core
+        model = PerfModel()
+        cpu = platform.pu("cpu")
+        t_single = cholesky_flops(N) / (
+            model.pu_performance(cpu).sustained_dgemm_gflops * 1e9
+        )
+        cpu_run = run_on("xeon_x5550_dual")
+        gpu_run = run_on("xeon_x5550_2gpu")
+        return t_single, cpu_run, gpu_run
+
+    t_single, cpu_run, gpu_run = benchmark.pedantic(
+        figure, iterations=1, rounds=3
+    )
+    rows = [
+        ("single", f"{t_single:.2f}", "1.00",
+         f"{cholesky_flops(N) / t_single / 1e9:.1f}"),
+        ("starpu", f"{cpu_run.makespan:.2f}",
+         f"{t_single / cpu_run.makespan:.2f}",
+         f"{cholesky_flops(N) / cpu_run.makespan / 1e9:.1f}"),
+        ("starpu+2gpu", f"{gpu_run.makespan:.2f}",
+         f"{t_single / gpu_run.makespan:.2f}",
+         f"{cholesky_flops(N) / gpu_run.makespan / 1e9:.1f}"),
+    ]
+    print_report(
+        f"XTRA-CHOL — tiled Cholesky {N}x{N} DP, block {BS}",
+        format_table(["configuration", "time [s]", "speedup", "GFLOP/s"], rows),
+    )
+    # shape: parallel beats serial, GPUs help, but less than for DGEMM
+    # (the factorization's sequential spine caps scaling)
+    cpu_speedup = t_single / cpu_run.makespan
+    gpu_speedup = t_single / gpu_run.makespan
+    assert 3.0 < cpu_speedup <= 8.1
+    assert gpu_speedup > cpu_speedup
+
+
+def test_bench_cholesky_submission(benchmark):
+    """Graph construction cost for the 816-task Cholesky DAG."""
+
+    def submit():
+        engine = RuntimeEngine(load_platform("xeon_x5550_2gpu"))
+        submit_tiled_cholesky(engine, N, BS)
+        return engine.task_count
+
+    count = benchmark(submit)
+    assert count == 816

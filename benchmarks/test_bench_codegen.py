@@ -1,0 +1,68 @@
+"""FIG4 — the Cascabel pipeline: annotated source → generated program.
+
+Benchmarks every stage of Fig. 4 separately (frontend, registration,
+pre-selection, mapping, codegen, plan) plus the whole pipeline, on the
+Figure-5 input program and target descriptor.
+"""
+
+import pytest
+
+from repro.cascabel.cli import sample_source
+from repro.cascabel.codegen import select_backend
+from repro.cascabel.compile_plan import derive_compile_plan
+from repro.cascabel.driver import register_builtin_variants, translate
+from repro.cascabel.frontend import parse_program
+from repro.cascabel.mapping import map_tasks
+from repro.cascabel.repository import TaskRepository
+from repro.cascabel.selection import preselect
+from repro.pdl.catalog import load_platform
+from repro.experiments.reporting import format_table
+from benchmarks.conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def source():
+    return sample_source("dgemm_serial")
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return load_platform("xeon_x5550_2gpu")
+
+
+def test_bench_frontend(benchmark, source):
+    program = benchmark(parse_program, source)
+    assert program.interfaces() == ["Idgemm"]
+
+
+def test_bench_stages(benchmark, source, platform):
+    """Benchmark selection+mapping+codegen after a fixed frontend pass."""
+    program = parse_program(source)
+
+    def stages():
+        repo = TaskRepository()
+        repo.register_program(program)
+        register_builtin_variants(repo, program)
+        selection = preselect(repo, program, platform)
+        mapping = map_tasks(program, selection, platform)
+        backend = select_backend(platform)
+        output = backend.generate(program, selection, mapping, platform)
+        plan = derive_compile_plan(output, platform)
+        return output, plan
+
+    output, plan = benchmark(stages)
+    assert len(output.files) == 2
+
+
+def test_bench_full_translation(benchmark, source, platform):
+    result = benchmark(translate, source, platform)
+    rows = [
+        (f.name, f.language, f.line_count) for f in result.output.files
+    ]
+    rows.append(("(build)", "sh", len(result.plan.commands())))
+    print_report(
+        "FIG4 — Cascabel output for xeon_x5550_2gpu",
+        format_table(["artifact", "kind", "lines/steps"], rows)
+        + "\n\nbuild: " + " && ".join(result.plan.commands()),
+    )
+    assert result.backend_name == "starpu"

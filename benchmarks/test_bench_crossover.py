@@ -1,0 +1,98 @@
+"""XTRA-CROSS — where accelerators stop paying off.
+
+The PDL's explicit interconnect information is what lets tools see that a
+GPU only helps when the kernel's arithmetic intensity amortizes the PCIe
+crossing.  Sweep the inner dimension k of independent C(1024×1024) +=
+A(1024×k)·B(k×1024) tasks: intensity grows ∝ k, and the benefit of adding
+the two GPUs rises from ~nothing (bandwidth-bound) to the full Figure-5
+factor (compute-bound).
+"""
+
+import pytest
+
+from repro.pdl.catalog import load_platform
+from repro.runtime.engine import RuntimeEngine
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import submit_vecadd
+from benchmarks.conftest import print_report
+
+M = N = 1024
+K_SWEEP = (16, 64, 256, 1024, 4096)
+TASKS = 96
+
+
+def submit_rect_gemm(engine, k):
+    for i in range(TASKS):
+        c = engine.register(shape=(M, N), name=f"C{i}")
+        a = engine.register(shape=(M, k), name=f"A{i}")
+        b = engine.register(shape=(k, N), name=f"B{i}")
+        engine.submit(
+            "dgemm",
+            [(c, "rw"), (a, "r"), (b, "r")],
+            dims=(M, N, k),
+            tag=f"gemm[{i}]k{k}",
+        )
+
+
+def makespan(platform_name, submit):
+    engine = RuntimeEngine(load_platform(platform_name), scheduler="dmda")
+    submit(engine)
+    return engine.run()
+
+
+def test_bench_intensity_crossover(benchmark):
+    def sweep():
+        rows = []
+        for k in K_SWEEP:
+            flops = 2.0 * M * N * k
+            nbytes = 8.0 * (M * k + k * N + 2 * M * N)
+            intensity = flops / nbytes
+            cpu = makespan("xeon_x5550_dual", lambda e: submit_rect_gemm(e, k))
+            gpu = makespan("xeon_x5550_2gpu", lambda e: submit_rect_gemm(e, k))
+            gpu_tasks = gpu.trace.tasks_per_architecture().get("gpu", 0)
+            rows.append(
+                (k, f"{intensity:.1f}", f"{cpu.makespan:.3f}",
+                 f"{gpu.makespan:.3f}",
+                 f"{cpu.makespan / gpu.makespan:.2f}x", gpu_tasks)
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, iterations=1, rounds=2)
+    print_report(
+        "XTRA-CROSS — GPU benefit vs arithmetic intensity"
+        f" ({TASKS} independent 1024xk GEMMs)",
+        format_table(
+            ["k", "flop/byte", "cpu-only [s]", "cpu+2gpu [s]",
+             "gpu benefit", "tasks on gpu"],
+            rows,
+        ),
+    )
+    benefits = [float(r[4].rstrip("x")) for r in rows]
+    # benefit grows monotonically-ish with intensity and spans the regimes
+    assert benefits[-1] > 2.0  # compute-bound: GPUs pay off big
+    assert benefits[0] < benefits[-1] / 1.5  # bandwidth-bound: much less
+    assert benefits == sorted(benefits) or max(
+        abs(a - b) for a, b in zip(benefits, sorted(benefits))
+    ) < 0.35  # allow small non-monotonic wiggle from scheduling noise
+
+
+def test_bench_bandwidth_bound_vecadd(benchmark):
+    """Pure streaming workload: adding GPUs is nearly a wash."""
+
+    def compare():
+        cpu = makespan(
+            "xeon_x5550_dual", lambda e: submit_vecadd(e, 1 << 26, 40)
+        )
+        gpu = makespan(
+            "xeon_x5550_2gpu", lambda e: submit_vecadd(e, 1 << 26, 40)
+        )
+        return cpu.makespan, gpu.makespan
+
+    cpu_t, gpu_t = benchmark.pedantic(compare, iterations=1, rounds=3)
+    benefit = cpu_t / gpu_t
+    print_report(
+        "XTRA-CROSS — 512 MiB vecadd (streaming)",
+        f"cpu-only {cpu_t:.4f} s, cpu+2gpu {gpu_t:.4f} s,"
+        f" benefit {benefit:.2f}x (vs ~2.5x for DGEMM)",
+    )
+    assert benefit < 1.5  # PCIe caps the gain for streaming kernels

@@ -1,0 +1,54 @@
+"""LST2 — automatic descriptor generation from discovery sources.
+
+Regenerates the Listing-2 flow (OpenCL runtime query → ``ocl:`` typed
+properties) for the paper's testbed and benchmarks the full
+hwloc+OpenCL → validated-PDL pipeline.
+"""
+
+import pytest
+
+from repro.discovery.generator import generate_machine_platform
+from repro.discovery.opencl_sim import SimulatedOpenCLRuntime
+from repro.pdl.validator import validate_document
+from repro.pdl.writer import write_pdl
+from repro.experiments.reporting import format_table
+from benchmarks.conftest import print_report
+
+TESTBED = dict(cpu="Intel Xeon X5550",
+               gpus=["GeForce GTX 480", "GeForce GTX 285"])
+
+
+def test_bench_generate_fig5_descriptor(benchmark):
+    platform = benchmark(generate_machine_platform, **TESTBED)
+    assert platform.total_pu_count() == 11
+    report = validate_document(platform)
+    assert report.ok
+
+    gpu0 = platform.pu("gpu0")
+    rows = [
+        (p.name, str(p.value), p.type_name or "(base)")
+        for p in gpu0.descriptor
+        if p.namespace == "ocl"
+    ]
+    print_report(
+        "LST2 — OpenCL-generated properties of gpu0 (cf. paper Listing 2)",
+        format_table(["name", "value", "xsi:type"], rows),
+    )
+    names = {r[0] for r in rows}
+    assert {"DEVICE_NAME", "MAX_COMPUTE_UNITS", "GLOBAL_MEM_SIZE",
+            "LOCAL_MEM_SIZE"} <= names
+
+
+def test_bench_opencl_enumeration(benchmark):
+    def enumerate_devices():
+        rt = SimulatedOpenCLRuntime.for_machine(**TESTBED)
+        return [d.get_info() for d in rt.all_devices()]
+
+    infos = benchmark(enumerate_devices)
+    assert len(infos) == 3  # 2 gpus + 1 cpu
+
+
+def test_bench_generated_descriptor_serialization(benchmark):
+    platform = generate_machine_platform(**TESTBED)
+    text = benchmark(write_pdl, platform)
+    assert 'unit="kB"' in text  # Listing-2 style units survive

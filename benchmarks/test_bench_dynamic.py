@@ -1,0 +1,104 @@
+"""XTRA-DYN — dynamic platform descriptors (the paper's future work).
+
+Availability and DVFS events mutate the descriptor; the runtime is
+re-derived from each snapshot and the same workload re-measured.  The
+table shows the descriptor-driven adaptation the paper's conclusion asks
+for ("how platform descriptors could be utilized for supporting highly
+dynamic run-time schedulers").
+"""
+
+import pytest
+
+from repro.dynamic import (
+    DynamicPlatform,
+    FrequencyChange,
+    PUOffline,
+    PUOnline,
+    run_across_revisions,
+)
+from repro.pdl.catalog import load_platform
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import submit_tiled_dgemm
+from benchmarks.conftest import print_report
+
+EVENTS = [
+    PUOffline("gpu0", reason="thermal"),
+    PUOffline("gpu1", reason="driver"),
+    FrequencyChange("cpu", new_ghz=2.0),
+    PUOnline("gpu0"),
+    PUOnline("gpu1"),
+    FrequencyChange("cpu", new_ghz=2.66),
+]
+
+
+def scenario():
+    dyn = DynamicPlatform(load_platform("xeon_x5550_2gpu"))
+    return run_across_revisions(
+        dyn,
+        lambda engine: submit_tiled_dgemm(engine, 8192, 1024),
+        EVENTS,
+    )
+
+
+def test_bench_dynamic_rebalance(benchmark):
+    runs = benchmark.pedantic(scenario, iterations=1, rounds=2)
+    rows = [
+        (r.revision, r.event or "(baseline)", f"{r.makespan:.3f}",
+         ",".join(f"{a}={n}" for a, n in sorted(r.tasks_by_architecture.items())))
+        for r in runs
+    ]
+    print_report(
+        "XTRA-DYN — DGEMM 8192 across descriptor revisions",
+        format_table(["rev", "event", "makespan [s]", "task split"], rows),
+    )
+    base = runs[0]
+    degraded = runs[3]  # both GPUs off + downclocked CPUs
+    recovered = runs[-1]
+    assert degraded.makespan > 2.0 * base.makespan
+    assert recovered.makespan == pytest.approx(base.makespan, rel=0.05)
+    assert degraded.tasks_by_architecture.get("gpu", 0) == 0
+
+
+def test_bench_midrun_outage(benchmark):
+    """Events applied WHILE the simulation runs (not between runs)."""
+    from repro.runtime.engine import RuntimeEngine
+
+    def run(events):
+        engine = RuntimeEngine(load_platform("xeon_x5550_2gpu"),
+                               scheduler="dmda")
+        submit_tiled_dgemm(engine, 8192, 1024)
+        return engine.run(dynamic_events=events)
+
+    def scenario_pair():
+        base = run([])
+        outage = run([(1.0, PUOffline("gpu0")), (3.0, PUOnline("gpu0"))])
+        return base, outage
+
+    base, outage = benchmark.pedantic(scenario_pair, iterations=1, rounds=2)
+    started_during = [
+        t for t in outage.trace.tasks
+        if t.worker_id == "gpu0" and 1.0 < t.start < 3.0
+    ]
+    print_report(
+        "XTRA-DYN — mid-run gpu0 outage [1s, 3s)",
+        f"baseline {base.makespan:.3f} s -> with outage"
+        f" {outage.makespan:.3f} s"
+        f" (+{(outage.makespan / base.makespan - 1) * 100:.0f}%);"
+        f" tasks started on gpu0 during the outage: {len(started_during)}",
+    )
+    assert started_during == []
+    assert base.makespan < outage.makespan < base.makespan * 1.6
+    assert len(outage.trace.tasks) == 512  # nothing lost
+
+
+def test_bench_event_application(benchmark):
+    """Raw event-apply + snapshot cost (the monitoring hot path)."""
+
+    def apply_cycle():
+        dyn = DynamicPlatform(load_platform("xeon_x5550_2gpu"))
+        for event in EVENTS:
+            dyn.apply(event)
+        return dyn.snapshot()
+
+    snap = benchmark(apply_cycle)
+    assert snap.total_pu_count() == 11

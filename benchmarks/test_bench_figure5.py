@@ -1,0 +1,68 @@
+"""FIG5 — the paper's Figure 5: DGEMM speedup single / starpu / starpu+2gpu.
+
+Regenerates the figure at the paper's exact parameters (8192x8192 DP,
+GotoBLAS2-class CPU kernel, CUBLAS-class GPU kernels) and benchmarks the
+simulation itself.  The assertions pin the *shape* the paper reports.
+"""
+
+import pytest
+
+from repro.experiments.figure5 import Figure5Config, run_figure5
+from repro.experiments.reporting import ascii_bar_chart
+from benchmarks.conftest import print_report
+
+CONFIG = Figure5Config(n=8192, block_size=1024, scheduler="dmda")
+
+
+@pytest.fixture(scope="module")
+def figure5_result():
+    return run_figure5(CONFIG)
+
+
+def test_bench_figure5(benchmark, figure5_result):
+    """Benchmark one full Figure-5 regeneration; print the figure."""
+    result = benchmark.pedantic(
+        run_figure5, args=(CONFIG,), iterations=1, rounds=3
+    )
+    rows = result.rows
+    print_report(
+        "Figure 5 (reproduced) — DGEMM 8192x8192 DP",
+        result.table()
+        + "\n\n"
+        + ascii_bar_chart(
+            [r.configuration for r in rows],
+            [r.speedup for r in rows],
+            unit="x",
+            title="speedup over the single-threaded input program",
+        ),
+    )
+    single, starpu, gpu = rows
+    assert single.time_s > 100  # ~115 s serial anchor
+    assert 6.5 < starpu.speedup < 8.1  # near-linear 8 cores (paper ~7x)
+    assert 14.0 < gpu.speedup < 26.0  # paper ~16x
+    assert 1.8 < gpu.speedup / starpu.speedup < 3.5
+
+
+def test_bench_figure5_starpu_configuration(benchmark):
+    """Benchmark just the 'starpu' bar's simulated run."""
+    from repro.experiments.figure5 import run_configuration
+
+    result = benchmark.pedantic(
+        run_configuration, args=("xeon_x5550_dual", CONFIG),
+        iterations=1, rounds=3,
+    )
+    assert result.task_count == 512
+    assert result.trace.tasks_per_architecture() == {"x86_64": 512}
+
+
+def test_bench_figure5_gpu_configuration(benchmark):
+    """Benchmark the 'starpu+2gpu' bar's simulated run."""
+    from repro.experiments.figure5 import run_configuration
+
+    result = benchmark.pedantic(
+        run_configuration, args=("xeon_x5550_2gpu", CONFIG),
+        iterations=1, rounds=3,
+    )
+    per_arch = result.trace.tasks_per_architecture()
+    assert per_arch["gpu"] > per_arch["x86_64"]  # GPUs take the bulk
+    assert result.transfer_count > 0  # PCIe traffic modeled

@@ -1,0 +1,80 @@
+"""XTRA-MAP — abstract-pattern matching cost.
+
+Variant pre-selection matches each variant's abstract platform pattern
+against the target descriptor (Cascabel step 2); this bench pins that cost
+for the paper's pattern shapes and for growing concrete platforms.
+"""
+
+import pytest
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import synthetic_manycore_platform
+from repro.model.builder import PlatformBuilder
+from repro.pdl.catalog import load_platform
+from repro.query.patterns import find_matches, pattern_matches
+from benchmarks.conftest import print_report
+
+
+def master_worker_pattern(arch=None):
+    b = PlatformBuilder("pat").master("m")
+    b.worker("w", architecture=arch)
+    return b.build(validate=False)
+
+
+def hierarchical_pattern():
+    return (
+        PlatformBuilder("pat")
+        .master("m")
+        .hybrid("h")
+        .worker("w", architecture="spe")
+        .end()
+        .build(validate=False)
+    )
+
+
+def test_bench_match_gpgpu(benchmark):
+    concrete = load_platform("xeon_x5550_2gpu")
+    pattern = master_worker_pattern("gpu")
+    matches = benchmark(find_matches, pattern, concrete)
+    assert len(matches) == 2
+
+
+def test_bench_match_hierarchical(benchmark):
+    concrete = load_platform("hybrid_cluster")
+    pattern = hierarchical_pattern()
+    matches = benchmark(find_matches, pattern, concrete)
+    assert matches
+
+
+def test_bench_match_scaling(benchmark):
+    concrete = synthetic_manycore_platform(200)
+    pattern = master_worker_pattern("gpu")
+    exists = benchmark(pattern_matches, pattern, concrete)
+    assert exists
+
+
+def test_bench_pattern_report(benchmark):
+    concrete_fig5 = load_platform("xeon_x5550_2gpu")
+    benchmark.pedantic(
+        lambda: find_matches(master_worker_pattern("gpu"), concrete_fig5),
+        iterations=1, rounds=3,
+    )
+    rows = []
+    for name in ("listing1_gpgpu", "xeon_x5550_dual", "xeon_x5550_2gpu",
+                 "cell_qs22", "hybrid_cluster"):
+        concrete = load_platform(name)
+        for pat_name, pattern in (
+            ("Master/Worker[gpu]", master_worker_pattern("gpu")),
+            ("Master/Worker[*]", master_worker_pattern(None)),
+            ("Master/Hybrid/Worker[spe]", hierarchical_pattern()),
+        ):
+            count = len(find_matches(pattern, concrete, limit=50))
+            rows.append((name, pat_name, count))
+    print_report(
+        "XTRA-MAP — pattern match counts per shipped descriptor",
+        format_table(["platform", "pattern", "matches (cap 50)"], rows),
+    )
+    # the hierarchical pattern only fits platforms with Hybrids over SPEs
+    table = {(r[0], r[1]): r[2] for r in rows}
+    assert table[("hybrid_cluster", "Master/Hybrid/Worker[spe]")] > 0
+    assert table[("xeon_x5550_2gpu", "Master/Hybrid/Worker[spe]")] == 0

@@ -1,0 +1,64 @@
+"""LST1 — Listing 1 and the shipped descriptors: parse/serialize cost.
+
+The PDL's promise is that descriptors are cheap enough to consult at every
+toolchain stage; this bench pins parse, write and full round-trip rates.
+"""
+
+import pytest
+
+from repro.pdl.catalog import load_platform, platform_path
+from repro.pdl.parser import parse_pdl
+from repro.pdl.writer import write_pdl
+from repro.experiments.reporting import format_table
+from benchmarks.conftest import print_report
+
+
+@pytest.fixture(scope="module")
+def listing1_text():
+    with open(platform_path("listing1_gpgpu"), encoding="utf-8") as f:
+        return f.read()
+
+
+@pytest.fixture(scope="module")
+def fig5_text():
+    with open(platform_path("xeon_x5550_2gpu"), encoding="utf-8") as f:
+        return f.read()
+
+
+def test_bench_parse_listing1(benchmark, listing1_text):
+    platform = benchmark(parse_pdl, listing1_text)
+    assert platform.total_pu_count() == 2
+
+
+def test_bench_parse_fig5_descriptor(benchmark, fig5_text):
+    platform = benchmark(parse_pdl, fig5_text)
+    assert platform.total_pu_count() == 11
+
+
+def test_bench_write_fig5_descriptor(benchmark):
+    platform = load_platform("xeon_x5550_2gpu")
+    text = benchmark(write_pdl, platform)
+    assert "GeForce GTX 480" in text
+
+
+def test_bench_roundtrip_all_shipped(benchmark):
+    """Full parse→write→parse over the whole catalog."""
+    from repro.pdl.catalog import available_platforms
+
+    names = available_platforms()
+
+    def roundtrip():
+        rows = []
+        for name in names:
+            platform = load_platform(name, validate=False)
+            text = write_pdl(platform)
+            again = parse_pdl(text, validate=False, name=name)
+            rows.append((name, platform.total_pu_count(), len(text)))
+            assert again.total_pu_count() == platform.total_pu_count()
+        return rows
+
+    rows = benchmark(roundtrip)
+    print_report(
+        "LST1 — shipped descriptor round-trips",
+        format_table(["descriptor", "PUs (expanded)", "XML bytes"], rows),
+    )

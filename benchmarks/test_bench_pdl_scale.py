@@ -1,0 +1,82 @@
+"""XTRA-SCALE — PDL scalability on many-core descriptors.
+
+The paper positions the PDL for "current and future heterogeneous
+many-core systems": parse, structural validation, selector queries and
+group resolution must stay tractable as PU counts grow into the
+thousands.
+"""
+
+import pytest
+
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import synthetic_manycore_platform
+from repro.model.groups import GroupRegistry
+from repro.model.validation import collect_violations
+from repro.pdl.parser import parse_pdl
+from repro.pdl.writer import write_pdl
+from repro.query.selectors import select
+from benchmarks.conftest import print_report
+
+SIZES = (10, 100, 1000)
+
+
+@pytest.fixture(scope="module")
+def platforms():
+    return {n: synthetic_manycore_platform(n) for n in SIZES}
+
+
+@pytest.fixture(scope="module")
+def documents(platforms):
+    return {n: write_pdl(p) for n, p in platforms.items()}
+
+
+def test_bench_scale_report(benchmark, platforms, documents):
+    import time
+
+    benchmark.pedantic(lambda: parse_pdl(documents[100], validate=False),
+                       iterations=1, rounds=3)
+    rows = []
+    for n in SIZES:
+        text = documents[n]
+        t0 = time.perf_counter()
+        platform = parse_pdl(text, validate=False)
+        t_parse = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        violations = collect_violations(platform)
+        t_validate = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        gpus = select(platform, "Worker[ARCHITECTURE=gpu]")
+        t_query = time.perf_counter() - t0
+        rows.append(
+            (n, len(text), f"{t_parse*1e3:.2f}", f"{t_validate*1e3:.2f}",
+             f"{t_query*1e3:.2f}", len(gpus))
+        )
+        assert violations == []
+    print_report(
+        "XTRA-SCALE — descriptor cost vs worker count",
+        format_table(
+            ["workers", "XML bytes", "parse [ms]", "validate [ms]",
+             "query [ms]", "gpus found"],
+            rows,
+        ),
+    )
+
+
+def test_bench_parse_1000_workers(benchmark, documents):
+    platform = benchmark(parse_pdl, documents[1000], validate=False)
+    assert platform.total_pu_count() == 1001
+
+
+def test_bench_validate_1000_workers(benchmark, platforms):
+    violations = benchmark(collect_violations, platforms[1000])
+    assert violations == []
+
+
+def test_bench_selector_1000_workers(benchmark, platforms):
+    found = benchmark(select, platforms[1000], "Worker[ARCHITECTURE=gpu]")
+    assert len(found) == 500
+
+
+def test_bench_group_registry_1000_workers(benchmark, platforms):
+    registry = benchmark(GroupRegistry, platforms[1000])
+    assert len(registry) >= 2

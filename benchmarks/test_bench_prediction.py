@@ -1,0 +1,73 @@
+"""XTRA-PREDICT — analytic makespan prediction vs simulation.
+
+§II usage scenario ("performance prediction"): predict the makespan from
+descriptor-derived rates alone and compare to the simulated execution,
+across workloads and platforms.
+"""
+
+import pytest
+
+from repro.pdl.catalog import load_platform
+from repro.predict import predict_engine
+from repro.runtime.engine import RuntimeEngine
+from repro.experiments.reporting import format_table
+from repro.experiments.workloads import (
+    submit_tiled_cholesky,
+    submit_tiled_dgemm,
+)
+from benchmarks.conftest import print_report
+
+CASES = [
+    ("dgemm 8192/1024", "xeon_x5550_dual", submit_tiled_dgemm, (8192, 1024)),
+    ("dgemm 8192/1024", "xeon_x5550_2gpu", submit_tiled_dgemm, (8192, 1024)),
+    ("cholesky 8192/512", "xeon_x5550_2gpu", submit_tiled_cholesky, (8192, 512)),
+    ("cholesky 8192/512", "cell_qs22", submit_tiled_cholesky, (8192, 512)),
+]
+
+
+def run_case(platform_name, builder, args):
+    engine = RuntimeEngine(load_platform(platform_name), scheduler="dmda")
+    builder(engine, *args)
+    prediction = predict_engine(engine)
+    result = engine.run()
+    return prediction, result
+
+
+def test_bench_prediction_accuracy(benchmark):
+    def all_cases():
+        return [
+            (label, platform, *run_case(platform, builder, args))
+            for label, platform, builder, args in CASES
+        ]
+
+    outcomes = benchmark.pedantic(all_cases, iterations=1, rounds=2)
+    rows = []
+    for label, platform, prediction, result in outcomes:
+        rows.append(
+            (
+                label,
+                platform,
+                f"{prediction.predicted_s:.3f}",
+                f"{result.makespan:.3f}",
+                f"{prediction.compare(result):.2f}",
+                prediction.binding_bound,
+            )
+        )
+    print_report(
+        "XTRA-PREDICT — predicted vs simulated makespan",
+        format_table(
+            ["workload", "platform", "predicted [s]", "simulated [s]",
+             "ratio", "binding bound"],
+            rows,
+        ),
+    )
+    for label, platform, prediction, result in outcomes:
+        assert 0.9 < prediction.compare(result) < 1.6, (label, platform)
+
+
+def test_bench_prediction_cost(benchmark):
+    """Prediction must be orders faster than simulation."""
+    engine = RuntimeEngine(load_platform("xeon_x5550_2gpu"), scheduler="dmda")
+    submit_tiled_dgemm(engine, 8192, 1024)
+    prediction = benchmark(predict_engine, engine)
+    assert prediction.task_count == 512

@@ -1,0 +1,67 @@
+"""Runtime-engine micro-benchmarks: task throughput and event-loop cost.
+
+Not a paper figure, but the substrate behind FIG5; pins the simulator's
+own performance (simulated-seconds per wall-second and tasks/second) so
+regressions in the discrete-event core are visible.
+"""
+
+import pytest
+
+from repro.pdl.catalog import load_platform
+from repro.runtime.engine import RuntimeEngine
+from repro.experiments.workloads import submit_tiled_dgemm, submit_vecadd
+from benchmarks.conftest import print_report
+
+
+def test_bench_engine_512_tasks(benchmark):
+    def run():
+        engine = RuntimeEngine(load_platform("xeon_x5550_2gpu"),
+                               scheduler="dmda")
+        submit_tiled_dgemm(engine, 8192, 1024)
+        return engine.run()
+
+    result = benchmark.pedantic(run, iterations=1, rounds=5)
+    assert result.task_count == 512
+    rate = result.task_count / result.wall_time
+    print_report(
+        "runtime micro-bench",
+        f"512-task DGEMM graph: {result.wall_time*1e3:.1f} ms wall,"
+        f" {rate:,.0f} simulated tasks/s",
+    )
+
+
+def test_bench_engine_4096_tasks(benchmark):
+    def run():
+        engine = RuntimeEngine(load_platform("xeon_x5550_2gpu"),
+                               scheduler="eager")
+        submit_tiled_dgemm(engine, 8192, 512)
+        return engine.run()
+
+    result = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert result.task_count == 4096
+
+
+def test_bench_submission_only(benchmark):
+    """Dependency inference cost for a 4096-task graph."""
+
+    def submit():
+        engine = RuntimeEngine(load_platform("xeon_x5550_2gpu"))
+        submit_tiled_dgemm(engine, 8192, 512)
+        return engine.task_count
+
+    count = benchmark(submit)
+    assert count == 4096
+
+
+def test_bench_real_mode_vecadd(benchmark):
+    """Real threaded execution throughput on host CPUs."""
+
+    def run():
+        engine = RuntimeEngine(load_platform("xeon_x5550_dual"),
+                               scheduler="eager")
+        submit_vecadd(engine, 1 << 22, 32, materialize=True)
+        return engine.run_real()
+
+    result = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert result.task_count == 32
+    assert result.mode == "real"

@@ -1,0 +1,127 @@
+"""XTRA-SELECT — static pre-selection on large variant repositories.
+
+DESIGN.md §5 names this ablation: Cascabel's step 2 prunes variants whose
+targets/patterns cannot match the platform *before* mapping runs.  With
+vendor-scale repositories (hundreds of tuned variants per interface), the
+pruning keeps mapping cheap and the output small.
+"""
+
+import pytest
+
+from repro.cascabel.cli import sample_source
+from repro.cascabel.frontend import parse_program
+from repro.cascabel.mapping import map_tasks
+from repro.cascabel.repository import TaskRepository
+from repro.cascabel.selection import eligible_variants, preselect
+from repro.model.builder import PlatformBuilder
+from repro.pdl.catalog import load_platform
+from repro.experiments.reporting import format_table
+from benchmarks.conftest import print_report
+
+TARGET_CHOICES = (
+    ("x86",), ("cuda",), ("opencl",), ("cellsdk",),
+    ("cuda", "opencl"), ("cellsdk", "spe"),
+)
+
+
+def big_repository(program, n_variants):
+    """A repository with ``n_variants`` synthetic expert variants, a
+    quarter of which carry platform patterns only some targets satisfy."""
+    repo = TaskRepository()
+    repo.register_program(program)
+    interface = program.interfaces()[0]
+    gtx285_pattern = (
+        PlatformBuilder("pat").master("m")
+        .worker("w", properties={"MODEL": "GeForce GTX 285"})
+        .build(validate=False)
+    )
+    spe_pattern = (
+        PlatformBuilder("pat").master("m")
+        .worker("w", architecture="spe", quantity=8)
+        .build(validate=False)
+    )
+    for i in range(n_variants):
+        targets = TARGET_CHOICES[i % len(TARGET_CHOICES)]
+        pattern = None
+        if i % 4 == 0:
+            pattern = gtx285_pattern if i % 8 == 0 else spe_pattern
+        repo.register_expert_variant(
+            interface,
+            f"tuned_{i:04d}",
+            targets,
+            required_pattern=pattern,
+            provenance=f"vendor kit {i % 7}",
+        )
+    return repo
+
+
+@pytest.fixture(scope="module")
+def program():
+    return parse_program(sample_source("dgemm_serial"))
+
+
+def test_bench_selection_scale(benchmark, program):
+    platform = load_platform("xeon_x5550_2gpu")
+    repo = big_repository(program, 1000)
+
+    report = benchmark(preselect, repo, program, platform)
+    interface = program.interfaces()[0]
+    kept = len(report.variants_for(interface))
+    pruned = len(report.pruned)
+    print_report(
+        "XTRA-SELECT — 1001-variant repository on xeon_x5550_2gpu",
+        f"eligible after pre-selection: {kept}; pruned: {pruned}"
+        f" (no spe hardware, or pattern mismatch)",
+    )
+    assert kept + pruned == 1001
+    assert pruned >= 300  # all cell-targeted + gtx285-pattern variants
+
+
+def test_bench_selection_report(benchmark, program):
+    def table():
+        rows = []
+        for n in (10, 100, 1000):
+            import time
+
+            repo = big_repository(program, n)
+            for name, platform in (
+                ("xeon_x5550_dual", load_platform("xeon_x5550_dual")),
+                ("xeon_x5550_2gpu", load_platform("xeon_x5550_2gpu")),
+                ("cell_qs22", load_platform("cell_qs22")),
+            ):
+                t0 = time.perf_counter()
+                report = preselect(repo, program, platform)
+                dt = time.perf_counter() - t0
+                interface = program.interfaces()[0]
+                rows.append(
+                    (n + 1, name, len(report.variants_for(interface)),
+                     len(report.pruned), f"{dt * 1e3:.1f}")
+                )
+        return rows
+
+    rows = benchmark.pedantic(table, iterations=1, rounds=2)
+    print_report(
+        "XTRA-SELECT — eligible/pruned by repository size and platform",
+        format_table(
+            ["variants", "platform", "eligible", "pruned", "time [ms]"], rows
+        ),
+    )
+    # pruning is platform-specific: the cell box prunes all gpu variants
+    by_key = {(r[0], r[1]): r for r in rows}
+    assert by_key[(1001, "cell_qs22")][3] > by_key[(1001, "xeon_x5550_2gpu")][3] - 1001
+
+
+def test_bench_pruning_shrinks_mapping_input(benchmark, program):
+    """Pre-pruning vs handing mapping the raw repository."""
+    platform = load_platform("xeon_x5550_dual")
+    repo = big_repository(program, 400)
+    interface = program.interfaces()[0]
+
+    raw = repo.variants(interface)
+    eligible, _ = benchmark(eligible_variants, raw, platform)
+    assert len(eligible) < len(raw) / 2  # pruning halves the mapping input
+
+    report = preselect(repo, program, platform)
+    mapping = map_tasks(program, report, platform)
+    # the CPU-only box maps everything onto the one worker entity
+    assert mapping.mappings[0].total_lanes == 8

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Scheduler and granularity playground on the Figure-5 machine.
+
+Two ablations the paper's runtime discussion motivates:
+
+* scheduling policy (eager / work-stealing / dm / dmda / random) on the
+  heterogeneous CPU+2GPU platform, and
+* tile-size sweep showing the granularity U-curve (launch overhead vs
+  load balance vs transfer amortization).
+
+Run:  python examples/scheduler_playground.py
+"""
+
+from repro.experiments import (
+    ascii_bar_chart,
+    block_size_sweep,
+    dataclass_table,
+    dgemm_flops,
+    scheduler_ablation,
+)
+
+
+def main():
+    n = 8192
+    print(f"workload: tiled DGEMM {n}x{n} DP on xeon_x5550_2gpu\n")
+
+    rows = scheduler_ablation(n=n, block_size=1024)
+    print(dataclass_table(rows, title="scheduling policy ablation"))
+    best = min(rows, key=lambda r: r.time_s)
+    worst = max(rows, key=lambda r: r.time_s)
+    print(
+        f"\nbest={best.scheduler} ({best.time_s:.2f} s),"
+        f" worst={worst.scheduler} ({worst.time_s:.2f} s),"
+        f" gap {worst.time_s / best.time_s:.2f}x\n"
+    )
+
+    sweep = block_size_sweep(n=n)
+    print(dataclass_table(sweep, title="tile-size sweep (dmda)"))
+    print()
+    print(
+        ascii_bar_chart(
+            [str(r.block_size) for r in sweep],
+            [r.gflops for r in sweep],
+            unit=" GF/s",
+            title="achieved GFLOP/s by tile size",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

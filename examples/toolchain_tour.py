@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Tour of the tool-facing surfaces (paper Fig. 1: "TOOLS").
+
+The PDL's whole purpose is feeding *tools* — compilers, auto-tuners,
+schedulers, performance predictors.  This example plays each tool role
+once:
+
+1. schema publication  — emit the derived XSDs (§III-B),
+2. platform audit      — structural diff after dynamic events,
+3. performance oracle  — predict a makespan before running (§II),
+4. programming models  — two co-existing logical views (§II),
+5. observability       — Paje/Gantt trace export after a run.
+
+Run:  python examples/toolchain_tour.py
+"""
+
+from repro.dynamic import DynamicPlatform, FrequencyChange, PUOffline
+from repro.model import LogicalView, render_tree
+from repro.pdl import diff_platforms, emit_all_xsd, load_platform
+from repro.predict import predict_engine
+from repro.runtime import RuntimeEngine, gantt_ascii, to_paje
+from repro.experiments import submit_tiled_dgemm
+
+
+def main():
+    platform = load_platform("xeon_x5550_2gpu")
+
+    # ---- 1. schema publication ------------------------------------------
+    documents = emit_all_xsd()
+    base = documents["pdl-base.xsd"]
+    print("== derived XML Schema Definitions ==")
+    print(f"{len(documents)} schema documents"
+          f" ({', '.join(sorted(documents))})")
+    print(f"pdl-base.xsd: {base.count(chr(10))} lines,"
+          f" {base.count('xs:complexType')} complex types\n")
+
+    # ---- 2. platform audit -------------------------------------------------
+    dyn = DynamicPlatform(platform)
+    before = dyn.snapshot()
+    dyn.apply(PUOffline("gpu1", reason="ECC errors"))
+    dyn.apply(FrequencyChange("cpu", new_ghz=2.0))
+    diff = diff_platforms(before, dyn.snapshot())
+    print("== audit: what did the monitoring events change? ==")
+    print(diff.summary())
+    print()
+
+    # ---- 3. performance oracle -----------------------------------------------
+    print("== prediction before execution ==")
+    engine = RuntimeEngine(load_platform("xeon_x5550_2gpu"), scheduler="dmda")
+    submit_tiled_dgemm(engine, 8192, 1024)
+    prediction = predict_engine(engine)
+    print(prediction.summary())
+    result = engine.run()
+    print(f"simulated: {result.makespan:.4f} s"
+          f" (prediction ratio {prediction.compare(result):.2f})\n")
+
+    # ---- 4. co-existing logical views --------------------------------------------
+    print("== two programming-model views of one physical box ==")
+    opencl_view = (
+        LogicalView("opencl", platform)
+        .master("*[@id=host]")
+        .workers("Worker[ARCHITECTURE=gpu]")
+        .build()
+    )
+    starpu_view = (
+        LogicalView("starpu", platform)
+        .master("*[@id=host]")
+        .workers("Worker")
+        .build()
+    )
+    print(render_tree(opencl_view))
+    print()
+    print(render_tree(starpu_view))
+    print()
+
+    # ---- 5. observability ------------------------------------------------------------
+    print("== trace export (first Paje lines + Gantt) ==")
+    paje = to_paje(result.trace)
+    for line in paje.splitlines()[:3]:
+        print(line)
+    print("...")
+    small = RuntimeEngine(load_platform("xeon_x5550_2gpu"), scheduler="dmda")
+    submit_tiled_dgemm(small, 4096, 1024)
+    print(gantt_ascii(small.run().trace, width=56))
+
+
+if __name__ == "__main__":
+    main()

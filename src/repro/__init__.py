@@ -1,0 +1,62 @@
+"""repro — reproduction of "Explicit Platform Descriptions for
+Heterogeneous Many-Core Architectures" (Sandrieser, Benkner, Pllana;
+IPDPS Workshops 2011).
+
+Subpackages
+-----------
+``repro.model``
+    Hierarchical machine model (Master/Hybrid/Worker, memory, interconnect).
+``repro.pdl``
+    The XML Platform Description Language: parser, writer, schemas, catalog.
+``repro.query``
+    Query API over platforms: selectors, data paths, pattern matching.
+``repro.discovery``
+    Automatic PDL generation from (simulated) hwloc/OpenCL sources.
+``repro.perf`` / ``repro.kernels``
+    Calibrated performance models and numpy compute kernels.
+``repro.runtime``
+    StarPU-like heterogeneous runtime (simulated-time and real threads).
+``repro.cascabel``
+    The source-to-source compiler for ``#pragma cascabel`` programs.
+``repro.experiments``
+    Harnesses regenerating the paper's figures and our ablations.
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors  # noqa: F401  (re-export for convenience)
+from repro.model import (  # noqa: F401
+    Hybrid,
+    Interconnect,
+    Master,
+    MemoryRegion,
+    Platform,
+    PlatformBuilder,
+    Property,
+    Worker,
+)
+from repro.pdl import (  # noqa: F401
+    load_platform,
+    parse_pdl,
+    parse_pdl_file,
+    write_pdl,
+    write_pdl_file,
+)
+
+__all__ = [
+    "__version__",
+    "errors",
+    "Master",
+    "Hybrid",
+    "Worker",
+    "MemoryRegion",
+    "Interconnect",
+    "Platform",
+    "PlatformBuilder",
+    "Property",
+    "parse_pdl",
+    "parse_pdl_file",
+    "write_pdl",
+    "write_pdl_file",
+    "load_platform",
+]

@@ -1,0 +1,117 @@
+"""Cascabel — the PDL-parametrized source-to-source compiler (paper §IV).
+
+Pipeline: :func:`parse_program` (frontend) → :class:`TaskRepository`
+(registration) → :func:`preselect` (static variant pre-selection) →
+:func:`map_tasks` (execution-group mapping) → backends (output
+generation) → :func:`derive_compile_plan`.  :func:`translate` runs the
+whole pipeline; :func:`run_translation` additionally executes the result
+on the simulated runtime.
+"""
+
+from repro.cascabel.cli import available_samples, sample_source
+from repro.cascabel.codegen import (
+    Backend,
+    CudaBackend,
+    GeneratedOutput,
+    OpenCLBackend,
+    OpenMPBackend,
+    OutputFile,
+    SequentialBackend,
+    StarPUBackend,
+    select_backend,
+)
+from repro.cascabel.compile_plan import (
+    CompilationPlan,
+    CompileStep,
+    LinkStep,
+    derive_compile_plan,
+)
+from repro.cascabel.distribution import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+    Distribution,
+    make_distribution,
+)
+from repro.cascabel.driver import (
+    TranslationResult,
+    register_builtin_variants,
+    translate,
+)
+from repro.cascabel.frontend import parse_program, parse_program_file
+from repro.cascabel.lowering import (
+    LoweredExecution,
+    lower_to_engine,
+    run_translation,
+)
+from repro.cascabel.mapping import (
+    ExecutionMapping,
+    MappingReport,
+    Placement,
+    map_tasks,
+)
+from repro.cascabel.pragmas import (
+    DistributionSpec,
+    ExecutePragma,
+    ParameterSpec,
+    TaskPragma,
+    parse_pragma,
+)
+from repro.cascabel.program import AnnotatedProgram, TaskDefinition, TaskExecution
+from repro.cascabel.repository import TaskInterface, TaskRepository, TaskVariant
+from repro.cascabel.selection import (
+    SelectionReport,
+    eligible_variants,
+    preselect,
+    target_available,
+)
+
+__all__ = [
+    "translate",
+    "TranslationResult",
+    "run_translation",
+    "lower_to_engine",
+    "LoweredExecution",
+    "parse_program",
+    "parse_program_file",
+    "AnnotatedProgram",
+    "TaskDefinition",
+    "TaskExecution",
+    "TaskPragma",
+    "ExecutePragma",
+    "ParameterSpec",
+    "DistributionSpec",
+    "parse_pragma",
+    "TaskRepository",
+    "TaskVariant",
+    "TaskInterface",
+    "register_builtin_variants",
+    "preselect",
+    "SelectionReport",
+    "eligible_variants",
+    "target_available",
+    "map_tasks",
+    "MappingReport",
+    "ExecutionMapping",
+    "Placement",
+    "Distribution",
+    "BlockDistribution",
+    "CyclicDistribution",
+    "BlockCyclicDistribution",
+    "make_distribution",
+    "Backend",
+    "SequentialBackend",
+    "StarPUBackend",
+    "CudaBackend",
+    "OpenCLBackend",
+    "OpenMPBackend",
+    "select_backend",
+    "GeneratedOutput",
+    "OutputFile",
+    "derive_compile_plan",
+    "CompilationPlan",
+    "CompileStep",
+    "LinkStep",
+    "available_samples",
+    "sample_source",
+]

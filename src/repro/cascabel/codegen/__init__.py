@@ -1,0 +1,58 @@
+"""Cascabel code-generation backends."""
+
+from repro.cascabel.codegen.base import (
+    Backend,
+    GeneratedOutput,
+    OutputFile,
+    replace_call,
+    strip_pragmas,
+)
+from repro.cascabel.codegen.base import transform_source
+from repro.cascabel.codegen.cuda import CudaBackend
+from repro.cascabel.codegen.opencl_backend import OpenCLBackend
+from repro.cascabel.codegen.openmp import OpenMPBackend
+from repro.cascabel.codegen.sequential import SequentialBackend
+from repro.cascabel.codegen.starpu import StarPUBackend
+
+__all__ = [
+    "Backend",
+    "GeneratedOutput",
+    "OutputFile",
+    "strip_pragmas",
+    "replace_call",
+    "transform_source",
+    "SequentialBackend",
+    "StarPUBackend",
+    "CudaBackend",
+    "OpenCLBackend",
+    "OpenMPBackend",
+    "select_backend",
+]
+
+
+def select_backend(platform) -> Backend:
+    """Pick the backend the PDL descriptor asks for.
+
+    The Master's ``RUNTIME`` property decides: ``starpu`` → StarPU backend;
+    ``none``/absent with gpu Workers → plain CUDA; ``opencl`` → OpenCL;
+    anything else (including Cell's ``cellsdk``) falls back to StarPU-style
+    generation when workers exist, else sequential.
+    """
+    runtime = None
+    if platform.masters:
+        runtime = platform.masters[0].descriptor.get_str("RUNTIME")
+    has_workers = any(pu.kind == "Worker" for pu in platform.walk())
+    architectures = platform.architectures()
+
+    if runtime == "starpu":
+        return StarPUBackend()
+    if runtime == "opencl":
+        return OpenCLBackend()
+    if runtime == "openmp":
+        return OpenMPBackend()
+    if runtime in (None, "none"):
+        if "gpu" in architectures:
+            return CudaBackend()
+        return SequentialBackend() if not has_workers else StarPUBackend()
+    # cellsdk, mpi, ... — task-runtime shaped
+    return StarPUBackend() if has_workers else SequentialBackend()

@@ -1,0 +1,52 @@
+"""Sequential fallback backend.
+
+Emits a plain C translation unit that runs entirely on a Master PU: all
+cascabel pragmas removed, only fallback (x86-class) task variants kept,
+call sites untouched.  This is the paper's guarantee that "the application
+can always be compiled for a Master PU in case no other implementations
+are available for the target platform."
+"""
+
+from __future__ import annotations
+
+from repro.model.platform import Platform
+from repro.cascabel.codegen.base import (
+    Backend,
+    GeneratedOutput,
+    OutputFile,
+    strip_pragmas,
+)
+from repro.cascabel.mapping import MappingReport
+from repro.cascabel.program import AnnotatedProgram
+from repro.cascabel.selection import SelectionReport
+
+__all__ = ["SequentialBackend"]
+
+
+class SequentialBackend(Backend):
+    name = "sequential"
+    runtime_library = None
+
+    def generate(
+        self,
+        program: AnnotatedProgram,
+        selection: SelectionReport,
+        mapping: MappingReport,
+        platform: Platform,
+    ) -> GeneratedOutput:
+        fallback_names = {
+            selection.fallback(interface).name for interface in selection.selected
+        }
+        body = strip_pragmas(program.source)
+        # annotate which variants survived (the others are compiled out of
+        # this target's translation unit by the selection step)
+        surviving = ", ".join(sorted(fallback_names)) or "(none)"
+        header = self.banner(
+            self.name, platform, extra=f"fallback variants kept: {surviving}"
+        )
+        content = f"{header}\n\n{body.strip()}\n"
+        return GeneratedOutput(
+            backend=self.name,
+            platform_name=platform.name,
+            files=[OutputFile(name="main_seq.c", language="c", content=content)],
+        )

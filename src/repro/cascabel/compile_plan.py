@@ -1,0 +1,176 @@
+"""Compilation-plan derivation (Cascabel step 4, §IV-C).
+
+"After all required source-files have been constructed, platform specific
+compilers (e.g., nvcc, gcc-spu, xlc) produce one or more executables.  The
+required compilation and linking plan is derived from information
+available in the platform description file."
+
+We derive, per generated file, the compiler invocation the target platform
+needs (by language and by the architectures/runtime the PDL declares), and
+one final link step.  The plan is data (inspectable and testable); nothing
+is actually invoked — the real compilers do not exist in this environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import CompilePlanError
+from repro.model.platform import Platform
+from repro.cascabel.codegen.base import GeneratedOutput
+
+__all__ = ["CompileStep", "LinkStep", "CompilationPlan", "derive_compile_plan"]
+
+
+@dataclass(frozen=True)
+class CompileStep:
+    """One compiler invocation producing an object file."""
+
+    compiler: str
+    source: str
+    output: str
+    flags: tuple[str, ...] = ()
+
+    def command(self) -> str:
+        return " ".join(
+            [self.compiler, *self.flags, "-c", self.source, "-o", self.output]
+        )
+
+
+@dataclass(frozen=True)
+class LinkStep:
+    """The final link producing the executable."""
+
+    linker: str
+    objects: tuple[str, ...]
+    output: str
+    libraries: tuple[str, ...] = ()
+    flags: tuple[str, ...] = ()
+
+    def command(self) -> str:
+        libs = tuple(f"-l{lib}" for lib in self.libraries)
+        return " ".join(
+            [self.linker, *self.flags, *self.objects, *libs, "-o", self.output]
+        )
+
+
+@dataclass
+class CompilationPlan:
+    """Ordered build recipe for one translated program."""
+
+    platform_name: str
+    steps: list[CompileStep] = field(default_factory=list)
+    link: Optional[LinkStep] = None
+
+    def commands(self) -> list[str]:
+        out = [step.command() for step in self.steps]
+        if self.link is not None:
+            out.append(self.link.command())
+        return out
+
+    def as_makefile(self) -> str:
+        """Render the plan as a small Makefile (what the CLI writes out)."""
+        lines = [f"# build plan for platform {self.platform_name}", ""]
+        objects = " ".join(step.output for step in self.steps)
+        target = self.link.output if self.link else "a.out"
+        lines.append(f"all: {target}")
+        lines.append("")
+        for step in self.steps:
+            lines.append(f"{step.output}: {step.source}")
+            lines.append(f"\t{step.command()}")
+            lines.append("")
+        if self.link:
+            lines.append(f"{target}: {objects}")
+            lines.append(f"\t{self.link.command()}")
+        return "\n".join(lines) + "\n"
+
+
+#: language → (compiler, default flags)
+_LANGUAGE_COMPILERS = {
+    "c": ("gcc", ("-O2", "-Wall")),
+    "cuda": ("nvcc", ("-O2",)),
+    "opencl-c": (None, ()),  # .cl files are built at runtime
+}
+
+
+def _cuda_arch_flag(platform: Platform) -> Optional[str]:
+    """``-arch=sm_XX`` from the lowest COMPUTE_CAPABILITY on the platform
+    (code must run on every GPU the descriptor declares)."""
+    capabilities = []
+    for pu in platform.walk():
+        prop = pu.descriptor.find("COMPUTE_CAPABILITY")
+        if prop is not None:
+            try:
+                capabilities.append(float(prop.value.as_str()))
+            except Exception:
+                continue
+    if not capabilities:
+        return None
+    lowest = min(capabilities)
+    return f"-arch=sm_{int(lowest * 10)}"
+
+
+def derive_compile_plan(
+    output: GeneratedOutput,
+    platform: Platform,
+    *,
+    executable: Optional[str] = None,
+) -> CompilationPlan:
+    """Derive the build recipe for ``output`` on ``platform``."""
+    plan = CompilationPlan(platform_name=platform.name)
+    architectures = platform.architectures()
+    runtime = (
+        platform.masters[0].descriptor.get_str("RUNTIME") if platform.masters else None
+    )
+
+    objects = []
+    for f in output.files:
+        try:
+            compiler, flags = _LANGUAGE_COMPILERS[f.language]
+        except KeyError:
+            raise CompilePlanError(
+                f"no compiler known for language {f.language!r} ({f.name})"
+            ) from None
+        if compiler is None:
+            continue  # runtime-compiled source (OpenCL)
+        flags = list(flags)
+        if f.language == "c":
+            if "spe" in architectures and runtime == "cellsdk":
+                compiler = "ppu-gcc"  # host side of a Cell build
+            if output.backend == "starpu":
+                flags.append("$(shell pkg-config --cflags starpu-1.0)")
+        if f.language == "cuda":
+            arch = _cuda_arch_flag(platform)
+            if arch:
+                flags.append(arch)
+        obj = f.name.rsplit(".", 1)[0] + ".o"
+        plan.steps.append(
+            CompileStep(
+                compiler=compiler, source=f.name, output=obj, flags=tuple(flags)
+            )
+        )
+        objects.append(obj)
+
+    if not plan.steps:
+        raise CompilePlanError("generated output contains no compilable files")
+
+    libraries: list[str] = []
+    linker = plan.steps[0].compiler
+    if output.backend == "starpu":
+        libraries.append("starpu-1.0")
+    if any(f.language == "cuda" for f in output.files):
+        libraries.extend(["cublas", "cudart"])
+        linker = "nvcc"
+    if output.backend == "opencl":
+        libraries.append("OpenCL")
+    if "spe" in architectures and runtime == "cellsdk":
+        libraries.append("spe2")
+
+    plan.link = LinkStep(
+        linker=linker,
+        objects=tuple(objects),
+        output=executable or f"{output.backend}_{platform.name}",
+        libraries=tuple(libraries),
+    )
+    return plan

@@ -1,0 +1,51 @@
+/*
+ * The Figure-5 input program: a serial double-precision matrix
+ * multiplication (DGEMM) of two 8192x8192 matrices, calling an optimized
+ * BLAS (GotoBLAS2 in the paper).  The single annotated call site is what
+ * Cascabel retargets to StarPU / StarPU+2GPU outputs.
+ */
+#include <stdio.h>
+#include <stdlib.h>
+
+#define N 8192
+
+extern void dgemm_(const char *ta, const char *tb, const int *m,
+                   const int *n, const int *k, const double *alpha,
+                   const double *A, const int *lda, const double *B,
+                   const int *ldb, const double *beta, double *C,
+                   const int *ldc);
+
+/* Task definition: sequential fallback backed by the tuned BLAS */
+#pragma cascabel task : x86 \
+    : Idgemm \
+    : dgemm_goto01 \
+    : (C: readwrite, A: read, B: read)
+void matmul(double *C, double *A, double *B)
+{
+    const int n = N;
+    const double one = 1.0;
+    dgemm_("N", "N", &n, &n, &n, &one, A, &n, B, &n, &one, C, &n);
+}
+
+int main(void)
+{
+    double *A = malloc((size_t)N * N * sizeof(double));
+    double *B = malloc((size_t)N * N * sizeof(double));
+    double *C = calloc((size_t)N * N, sizeof(double));
+    for (size_t i = 0; i < (size_t)N * N; i++) {
+        A[i] = 1.0 / (double)(i + 1);
+        B[i] = (double)(i % 17);
+    }
+
+    /* Task execution: block-distributed over executionset01 */
+    #pragma cascabel execute Idgemm \
+        : executionset01 \
+        (C:BLOCK:N, A:BLOCK:N, B:BLOCK:N)
+    matmul(C, A, B);
+
+    printf("C[0] = %f\n", C[0]);
+    free(A);
+    free(B);
+    free(C);
+    return 0;
+}

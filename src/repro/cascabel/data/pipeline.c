@@ -1,0 +1,72 @@
+/*
+ * Two-stage pipeline sample: scale a vector, then accumulate it into a
+ * result vector.  Exercises multiple task interfaces, multiple call
+ * sites, and implementation variants contributed for different targets
+ * in one translation unit.
+ */
+#include <stdio.h>
+#include <stdlib.h>
+
+#define N 2097152
+
+/* Stage 1: Y *= alpha (an x86 fallback and a CUDA variant) */
+#pragma cascabel task : x86 \
+    : Iscale \
+    : scale_seq01 \
+    : (Y: readwrite)
+void scale(double *Y)
+{
+    for (long i = 0; i < N; i++) {
+        Y[i] *= 0.5;
+    }
+}
+
+#pragma cascabel task : cuda,opencl \
+    : Iscale \
+    : scale_gpu01 \
+    : (Y: readwrite)
+void scale_gpu(double *Y)
+{
+    /* device kernel body provided by the accelerator toolchain */
+    for (long i = 0; i < N; i++) {
+        Y[i] *= 0.5;
+    }
+}
+
+/* Stage 2: A += B */
+#pragma cascabel task : x86 \
+    : Iaccum \
+    : accum_seq01 \
+    : (A: readwrite, B: read)
+void accumulate(double *A, double *B)
+{
+    for (long i = 0; i < N; i++) {
+        A[i] += B[i];
+    }
+}
+
+int main(void)
+{
+    double *acc = calloc(N, sizeof(double));
+    double *buf = malloc(N * sizeof(double));
+    for (long i = 0; i < N; i++) {
+        buf[i] = (double)i;
+    }
+
+    for (int iter = 0; iter < 4; iter++) {
+        #pragma cascabel execute Iscale \
+            : executionset01 \
+            (Y:BLOCK:N)
+        scale(buf);
+
+        #pragma cascabel execute Iaccum \
+            : executionset01 \
+            (A:BLOCK:N, B:BLOCK:N)
+        accumulate(acc, buf);
+    }
+
+    printf("acc[1] = %f\n", acc[1]);
+    free(acc);
+    free(buf);
+    return 0;
+}

@@ -1,0 +1,41 @@
+/*
+ * The paper's running example (section IV-A): a serial vector addition
+ * annotated as a cascabel task with an x86 fallback implementation.
+ */
+#include <stdio.h>
+#include <stdlib.h>
+
+#define N 1048576
+
+/* Task definition */
+#pragma cascabel task : x86 \
+    : Ivecadd \
+    : vecadd01 \
+    : (A: readwrite, B: read)
+void vectoradd(double *A, double *B)
+{
+    for (long i = 0; i < N; i++) {
+        A[i] += B[i];
+    }
+}
+
+int main(void)
+{
+    double *A = malloc(N * sizeof(double));
+    double *B = malloc(N * sizeof(double));
+    for (long i = 0; i < N; i++) {
+        A[i] = (double)i;
+        B[i] = 2.0 * (double)i;
+    }
+
+    /* Task execution */
+    #pragma cascabel execute Ivecadd \
+        : executionset01 \
+        (A:BLOCK:N, B:BLOCK:N)
+    vectoradd(A, B);
+
+    printf("A[1] = %f\n", A[1]);
+    free(A);
+    free(B);
+    return 0;
+}

@@ -1,0 +1,180 @@
+"""Data-distribution index math (paper §IV-A: "block, cyclic, block-cyclic").
+
+Distribution specifiers on ``execute`` pragmas tell the compiler and
+runtime how to decompose data-parallel task operands.  This module owns
+the index arithmetic; codegen and the runtime lowering consume it.
+
+All three classic distributions are provided over a 1-D index space of
+``extent`` elements across ``nparts`` parts:
+
+* ``BLOCK`` — contiguous balanced ranges;
+* ``CYCLIC`` — element ``i`` belongs to part ``i mod nparts``;
+* ``BLOCKCYCLIC(b)`` — blocks of ``b`` elements dealt round-robin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import DistributionError
+from repro.runtime.data import block_ranges
+
+__all__ = [
+    "Distribution",
+    "BlockDistribution",
+    "CyclicDistribution",
+    "BlockCyclicDistribution",
+    "make_distribution",
+]
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Base: a 1-D index distribution over ``nparts`` parts."""
+
+    extent: int
+    nparts: int
+
+    def __post_init__(self):
+        if self.extent <= 0:
+            raise DistributionError(f"extent must be positive, got {self.extent}")
+        if self.nparts <= 0:
+            raise DistributionError(f"nparts must be positive, got {self.nparts}")
+        if self.nparts > self.extent:
+            raise DistributionError(
+                f"cannot distribute {self.extent} elements over"
+                f" {self.nparts} parts"
+            )
+
+    # -- interface -----------------------------------------------------------
+    def owner(self, index: int) -> int:
+        """Part owning global index ``index``."""
+        raise NotImplementedError
+
+    def indices(self, part: int) -> list[int]:
+        """All global indices owned by ``part`` (ascending)."""
+        raise NotImplementedError
+
+    def part_size(self, part: int) -> int:
+        return len(self.indices(part))
+
+    def _check_part(self, part: int) -> None:
+        if not 0 <= part < self.nparts:
+            raise DistributionError(
+                f"part {part} out of range [0, {self.nparts})"
+            )
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.extent:
+            raise DistributionError(
+                f"index {index} out of range [0, {self.extent})"
+            )
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+    def contiguous_runs(self, part: int) -> list[tuple[int, int]]:
+        """Owned indices as maximal half-open ``(start, stop)`` runs."""
+        indices = self.indices(part)
+        runs: list[tuple[int, int]] = []
+        for idx in indices:
+            if runs and runs[-1][1] == idx:
+                runs[-1] = (runs[-1][0], idx + 1)
+            else:
+                runs.append((idx, idx + 1))
+        return runs
+
+
+class BlockDistribution(Distribution):
+    """Contiguous balanced blocks (first parts get the remainder)."""
+
+    @property
+    def kind(self) -> str:
+        return "BLOCK"
+
+    def _ranges(self) -> list[tuple[int, int]]:
+        return block_ranges(self.extent, self.nparts)
+
+    def owner(self, index: int) -> int:
+        self._check_index(index)
+        for part, (lo, hi) in enumerate(self._ranges()):
+            if lo <= index < hi:
+                return part
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def indices(self, part: int) -> list[int]:
+        self._check_part(part)
+        lo, hi = self._ranges()[part]
+        return list(range(lo, hi))
+
+    def range(self, part: int) -> tuple[int, int]:
+        self._check_part(part)
+        return self._ranges()[part]
+
+
+class CyclicDistribution(Distribution):
+    """Element ``i`` → part ``i mod nparts``."""
+
+    @property
+    def kind(self) -> str:
+        return "CYCLIC"
+
+    def owner(self, index: int) -> int:
+        self._check_index(index)
+        return index % self.nparts
+
+    def indices(self, part: int) -> list[int]:
+        self._check_part(part)
+        return list(range(part, self.extent, self.nparts))
+
+
+@dataclass(frozen=True)
+class BlockCyclicDistribution(Distribution):
+    """Blocks of ``block`` elements dealt round-robin over the parts."""
+
+    block: int = 1
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.block <= 0:
+            raise DistributionError(f"block must be positive, got {self.block}")
+
+    @property
+    def kind(self) -> str:
+        return "BLOCKCYCLIC"
+
+    def owner(self, index: int) -> int:
+        self._check_index(index)
+        return (index // self.block) % self.nparts
+
+    def indices(self, part: int) -> list[int]:
+        self._check_part(part)
+        out: list[int] = []
+        nblocks = (self.extent + self.block - 1) // self.block
+        for b in range(part, nblocks, self.nparts):
+            lo = b * self.block
+            hi = min(lo + self.block, self.extent)
+            out.extend(range(lo, hi))
+        return out
+
+
+def make_distribution(
+    kind: str,
+    extent: int,
+    nparts: int,
+    *,
+    block: Optional[int] = None,
+) -> Distribution:
+    """Factory from a pragma distribution kind string."""
+    kind = kind.upper().replace("-", "")
+    if kind == "BLOCK":
+        return BlockDistribution(extent, nparts)
+    if kind == "CYCLIC":
+        return CyclicDistribution(extent, nparts)
+    if kind == "BLOCKCYCLIC":
+        return BlockCyclicDistribution(extent, nparts, block=block or 1)
+    raise DistributionError(
+        f"unknown distribution kind {kind!r}; use BLOCK|CYCLIC|BLOCKCYCLIC"
+    )

@@ -1,0 +1,44 @@
+"""Cascabel frontend: source text → :class:`AnnotatedProgram`.
+
+Walks the cascabel pragmas of a translation unit; every ``task`` pragma
+binds to the next function definition, every ``execute`` pragma to the
+next call statement ("must be placed before the respective function
+invocation", §IV-A).
+"""
+
+from __future__ import annotations
+
+
+from repro.cascabel.lexer import extract_call, extract_function, scan_pragmas
+from repro.cascabel.pragmas import ExecutePragma, TaskPragma, parse_pragma
+from repro.cascabel.program import AnnotatedProgram, TaskDefinition, TaskExecution
+
+__all__ = ["parse_program", "parse_program_file"]
+
+
+def parse_program(
+    source: str, *, filename: str = "<string>", validate: bool = True
+) -> AnnotatedProgram:
+    """Parse an annotated C/C++ translation unit."""
+    program = AnnotatedProgram(source=source, filename=filename)
+    for directive in scan_pragmas(source):
+        pragma = parse_pragma(directive)
+        if isinstance(pragma, TaskPragma):
+            function = extract_function(source, directive.end_line + 1)
+            program.definitions.append(
+                TaskDefinition(pragma=pragma, function=function)
+            )
+        elif isinstance(pragma, ExecutePragma):
+            call = extract_call(source, directive.end_line + 1)
+            program.executions.append(TaskExecution(pragma=pragma, call=call))
+    if validate:
+        program.validate()
+    return program
+
+
+def parse_program_file(path, **kwargs) -> AnnotatedProgram:
+    """Parse an annotated translation unit from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    kwargs.setdefault("filename", str(path))
+    return parse_program(source, **kwargs)

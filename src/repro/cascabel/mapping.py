@@ -1,0 +1,155 @@
+"""Static task mapping: execution groups → concrete processing units
+(paper §IV-B).
+
+The ``execute`` pragma's *executiongroup* references a
+``LogicGroupAttribute`` of the target PDL.  Mapping resolves, for every
+task execution:
+
+* the member PUs of its execution group (empty group → all Workers),
+* which eligible variants can run on which members (variant targets vs
+  PU architecture), and
+* the per-execution *placement table* used by code generation and runtime
+  lowering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MappingError, ModelError
+from repro.model.entities import ProcessingUnit
+from repro.model.groups import GroupRegistry
+from repro.model.platform import Platform
+from repro.cascabel.program import AnnotatedProgram, TaskExecution
+from repro.cascabel.repository import TaskVariant
+from repro.cascabel.selection import TARGET_ARCHITECTURES, SelectionReport
+
+__all__ = ["Placement", "ExecutionMapping", "MappingReport", "map_tasks"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """One (PU, variant) pairing a task execution may use."""
+
+    pu: ProcessingUnit
+    variant: TaskVariant
+
+    @property
+    def lanes(self) -> int:
+        """Parallel lanes this placement offers (PU quantity expansion)."""
+        return self.pu.quantity
+
+
+@dataclass
+class ExecutionMapping:
+    """Resolved mapping of one ``execute`` annotation."""
+
+    execution: TaskExecution
+    group_members: list[ProcessingUnit]
+    placements: list[Placement]
+
+    @property
+    def interface(self) -> str:
+        return self.execution.interface
+
+    @property
+    def total_lanes(self) -> int:
+        return sum(p.lanes for p in self.placements)
+
+    def placements_for_architecture(self, architecture: str) -> list[Placement]:
+        return [p for p in self.placements if p.pu.architecture == architecture]
+
+    def variants_used(self) -> list[TaskVariant]:
+        seen: dict[str, TaskVariant] = {}
+        for placement in self.placements:
+            seen.setdefault(placement.variant.name, placement.variant)
+        return list(seen.values())
+
+
+@dataclass
+class MappingReport:
+    """All execution mappings of one program on one target platform."""
+
+    platform_name: str
+    mappings: list[ExecutionMapping] = field(default_factory=list)
+
+    def for_interface(self, interface: str) -> list[ExecutionMapping]:
+        return [m for m in self.mappings if m.interface == interface]
+
+    def summary(self) -> str:
+        lines = [f"task mapping for target {self.platform_name!r}:"]
+        for mapping in self.mappings:
+            group = mapping.execution.execution_group or "(all workers)"
+            pairs = ", ".join(
+                f"{p.variant.name}@{p.pu.id}x{p.lanes}" for p in mapping.placements
+            )
+            lines.append(
+                f"  {mapping.interface} [{group}] -> {pairs}"
+                f" ({mapping.total_lanes} lanes)"
+            )
+        return "\n".join(lines)
+
+
+def _variant_runs_on(variant: TaskVariant, pu: ProcessingUnit) -> bool:
+    arch = pu.architecture
+    if arch is None:
+        return False
+    for target in variant.targets:
+        if arch in TARGET_ARCHITECTURES.get(target, ()):
+            return True
+    return False
+
+
+def map_tasks(
+    program: AnnotatedProgram,
+    selection: SelectionReport,
+    platform: Platform,
+) -> MappingReport:
+    """Cascabel's static mapping step.
+
+    Raises :class:`~repro.errors.MappingError` when an execution group is
+    undefined on the platform or no (PU, variant) pairing exists.
+    """
+    groups = GroupRegistry(platform)
+    report = MappingReport(platform_name=platform.name)
+
+    for execution in program.executions:
+        group = execution.execution_group
+        if group:
+            try:
+                members = groups.members(group)
+            except ModelError as exc:
+                raise MappingError(
+                    f"execute of {execution.interface!r}: {exc}"
+                ) from exc
+        else:
+            members = [pu for pu in platform.walk() if pu.kind == "Worker"]
+        if not members:
+            raise MappingError(
+                f"execute of {execution.interface!r}: execution group"
+                f" {group!r} has no members"
+            )
+
+        eligible = selection.variants_for(execution.interface)
+        placements: list[Placement] = []
+        for pu in members:
+            # prefer the first (accelerator-ordered) variant that fits the PU
+            for variant in eligible:
+                if _variant_runs_on(variant, pu):
+                    placements.append(Placement(pu=pu, variant=variant))
+                    break
+        if not placements:
+            raise MappingError(
+                f"execute of {execution.interface!r}: none of the eligible"
+                f" variants {[v.name for v in eligible]} can run on group"
+                f" {group or '(all workers)'!r} members"
+                f" {[pu.id for pu in members]}"
+            )
+        report.mappings.append(
+            ExecutionMapping(
+                execution=execution,
+                group_members=members,
+                placements=placements,
+            )
+        )
+    return report

@@ -1,0 +1,256 @@
+"""Parsing of ``#pragma cascabel`` annotations (paper §IV-A).
+
+Grammar (from the paper)::
+
+    #pragma cascabel task
+        : targetplatformlist          e.g.  x86  |  opencl,cuda
+        : taskidentifier              the task *interface* name
+        : taskname                    unique implementation-variant name
+        : parameterlist               (A: readwrite, B: read)
+
+    #pragma cascabel execute taskidentifier
+        : executiongroup              LogicGroupAttribute reference
+        ( distributionslist )         (A:BLOCK:N, B:BLOCK:N)
+
+Access modes: ``read`` | ``write`` | ``readwrite``.
+Distributions: ``BLOCK`` | ``CYCLIC`` | ``BLOCKCYCLIC`` with an optional
+size argument.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PragmaSyntaxError
+from repro.runtime.coherence import AccessMode
+from repro.cascabel.lexer import PragmaDirective
+
+__all__ = [
+    "ParameterSpec",
+    "DistributionSpec",
+    "TaskPragma",
+    "ExecutePragma",
+    "parse_pragma",
+    "KNOWN_TARGET_PLATFORMS",
+    "DISTRIBUTION_KINDS",
+]
+
+#: target platform identifiers the toolchain understands (extensible)
+KNOWN_TARGET_PLATFORMS = ("x86", "x86_64", "opencl", "cuda", "cellsdk", "spe")
+
+DISTRIBUTION_KINDS = ("BLOCK", "CYCLIC", "BLOCKCYCLIC")
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """One ``name: accessmode`` entry of a task parameterlist."""
+
+    name: str
+    mode: AccessMode
+
+
+@dataclass(frozen=True)
+class DistributionSpec:
+    """One ``name:KIND[:size]`` entry of an execute distributionslist."""
+
+    name: str
+    kind: str  # BLOCK | CYCLIC | BLOCKCYCLIC
+    size: Optional[str] = None  # symbolic or numeric chunk/extent argument
+
+
+@dataclass(frozen=True)
+class TaskPragma:
+    """Parsed ``task`` annotation."""
+
+    targets: tuple[str, ...]
+    interface: str  # taskidentifier
+    variant_name: str  # taskname
+    parameters: tuple[ParameterSpec, ...]
+    line: int
+
+    def parameter(self, name: str) -> ParameterSpec:
+        for p in self.parameters:
+            if p.name == name:
+                return p
+        raise PragmaSyntaxError(
+            f"task {self.interface!r}: no parameter {name!r}", line=self.line
+        )
+
+
+@dataclass(frozen=True)
+class ExecutePragma:
+    """Parsed ``execute`` annotation."""
+
+    interface: str  # taskidentifier
+    execution_group: str
+    distributions: tuple[DistributionSpec, ...]
+    line: int
+
+    def distribution(self, name: str) -> Optional[DistributionSpec]:
+        for d in self.distributions:
+            if d.name == name:
+                return d
+        return None
+
+
+_IDENT = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def parse_pragma(directive: PragmaDirective):
+    """Parse one cascabel directive into a Task- or ExecutePragma."""
+    text = directive.text
+    if not text.startswith("cascabel"):
+        raise PragmaSyntaxError(
+            f"not a cascabel pragma: {text!r}", line=directive.line
+        )
+    rest = text[len("cascabel") :].strip()
+    if rest.startswith("task"):
+        return _parse_task(rest[len("task") :].strip(), directive.line)
+    if rest.startswith("execute"):
+        return _parse_execute(rest[len("execute") :].strip(), directive.line)
+    raise PragmaSyntaxError(
+        f"unknown cascabel pragma kind in {text!r}"
+        " (expected 'task' or 'execute')",
+        line=directive.line,
+    )
+
+
+def _parse_task(body: str, line: int) -> TaskPragma:
+    # body: ": targets : interface : name : (params)"
+    sections = _split_colons(body, line)
+    if len(sections) != 4:
+        raise PragmaSyntaxError(
+            f"task pragma needs 4 ':'-separated sections"
+            f" (targets:interface:name:params), got {len(sections)}",
+            line=line,
+        )
+    targets_text, interface, variant_name, params_text = sections
+
+    targets = tuple(t.strip() for t in targets_text.split(",") if t.strip())
+    if not targets:
+        raise PragmaSyntaxError("empty targetplatformlist", line=line)
+    for target in targets:
+        if target not in KNOWN_TARGET_PLATFORMS:
+            raise PragmaSyntaxError(
+                f"unknown target platform {target!r};"
+                f" known: {KNOWN_TARGET_PLATFORMS}",
+                line=line,
+            )
+    _require_ident(interface, "taskidentifier", line)
+    _require_ident(variant_name, "taskname", line)
+
+    params_text = params_text.strip()
+    if not (params_text.startswith("(") and params_text.endswith(")")):
+        raise PragmaSyntaxError(
+            f"parameterlist must be parenthesized, got {params_text!r}", line=line
+        )
+    params = []
+    inner = params_text[1:-1].strip()
+    if inner:
+        for item in inner.split(","):
+            if ":" not in item:
+                raise PragmaSyntaxError(
+                    f"parameter {item.strip()!r} lacks an access mode", line=line
+                )
+            name, mode_text = item.split(":", 1)
+            name = name.strip()
+            _require_ident(name, "parameter name", line)
+            try:
+                mode = AccessMode.parse(mode_text)
+            except Exception as exc:
+                raise PragmaSyntaxError(str(exc), line=line) from exc
+            params.append(ParameterSpec(name, mode))
+    return TaskPragma(
+        targets=targets,
+        interface=interface.strip(),
+        variant_name=variant_name.strip(),
+        parameters=tuple(params),
+        line=line,
+    )
+
+
+def _parse_execute(body: str, line: int) -> ExecutePragma:
+    # body: "Iface : group (dists)"  — distributions attach to the last section
+    dist_specs: tuple[DistributionSpec, ...] = ()
+    paren = body.find("(")
+    if paren != -1:
+        close = body.rfind(")")
+        if close < paren:
+            raise PragmaSyntaxError("unbalanced distribution list", line=line)
+        dist_text = body[paren + 1 : close].strip()
+        body = (body[:paren] + body[close + 1 :]).strip()
+        dist_specs = _parse_distributions(dist_text, line)
+
+    sections = _split_colons(body, line)
+    if len(sections) == 1:
+        interface, group = sections[0], ""
+    elif len(sections) == 2:
+        interface, group = sections
+    else:
+        raise PragmaSyntaxError(
+            "execute pragma is 'execute <interface> : <group> (dists)'", line=line
+        )
+    interface = interface.strip()
+    group = group.strip()
+    _require_ident(interface, "taskidentifier", line)
+    if group:
+        _require_ident(group, "executiongroup", line)
+    return ExecutePragma(
+        interface=interface,
+        execution_group=group,
+        distributions=dist_specs,
+        line=line,
+    )
+
+
+def _parse_distributions(text: str, line: int) -> tuple[DistributionSpec, ...]:
+    if not text:
+        return ()
+    out = []
+    for item in text.split(","):
+        parts = [p.strip() for p in item.split(":")]
+        if len(parts) < 2:
+            raise PragmaSyntaxError(
+                f"distribution {item.strip()!r} must be name:KIND[:size]", line=line
+            )
+        name, kind = parts[0], parts[1].upper().replace("-", "")
+        if kind not in DISTRIBUTION_KINDS:
+            raise PragmaSyntaxError(
+                f"unknown distribution {parts[1]!r}; known: {DISTRIBUTION_KINDS}",
+                line=line,
+            )
+        size = parts[2] if len(parts) > 2 else None
+        _require_ident(name, "distribution parameter", line)
+        out.append(DistributionSpec(name=name, kind=kind, size=size))
+    return tuple(out)
+
+
+def _split_colons(text: str, line: int) -> list[str]:
+    """Split on top-level colons (colons inside parentheses don't count)."""
+    sections = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise PragmaSyntaxError("unbalanced parentheses", line=line)
+        if ch == ":" and depth == 0:
+            sections.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    sections.append("".join(current).strip())
+    # a leading ':' produces an empty first section — drop it
+    if sections and sections[0] == "":
+        sections = sections[1:]
+    return sections
+
+
+def _require_ident(text: str, what: str, line: int) -> None:
+    if not _IDENT.match(text.strip()):
+        raise PragmaSyntaxError(f"invalid {what} {text!r}", line=line)

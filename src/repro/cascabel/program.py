@@ -1,0 +1,148 @@
+"""Annotated-program representation (Cascabel's input AST).
+
+A translation unit parses into an :class:`AnnotatedProgram`: the raw
+source plus, in document order, the task *definitions* (pragma + following
+function) and task *executions* (pragma + following call statement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CascabelError
+from repro.cascabel.lexer import CallStatement, FunctionDef
+from repro.cascabel.pragmas import ExecutePragma, TaskPragma
+
+__all__ = ["TaskDefinition", "TaskExecution", "AnnotatedProgram"]
+
+
+@dataclass(frozen=True)
+class TaskDefinition:
+    """One annotated task implementation variant in the source."""
+
+    pragma: TaskPragma
+    function: FunctionDef
+
+    @property
+    def interface(self) -> str:
+        return self.pragma.interface
+
+    @property
+    def variant_name(self) -> str:
+        return self.pragma.variant_name
+
+    @property
+    def targets(self) -> tuple[str, ...]:
+        return self.pragma.targets
+
+    def validate(self) -> None:
+        """Pragma parameters must name actual function parameters."""
+        declared = set(self.function.param_names)
+        for param in self.pragma.parameters:
+            if param.name not in declared:
+                raise CascabelError(
+                    f"task {self.interface!r} variant {self.variant_name!r}:"
+                    f" pragma names parameter {param.name!r} but the function"
+                    f" signature declares {sorted(declared)}"
+                )
+
+
+@dataclass(frozen=True)
+class TaskExecution:
+    """One annotated call site."""
+
+    pragma: ExecutePragma
+    call: CallStatement
+
+    @property
+    def interface(self) -> str:
+        return self.pragma.interface
+
+    @property
+    def execution_group(self) -> str:
+        return self.pragma.execution_group
+
+
+@dataclass
+class AnnotatedProgram:
+    """One parsed translation unit."""
+
+    source: str
+    filename: str = "<string>"
+    definitions: list[TaskDefinition] = field(default_factory=list)
+    executions: list[TaskExecution] = field(default_factory=list)
+
+    def interfaces(self) -> list[str]:
+        """All task interface names, in definition order, deduplicated."""
+        seen: dict[str, None] = {}
+        for definition in self.definitions:
+            seen.setdefault(definition.interface)
+        return list(seen)
+
+    def definitions_for(self, interface: str) -> list[TaskDefinition]:
+        return [d for d in self.definitions if d.interface == interface]
+
+    def executions_for(self, interface: str) -> list[TaskExecution]:
+        return [e for e in self.executions if e.interface == interface]
+
+    def validate(self) -> None:
+        """Cross-check definitions and executions.
+
+        * every variant validates against its function signature,
+        * variants of one interface share the same function signature
+          (the paper: "same functionality and function signature for all
+          implementations"),
+        * every execution references a defined interface,
+        * variant names are unique.
+        """
+        names: set[str] = set()
+        for definition in self.definitions:
+            definition.validate()
+            if definition.variant_name in names:
+                raise CascabelError(
+                    f"duplicate taskname {definition.variant_name!r}"
+                )
+            names.add(definition.variant_name)
+
+        for interface in self.interfaces():
+            defs = self.definitions_for(interface)
+            reference = defs[0].function
+            for other in defs[1:]:
+                if other.function.param_names != reference.param_names or (
+                    other.function.return_type != reference.return_type
+                ):
+                    raise CascabelError(
+                        f"interface {interface!r}: variant"
+                        f" {other.variant_name!r} signature"
+                        f" ({other.function.signature}) differs from"
+                        f" {defs[0].variant_name!r} ({reference.signature})"
+                    )
+
+        known = set(self.interfaces())
+        for execution in self.executions:
+            if execution.interface not in known:
+                raise CascabelError(
+                    f"execute pragma references unknown task interface"
+                    f" {execution.interface!r} (line {execution.pragma.line});"
+                    f" defined: {sorted(known)}"
+                )
+            # distribution names must be parameters of the interface
+            params = {
+                p.name
+                for d in self.definitions_for(execution.interface)
+                for p in d.pragma.parameters
+            }
+            for dist in execution.pragma.distributions:
+                if dist.name not in params:
+                    raise CascabelError(
+                        f"execute of {execution.interface!r}: distribution for"
+                        f" unknown parameter {dist.name!r}"
+                        f" (parameters: {sorted(params)})"
+                    )
+
+    def __repr__(self) -> str:
+        return (
+            f"AnnotatedProgram({self.filename!r},"
+            f" definitions={len(self.definitions)},"
+            f" executions={len(self.executions)})"
+        )

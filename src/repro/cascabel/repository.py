@@ -1,0 +1,178 @@
+"""Task repository (paper Fig. 4: "repository for managing task
+implementation variants tailored for different heterogeneous platforms").
+
+The repository stores task *interfaces* (name + signature contract) and
+their implementation *variants*.  Variants come from two sources:
+
+* annotated input programs (Cascabel step 1, *task registration*), and
+* out-of-band expert contributions (Fig. 1's "expert programmer provides
+  implementation variants for specific platforms") via
+  :meth:`TaskRepository.register_expert_variant`.
+
+Each variant records its target platform list and, optionally, an abstract
+*platform pattern* requirement (a :class:`~repro.model.platform.Platform`)
+that must match the concrete target PDL for the variant to be eligible —
+the paper's "architectural constraints and requirements for highly
+optimized code".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import RepositoryError
+from repro.model.platform import Platform
+from repro.cascabel.program import AnnotatedProgram, TaskDefinition
+
+__all__ = ["TaskInterface", "TaskVariant", "TaskRepository"]
+
+
+@dataclass(frozen=True)
+class TaskInterface:
+    """Functional contract shared by all variants of a task."""
+
+    name: str
+    return_type: str
+    param_names: tuple[str, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.param_names)
+
+
+@dataclass
+class TaskVariant:
+    """One implementation variant of a task interface."""
+
+    interface: str
+    name: str  # unique taskname
+    targets: tuple[str, ...]  # target platform list (x86, cuda, ...)
+    source: Optional[TaskDefinition] = None  # from an annotated program
+    #: abstract PDL pattern this variant requires on the target platform
+    required_pattern: Optional[Platform] = None
+    #: True when usable as the mandatory sequential fallback on a Master
+    is_fallback: bool = False
+    provenance: str = ""
+
+    def targets_include(self, target: str) -> bool:
+        return target in self.targets
+
+
+class TaskRepository:
+    """Interface- and variant-indexed store."""
+
+    def __init__(self):
+        self._interfaces: dict[str, TaskInterface] = {}
+        self._variants: dict[str, list[TaskVariant]] = {}
+        self._names: set[str] = set()
+
+    # -- registration -------------------------------------------------------
+    def register_program(self, program: AnnotatedProgram) -> list[TaskVariant]:
+        """Cascabel step 1: register every annotated task definition."""
+        registered = []
+        for definition in program.definitions:
+            registered.append(self._register_definition(definition))
+        return registered
+
+    def _register_definition(self, definition: TaskDefinition) -> TaskVariant:
+        interface = self._interfaces.get(definition.interface)
+        contract = TaskInterface(
+            name=definition.interface,
+            return_type=definition.function.return_type,
+            param_names=definition.function.param_names,
+        )
+        if interface is None:
+            self._interfaces[definition.interface] = contract
+        elif interface != contract:
+            raise RepositoryError(
+                f"interface {definition.interface!r}: signature mismatch —"
+                f" repository has {interface.param_names},"
+                f" new variant declares {contract.param_names}"
+            )
+        variant = TaskVariant(
+            interface=definition.interface,
+            name=definition.variant_name,
+            targets=definition.targets,
+            source=definition,
+            is_fallback=any(t in ("x86", "x86_64") for t in definition.targets),
+            provenance=f"annotated source ({definition.function.name})",
+        )
+        return self._add_variant(variant)
+
+    def register_expert_variant(
+        self,
+        interface: str,
+        name: str,
+        targets: tuple[str, ...],
+        *,
+        required_pattern: Optional[Platform] = None,
+        param_names: Optional[tuple[str, ...]] = None,
+        return_type: str = "void",
+        is_fallback: bool = False,
+        provenance: str = "expert",
+    ) -> TaskVariant:
+        """Register a variant contributed outside the annotated program."""
+        if interface not in self._interfaces:
+            if param_names is None:
+                raise RepositoryError(
+                    f"interface {interface!r} unknown; provide param_names to"
+                    " create it"
+                )
+            self._interfaces[interface] = TaskInterface(
+                name=interface, return_type=return_type, param_names=param_names
+            )
+        variant = TaskVariant(
+            interface=interface,
+            name=name,
+            targets=tuple(targets),
+            required_pattern=required_pattern,
+            is_fallback=is_fallback,
+            provenance=provenance,
+        )
+        return self._add_variant(variant)
+
+    def _add_variant(self, variant: TaskVariant) -> TaskVariant:
+        if variant.name in self._names:
+            raise RepositoryError(f"duplicate taskname {variant.name!r}")
+        self._names.add(variant.name)
+        self._variants.setdefault(variant.interface, []).append(variant)
+        return variant
+
+    # -- lookup ----------------------------------------------------------------
+    def interface(self, name: str) -> TaskInterface:
+        try:
+            return self._interfaces[name]
+        except KeyError:
+            raise RepositoryError(
+                f"unknown task interface {name!r};"
+                f" registered: {sorted(self._interfaces)}"
+            ) from None
+
+    def interfaces(self) -> list[str]:
+        return sorted(self._interfaces)
+
+    def variants(self, interface: str) -> list[TaskVariant]:
+        self.interface(interface)  # raise on unknown
+        return list(self._variants.get(interface, []))
+
+    def variant(self, name: str) -> TaskVariant:
+        for variants in self._variants.values():
+            for v in variants:
+                if v.name == name:
+                    return v
+        raise RepositoryError(f"unknown taskname {name!r}")
+
+    def fallbacks(self, interface: str) -> list[TaskVariant]:
+        """Sequential fallback variants of an interface (must be nonempty
+        for a translatable program, §IV-C.3)."""
+        return [v for v in self.variants(interface) if v.is_fallback]
+
+    def variant_count(self) -> int:
+        return sum(len(v) for v in self._variants.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"TaskRepository(interfaces={len(self._interfaces)},"
+            f" variants={self.variant_count()})"
+        )

@@ -1,0 +1,174 @@
+"""Static task-variant pre-selection (Cascabel step 2, §IV-C).
+
+"The platform patterns specified for available task implementation
+variants are compared to the platform description of the target
+environment.  This serves pre-pruning of task variants not suitable for
+the target as well as static mapping of tasks to potentially available
+hardware resources."
+
+A variant is eligible on a target platform when
+
+1. its *target platform list* names an execution environment the platform
+   provides (``cuda``/``opencl`` need a gpu Worker, ``cellsdk``/``spe`` an
+   spe Worker, ``x86``/``x86_64`` an x86-class PU), and
+2. its *required pattern*, if any, matches the concrete platform
+   (:mod:`repro.query.patterns`).
+
+At least one eligible fallback (x86-class) variant must remain per
+executed interface; otherwise the program cannot be translated for the
+target (the paper requires a sequential fallback so "the application can
+always be compiled for a Master PU").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SelectionError
+from repro.model.platform import Platform
+from repro.query.patterns import pattern_matches
+from repro.cascabel.program import AnnotatedProgram
+from repro.cascabel.repository import TaskRepository, TaskVariant
+
+__all__ = [
+    "TARGET_ARCHITECTURES",
+    "target_available",
+    "eligible_variants",
+    "SelectionReport",
+    "preselect",
+]
+
+#: target platform identifier → PU architectures that can host it
+TARGET_ARCHITECTURES: dict[str, tuple[str, ...]] = {
+    "x86": ("x86", "x86_64"),
+    "x86_64": ("x86", "x86_64"),
+    "opencl": ("gpu",),
+    "cuda": ("gpu",),
+    "cellsdk": ("spe",),
+    "spe": ("spe",),
+}
+
+
+def target_available(target: str, platform: Platform) -> bool:
+    """Whether ``platform`` offers an execution environment for ``target``.
+
+    ``x86``-class targets are portable serial C: they are available on any
+    platform with a Master PU ("the high-level input program can be
+    executed on all systems where an appropriate C/C++ compiler is
+    available", §IV-A), not only on x86 hardware.
+    """
+    architectures = TARGET_ARCHITECTURES.get(target)
+    if architectures is None:
+        return False
+    present = platform.architectures()
+    if any(arch in present for arch in architectures):
+        return True
+    if target in ("x86", "x86_64") and platform.masters:
+        return True
+    return False
+
+
+def eligible_variants(
+    variants: list[TaskVariant], platform: Platform
+) -> tuple[list[TaskVariant], dict[str, str]]:
+    """Filter ``variants`` against ``platform``.
+
+    Returns (eligible, pruned) where ``pruned`` maps variant name →
+    human-readable pruning reason.
+    """
+    eligible: list[TaskVariant] = []
+    pruned: dict[str, str] = {}
+    for variant in variants:
+        usable_targets = [
+            t for t in variant.targets if target_available(t, platform)
+        ]
+        if not usable_targets:
+            pruned[variant.name] = (
+                f"no hardware for targets {list(variant.targets)}"
+                f" (platform architectures: {sorted(platform.architectures())})"
+            )
+            continue
+        if variant.required_pattern is not None and not pattern_matches(
+            variant.required_pattern, platform
+        ):
+            pruned[variant.name] = "required platform pattern does not match"
+            continue
+        eligible.append(variant)
+    return eligible, pruned
+
+
+@dataclass
+class SelectionReport:
+    """Outcome of pre-selection for one program on one target platform."""
+
+    platform_name: str
+    #: interface → eligible variants (ordered: accelerator variants first)
+    selected: dict[str, list[TaskVariant]] = field(default_factory=dict)
+    #: variant name → pruning reason
+    pruned: dict[str, str] = field(default_factory=dict)
+
+    def variants_for(self, interface: str) -> list[TaskVariant]:
+        try:
+            return self.selected[interface]
+        except KeyError:
+            raise SelectionError(
+                f"interface {interface!r} was not part of this selection"
+            ) from None
+
+    def accelerator_variants(self, interface: str) -> list[TaskVariant]:
+        return [v for v in self.variants_for(interface) if not v.is_fallback]
+
+    def fallback(self, interface: str) -> TaskVariant:
+        for variant in self.variants_for(interface):
+            if variant.is_fallback:
+                return variant
+        raise SelectionError(
+            f"interface {interface!r} has no eligible sequential fallback"
+        )
+
+    def summary(self) -> str:
+        lines = [f"variant pre-selection for target {self.platform_name!r}:"]
+        for interface, variants in sorted(self.selected.items()):
+            names = ", ".join(
+                f"{v.name}({'/'.join(v.targets)})" for v in variants
+            )
+            lines.append(f"  {interface}: {names}")
+        for name, reason in sorted(self.pruned.items()):
+            lines.append(f"  pruned {name}: {reason}")
+        return "\n".join(lines)
+
+
+def preselect(
+    repository: TaskRepository,
+    program: AnnotatedProgram,
+    platform: Platform,
+    *,
+    require_fallback: bool = True,
+) -> SelectionReport:
+    """Run static pre-selection for every interface the program executes.
+
+    Interfaces that are defined but never executed are still selected
+    (they may be called indirectly); interfaces with *zero* eligible
+    variants raise :class:`~repro.errors.SelectionError`.
+    """
+    report = SelectionReport(platform_name=platform.name)
+    for interface in repository.interfaces():
+        variants = repository.variants(interface)
+        eligible, pruned = eligible_variants(variants, platform)
+        report.pruned.update(pruned)
+        if not eligible:
+            raise SelectionError(
+                f"interface {interface!r}: no variant is suitable for"
+                f" platform {platform.name!r}"
+                f" (pruned: {pruned})"
+            )
+        if require_fallback and not any(v.is_fallback for v in eligible):
+            raise SelectionError(
+                f"interface {interface!r}: no sequential fallback variant"
+                f" remains for platform {platform.name!r}; the paper requires"
+                " at least one Master-executable implementation"
+            )
+        # accelerator variants first: output generation prefers them
+        ordered = sorted(eligible, key=lambda v: v.is_fallback)
+        report.selected[interface] = ordered
+    return report

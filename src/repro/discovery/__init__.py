@@ -1,0 +1,52 @@
+"""Automatic PDL descriptor generation from discovery sources.
+
+Simulated stand-ins for the toolchain layers the paper names: hwloc-style
+topology exploration, OpenCL runtime queries, and a curated device
+database covering the paper's testbed hardware.
+"""
+
+from repro.discovery.database import (
+    CPU_DATABASE,
+    GPU_DATABASE,
+    CpuSpec,
+    GpuSpec,
+    cpu_spec,
+    gpu_spec,
+)
+from repro.discovery.generator import (
+    generate_from_hwloc,
+    generate_from_opencl,
+    generate_host_platform,
+    generate_machine_platform,
+    opencl_properties,
+)
+from repro.discovery.hwloc_sim import (
+    TopologyObject,
+    read_host_topology,
+    synthetic_topology,
+)
+from repro.discovery.opencl_sim import (
+    SimulatedDevice,
+    SimulatedOpenCLPlatform,
+    SimulatedOpenCLRuntime,
+)
+
+__all__ = [
+    "CpuSpec",
+    "GpuSpec",
+    "CPU_DATABASE",
+    "GPU_DATABASE",
+    "cpu_spec",
+    "gpu_spec",
+    "TopologyObject",
+    "synthetic_topology",
+    "read_host_topology",
+    "SimulatedDevice",
+    "SimulatedOpenCLPlatform",
+    "SimulatedOpenCLRuntime",
+    "generate_from_opencl",
+    "generate_from_hwloc",
+    "generate_machine_platform",
+    "generate_host_platform",
+    "opencl_properties",
+]

@@ -1,0 +1,210 @@
+"""Device specification database backing the discovery simulators.
+
+The paper generates PDL descriptors "from OpenCL run-time libraries"
+(Listing 2).  Offline we replace the driver query with a curated database
+of period-accurate device specs — including the exact devices of the
+paper's testbed (GTX 480, GTX 285, Xeon X5550) — exposed through the same
+query surface a real runtime would offer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DiscoveryError
+
+__all__ = ["GpuSpec", "CpuSpec", "GPU_DATABASE", "CPU_DATABASE", "gpu_spec", "cpu_spec"]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Specification of one GPU device."""
+
+    name: str
+    vendor: str
+    compute_units: int  # OpenCL compute units == CUDA SMs
+    max_clock_mhz: int
+    global_mem_kb: int
+    local_mem_kb: int
+    max_work_group_size: int
+    compute_capability: str
+    peak_gflops_dp: float
+    dgemm_efficiency: float  # fraction of DP peak a tuned DGEMM reaches
+    mem_bandwidth_gbs: float
+    pcie_bandwidth_gbs: float = 5.7  # PCIe 2.0 x16 effective
+    extensions: tuple[str, ...] = ("cl_khr_fp64",)
+
+    @property
+    def sustained_dgemm_gflops(self) -> float:
+        return self.peak_gflops_dp * self.dgemm_efficiency
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Specification of one CPU package."""
+
+    name: str
+    vendor: str
+    sockets: int
+    cores_per_socket: int
+    frequency_ghz: float
+    flops_per_cycle_dp: int  # SIMD DP FLOPs per cycle per core
+    l3_cache_kb: int
+    l2_cache_kb: int
+    l1_cache_kb: int
+    mem_bandwidth_gbs: float
+    dgemm_efficiency: float  # tuned BLAS fraction of peak (GotoBLAS2-class)
+
+    @property
+    def total_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def peak_gflops_dp_per_core(self) -> float:
+        return self.frequency_ghz * self.flops_per_cycle_dp
+
+    @property
+    def sustained_dgemm_gflops_per_core(self) -> float:
+        return self.peak_gflops_dp_per_core * self.dgemm_efficiency
+
+
+GPU_DATABASE: dict[str, GpuSpec] = {
+    spec.name: spec
+    for spec in (
+        GpuSpec(
+            name="GeForce GTX 480",
+            vendor="NVIDIA Corporation",
+            compute_units=15,
+            max_clock_mhz=1401,
+            global_mem_kb=1_572_864,
+            local_mem_kb=48,
+            max_work_group_size=1024,
+            compute_capability="2.0",
+            # consumer Fermi: DP throughput capped at 1/8 of SP
+            peak_gflops_dp=168.0,
+            dgemm_efficiency=0.70,
+            mem_bandwidth_gbs=177.4,
+        ),
+        GpuSpec(
+            name="GeForce GTX 285",
+            vendor="NVIDIA Corporation",
+            compute_units=30,
+            max_clock_mhz=1476,
+            global_mem_kb=1_048_576,
+            local_mem_kb=16,
+            max_work_group_size=512,
+            compute_capability="1.3",
+            peak_gflops_dp=88.5,
+            dgemm_efficiency=0.80,
+            mem_bandwidth_gbs=159.0,
+        ),
+        GpuSpec(
+            name="Tesla C2050",
+            vendor="NVIDIA Corporation",
+            compute_units=14,
+            max_clock_mhz=1150,
+            global_mem_kb=3_145_728,
+            local_mem_kb=48,
+            max_work_group_size=1024,
+            compute_capability="2.0",
+            peak_gflops_dp=515.0,
+            dgemm_efficiency=0.65,
+            mem_bandwidth_gbs=144.0,
+        ),
+        GpuSpec(
+            name="Radeon HD 5870",
+            vendor="Advanced Micro Devices, Inc.",
+            compute_units=20,
+            max_clock_mhz=850,
+            global_mem_kb=1_048_576,
+            local_mem_kb=32,
+            max_work_group_size=256,
+            compute_capability="",
+            peak_gflops_dp=544.0,
+            dgemm_efficiency=0.45,
+            mem_bandwidth_gbs=153.6,
+        ),
+    )
+}
+
+CPU_DATABASE: dict[str, CpuSpec] = {
+    spec.name: spec
+    for spec in (
+        CpuSpec(
+            name="Intel Xeon X5550",
+            vendor="GenuineIntel",
+            sockets=2,
+            cores_per_socket=4,
+            frequency_ghz=2.66,
+            flops_per_cycle_dp=4,  # SSE4.2: 2 mul + 2 add DP per cycle
+            l3_cache_kb=8192,
+            l2_cache_kb=256,
+            l1_cache_kb=32,
+            mem_bandwidth_gbs=25.6,
+            dgemm_efficiency=0.90,
+        ),
+        CpuSpec(
+            name="Intel Xeon E5620",
+            vendor="GenuineIntel",
+            sockets=2,
+            cores_per_socket=4,
+            frequency_ghz=2.40,
+            flops_per_cycle_dp=4,
+            l3_cache_kb=12288,
+            l2_cache_kb=256,
+            l1_cache_kb=32,
+            mem_bandwidth_gbs=25.6,
+            dgemm_efficiency=0.90,
+        ),
+        CpuSpec(
+            name="AMD Opteron 6172",
+            vendor="AuthenticAMD",
+            sockets=4,
+            cores_per_socket=12,
+            frequency_ghz=2.10,
+            flops_per_cycle_dp=4,
+            l3_cache_kb=12288,
+            l2_cache_kb=512,
+            l1_cache_kb=64,
+            mem_bandwidth_gbs=42.7,
+            dgemm_efficiency=0.85,
+        ),
+        CpuSpec(
+            name="Cell BE PPE",
+            vendor="IBM",
+            sockets=1,
+            cores_per_socket=1,
+            frequency_ghz=3.2,
+            flops_per_cycle_dp=2,
+            l3_cache_kb=0,
+            l2_cache_kb=512,
+            l1_cache_kb=32,
+            mem_bandwidth_gbs=25.6,
+            dgemm_efficiency=0.80,
+        ),
+    )
+}
+
+
+def gpu_spec(name: str) -> GpuSpec:
+    """Look up a GPU by model name (exact or unique substring match)."""
+    return _lookup(GPU_DATABASE, name, "GPU")
+
+
+def cpu_spec(name: str) -> CpuSpec:
+    """Look up a CPU by model name (exact or unique substring match)."""
+    return _lookup(CPU_DATABASE, name, "CPU")
+
+
+def _lookup(db, name: str, kind: str):
+    if name in db:
+        return db[name]
+    matches = [spec for key, spec in db.items() if name.lower() in key.lower()]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise DiscoveryError(f"unknown {kind} model {name!r}; known: {sorted(db)}")
+    raise DiscoveryError(
+        f"ambiguous {kind} model {name!r} matches"
+        f" {sorted(s.name for s in matches)}"
+    )

@@ -1,0 +1,252 @@
+"""Automatic PDL descriptor generation (paper Fig. 1: "possible automatic
+generation of PDL descriptors for various platforms").
+
+Combines the two discovery sources the paper names — hwloc-style topology
+exploration and OpenCL runtime queries — into complete, validated
+:class:`~repro.model.platform.Platform` descriptions.  Generated properties
+are marked ``fixed="false"`` with a ``source`` note: they were instantiated
+by a tool and may be re-instantiated by a later run (paper §III-B).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import DiscoveryError
+from repro.model.entities import Interconnect, Master, MemoryRegion, Worker
+from repro.model.platform import Platform
+from repro.model.properties import Property, PropertyValue
+from repro.discovery.database import cpu_spec
+from repro.discovery.hwloc_sim import (
+    TopologyObject,
+    read_host_topology,
+    synthetic_topology,
+)
+from repro.discovery.opencl_sim import SimulatedDevice, SimulatedOpenCLRuntime
+
+__all__ = [
+    "generate_from_opencl",
+    "generate_from_hwloc",
+    "generate_machine_platform",
+    "generate_host_platform",
+    "opencl_properties",
+]
+
+_OCL_TYPE = "ocl:oclDevicePropertyType"
+_HWLOC_TYPE = "hwloc:hwlocObjPropertyType"
+_CUDA_TYPE = "cuda:cudaDevicePropertyType"
+
+
+def _prop(name, value, *, type_name, source):
+    """A generated (unfixed) property, optionally with a unit."""
+    if isinstance(value, tuple):
+        magnitude, unit = value
+        return Property(
+            name,
+            PropertyValue(magnitude, unit),
+            fixed=False,
+            type_name=type_name,
+            source=source,
+        )
+    return Property(name, value, fixed=False, type_name=type_name, source=source)
+
+
+def opencl_properties(device: SimulatedDevice) -> list[Property]:
+    """Listing-2-shaped ``ocl:`` properties for one discovered device."""
+    return [
+        _prop(key, value, type_name=_OCL_TYPE, source="opencl-sim")
+        for key, value in device.get_info().items()
+    ]
+
+
+def _gpu_worker(device: SimulatedDevice, worker_id: str) -> Worker:
+    spec = device.spec
+    worker = Worker(worker_id, name=spec.name)
+    worker.descriptor.add(Property("ARCHITECTURE", "gpu"))
+    worker.descriptor.add(Property("MODEL", spec.name))
+    worker.descriptor.add(Property("PEAK_GFLOPS_DP", f"{spec.peak_gflops_dp}"))
+    worker.descriptor.add(Property("DGEMM_EFFICIENCY", f"{spec.dgemm_efficiency}"))
+    for prop in opencl_properties(device):
+        worker.descriptor.add(prop)
+    if spec.compute_capability:
+        worker.descriptor.add(
+            _prop(
+                "COMPUTE_CAPABILITY",
+                spec.compute_capability,
+                type_name=_CUDA_TYPE,
+                source="cuda-sim",
+            )
+        )
+    region = MemoryRegion(f"{worker_id}-mem")
+    region.descriptor.add(Property("SIZE", PropertyValue(spec.global_mem_kb, "kB")))
+    region.descriptor.add(
+        Property("BANDWIDTH", PropertyValue(spec.mem_bandwidth_gbs, "GB/s"))
+    )
+    worker.add_memory_region(region)
+    worker.add_group("gpus")
+    return worker
+
+
+def generate_from_opencl(
+    runtime: SimulatedOpenCLRuntime,
+    *,
+    name: str = "opencl-discovered",
+    host_architecture: str = "x86_64",
+) -> Platform:
+    """Platform description from OpenCL enumeration alone.
+
+    Produces the Listing-1 shape: one Master host plus one gpu Worker per
+    discovered GPU device, linked by rDMA interconnects.
+    """
+    master = Master("host")
+    master.descriptor.add(Property("ARCHITECTURE", host_architecture))
+    master.add_group("hosts")
+    gpu_devices = runtime.all_devices("GPU")
+    if not gpu_devices:
+        raise DiscoveryError("OpenCL runtime exposes no GPU devices")
+    for i, device in enumerate(gpu_devices):
+        worker = _gpu_worker(device, f"gpu{i}")
+        master.add_child(worker)
+        ic = Interconnect("host", worker.id, type="PCIe", scheme="rDMA", id=f"pcie{i}")
+        if hasattr(device.spec, "pcie_bandwidth_gbs"):
+            ic.descriptor.add(
+                Property(
+                    "BANDWIDTH",
+                    PropertyValue(device.spec.pcie_bandwidth_gbs, "GB/s"),
+                )
+            )
+        master.add_interconnect(ic)
+    platform = Platform(name, [master])
+    platform.validate()
+    return platform
+
+
+def generate_from_hwloc(
+    topology: TopologyObject,
+    *,
+    name: str = "hwloc-discovered",
+) -> Platform:
+    """Platform description from an hwloc-style topology tree.
+
+    The machine becomes a Master; each core a Worker annotated with
+    ``hwloc:`` properties.  Homogeneous cores are collapsed into one
+    Worker entity with ``quantity=n`` (keeping descriptors compact, as the
+    shipped Xeon descriptors do).
+    """
+    cores = topology.by_type("Core")
+    if not cores:
+        raise DiscoveryError("topology has no Core objects")
+
+    master = Master("host")
+    master.descriptor.add(Property("ARCHITECTURE", "x86_64"))
+    model = topology.attrs.get("CPU_MODEL")
+    if model:
+        master.descriptor.add(Property("MODEL", str(model)))
+        master.descriptor.add(
+            _prop("CPU_MODEL", str(model), type_name=_HWLOC_TYPE, source="hwloc-sim")
+        )
+    master.add_group("hosts")
+
+    local_mem = topology.attrs.get("LOCAL_MEMORY")
+    if local_mem:
+        region = MemoryRegion("main")
+        region.descriptor.add(Property("SIZE", PropertyValue(*local_mem)))
+        master.add_memory_region(region)
+
+    worker = Worker("cpu", quantity=len(cores), name=str(model or "cpu core"))
+    worker.descriptor.add(Property("ARCHITECTURE", "x86_64"))
+    first = cores[0]
+    if "FREQUENCY_GHZ" in first.attrs and first.attrs["FREQUENCY_GHZ"]:
+        worker.descriptor.add(
+            Property("FREQUENCY", PropertyValue(first.attrs["FREQUENCY_GHZ"], "GHz"))
+        )
+    if "PEAK_GFLOPS_DP" in first.attrs:
+        worker.descriptor.add(
+            Property("PEAK_GFLOPS_DP", f"{first.attrs['PEAK_GFLOPS_DP']:.4g}")
+        )
+    if "DGEMM_EFFICIENCY" in first.attrs:
+        worker.descriptor.add(
+            Property("DGEMM_EFFICIENCY", f"{first.attrs['DGEMM_EFFICIENCY']}")
+        )
+    caches = topology.by_type("L3Cache")
+    if caches:
+        worker.descriptor.add(
+            _prop(
+                "CACHE_SIZE",
+                caches[0].attrs["CACHE_SIZE"],
+                type_name=_HWLOC_TYPE,
+                source="hwloc-sim",
+            )
+        )
+    worker.add_group("cpus")
+    master.add_child(worker)
+    master.add_interconnect(
+        Interconnect("host", "cpu", type="SHM", scheme="shared-memory", id="shm")
+    )
+    platform = Platform(name, [master])
+    platform.validate()
+    return platform
+
+
+def generate_machine_platform(
+    *,
+    cpu: str,
+    gpus: Optional[list[str]] = None,
+    name: Optional[str] = None,
+    memory_gb: float = 48.0,
+) -> Platform:
+    """Full discovery pipeline for a named machine configuration.
+
+    hwloc supplies the CPU side, the simulated OpenCL runtime the GPU side;
+    results are merged into one Master as in the shipped
+    ``xeon_x5550_2gpu`` descriptor.
+    """
+    gpus = gpus or []
+    spec = cpu_spec(cpu)
+    platform = generate_from_hwloc(
+        synthetic_topology(spec.name, memory_gb=memory_gb),
+        name=name or f"discovered-{spec.name.replace(' ', '-').lower()}",
+    )
+    master = platform.masters[0]
+
+    if gpus:
+        runtime = SimulatedOpenCLRuntime.for_machine(cpu=spec.name, gpus=gpus)
+        for i, device in enumerate(runtime.all_devices("GPU")):
+            worker = _gpu_worker(device, f"gpu{i}")
+            master.add_child(worker)
+            ic = Interconnect(
+                "host", worker.id, type="PCIe", scheme="rDMA", id=f"pcie{i}"
+            )
+            ic.descriptor.add(
+                Property(
+                    "BANDWIDTH", PropertyValue(device.spec.pcie_bandwidth_gbs, "GB/s")
+                )
+            )
+            ic.descriptor.add(Property("LATENCY", PropertyValue(15, "us")))
+            master.add_interconnect(ic)
+    platform.validate()
+    return platform
+
+
+def generate_host_platform(
+    *,
+    name: str = "discovered-host",
+    gpu_models: Optional[list[str]] = None,
+) -> Platform:
+    """Descriptor for the *current* host (real ``/proc/cpuinfo`` when
+    available, synthetic Xeon X5550 otherwise), plus requested GPUs."""
+    topology = read_host_topology()
+    if topology is None:
+        topology = synthetic_topology("Intel Xeon X5550")
+    platform = generate_from_hwloc(topology, name=name)
+    if gpu_models:
+        master = platform.masters[0]
+        runtime = SimulatedOpenCLRuntime.for_machine(gpus=list(gpu_models))
+        for i, device in enumerate(runtime.all_devices("GPU")):
+            worker = _gpu_worker(device, f"gpu{i}")
+            master.add_child(worker)
+            master.add_interconnect(
+                Interconnect("host", worker.id, type="PCIe", scheme="rDMA", id=f"pcie{i}")
+            )
+        platform.validate()
+    return platform

@@ -1,0 +1,163 @@
+"""Simulated hwloc topology source.
+
+hwloc (§V, [11]) exposes the hardware locality tree — machine, NUMA nodes,
+packages, caches, cores.  This module provides (a) a synthetic topology
+model built from :class:`~repro.discovery.database.CpuSpec` entries and
+(b) a best-effort reader of the *actual* host via ``/proc/cpuinfo`` (Linux
+only), both returning the same :class:`TopologyObject` tree so the PDL
+generator can consume either interchangeably.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.discovery.database import CpuSpec, cpu_spec
+
+__all__ = [
+    "TopologyObject",
+    "synthetic_topology",
+    "read_host_topology",
+]
+
+
+@dataclass
+class TopologyObject:
+    """One node of the hwloc-style topology tree."""
+
+    obj_type: str  # Machine | NUMANode | Package | L3Cache | L2Cache | L1Cache | Core | PU
+    logical_index: int
+    os_index: int = -1
+    attrs: dict[str, object] = field(default_factory=dict)
+    children: list["TopologyObject"] = field(default_factory=list)
+    parent: Optional["TopologyObject"] = None
+
+    def add(self, child: "TopologyObject") -> "TopologyObject":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["TopologyObject"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def by_type(self, obj_type: str) -> list["TopologyObject"]:
+        return [obj for obj in self.walk() if obj.obj_type == obj_type]
+
+    def cores(self) -> list["TopologyObject"]:
+        return self.by_type("Core")
+
+    def __repr__(self) -> str:
+        return f"TopologyObject({self.obj_type}#{self.logical_index})"
+
+
+def synthetic_topology(cpu_model: str, *, memory_gb: float = 48.0) -> TopologyObject:
+    """Build the topology tree a machine with ``cpu_model`` would expose.
+
+    Shape: Machine → one NUMANode+Package per socket → shared L3 →
+    per-core L2/L1 → Core.  Index numbering matches hwloc's logical order.
+    """
+    spec: CpuSpec = cpu_spec(cpu_model)
+    machine = TopologyObject(
+        "Machine",
+        0,
+        0,
+        attrs={
+            "CPU_MODEL": spec.name,
+            "LOCAL_MEMORY": (int(memory_gb * 1024), "MB"),
+        },
+    )
+    core_idx = 0
+    for socket in range(spec.sockets):
+        numa = machine.add(
+            TopologyObject(
+                "NUMANode",
+                socket,
+                socket,
+                attrs={"LOCAL_MEMORY": (int(memory_gb * 1024 / spec.sockets), "MB")},
+            )
+        )
+        package = numa.add(
+            TopologyObject("Package", socket, socket, attrs={"CPU_MODEL": spec.name})
+        )
+        l3 = package.add(
+            TopologyObject(
+                "L3Cache",
+                socket,
+                attrs={"CACHE_SIZE": (spec.l3_cache_kb, "kB"), "CACHE_LINE_SIZE": (64, "B")},
+            )
+        ) if spec.l3_cache_kb else package
+        for _ in range(spec.cores_per_socket):
+            l2 = l3.add(
+                TopologyObject(
+                    "L2Cache",
+                    core_idx,
+                    attrs={"CACHE_SIZE": (spec.l2_cache_kb, "kB")},
+                )
+            )
+            l1 = l2.add(
+                TopologyObject(
+                    "L1Cache",
+                    core_idx,
+                    attrs={"CACHE_SIZE": (spec.l1_cache_kb, "kB")},
+                )
+            )
+            l1.add(
+                TopologyObject(
+                    "Core",
+                    core_idx,
+                    core_idx,
+                    attrs={
+                        "CPU_MODEL": spec.name,
+                        "NUMA_NODE": socket,
+                        "FREQUENCY_GHZ": spec.frequency_ghz,
+                        "PEAK_GFLOPS_DP": spec.peak_gflops_dp_per_core,
+                        "DGEMM_EFFICIENCY": spec.dgemm_efficiency,
+                    },
+                )
+            )
+            core_idx += 1
+    return machine
+
+
+def read_host_topology(proc_cpuinfo: str = "/proc/cpuinfo") -> Optional[TopologyObject]:
+    """Best-effort topology of the *current* host from ``/proc/cpuinfo``.
+
+    Returns ``None`` when the file is unavailable (non-Linux).  The result
+    has a flat Machine → Core shape — good enough for descriptor
+    generation; cache levels require real hwloc.
+    """
+    if not os.path.exists(proc_cpuinfo):
+        return None
+    try:
+        with open(proc_cpuinfo, "r", encoding="utf-8", errors="replace") as handle:
+            text = handle.read()
+    except OSError:
+        return None
+
+    model_name = "unknown"
+    match = re.search(r"model name\s*:\s*(.+)", text)
+    if match:
+        model_name = match.group(1).strip()
+    processors = re.findall(r"^processor\s*:\s*(\d+)", text, flags=re.MULTILINE)
+    freq = 0.0
+    fmatch = re.search(r"cpu MHz\s*:\s*([\d.]+)", text)
+    if fmatch:
+        freq = float(fmatch.group(1)) / 1000.0
+
+    machine = TopologyObject("Machine", 0, 0, attrs={"CPU_MODEL": model_name})
+    for index_str in processors:
+        index = int(index_str)
+        machine.add(
+            TopologyObject(
+                "Core",
+                index,
+                index,
+                attrs={"CPU_MODEL": model_name, "FREQUENCY_GHZ": freq},
+            )
+        )
+    return machine

@@ -1,0 +1,164 @@
+"""Simulated OpenCL runtime (``clGetDeviceInfo``-shaped query surface).
+
+The paper's Listing 2 shows GPU worker properties "generated from OpenCL
+run-time libraries".  Offline, this module plays the role of the Nvidia
+OpenCL runtime: it exposes platforms and devices whose info dictionaries
+are backed by :mod:`repro.discovery.database`, and
+:mod:`repro.discovery.generator` turns those answers into PDL properties of
+type ``ocl:oclDevicePropertyType`` — byte-identical in structure to the
+paper's listing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import DiscoveryError
+from repro.discovery.database import CpuSpec, GpuSpec, cpu_spec, gpu_spec
+
+__all__ = ["SimulatedDevice", "SimulatedOpenCLPlatform", "SimulatedOpenCLRuntime"]
+
+
+@dataclass
+class SimulatedDevice:
+    """One OpenCL device; ``get_info`` mirrors ``clGetDeviceInfo`` keys."""
+
+    spec: Union[GpuSpec, CpuSpec]
+    device_type: str  # "GPU" | "CPU" | "ACCELERATOR"
+    index: int = 0
+
+    def get_info(self) -> dict[str, object]:
+        """All CL_DEVICE_* answers (prefix stripped, as in the paper)."""
+        if isinstance(self.spec, GpuSpec):
+            return {
+                "DEVICE_NAME": self.spec.name,
+                "DEVICE_VENDOR": self.spec.vendor,
+                "DEVICE_TYPE": self.device_type,
+                "MAX_COMPUTE_UNITS": self.spec.compute_units,
+                "MAX_WORK_ITEM_DIMENSIONS": 3,
+                "MAX_WORK_GROUP_SIZE": self.spec.max_work_group_size,
+                "MAX_CLOCK_FREQUENCY": (self.spec.max_clock_mhz, "MHz"),
+                "GLOBAL_MEM_SIZE": (self.spec.global_mem_kb, "kB"),
+                "LOCAL_MEM_SIZE": (self.spec.local_mem_kb, "kB"),
+                "EXTENSIONS": " ".join(self.spec.extensions),
+                "AVAILABLE": True,
+            }
+        return {
+            "DEVICE_NAME": self.spec.name,
+            "DEVICE_VENDOR": self.spec.vendor,
+            "DEVICE_TYPE": self.device_type,
+            "MAX_COMPUTE_UNITS": self.spec.total_cores,
+            "MAX_WORK_ITEM_DIMENSIONS": 3,
+            "MAX_WORK_GROUP_SIZE": 1024,
+            "MAX_CLOCK_FREQUENCY": (int(self.spec.frequency_ghz * 1000), "MHz"),
+            "GLOBAL_MEM_CACHE_SIZE": (self.spec.l3_cache_kb, "kB"),
+            "AVAILABLE": True,
+        }
+
+    def info(self, key: str):
+        """Single-key query (raises on unknown keys like a real runtime)."""
+        table = self.get_info()
+        try:
+            return table[key]
+        except KeyError:
+            raise DiscoveryError(
+                f"device {self.spec.name!r} does not answer {key!r};"
+                f" known keys: {sorted(table)}"
+            ) from None
+
+
+@dataclass
+class SimulatedOpenCLPlatform:
+    """One OpenCL platform (vendor driver) with its devices."""
+
+    name: str
+    vendor: str
+    version: str
+    devices: list[SimulatedDevice] = field(default_factory=list)
+
+    def get_devices(self, device_type: Optional[str] = None) -> list[SimulatedDevice]:
+        if device_type is None or device_type == "ALL":
+            return list(self.devices)
+        return [d for d in self.devices if d.device_type == device_type]
+
+    def get_info(self) -> dict[str, str]:
+        return {
+            "PLATFORM_NAME": self.name,
+            "PLATFORM_VENDOR": self.vendor,
+            "PLATFORM_VERSION": self.version,
+            "PLATFORM_PROFILE": "FULL_PROFILE",
+        }
+
+
+class SimulatedOpenCLRuntime:
+    """Top-level entry point mirroring ``clGetPlatformIDs``.
+
+    Build a runtime describing a machine, then enumerate::
+
+        rt = SimulatedOpenCLRuntime.for_machine(
+            cpu="Intel Xeon X5550", gpus=["GeForce GTX 480", "GeForce GTX 285"])
+        for platform in rt.get_platforms():
+            for dev in platform.get_devices("GPU"):
+                print(dev.info("DEVICE_NAME"))
+    """
+
+    def __init__(self, platforms: Optional[list[SimulatedOpenCLPlatform]] = None):
+        self._platforms = platforms or []
+
+    def get_platforms(self) -> list[SimulatedOpenCLPlatform]:
+        return list(self._platforms)
+
+    def add_platform(self, platform: SimulatedOpenCLPlatform) -> None:
+        self._platforms.append(platform)
+
+    def all_devices(self, device_type: Optional[str] = None) -> list[SimulatedDevice]:
+        out: list[SimulatedDevice] = []
+        for platform in self._platforms:
+            out.extend(platform.get_devices(device_type))
+        return out
+
+    @classmethod
+    def for_machine(
+        cls,
+        *,
+        cpu: Optional[str] = None,
+        gpus: Optional[list[str]] = None,
+    ) -> "SimulatedOpenCLRuntime":
+        """Construct the runtime a machine with these parts would expose.
+
+        Nvidia GPUs appear under an "NVIDIA CUDA" platform, AMD parts under
+        "AMD Accelerated Parallel Processing" (which also exposes the CPU,
+        as AMD's driver did at the time).
+        """
+        runtime = cls()
+        gpus = gpus or []
+        nvidia = [gpu_spec(name) for name in gpus if "GeForce" in gpu_spec(name).name
+                  or "Tesla" in gpu_spec(name).name]
+        amd = [gpu_spec(name) for name in gpus if gpu_spec(name).vendor.startswith("Advanced")]
+        if nvidia:
+            runtime.add_platform(
+                SimulatedOpenCLPlatform(
+                    name="NVIDIA CUDA",
+                    vendor="NVIDIA Corporation",
+                    version="OpenCL 1.1 CUDA 3.2.1",
+                    devices=[
+                        SimulatedDevice(spec, "GPU", i) for i, spec in enumerate(nvidia)
+                    ],
+                )
+            )
+        if amd or cpu:
+            devices: list[SimulatedDevice] = [
+                SimulatedDevice(spec, "GPU", i) for i, spec in enumerate(amd)
+            ]
+            if cpu:
+                devices.append(SimulatedDevice(cpu_spec(cpu), "CPU", len(devices)))
+            runtime.add_platform(
+                SimulatedOpenCLPlatform(
+                    name="AMD Accelerated Parallel Processing",
+                    vendor="Advanced Micro Devices, Inc.",
+                    version="OpenCL 1.1 AMD-APP-SDK-v2.4",
+                    devices=devices,
+                )
+            )
+        return runtime

@@ -1,0 +1,33 @@
+"""Dynamic platform descriptors (paper §VI future work, implemented).
+
+Events mutate descriptors through the unfixed-property mechanism;
+:class:`DynamicPlatform` adds revisions, audit logging and subscriptions;
+:func:`run_across_revisions` re-derives the runtime from each snapshot.
+"""
+
+from repro.dynamic.events import (
+    AVAILABLE_PROP,
+    FrequencyChange,
+    GroupChange,
+    PlatformEvent,
+    PropertyUpdate,
+    PUOffline,
+    PUOnline,
+)
+from repro.dynamic.monitor import AppliedEvent, DynamicPlatform, available_workers
+from repro.dynamic.rebalance import RevisionRun, run_across_revisions
+
+__all__ = [
+    "PlatformEvent",
+    "PUOffline",
+    "PUOnline",
+    "FrequencyChange",
+    "PropertyUpdate",
+    "GroupChange",
+    "AVAILABLE_PROP",
+    "DynamicPlatform",
+    "AppliedEvent",
+    "available_workers",
+    "RevisionRun",
+    "run_across_revisions",
+]

@@ -1,0 +1,171 @@
+"""Dynamic platform events (paper §VI future work).
+
+"We have observed that tracking dynamically changing system resources via
+platform descriptors can be difficult.  In future we will investigate how
+platform descriptors could be utilized for supporting highly dynamic
+run-time schedulers."
+
+We model dynamism as a stream of *events* applied to a platform
+description.  Each event is a small, auditable mutation of the
+descriptor — availability flips, frequency scaling (DVFS), and
+re-instantiation of unfixed properties (the §III-B late-binding
+mechanism used at runtime rather than at composition time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ModelError
+from repro.model.platform import Platform
+from repro.model.properties import Property, PropertyValue
+
+__all__ = [
+    "PlatformEvent",
+    "PUOffline",
+    "PUOnline",
+    "FrequencyChange",
+    "PropertyUpdate",
+    "GroupChange",
+    "AVAILABLE_PROP",
+]
+
+#: descriptor property carrying dynamic availability (unfixed by design)
+AVAILABLE_PROP = "AVAILABLE"
+
+
+@dataclass(frozen=True)
+class PlatformEvent:
+    """Base class: one observable change to a platform."""
+
+    pu_id: str
+
+    def apply(self, platform: Platform) -> None:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}({self.pu_id})"
+
+    def _pu(self, platform: Platform):
+        pu = platform.find_pu(self.pu_id)
+        if pu is None:
+            raise ModelError(
+                f"event {self.describe()}: unknown PU {self.pu_id!r}"
+            )
+        return pu
+
+
+def _set_unfixed(descriptor, name: str, value, unit=None) -> None:
+    """Set an *unfixed* property, creating it if needed.
+
+    Dynamic state must stay re-instantiable, so events never create fixed
+    properties; attempting to overwrite a hand-authored fixed property of
+    the same name is an error surfaced to the caller.
+    """
+    existing = descriptor.find(name)
+    pv = PropertyValue(value, unit)
+    if existing is None:
+        descriptor.add(Property(name, pv, fixed=False, source="dynamic-event"))
+    else:
+        existing.instantiate(pv)  # raises PropertyError when fixed
+
+
+@dataclass(frozen=True)
+class PUOffline(PlatformEvent):
+    """A processing unit became unavailable (failure, power capping...)."""
+
+    reason: str = ""
+
+    def apply(self, platform: Platform) -> None:
+        pu = self._pu(platform)
+        _set_unfixed(pu.descriptor, AVAILABLE_PROP, "false")
+
+    def describe(self) -> str:
+        extra = f": {self.reason}" if self.reason else ""
+        return f"PUOffline({self.pu_id}{extra})"
+
+
+@dataclass(frozen=True)
+class PUOnline(PlatformEvent):
+    """A previously offline processing unit came back."""
+
+    def apply(self, platform: Platform) -> None:
+        pu = self._pu(platform)
+        _set_unfixed(pu.descriptor, AVAILABLE_PROP, "true")
+
+
+@dataclass(frozen=True)
+class FrequencyChange(PlatformEvent):
+    """DVFS: the PU's clock changed; dependent rates scale with it.
+
+    Updates ``FREQUENCY`` and rescales ``PEAK_GFLOPS_DP`` proportionally
+    when present (both as unfixed properties), so performance models pick
+    the new rate up transparently.
+    """
+
+    new_ghz: float = 0.0
+
+    def apply(self, platform: Platform) -> None:
+        if self.new_ghz <= 0:
+            raise ModelError(
+                f"FrequencyChange({self.pu_id}): frequency must be positive"
+            )
+        pu = self._pu(platform)
+        old = pu.descriptor.get_float("FREQUENCY")
+        peak_prop = pu.descriptor.find("PEAK_GFLOPS_DP")
+        if old and peak_prop is not None:
+            scale = self.new_ghz / old
+            new_peak = peak_prop.value.as_float() * scale
+            if peak_prop.fixed:
+                # replace the fixed calibration value with a dynamic one
+                pu.descriptor.remove("PEAK_GFLOPS_DP")
+                _set_unfixed(pu.descriptor, "PEAK_GFLOPS_DP", f"{new_peak:.6g}")
+            else:
+                peak_prop.instantiate(f"{new_peak:.6g}")
+        freq_prop = pu.descriptor.find("FREQUENCY")
+        if freq_prop is not None and freq_prop.fixed:
+            pu.descriptor.remove("FREQUENCY")
+        _set_unfixed(pu.descriptor, "FREQUENCY", f"{self.new_ghz:.6g}", "GHz")
+
+    def describe(self) -> str:
+        return f"FrequencyChange({self.pu_id} -> {self.new_ghz} GHz)"
+
+
+@dataclass(frozen=True)
+class PropertyUpdate(PlatformEvent):
+    """Re-instantiate (or create) an unfixed descriptor property."""
+
+    name: str = ""
+    value: str = ""
+    unit: Optional[str] = None
+
+    def apply(self, platform: Platform) -> None:
+        if not self.name:
+            raise ModelError("PropertyUpdate requires a property name")
+        pu = self._pu(platform)
+        _set_unfixed(pu.descriptor, self.name, self.value, self.unit)
+
+    def describe(self) -> str:
+        return f"PropertyUpdate({self.pu_id}.{self.name}={self.value})"
+
+
+@dataclass(frozen=True)
+class GroupChange(PlatformEvent):
+    """Add or remove the PU from a LogicGroupAttribute group."""
+
+    group: str = ""
+    add: bool = True
+
+    def apply(self, platform: Platform) -> None:
+        if not self.group:
+            raise ModelError("GroupChange requires a group name")
+        pu = self._pu(platform)
+        if self.add:
+            pu.add_group(self.group)
+        elif self.group in pu.groups:
+            pu.groups.remove(self.group)
+
+    def describe(self) -> str:
+        verb = "+=" if self.add else "-="
+        return f"GroupChange({self.pu_id} {verb} {self.group})"

@@ -1,0 +1,121 @@
+"""Dynamic platform monitor: revisioned descriptor state + subscriptions.
+
+Wraps one :class:`~repro.model.platform.Platform` and funnels every
+mutation through :class:`~repro.dynamic.events.PlatformEvent` objects.
+Each applied event bumps a revision counter, lands in an audit log, and
+is pushed to subscribers (e.g. a scheduler wanting to react, or the
+re-mapping helper below).  ``snapshot()`` hands out immutable copies for
+engines to run against — the paper's "later instantiation by a runtime"
+flow, iterated over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.model.platform import Platform
+from repro.dynamic.events import AVAILABLE_PROP, PlatformEvent
+
+__all__ = ["AppliedEvent", "DynamicPlatform", "available_workers"]
+
+
+@dataclass(frozen=True)
+class AppliedEvent:
+    """Audit-log entry: one event at one revision."""
+
+    revision: int
+    event: PlatformEvent
+
+    def __repr__(self) -> str:
+        return f"AppliedEvent(r{self.revision}, {self.event.describe()})"
+
+
+def available_workers(platform: Platform) -> list:
+    """Worker PUs currently marked available (AVAILABLE != false)."""
+    out = []
+    for pu in platform.walk():
+        if pu.kind != "Worker":
+            continue
+        prop = pu.descriptor.find(AVAILABLE_PROP)
+        if prop is not None:
+            try:
+                if not prop.value.as_bool():
+                    continue
+            except Exception:
+                pass  # unparsable availability counts as available
+        out.append(pu)
+    return out
+
+
+class DynamicPlatform:
+    """A platform description that changes over time."""
+
+    def __init__(self, platform: Platform):
+        self._platform = platform
+        self._revision = 0
+        self._log: list[AppliedEvent] = []
+        self._subscribers: list[Callable[[int, PlatformEvent], None]] = []
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def revision(self) -> int:
+        return self._revision
+
+    @property
+    def platform(self) -> Platform:
+        """The live (mutable) description; prefer :meth:`snapshot` for runs."""
+        return self._platform
+
+    @property
+    def log(self) -> list[AppliedEvent]:
+        return list(self._log)
+
+    def snapshot(self) -> Platform:
+        """Deep copy of the current description (safe to hand to engines)."""
+        return self._platform.copy()
+
+    # -- mutation -----------------------------------------------------------------
+    def apply(self, event: PlatformEvent) -> int:
+        """Apply one event; returns the new revision."""
+        event.apply(self._platform)  # raises before any bookkeeping on error
+        self._revision += 1
+        entry = AppliedEvent(self._revision, event)
+        self._log.append(entry)
+        for subscriber in list(self._subscribers):
+            subscriber(self._revision, event)
+        return self._revision
+
+    def apply_all(self, events) -> int:
+        for event in events:
+            self.apply(event)
+        return self._revision
+
+    # -- subscriptions ---------------------------------------------------------------
+    def subscribe(self, callback: Callable[[int, PlatformEvent], None]) -> Callable:
+        """Register ``callback(revision, event)``; returns an unsubscriber."""
+        self._subscribers.append(callback)
+
+        def unsubscribe():
+            try:
+                self._subscribers.remove(callback)
+            except ValueError:
+                pass
+
+        return unsubscribe
+
+    # -- views ------------------------------------------------------------------------
+    def available_workers(self) -> list:
+        return available_workers(self._platform)
+
+    def available_lane_count(self) -> int:
+        return sum(pu.quantity for pu in self.available_workers())
+
+    def events_for(self, pu_id: str) -> list[AppliedEvent]:
+        return [e for e in self._log if e.event.pu_id == pu_id]
+
+    def __repr__(self) -> str:
+        return (
+            f"DynamicPlatform({self._platform.name!r}, r{self._revision},"
+            f" {self.available_lane_count()} lanes up)"
+        )

@@ -1,0 +1,82 @@
+"""Descriptor-driven re-scheduling across dynamic revisions.
+
+The experiment the paper's conclusion asks for: as availability/DVFS
+events hit the descriptor, rebuild the runtime from the *current*
+snapshot and measure how the same workload fares.  Because the engine is
+constructed purely from the descriptor, reacting to change is literally
+re-reading the platform description — the PDL as the single source of
+truth for dynamic schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.trace import RunResult
+from repro.dynamic.events import PlatformEvent
+from repro.dynamic.monitor import DynamicPlatform
+
+__all__ = ["RevisionRun", "run_across_revisions"]
+
+
+@dataclass(frozen=True)
+class RevisionRun:
+    """Workload outcome at one descriptor revision."""
+
+    revision: int
+    event: str  # the event that produced this revision ("" for baseline)
+    lanes: int
+    makespan: float
+    tasks_by_architecture: dict
+
+    def __repr__(self) -> str:
+        return (
+            f"RevisionRun(r{self.revision}, lanes={self.lanes},"
+            f" makespan={self.makespan:.4f})"
+        )
+
+
+def run_across_revisions(
+    dynamic: DynamicPlatform,
+    submit: Callable[[RuntimeEngine], object],
+    events: Sequence[PlatformEvent],
+    *,
+    scheduler: str = "dmda",
+) -> list[RevisionRun]:
+    """Run ``submit``'s workload at the current revision and after each event.
+
+    Parameters
+    ----------
+    dynamic:
+        The monitored platform (mutated in place by the events).
+    submit:
+        Callback receiving a fresh engine; submits the workload.
+    events:
+        Events applied one at a time; one run per resulting revision.
+
+    Returns one :class:`RevisionRun` per run (baseline first).
+    """
+    runs: list[RevisionRun] = []
+
+    def run_now(event_text: str) -> None:
+        engine = RuntimeEngine(dynamic.snapshot(), scheduler=scheduler)
+        submit(engine)
+        result: RunResult = engine.run()
+        runs.append(
+            RevisionRun(
+                revision=dynamic.revision,
+                event=event_text,
+                lanes=sum(w.pu.quantity if w.entity_id == w.instance_id else 1
+                          for w in engine.workers),
+                makespan=result.makespan,
+                tasks_by_architecture=result.trace.tasks_per_architecture(),
+            )
+        )
+
+    run_now("")  # baseline
+    for event in events:
+        dynamic.apply(event)
+        run_now(event.describe())
+    return runs

@@ -1,0 +1,194 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing subsystem-specific failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "ValidationError",
+    "PropertyError",
+    "PDLError",
+    "PDLParseError",
+    "PDLSchemaError",
+    "QueryError",
+    "SelectorSyntaxError",
+    "PatternMatchError",
+    "PathError",
+    "DiscoveryError",
+    "CascabelError",
+    "PragmaSyntaxError",
+    "RepositoryError",
+    "SelectionError",
+    "MappingError",
+    "DistributionError",
+    "CodegenError",
+    "CompilePlanError",
+    "RuntimeEngineError",
+    "SchedulerError",
+    "DataError",
+    "CoherenceError",
+    "PerfModelError",
+    "KernelError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+# --------------------------------------------------------------------------
+# Machine model
+# --------------------------------------------------------------------------
+class ModelError(ReproError):
+    """Base class for machine-model errors."""
+
+
+class ValidationError(ModelError):
+    """A platform violates the structural rules of the machine model.
+
+    Carries a list of human-readable violation messages in
+    :attr:`violations`.
+    """
+
+    def __init__(self, violations):
+        if isinstance(violations, str):
+            violations = [violations]
+        self.violations = list(violations)
+        super().__init__(
+            "platform validation failed:\n  - " + "\n  - ".join(self.violations)
+        )
+
+
+class PropertyError(ModelError):
+    """Invalid property definition, value, unit, or mutation of a fixed property."""
+
+
+# --------------------------------------------------------------------------
+# PDL (XML language)
+# --------------------------------------------------------------------------
+class PDLError(ReproError):
+    """Base class for PDL document errors."""
+
+
+class PDLParseError(PDLError):
+    """The XML document could not be parsed into the machine model."""
+
+    def __init__(self, message, *, line=None, element=None):
+        self.line = line
+        self.element = element
+        loc = f" (line {line})" if line is not None else ""
+        elt = f" in <{element}>" if element else ""
+        super().__init__(f"PDL parse error{loc}{elt}: {message}")
+
+
+class PDLSchemaError(PDLError):
+    """A document or property does not conform to its (sub)schema."""
+
+
+# --------------------------------------------------------------------------
+# Query API
+# --------------------------------------------------------------------------
+class QueryError(ReproError):
+    """Base class for platform-query errors."""
+
+
+class SelectorSyntaxError(QueryError):
+    """A selector expression could not be parsed."""
+
+    def __init__(self, selector, position, message):
+        self.selector = selector
+        self.position = position
+        super().__init__(
+            f"invalid selector {selector!r} at position {position}: {message}"
+        )
+
+
+class PatternMatchError(QueryError):
+    """An abstract platform pattern has no mapping onto the concrete platform."""
+
+
+class PathError(QueryError):
+    """No data path exists between the requested endpoints."""
+
+
+# --------------------------------------------------------------------------
+# Discovery
+# --------------------------------------------------------------------------
+class DiscoveryError(ReproError):
+    """A discovery source failed or an unknown device was requested."""
+
+
+# --------------------------------------------------------------------------
+# Cascabel source-to-source compiler
+# --------------------------------------------------------------------------
+class CascabelError(ReproError):
+    """Base class for Cascabel compiler errors."""
+
+
+class PragmaSyntaxError(CascabelError):
+    """A ``#pragma cascabel`` annotation is malformed."""
+
+    def __init__(self, message, *, line=None, pragma=None):
+        self.line = line
+        self.pragma = pragma
+        loc = f" at line {line}" if line is not None else ""
+        super().__init__(f"pragma syntax error{loc}: {message}")
+
+
+class RepositoryError(CascabelError):
+    """Task-repository inconsistency (duplicate variants, unknown interfaces...)."""
+
+
+class SelectionError(CascabelError):
+    """No suitable task implementation variant exists for the target platform."""
+
+
+class MappingError(CascabelError):
+    """An execution group cannot be mapped onto the target platform."""
+
+
+class DistributionError(CascabelError):
+    """Invalid data-distribution specification or partitioning request."""
+
+
+class CodegenError(CascabelError):
+    """Output generation failed for a backend."""
+
+
+class CompilePlanError(CascabelError):
+    """No valid compilation/linking plan can be derived from the PDL."""
+
+
+# --------------------------------------------------------------------------
+# Runtime
+# --------------------------------------------------------------------------
+class RuntimeEngineError(ReproError):
+    """Base class for heterogeneous-runtime errors."""
+
+
+class SchedulerError(RuntimeEngineError):
+    """Scheduler misconfiguration or impossible placement."""
+
+
+class DataError(RuntimeEngineError):
+    """Invalid data handle operation (bad partitioning, unregistered handle...)."""
+
+
+class CoherenceError(RuntimeEngineError):
+    """Coherence-protocol invariant violation."""
+
+
+# --------------------------------------------------------------------------
+# Performance models / kernels
+# --------------------------------------------------------------------------
+class PerfModelError(ReproError):
+    """Missing or invalid performance-model information."""
+
+
+class KernelError(ReproError):
+    """Kernel registry / execution failure."""

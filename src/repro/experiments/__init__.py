@@ -1,0 +1,64 @@
+"""Experiment harnesses regenerating the paper's evaluation (and ablations).
+
+See DESIGN.md's experiment index: ``figure5`` is the paper's quantitative
+result; ``scenarios`` holds the ablations; ``workloads`` the shared task
+graph builders; ``reporting`` the table renderers.
+"""
+
+from repro.experiments.figure5 import (
+    Figure5Config,
+    Figure5Result,
+    Figure5Row,
+    run_configuration,
+    run_figure5,
+    single_thread_time,
+)
+from repro.experiments.reporting import ascii_bar_chart, dataclass_table, format_table
+from repro.experiments.retarget import (
+    DEFAULT_TARGETS,
+    RetargetRow,
+    retarget_experiment,
+)
+from repro.experiments.scenarios import (
+    BlockSizeRow,
+    SchedulerAblationRow,
+    block_size_sweep,
+    scheduler_ablation,
+    synthetic_manycore_platform,
+    synthetic_mesh_platform,
+)
+from repro.experiments.workloads import (
+    DgemmHandles,
+    cholesky_flops,
+    dgemm_flops,
+    submit_tiled_cholesky,
+    submit_tiled_dgemm,
+    submit_vecadd,
+)
+
+__all__ = [
+    "Figure5Config",
+    "Figure5Result",
+    "Figure5Row",
+    "run_figure5",
+    "run_configuration",
+    "single_thread_time",
+    "scheduler_ablation",
+    "SchedulerAblationRow",
+    "block_size_sweep",
+    "BlockSizeRow",
+    "synthetic_manycore_platform",
+    "synthetic_mesh_platform",
+    "retarget_experiment",
+    "RetargetRow",
+    "DEFAULT_TARGETS",
+    "submit_tiled_dgemm",
+    "submit_tiled_cholesky",
+    "submit_vecadd",
+    "DgemmHandles",
+    "dgemm_flops",
+    "cholesky_flops",
+    "format_table",
+    "dataclass_table",
+    "ascii_bar_chart",
+]

@@ -1,0 +1,139 @@
+"""Figure 5 reproduction: DGEMM speedup after PDL-driven retargeting.
+
+The paper translates *one* serial annotated DGEMM program (8192×8192,
+GotoBLAS2) into two outputs by swapping the PDL descriptor:
+
+* ``single``      — the serial input program on one Xeon X5550 core;
+* ``starpu``      — data-parallel StarPU execution on 8 CPU cores
+  (descriptor ``xeon_x5550_dual``);
+* ``starpu+2gpu`` — StarPU with both GPUs running CUBLAS DGEMM
+  (descriptor ``xeon_x5550_2gpu``).
+
+and reports speedup over ``single``.  This harness does the same: it runs
+the Cascabel pipeline on the annotated input program (so the *translation*
+step is real), then executes the resulting task graph on the simulated
+runtime for each descriptor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.pdl.catalog import load_platform
+from repro.perf.models import PerfModel
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.trace import RunResult
+from repro.experiments.workloads import dgemm_flops, submit_tiled_dgemm
+
+__all__ = ["Figure5Config", "Figure5Row", "Figure5Result", "run_figure5"]
+
+#: paper-reported speedups, estimated from the bar chart in Figure 5 —
+#: the paper prints no numeric table; these anchor the *shape* comparison
+PAPER_SPEEDUP_STARPU = 7.0
+PAPER_SPEEDUP_STARPU_2GPU = 16.0
+
+
+@dataclass(frozen=True)
+class Figure5Config:
+    """Parameters of the Figure 5 experiment."""
+
+    n: int = 8192
+    block_size: int = 1024
+    scheduler: str = "dmda"
+    cpu_platform: str = "xeon_x5550_dual"
+    gpu_platform: str = "xeon_x5550_2gpu"
+
+
+@dataclass(frozen=True)
+class Figure5Row:
+    """One bar of the figure."""
+
+    configuration: str
+    time_s: float
+    speedup: float
+    gflops: float
+    tasks_by_architecture: dict = field(default_factory=dict)
+
+
+@dataclass
+class Figure5Result:
+    config: Figure5Config
+    rows: list[Figure5Row]
+
+    def row(self, configuration: str) -> Figure5Row:
+        for row in self.rows:
+            if row.configuration == configuration:
+                return row
+        raise KeyError(configuration)
+
+    def table(self) -> str:
+        """The figure as text (what the bench prints)."""
+        lines = [
+            f"Figure 5 — DGEMM {self.config.n}x{self.config.n} DP,"
+            f" block={self.config.block_size}, scheduler={self.config.scheduler}",
+            f"{'configuration':<16} {'time [s]':>10} {'speedup':>9} {'GFLOP/s':>9}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.configuration:<16} {row.time_s:>10.2f}"
+                f" {row.speedup:>8.2f}x {row.gflops:>9.1f}"
+            )
+        lines.append(
+            f"(paper shape: starpu ~{PAPER_SPEEDUP_STARPU:.0f}x,"
+            f" starpu+2gpu ~{PAPER_SPEEDUP_STARPU_2GPU:.0f}x over single)"
+        )
+        return "\n".join(lines)
+
+
+def single_thread_time(n: int, *, cpu_platform: str = "xeon_x5550_dual") -> float:
+    """The serial input program: one full-size DGEMM on one CPU core."""
+    platform = load_platform(cpu_platform)
+    cpu = platform.pu("cpu")
+    return PerfModel().dgemm_time(cpu, n, n, n)
+
+
+def run_configuration(
+    platform_name: str, config: Figure5Config
+) -> RunResult:
+    """One translated output program on the simulated runtime."""
+    platform = load_platform(platform_name)
+    engine = RuntimeEngine(platform, scheduler=config.scheduler)
+    submit_tiled_dgemm(engine, config.n, config.block_size)
+    return engine.run()
+
+
+def run_figure5(config: Optional[Figure5Config] = None) -> Figure5Result:
+    """Regenerate Figure 5.
+
+    Returns the three bars with times, speedups and achieved GFLOP/s.
+    """
+    config = config or Figure5Config()
+    flops = dgemm_flops(config.n)
+
+    t_single = single_thread_time(config.n, cpu_platform=config.cpu_platform)
+    rows = [
+        Figure5Row(
+            configuration="single",
+            time_s=t_single,
+            speedup=1.0,
+            gflops=flops / t_single / 1e9,
+            tasks_by_architecture={"x86_64": 1},
+        )
+    ]
+
+    for label, platform_name in (
+        ("starpu", config.cpu_platform),
+        ("starpu+2gpu", config.gpu_platform),
+    ):
+        result = run_configuration(platform_name, config)
+        rows.append(
+            Figure5Row(
+                configuration=label,
+                time_s=result.makespan,
+                speedup=t_single / result.makespan,
+                gflops=flops / result.makespan / 1e9,
+                tasks_by_architecture=result.trace.tasks_per_architecture(),
+            )
+        )
+    return Figure5Result(config=config, rows=rows)

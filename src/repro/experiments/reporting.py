@@ -1,0 +1,90 @@
+"""Plain-text table rendering for experiment results.
+
+Benchmarks print their regenerated figures/tables through these helpers so
+all output shares one format (and EXPERIMENTS.md can quote it verbatim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["format_table", "dataclass_table", "ascii_bar_chart"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.rjust(w) if _numeric(c) else c.ljust(w)
+                               for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def dataclass_table(rows: Sequence, *, title: Optional[str] = None) -> str:
+    """Table from a homogeneous list of dataclass instances."""
+    if not rows:
+        return title or "(empty)"
+    first = rows[0]
+    if not is_dataclass(first):
+        raise TypeError(f"expected dataclass rows, got {type(first).__name__}")
+    names = [f.name for f in fields(first)]
+    return format_table(
+        names,
+        [[getattr(row, name) for name in names] for row in rows],
+        title=title,
+    )
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    *,
+    width: int = 50,
+    unit: str = "",
+    title: Optional[str] = None,
+) -> str:
+    """Horizontal ASCII bar chart (how the benches render Figure 5)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values length mismatch")
+    peak = max(values) if values else 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, round(width * value / peak)) if peak > 0 else ""
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    if isinstance(value, dict):
+        return ",".join(f"{k}={v}" for k, v in sorted(value.items()))
+    return str(value)
+
+
+def _numeric(text: str) -> bool:
+    try:
+        float(text.replace(",", ""))
+        return True
+    except ValueError:
+        return False

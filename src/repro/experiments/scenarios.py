@@ -1,0 +1,209 @@
+"""Ablation and scaling experiments around the Figure-5 setup.
+
+These are the experiments the paper's design discussion implies but does
+not run (it is "ongoing work"): scheduler-policy ablation, block-size
+sweep, and PDL scalability on many-core descriptors.  Each returns plain
+dataclasses; the corresponding benchmarks print them as tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.model.builder import PlatformBuilder
+from repro.model.platform import Platform
+from repro.pdl.catalog import load_platform
+from repro.runtime.engine import RuntimeEngine
+from repro.experiments.workloads import dgemm_flops, submit_tiled_dgemm
+
+__all__ = [
+    "SchedulerAblationRow",
+    "scheduler_ablation",
+    "BlockSizeRow",
+    "block_size_sweep",
+    "synthetic_manycore_platform",
+    "synthetic_mesh_platform",
+]
+
+
+@dataclass(frozen=True)
+class SchedulerAblationRow:
+    scheduler: str
+    time_s: float
+    gflops: float
+    transfers: int
+    bytes_transferred: float
+    tasks_on_gpu: int
+
+
+def scheduler_ablation(
+    *,
+    platform_name: str = "xeon_x5550_2gpu",
+    n: int = 8192,
+    block_size: int = 1024,
+    schedulers: Sequence[str] = ("eager", "ws", "dm", "dmda", "random"),
+) -> list[SchedulerAblationRow]:
+    """XTRA-SCHED: the Figure-5 workload under each scheduling policy."""
+    rows = []
+    flops = dgemm_flops(n)
+    for name in schedulers:
+        engine = RuntimeEngine(load_platform(platform_name), scheduler=name)
+        submit_tiled_dgemm(engine, n, block_size)
+        result = engine.run()
+        rows.append(
+            SchedulerAblationRow(
+                scheduler=name,
+                time_s=result.makespan,
+                gflops=flops / result.makespan / 1e9,
+                transfers=result.transfer_count,
+                bytes_transferred=result.bytes_transferred,
+                tasks_on_gpu=result.trace.tasks_per_architecture().get("gpu", 0),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class BlockSizeRow:
+    block_size: int
+    tasks: int
+    time_s: float
+    gflops: float
+
+
+def block_size_sweep(
+    *,
+    platform_name: str = "xeon_x5550_2gpu",
+    n: int = 8192,
+    block_sizes: Sequence[int] = (256, 512, 1024, 2048, 4096),
+    scheduler: str = "dmda",
+) -> list[BlockSizeRow]:
+    """Granularity sweep: too-small tiles drown in overhead/launch cost,
+    too-large tiles starve the workers — the classic U-shape."""
+    rows = []
+    flops = dgemm_flops(n)
+    for bs in block_sizes:
+        engine = RuntimeEngine(load_platform(platform_name), scheduler=scheduler)
+        handles = submit_tiled_dgemm(engine, n, bs)
+        result = engine.run()
+        rows.append(
+            BlockSizeRow(
+                block_size=bs,
+                tasks=handles.task_count,
+                time_s=result.makespan,
+                gflops=flops / result.makespan / 1e9,
+            )
+        )
+    return rows
+
+
+def synthetic_mesh_platform(
+    rows: int,
+    cols: int,
+    *,
+    name: Optional[str] = None,
+    link_bandwidth: str = "16 GB/s",
+    link_latency: str = "50 ns",
+    distributed_memory: bool = False,
+) -> Platform:
+    """A 2-D mesh NoC platform (many-core tile architectures).
+
+    One Master (the host/IO tile) controls a ``rows × cols`` grid of
+    Workers connected by nearest-neighbour links — the topology of
+    tiled many-cores (SCC/RAW/Tilera-class) the paper's "future
+    heterogeneous many-core systems" wording anticipates.  The Master
+    attaches to tile ``t0_0``.  Routing through the mesh exercises
+    multi-hop :mod:`repro.query.paths` queries.
+
+    With ``distributed_memory=True`` every tile owns a local memory
+    region, so the runtime gives each tile its own memory node and task
+    operands genuinely travel hop-by-hop over the (contended) NoC.
+    """
+    builder = PlatformBuilder(name or f"mesh-{rows}x{cols}")
+    builder.master("host", architecture="x86_64", properties={"RUNTIME": "starpu"})
+    for r in range(rows):
+        for c in range(cols):
+            builder.worker(
+                f"t{r}_{c}",
+                architecture="x86_64",
+                properties={
+                    "PEAK_GFLOPS_DP": "4.0",
+                    "DGEMM_EFFICIENCY": "0.85",
+                    "MESH_ROW": str(r),
+                    "MESH_COL": str(c),
+                },
+                groups=("tiles",),
+            )
+    # host injects at the corner tile
+    builder.interconnect(
+        "host", "t0_0", type="IO", bandwidth=link_bandwidth,
+        latency=link_latency, id="io",
+    )
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                builder.interconnect(
+                    f"t{r}_{c}", f"t{r}_{c + 1}", type="NoC",
+                    bandwidth=link_bandwidth, latency=link_latency,
+                    id=f"h{r}_{c}",
+                )
+            if r + 1 < rows:
+                builder.interconnect(
+                    f"t{r}_{c}", f"t{r + 1}_{c}", type="NoC",
+                    bandwidth=link_bandwidth, latency=link_latency,
+                    id=f"v{r}_{c}",
+                )
+    platform = builder.build()
+    if distributed_memory:
+        from repro.model.entities import MemoryRegion
+        from repro.model.properties import Property, PropertyValue
+
+        for pu in platform.workers():
+            region = MemoryRegion(f"{pu.id}-mem")
+            region.descriptor.add(
+                Property("SIZE", PropertyValue("64", "MB"))
+            )
+            region.descriptor.add(Property("KIND", "tile-local"))
+            pu.add_memory_region(region)
+        platform.validate()
+    return platform
+
+
+def synthetic_manycore_platform(
+    n_workers: int,
+    *,
+    name: Optional[str] = None,
+    architectures: Sequence[str] = ("x86_64", "gpu"),
+    groups_per_worker: int = 2,
+) -> Platform:
+    """A synthetic many-core PDL description with ``n_workers`` workers.
+
+    Used by the PDL scalability experiments (XTRA-SCALE): the paper claims
+    the language targets "current and future heterogeneous many-core
+    systems", so parsing/validating/querying must stay tractable as PU
+    counts grow.
+    """
+    builder = PlatformBuilder(name or f"manycore-{n_workers}")
+    builder.master("host", architecture="x86_64", properties={"RUNTIME": "starpu"})
+    for i in range(n_workers):
+        arch = architectures[i % len(architectures)]
+        groups = tuple(
+            f"group{(i + g) % max(2, n_workers // 4)}" for g in range(groups_per_worker)
+        )
+        builder.worker(
+            f"w{i}",
+            architecture=arch,
+            properties={
+                "PEAK_GFLOPS_DP": str(10.0 + (i % 7)),
+                "DGEMM_EFFICIENCY": "0.8",
+                "MODEL": f"synthetic-{arch}-{i % 3}",
+            },
+            groups=groups,
+        )
+        builder.interconnect(
+            "host", f"w{i}", type="PCIe" if arch == "gpu" else "SHM",
+            bandwidth="5.7 GB/s" if arch == "gpu" else "25.6 GB/s",
+            id=f"link{i}",
+        )
+    return builder.build()

@@ -1,0 +1,218 @@
+"""Workload builders shared by experiments, benchmarks and examples.
+
+The paper's evaluation workload is a blocked double-precision matrix
+multiplication (DGEMM, 8192×8192) run through the StarPU-style runtime.
+:func:`submit_tiled_dgemm` is the canonical builder: it partitions the
+three matrices into a ``p × p`` tile grid and submits the classic
+``C[i,j] += A[i,k] · B[k,j]`` task graph (``p³`` tasks, RAW-chained per C
+tile), which is what StarPU's DGEMM example does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DistributionError
+from repro.runtime.data import DataHandle
+from repro.runtime.engine import RuntimeEngine
+
+__all__ = [
+    "DgemmHandles",
+    "submit_tiled_dgemm",
+    "submit_vecadd",
+    "submit_tiled_cholesky",
+    "dgemm_flops",
+    "cholesky_flops",
+]
+
+
+def dgemm_flops(n: int) -> float:
+    """FLOPs of an n×n×n double-precision matrix multiply."""
+    return 2.0 * float(n) ** 3
+
+
+@dataclass
+class DgemmHandles:
+    """Root handles of one tiled DGEMM submission."""
+
+    A: DataHandle
+    B: DataHandle
+    C: DataHandle
+    n: int
+    block_size: int
+
+    @property
+    def tiles_per_dim(self) -> int:
+        return self.n // self.block_size
+
+    @property
+    def task_count(self) -> int:
+        return self.tiles_per_dim**3
+
+    @property
+    def flops(self) -> float:
+        return dgemm_flops(self.n)
+
+
+def submit_tiled_dgemm(
+    engine: RuntimeEngine,
+    n: int,
+    block_size: int,
+    *,
+    materialize: bool = False,
+    rng_seed: int = 7,
+) -> DgemmHandles:
+    """Partition and submit a blocked ``C += A·B`` onto ``engine``.
+
+    Parameters
+    ----------
+    engine:
+        A fresh engine (no prior run).
+    n:
+        Matrix dimension; must be a multiple of ``block_size``.
+    block_size:
+        Tile edge length.
+    materialize:
+        Allocate real arrays (needed for functional validation / real
+        mode).  The Figure-5 size (8192) at float64 is 3 × 512 MiB — keep
+        this off for timing-only simulation.
+    rng_seed:
+        Seed for input data when materializing.
+    """
+    if n % block_size != 0:
+        raise DistributionError(
+            f"matrix size {n} is not a multiple of block size {block_size}"
+        )
+    p = n // block_size
+
+    if materialize:
+        rng = np.random.default_rng(rng_seed)
+        A = engine.register(rng.standard_normal((n, n)), name="A")
+        B = engine.register(rng.standard_normal((n, n)), name="B")
+        C = engine.register(np.zeros((n, n)), name="C")
+    else:
+        A = engine.register(shape=(n, n), name="A")
+        B = engine.register(shape=(n, n), name="B")
+        C = engine.register(shape=(n, n), name="C")
+
+    tiles_a = A.partition_tiles(p, p)
+    tiles_b = B.partition_tiles(p, p)
+    tiles_c = C.partition_tiles(p, p)
+
+    for i in range(p):
+        for j in range(p):
+            for k in range(p):
+                engine.submit(
+                    "dgemm",
+                    [
+                        (tiles_c[i][j], "rw"),
+                        (tiles_a[i][k], "r"),
+                        (tiles_b[k][j], "r"),
+                    ],
+                    dims=(block_size, block_size, block_size),
+                    tag=f"dgemm[{i},{j},{k}]",
+                )
+    return DgemmHandles(A=A, B=B, C=C, n=n, block_size=block_size)
+
+
+def cholesky_flops(n: int) -> float:
+    """FLOPs of an n×n double-precision Cholesky factorization."""
+    return float(n) ** 3 / 3.0
+
+
+def submit_tiled_cholesky(
+    engine: RuntimeEngine,
+    n: int,
+    block_size: int,
+    *,
+    materialize: bool = False,
+    rng_seed: int = 11,
+) -> DataHandle:
+    """Submit the classic 4-kernel tiled Cholesky task graph.
+
+    The right-looking algorithm over a ``p × p`` tile grid::
+
+        for k in 0..p:   POTRF(A[k,k])
+          for i > k:     TRSM (A[i,k], A[k,k])
+          for i > k:     SYRK (A[i,i], A[i,k])
+            for k<j<i:   GEMM (A[i,j], A[i,k], A[j,k])
+
+    This is the second workload the paper's introduction motivates
+    (irregular dependencies, mixed kernel costs) and a standard StarPU
+    showcase.  Returns the root handle of A (factorized in place; lower
+    triangle holds L when executed functionally).
+    """
+    if n % block_size != 0:
+        raise DistributionError(
+            f"matrix size {n} is not a multiple of block size {block_size}"
+        )
+    p = n // block_size
+    if materialize:
+        rng = np.random.default_rng(rng_seed)
+        m = rng.standard_normal((n, n))
+        spd = m @ m.T + n * np.eye(n)
+        A = engine.register(spd, name="A")
+    else:
+        A = engine.register(shape=(n, n), name="A")
+    tiles = A.partition_tiles(p, p)
+    bs = block_size
+
+    for k in range(p):
+        engine.submit(
+            "dpotrf", [(tiles[k][k], "rw")], dims=(bs,), tag=f"potrf[{k}]"
+        )
+        for i in range(k + 1, p):
+            engine.submit(
+                "dtrsm",
+                [(tiles[i][k], "rw"), (tiles[k][k], "r")],
+                dims=(bs,),
+                tag=f"trsm[{i},{k}]",
+            )
+        for i in range(k + 1, p):
+            engine.submit(
+                "dsyrk",
+                [(tiles[i][i], "rw"), (tiles[i][k], "r")],
+                dims=(bs,),
+                tag=f"syrk[{i},{k}]",
+            )
+            for j in range(k + 1, i):
+                engine.submit(
+                    "dgemm_nt",
+                    [(tiles[i][j], "rw"), (tiles[i][k], "r"), (tiles[j][k], "r")],
+                    dims=(bs, bs, bs),
+                    tag=f"gemm[{i},{j},{k}]",
+                )
+    return A
+
+
+def submit_vecadd(
+    engine: RuntimeEngine,
+    n: int,
+    nparts: int,
+    *,
+    materialize: bool = False,
+) -> tuple[DataHandle, DataHandle]:
+    """The paper's §IV-A running example: ``A += B`` with BLOCK distribution.
+
+    Mirrors the annotated ``vectoradd`` task (``A: readwrite, B: read``,
+    ``A:BLOCK:N, B:BLOCK:N``).
+    """
+    if materialize:
+        rng = np.random.default_rng(3)
+        A = engine.register(rng.standard_normal(n), name="A")
+        B = engine.register(rng.standard_normal(n), name="B")
+    else:
+        A = engine.register(shape=(n,), name="A")
+        B = engine.register(shape=(n,), name="B")
+    parts_a = A.partition_rows(nparts)
+    parts_b = B.partition_rows(nparts)
+    for idx, (pa, pb) in enumerate(zip(parts_a, parts_b)):
+        engine.submit(
+            "dvecadd",
+            [(pa, "rw"), (pb, "r")],
+            dims=(pa.shape[0],),
+            tag=f"vecadd[{idx}]",
+        )
+    return A, B

@@ -1,0 +1,17 @@
+"""Compute kernels with per-architecture variants (runtime codelets)."""
+
+from repro.kernels.blas import DOUBLE_BYTES
+from repro.kernels.registry import (
+    Kernel,
+    KernelImpl,
+    KernelRegistry,
+    default_kernel_registry,
+)
+
+__all__ = [
+    "Kernel",
+    "KernelImpl",
+    "KernelRegistry",
+    "default_kernel_registry",
+    "DOUBLE_BYTES",
+]

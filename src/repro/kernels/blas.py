@@ -1,0 +1,195 @@
+"""BLAS-style compute kernels (numpy-backed) with per-architecture variants.
+
+The functional payload is identical across variants — a GTX 480 computes
+the same matrix product a Xeon does — so all variants call numpy.  The
+variant split exists so PDL-driven selection, mapping and performance
+modeling treat them exactly like the paper's GotoBLAS2 / CUBLAS / SPE
+implementations.
+
+Conventions: matrix kernels take ``(C, A, B)`` output-first; dims tuples
+are ``(m, n, k)`` for GEMM-shaped kernels and ``(n,)`` for vector kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.registry import KernelRegistry
+
+__all__ = ["register", "DOUBLE_BYTES"]
+
+DOUBLE_BYTES = 8
+
+
+def register(registry: KernelRegistry) -> None:
+    """Define the BLAS kernels and their variants in ``registry``."""
+
+    # -- dgemm: C += A @ B ----------------------------------------------------
+    dgemm = registry.define(
+        "dgemm",
+        flops=lambda dims: 2.0 * dims[0] * dims[1] * dims[2],
+        bytes_touched=lambda dims: DOUBLE_BYTES
+        * (dims[0] * dims[2] + dims[2] * dims[1] + 2 * dims[0] * dims[1]),
+        doc="Double-precision general matrix multiply, C += A(m,k) @ B(k,n).",
+    )
+
+    @registry.variant("dgemm", "x86_64", name="dgemm_goto", provenance="GotoBLAS2-1.13")
+    def dgemm_cpu(C, A, B):
+        C += A @ B
+
+    @registry.variant("dgemm", "x86", name="dgemm_x86", provenance="GotoBLAS2-1.13")
+    def dgemm_x86(C, A, B):
+        C += A @ B
+
+    @registry.variant("dgemm", "gpu", name="dgemm_cublas", provenance="CUBLAS-3.2")
+    def dgemm_gpu(C, A, B):
+        C += A @ B
+
+    @registry.variant("dgemm", "spe", name="dgemm_spe", provenance="Cell-SDK-3.1")
+    def dgemm_spe(C, A, B):
+        C += A @ B
+
+    # -- dvecadd: A += B --------------------------------------------------------
+    registry.define(
+        "dvecadd",
+        flops=lambda dims: float(dims[0]),
+        bytes_touched=lambda dims: 3.0 * DOUBLE_BYTES * dims[0],
+        doc="Double-precision vector add, A += B (the paper's §IV-A example).",
+    )
+
+    @registry.variant("dvecadd", "x86_64", name="vecadd_cpu")
+    def vecadd_cpu(A, B):
+        A += B
+
+    @registry.variant("dvecadd", "x86", name="vecadd_x86")
+    def vecadd_x86(A, B):
+        A += B
+
+    @registry.variant("dvecadd", "gpu", name="vecadd_gpu", provenance="CUBLAS-3.2")
+    def vecadd_gpu(A, B):
+        A += B
+
+    # -- dscal: X *= alpha -------------------------------------------------------
+    registry.define(
+        "dscal",
+        flops=lambda dims: float(dims[0]),
+        bytes_touched=lambda dims: 2.0 * DOUBLE_BYTES * dims[0],
+        doc="Scale a vector in place by a scalar carried in the task args.",
+    )
+
+    @registry.variant("dscal", "x86_64", name="dscal_cpu")
+    def dscal_cpu(X, *, alpha=1.0):
+        X *= alpha
+
+    @registry.variant("dscal", "gpu", name="dscal_gpu")
+    def dscal_gpu(X, *, alpha=1.0):
+        X *= alpha
+
+    # -- daxpy: Y += alpha * X ------------------------------------------------------
+    registry.define(
+        "daxpy",
+        flops=lambda dims: 2.0 * dims[0],
+        bytes_touched=lambda dims: 3.0 * DOUBLE_BYTES * dims[0],
+        doc="Y += alpha * X.",
+    )
+
+    @registry.variant("daxpy", "x86_64", name="daxpy_cpu")
+    def daxpy_cpu(Y, X, *, alpha=1.0):
+        Y += alpha * X
+
+    @registry.variant("daxpy", "gpu", name="daxpy_gpu")
+    def daxpy_gpu(Y, X, *, alpha=1.0):
+        Y += alpha * X
+
+    # -- tiled-Cholesky kernel family (POTRF / TRSM / SYRK / GEMM) -------------
+    # The classic 4-kernel task graph; flops counts follow LAPACK.
+    registry.define(
+        "dpotrf",
+        flops=lambda dims: dims[0] ** 3 / 3.0,
+        bytes_touched=lambda dims: DOUBLE_BYTES * dims[0] * dims[0],
+        doc="Cholesky factorization of a tile (lower triangular).",
+    )
+
+    @registry.variant("dpotrf", "x86_64", name="dpotrf_cpu", provenance="LAPACK")
+    def dpotrf_cpu(A):
+        A[:] = np.linalg.cholesky(A)
+
+    @registry.variant("dpotrf", "gpu", name="dpotrf_gpu", provenance="MAGMA")
+    def dpotrf_gpu(A):
+        A[:] = np.linalg.cholesky(A)
+
+    @registry.variant("dpotrf", "spe", name="dpotrf_spe", provenance="Cell-SDK-3.1")
+    def dpotrf_spe(A):
+        A[:] = np.linalg.cholesky(A)
+
+    registry.define(
+        "dtrsm",
+        flops=lambda dims: float(dims[0]) ** 3,
+        bytes_touched=lambda dims: 2.0 * DOUBLE_BYTES * dims[0] * dims[0],
+        doc="Triangular solve B <- B * L^-T (right, lower, transposed).",
+    )
+
+    @registry.variant("dtrsm", "x86_64", name="dtrsm_cpu", provenance="GotoBLAS2-1.13")
+    def dtrsm_cpu(B, L):
+        _trsm(B, L)
+
+    @registry.variant("dtrsm", "gpu", name="dtrsm_gpu", provenance="CUBLAS-3.2")
+    def dtrsm_gpu(B, L):
+        _trsm(B, L)
+
+    @registry.variant("dtrsm", "spe", name="dtrsm_spe", provenance="Cell-SDK-3.1")
+    def dtrsm_spe(B, L):
+        _trsm(B, L)
+
+    registry.define(
+        "dsyrk",
+        flops=lambda dims: float(dims[0]) ** 3,
+        bytes_touched=lambda dims: 2.0 * DOUBLE_BYTES * dims[0] * dims[0],
+        doc="Symmetric rank-k update C <- C - A A^T (lower).",
+    )
+
+    @registry.variant("dsyrk", "x86_64", name="dsyrk_cpu", provenance="GotoBLAS2-1.13")
+    def dsyrk_cpu(C, A):
+        C -= A @ A.T
+
+    @registry.variant("dsyrk", "gpu", name="dsyrk_gpu", provenance="CUBLAS-3.2")
+    def dsyrk_gpu(C, A):
+        C -= A @ A.T
+
+    @registry.variant("dsyrk", "spe", name="dsyrk_spe", provenance="Cell-SDK-3.1")
+    def dsyrk_spe(C, A):
+        C -= A @ A.T
+
+    registry.define(
+        "dgemm_nt",
+        flops=lambda dims: 2.0 * dims[0] * dims[1] * dims[2],
+        bytes_touched=lambda dims: DOUBLE_BYTES
+        * (dims[0] * dims[2] + dims[1] * dims[2] + 2 * dims[0] * dims[1]),
+        doc="C <- C - A B^T (the Cholesky trailing-matrix update).",
+    )
+
+    @registry.variant("dgemm_nt", "x86_64", name="dgemm_nt_cpu",
+                      provenance="GotoBLAS2-1.13")
+    def dgemm_nt_cpu(C, A, B):
+        C -= A @ B.T
+
+    @registry.variant("dgemm_nt", "gpu", name="dgemm_nt_gpu",
+                      provenance="CUBLAS-3.2")
+    def dgemm_nt_gpu(C, A, B):
+        C -= A @ B.T
+
+    @registry.variant("dgemm_nt", "spe", name="dgemm_nt_spe",
+                      provenance="Cell-SDK-3.1")
+    def dgemm_nt_spe(C, A, B):
+        C -= A @ B.T
+
+
+def _trsm(B, L):
+    """In-place right-sided lower-transposed triangular solve.
+
+    Computes ``B <- B (L^T)^-1`` via one LAPACK-backed solve; equivalent
+    to BLAS ``dtrsm('R','L','T','N', 1.0, L, B)``.
+    """
+    import scipy.linalg
+
+    B[:] = scipy.linalg.solve_triangular(L, B.T, lower=True, trans="N").T

@@ -1,0 +1,137 @@
+"""Kernel registry: named kernels with per-architecture implementation
+variants.
+
+This is the runtime-level analogue of Cascabel's task repository: a
+*kernel* (StarPU would say codelet) has one functional contract and any
+number of architecture-specific implementations.  In this reproduction all
+implementations execute on the host via numpy — what differs per
+architecture is the *performance model metadata* and which PUs may run
+them, which is exactly the part the paper's PDL-driven selection needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import KernelError
+
+__all__ = ["KernelImpl", "Kernel", "KernelRegistry", "default_kernel_registry"]
+
+
+@dataclass(frozen=True)
+class KernelImpl:
+    """One implementation variant of a kernel."""
+
+    kernel: str
+    architecture: str  # PU architecture this variant runs on
+    name: str  # variant name, e.g. "dgemm_cublas"
+    fn: Callable  # host-executable functional implementation
+    #: library the variant stands in for (GotoBLAS2, CUBLAS ...), for reports
+    provenance: str = ""
+
+
+@dataclass
+class Kernel:
+    """A named kernel with its variants and cost metadata."""
+
+    name: str
+    #: flops as a function of the task's dims tuple
+    flops: Callable[[tuple], float]
+    #: bytes touched as a function of dims
+    bytes_touched: Callable[[tuple], float]
+    variants: dict[str, KernelImpl] = field(default_factory=dict)
+    doc: str = ""
+
+    def add_variant(self, impl: KernelImpl) -> KernelImpl:
+        if impl.architecture in self.variants:
+            raise KernelError(
+                f"kernel {self.name!r} already has a variant for"
+                f" architecture {impl.architecture!r}"
+            )
+        self.variants[impl.architecture] = impl
+        return self.variants[impl.architecture]
+
+    def variant_for(self, architecture: str) -> KernelImpl:
+        try:
+            return self.variants[architecture]
+        except KeyError:
+            raise KernelError(
+                f"kernel {self.name!r} has no variant for architecture"
+                f" {architecture!r}; available: {sorted(self.variants)}"
+            ) from None
+
+    def supports(self, architecture: str) -> bool:
+        return architecture in self.variants
+
+    def architectures(self) -> list[str]:
+        return sorted(self.variants)
+
+
+class KernelRegistry:
+    """Name-indexed kernel collection with a decorator-based API."""
+
+    def __init__(self):
+        self._kernels: dict[str, Kernel] = {}
+
+    def define(
+        self,
+        name: str,
+        *,
+        flops: Callable[[tuple], float],
+        bytes_touched: Callable[[tuple], float],
+        doc: str = "",
+    ) -> Kernel:
+        if name in self._kernels:
+            raise KernelError(f"kernel {name!r} already defined")
+        kernel = Kernel(name, flops=flops, bytes_touched=bytes_touched, doc=doc)
+        self._kernels[name] = kernel
+        return kernel
+
+    def variant(
+        self, kernel: str, architecture: str, *, name: Optional[str] = None,
+        provenance: str = "",
+    ):
+        """Decorator registering ``fn`` as a variant of ``kernel``."""
+
+        def deco(fn: Callable) -> Callable:
+            self.get(kernel).add_variant(
+                KernelImpl(
+                    kernel=kernel,
+                    architecture=architecture,
+                    name=name or fn.__name__,
+                    fn=fn,
+                    provenance=provenance,
+                )
+            )
+            return fn
+
+        return deco
+
+    def get(self, name: str) -> Kernel:
+        try:
+            return self._kernels[name]
+        except KeyError:
+            raise KernelError(
+                f"unknown kernel {name!r}; defined: {sorted(self._kernels)}"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._kernels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kernels
+
+
+_default: Optional[KernelRegistry] = None
+
+
+def default_kernel_registry() -> KernelRegistry:
+    """Process-wide registry preloaded with the BLAS-style kernels."""
+    global _default
+    if _default is None:
+        _default = KernelRegistry()
+        from repro.kernels import blas
+
+        blas.register(_default)
+    return _default

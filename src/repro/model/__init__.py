@@ -1,0 +1,69 @@
+"""Hierarchical machine model of the PDL (paper §III-A).
+
+Public surface: entity classes (:class:`Master`, :class:`Hybrid`,
+:class:`Worker`, :class:`MemoryRegion`, :class:`Interconnect`), property
+primitives, the :class:`Platform` container, structural validation, the
+fluent :class:`PlatformBuilder` and traversal helpers.
+"""
+
+from repro.model.builder import PlatformBuilder
+from repro.model.entities import (
+    PU_KINDS,
+    Hybrid,
+    Interconnect,
+    Master,
+    MemoryRegion,
+    ProcessingUnit,
+    Worker,
+)
+from repro.model.groups import GroupRegistry, valid_group_name
+from repro.model.platform import Platform
+from repro.model.properties import (
+    Descriptor,
+    ICDescriptor,
+    MRDescriptor,
+    Property,
+    PropertyValue,
+    PUDescriptor,
+    parse_quantity,
+)
+from repro.model.validation import collect_violations, validate_platform
+from repro.model.views import PHYSICAL_ID_PROP, LogicalView, ViewRegistry
+from repro.model.visitor import (
+    PlatformVisitor,
+    find_all,
+    render_tree,
+    tree_lines,
+    walk_breadth_first,
+)
+
+__all__ = [
+    "PU_KINDS",
+    "Master",
+    "Hybrid",
+    "Worker",
+    "ProcessingUnit",
+    "MemoryRegion",
+    "Interconnect",
+    "Platform",
+    "PlatformBuilder",
+    "GroupRegistry",
+    "valid_group_name",
+    "Property",
+    "PropertyValue",
+    "Descriptor",
+    "PUDescriptor",
+    "MRDescriptor",
+    "ICDescriptor",
+    "parse_quantity",
+    "validate_platform",
+    "collect_violations",
+    "LogicalView",
+    "ViewRegistry",
+    "PHYSICAL_ID_PROP",
+    "PlatformVisitor",
+    "walk_breadth_first",
+    "find_all",
+    "tree_lines",
+    "render_tree",
+]

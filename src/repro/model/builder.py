@@ -1,0 +1,225 @@
+"""Fluent construction API for platform descriptions.
+
+The XML parser covers documents; this builder covers programmatic
+construction (tests, discovery generators, examples) without the verbosity
+of wiring entities manually::
+
+    platform = (
+        PlatformBuilder("gpgpu-node")
+        .master("cpu0", architecture="x86", cores=4)
+            .memory("main", size="48 GB")
+            .worker("gpu0", architecture="gpu", properties={"MODEL": "GTX480"})
+            .worker("gpu1", architecture="gpu", properties={"MODEL": "GTX285"})
+            .interconnect("cpu0", "gpu0", type="PCIe", bandwidth="5.7 GB/s")
+            .interconnect("cpu0", "gpu1", type="PCIe", bandwidth="5.7 GB/s")
+        .build()
+    )
+
+``master``/``hybrid`` push a new scope; ``end()`` pops back to the parent
+scope; ``build()`` validates and returns the platform.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from repro.errors import ModelError
+from repro.model.entities import (
+    Hybrid,
+    Interconnect,
+    Master,
+    MemoryRegion,
+    ProcessingUnit,
+    Worker,
+)
+from repro.model.platform import Platform
+from repro.model.properties import Property
+
+__all__ = ["PlatformBuilder", "split_quantity_string"]
+
+
+def split_quantity_string(text: str) -> tuple[float, Optional[str]]:
+    """Split ``"48 GB"`` into ``(48.0, "GB")``; bare numbers get unit None."""
+    parts = str(text).split()
+    if len(parts) == 1:
+        return float(parts[0]), None
+    if len(parts) == 2:
+        return float(parts[0]), parts[1]
+    raise ModelError(f"cannot parse quantity string {text!r}")
+
+
+class PlatformBuilder:
+    """Stack-based fluent builder for :class:`~repro.model.platform.Platform`."""
+
+    def __init__(self, name: str = "platform", *, schema_version: str = "1.0"):
+        self._platform = Platform(name, schema_version=schema_version)
+        self._stack: list[ProcessingUnit] = []
+
+    # -- scope handling -------------------------------------------------------
+    @property
+    def current(self) -> Optional[ProcessingUnit]:
+        return self._stack[-1] if self._stack else None
+
+    def end(self) -> "PlatformBuilder":
+        """Close the current Master/Hybrid scope."""
+        if not self._stack:
+            raise ModelError("end() without an open PU scope")
+        self._stack.pop()
+        return self
+
+    # -- PU creation ------------------------------------------------------------
+    def _apply_common(
+        self,
+        pu: ProcessingUnit,
+        architecture: Optional[str],
+        properties: Optional[Mapping[str, object]],
+        groups: tuple[str, ...],
+    ) -> None:
+        if architecture is not None:
+            pu.descriptor.add(Property("ARCHITECTURE", architecture))
+        if properties:
+            for key, value in properties.items():
+                pu.descriptor.add(Property(key, value))
+        for group in groups:
+            pu.add_group(group)
+
+    def master(
+        self,
+        id: Optional[str] = None,
+        *,
+        architecture: Optional[str] = None,
+        quantity: int = 1,
+        properties: Optional[Mapping[str, object]] = None,
+        groups: tuple[str, ...] = (),
+        name: Optional[str] = None,
+    ) -> "PlatformBuilder":
+        """Open a new top-level Master scope."""
+        if self._stack:
+            raise ModelError(
+                "master() is only valid at top level; close open scopes with end()"
+            )
+        master = Master(id, quantity=quantity, name=name)
+        self._apply_common(master, architecture, properties, groups)
+        self._platform.add_master(master)
+        self._stack.append(master)
+        return self
+
+    def hybrid(
+        self,
+        id: Optional[str] = None,
+        *,
+        architecture: Optional[str] = None,
+        quantity: int = 1,
+        properties: Optional[Mapping[str, object]] = None,
+        groups: tuple[str, ...] = (),
+        name: Optional[str] = None,
+    ) -> "PlatformBuilder":
+        """Open a Hybrid scope under the current PU."""
+        if not self._stack:
+            raise ModelError("hybrid() requires an enclosing Master/Hybrid scope")
+        hybrid = Hybrid(id, quantity=quantity, name=name)
+        self._apply_common(hybrid, architecture, properties, groups)
+        self._stack[-1].add_child(hybrid)
+        self._stack.append(hybrid)
+        return self
+
+    def worker(
+        self,
+        id: Optional[str] = None,
+        *,
+        architecture: Optional[str] = None,
+        quantity: int = 1,
+        properties: Optional[Mapping[str, object]] = None,
+        groups: tuple[str, ...] = (),
+        name: Optional[str] = None,
+    ) -> "PlatformBuilder":
+        """Add a leaf Worker to the current scope (does not push)."""
+        if not self._stack:
+            raise ModelError("worker() requires an enclosing Master/Hybrid scope")
+        worker = Worker(id, quantity=quantity, name=name)
+        self._apply_common(worker, architecture, properties, groups)
+        self._stack[-1].add_child(worker)
+        return self
+
+    # -- attachments --------------------------------------------------------------
+    def memory(
+        self,
+        id: Optional[str] = None,
+        *,
+        size: Optional[Union[str, int]] = None,
+        properties: Optional[Mapping[str, object]] = None,
+    ) -> "PlatformBuilder":
+        """Attach a memory region to the current PU."""
+        if not self._stack:
+            raise ModelError("memory() requires an enclosing PU scope")
+        region = MemoryRegion(id)
+        if size is not None:
+            magnitude, unit = (
+                split_quantity_string(size) if isinstance(size, str) else (size, None)
+            )
+            prop = Property("SIZE", _format_number(magnitude))
+            prop.value.unit = unit
+            region.descriptor.add(prop)
+        if properties:
+            for key, value in properties.items():
+                region.descriptor.add(Property(key, value))
+        self._stack[-1].add_memory_region(region)
+        return self
+
+    def interconnect(
+        self,
+        from_pu: str,
+        to_pu: str,
+        *,
+        type: str = "",
+        scheme: str = "",
+        bandwidth: Optional[str] = None,
+        latency: Optional[str] = None,
+        bidirectional: bool = True,
+        id: Optional[str] = None,
+    ) -> "PlatformBuilder":
+        """Attach an interconnect to the current PU scope."""
+        if not self._stack:
+            raise ModelError("interconnect() requires an enclosing PU scope")
+        ic = Interconnect(
+            from_pu,
+            to_pu,
+            type=type,
+            scheme=scheme,
+            id=id,
+            bidirectional=bidirectional,
+        )
+        if bandwidth is not None:
+            magnitude, unit = split_quantity_string(bandwidth)
+            prop = Property("BANDWIDTH", _format_number(magnitude))
+            prop.value.unit = unit
+            ic.descriptor.add(prop)
+        if latency is not None:
+            magnitude, unit = split_quantity_string(latency)
+            prop = Property("LATENCY", _format_number(magnitude))
+            prop.value.unit = unit
+            ic.descriptor.add(prop)
+        self._stack[-1].add_interconnect(ic)
+        return self
+
+    def prop(self, name: str, value, *, fixed: bool = True) -> "PlatformBuilder":
+        """Add a property to the current PU's descriptor."""
+        if not self._stack:
+            raise ModelError("prop() requires an enclosing PU scope")
+        self._stack[-1].descriptor.add(Property(name, value, fixed=fixed))
+        return self
+
+    # -- finalization -----------------------------------------------------------
+    def build(self, *, validate: bool = True) -> Platform:
+        """Close all scopes and return the (optionally validated) platform."""
+        self._stack.clear()
+        if validate:
+            self._platform.validate()
+        return self._platform
+
+
+def _format_number(value: float) -> str:
+    """Render floats without a spurious ``.0`` so documents stay tidy."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

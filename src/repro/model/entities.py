@@ -1,0 +1,374 @@
+"""Entities of the hierarchical machine model (paper §III-A, Fig. 2/3).
+
+The model distinguishes three processing-unit (PU) classes:
+
+``Master``
+    Feature-rich general-purpose PU; a possible starting point for program
+    execution.  Masters exist only at the top level of the hierarchy and
+    may co-exist with other Masters in one system.
+
+``Worker``
+    Specialized compute resource at the leaves.  A Worker must be
+    controlled by a Master or Hybrid.
+
+``Hybrid``
+    Inner node acting as Worker towards its controller and Master towards
+    its children; must itself be controlled by a Master or Hybrid.
+
+A *control relationship* (edge parent→child in the PU tree) is defined as
+"the possibility for delegation of computational tasks from one PU to
+another".  Besides PUs the model has ``MemoryRegion`` (directly addressable
+memory attached to some PU scope) and ``Interconnect`` (a communication
+facility between two PUs) entities, plus ``LogicGroupAttribute`` labels
+that name PU subsets for task-mapping (referenced by Cascabel's
+``executiongroup`` pragma clause).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.errors import ModelError
+from repro.model.properties import (
+    Descriptor,
+    ICDescriptor,
+    MRDescriptor,
+    PUDescriptor,
+)
+
+__all__ = [
+    "ProcessingUnit",
+    "Master",
+    "Hybrid",
+    "Worker",
+    "MemoryRegion",
+    "Interconnect",
+    "PU_KINDS",
+]
+
+#: canonical tag names, in document order of the spec
+PU_KINDS = ("Master", "Hybrid", "Worker")
+
+_id_counter = itertools.count(1)
+
+
+def _auto_id(prefix: str) -> str:
+    return f"{prefix}{next(_id_counter)}"
+
+
+class MemoryRegion:
+    """A directly addressable memory region.
+
+    Qualitative attributes (size, affinity, relative speed) live in the
+    attached :class:`~repro.model.properties.MRDescriptor`; the abstract
+    model itself only knows identity and ownership.
+    """
+
+    xml_tag = "MemoryRegion"
+
+    def __init__(
+        self,
+        id: Optional[str] = None,
+        *,
+        descriptor: Optional[MRDescriptor] = None,
+    ):
+        self.id = str(id) if id is not None else _auto_id("mr")
+        self.descriptor = descriptor if descriptor is not None else MRDescriptor()
+        #: the ProcessingUnit owning this region (set on attach)
+        self.owner: Optional["ProcessingUnit"] = None
+
+    @property
+    def size_bytes(self) -> Optional[float]:
+        """Region capacity in bytes, if a SIZE property is present."""
+        return self.descriptor.get_quantity("SIZE")
+
+    def copy(self) -> "MemoryRegion":
+        return MemoryRegion(self.id, descriptor=self.descriptor.copy())
+
+    def __repr__(self) -> str:
+        return f"MemoryRegion(id={self.id!r})"
+
+
+class Interconnect:
+    """A communication facility between two processing units.
+
+    ``from_pu``/``to_pu`` hold PU ids (resolved against the owning
+    platform).  ``type`` names the link technology (e.g. ``"rDMA"``,
+    ``"PCIe"``, ``"QPI"``); ``scheme`` an optional addressing or transfer
+    scheme.  Interconnects are directed in the document; a bidirectional
+    physical link is either expressed as two entities or flagged with
+    ``bidirectional=True`` (our extension, defaulting to True because every
+    practical link in the paper's platforms is full duplex).
+    """
+
+    xml_tag = "Interconnect"
+
+    def __init__(
+        self,
+        from_pu: str,
+        to_pu: str,
+        *,
+        type: str = "",
+        scheme: str = "",
+        id: Optional[str] = None,
+        bidirectional: bool = True,
+        descriptor: Optional[ICDescriptor] = None,
+    ):
+        self.id = str(id) if id is not None else _auto_id("ic")
+        self.from_pu = str(from_pu)
+        self.to_pu = str(to_pu)
+        self.type = type
+        self.scheme = scheme
+        self.bidirectional = bool(bidirectional)
+        self.descriptor = descriptor if descriptor is not None else ICDescriptor()
+
+    @property
+    def bandwidth_bytes_per_s(self) -> Optional[float]:
+        return self.descriptor.get_quantity("BANDWIDTH")
+
+    @property
+    def latency_s(self) -> Optional[float]:
+        return self.descriptor.get_quantity("LATENCY")
+
+    def endpoints(self) -> tuple[str, str]:
+        return (self.from_pu, self.to_pu)
+
+    def connects(self, pu_id: str) -> bool:
+        return pu_id in (self.from_pu, self.to_pu)
+
+    def copy(self) -> "Interconnect":
+        return Interconnect(
+            self.from_pu,
+            self.to_pu,
+            type=self.type,
+            scheme=self.scheme,
+            id=self.id,
+            bidirectional=self.bidirectional,
+            descriptor=self.descriptor.copy(),
+        )
+
+    def __repr__(self) -> str:
+        arrow = "<->" if self.bidirectional else "->"
+        return (
+            f"Interconnect({self.from_pu!r}{arrow}{self.to_pu!r},"
+            f" type={self.type!r})"
+        )
+
+
+class ProcessingUnit:
+    """Common base of Master/Hybrid/Worker PUs.
+
+    A PU owns a :class:`PUDescriptor`, an ordered list of child PUs (the
+    control relationship), memory regions, interconnects *scoped to this
+    subtree*, and logic-group labels.  ``quantity`` expresses homogeneous
+    replication (Listing 1 uses ``quantity="1"``): a PU entity with
+    ``quantity=8`` stands for eight identical units; :mod:`repro.query`
+    and the runtime expand this where needed.
+    """
+
+    #: overridden by subclasses
+    kind: str = "PU"
+    xml_tag: str = "PU"
+
+    # hierarchy rules, encoded per class and consumed by model.validation
+    may_be_root = False
+    may_have_children = False
+    must_have_parent = False
+
+    def __init__(
+        self,
+        id: Optional[str] = None,
+        *,
+        quantity: int = 1,
+        descriptor: Optional[PUDescriptor] = None,
+        groups: Iterable[str] = (),
+        name: Optional[str] = None,
+    ):
+        if quantity < 1:
+            raise ModelError(f"quantity must be >= 1, got {quantity}")
+        self.id = str(id) if id is not None else _auto_id("pu")
+        self.name = name
+        self.quantity = int(quantity)
+        self.descriptor = descriptor if descriptor is not None else PUDescriptor()
+        #: LogicGroupAttribute labels naming PU subsets
+        self.groups: list[str] = list(dict.fromkeys(groups))
+        self.parent: Optional["ProcessingUnit"] = None
+        self._children: list["ProcessingUnit"] = []
+        self._memory_regions: list[MemoryRegion] = []
+        self._interconnects: list[Interconnect] = []
+
+    # -- hierarchy ---------------------------------------------------------
+    @property
+    def children(self) -> Sequence["ProcessingUnit"]:
+        return tuple(self._children)
+
+    def add_child(self, child: "ProcessingUnit") -> "ProcessingUnit":
+        if not self.may_have_children:
+            raise ModelError(
+                f"{self.kind} {self.id!r} cannot control other processing units"
+            )
+        if child.parent is not None:
+            raise ModelError(
+                f"PU {child.id!r} already controlled by {child.parent.id!r}"
+            )
+        if child is self or child.is_ancestor_of(self):
+            raise ModelError(f"adding {child.id!r} would create a control cycle")
+        child.parent = self
+        self._children.append(child)
+        return child
+
+    def remove_child(self, child: "ProcessingUnit") -> None:
+        try:
+            self._children.remove(child)
+        except ValueError:
+            raise ModelError(f"{child.id!r} is not a child of {self.id!r}") from None
+        child.parent = None
+
+    def is_ancestor_of(self, other: "ProcessingUnit") -> bool:
+        node = other.parent
+        while node is not None:
+            if node is self:
+                return True
+            node = node.parent
+        return False
+
+    def ancestors(self) -> Iterator["ProcessingUnit"]:
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def walk(self) -> Iterator["ProcessingUnit"]:
+        """Depth-first pre-order traversal of this subtree (self first)."""
+        yield self
+        for child in self._children:
+            yield from child.walk()
+
+    def leaves(self) -> Iterator["ProcessingUnit"]:
+        for pu in self.walk():
+            if not pu._children:
+                yield pu
+
+    @property
+    def depth(self) -> int:
+        return sum(1 for _ in self.ancestors())
+
+    # -- memory / interconnect ownership ------------------------------------
+    @property
+    def memory_regions(self) -> Sequence[MemoryRegion]:
+        return tuple(self._memory_regions)
+
+    def add_memory_region(self, region: MemoryRegion) -> MemoryRegion:
+        if region.owner is not None:
+            raise ModelError(
+                f"memory region {region.id!r} already owned by {region.owner.id!r}"
+            )
+        region.owner = self
+        self._memory_regions.append(region)
+        return region
+
+    @property
+    def interconnects(self) -> Sequence[Interconnect]:
+        return tuple(self._interconnects)
+
+    def add_interconnect(self, ic: Interconnect) -> Interconnect:
+        self._interconnects.append(ic)
+        return ic
+
+    # -- convenience -------------------------------------------------------
+    @property
+    def architecture(self) -> Optional[str]:
+        """Shortcut for the ubiquitous ARCHITECTURE property (Listing 1)."""
+        return self.descriptor.get_str("ARCHITECTURE")
+
+    def in_group(self, group: str) -> bool:
+        return group in self.groups
+
+    def add_group(self, group: str) -> None:
+        if group not in self.groups:
+            self.groups.append(group)
+
+    def matches_properties(self, required: dict) -> bool:
+        """True when every (name → value) pair is present in the descriptor."""
+        for name, value in required.items():
+            prop = self.descriptor.find(name)
+            if prop is None or prop.value.as_str() != str(value):
+                return False
+        return True
+
+    def expand(self) -> list["ProcessingUnit"]:
+        """Materialize ``quantity`` logical instances of this PU.
+
+        Returns ``quantity`` shallow stand-ins sharing this PU's descriptor
+        and children; instance ids are ``"{id}#{k}"``.  Quantity one returns
+        ``[self]`` unchanged.
+        """
+        if self.quantity == 1:
+            return [self]
+        instances = []
+        for k in range(self.quantity):
+            clone = type(self)(
+                f"{self.id}#{k}",
+                quantity=1,
+                descriptor=self.descriptor,
+                groups=self.groups,
+                name=self.name,
+            )
+            clone.parent = self.parent
+            clone._children = self._children
+            clone._memory_regions = self._memory_regions
+            instances.append(clone)
+        return instances
+
+    def copy(self) -> "ProcessingUnit":
+        """Deep copy of this subtree (parent link cleared on the root)."""
+        clone = type(self)(
+            self.id,
+            quantity=self.quantity,
+            descriptor=self.descriptor.copy(),
+            groups=self.groups,
+            name=self.name,
+        )
+        for region in self._memory_regions:
+            clone.add_memory_region(region.copy())
+        for ic in self._interconnects:
+            clone.add_interconnect(ic.copy())
+        for child in self._children:
+            clone.add_child(child.copy())
+        return clone
+
+    def __repr__(self) -> str:
+        arch = f", arch={self.architecture!r}" if self.architecture else ""
+        qty = f", quantity={self.quantity}" if self.quantity != 1 else ""
+        return f"{self.kind}(id={self.id!r}{arch}{qty})"
+
+
+class Master(ProcessingUnit):
+    """Feature-rich top-level PU; possible program entry point."""
+
+    kind = "Master"
+    xml_tag = "Master"
+    may_be_root = True
+    may_have_children = True
+    must_have_parent = False
+
+
+class Hybrid(ProcessingUnit):
+    """Inner-node PU: Worker towards its controller, Master towards children."""
+
+    kind = "Hybrid"
+    xml_tag = "Hybrid"
+    may_be_root = False
+    may_have_children = True
+    must_have_parent = True
+
+
+class Worker(ProcessingUnit):
+    """Specialized leaf PU carrying out delegated tasks."""
+
+    kind = "Worker"
+    xml_tag = "Worker"
+    may_be_root = False
+    may_have_children = False
+    must_have_parent = True

@@ -1,0 +1,97 @@
+"""LogicGroupAttribute handling (paper §III-B / §IV-A).
+
+``LogicGroupAttribute`` defines group identifiers for subsets of PUs.
+Cascabel's ``execute`` pragma references such a group via its
+``executiongroup`` clause to say *where* a task is intended to run.  This
+module provides a resolved view over the groups of a platform plus set
+algebra used by the mapper.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Optional
+
+from repro.errors import ModelError
+from repro.model.entities import ProcessingUnit
+from repro.model.platform import Platform
+
+__all__ = ["GroupRegistry", "valid_group_name"]
+
+_GROUP_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_\-]*$")
+
+
+def valid_group_name(name: str) -> bool:
+    """Whether ``name`` is a syntactically valid LogicGroupAttribute label."""
+    return bool(_GROUP_RE.match(name))
+
+
+class GroupRegistry:
+    """Resolved group → members table for one platform.
+
+    The registry snapshots membership at construction; call
+    :meth:`refresh` after mutating the platform's groups.
+    """
+
+    def __init__(self, platform: Platform):
+        self._platform = platform
+        self._table: dict[str, list[ProcessingUnit]] = {}
+        self.refresh()
+
+    def refresh(self) -> None:
+        self._table = {}
+        for pu in self._platform.walk():
+            for group in pu.groups:
+                if not valid_group_name(group):
+                    raise ModelError(f"invalid group name {group!r} on PU {pu.id!r}")
+                self._table.setdefault(group, []).append(pu)
+
+    # -- queries ---------------------------------------------------------------
+    def names(self) -> list[str]:
+        return sorted(self._table)
+
+    def members(self, group: str) -> list[ProcessingUnit]:
+        try:
+            return list(self._table[group])
+        except KeyError:
+            raise ModelError(
+                f"unknown execution group {group!r};"
+                f" defined groups: {self.names() or '(none)'}"
+            ) from None
+
+    def has(self, group: str) -> bool:
+        return group in self._table
+
+    def member_ids(self, group: str) -> list[str]:
+        return [pu.id for pu in self.members(group)]
+
+    def union(self, groups: Iterable[str]) -> list[ProcessingUnit]:
+        """Members of any listed group, deduplicated, document order."""
+        seen: dict[str, ProcessingUnit] = {}
+        for group in groups:
+            for pu in self.members(group):
+                seen.setdefault(pu.id, pu)
+        return list(seen.values())
+
+    def intersection(self, groups: Iterable[str]) -> list[ProcessingUnit]:
+        """PUs that are members of *all* listed groups."""
+        groups = list(groups)
+        if not groups:
+            return []
+        common: Optional[set[str]] = None
+        for group in groups:
+            ids = set(self.member_ids(group))
+            common = ids if common is None else common & ids
+        return [pu for pu in self.members(groups[0]) if pu.id in (common or set())]
+
+    def groups_of(self, pu_id: str) -> list[str]:
+        return sorted(g for g, pus in self._table.items() if any(p.id == pu_id for p in pus))
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, group: str) -> bool:
+        return group in self._table
+
+    def __repr__(self) -> str:
+        return f"GroupRegistry({self.names()!r})"

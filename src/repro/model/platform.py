@@ -1,0 +1,153 @@
+"""The :class:`Platform` container — a complete PDL platform description.
+
+A platform holds one or more top-level :class:`~repro.model.entities.Master`
+PUs (the paper allows co-existing Masters), identity maps for PUs, memory
+regions and interconnects, and document metadata (name, schema version).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import ModelError
+from repro.model.entities import (
+    Interconnect,
+    Master,
+    MemoryRegion,
+    ProcessingUnit,
+)
+
+__all__ = ["Platform"]
+
+
+class Platform:
+    """A complete platform description (one PDL document).
+
+    Parameters
+    ----------
+    name:
+        Human-readable platform name (e.g. ``"xeon-x5550-2gpu"``).
+    masters:
+        Top-level Master PUs.
+    schema_version:
+        Version string of the PDL base schema the document adheres to.
+    """
+
+    def __init__(
+        self,
+        name: str = "platform",
+        masters: Iterable[Master] = (),
+        *,
+        schema_version: str = "1.0",
+    ):
+        self.name = name
+        self.schema_version = schema_version
+        self._masters: list[Master] = []
+        for master in masters:
+            self.add_master(master)
+
+    # -- construction --------------------------------------------------------
+    def add_master(self, master: Master) -> Master:
+        if not isinstance(master, Master):
+            raise ModelError(
+                f"top-level platform entries must be Master PUs, got"
+                f" {type(master).__name__} {getattr(master, 'id', '?')!r}"
+            )
+        if master.parent is not None:
+            raise ModelError(f"Master {master.id!r} must not have a controller")
+        self._masters.append(master)
+        return master
+
+    # -- iteration -----------------------------------------------------------
+    @property
+    def masters(self) -> tuple[Master, ...]:
+        return tuple(self._masters)
+
+    def walk(self) -> Iterator[ProcessingUnit]:
+        """All PUs in document order (depth-first from each Master)."""
+        for master in self._masters:
+            yield from master.walk()
+
+    def processing_units(self) -> list[ProcessingUnit]:
+        return list(self.walk())
+
+    def workers(self) -> list[ProcessingUnit]:
+        return [pu for pu in self.walk() if pu.kind == "Worker"]
+
+    def hybrids(self) -> list[ProcessingUnit]:
+        return [pu for pu in self.walk() if pu.kind == "Hybrid"]
+
+    def memory_regions(self) -> list[MemoryRegion]:
+        regions: list[MemoryRegion] = []
+        for pu in self.walk():
+            regions.extend(pu.memory_regions)
+        return regions
+
+    def interconnects(self) -> list[Interconnect]:
+        ics: list[Interconnect] = []
+        for pu in self.walk():
+            ics.extend(pu.interconnects)
+        return ics
+
+    # -- lookup ----------------------------------------------------------------
+    def find_pu(self, pu_id: str) -> Optional[ProcessingUnit]:
+        for pu in self.walk():
+            if pu.id == pu_id:
+                return pu
+        return None
+
+    def pu(self, pu_id: str) -> ProcessingUnit:
+        found = self.find_pu(pu_id)
+        if found is None:
+            raise ModelError(f"no processing unit with id {pu_id!r}")
+        return found
+
+    def find_memory_region(self, mr_id: str) -> Optional[MemoryRegion]:
+        for region in self.memory_regions():
+            if region.id == mr_id:
+                return region
+        return None
+
+    def find_interconnect(self, ic_id: str) -> Optional[Interconnect]:
+        for ic in self.interconnects():
+            if ic.id == ic_id:
+                return ic
+        return None
+
+    def groups(self) -> dict[str, list[ProcessingUnit]]:
+        """Map LogicGroupAttribute label → member PUs."""
+        table: dict[str, list[ProcessingUnit]] = {}
+        for pu in self.walk():
+            for group in pu.groups:
+                table.setdefault(group, []).append(pu)
+        return table
+
+    def group_members(self, group: str) -> list[ProcessingUnit]:
+        return self.groups().get(group, [])
+
+    # -- aggregate views --------------------------------------------------------
+    def total_pu_count(self, *, expand_quantity: bool = True) -> int:
+        if expand_quantity:
+            return sum(pu.quantity for pu in self.walk())
+        return sum(1 for _ in self.walk())
+
+    def architectures(self) -> set[str]:
+        return {pu.architecture for pu in self.walk() if pu.architecture}
+
+    def copy(self) -> "Platform":
+        clone = Platform(self.name, schema_version=self.schema_version)
+        for master in self._masters:
+            clone.add_master(master.copy())
+        return clone
+
+    def validate(self) -> None:
+        """Structural validation; see :mod:`repro.model.validation`."""
+        from repro.model.validation import validate_platform
+
+        validate_platform(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"Platform({self.name!r}, masters={len(self._masters)},"
+            f" pus={self.total_pu_count(expand_quantity=False)})"
+        )

@@ -1,0 +1,381 @@
+"""Property and descriptor primitives of the hierarchical machine model.
+
+The PDL paper (§III-B) bases all extensibility on a key/value *Property*
+mechanism attached to *Descriptor* containers:
+
+* every entity (processing unit, memory region, interconnect) carries a
+  descriptor (``PUDescriptor``, ``MRDescriptor``, ``ICDescriptor``),
+* a descriptor is an ordered collection of properties,
+* a property is a ``name``/``value`` pair that is either **fixed** (authored
+  by hand, immutable downstream) or **unfixed** (a slot to be filled in by a
+  later toolchain stage, e.g. an OpenCL runtime query),
+* values may carry a unit (Listing 2: ``<ocl:value unit="kB">``),
+* properties are *polymorphic*: concrete subschemas (``ocl:``, ``cuda:`` …)
+  refine the generic property type via XML schema inheritance.
+
+This module implements those primitives independent of any XML syntax; the
+:mod:`repro.pdl` package maps them to/from documents.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, Iterator, Mapping, Optional, Union
+
+from repro.errors import PropertyError
+
+__all__ = [
+    "PropertyValue",
+    "Property",
+    "Descriptor",
+    "PUDescriptor",
+    "MRDescriptor",
+    "ICDescriptor",
+    "parse_quantity",
+    "UNIT_SCALES",
+]
+
+# Scale factors for byte/frequency units that show up in platform
+# descriptors.  Scaling is only applied by :func:`parse_quantity`; stored
+# values always keep their original unit so documents round-trip unchanged.
+UNIT_SCALES: Mapping[str, float] = {
+    # bytes
+    "B": 1.0,
+    "kB": 1024.0,
+    "KB": 1024.0,
+    "MB": 1024.0**2,
+    "GB": 1024.0**3,
+    "TB": 1024.0**4,
+    # frequencies
+    "Hz": 1.0,
+    "kHz": 1e3,
+    "MHz": 1e6,
+    "GHz": 1e9,
+    # bandwidth
+    "B/s": 1.0,
+    "kB/s": 1024.0,
+    "MB/s": 1024.0**2,
+    "GB/s": 1024.0**3,
+    # time
+    "s": 1.0,
+    "ms": 1e-3,
+    "us": 1e-6,
+    "ns": 1e-9,
+}
+
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*$")
+
+
+def parse_quantity(value: str, unit: Optional[str]) -> float:
+    """Return ``value`` scaled to base units (bytes, Hz, B/s or seconds).
+
+    ``value`` must parse as a number.  Unknown units raise
+    :class:`~repro.errors.PropertyError` so typos in descriptors surface
+    early instead of silently mis-scaling a capacity.
+    """
+    try:
+        magnitude = float(value)
+    except (TypeError, ValueError) as exc:
+        raise PropertyError(f"quantity value {value!r} is not numeric") from exc
+    if unit is None:
+        return magnitude
+    try:
+        return magnitude * UNIT_SCALES[unit]
+    except KeyError:
+        raise PropertyError(
+            f"unknown unit {unit!r}; known units: {sorted(UNIT_SCALES)}"
+        ) from None
+
+
+class PropertyValue:
+    """A property value with an optional unit.
+
+    Values are stored as strings — exactly what the XML carries — together
+    with typed accessors.  This keeps round-tripping lossless, which the
+    paper's toolchain scenario requires (unfixed values may be edited by
+    other tools and written back).
+    """
+
+    __slots__ = ("text", "unit")
+
+    def __init__(self, text: Union[str, int, float], unit: Optional[str] = None):
+        if isinstance(text, bool):
+            text = "true" if text else "false"
+        self.text = str(text)
+        self.unit = unit
+
+    # -- typed accessors ---------------------------------------------------
+    def as_str(self) -> str:
+        return self.text
+
+    def as_int(self) -> int:
+        try:
+            return int(self.text)
+        except ValueError as exc:
+            raise PropertyError(f"value {self.text!r} is not an integer") from exc
+
+    def as_float(self) -> float:
+        try:
+            return float(self.text)
+        except ValueError as exc:
+            raise PropertyError(f"value {self.text!r} is not a number") from exc
+
+    def as_bool(self) -> bool:
+        lowered = self.text.strip().lower()
+        if lowered in ("true", "1", "yes"):
+            return True
+        if lowered in ("false", "0", "no"):
+            return False
+        raise PropertyError(f"value {self.text!r} is not a boolean")
+
+    def as_quantity(self) -> float:
+        """Value scaled to base units (see :func:`parse_quantity`)."""
+        return parse_quantity(self.text, self.unit)
+
+    # -- dunder ------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if isinstance(other, PropertyValue):
+            return self.text == other.text and self.unit == other.unit
+        if isinstance(other, str):
+            return self.text == other and self.unit is None
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.text, self.unit))
+
+    def __repr__(self) -> str:
+        if self.unit:
+            return f"PropertyValue({self.text!r}, unit={self.unit!r})"
+        return f"PropertyValue({self.text!r})"
+
+    def __str__(self) -> str:
+        return f"{self.text} {self.unit}" if self.unit else self.text
+
+
+class Property:
+    """A single named platform property.
+
+    Parameters
+    ----------
+    name:
+        Property key, e.g. ``"ARCHITECTURE"`` or ``"MAX_COMPUTE_UNITS"``.
+    value:
+        The value; strings/numbers are wrapped into :class:`PropertyValue`.
+    fixed:
+        ``True`` for hand-authored immutable properties; ``False`` marks the
+        value editable by downstream tools (paper §III-B).
+    type_name:
+        Polymorphic type tag, e.g. ``"ocl:oclDevicePropertyType"``.  ``None``
+        means the generic base property type.
+    source:
+        Optional provenance note (which tool/run generated this property).
+    """
+
+    __slots__ = ("name", "_value", "fixed", "type_name", "source")
+
+    def __init__(
+        self,
+        name: str,
+        value: Union[str, int, float, PropertyValue],
+        *,
+        fixed: bool = True,
+        type_name: Optional[str] = None,
+        source: Optional[str] = None,
+    ):
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            raise PropertyError(f"invalid property name {name!r}")
+        self.name = name
+        self._value = value if isinstance(value, PropertyValue) else PropertyValue(value)
+        self.fixed = bool(fixed)
+        self.type_name = type_name
+        self.source = source
+
+    @property
+    def value(self) -> PropertyValue:
+        return self._value
+
+    @value.setter
+    def value(self, new: Union[str, int, float, PropertyValue]) -> None:
+        if self.fixed:
+            raise PropertyError(
+                f"property {self.name!r} is fixed and cannot be re-instantiated"
+            )
+        self._value = new if isinstance(new, PropertyValue) else PropertyValue(new)
+
+    def instantiate(self, new_value: Union[str, int, float, PropertyValue]) -> None:
+        """Fill in an unfixed property (e.g. by a runtime discovery pass)."""
+        self.value = new_value  # property setter enforces mutability
+
+    @property
+    def namespace(self) -> Optional[str]:
+        """Namespace prefix of the polymorphic type (``"ocl"``) or ``None``."""
+        if self.type_name and ":" in self.type_name:
+            return self.type_name.split(":", 1)[0]
+        return None
+
+    def copy(self) -> "Property":
+        return Property(
+            self.name,
+            PropertyValue(self._value.text, self._value.unit),
+            fixed=self.fixed,
+            type_name=self.type_name,
+            source=self.source,
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, Property):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self._value == other._value
+            and self.fixed == other.fixed
+            and self.type_name == other.type_name
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self._value, self.fixed, self.type_name))
+
+    def __repr__(self) -> str:
+        flags = "" if self.fixed else ", fixed=False"
+        typ = f", type={self.type_name!r}" if self.type_name else ""
+        return f"Property({self.name!r}, {self._value!r}{flags}{typ})"
+
+
+class Descriptor:
+    """Ordered, name-indexed collection of :class:`Property` objects.
+
+    Multiple properties may share a name only when they carry different
+    polymorphic types (mirrors XML, where a base and an extension property
+    may coexist); within one type a name is unique.
+    """
+
+    #: XML element name used by the PDL writer; subclasses override.
+    xml_tag = "Descriptor"
+
+    def __init__(self, properties: Iterable[Property] = ()):
+        self._props: list[Property] = []
+        for prop in properties:
+            self.add(prop)
+
+    # -- mutation ----------------------------------------------------------
+    def add(self, prop: Property) -> Property:
+        if not isinstance(prop, Property):
+            raise PropertyError(f"expected Property, got {type(prop).__name__}")
+        for existing in self._props:
+            if existing.name == prop.name and existing.type_name == prop.type_name:
+                raise PropertyError(
+                    f"duplicate property {prop.name!r}"
+                    f" (type {prop.type_name or 'generic'!r})"
+                )
+        self._props.append(prop)
+        return prop
+
+    def set(
+        self,
+        name: str,
+        value: Union[str, int, float, PropertyValue],
+        **kwargs,
+    ) -> Property:
+        """Add a property, or re-instantiate an existing *unfixed* one."""
+        existing = self.find(name, type_name=kwargs.get("type_name"))
+        if existing is not None:
+            existing.instantiate(value)
+            return existing
+        return self.add(Property(name, value, **kwargs))
+
+    def remove(self, name: str, *, type_name: Optional[str] = None) -> None:
+        before = len(self._props)
+        self._props = [
+            p
+            for p in self._props
+            if not (p.name == name and (type_name is None or p.type_name == type_name))
+        ]
+        if len(self._props) == before:
+            raise PropertyError(f"no property named {name!r} to remove")
+
+    # -- lookup ------------------------------------------------------------
+    def find(self, name: str, *, type_name: Optional[str] = None) -> Optional[Property]:
+        for prop in self._props:
+            if prop.name == name and (type_name is None or prop.type_name == type_name):
+                return prop
+        return None
+
+    def get(self, name: str, default=None):
+        """Return the :class:`PropertyValue` for ``name`` (or ``default``)."""
+        prop = self.find(name)
+        return prop.value if prop is not None else default
+
+    def get_str(self, name: str, default: Optional[str] = None) -> Optional[str]:
+        prop = self.find(name)
+        return prop.value.as_str() if prop is not None else default
+
+    def get_int(self, name: str, default: Optional[int] = None) -> Optional[int]:
+        prop = self.find(name)
+        return prop.value.as_int() if prop is not None else default
+
+    def get_float(self, name: str, default: Optional[float] = None) -> Optional[float]:
+        prop = self.find(name)
+        return prop.value.as_float() if prop is not None else default
+
+    def get_quantity(self, name: str, default: Optional[float] = None) -> Optional[float]:
+        prop = self.find(name)
+        return prop.value.as_quantity() if prop is not None else default
+
+    def names(self) -> list[str]:
+        return [p.name for p in self._props]
+
+    def unfixed(self) -> list[Property]:
+        """All properties still open for instantiation by later stages."""
+        return [p for p in self._props if not p.fixed]
+
+    def by_namespace(self, namespace: Optional[str]) -> list[Property]:
+        return [p for p in self._props if p.namespace == namespace]
+
+    # -- protocol ----------------------------------------------------------
+    def __iter__(self) -> Iterator[Property]:
+        return iter(self._props)
+
+    def __len__(self) -> int:
+        return len(self._props)
+
+    def __contains__(self, name: str) -> bool:
+        return self.find(name) is not None
+
+    def copy(self) -> "Descriptor":
+        return type(self)(p.copy() for p in self._props)
+
+    def merge(self, other: "Descriptor", *, overwrite_unfixed: bool = True) -> None:
+        """Fold ``other``'s properties into this descriptor.
+
+        New names are appended.  Names that exist here as *unfixed*
+        properties are instantiated from ``other`` when
+        ``overwrite_unfixed`` is set — this is the paper's late-binding
+        flow where a runtime fills in slots left open at composition time.
+        """
+        for prop in other:
+            mine = self.find(prop.name, type_name=prop.type_name)
+            if mine is None:
+                self.add(prop.copy())
+            elif not mine.fixed and overwrite_unfixed:
+                mine.instantiate(PropertyValue(prop.value.text, prop.value.unit))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self._props!r})"
+
+
+class PUDescriptor(Descriptor):
+    """Descriptor attached to a processing unit."""
+
+    xml_tag = "PUDescriptor"
+
+
+class MRDescriptor(Descriptor):
+    """Descriptor attached to a memory region."""
+
+    xml_tag = "MRDescriptor"
+
+
+class ICDescriptor(Descriptor):
+    """Descriptor attached to an interconnect."""
+
+    xml_tag = "ICDescriptor"

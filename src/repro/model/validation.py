@@ -1,0 +1,136 @@
+"""Structural validation of the hierarchical machine model (§III-A).
+
+The paper fixes the following rules, which we enforce here:
+
+* Masters are defined only at the highest hierarchy level; several Masters
+  may co-exist in one system.
+* Workers are leaves and must be controlled by a Master or a Hybrid.
+* Hybrids are inner nodes and must be controlled by a Master or a Hybrid;
+  a Hybrid in the Worker role still needs a controller.
+* Control relationships form a forest (no cycles, single controller).
+
+We additionally check document hygiene that the XML schema would give us:
+unique ids, interconnect endpoints that resolve to PUs, and interconnects
+that respect scoping (both endpoints inside the subtree of the PU that
+declares the link, which is how Listing 1 scopes the ``rDMA`` link under
+its Master).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ValidationError
+from repro.model.entities import Hybrid, Master, ProcessingUnit, Worker
+
+if TYPE_CHECKING:
+    from repro.model.platform import Platform
+
+__all__ = ["validate_platform", "collect_violations"]
+
+
+def collect_violations(platform: "Platform") -> list[str]:
+    """Return all rule violations of ``platform`` (empty list = valid)."""
+    violations: list[str] = []
+    violations.extend(_check_pu_classes(platform))
+    violations.extend(_check_unique_ids(platform))
+    violations.extend(_check_interconnects(platform))
+    violations.extend(_check_hybrid_shape(platform))
+    return violations
+
+
+def validate_platform(platform: "Platform") -> None:
+    """Raise :class:`~repro.errors.ValidationError` on any rule violation."""
+    violations = collect_violations(platform)
+    if violations:
+        raise ValidationError(violations)
+
+
+# ---------------------------------------------------------------------------
+# individual rule groups
+# ---------------------------------------------------------------------------
+def _check_pu_classes(platform: "Platform") -> list[str]:
+    out: list[str] = []
+    for master in platform.masters:
+        if master.parent is not None:  # Platform.add_master guards, but re-check
+            out.append(f"Master {master.id!r} has a controller {master.parent.id!r}")
+    for pu in platform.walk():
+        if isinstance(pu, Master):
+            if pu.parent is not None:
+                out.append(
+                    f"Master {pu.id!r} appears below {pu.parent.id!r};"
+                    " Masters exist only at the highest level"
+                )
+        elif isinstance(pu, Worker):
+            if pu.parent is None:
+                out.append(f"Worker {pu.id!r} is uncontrolled")
+            elif not isinstance(pu.parent, (Master, Hybrid)):
+                out.append(
+                    f"Worker {pu.id!r} controlled by {pu.parent.kind}"
+                    f" {pu.parent.id!r}; must be Master or Hybrid"
+                )
+            if pu.children:
+                out.append(f"Worker {pu.id!r} controls other PUs; Workers are leaves")
+        elif isinstance(pu, Hybrid):
+            if pu.parent is None:
+                out.append(f"Hybrid {pu.id!r} is uncontrolled")
+            elif not isinstance(pu.parent, (Master, Hybrid)):
+                out.append(
+                    f"Hybrid {pu.id!r} controlled by {pu.parent.kind}"
+                    f" {pu.parent.id!r}; must be Master or Hybrid"
+                )
+        else:
+            out.append(f"PU {pu.id!r} has unknown class {type(pu).__name__}")
+    return out
+
+
+def _check_hybrid_shape(platform: "Platform") -> list[str]:
+    # A Hybrid without children would collapse to a Worker; the paper places
+    # Hybrids at inner nodes.  We flag childless Hybrids as violations so
+    # descriptions stay canonical.
+    return [
+        f"Hybrid {pu.id!r} has no controlled PUs; use a Worker for leaf resources"
+        for pu in platform.walk()
+        if isinstance(pu, Hybrid) and not pu.children
+    ]
+
+
+def _check_unique_ids(platform: "Platform") -> list[str]:
+    out: list[str] = []
+    seen_pu: dict[str, ProcessingUnit] = {}
+    for pu in platform.walk():
+        if pu.id in seen_pu:
+            out.append(f"duplicate PU id {pu.id!r}")
+        seen_pu[pu.id] = pu
+    seen_mr: set[str] = set()
+    for region in platform.memory_regions():
+        if region.id in seen_mr:
+            out.append(f"duplicate MemoryRegion id {region.id!r}")
+        seen_mr.add(region.id)
+    seen_ic: set[str] = set()
+    for ic in platform.interconnects():
+        if ic.id in seen_ic:
+            out.append(f"duplicate Interconnect id {ic.id!r}")
+        seen_ic.add(ic.id)
+    return out
+
+
+def _check_interconnects(platform: "Platform") -> list[str]:
+    out: list[str] = []
+    ids = {pu.id for pu in platform.walk()}
+    for owner in platform.walk():
+        scope = {pu.id for pu in owner.walk()}
+        for ic in owner.interconnects:
+            for endpoint in ic.endpoints():
+                if endpoint not in ids:
+                    out.append(
+                        f"Interconnect {ic.id!r} references unknown PU {endpoint!r}"
+                    )
+                elif endpoint not in scope:
+                    out.append(
+                        f"Interconnect {ic.id!r} declared under {owner.id!r} but"
+                        f" endpoint {endpoint!r} is outside that subtree"
+                    )
+            if ic.from_pu == ic.to_pu:
+                out.append(f"Interconnect {ic.id!r} is a self-loop on {ic.from_pu!r}")
+    return out

@@ -1,0 +1,188 @@
+"""Co-existing logical platform views (paper §II).
+
+"Multiple logic platform patterns can co-exist for a single target
+system.  Our PDL supports the representation of different programming
+model specific control-relationships for the same physical hardware."
+
+A :class:`LogicalView` derives a *new* control hierarchy over the PUs of
+one physical platform: e.g. the same dual-CPU+2-GPU box seen as
+
+* a StarPU-style flat Master/Worker pool (every core and GPU a Worker), or
+* an OpenCL-style host-device model (host Master, devices only), or
+* an MPI+X hierarchy (one Hybrid per NUMA domain).
+
+Views are honest PDL platforms — they validate, serialize and drive the
+runtime like any other descriptor — whose PUs carry a ``PHYSICAL_ID``
+property linking back to the underlying hardware entity, so tools can
+correlate views.  A :class:`ViewRegistry` keeps the views of one physical
+platform together.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+from repro.errors import ModelError
+from repro.model.entities import Hybrid, Master, ProcessingUnit, Worker
+from repro.model.platform import Platform
+from repro.model.properties import Property
+
+__all__ = ["LogicalView", "ViewRegistry", "PHYSICAL_ID_PROP"]
+
+PHYSICAL_ID_PROP = "PHYSICAL_ID"
+
+Selector = Union[str, Callable[[ProcessingUnit], bool]]
+
+
+def _select(platform: Platform, selector: Selector) -> list[ProcessingUnit]:
+    if callable(selector):
+        return [pu for pu in platform.walk() if selector(pu)]
+    from repro.query.selectors import select
+
+    return select(platform, selector)
+
+
+def _derived_pu(cls, physical: ProcessingUnit, view_id: str) -> ProcessingUnit:
+    pu = cls(
+        view_id,
+        quantity=physical.quantity,
+        name=physical.name,
+    )
+    for prop in physical.descriptor:
+        pu.descriptor.add(prop.copy())
+    pu.descriptor.add(
+        Property(PHYSICAL_ID_PROP, physical.id, fixed=True)
+    )
+    for group in physical.groups:
+        pu.add_group(group)
+    return pu
+
+
+class LogicalView:
+    """Builder for one logical view over a physical platform."""
+
+    def __init__(self, name: str, physical: Platform):
+        self.name = name
+        self.physical = physical
+        self._platform = Platform(f"{physical.name}::{name}")
+        self._current: Optional[ProcessingUnit] = None
+        self._used_ids: set[str] = set()
+
+    # -- construction ------------------------------------------------------
+    def master(self, selector: Selector, *, id: Optional[str] = None) -> "LogicalView":
+        """Promote exactly one physical PU to the view's Master."""
+        matches = _select(self.physical, selector)
+        if len(matches) != 1:
+            raise ModelError(
+                f"view {self.name!r}: master selector matched"
+                f" {len(matches)} PUs, need exactly 1"
+            )
+        master = _derived_pu(Master, matches[0], id or matches[0].id)
+        self._register(master)
+        self._platform.add_master(master)
+        self._current = master
+        return self
+
+    def hybrid(self, selector: Selector, *, id: Optional[str] = None) -> "LogicalView":
+        """Add one physical PU as a Hybrid under the current scope."""
+        self._require_scope("hybrid")
+        matches = _select(self.physical, selector)
+        if len(matches) != 1:
+            raise ModelError(
+                f"view {self.name!r}: hybrid selector matched"
+                f" {len(matches)} PUs, need exactly 1"
+            )
+        hybrid = _derived_pu(Hybrid, matches[0], id or matches[0].id)
+        self._register(hybrid)
+        self._current.add_child(hybrid)
+        self._current = hybrid
+        return self
+
+    def workers(self, selector: Selector) -> "LogicalView":
+        """Add every matching physical PU as Workers of the current scope."""
+        self._require_scope("workers")
+        matches = _select(self.physical, selector)
+        if not matches:
+            raise ModelError(
+                f"view {self.name!r}: worker selector matched nothing"
+            )
+        for physical in matches:
+            if physical.id in self._used_ids:
+                continue  # a PU appears at most once per view
+            worker = _derived_pu(Worker, physical, physical.id)
+            self._register(worker)
+            self._current.add_child(worker)
+        return self
+
+    def end(self) -> "LogicalView":
+        """Pop out of a Hybrid scope."""
+        if self._current is None or self._current.parent is None:
+            raise ModelError(f"view {self.name!r}: no inner scope to end")
+        self._current = self._current.parent
+        return self
+
+    def _register(self, pu: ProcessingUnit) -> None:
+        physical_id = pu.descriptor.get_str(PHYSICAL_ID_PROP)
+        if physical_id in self._used_ids:
+            raise ModelError(
+                f"view {self.name!r}: physical PU {physical_id!r} used twice"
+            )
+        self._used_ids.add(physical_id)
+
+    def _require_scope(self, what: str) -> None:
+        if self._current is None:
+            raise ModelError(
+                f"view {self.name!r}: {what}() requires a master() first"
+            )
+
+    # -- result ------------------------------------------------------------
+    def build(self, *, validate: bool = True) -> Platform:
+        if validate:
+            self._platform.validate()
+        return self._platform
+
+    def physical_of(self, view_pu_id: str) -> ProcessingUnit:
+        """Resolve a view PU back to the physical entity it mirrors."""
+        view_pu = self._platform.pu(view_pu_id)
+        physical_id = view_pu.descriptor.get_str(PHYSICAL_ID_PROP)
+        return self.physical.pu(physical_id)
+
+
+class ViewRegistry:
+    """The co-existing views of one physical platform."""
+
+    def __init__(self, physical: Platform):
+        self.physical = physical
+        self._views: dict[str, LogicalView] = {}
+
+    def define(self, name: str) -> LogicalView:
+        if name in self._views:
+            raise ModelError(f"view {name!r} already defined")
+        view = LogicalView(name, self.physical)
+        self._views[name] = view
+        return view
+
+    def view(self, name: str) -> LogicalView:
+        try:
+            return self._views[name]
+        except KeyError:
+            raise ModelError(
+                f"unknown view {name!r}; defined: {sorted(self._views)}"
+            ) from None
+
+    def platform(self, name: str) -> Platform:
+        return self.view(name).build(validate=False)
+
+    def names(self) -> list[str]:
+        return sorted(self._views)
+
+    def views_containing(self, physical_id: str) -> list[str]:
+        """Which views expose the given physical PU."""
+        out = []
+        for name, view in self._views.items():
+            if physical_id in view._used_ids:
+                out.append(name)
+        return sorted(out)
+
+    def __len__(self) -> int:
+        return len(self._views)

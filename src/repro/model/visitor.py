@@ -1,0 +1,123 @@
+"""Traversal utilities over platform hierarchies.
+
+Provides a classic visitor (dispatch per PU kind), generic functional
+traversals, and rendering of the control hierarchy as ASCII art — handy in
+examples and error messages.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Optional, TypeVar, Union
+
+from repro.model.entities import Hybrid, Master, ProcessingUnit, Worker
+from repro.model.platform import Platform
+
+__all__ = [
+    "PlatformVisitor",
+    "walk_breadth_first",
+    "find_all",
+    "tree_lines",
+    "render_tree",
+]
+
+T = TypeVar("T")
+Root = Union[Platform, ProcessingUnit]
+
+
+def _roots(root: Root) -> Iterable[ProcessingUnit]:
+    if isinstance(root, Platform):
+        return root.masters
+    return (root,)
+
+
+class PlatformVisitor:
+    """Kind-dispatched visitor over a platform hierarchy.
+
+    Subclasses override any of :meth:`visit_master`, :meth:`visit_hybrid`,
+    :meth:`visit_worker`; each defaults to :meth:`visit_pu`.  ``visit``
+    walks depth-first pre-order and calls the matching hook for every PU.
+    """
+
+    def visit(self, root: Root) -> None:
+        for top in _roots(root):
+            for pu in top.walk():
+                self.dispatch(pu)
+
+    def dispatch(self, pu: ProcessingUnit) -> None:
+        if isinstance(pu, Master):
+            self.visit_master(pu)
+        elif isinstance(pu, Hybrid):
+            self.visit_hybrid(pu)
+        elif isinstance(pu, Worker):
+            self.visit_worker(pu)
+        else:  # pragma: no cover - defensive
+            self.visit_pu(pu)
+
+    def visit_pu(self, pu: ProcessingUnit) -> None:
+        """Default hook; called when a kind-specific hook is not overridden."""
+
+    def visit_master(self, pu: Master) -> None:
+        self.visit_pu(pu)
+
+    def visit_hybrid(self, pu: Hybrid) -> None:
+        self.visit_pu(pu)
+
+    def visit_worker(self, pu: Worker) -> None:
+        self.visit_pu(pu)
+
+
+def walk_breadth_first(root: Root) -> Iterator[ProcessingUnit]:
+    """Level-order traversal (Masters first, then their children, ...)."""
+    queue: list[ProcessingUnit] = list(_roots(root))
+    while queue:
+        pu = queue.pop(0)
+        yield pu
+        queue.extend(pu.children)
+
+
+def find_all(
+    root: Root, predicate: Callable[[ProcessingUnit], bool]
+) -> list[ProcessingUnit]:
+    """All PUs (depth-first order) satisfying ``predicate``."""
+    out = []
+    for top in _roots(root):
+        out.extend(pu for pu in top.walk() if predicate(pu))
+    return out
+
+
+def tree_lines(
+    root: Root,
+    *,
+    label: Optional[Callable[[ProcessingUnit], str]] = None,
+) -> list[str]:
+    """Render the control hierarchy as a list of ASCII-art lines."""
+    if label is None:
+
+        def label(pu: ProcessingUnit) -> str:  # noqa: F811 - default labeler
+            arch = f" [{pu.architecture}]" if pu.architecture else ""
+            qty = f" x{pu.quantity}" if pu.quantity != 1 else ""
+            groups = f" groups={','.join(pu.groups)}" if pu.groups else ""
+            return f"{pu.kind}({pu.id}){arch}{qty}{groups}"
+
+    lines: list[str] = []
+
+    def emit(pu: ProcessingUnit, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(label(pu))
+            child_prefix = ""
+        else:
+            connector = "`-- " if is_last else "|-- "
+            lines.append(prefix + connector + label(pu))
+            child_prefix = prefix + ("    " if is_last else "|   ")
+        children = list(pu.children)
+        for i, child in enumerate(children):
+            emit(child, child_prefix, i == len(children) - 1, False)
+
+    for top in _roots(root):
+        emit(top, "", True, True)
+    return lines
+
+
+def render_tree(root: Root, **kwargs) -> str:
+    """ASCII-art rendering of the control hierarchy as one string."""
+    return "\n".join(tree_lines(root, **kwargs))

@@ -1,0 +1,57 @@
+"""The XML-based Platform Description Language (paper §III-B).
+
+Public surface: :func:`parse_pdl` / :func:`parse_pdl_file`,
+:func:`write_pdl` / :func:`write_pdl_file`, document validation,
+the schema registry with predefined subschemas, and the shipped
+descriptor catalog.
+"""
+
+from repro.pdl.catalog import available_platforms, load_platform, platform_path
+from repro.pdl.namespaces import DEFAULT_NAMESPACES, PDL_NS, XSI_NS, NamespaceMap
+from repro.pdl.parser import PDLParser, parse_pdl, parse_pdl_file
+from repro.pdl.schema import (
+    BASE_PROPERTY_TYPE,
+    PropertyNameDef,
+    PropertyTypeDef,
+    SchemaRegistry,
+    Subschema,
+    ValueKind,
+    default_registry,
+)
+from repro.pdl.diff import Change, ChangeKind, PlatformDiff, diff_platforms
+from repro.pdl.validator import PDLValidator, ValidationReport, validate_document
+from repro.pdl.writer import PDLWriter, write_pdl, write_pdl_file
+from repro.pdl.xsd import emit_all_xsd, emit_base_xsd, emit_subschema_xsd
+
+__all__ = [
+    "parse_pdl",
+    "parse_pdl_file",
+    "PDLParser",
+    "write_pdl",
+    "write_pdl_file",
+    "PDLWriter",
+    "validate_document",
+    "PDLValidator",
+    "ValidationReport",
+    "SchemaRegistry",
+    "Subschema",
+    "PropertyTypeDef",
+    "PropertyNameDef",
+    "ValueKind",
+    "BASE_PROPERTY_TYPE",
+    "default_registry",
+    "available_platforms",
+    "load_platform",
+    "platform_path",
+    "NamespaceMap",
+    "DEFAULT_NAMESPACES",
+    "PDL_NS",
+    "XSI_NS",
+    "diff_platforms",
+    "PlatformDiff",
+    "Change",
+    "ChangeKind",
+    "emit_base_xsd",
+    "emit_subschema_xsd",
+    "emit_all_xsd",
+]

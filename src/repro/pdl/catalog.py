@@ -1,0 +1,61 @@
+"""Catalog of PDL descriptors shipped with the library.
+
+The paper envisions that "base descriptors for common platforms may be
+provided a priori"; this module is that a-priori collection.  Descriptors
+are stored as XML under ``repro/pdl/data`` and loaded on demand.
+"""
+
+from __future__ import annotations
+
+import os
+from importlib import resources
+
+from repro.errors import PDLError
+from repro.model.platform import Platform
+from repro.pdl.parser import parse_pdl
+
+__all__ = ["available_platforms", "load_platform", "platform_path"]
+
+_DATA_PACKAGE = "repro.pdl"
+_DATA_DIR = "data"
+
+
+def _data_root():
+    return resources.files(_DATA_PACKAGE).joinpath(_DATA_DIR)
+
+
+def available_platforms() -> list[str]:
+    """Names of all shipped platform descriptors (without extension)."""
+    root = _data_root()
+    names = []
+    for entry in root.iterdir():
+        if entry.name.endswith(".xml"):
+            names.append(entry.name[: -len(".xml")])
+    return sorted(names)
+
+
+def platform_path(name: str) -> str:
+    """Filesystem path of a shipped descriptor (for tooling/CLI use)."""
+    entry = _data_root().joinpath(f"{name}.xml")
+    path = str(entry)
+    if not os.path.exists(path):
+        raise PDLError(
+            f"no shipped platform {name!r}; available: {available_platforms()}"
+        )
+    return path
+
+
+def load_platform(name: str, *, validate: bool = True, **kwargs) -> Platform:
+    """Parse a shipped descriptor by name.
+
+    >>> load_platform("xeon_x5550_2gpu").total_pu_count()
+    11
+    """
+    entry = _data_root().joinpath(f"{name}.xml")
+    try:
+        text = entry.read_text(encoding="utf-8")
+    except FileNotFoundError:
+        raise PDLError(
+            f"no shipped platform {name!r}; available: {available_platforms()}"
+        ) from None
+    return parse_pdl(text, validate=validate, name=name, **kwargs)

@@ -1,0 +1,171 @@
+"""Structural diff of two platform descriptions.
+
+Tooling the paper's workflows imply but never spell out: comparing a
+vendor-updated descriptor against the deployed one, or auditing what a
+stream of dynamic events (:mod:`repro.dynamic`) did to a platform.  The
+diff is structural (by PU id), not textual, so formatting changes are
+invisible and semantic changes are precise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.model.entities import ProcessingUnit
+from repro.model.platform import Platform
+
+__all__ = ["ChangeKind", "Change", "PlatformDiff", "diff_platforms"]
+
+
+class ChangeKind(str, Enum):
+    PU_ADDED = "pu-added"
+    PU_REMOVED = "pu-removed"
+    PU_MOVED = "pu-moved"  # different controller
+    PU_KIND_CHANGED = "pu-kind-changed"
+    QUANTITY_CHANGED = "quantity-changed"
+    PROPERTY_ADDED = "property-added"
+    PROPERTY_REMOVED = "property-removed"
+    PROPERTY_CHANGED = "property-changed"
+    GROUP_ADDED = "group-added"
+    GROUP_REMOVED = "group-removed"
+    INTERCONNECT_ADDED = "interconnect-added"
+    INTERCONNECT_REMOVED = "interconnect-removed"
+    MEMORY_ADDED = "memory-added"
+    MEMORY_REMOVED = "memory-removed"
+
+
+@dataclass(frozen=True)
+class Change:
+    """One semantic difference."""
+
+    kind: ChangeKind
+    subject: str  # PU / interconnect / memory-region id
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"[{self.kind.value}] {self.subject}: {self.detail}".rstrip(": ")
+
+
+@dataclass
+class PlatformDiff:
+    """All differences from ``old`` to ``new``."""
+
+    old_name: str
+    new_name: str
+    changes: list[Change] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not self.changes
+
+    def by_kind(self, kind: ChangeKind) -> list[Change]:
+        return [c for c in self.changes if c.kind == kind]
+
+    def for_subject(self, subject: str) -> list[Change]:
+        return [c for c in self.changes if c.subject == subject]
+
+    def summary(self) -> str:
+        if self.identical:
+            return f"{self.old_name} == {self.new_name} (no differences)"
+        lines = [
+            f"{len(self.changes)} difference(s)"
+            f" from {self.old_name!r} to {self.new_name!r}:"
+        ]
+        lines.extend(f"  {change}" for change in self.changes)
+        return "\n".join(lines)
+
+
+def _prop_map(pu: ProcessingUnit) -> dict:
+    return {
+        (p.name, p.type_name): (p.value.text, p.value.unit, p.fixed)
+        for p in pu.descriptor
+    }
+
+
+def diff_platforms(old: Platform, new: Platform) -> PlatformDiff:
+    """Compute the structural diff from ``old`` to ``new`` (keyed by id)."""
+    diff = PlatformDiff(old_name=old.name, new_name=new.name)
+    old_pus = {pu.id: pu for pu in old.walk()}
+    new_pus = {pu.id: pu for pu in new.walk()}
+
+    for pu_id in sorted(old_pus.keys() - new_pus.keys()):
+        diff.changes.append(Change(ChangeKind.PU_REMOVED, pu_id))
+    for pu_id in sorted(new_pus.keys() - old_pus.keys()):
+        pu = new_pus[pu_id]
+        diff.changes.append(
+            Change(ChangeKind.PU_ADDED, pu_id, f"{pu.kind}, qty {pu.quantity}")
+        )
+
+    for pu_id in sorted(old_pus.keys() & new_pus.keys()):
+        a, b = old_pus[pu_id], new_pus[pu_id]
+        if a.kind != b.kind:
+            diff.changes.append(
+                Change(ChangeKind.PU_KIND_CHANGED, pu_id, f"{a.kind} -> {b.kind}")
+            )
+        parent_a = a.parent.id if a.parent else None
+        parent_b = b.parent.id if b.parent else None
+        if parent_a != parent_b:
+            diff.changes.append(
+                Change(ChangeKind.PU_MOVED, pu_id, f"{parent_a} -> {parent_b}")
+            )
+        if a.quantity != b.quantity:
+            diff.changes.append(
+                Change(
+                    ChangeKind.QUANTITY_CHANGED,
+                    pu_id,
+                    f"{a.quantity} -> {b.quantity}",
+                )
+            )
+        # properties
+        props_a, props_b = _prop_map(a), _prop_map(b)
+        for key in sorted(props_a.keys() - props_b.keys()):
+            diff.changes.append(
+                Change(ChangeKind.PROPERTY_REMOVED, pu_id, key[0])
+            )
+        for key in sorted(props_b.keys() - props_a.keys()):
+            diff.changes.append(
+                Change(
+                    ChangeKind.PROPERTY_ADDED,
+                    pu_id,
+                    f"{key[0]} = {props_b[key][0]}",
+                )
+            )
+        for key in sorted(props_a.keys() & props_b.keys()):
+            if props_a[key] != props_b[key]:
+                diff.changes.append(
+                    Change(
+                        ChangeKind.PROPERTY_CHANGED,
+                        pu_id,
+                        f"{key[0]}: {props_a[key][0]} -> {props_b[key][0]}",
+                    )
+                )
+        # groups
+        for group in sorted(set(a.groups) - set(b.groups)):
+            diff.changes.append(Change(ChangeKind.GROUP_REMOVED, pu_id, group))
+        for group in sorted(set(b.groups) - set(a.groups)):
+            diff.changes.append(Change(ChangeKind.GROUP_ADDED, pu_id, group))
+
+    # interconnects and memory regions, keyed by id
+    old_ics = {ic.id: ic for ic in old.interconnects()}
+    new_ics = {ic.id: ic for ic in new.interconnects()}
+    for ic_id in sorted(old_ics.keys() - new_ics.keys()):
+        diff.changes.append(Change(ChangeKind.INTERCONNECT_REMOVED, ic_id))
+    for ic_id in sorted(new_ics.keys() - old_ics.keys()):
+        ic = new_ics[ic_id]
+        diff.changes.append(
+            Change(
+                ChangeKind.INTERCONNECT_ADDED,
+                ic_id,
+                f"{ic.from_pu}->{ic.to_pu} ({ic.type})",
+            )
+        )
+
+    old_mrs = {mr.id for mr in old.memory_regions()}
+    new_mrs = {mr.id for mr in new.memory_regions()}
+    for mr_id in sorted(old_mrs - new_mrs):
+        diff.changes.append(Change(ChangeKind.MEMORY_REMOVED, mr_id))
+    for mr_id in sorted(new_mrs - old_mrs):
+        diff.changes.append(Change(ChangeKind.MEMORY_ADDED, mr_id))
+
+    return diff

@@ -1,0 +1,30 @@
+"""Predefined PDL subschemas shipped with the library.
+
+Each module defines one :class:`~repro.pdl.schema.Subschema` mirroring a
+real-world platform layer the paper mentions: OpenCL device queries
+(Listing 2), Nvidia CUDA, hwloc topology discovery, and the IBM Cell B.E.
+"""
+
+from repro.pdl.extensions.cell import CELL_SUBSCHEMA
+from repro.pdl.extensions.cuda import CUDA_SUBSCHEMA
+from repro.pdl.extensions.hwloc import HWLOC_SUBSCHEMA
+from repro.pdl.extensions.opencl import OPENCL_SUBSCHEMA
+
+__all__ = [
+    "OPENCL_SUBSCHEMA",
+    "CUDA_SUBSCHEMA",
+    "HWLOC_SUBSCHEMA",
+    "CELL_SUBSCHEMA",
+    "register_all",
+]
+
+
+def register_all(registry) -> None:
+    """Register every shipped subschema with ``registry`` (idempotent)."""
+    for subschema in (
+        OPENCL_SUBSCHEMA,
+        CUDA_SUBSCHEMA,
+        HWLOC_SUBSCHEMA,
+        CELL_SUBSCHEMA,
+    ):
+        registry.register(subschema)

@@ -1,0 +1,44 @@
+"""IBM Cell B.E. subschema (``cell:``).
+
+The Cell is the paper's motivating hierarchical architecture (PPE as
+Master/Hybrid controlling SPE Workers); compile plans use ``gcc-spu`` /
+``xlc``.  This subschema carries SPE-specific attributes.
+"""
+
+from __future__ import annotations
+
+from repro.pdl.namespaces import WELL_KNOWN
+from repro.pdl.schema import PropertyNameDef, Subschema, ValueKind
+
+__all__ = ["CELL_SUBSCHEMA", "CELL_SPE_PROPERTY_TYPE"]
+
+CELL_SUBSCHEMA = Subschema(
+    prefix="cell",
+    uri=WELL_KNOWN["cell"],
+    version="1.0",
+    doc="IBM Cell Broadband Engine attributes (PPE/SPE).",
+)
+
+CELL_SPE_PROPERTY_TYPE = CELL_SUBSCHEMA.define_type(
+    "cellSpePropertyType",
+    base=None,  # closed type: only the declared names are admissible
+    names=[
+        PropertyNameDef("LOCAL_STORE_SIZE", ValueKind.QUANTITY),
+        PropertyNameDef("DMA_QUEUE_DEPTH", ValueKind.INT),
+        PropertyNameDef("EIB_BANDWIDTH", ValueKind.QUANTITY),
+        PropertyNameDef("ISOLATION_MODE", ValueKind.BOOL),
+        PropertyNameDef("SPU_FREQUENCY", ValueKind.QUANTITY),
+    ],
+    doc="Synergistic Processing Element attributes.",
+)
+
+CELL_PPE_PROPERTY_TYPE = CELL_SUBSCHEMA.define_type(
+    "cellPpePropertyType",
+    base=None,  # closed type: only the declared names are admissible
+    names=[
+        PropertyNameDef("SMT_THREADS", ValueKind.INT),
+        PropertyNameDef("PPU_FREQUENCY", ValueKind.QUANTITY),
+        PropertyNameDef("VMX_AVAILABLE", ValueKind.BOOL),
+    ],
+    doc="Power Processing Element attributes.",
+)

@@ -1,0 +1,39 @@
+"""Nvidia CUDA device-property subschema (``cuda:``).
+
+Covers the ``cudaDeviceProp`` fields the Cascabel toolchain and the
+performance models consume.  The paper's Fig. 4 flow selects CUBLAS task
+variants for CUDA-capable workers; compile plans use ``nvcc``.
+"""
+
+from __future__ import annotations
+
+from repro.pdl.namespaces import WELL_KNOWN
+from repro.pdl.schema import PropertyNameDef, Subschema, ValueKind
+
+__all__ = ["CUDA_SUBSCHEMA", "CUDA_DEVICE_PROPERTY_TYPE"]
+
+CUDA_SUBSCHEMA = Subschema(
+    prefix="cuda",
+    uri=WELL_KNOWN["cuda"],
+    version="3.2",  # tracks the CUDA toolkit version used in the paper
+    doc="Device properties gathered from the CUDA runtime (cudaDeviceProp).",
+)
+
+CUDA_DEVICE_PROPERTY_TYPE = CUDA_SUBSCHEMA.define_type(
+    "cudaDevicePropertyType",
+    base=None,  # closed type: only the declared names are admissible
+    names=[
+        PropertyNameDef("NAME", ValueKind.STRING),
+        PropertyNameDef("COMPUTE_CAPABILITY", ValueKind.STRING),
+        PropertyNameDef("MULTIPROCESSOR_COUNT", ValueKind.INT),
+        PropertyNameDef("CLOCK_RATE", ValueKind.QUANTITY),
+        PropertyNameDef("TOTAL_GLOBAL_MEM", ValueKind.QUANTITY),
+        PropertyNameDef("SHARED_MEM_PER_BLOCK", ValueKind.QUANTITY),
+        PropertyNameDef("WARP_SIZE", ValueKind.INT),
+        PropertyNameDef("MAX_THREADS_PER_BLOCK", ValueKind.INT),
+        PropertyNameDef("MEMORY_BUS_WIDTH", ValueKind.INT),
+        PropertyNameDef("ECC_ENABLED", ValueKind.BOOL),
+        PropertyNameDef("PCI_BUS_ID", ValueKind.INT),
+    ],
+    doc="One cudaDeviceProp field per property.",
+)

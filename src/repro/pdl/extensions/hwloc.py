@@ -1,0 +1,42 @@
+"""hwloc topology subschema (``hwloc:``).
+
+The paper (§V) positions hwloc as a complementary source for automatically
+generating PDL descriptors; :mod:`repro.discovery.hwloc_sim` emits
+properties of this type for CPU packages, caches and NUMA nodes.
+"""
+
+from __future__ import annotations
+
+from repro.pdl.namespaces import WELL_KNOWN
+from repro.pdl.schema import PropertyNameDef, Subschema, ValueKind
+
+__all__ = ["HWLOC_SUBSCHEMA", "HWLOC_OBJ_PROPERTY_TYPE"]
+
+HWLOC_SUBSCHEMA = Subschema(
+    prefix="hwloc",
+    uri=WELL_KNOWN["hwloc"],
+    version="1.0",
+    doc="Hardware locality information (packages, caches, NUMA).",
+)
+
+HWLOC_OBJ_PROPERTY_TYPE = HWLOC_SUBSCHEMA.define_type(
+    "hwlocObjPropertyType",
+    base=None,  # closed type: only the declared names are admissible
+    names=[
+        PropertyNameDef(
+            "OBJ_TYPE",
+            ValueKind.STRING,
+            enum=("Machine", "NUMANode", "Package", "L3Cache", "L2Cache",
+                  "L1Cache", "Core", "PU"),
+        ),
+        PropertyNameDef("LOGICAL_INDEX", ValueKind.INT),
+        PropertyNameDef("OS_INDEX", ValueKind.INT),
+        PropertyNameDef("CACHE_SIZE", ValueKind.QUANTITY),
+        PropertyNameDef("CACHE_LINE_SIZE", ValueKind.QUANTITY),
+        PropertyNameDef("LOCAL_MEMORY", ValueKind.QUANTITY),
+        PropertyNameDef("CPU_MODEL", ValueKind.STRING),
+        PropertyNameDef("CPUSET", ValueKind.STRING),
+        PropertyNameDef("NUMA_NODE", ValueKind.INT),
+    ],
+    doc="One hwloc topology object attribute per property.",
+)

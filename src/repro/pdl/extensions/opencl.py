@@ -1,0 +1,63 @@
+"""OpenCL device-property subschema (``ocl:``).
+
+Mirrors Listing 2 of the paper: properties generated from OpenCL runtime
+queries carry ``xsi:type="ocl:oclDevicePropertyType"`` and use names taken
+from the ``CL_DEVICE_*`` info enumeration (with the ``CL_DEVICE_`` prefix
+stripped, as in the paper's listing).
+"""
+
+from __future__ import annotations
+
+from repro.pdl.namespaces import WELL_KNOWN
+from repro.pdl.schema import PropertyNameDef, Subschema, ValueKind
+
+__all__ = ["OPENCL_SUBSCHEMA", "OCL_DEVICE_PROPERTY_TYPE"]
+
+OPENCL_SUBSCHEMA = Subschema(
+    prefix="ocl",
+    uri=WELL_KNOWN["ocl"],
+    version="1.1",  # tracks the OpenCL 1.1 spec the paper cites
+    doc="Device properties gathered from OpenCL runtime queries.",
+)
+
+OCL_DEVICE_PROPERTY_TYPE = OPENCL_SUBSCHEMA.define_type(
+    "oclDevicePropertyType",
+    base=None,  # closed type: only the declared names are admissible
+    names=[
+        PropertyNameDef("DEVICE_NAME", ValueKind.STRING, doc="CL_DEVICE_NAME"),
+        PropertyNameDef("DEVICE_VENDOR", ValueKind.STRING),
+        PropertyNameDef("DEVICE_VERSION", ValueKind.STRING),
+        PropertyNameDef("DRIVER_VERSION", ValueKind.STRING),
+        PropertyNameDef(
+            "DEVICE_TYPE",
+            ValueKind.STRING,
+            enum=("CPU", "GPU", "ACCELERATOR", "CUSTOM", "DEFAULT"),
+        ),
+        PropertyNameDef("MAX_COMPUTE_UNITS", ValueKind.INT),
+        PropertyNameDef("MAX_WORK_ITEM_DIMENSIONS", ValueKind.INT),
+        PropertyNameDef("MAX_WORK_GROUP_SIZE", ValueKind.INT),
+        PropertyNameDef("MAX_CLOCK_FREQUENCY", ValueKind.QUANTITY),
+        PropertyNameDef("GLOBAL_MEM_SIZE", ValueKind.QUANTITY),
+        PropertyNameDef("LOCAL_MEM_SIZE", ValueKind.QUANTITY),
+        PropertyNameDef("MAX_MEM_ALLOC_SIZE", ValueKind.QUANTITY),
+        PropertyNameDef("GLOBAL_MEM_CACHE_SIZE", ValueKind.QUANTITY),
+        PropertyNameDef("GLOBAL_MEM_CACHELINE_SIZE", ValueKind.QUANTITY),
+        PropertyNameDef("DOUBLE_FP_CONFIG", ValueKind.STRING),
+        PropertyNameDef("EXTENSIONS", ValueKind.STRING),
+        PropertyNameDef("AVAILABLE", ValueKind.BOOL),
+    ],
+    doc="One CL_DEVICE_* query result (CL_DEVICE_ prefix stripped).",
+)
+
+#: OpenCL platform-level (``clGetPlatformInfo``) properties.
+OCL_PLATFORM_PROPERTY_TYPE = OPENCL_SUBSCHEMA.define_type(
+    "oclPlatformPropertyType",
+    base=None,  # closed type: only the declared names are admissible
+    names=[
+        PropertyNameDef("PLATFORM_NAME", ValueKind.STRING),
+        PropertyNameDef("PLATFORM_VENDOR", ValueKind.STRING),
+        PropertyNameDef("PLATFORM_VERSION", ValueKind.STRING),
+        PropertyNameDef("PLATFORM_PROFILE", ValueKind.STRING),
+    ],
+    doc="One CL_PLATFORM_* query result.",
+)

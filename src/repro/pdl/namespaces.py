@@ -1,0 +1,108 @@
+"""XML namespace handling for the PDL.
+
+The PDL uses XML namespaces for two things:
+
+* the base schema itself (``pdl:`` — usually the default namespace), and
+* *subschemas* that extend the generic ``Property`` type through XML schema
+  inheritance (Listing 2: ``xsi:type="ocl:oclDevicePropertyType"`` with
+  ``<ocl:name>``/``<ocl:value>`` children).
+
+:mod:`xml.etree.ElementTree` expands prefixed names to Clark notation
+(``{uri}local``); this module owns the canonical prefix ↔ URI mapping so the
+parser and writer agree, and new subschema namespaces can be registered at
+runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "PDL_NS",
+    "XSI_NS",
+    "WELL_KNOWN",
+    "NamespaceMap",
+    "clark",
+    "split_clark",
+]
+
+#: namespace of the base PDL schema
+PDL_NS = "http://repro.example.org/pdl/1.0"
+#: the W3C schema-instance namespace (carries ``xsi:type``)
+XSI_NS = "http://www.w3.org/2001/XMLSchema-instance"
+
+#: predefined subschema namespaces shipped with the library
+WELL_KNOWN: dict[str, str] = {
+    "pdl": PDL_NS,
+    "xsi": XSI_NS,
+    "ocl": "http://repro.example.org/pdl/ext/opencl/1.0",
+    "cuda": "http://repro.example.org/pdl/ext/cuda/1.0",
+    "hwloc": "http://repro.example.org/pdl/ext/hwloc/1.0",
+    "cell": "http://repro.example.org/pdl/ext/cell/1.0",
+}
+
+
+def clark(uri: str, local: str) -> str:
+    """Build an ElementTree Clark-notation name ``{uri}local``."""
+    return f"{{{uri}}}{local}" if uri else local
+
+
+def split_clark(tag: str) -> tuple[Optional[str], str]:
+    """Split ``{uri}local`` into ``(uri, local)``; plain tags give ``(None, tag)``."""
+    if tag.startswith("{"):
+        uri, _, local = tag[1:].partition("}")
+        return uri, local
+    return None, tag
+
+
+class NamespaceMap:
+    """Bidirectional prefix ↔ URI map with registration support."""
+
+    def __init__(self, initial: Optional[dict[str, str]] = None):
+        self._prefix_to_uri: dict[str, str] = {}
+        self._uri_to_prefix: dict[str, str] = {}
+        for prefix, uri in (initial or WELL_KNOWN).items():
+            self.register(prefix, uri)
+
+    def register(self, prefix: str, uri: str) -> None:
+        existing = self._prefix_to_uri.get(prefix)
+        if existing is not None and existing != uri:
+            raise ValueError(
+                f"namespace prefix {prefix!r} already bound to {existing!r}"
+            )
+        self._prefix_to_uri[prefix] = uri
+        self._uri_to_prefix.setdefault(uri, prefix)
+
+    def uri(self, prefix: str) -> Optional[str]:
+        return self._prefix_to_uri.get(prefix)
+
+    def prefix(self, uri: str) -> Optional[str]:
+        return self._uri_to_prefix.get(uri)
+
+    def qualify(self, name: str) -> str:
+        """``"ocl:value"`` → Clark notation; unprefixed names pass through."""
+        if ":" in name:
+            prefix, local = name.split(":", 1)
+            uri = self.uri(prefix)
+            if uri is None:
+                raise KeyError(f"unknown namespace prefix {prefix!r}")
+            return clark(uri, local)
+        return name
+
+    def shorten(self, tag: str) -> str:
+        """Clark notation → ``prefix:local`` (or bare local for unknown URIs)."""
+        uri, local = split_clark(tag)
+        if uri is None:
+            return local
+        prefix = self.prefix(uri)
+        return f"{prefix}:{local}" if prefix else local
+
+    def items(self):
+        return self._prefix_to_uri.items()
+
+    def copy(self) -> "NamespaceMap":
+        return NamespaceMap(dict(self._prefix_to_uri))
+
+
+#: process-wide default map (extensions register themselves here)
+DEFAULT_NAMESPACES = NamespaceMap()

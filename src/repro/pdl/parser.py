@@ -1,0 +1,316 @@
+"""PDL document parser: XML text → :class:`~repro.model.platform.Platform`.
+
+Accepted document shapes
+------------------------
+* a ``<Platform>`` root wrapping one or more ``<Master>`` elements, or
+* a bare ``<Master>`` root exactly as printed in Listing 1 of the paper.
+
+Elements may live in the PDL namespace or be un-namespaced (the paper's
+listings omit the header); parsing dispatches on local names.  Polymorphic
+properties (Listing 2) declare ``xsi:type="ocl:oclDevicePropertyType"`` and
+use namespaced ``<ocl:name>`` / ``<ocl:value>`` children; the parser resolves
+document prefixes against the document's own ``xmlns`` declarations and
+normalizes them to the library's canonical prefixes.
+"""
+
+from __future__ import annotations
+
+import io
+import xml.etree.ElementTree as ET
+from typing import Optional, Union
+
+from repro.errors import PDLParseError
+from repro.model.entities import (
+    Hybrid,
+    Interconnect,
+    Master,
+    MemoryRegion,
+    ProcessingUnit,
+    Worker,
+)
+from repro.model.platform import Platform
+from repro.model.properties import (
+    Descriptor,
+    ICDescriptor,
+    MRDescriptor,
+    Property,
+    PropertyValue,
+    PUDescriptor,
+)
+from repro.pdl.namespaces import DEFAULT_NAMESPACES, XSI_NS, NamespaceMap, split_clark
+from repro.pdl.schema import SchemaRegistry, default_registry
+
+__all__ = ["parse_pdl", "parse_pdl_file", "PDLParser"]
+
+_PU_CLASSES = {"Master": Master, "Hybrid": Hybrid, "Worker": Worker}
+
+
+def parse_pdl(
+    text: Union[str, bytes],
+    *,
+    registry: Optional[SchemaRegistry] = None,
+    validate: bool = True,
+    strict_schema: bool = False,
+    name: Optional[str] = None,
+) -> Platform:
+    """Parse a PDL document from a string.
+
+    Parameters
+    ----------
+    text:
+        XML source.
+    registry:
+        Schema registry for property-type resolution (defaults to the
+        shipped registry).
+    validate:
+        Run structural machine-model validation after parsing.
+    strict_schema:
+        Reject properties whose declared type is unknown to the registry.
+    name:
+        Platform name override (used for bare-Master documents that carry
+        no name of their own).
+    """
+    parser = PDLParser(registry=registry, strict_schema=strict_schema)
+    platform = parser.parse(text, name=name)
+    if validate:
+        platform.validate()
+    return platform
+
+
+def parse_pdl_file(path, **kwargs) -> Platform:
+    """Parse a PDL document from a file path."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    kwargs.setdefault("name", _stem(path))
+    return parse_pdl(data, **kwargs)
+
+
+def _stem(path) -> str:
+    import os
+
+    return os.path.splitext(os.path.basename(str(path)))[0]
+
+
+class PDLParser:
+    """Stateful parser; one instance may parse many documents."""
+
+    def __init__(
+        self,
+        *,
+        registry: Optional[SchemaRegistry] = None,
+        strict_schema: bool = False,
+    ):
+        self.registry = registry if registry is not None else default_registry()
+        self.strict_schema = strict_schema
+
+    # -- entry point -------------------------------------------------------
+    def parse(self, text: Union[str, bytes], *, name: Optional[str] = None) -> Platform:
+        if isinstance(text, str):
+            text = text.encode("utf-8")
+        root, nsmap = self._parse_tree(text)
+        local = self._local(root.tag)
+        if local == "Platform":
+            platform = Platform(
+                name=root.get("name", name or "platform"),
+                schema_version=root.get("schemaVersion", "1.0"),
+            )
+            masters = [el for el in root if self._local(el.tag) in _PU_CLASSES]
+            if not masters:
+                raise PDLParseError("Platform element contains no Master")
+            for el in masters:
+                if self._local(el.tag) != "Master":
+                    raise PDLParseError(
+                        f"top-level PU must be Master, got {self._local(el.tag)}",
+                        element=self._local(el.tag),
+                    )
+                platform.add_master(self._parse_pu(el, Master, nsmap))
+        elif local == "Master":
+            platform = Platform(name=name or root.get("name", "platform"))
+            platform.add_master(self._parse_pu(root, Master, nsmap))
+        else:
+            raise PDLParseError(
+                f"unexpected root element <{local}>; expected Platform or Master"
+            )
+        return platform
+
+    # -- XML plumbing --------------------------------------------------------
+    def _parse_tree(self, data: bytes) -> tuple[ET.Element, NamespaceMap]:
+        """Parse XML collecting the document's own prefix declarations."""
+        nsmap = NamespaceMap({})
+        # seed with canonical prefixes so documents without declarations work
+        for prefix, uri in DEFAULT_NAMESPACES.items():
+            nsmap.register(prefix, uri)
+        try:
+            events = ET.iterparse(io.BytesIO(data), events=("start-ns", "end"))
+            root: Optional[ET.Element] = None
+            for event, payload in events:
+                if event == "start-ns":
+                    prefix, uri = payload
+                    try:
+                        nsmap.register(prefix or "pdl-default", uri)
+                    except ValueError:
+                        pass  # document re-binds a known prefix; URI lookup still works
+                else:
+                    root = payload
+            # iterparse yields end events bottom-up; the last one is the root
+            if root is None:
+                raise PDLParseError("empty document")
+            return root, nsmap
+        except ET.ParseError as exc:
+            raise PDLParseError(str(exc), line=getattr(exc, "position", (None,))[0])
+
+    @staticmethod
+    def _local(tag: str) -> str:
+        return split_clark(tag)[1]
+
+    def _children(self, element: ET.Element, local: str) -> list[ET.Element]:
+        return [el for el in element if self._local(el.tag) == local]
+
+    def _child(self, element: ET.Element, local: str) -> Optional[ET.Element]:
+        found = self._children(element, local)
+        return found[0] if found else None
+
+    # -- element handlers ---------------------------------------------------
+    def _parse_pu(
+        self, element: ET.Element, expected_cls, nsmap: NamespaceMap
+    ) -> ProcessingUnit:
+        local = self._local(element.tag)
+        cls = _PU_CLASSES.get(local)
+        if cls is None or not issubclass(cls, expected_cls):
+            raise PDLParseError(
+                f"expected {expected_cls.__name__} element, got <{local}>",
+                element=local,
+            )
+        pu_id = element.get("id")
+        if pu_id is None:
+            raise PDLParseError(f"<{local}> element lacks an id attribute", element=local)
+        quantity = self._int_attr(element, "quantity", default=1)
+        pu = cls(pu_id, quantity=quantity, name=element.get("name"))
+
+        for child in element:
+            child_local = self._local(child.tag)
+            if child_local == "PUDescriptor":
+                self._fill_descriptor(pu.descriptor, child, nsmap)
+            elif child_local == "MemoryRegion":
+                pu.add_memory_region(self._parse_memory_region(child, nsmap))
+            elif child_local == "Interconnect":
+                pu.add_interconnect(self._parse_interconnect(child, nsmap))
+            elif child_local == "LogicGroupAttribute":
+                group = (child.text or "").strip() or child.get("name", "").strip()
+                if not group:
+                    raise PDLParseError(
+                        "empty LogicGroupAttribute", element=child_local
+                    )
+                pu.add_group(group)
+            elif child_local in _PU_CLASSES:
+                sub = self._parse_pu(child, ProcessingUnit, nsmap)
+                try:
+                    pu.add_child(sub)
+                except Exception as exc:
+                    raise PDLParseError(str(exc), element=child_local) from exc
+            else:
+                raise PDLParseError(
+                    f"unexpected element <{child_local}> inside <{local}>",
+                    element=child_local,
+                )
+        return pu
+
+    def _parse_memory_region(
+        self, element: ET.Element, nsmap: NamespaceMap
+    ) -> MemoryRegion:
+        region = MemoryRegion(element.get("id"))
+        descriptor_el = self._child(element, "MRDescriptor")
+        if descriptor_el is not None:
+            self._fill_descriptor(region.descriptor, descriptor_el, nsmap)
+        return region
+
+    def _parse_interconnect(
+        self, element: ET.Element, nsmap: NamespaceMap
+    ) -> Interconnect:
+        from_pu = element.get("from")
+        to_pu = element.get("to")
+        if from_pu is None or to_pu is None:
+            raise PDLParseError(
+                "Interconnect requires from and to attributes", element="Interconnect"
+            )
+        bidirectional = element.get("bidirectional", "true").strip().lower() != "false"
+        ic = Interconnect(
+            from_pu,
+            to_pu,
+            type=element.get("type", ""),
+            scheme=element.get("scheme", ""),
+            id=element.get("id"),
+            bidirectional=bidirectional,
+        )
+        descriptor_el = self._child(element, "ICDescriptor")
+        if descriptor_el is not None:
+            self._fill_descriptor(ic.descriptor, descriptor_el, nsmap)
+        return ic
+
+    def _fill_descriptor(
+        self, descriptor: Descriptor, element: ET.Element, nsmap: NamespaceMap
+    ) -> None:
+        for child in element:
+            if self._local(child.tag) != "Property":
+                raise PDLParseError(
+                    f"descriptor may only contain Property elements,"
+                    f" got <{self._local(child.tag)}>",
+                    element=descriptor.xml_tag,
+                )
+            descriptor.add(self._parse_property(child, nsmap))
+
+    def _parse_property(self, element: ET.Element, nsmap: NamespaceMap) -> Property:
+        fixed = element.get("fixed", "true").strip().lower() != "false"
+        type_name = self._resolve_xsi_type(element, nsmap)
+
+        name_el = value_el = None
+        for child in element:
+            local = self._local(child.tag)
+            if local == "name":
+                name_el = child
+            elif local == "value":
+                value_el = child
+        if name_el is None or name_el.text is None or not name_el.text.strip():
+            raise PDLParseError("Property lacks a name element", element="Property")
+        if value_el is None:
+            raise PDLParseError("Property lacks a value element", element="Property")
+
+        value = PropertyValue(
+            (value_el.text or "").strip(), unit=value_el.get("unit")
+        )
+        prop = Property(
+            name_el.text.strip(), value, fixed=fixed, type_name=type_name
+        )
+        self.registry.check_property(prop, strict=self.strict_schema)
+        return prop
+
+    def _resolve_xsi_type(
+        self, element: ET.Element, nsmap: NamespaceMap
+    ) -> Optional[str]:
+        raw = element.get(f"{{{XSI_NS}}}type") or element.get("xsi:type")
+        if raw is None:
+            return None
+        raw = raw.strip()
+        if ":" not in raw:
+            return raw
+        prefix, local = raw.split(":", 1)
+        uri = nsmap.uri(prefix)
+        if uri is not None:
+            canonical = DEFAULT_NAMESPACES.prefix(uri)
+            if canonical is not None:
+                return f"{canonical}:{local}"
+        # fall back to the document's own prefix (may match a registered one)
+        return raw
+
+    @staticmethod
+    def _int_attr(element: ET.Element, name: str, *, default: int) -> int:
+        raw = element.get(name)
+        if raw is None:
+            return default
+        try:
+            return int(raw)
+        except ValueError as exc:
+            raise PDLParseError(
+                f"attribute {name}={raw!r} is not an integer",
+                element=split_clark(element.tag)[1],
+            ) from exc

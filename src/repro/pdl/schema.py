@@ -1,0 +1,300 @@
+"""PDL schema model: subschemas, versioning and property-type inheritance.
+
+The paper (§III-B) derives an XML Schema Definition from the hierarchical
+machine model and makes it extensible via *predefined Descriptor and
+Property subschemas* that have "unique identification and versioning
+support".  New subschemas for novel platforms can be contributed by
+application programmers, tool developers or hardware vendors.
+
+We model that design directly in Python (the stdlib has no XSD validator):
+
+:class:`PropertyTypeDef`
+    One polymorphic property type (e.g. ``ocl:oclDevicePropertyType``),
+    optionally constraining the set of admissible property names and their
+    value kinds, and optionally *inheriting* from another type def.
+
+:class:`Subschema`
+    A named, versioned collection of property types bound to one XML
+    namespace.
+
+:class:`SchemaRegistry`
+    Lookup and conformance checking.  Parsing and validation consult a
+    registry; unknown subschemas degrade to generic properties unless
+    ``strict`` mode is requested (the extensibility requirement: a document
+    using a vendor subschema we have never seen must still load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from repro.errors import PDLSchemaError
+from repro.model.properties import Property
+
+__all__ = [
+    "ValueKind",
+    "PropertyNameDef",
+    "PropertyTypeDef",
+    "Subschema",
+    "SchemaRegistry",
+    "default_registry",
+    "BASE_PROPERTY_TYPE",
+]
+
+
+class ValueKind:
+    """Admissible value kinds for schema-constrained properties."""
+
+    STRING = "string"
+    INT = "int"
+    FLOAT = "float"
+    BOOL = "bool"
+    QUANTITY = "quantity"  # numeric with optional unit
+
+    ALL = (STRING, INT, FLOAT, BOOL, QUANTITY)
+
+    _CHECKERS: dict[str, Callable[[Property], None]] = {}
+
+    @classmethod
+    def check(cls, kind: str, prop: Property) -> None:
+        """Raise :class:`PDLSchemaError` when ``prop`` violates ``kind``."""
+        try:
+            if kind == cls.INT:
+                prop.value.as_int()
+            elif kind == cls.FLOAT:
+                prop.value.as_float()
+            elif kind == cls.BOOL:
+                prop.value.as_bool()
+            elif kind == cls.QUANTITY:
+                prop.value.as_quantity()
+            elif kind == cls.STRING:
+                pass
+            else:
+                raise PDLSchemaError(f"unknown value kind {kind!r}")
+        except PDLSchemaError:
+            raise
+        except Exception as exc:
+            raise PDLSchemaError(
+                f"property {prop.name!r}: value {prop.value.text!r}"
+                f" is not a valid {kind}"
+            ) from exc
+
+
+@dataclass(frozen=True)
+class PropertyNameDef:
+    """Constraint on one property name within a :class:`PropertyTypeDef`."""
+
+    name: str
+    kind: str = ValueKind.STRING
+    #: enumerated admissible values (empty = unconstrained)
+    enum: tuple[str, ...] = ()
+    #: documentation string
+    doc: str = ""
+    #: whether instances may leave the value unfixed
+    allow_unfixed: bool = True
+
+    def check(self, prop: Property) -> None:
+        ValueKind.check(self.kind, prop)
+        if self.enum and prop.value.as_str() not in self.enum:
+            raise PDLSchemaError(
+                f"property {prop.name!r}: value {prop.value.text!r} not in"
+                f" enumeration {list(self.enum)}"
+            )
+        if not prop.fixed and not self.allow_unfixed:
+            raise PDLSchemaError(
+                f"property {prop.name!r} must be fixed in this subschema"
+            )
+
+
+@dataclass
+class PropertyTypeDef:
+    """A (possibly derived) polymorphic property type.
+
+    ``names`` enumerates admissible property names.  An *open* type
+    (``open_names=True``) admits any name — the generic base property type
+    is open.  Derived types inherit the base's name definitions.
+    """
+
+    qname: str  # qualified name, e.g. "ocl:oclDevicePropertyType"
+    version: str = "1.0"
+    base: Optional["PropertyTypeDef"] = None
+    names: dict[str, PropertyNameDef] = field(default_factory=dict)
+    open_names: bool = False
+    doc: str = ""
+
+    def resolve_name(self, name: str) -> Optional[PropertyNameDef]:
+        if name in self.names:
+            return self.names[name]
+        if self.base is not None:
+            return self.base.resolve_name(name)
+        return None
+
+    def admits_any_name(self) -> bool:
+        if self.open_names:
+            return True
+        return self.base.admits_any_name() if self.base is not None else False
+
+    def all_names(self) -> dict[str, PropertyNameDef]:
+        merged: dict[str, PropertyNameDef] = {}
+        if self.base is not None:
+            merged.update(self.base.all_names())
+        merged.update(self.names)
+        return merged
+
+    def check(self, prop: Property) -> None:
+        """Validate ``prop`` against this type definition."""
+        name_def = self.resolve_name(prop.name)
+        if name_def is None:
+            if self.admits_any_name():
+                return
+            raise PDLSchemaError(
+                f"type {self.qname!r} (v{self.version}) does not define"
+                f" property name {prop.name!r};"
+                f" known names: {sorted(self.all_names()) or '(none)'}"
+            )
+        name_def.check(prop)
+
+    def derives_from(self, qname: str) -> bool:
+        node: Optional[PropertyTypeDef] = self
+        while node is not None:
+            if node.qname == qname:
+                return True
+            node = node.base
+        return False
+
+
+#: The generic base Property type of the core PDL schema: open name space,
+#: string values, no further constraints.
+BASE_PROPERTY_TYPE = PropertyTypeDef(
+    qname="pdl:PropertyType",
+    version="1.0",
+    open_names=True,
+    doc="Generic key/value property of the base PDL schema.",
+)
+
+
+@dataclass
+class Subschema:
+    """A versioned extension schema bound to one namespace prefix/URI."""
+
+    prefix: str
+    uri: str
+    version: str = "1.0"
+    types: dict[str, PropertyTypeDef] = field(default_factory=dict)
+    doc: str = ""
+
+    def define_type(
+        self,
+        local_name: str,
+        *,
+        base: Optional[PropertyTypeDef] = BASE_PROPERTY_TYPE,
+        names: Iterable[PropertyNameDef] = (),
+        open_names: bool = False,
+        doc: str = "",
+    ) -> PropertyTypeDef:
+        qname = f"{self.prefix}:{local_name}"
+        if qname in self.types:
+            raise PDLSchemaError(f"type {qname!r} already defined")
+        type_def = PropertyTypeDef(
+            qname=qname,
+            version=self.version,
+            base=base,
+            names={d.name: d for d in names},
+            open_names=open_names,
+            doc=doc,
+        )
+        self.types[qname] = type_def
+        return type_def
+
+    @property
+    def identifier(self) -> str:
+        """Unique subschema identification (URI + version) per §III-B."""
+        return f"{self.uri}#v{self.version}"
+
+
+class SchemaRegistry:
+    """Registry of subschemas consulted during parsing and validation."""
+
+    def __init__(self):
+        self._subschemas: dict[str, Subschema] = {}
+        self._types: dict[str, PropertyTypeDef] = {
+            BASE_PROPERTY_TYPE.qname: BASE_PROPERTY_TYPE
+        }
+
+    def register(self, subschema: Subschema) -> Subschema:
+        existing = self._subschemas.get(subschema.prefix)
+        if existing is not None:
+            if existing.identifier == subschema.identifier:
+                return existing  # idempotent re-registration
+            raise PDLSchemaError(
+                f"subschema prefix {subschema.prefix!r} already bound to"
+                f" {existing.identifier!r}"
+            )
+        self._subschemas[subschema.prefix] = subschema
+        for qname, type_def in subschema.types.items():
+            if qname in self._types:
+                raise PDLSchemaError(f"property type {qname!r} already registered")
+            self._types[qname] = type_def
+        # make the namespace known to the default prefix map
+        from repro.pdl.namespaces import DEFAULT_NAMESPACES
+
+        try:
+            DEFAULT_NAMESPACES.register(subschema.prefix, subschema.uri)
+        except ValueError as exc:
+            raise PDLSchemaError(str(exc)) from exc
+        return subschema
+
+    # -- lookup ------------------------------------------------------------
+    def subschema(self, prefix: str) -> Optional[Subschema]:
+        return self._subschemas.get(prefix)
+
+    def subschemas(self) -> list[Subschema]:
+        return list(self._subschemas.values())
+
+    def lookup_type(self, qname: Optional[str]) -> Optional[PropertyTypeDef]:
+        if qname is None:
+            return BASE_PROPERTY_TYPE
+        return self._types.get(qname)
+
+    def known_type(self, qname: str) -> bool:
+        return qname in self._types
+
+    # -- conformance ---------------------------------------------------------
+    def check_property(self, prop: Property, *, strict: bool = False) -> None:
+        """Validate one property against its declared type.
+
+        Unknown types pass in non-strict mode (extensibility: a document may
+        use vendor subschemas this installation has not loaded).
+        """
+        type_def = self.lookup_type(prop.type_name)
+        if type_def is None:
+            if strict:
+                raise PDLSchemaError(
+                    f"unknown property type {prop.type_name!r}"
+                    f" (property {prop.name!r}); registered types:"
+                    f" {sorted(self._types)}"
+                )
+            return
+        type_def.check(prop)
+
+    def copy(self) -> "SchemaRegistry":
+        clone = SchemaRegistry()
+        for subschema in self._subschemas.values():
+            clone._subschemas[subschema.prefix] = subschema
+            clone._types.update(subschema.types)
+        return clone
+
+
+_default_registry: Optional[SchemaRegistry] = None
+
+
+def default_registry() -> SchemaRegistry:
+    """Process-wide registry preloaded with the shipped extension subschemas."""
+    global _default_registry
+    if _default_registry is None:
+        _default_registry = SchemaRegistry()
+        from repro.pdl import extensions
+
+        extensions.register_all(_default_registry)
+    return _default_registry

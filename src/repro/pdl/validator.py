@@ -1,0 +1,105 @@
+"""Document-level PDL validation.
+
+Combines the three conformance layers a PDL toolchain needs:
+
+1. **Structural** rules of the machine model (§III-A) via
+   :mod:`repro.model.validation`.
+2. **Schema** conformance of every property against its (sub)schema via
+   :class:`~repro.pdl.schema.SchemaRegistry`.
+3. **Completeness** checks useful before handing a descriptor to a code
+   generator: unresolved *unfixed* properties can be reported so a runtime
+   knows which slots still need instantiation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import PDLSchemaError, ValidationError
+from repro.model.platform import Platform
+from repro.model.validation import collect_violations
+from repro.pdl.schema import SchemaRegistry, default_registry
+
+__all__ = ["ValidationReport", "validate_document", "PDLValidator"]
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of a full document validation."""
+
+    structural: list[str] = field(default_factory=list)
+    schema: list[str] = field(default_factory=list)
+    unfixed: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no structural or schema violations exist.
+
+        Unfixed properties are informational — they are legal (§III-B
+        explicitly supports late instantiation) but relevant to tools.
+        """
+        return not self.structural and not self.schema
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise ValidationError(self.structural + self.schema)
+
+    def summary(self) -> str:
+        lines = [
+            f"structural violations: {len(self.structural)}",
+            f"schema violations:     {len(self.schema)}",
+            f"unfixed properties:    {len(self.unfixed)}",
+        ]
+        for issue in self.structural + self.schema:
+            lines.append(f"  - {issue}")
+        return "\n".join(lines)
+
+
+class PDLValidator:
+    """Reusable validator bound to one schema registry."""
+
+    def __init__(
+        self,
+        registry: Optional[SchemaRegistry] = None,
+        *,
+        strict_schema: bool = False,
+    ):
+        self.registry = registry if registry is not None else default_registry()
+        self.strict_schema = strict_schema
+
+    def validate(self, platform: Platform) -> ValidationReport:
+        report = ValidationReport()
+        report.structural = collect_violations(platform)
+        for owner_kind, owner_id, descriptor in self._descriptors(platform):
+            for prop in descriptor:
+                try:
+                    self.registry.check_property(prop, strict=self.strict_schema)
+                except PDLSchemaError as exc:
+                    report.schema.append(
+                        f"{owner_kind} {owner_id!r}: {exc}"
+                    )
+                if not prop.fixed:
+                    report.unfixed.append(
+                        f"{owner_kind} {owner_id!r}: {prop.name}"
+                    )
+        return report
+
+    @staticmethod
+    def _descriptors(platform: Platform):
+        for pu in platform.walk():
+            yield pu.kind, pu.id, pu.descriptor
+            for region in pu.memory_regions:
+                yield "MemoryRegion", region.id, region.descriptor
+            for ic in pu.interconnects:
+                yield "Interconnect", ic.id, ic.descriptor
+
+
+def validate_document(
+    platform: Platform,
+    *,
+    registry: Optional[SchemaRegistry] = None,
+    strict_schema: bool = False,
+) -> ValidationReport:
+    """One-shot full validation of a parsed platform."""
+    return PDLValidator(registry, strict_schema=strict_schema).validate(platform)

@@ -1,0 +1,172 @@
+"""PDL document writer: :class:`~repro.model.platform.Platform` → XML text.
+
+The writer emits namespaced documents with the library's canonical
+prefixes, declaring exactly the namespaces the document uses.  Output is
+deterministic (stable attribute order, two-space indentation) so documents
+diff cleanly and round-trip through the parser losslessly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+from xml.sax.saxutils import escape, quoteattr
+
+from repro.model.entities import Interconnect, MemoryRegion, ProcessingUnit
+from repro.model.platform import Platform
+from repro.model.properties import Descriptor, Property
+from repro.pdl.namespaces import DEFAULT_NAMESPACES, PDL_NS, XSI_NS
+
+__all__ = ["write_pdl", "write_pdl_file", "PDLWriter"]
+
+
+def write_pdl(
+    platform: Platform,
+    *,
+    default_namespace: bool = True,
+    xml_declaration: bool = True,
+) -> str:
+    """Serialize ``platform`` to PDL XML text."""
+    return PDLWriter(
+        default_namespace=default_namespace, xml_declaration=xml_declaration
+    ).write(platform)
+
+
+def write_pdl_file(platform: Platform, path, **kwargs) -> None:
+    """Serialize ``platform`` to a file."""
+    text = write_pdl(platform, **kwargs)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+class PDLWriter:
+    """Deterministic PDL serializer."""
+
+    def __init__(self, *, default_namespace: bool = True, xml_declaration: bool = True):
+        self.default_namespace = default_namespace
+        self.xml_declaration = xml_declaration
+
+    def write(self, platform: Platform) -> str:
+        lines: list[str] = []
+        if self.xml_declaration:
+            lines.append('<?xml version="1.0" encoding="UTF-8"?>')
+
+        used_prefixes = self._collect_prefixes(platform)
+        ns_attrs = []
+        if self.default_namespace:
+            ns_attrs.append(f'xmlns="{PDL_NS}"')
+        if used_prefixes:
+            ns_attrs.append(f'xmlns:xsi="{XSI_NS}"')
+        for prefix in sorted(used_prefixes):
+            uri = DEFAULT_NAMESPACES.uri(prefix)
+            if uri is not None:
+                ns_attrs.append(f'xmlns:{prefix}="{uri}"')
+
+        attrs = [
+            f"name={quoteattr(platform.name)}",
+            f"schemaVersion={quoteattr(platform.schema_version)}",
+            *ns_attrs,
+        ]
+        lines.append(f"<Platform {' '.join(attrs)}>")
+        for master in platform.masters:
+            self._emit_pu(master, lines, indent=1)
+        lines.append("</Platform>")
+        return "\n".join(lines) + "\n"
+
+    # -- helpers -----------------------------------------------------------
+    @staticmethod
+    def _collect_prefixes(platform: Platform) -> set[str]:
+        """Namespace prefixes of all polymorphic property types in use."""
+        prefixes: set[str] = set()
+
+        def scan(descriptor: Descriptor) -> None:
+            for prop in descriptor:
+                if prop.namespace:
+                    prefixes.add(prop.namespace)
+
+        for pu in platform.walk():
+            scan(pu.descriptor)
+            for region in pu.memory_regions:
+                scan(region.descriptor)
+            for ic in pu.interconnects:
+                scan(ic.descriptor)
+        return prefixes
+
+    def _emit_pu(self, pu: ProcessingUnit, lines: list[str], indent: int) -> None:
+        pad = "  " * indent
+        attrs = [f"id={quoteattr(pu.id)}", f"quantity={quoteattr(str(pu.quantity))}"]
+        if pu.name:
+            attrs.append(f"name={quoteattr(pu.name)}")
+        lines.append(f"{pad}<{pu.xml_tag} {' '.join(attrs)}>")
+
+        if len(pu.descriptor):
+            self._emit_descriptor(pu.descriptor, lines, indent + 1)
+        for group in pu.groups:
+            lines.append(
+                f"{pad}  <LogicGroupAttribute>{escape(group)}</LogicGroupAttribute>"
+            )
+        for region in pu.memory_regions:
+            self._emit_memory_region(region, lines, indent + 1)
+        for child in pu.children:
+            self._emit_pu(child, lines, indent + 1)
+        for ic in pu.interconnects:
+            self._emit_interconnect(ic, lines, indent + 1)
+
+        lines.append(f"{pad}</{pu.xml_tag}>")
+
+    def _emit_memory_region(
+        self, region: MemoryRegion, lines: list[str], indent: int
+    ) -> None:
+        pad = "  " * indent
+        if len(region.descriptor):
+            lines.append(f"{pad}<MemoryRegion id={quoteattr(region.id)}>")
+            self._emit_descriptor(region.descriptor, lines, indent + 1)
+            lines.append(f"{pad}</MemoryRegion>")
+        else:
+            lines.append(f"{pad}<MemoryRegion id={quoteattr(region.id)} />")
+
+    def _emit_interconnect(
+        self, ic: Interconnect, lines: list[str], indent: int
+    ) -> None:
+        pad = "  " * indent
+        attrs = [
+            f"id={quoteattr(ic.id)}",
+            f"type={quoteattr(ic.type)}",
+            f"from={quoteattr(ic.from_pu)}",
+            f"to={quoteattr(ic.to_pu)}",
+            f"scheme={quoteattr(ic.scheme)}",
+        ]
+        if not ic.bidirectional:
+            attrs.append('bidirectional="false"')
+        if len(ic.descriptor):
+            lines.append(f"{pad}<Interconnect {' '.join(attrs)}>")
+            self._emit_descriptor(ic.descriptor, lines, indent + 1)
+            lines.append(f"{pad}</Interconnect>")
+        else:
+            lines.append(f"{pad}<Interconnect {' '.join(attrs)} />")
+
+    def _emit_descriptor(
+        self, descriptor: Descriptor, lines: list[str], indent: int
+    ) -> None:
+        pad = "  " * indent
+        lines.append(f"{pad}<{descriptor.xml_tag}>")
+        for prop in descriptor:
+            self._emit_property(prop, lines, indent + 1)
+        lines.append(f"{pad}</{descriptor.xml_tag}>")
+
+    def _emit_property(self, prop: Property, lines: list[str], indent: int) -> None:
+        pad = "  " * indent
+        fixed = "true" if prop.fixed else "false"
+        attrs = [f'fixed="{fixed}"']
+        prefix: Optional[str] = None
+        if prop.type_name:
+            attrs.append(f"xsi:type={quoteattr(prop.type_name)}")
+            prefix = prop.namespace
+        name_tag = f"{prefix}:name" if prefix else "name"
+        value_tag = f"{prefix}:value" if prefix else "value"
+        unit = f" unit={quoteattr(prop.value.unit)}" if prop.value.unit else ""
+        lines.append(f"{pad}<Property {' '.join(attrs)}>")
+        lines.append(f"{pad}  <{name_tag}>{escape(prop.name)}</{name_tag}>")
+        lines.append(
+            f"{pad}  <{value_tag}{unit}>{escape(prop.value.text)}</{value_tag}>"
+        )
+        lines.append(f"{pad}</Property>")

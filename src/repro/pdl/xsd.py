@@ -1,0 +1,237 @@
+"""XML Schema Definition emission (paper §III-B).
+
+"Starting from the hierarchical machine model, we derive an XML Schema
+Definition (XSD) capable of being extended with entity descriptors for
+current and future heterogeneous architectures."
+
+This module emits that XSD: the *base schema* describes the structural
+entities (Platform, Master/Hybrid/Worker, descriptors, the generic
+Property type), and one *extension schema* per registered subschema
+derives its property type from the base via ``xs:extension`` — the
+standard schema-inheritance / entity-polymorphism mechanism the paper
+names.  Documents written by :mod:`repro.pdl.writer` are valid against
+these schemas by construction; emission makes the contract explicit and
+publishable (a vendor can ship its subschema XSD alongside its devices).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.pdl.namespaces import PDL_NS
+from repro.pdl.schema import (
+    SchemaRegistry,
+    Subschema,
+    ValueKind,
+    default_registry,
+)
+
+__all__ = ["emit_base_xsd", "emit_subschema_xsd", "emit_all_xsd"]
+
+_XS = "http://www.w3.org/2001/XMLSchema"
+
+_VALUE_KIND_TO_XSD = {
+    ValueKind.STRING: "xs:string",
+    ValueKind.INT: "xs:integer",
+    ValueKind.FLOAT: "xs:double",
+    ValueKind.BOOL: "xs:boolean",
+    ValueKind.QUANTITY: "xs:string",  # magnitude text + unit attribute
+}
+
+
+def emit_base_xsd() -> str:
+    """The core PDL schema: structural entities + the generic Property."""
+    return f"""\
+<?xml version="1.0" encoding="UTF-8"?>
+<xs:schema xmlns:xs="{_XS}"
+           xmlns:pdl="{PDL_NS}"
+           targetNamespace="{PDL_NS}"
+           elementFormDefault="qualified"
+           version="1.0">
+
+  <!-- ===== value and property primitives (Fig. 3) ===== -->
+  <xs:complexType name="ValueType">
+    <xs:simpleContent>
+      <xs:extension base="xs:string">
+        <xs:attribute name="unit" type="xs:string" use="optional"/>
+      </xs:extension>
+    </xs:simpleContent>
+  </xs:complexType>
+
+  <!-- The generic, open Property type; subschemas derive from it via
+       xs:extension (entity polymorphism through xsi:type). -->
+  <xs:complexType name="PropertyType">
+    <xs:sequence>
+      <xs:element name="name" type="xs:string"/>
+      <xs:element name="value" type="pdl:ValueType"/>
+    </xs:sequence>
+    <xs:attribute name="fixed" type="xs:boolean" default="true"/>
+  </xs:complexType>
+
+  <!-- ===== descriptors ===== -->
+  <xs:complexType name="DescriptorType">
+    <xs:sequence>
+      <xs:element name="Property" type="pdl:PropertyType"
+                  minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+  </xs:complexType>
+
+  <!-- ===== communication entities ===== -->
+  <xs:complexType name="MemoryRegionType">
+    <xs:sequence>
+      <xs:element name="MRDescriptor" type="pdl:DescriptorType"
+                  minOccurs="0"/>
+    </xs:sequence>
+    <xs:attribute name="id" type="xs:ID" use="required"/>
+  </xs:complexType>
+
+  <xs:complexType name="InterconnectType">
+    <xs:sequence>
+      <xs:element name="ICDescriptor" type="pdl:DescriptorType"
+                  minOccurs="0"/>
+    </xs:sequence>
+    <xs:attribute name="id" type="xs:ID" use="optional"/>
+    <xs:attribute name="type" type="xs:string" use="optional"/>
+    <xs:attribute name="from" type="xs:IDREF" use="required"/>
+    <xs:attribute name="to" type="xs:IDREF" use="required"/>
+    <xs:attribute name="scheme" type="xs:string" use="optional"/>
+    <xs:attribute name="bidirectional" type="xs:boolean" default="true"/>
+  </xs:complexType>
+
+  <!-- ===== processing units (section III-A) =====
+       Workers are leaves; Hybrids are inner nodes controlling Workers
+       and Hybrids; Masters exist only at the highest level.  The
+       control-relationship rules beyond containment (e.g. Hybrids must
+       control at least one PU) are enforced by the structural
+       validator. -->
+  <xs:complexType name="WorkerType">
+    <xs:sequence>
+      <xs:element name="PUDescriptor" type="pdl:DescriptorType"
+                  minOccurs="0"/>
+      <xs:element name="LogicGroupAttribute" type="xs:string"
+                  minOccurs="0" maxOccurs="unbounded"/>
+      <xs:element name="MemoryRegion" type="pdl:MemoryRegionType"
+                  minOccurs="0" maxOccurs="unbounded"/>
+      <xs:element name="Interconnect" type="pdl:InterconnectType"
+                  minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+    <xs:attribute name="id" type="xs:ID" use="required"/>
+    <xs:attribute name="quantity" type="xs:positiveInteger" default="1"/>
+    <xs:attribute name="name" type="xs:string" use="optional"/>
+  </xs:complexType>
+
+  <xs:complexType name="HybridType">
+    <xs:sequence>
+      <xs:element name="PUDescriptor" type="pdl:DescriptorType"
+                  minOccurs="0"/>
+      <xs:element name="LogicGroupAttribute" type="xs:string"
+                  minOccurs="0" maxOccurs="unbounded"/>
+      <xs:element name="MemoryRegion" type="pdl:MemoryRegionType"
+                  minOccurs="0" maxOccurs="unbounded"/>
+      <xs:choice minOccurs="0" maxOccurs="unbounded">
+        <xs:element name="Worker" type="pdl:WorkerType"/>
+        <xs:element name="Hybrid" type="pdl:HybridType"/>
+      </xs:choice>
+      <xs:element name="Interconnect" type="pdl:InterconnectType"
+                  minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+    <xs:attribute name="id" type="xs:ID" use="required"/>
+    <xs:attribute name="quantity" type="xs:positiveInteger" default="1"/>
+    <xs:attribute name="name" type="xs:string" use="optional"/>
+  </xs:complexType>
+
+  <xs:complexType name="MasterType">
+    <xs:sequence>
+      <xs:element name="PUDescriptor" type="pdl:DescriptorType"
+                  minOccurs="0"/>
+      <xs:element name="LogicGroupAttribute" type="xs:string"
+                  minOccurs="0" maxOccurs="unbounded"/>
+      <xs:element name="MemoryRegion" type="pdl:MemoryRegionType"
+                  minOccurs="0" maxOccurs="unbounded"/>
+      <xs:choice minOccurs="0" maxOccurs="unbounded">
+        <xs:element name="Worker" type="pdl:WorkerType"/>
+        <xs:element name="Hybrid" type="pdl:HybridType"/>
+      </xs:choice>
+      <xs:element name="Interconnect" type="pdl:InterconnectType"
+                  minOccurs="0" maxOccurs="unbounded"/>
+    </xs:sequence>
+    <xs:attribute name="id" type="xs:ID" use="required"/>
+    <xs:attribute name="quantity" type="xs:positiveInteger" default="1"/>
+    <xs:attribute name="name" type="xs:string" use="optional"/>
+  </xs:complexType>
+
+  <!-- ===== document roots ===== -->
+  <xs:complexType name="PlatformType">
+    <xs:sequence>
+      <xs:element name="Master" type="pdl:MasterType"
+                  minOccurs="1" maxOccurs="unbounded"/>
+    </xs:sequence>
+    <xs:attribute name="name" type="xs:string" use="optional"/>
+    <xs:attribute name="schemaVersion" type="xs:string" default="1.0"/>
+  </xs:complexType>
+
+  <xs:element name="Platform" type="pdl:PlatformType"/>
+  <xs:element name="Master" type="pdl:MasterType"/>
+</xs:schema>
+"""
+
+
+def emit_subschema_xsd(subschema: Subschema) -> str:
+    """One extension schema deriving property types via ``xs:extension``.
+
+    Constrained names are documented as ``xs:annotation`` entries and an
+    enumeration facet for the name element where the type is closed; the
+    value kinds are expressed through derived value types.
+    """
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<xs:schema xmlns:xs="{_XS}"',
+        f'           xmlns:pdl="{PDL_NS}"',
+        f'           xmlns:{subschema.prefix}="{subschema.uri}"',
+        f'           targetNamespace="{subschema.uri}"',
+        '           elementFormDefault="qualified"',
+        f'           version="{subschema.version}">',
+        "",
+        f'  <xs:import namespace="{PDL_NS}" schemaLocation="pdl-base.xsd"/>',
+        "",
+    ]
+    if subschema.doc:
+        lines += [
+            "  <xs:annotation>",
+            f"    <xs:documentation>{subschema.doc}</xs:documentation>",
+            "  </xs:annotation>",
+            "",
+        ]
+    for qname, type_def in sorted(subschema.types.items()):
+        local = qname.split(":", 1)[1]
+        lines.append(f'  <!-- {type_def.doc or local} -->')
+        lines.append(f'  <xs:complexType name="{local}">')
+        lines.append("    <xs:complexContent>")
+        lines.append('      <xs:extension base="pdl:PropertyType">')
+        names = type_def.all_names()
+        if names and not type_def.admits_any_name():
+            lines.append("        <xs:annotation>")
+            lines.append("          <xs:documentation>admissible names:")
+            for name, name_def in sorted(names.items()):
+                kind = _VALUE_KIND_TO_XSD[name_def.kind]
+                enum = (
+                    f" enum={{{','.join(name_def.enum)}}}" if name_def.enum else ""
+                )
+                lines.append(f"            {name} ({kind}{enum})")
+            lines.append("          </xs:documentation>")
+            lines.append("        </xs:annotation>")
+        lines.append("      </xs:extension>")
+        lines.append("    </xs:complexContent>")
+        lines.append("  </xs:complexType>")
+        lines.append("")
+    lines.append("</xs:schema>")
+    return "\n".join(lines) + "\n"
+
+
+def emit_all_xsd(registry: Optional[SchemaRegistry] = None) -> dict[str, str]:
+    """All schema documents: ``pdl-base.xsd`` plus one file per subschema."""
+    registry = registry if registry is not None else default_registry()
+    out = {"pdl-base.xsd": emit_base_xsd()}
+    for subschema in registry.subschemas():
+        out[f"pdl-ext-{subschema.prefix}.xsd"] = emit_subschema_xsd(subschema)
+    return out

@@ -1,0 +1,35 @@
+"""Calibrated performance models for the simulated runtime.
+
+``models`` estimates kernel durations per PU from PDL properties;
+``transfer`` schedules contended link transfers; ``calibration`` holds the
+paper-testbed constants.
+"""
+
+from repro.perf.calibration import (
+    ARCH_DEFAULTS,
+    CUDA_LAUNCH_OVERHEAD_S,
+    PCIE2_X16_BANDWIDTH_BPS,
+    PCIE_LATENCY_S,
+    SHM_BANDWIDTH_BPS,
+    SHM_LATENCY_S,
+    TASK_SCHEDULING_OVERHEAD_S,
+    ArchCalibration,
+)
+from repro.perf.models import PerfModel, PUPerformance, performance_of
+from repro.perf.transfer import TransferEstimate, TransferModel
+
+__all__ = [
+    "PerfModel",
+    "PUPerformance",
+    "performance_of",
+    "TransferModel",
+    "TransferEstimate",
+    "ArchCalibration",
+    "ARCH_DEFAULTS",
+    "TASK_SCHEDULING_OVERHEAD_S",
+    "CUDA_LAUNCH_OVERHEAD_S",
+    "PCIE2_X16_BANDWIDTH_BPS",
+    "PCIE_LATENCY_S",
+    "SHM_BANDWIDTH_BPS",
+    "SHM_LATENCY_S",
+]

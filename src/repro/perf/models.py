@@ -1,0 +1,156 @@
+"""Per-PU kernel performance models.
+
+A :class:`PerfModel` answers "how long does task *t* take on PU *p*" — the
+question StarPU's ``dmda``-class schedulers and our simulated runtime both
+ask.  The model is *descriptor-driven*: sustained rates come from explicit
+PDL properties (``PEAK_GFLOPS_DP``, ``DGEMM_EFFICIENCY``, ``FREQUENCY``)
+with :mod:`repro.perf.calibration` defaults filling gaps — exactly the
+paper's "performance relevant observations can now be related ... to
+abstract architectural patterns expressed in the PDL".
+
+Two model families cover the kernels in this reproduction:
+
+* **compute-bound**: ``time = flops / sustained_flops + launch_overhead``
+  (DGEMM and friends), with an efficiency knee for tiles too small to
+  amortize (important to reproduce why tiny block sizes hurt GPUs).
+* **bandwidth-bound**: ``time = bytes / stream_bandwidth`` (vector add,
+  copies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import PerfModelError
+from repro.model.entities import ProcessingUnit
+from repro.perf.calibration import ARCH_DEFAULTS, ArchCalibration
+
+__all__ = ["PUPerformance", "PerfModel", "performance_of"]
+
+#: problem sizes below which accelerators cannot reach their sustained rate;
+#: models an efficiency ramp kernel ~ n / (n + n_half) (Hockney-style)
+_GPU_DGEMM_N_HALF = 512.0
+_CPU_DGEMM_N_HALF = 32.0
+
+
+@dataclass(frozen=True)
+class PUPerformance:
+    """Resolved performance figures for one processing unit."""
+
+    pu_id: str
+    architecture: str
+    peak_gflops_dp: float
+    dgemm_efficiency: float
+    stream_bandwidth_gbs: float
+    kernel_launch_overhead_s: float
+
+    @property
+    def sustained_dgemm_gflops(self) -> float:
+        return self.peak_gflops_dp * self.dgemm_efficiency
+
+
+def performance_of(pu: ProcessingUnit) -> PUPerformance:
+    """Resolve a PU's performance figures (descriptor first, defaults second)."""
+    arch = pu.architecture
+    if arch is None:
+        raise PerfModelError(
+            f"PU {pu.id!r} lacks an ARCHITECTURE property; cannot model it"
+        )
+    defaults: Optional[ArchCalibration] = ARCH_DEFAULTS.get(arch)
+
+    def resolve(prop_name: str, default_value: Optional[float]) -> float:
+        value = pu.descriptor.get_float(prop_name)
+        if value is not None:
+            return value
+        if default_value is not None:
+            return default_value
+        raise PerfModelError(
+            f"PU {pu.id!r} ({arch}): no {prop_name} property and no"
+            f" calibration default for architecture {arch!r}"
+        )
+
+    return PUPerformance(
+        pu_id=pu.id,
+        architecture=arch,
+        peak_gflops_dp=resolve(
+            "PEAK_GFLOPS_DP", defaults.peak_gflops_dp if defaults else None
+        ),
+        dgemm_efficiency=resolve(
+            "DGEMM_EFFICIENCY", defaults.dgemm_efficiency if defaults else None
+        ),
+        stream_bandwidth_gbs=resolve(
+            "STREAM_BANDWIDTH_GBS", defaults.stream_bandwidth_gbs if defaults else None
+        ),
+        kernel_launch_overhead_s=(
+            defaults.kernel_launch_overhead_s if defaults else 0.0
+        ),
+    )
+
+
+class PerfModel:
+    """Kernel-duration estimator for the PUs of one platform."""
+
+    def __init__(self):
+        self._cache: dict[str, PUPerformance] = {}
+
+    def pu_performance(self, pu: ProcessingUnit) -> PUPerformance:
+        perf = self._cache.get(pu.id)
+        if perf is None:
+            perf = performance_of(pu)
+            self._cache[pu.id] = perf
+        return perf
+
+    # -- kernel models ------------------------------------------------------
+    def dgemm_time(self, pu: ProcessingUnit, m: int, n: int, k: int) -> float:
+        """Estimated seconds for a dense DP ``C += A(m×k) · B(k×n)``."""
+        perf = self.pu_performance(pu)
+        flops = 2.0 * m * n * k
+        n_half = _GPU_DGEMM_N_HALF if perf.architecture == "gpu" else _CPU_DGEMM_N_HALF
+        geo = (m * n * k) ** (1.0 / 3.0)
+        efficiency_ramp = geo / (geo + n_half)
+        rate = perf.sustained_dgemm_gflops * 1e9 * efficiency_ramp
+        if rate <= 0:
+            raise PerfModelError(f"PU {pu.id!r} has non-positive DGEMM rate")
+        return flops / rate + perf.kernel_launch_overhead_s
+
+    def bandwidth_bound_time(self, pu: ProcessingUnit, nbytes: float) -> float:
+        """Estimated seconds for a streaming kernel touching ``nbytes``."""
+        perf = self.pu_performance(pu)
+        bandwidth = perf.stream_bandwidth_gbs * 1e9
+        return nbytes / bandwidth + perf.kernel_launch_overhead_s
+
+    def flops_bound_time(self, pu: ProcessingUnit, flops: float) -> float:
+        """Estimated seconds for ``flops`` at the PU's sustained DGEMM rate."""
+        perf = self.pu_performance(pu)
+        return flops / (perf.sustained_dgemm_gflops * 1e9) + (
+            perf.kernel_launch_overhead_s
+        )
+
+    def estimate(
+        self,
+        pu: ProcessingUnit,
+        *,
+        kernel: str,
+        flops: float = 0.0,
+        bytes_touched: float = 0.0,
+        dims: Optional[tuple[int, ...]] = None,
+    ) -> float:
+        """Generic entry point used by the runtime.
+
+        DGEMM-shaped kernels (``dims == (m, n, k)``) use the dedicated
+        model; otherwise the max of the compute-bound and bandwidth-bound
+        estimates (roofline) is returned.
+        """
+        if kernel.startswith("dgemm") and dims is not None and len(dims) == 3:
+            return self.dgemm_time(pu, *dims)
+        perf = self.pu_performance(pu)
+        compute = flops / (perf.sustained_dgemm_gflops * 1e9) if flops else 0.0
+        memory = (
+            bytes_touched / (perf.stream_bandwidth_gbs * 1e9) if bytes_touched else 0.0
+        )
+        if not flops and not bytes_touched:
+            raise PerfModelError(
+                f"kernel {kernel!r}: need flops and/or bytes_touched to estimate"
+            )
+        return max(compute, memory) + perf.kernel_launch_overhead_s

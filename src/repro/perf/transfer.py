@@ -1,0 +1,119 @@
+"""Interconnect transfer-cost model with link contention.
+
+Wraps :class:`~repro.query.paths.InterconnectGraph` routes in a model the
+discrete-event runtime can use: each physical link is a serially-shared
+resource (one DMA at a time, which is how PCIe behaves for large pinned
+transfers), so concurrent transfers over the same link queue up.  This
+contention is what bounds the ``starpu+2gpu`` configuration of Figure 5
+when both GPUs pull operands simultaneously — modeling it matters for the
+reproduced shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.model.platform import Platform
+from repro.query.paths import (
+    DEFAULT_BANDWIDTH_BPS,
+    DEFAULT_LATENCY_S,
+    InterconnectGraph,
+    Route,
+)
+
+__all__ = ["TransferEstimate", "TransferModel"]
+
+
+@dataclass(frozen=True)
+class TransferEstimate:
+    """Outcome of scheduling one transfer on the contended link model."""
+
+    src: str
+    dst: str
+    nbytes: float
+    start: float  # when the transfer actually started (after queueing)
+    finish: float
+    route: Route
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+class TransferModel:
+    """Contention-aware transfer scheduling over a platform's links."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        include_control_edges: bool = True,
+        model_contention: bool = True,
+    ):
+        self.graph = InterconnectGraph(
+            platform, include_control_edges=include_control_edges
+        )
+        #: when False, links are infinitely shareable (ablation baseline)
+        self.model_contention = model_contention
+        #: link id → time at which the link becomes free
+        self._link_free_at: dict[str, float] = {}
+        self._route_cache: dict[tuple[str, str], Route] = {}
+
+    def reset(self) -> None:
+        """Forget all link occupancy (start of a new simulation run)."""
+        self._link_free_at.clear()
+
+    # -- pure estimates (no state) --------------------------------------------
+    def route(self, src: str, dst: str) -> Route:
+        key = (src, dst)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            cached = self.graph.shortest(src, dst, weight="latency")
+            self._route_cache[key] = cached
+        return cached
+
+    def ideal_time(self, src: str, dst: str, nbytes: float) -> float:
+        """Transfer time ignoring contention (used by dmda lookahead)."""
+        if src == dst:
+            return 0.0
+        return self.route(src, dst).transfer_time(nbytes)
+
+    # -- stateful scheduling ----------------------------------------------------
+    def schedule(
+        self, src: str, dst: str, nbytes: float, now: float
+    ) -> TransferEstimate:
+        """Occupy the route's links starting no earlier than ``now``.
+
+        Each hop waits for its link to free up, then holds it for
+        ``latency + nbytes/bandwidth``.  Returns the contention-adjusted
+        timeline.  Zero-byte or same-node transfers are free.
+        """
+        if src == dst:
+            route = Route((src, dst), (src,), ())
+            return TransferEstimate(src, dst, nbytes, now, now, route)
+        route = self.route(src, dst)
+        if not self.model_contention:
+            finish = now + route.transfer_time(nbytes)
+            return TransferEstimate(src, dst, nbytes, now, finish, route)
+        t = now
+        start: Optional[float] = None
+        for link in route.links:
+            free_at = self._link_free_at.get(link.id, 0.0)
+            begin = max(t, free_at)
+            if start is None:
+                start = begin
+            lat = link.latency_s if link.latency_s is not None else DEFAULT_LATENCY_S
+            bw = (
+                link.bandwidth_bytes_per_s
+                if link.bandwidth_bytes_per_s is not None
+                else DEFAULT_BANDWIDTH_BPS
+            )
+            hold = lat + nbytes / bw
+            self._link_free_at[link.id] = begin + hold
+            t = begin + hold
+        assert start is not None
+        return TransferEstimate(src, dst, nbytes, start, t, route)
+
+    def link_busy_until(self, link_id: str) -> float:
+        return self._link_free_at.get(link_id, 0.0)

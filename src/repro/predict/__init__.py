@@ -1,0 +1,5 @@
+"""Descriptor-driven performance prediction (paper §II usage scenario)."""
+
+from repro.predict.bounds import MakespanPrediction, predict_engine
+
+__all__ = ["MakespanPrediction", "predict_engine"]

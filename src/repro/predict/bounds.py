@@ -1,0 +1,192 @@
+"""Analytic makespan prediction from platform descriptors (paper §II).
+
+One of the PDL's declared usage scenarios is to "support auto-tuners,
+schedulers or other tools for program optimization and *performance
+prediction*".  This module predicts the makespan of a submitted (not yet
+run) task graph directly from descriptor-derived rates — no simulation —
+using three classical lower bounds:
+
+``critical path``
+    Longest dependency chain, each task at its best-case (fastest
+    eligible worker) duration.
+
+``area / throughput``
+    Tasks grouped by (kernel, dims); each group's fractional optimum is
+    ``count / Σ_w rate_w`` over the workers eligible for that kernel
+    (the unrelated-machines area bound, exact for uniform tasks).
+    Groups are summed — a deliberate slight over-estimate that stands in
+    for inter-group interference.
+
+``transfer``
+    Bytes that must cross host↔accelerator links at least once (unique
+    read-handle footprints of accelerator-eligible tasks, weighted by the
+    accelerator share of throughput) over the aggregate link bandwidth.
+
+The prediction is the max of the bounds; ``compare`` reports accuracy
+against a simulated or real run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import PerfModelError
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.trace import RunResult
+
+__all__ = ["MakespanPrediction", "predict_engine"]
+
+
+@dataclass(frozen=True)
+class MakespanPrediction:
+    """Analytic bounds and the resulting prediction."""
+
+    critical_path_s: float
+    area_s: float
+    transfer_s: float
+    task_count: int
+    #: per-(kernel, dims) group sizes, for reports
+    groups: dict = field(default_factory=dict)
+
+    @property
+    def predicted_s(self) -> float:
+        return max(self.critical_path_s, self.area_s, self.transfer_s)
+
+    @property
+    def binding_bound(self) -> str:
+        best = self.predicted_s
+        if best == self.critical_path_s:
+            return "critical-path"
+        if best == self.area_s:
+            return "area"
+        return "transfer"
+
+    def compare(self, result: RunResult) -> float:
+        """Observed / predicted ratio (1.0 = exact; > 1 = we underestimated)."""
+        if self.predicted_s <= 0:
+            raise PerfModelError("prediction is non-positive; nothing to compare")
+        return result.makespan / self.predicted_s
+
+    def summary(self) -> str:
+        return (
+            f"predicted {self.predicted_s:.4f} s ({self.binding_bound} bound;"
+            f" cp={self.critical_path_s:.4f}, area={self.area_s:.4f},"
+            f" transfer={self.transfer_s:.4f}; {self.task_count} tasks)"
+        )
+
+
+def predict_engine(engine: RuntimeEngine) -> MakespanPrediction:
+    """Predict the makespan of the tasks currently submitted to ``engine``.
+
+    Uses only the engine's descriptor-derived cost models; the engine must
+    not have run yet (prediction is a pre-execution tool).
+    """
+    tasks = engine._tasks
+    if not tasks:
+        raise PerfModelError("no tasks submitted; nothing to predict")
+
+    # --- per-task best/eligible durations --------------------------------
+    best_time: dict[int, float] = {}
+    eligible_rates: dict[tuple, float] = {}
+    group_counts: dict[tuple, int] = {}
+    group_best: dict[tuple, float] = {}
+    accel_eligible_bytes = 0.0
+    seen_handles: set[int] = set()
+
+    for task in tasks:
+        key = (task.kernel, task.dims)
+        group_counts[key] = group_counts.get(key, 0) + 1
+        times = []
+        for worker in engine.workers:
+            if engine.registry.get(task.kernel).supports(worker.architecture):
+                times.append(engine.exec_estimate(task, worker))
+        if not times:
+            raise PerfModelError(
+                f"task {task.tag}: no eligible worker for prediction"
+            )
+        best = min(times)
+        best_time[task.id] = best
+        group_best[key] = min(group_best.get(key, math.inf), best)
+        if key not in eligible_rates:
+            rate = 0.0
+            for worker in engine.workers:
+                if engine.registry.get(task.kernel).supports(worker.architecture):
+                    rate += 1.0 / engine.exec_estimate(task, worker)
+            eligible_rates[key] = rate
+        # unique read footprint of tasks that accelerators could take
+        accel = any(
+            w.memory_node != 0
+            and engine.registry.get(task.kernel).supports(w.architecture)
+            for w in engine.workers
+        )
+        if accel:
+            for access in task.accesses:
+                if access.mode.reads and access.handle.id not in seen_handles:
+                    seen_handles.add(access.handle.id)
+                    accel_eligible_bytes += access.handle.nbytes
+
+    # --- critical path ------------------------------------------------------
+    # tasks are stored in submission order; dependencies always point
+    # backwards, so one forward pass computes longest paths
+    longest: dict[int, float] = {}
+    by_id = {t.id: t for t in tasks}
+    cp = 0.0
+    for task in tasks:
+        start = 0.0
+        for dep in task.depends_on:
+            start = max(start, longest.get(dep, 0.0))
+        finish = start + best_time[task.id]
+        longest[task.id] = finish
+        cp = max(cp, finish)
+
+    # --- area bound --------------------------------------------------------------
+    area = 0.0
+    for key, count in group_counts.items():
+        rate = eligible_rates[key]
+        if rate <= 0:
+            raise PerfModelError(f"group {key}: zero aggregate rate")
+        area += count / rate
+
+    # --- transfer bound -----------------------------------------------------------
+    transfer = 0.0
+    accel_workers = [w for w in engine.workers if w.memory_node != 0]
+    if accel_workers and accel_eligible_bytes:
+        # accelerator share of total throughput decides how much input
+        # realistically crosses the links; aggregate the distinct links
+        total_rate = sum(eligible_rates.values())
+        accel_rate = 0.0
+        for key in eligible_rates:
+            kernel, dims = key
+            for w in accel_workers:
+                if engine.registry.get(kernel).supports(w.architecture):
+                    sample = next(
+                        t for t in tasks if (t.kernel, t.dims) == key
+                    )
+                    accel_rate += 1.0 / engine.exec_estimate(sample, w)
+        share = min(1.0, accel_rate / total_rate) if total_rate else 0.0
+        link_bw = 0.0
+        seen_links = set()
+        for w in accel_workers:
+            route = engine.transfer_model.route(
+                engine.node_anchor[0], w.entity_id
+            )
+            for link in route.links:
+                if link.id not in seen_links:
+                    seen_links.add(link.id)
+                    link_bw += (
+                        link.bandwidth_bytes_per_s
+                        if link.bandwidth_bytes_per_s is not None
+                        else 1024.0**3
+                    )
+        if link_bw > 0:
+            transfer = accel_eligible_bytes * share / link_bw
+
+    return MakespanPrediction(
+        critical_path_s=cp,
+        area_s=area,
+        transfer_s=transfer,
+        task_count=len(tasks),
+        groups={f"{k[0]}{list(k[1]) if k[1] else ''}": c
+                for k, c in group_counts.items()},
+    )

@@ -1,0 +1,30 @@
+"""Query API over platform descriptions (paper §IV: "simple query API").
+
+Public surface: :class:`PlatformQuery` façade, the selector language,
+interconnect routing and abstract-pattern matching.
+"""
+
+from repro.query.api import PlatformQuery
+from repro.query.paths import InterconnectGraph, Route
+from repro.query.patterns import (
+    PatternMatch,
+    find_matches,
+    match_pattern,
+    pattern_matches,
+)
+from repro.query.selectors import Predicate, Selector, Step, parse_selector, select
+
+__all__ = [
+    "PlatformQuery",
+    "InterconnectGraph",
+    "Route",
+    "PatternMatch",
+    "match_pattern",
+    "find_matches",
+    "pattern_matches",
+    "Selector",
+    "Step",
+    "Predicate",
+    "parse_selector",
+    "select",
+]

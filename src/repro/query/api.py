@@ -1,0 +1,129 @@
+"""High-level query façade over one platform (the paper's "simple query API").
+
+§IV: "Our platform description language, in combination with a simple query
+API, can support code generation and program composition..."  This class
+bundles the selector language, group registry, interconnect graph and
+pattern matcher behind one object so tools have a single entry point::
+
+    q = PlatformQuery(platform)
+    gpus = q.select("//Worker[ARCHITECTURE=gpu]")
+    route = q.route("host", "gpu0")
+    members = q.group("executionset01")
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import QueryError
+from repro.model.entities import ProcessingUnit
+from repro.model.groups import GroupRegistry
+from repro.model.platform import Platform
+from repro.query.paths import InterconnectGraph, Route
+from repro.query.patterns import PatternMatch, find_matches, match_pattern
+from repro.query.selectors import Selector, parse_selector
+
+__all__ = ["PlatformQuery"]
+
+
+class PlatformQuery:
+    """Cached query interface for one platform.
+
+    The underlying registries and graphs are built lazily and memoized;
+    call :meth:`invalidate` after structurally mutating the platform.
+    """
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+        self._groups: Optional[GroupRegistry] = None
+        self._graph: Optional[InterconnectGraph] = None
+        self._selector_cache: dict[str, Selector] = {}
+
+    # -- cache management ---------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop memoized indexes after the platform was mutated."""
+        self._groups = None
+        self._graph = None
+        self._selector_cache.clear()
+
+    @property
+    def groups(self) -> GroupRegistry:
+        if self._groups is None:
+            self._groups = GroupRegistry(self.platform)
+        return self._groups
+
+    @property
+    def graph(self) -> InterconnectGraph:
+        if self._graph is None:
+            self._graph = InterconnectGraph(self.platform)
+        return self._graph
+
+    # -- selectors ------------------------------------------------------------
+    def select(self, selector: str) -> list[ProcessingUnit]:
+        """Evaluate a selector expression (see :mod:`repro.query.selectors`)."""
+        compiled = self._selector_cache.get(selector)
+        if compiled is None:
+            compiled = parse_selector(selector)
+            self._selector_cache[selector] = compiled
+        return compiled.select(self.platform)
+
+    def select_one(self, selector: str) -> ProcessingUnit:
+        """Like :meth:`select` but requires exactly one result."""
+        found = self.select(selector)
+        if len(found) != 1:
+            raise QueryError(
+                f"selector {selector!r} matched {len(found)} PUs, expected exactly 1"
+            )
+        return found[0]
+
+    # -- shortcuts -------------------------------------------------------------
+    def pu(self, pu_id: str) -> ProcessingUnit:
+        return self.platform.pu(pu_id)
+
+    def workers(self, *, architecture: Optional[str] = None) -> list[ProcessingUnit]:
+        out = self.platform.workers()
+        if architecture is not None:
+            out = [pu for pu in out if pu.architecture == architecture]
+        return out
+
+    def by_property(self, name: str, value=None) -> list[ProcessingUnit]:
+        """PUs whose descriptor has property ``name`` (optionally = value)."""
+        out = []
+        for pu in self.platform.walk():
+            prop = pu.descriptor.find(name)
+            if prop is None:
+                continue
+            if value is None or prop.value.as_str() == str(value):
+                out.append(pu)
+        return out
+
+    def group(self, name: str) -> list[ProcessingUnit]:
+        """Members of a LogicGroupAttribute group."""
+        return self.groups.members(name)
+
+    def architectures(self) -> set[str]:
+        return self.platform.architectures()
+
+    # -- paths -----------------------------------------------------------------
+    def route(self, src, dst, *, weight: str = "hops") -> Route:
+        return self.graph.shortest(src, dst, weight=weight)
+
+    def transfer_time(self, src, dst, nbytes: float) -> float:
+        return self.graph.estimate_transfer_time(src, dst, nbytes)
+
+    # -- patterns -----------------------------------------------------------------
+    def match(
+        self, pattern: Union[Platform, ProcessingUnit], **kwargs
+    ) -> PatternMatch:
+        return match_pattern(pattern, self.platform, **kwargs)
+
+    def matches(
+        self, pattern: Union[Platform, ProcessingUnit], **kwargs
+    ) -> list[PatternMatch]:
+        return find_matches(pattern, self.platform, **kwargs)
+
+    def supports_pattern(self, pattern, **kwargs) -> bool:
+        return bool(find_matches(pattern, self.platform, limit=1, **kwargs))
+
+    def __repr__(self) -> str:
+        return f"PlatformQuery({self.platform.name!r})"

@@ -1,0 +1,231 @@
+"""Data-path derivation over the interconnect topology (paper §IV-C.3).
+
+"The PDL allows us to derive data-transfer paths between memory-regions and
+communication between processing-units via the explicitly specified
+interconnect entity."  This module builds a link graph from a platform's
+interconnects and answers:
+
+* which :class:`~repro.model.entities.Interconnect` hops connect PU *a* to
+  PU *b* (``shortest``, by hop count or latency),
+* what a transfer of *n* bytes along that path costs
+  (``estimate_transfer_time``), and
+* which path moves data between two memory regions (owner-PU to owner-PU).
+
+Interconnects declared against a PU entity with ``quantity > 1`` (e.g. the
+``host → cpu`` SHM link where ``cpu`` stands for 8 cores) connect the host
+to *every* expanded instance; expansion is handled by the runtime — at the
+descriptor level the entity id is the node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import networkx as nx
+
+from repro.errors import PathError
+from repro.model.entities import Interconnect, MemoryRegion, ProcessingUnit
+from repro.model.platform import Platform
+
+__all__ = ["Route", "InterconnectGraph"]
+
+#: default per-hop cost assumptions when a link lacks explicit properties
+DEFAULT_LATENCY_S = 1e-6
+DEFAULT_BANDWIDTH_BPS = 1024.0**3  # 1 GB/s
+
+
+@dataclass(frozen=True)
+class Route:
+    """A resolved data path: the PU ids visited and the links taken."""
+
+    endpoints: tuple[str, str]
+    nodes: tuple[str, ...]
+    links: tuple[Interconnect, ...]
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.links)
+
+    def latency_s(self) -> float:
+        """Sum of per-link latencies (defaults applied for silent links)."""
+        return sum(
+            link.latency_s if link.latency_s is not None else DEFAULT_LATENCY_S
+            for link in self.links
+        )
+
+    def bottleneck_bandwidth(self) -> float:
+        """Minimum link bandwidth along the route, in bytes/s."""
+        if not self.links:
+            return math.inf
+        return min(
+            link.bandwidth_bytes_per_s
+            if link.bandwidth_bytes_per_s is not None
+            else DEFAULT_BANDWIDTH_BPS
+            for link in self.links
+        )
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Store-and-forward estimate: per-hop latency + serialization.
+
+        ``sum(lat_i + nbytes / bw_i)`` — the classic per-hop model; for the
+        single-hop paths of the paper's platforms this is exact.
+        """
+        total = 0.0
+        for link in self.links:
+            lat = link.latency_s if link.latency_s is not None else DEFAULT_LATENCY_S
+            bw = (
+                link.bandwidth_bytes_per_s
+                if link.bandwidth_bytes_per_s is not None
+                else DEFAULT_BANDWIDTH_BPS
+            )
+            total += lat + nbytes / bw
+        return total
+
+    def __repr__(self) -> str:
+        return f"Route({' -> '.join(self.nodes)})"
+
+
+class InterconnectGraph:
+    """Link graph of one platform, ready for path queries."""
+
+    def __init__(self, platform: Platform, *, include_control_edges: bool = False):
+        """Build the graph.
+
+        Parameters
+        ----------
+        platform:
+            The platform whose interconnects to index.
+        include_control_edges:
+            Also add parent→child control edges as zero-cost fallback links.
+            Useful for platforms whose descriptors omit explicit
+            interconnects — the control hierarchy then implies reachability
+            (a Master can always reach the Workers it controls).
+        """
+        self.platform = platform
+        self._graph = nx.MultiDiGraph()
+        for pu in platform.walk():
+            self._graph.add_node(pu.id)
+        for pu in platform.walk():
+            for ic in pu.interconnects:
+                self._add_link(ic)
+        if include_control_edges:
+            for pu in platform.walk():
+                for child in pu.children:
+                    if not self._graph.has_edge(pu.id, child.id):
+                        implicit = Interconnect(
+                            pu.id, child.id, type="control", id=f"ctl-{pu.id}-{child.id}"
+                        )
+                        self._add_link(implicit)
+
+    def _add_link(self, ic: Interconnect) -> None:
+        self._graph.add_edge(ic.from_pu, ic.to_pu, link=ic)
+        if ic.bidirectional:
+            self._graph.add_edge(ic.to_pu, ic.from_pu, link=ic)
+
+    # -- queries ------------------------------------------------------------
+    def neighbors(self, pu_id: str) -> list[str]:
+        self._require_node(pu_id)
+        return sorted(set(self._graph.successors(pu_id)))
+
+    def links_between(self, a: str, b: str) -> list[Interconnect]:
+        """All direct links from ``a`` to ``b``."""
+        self._require_node(a)
+        self._require_node(b)
+        if not self._graph.has_edge(a, b):
+            return []
+        return [data["link"] for data in self._graph[a][b].values()]
+
+    def shortest(
+        self,
+        src: Union[str, ProcessingUnit],
+        dst: Union[str, ProcessingUnit],
+        *,
+        weight: str = "hops",
+    ) -> Route:
+        """Shortest route from ``src`` to ``dst``.
+
+        ``weight`` selects the metric: ``"hops"`` (default), ``"latency"``
+        or ``"bandwidth"`` (maximize bottleneck bandwidth via inverse
+        weighting).  Raises :class:`~repro.errors.PathError` when no route
+        exists.
+        """
+        a = src.id if isinstance(src, ProcessingUnit) else str(src)
+        b = dst.id if isinstance(dst, ProcessingUnit) else str(dst)
+        self._require_node(a)
+        self._require_node(b)
+        if a == b:
+            return Route((a, b), (a,), ())
+
+        link_cost = self._link_cost_fn(weight)
+
+        # networkx passes the weight callable the *multi-edge* dict
+        # ({key: attrs, ...}); take the cheapest parallel link.
+        def edge_weight(u, v, multi):
+            return min(link_cost(attrs["link"]) for attrs in multi.values())
+
+        try:
+            nodes = nx.shortest_path(self._graph, a, b, weight=edge_weight)
+        except nx.NetworkXNoPath:
+            raise PathError(f"no data path from {a!r} to {b!r}") from None
+
+        links = []
+        for u, v in zip(nodes, nodes[1:]):
+            best = min(
+                self._graph[u][v].values(),
+                key=lambda attrs: link_cost(attrs["link"]),
+            )
+            links.append(best["link"])
+        return Route((a, b), tuple(nodes), tuple(links))
+
+    def route_between_regions(
+        self, src: MemoryRegion, dst: MemoryRegion, **kwargs
+    ) -> Route:
+        """Route between the owner PUs of two memory regions."""
+        if src.owner is None or dst.owner is None:
+            raise PathError("memory region is not attached to a processing unit")
+        return self.shortest(src.owner, dst.owner, **kwargs)
+
+    def reachable(self, pu_id: str) -> set[str]:
+        """All PU ids reachable from ``pu_id`` (excluding itself)."""
+        self._require_node(pu_id)
+        return set(nx.descendants(self._graph, pu_id))
+
+    def is_connected(self) -> bool:
+        """Weakly connected: every PU can be reached ignoring direction."""
+        if self._graph.number_of_nodes() <= 1:
+            return True
+        return nx.is_weakly_connected(self._graph)
+
+    def estimate_transfer_time(self, src, dst, nbytes: float) -> float:
+        """Convenience: shortest-by-latency route, then its transfer time."""
+        return self.shortest(src, dst, weight="latency").transfer_time(nbytes)
+
+    # -- internals -----------------------------------------------------------
+    @staticmethod
+    def _link_cost_fn(weight: str):
+        """Per-:class:`Interconnect` cost for the chosen metric."""
+        if weight == "hops":
+            return lambda link: 1.0
+        if weight == "latency":
+            return lambda link: (
+                link.latency_s if link.latency_s is not None else DEFAULT_LATENCY_S
+            )
+        if weight == "bandwidth":
+            return lambda link: 1.0 / (
+                link.bandwidth_bytes_per_s
+                if link.bandwidth_bytes_per_s is not None
+                else DEFAULT_BANDWIDTH_BPS
+            )
+        raise PathError(f"unknown path weight {weight!r}; use hops|latency|bandwidth")
+
+    def _require_node(self, pu_id: str) -> None:
+        if pu_id not in self._graph:
+            raise PathError(f"unknown processing unit {pu_id!r}")
+
+    def __repr__(self) -> str:
+        return (
+            f"InterconnectGraph(nodes={self._graph.number_of_nodes()},"
+            f" links={self._graph.number_of_edges()})"
+        )

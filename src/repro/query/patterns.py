@@ -1,0 +1,208 @@
+"""Abstract platform-pattern matching (paper §II, §IV-B).
+
+The PDL's portability story: programmers (or task variants) reference
+*abstract architectural patterns* — e.g. "a Master controlling at least one
+gpu Worker" (Listing 1) — and tools map those patterns onto *concrete*
+platform descriptions.  "These patterns are mapped to concrete platform
+descriptions also expressed in the PDL" (Fig. 4 caption).
+
+A pattern is itself a :class:`~repro.model.platform.Platform` (or a PU
+subtree).  Matching finds an injective mapping pattern-PU → concrete-PU
+such that
+
+* PU kinds are compatible (pattern ``Worker`` matches concrete ``Worker``
+  or ``Hybrid`` — a Hybrid *is* a Worker towards its controller; pattern
+  ``Master`` matches ``Master`` or ``Hybrid`` — a Hybrid is a Master
+  towards its children; exact-kind matching is available via
+  ``strict_kinds=True``),
+* every pattern property is present with an equal value on the concrete PU,
+* the concrete image of a pattern child is a *descendant* of the image of
+  its parent (control is transitive through Hybrids), and
+* aggregate quantity suffices: a pattern PU with ``quantity=q`` requires a
+  concrete PU with ``quantity >= q``.
+
+Distinct pattern siblings must map to distinct concrete PUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Union
+
+from repro.errors import PatternMatchError
+from repro.model.entities import Hybrid, Master, ProcessingUnit, Worker
+from repro.model.platform import Platform
+
+__all__ = ["PatternMatch", "match_pattern", "find_matches", "pattern_matches"]
+
+
+@dataclass(frozen=True)
+class PatternMatch:
+    """One mapping of pattern PUs onto concrete PUs."""
+
+    #: pattern PU id → concrete PU
+    mapping: dict
+
+    def concrete(self, pattern_id: str) -> ProcessingUnit:
+        try:
+            return self.mapping[pattern_id]
+        except KeyError:
+            raise PatternMatchError(
+                f"pattern PU {pattern_id!r} is not part of this match"
+            ) from None
+
+    def concrete_ids(self) -> dict:
+        return {pid: pu.id for pid, pu in self.mapping.items()}
+
+    def __len__(self) -> int:
+        return len(self.mapping)
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{k}->{v.id}" for k, v in self.mapping.items())
+        return f"PatternMatch({pairs})"
+
+
+def _kind_compatible(pattern_pu: ProcessingUnit, concrete_pu: ProcessingUnit) -> bool:
+    if isinstance(pattern_pu, Master):
+        return isinstance(concrete_pu, (Master, Hybrid))
+    if isinstance(pattern_pu, Worker):
+        return isinstance(concrete_pu, (Worker, Hybrid))
+    if isinstance(pattern_pu, Hybrid):
+        return isinstance(concrete_pu, Hybrid)
+    return False
+
+
+def _node_matches(
+    pattern_pu: ProcessingUnit,
+    concrete_pu: ProcessingUnit,
+    *,
+    strict_kinds: bool,
+) -> bool:
+    if strict_kinds:
+        if pattern_pu.kind != concrete_pu.kind:
+            return False
+    elif not _kind_compatible(pattern_pu, concrete_pu):
+        return False
+    if concrete_pu.quantity < pattern_pu.quantity:
+        return False
+    for prop in pattern_pu.descriptor:
+        concrete_prop = concrete_pu.descriptor.find(prop.name)
+        if concrete_prop is None:
+            return False
+        if concrete_prop.value.as_str() != prop.value.as_str():
+            return False
+    # pattern groups must be present on the concrete PU as well
+    return all(group in concrete_pu.groups for group in pattern_pu.groups)
+
+
+def _match_subtree(
+    pattern_pu: ProcessingUnit,
+    concrete_pu: ProcessingUnit,
+    used: set,
+    *,
+    strict_kinds: bool,
+) -> Iterator[dict]:
+    """Yield mappings of ``pattern_pu``'s subtree rooted at ``concrete_pu``."""
+    if id(concrete_pu) in used:
+        return
+    if not _node_matches(pattern_pu, concrete_pu, strict_kinds=strict_kinds):
+        return
+
+    children = list(pattern_pu.children)
+    if not children:
+        yield {pattern_pu.id: concrete_pu}
+        return
+
+    # candidate images for each pattern child: any strict descendant
+    descendants = [d for d in concrete_pu.walk() if d is not concrete_pu]
+
+    def assign(index: int, used_local: set, acc: dict) -> Iterator[dict]:
+        if index == len(children):
+            yield dict(acc)
+            return
+        child = children[index]
+        for candidate in descendants:
+            if id(candidate) in used_local:
+                continue
+            for sub in _match_subtree(
+                child, candidate, used_local, strict_kinds=strict_kinds
+            ):
+                sub_ids = {id(pu) for pu in sub.values()}
+                merged_used = used_local | sub_ids
+                acc.update(sub)
+                yield from assign(index + 1, merged_used, acc)
+                for key in sub:
+                    acc.pop(key, None)
+
+    base = {pattern_pu.id: concrete_pu}
+    for mapping in assign(0, used | {id(concrete_pu)}, dict(base)):
+        yield mapping
+
+
+def find_matches(
+    pattern: Union[Platform, ProcessingUnit],
+    concrete: Union[Platform, ProcessingUnit],
+    *,
+    strict_kinds: bool = False,
+    limit: Optional[int] = None,
+) -> list[PatternMatch]:
+    """All (up to ``limit``) mappings of ``pattern`` onto ``concrete``.
+
+    Multi-Master patterns require every pattern Master to map onto a
+    distinct concrete anchor.
+    """
+    pattern_roots = (
+        list(pattern.masters) if isinstance(pattern, Platform) else [pattern]
+    )
+    if isinstance(concrete, Platform):
+        anchor_candidates = [pu for m in concrete.masters for pu in m.walk()]
+    else:
+        anchor_candidates = list(concrete.walk())
+
+    matches: list[PatternMatch] = []
+
+    def match_roots(index: int, used: set, acc: dict) -> None:
+        if limit is not None and len(matches) >= limit:
+            return
+        if index == len(pattern_roots):
+            matches.append(PatternMatch(dict(acc)))
+            return
+        root = pattern_roots[index]
+        for candidate in anchor_candidates:
+            if id(candidate) in used:
+                continue
+            for sub in _match_subtree(root, candidate, used, strict_kinds=strict_kinds):
+                sub_ids = {id(pu) for pu in sub.values()}
+                acc.update(sub)
+                match_roots(index + 1, used | sub_ids, acc)
+                for key in sub:
+                    acc.pop(key, None)
+                if limit is not None and len(matches) >= limit:
+                    return
+
+    match_roots(0, set(), {})
+    return matches
+
+
+def match_pattern(
+    pattern: Union[Platform, ProcessingUnit],
+    concrete: Union[Platform, ProcessingUnit],
+    **kwargs,
+) -> PatternMatch:
+    """First mapping of ``pattern`` onto ``concrete``.
+
+    Raises :class:`~repro.errors.PatternMatchError` when the pattern does
+    not apply — the signal Cascabel's pre-selection uses to prune task
+    variants (§IV-C.2).
+    """
+    found = find_matches(pattern, concrete, limit=1, **kwargs)
+    if not found:
+        raise PatternMatchError(
+            "pattern does not match the concrete platform"
+        )
+    return found[0]
+
+
+def pattern_matches(pattern, concrete, **kwargs) -> bool:
+    """Boolean form of :func:`match_pattern`."""
+    return bool(find_matches(pattern, concrete, limit=1, **kwargs))

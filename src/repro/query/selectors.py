@@ -1,0 +1,263 @@
+"""Selector mini-language over platform hierarchies.
+
+The paper positions the PDL as "a name-space for reference to architectural
+properties and platform information".  This module gives that namespace a
+compact query syntax, modeled after XPath but restricted to the machine
+model::
+
+    Master/Worker[ARCHITECTURE=gpu]      # gpu Workers directly under Masters
+    //Worker[@group=cpus]                # any Worker in group "cpus"
+    //*[PEAK_GFLOPS_DP>=80]              # any PU with >= 80 DP GFLOP/s
+    Master//Worker[MODEL=GeForce GTX 480][@quantity>=1]
+
+Grammar
+-------
+::
+
+    selector  := ['/' | '//'] step (('/' | '//') step)*
+    step      := kind predicate*
+    kind      := 'Master' | 'Hybrid' | 'Worker' | '*'
+    predicate := '[' key op value ']'
+    key       := PROPERTY_NAME | '@id' | '@group' | '@kind' | '@quantity' | '@arch'
+    op        := '=' | '!=' | '>' | '>=' | '<' | '<='
+
+``/`` selects direct children, ``//`` any descendants.  A leading ``/``
+anchors at the platform's Masters; a leading ``//`` (or no prefix with a
+``*``/kind step) searches the whole hierarchy.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import SelectorSyntaxError
+from repro.model.entities import ProcessingUnit
+from repro.model.platform import Platform
+
+__all__ = ["Selector", "Step", "Predicate", "parse_selector", "select"]
+
+_KINDS = {"Master", "Hybrid", "Worker", "*"}
+_OPS = ("!=", ">=", "<=", "=", ">", "<")  # two-char ops first
+_META_KEYS = {"@id", "@group", "@kind", "@quantity", "@arch", "@name"}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """One ``[key op value]`` filter."""
+
+    key: str
+    op: str
+    value: str
+
+    def matches(self, pu: ProcessingUnit) -> bool:
+        actual = self._actual(pu)
+        if actual is None:
+            return False
+        if isinstance(actual, (list, tuple, set)):
+            # multi-valued keys (@group): equality means membership
+            if self.op == "=":
+                return self.value in actual
+            if self.op == "!=":
+                return self.value not in actual
+            return False
+        if self.op in ("=", "!="):
+            same = str(actual) == self.value
+            return same if self.op == "=" else not same
+        # ordered comparison: numeric when both sides parse, else lexical
+        try:
+            left, right = float(actual), float(self.value)
+        except ValueError:
+            left, right = str(actual), self.value  # type: ignore[assignment]
+        if self.op == ">":
+            return left > right
+        if self.op == ">=":
+            return left >= right
+        if self.op == "<":
+            return left < right
+        if self.op == "<=":
+            return left <= right
+        return False  # pragma: no cover - ops are closed
+
+    def _actual(self, pu: ProcessingUnit):
+        if self.key == "@id":
+            return pu.id
+        if self.key == "@kind":
+            return pu.kind
+        if self.key == "@quantity":
+            return pu.quantity
+        if self.key == "@group":
+            return pu.groups
+        if self.key == "@arch":
+            return pu.architecture
+        if self.key == "@name":
+            return pu.name
+        prop = pu.descriptor.find(self.key)
+        return prop.value.as_str() if prop is not None else None
+
+
+@dataclass(frozen=True)
+class Step:
+    """One path step: a PU kind plus predicates, reached via ``/`` or ``//``."""
+
+    kind: str
+    predicates: tuple[Predicate, ...] = ()
+    #: True when this step was reached via ``//`` (descendant axis)
+    descendant: bool = False
+
+    def matches(self, pu: ProcessingUnit) -> bool:
+        if self.kind != "*" and pu.kind != self.kind:
+            return False
+        return all(p.matches(pu) for p in self.predicates)
+
+
+@dataclass(frozen=True)
+class Selector:
+    """A parsed selector; apply with :meth:`select`."""
+
+    steps: tuple[Step, ...]
+    text: str = ""
+
+    def select(self, root) -> list[ProcessingUnit]:
+        """Evaluate against a :class:`Platform` or a PU subtree.
+
+        Results are deduplicated and returned in document order.
+        """
+        if isinstance(root, Platform):
+            frontier: list[ProcessingUnit] = list(root.masters)
+        else:
+            frontier = [root]
+
+        current = self._initial(frontier, self.steps[0])
+        for step in self.steps[1:]:
+            nxt: list[ProcessingUnit] = []
+            for pu in current:
+                candidates: Iterable[ProcessingUnit]
+                if step.descendant:
+                    candidates = (d for d in pu.walk() if d is not pu)
+                else:
+                    candidates = pu.children
+                nxt.extend(c for c in candidates if step.matches(c))
+            current = _dedup(nxt)
+        return current
+
+    @staticmethod
+    def _initial(frontier: list[ProcessingUnit], step: Step) -> list[ProcessingUnit]:
+        out: list[ProcessingUnit] = []
+        if step.descendant:
+            for top in frontier:
+                out.extend(pu for pu in top.walk() if step.matches(pu))
+        else:
+            out.extend(pu for pu in frontier if step.matches(pu))
+        return _dedup(out)
+
+
+def _dedup(pus: Iterable[ProcessingUnit]) -> list[ProcessingUnit]:
+    seen: set[int] = set()
+    out = []
+    for pu in pus:
+        if id(pu) not in seen:
+            seen.add(id(pu))
+            out.append(pu)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+# note: used with .match(text, pos) — no ^ anchor (it would bind to string
+# start rather than the scan position)
+_STEP_RE = re.compile(r"(Master|Hybrid|Worker|\*)")
+_KEY_RE = re.compile(r"(@?[A-Za-z_][A-Za-z0-9_.\-]*)")
+
+
+def parse_selector(text: str) -> Selector:
+    """Parse ``text`` into a :class:`Selector`.
+
+    Raises :class:`~repro.errors.SelectorSyntaxError` with the offending
+    position on malformed input.
+    """
+    original = text
+    pos = 0
+    steps: list[Step] = []
+
+    def error(msg: str, at: Optional[int] = None):
+        raise SelectorSyntaxError(original, at if at is not None else pos, msg)
+
+    if not text.strip():
+        error("empty selector", 0)
+    text = text.strip()
+
+    # leading axis: default is descendant search ('//' semantics) unless the
+    # selector starts with a single '/' which anchors at the Masters.
+    descendant = True
+    if text.startswith("//"):
+        pos = 2
+        descendant = True
+    elif text.startswith("/"):
+        pos = 1
+        descendant = False
+
+    while pos < len(text):
+        match = _STEP_RE.match(text, pos)
+        if not match:
+            error("expected PU kind (Master|Hybrid|Worker|*)")
+        kind = match.group(1)
+        pos = match.end()
+
+        predicates: list[Predicate] = []
+        while pos < len(text) and text[pos] == "[":
+            close = text.find("]", pos)
+            if close == -1:
+                error("unterminated predicate '['")
+            predicates.append(_parse_predicate(original, text[pos + 1 : close], pos + 1))
+            pos = close + 1
+
+        steps.append(Step(kind, tuple(predicates), descendant))
+
+        if pos == len(text):
+            break
+        if text.startswith("//", pos):
+            descendant = True
+            pos += 2
+        elif text[pos] == "/":
+            descendant = False
+            pos += 1
+        else:
+            error(f"unexpected character {text[pos]!r}")
+        if pos == len(text):
+            error("dangling path separator")
+
+    return Selector(tuple(steps), original)
+
+
+def _parse_predicate(original: str, body: str, offset: int) -> Predicate:
+    body = body.strip()
+    match = _KEY_RE.match(body)
+    if not match:
+        raise SelectorSyntaxError(original, offset, f"bad predicate key in {body!r}")
+    key = match.group(1)
+    rest = body[match.end() :].lstrip()
+    for op in _OPS:
+        if rest.startswith(op):
+            value = rest[len(op) :].strip()
+            if not value:
+                raise SelectorSyntaxError(
+                    original, offset, f"predicate {body!r} lacks a value"
+                )
+            if value[0] in "\"'" and value[-1] == value[0] and len(value) >= 2:
+                value = value[1:-1]
+            if key.startswith("@") and key not in _META_KEYS:
+                raise SelectorSyntaxError(
+                    original, offset, f"unknown meta key {key!r}; known: {sorted(_META_KEYS)}"
+                )
+            return Predicate(key, op, value)
+    raise SelectorSyntaxError(
+        original, offset, f"predicate {body!r} lacks a comparison operator"
+    )
+
+
+def select(root, selector: str) -> list[ProcessingUnit]:
+    """Parse and evaluate ``selector`` against ``root`` in one call."""
+    return parse_selector(selector).select(root)

@@ -1,0 +1,55 @@
+"""StarPU-like heterogeneous runtime built from PDL descriptions.
+
+Public surface: :class:`RuntimeEngine` (sim + real modes),
+:class:`DataHandle`, access modes, schedulers, and trace types.
+"""
+
+from repro.runtime.capacity import CapacityError, MemoryCapacityManager
+from repro.runtime.coherence import AccessMode, CoherenceDirectory, TransferNeed
+from repro.runtime.data import DataHandle, block_ranges
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.schedulers import (
+    SCHEDULER_NAMES,
+    DequeModelScheduler,
+    EagerScheduler,
+    RandomScheduler,
+    Scheduler,
+    WorkStealingScheduler,
+    make_scheduler,
+)
+from repro.runtime.simclock import EventQueue
+from repro.runtime.tasks import Access, DependencyTracker, RuntimeTask, TaskState
+from repro.runtime.trace import RunResult, TaskTrace, TraceLog, TransferTrace
+from repro.runtime.trace_export import gantt_ascii, to_json, to_paje
+from repro.runtime.workers import WorkerContext
+
+__all__ = [
+    "RuntimeEngine",
+    "DataHandle",
+    "block_ranges",
+    "AccessMode",
+    "CoherenceDirectory",
+    "TransferNeed",
+    "RuntimeTask",
+    "TaskState",
+    "Access",
+    "DependencyTracker",
+    "Scheduler",
+    "EagerScheduler",
+    "WorkStealingScheduler",
+    "DequeModelScheduler",
+    "RandomScheduler",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+    "EventQueue",
+    "TraceLog",
+    "TaskTrace",
+    "TransferTrace",
+    "RunResult",
+    "WorkerContext",
+    "to_paje",
+    "to_json",
+    "gantt_ascii",
+    "MemoryCapacityManager",
+    "CapacityError",
+]

@@ -1,0 +1,170 @@
+"""Device-memory capacity modeling with LRU eviction.
+
+The Figure-5 GPUs hold 1.5 GB / 1 GB; the three 8192² matrices (512 MiB
+each) fit, but larger problems must *stream*: tiles get evicted and
+re-fetched, and dirty tiles must be written back before their slot can
+be reused.  This module adds that behaviour to the runtime:
+
+* per-memory-node capacities from the descriptor's ``MemoryRegion SIZE``
+  (node 0 — host RAM — is treated as unbounded by default),
+* residency tracking of valid copies per node,
+* LRU victim selection among non-pinned handles (operands of running
+  tasks are pinned),
+* write-back of sole-owner victims to the home node before invalidation
+  (the write-back transfer is charged to the interconnect like any other).
+
+StarPU's memory manager does exactly this dance; modeling it lets the
+reproduction answer "what happens past device memory?" honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import DataError
+from repro.runtime.coherence import CoherenceDirectory, TransferNeed
+from repro.runtime.data import DataHandle
+
+__all__ = ["CapacityError", "MemoryCapacityManager"]
+
+
+class CapacityError(DataError):
+    """A task's working set cannot fit the target memory node at all."""
+
+
+@dataclass
+class _Resident:
+    handle: DataHandle
+    last_use: float
+
+
+class MemoryCapacityManager:
+    """Tracks residency per memory node and frees room via LRU eviction."""
+
+    def __init__(
+        self,
+        coherence: CoherenceDirectory,
+        node_capacity: dict[int, Optional[float]],
+    ):
+        """``node_capacity``: node → bytes (None = unbounded)."""
+        self.coherence = coherence
+        self.capacity = dict(node_capacity)
+        #: node → handle id → residency record
+        self._resident: dict[int, dict[int, _Resident]] = {}
+        #: handle ids pinned per node (operands of running tasks)
+        self._pinned: dict[int, dict[int, int]] = {}
+        self.eviction_count = 0
+        self.writeback_bytes = 0.0
+
+    # -- bookkeeping ---------------------------------------------------------
+    def note_resident(self, handle: DataHandle, node: int, now: float) -> None:
+        """A valid copy of ``handle`` now lives on ``node``."""
+        self._resident.setdefault(node, {})[handle.id] = _Resident(handle, now)
+
+    def note_invalidated(self, handle: DataHandle, keep_node: int) -> None:
+        """A write on ``keep_node`` invalidated the other copies."""
+        for node, table in self._resident.items():
+            if node != keep_node:
+                table.pop(handle.id, None)
+
+    def touch(self, handle: DataHandle, node: int, now: float) -> None:
+        record = self._resident.get(node, {}).get(handle.id)
+        if record is not None:
+            record.last_use = now
+
+    def pin(self, handle: DataHandle, node: int) -> None:
+        table = self._pinned.setdefault(node, {})
+        table[handle.id] = table.get(handle.id, 0) + 1
+
+    def unpin(self, handle: DataHandle, node: int) -> None:
+        table = self._pinned.get(node, {})
+        count = table.get(handle.id, 0)
+        if count <= 1:
+            table.pop(handle.id, None)
+        else:
+            table[handle.id] = count - 1
+
+    def resident_bytes(self, node: int) -> float:
+        return sum(
+            r.handle.nbytes for r in self._resident.get(node, {}).values()
+        )
+
+    def resident_count(self, node: int) -> int:
+        return len(self._resident.get(node, {}))
+
+    # -- the capacity protocol ----------------------------------------------
+    def make_room(
+        self,
+        node: int,
+        nbytes: float,
+        now: float,
+        *,
+        writeback: Callable[[TransferNeed, float], float],
+    ) -> float:
+        """Ensure ``nbytes`` fit on ``node``; returns when room is ready.
+
+        Evicts LRU non-pinned residents.  A victim whose only valid copy
+        lives here is written back to its home node first — ``writeback``
+        performs/charges that transfer and returns its finish time.
+        Raises :class:`CapacityError` when pinned data alone exceeds the
+        node (the task can never fit).
+        """
+        limit = self.capacity.get(node)
+        if limit is None:
+            return now
+        if nbytes > limit:
+            raise CapacityError(
+                f"handle of {nbytes / 2**20:.1f} MiB exceeds node {node}"
+                f" capacity {limit / 2**20:.1f} MiB entirely"
+            )
+        ready = now
+        table = self._resident.setdefault(node, {})
+        pinned = self._pinned.get(node, {})
+        while self.resident_bytes(node) + nbytes > limit:
+            victims = [
+                r
+                for hid, r in table.items()
+                if hid not in pinned and r.handle.home_node != node
+            ]
+            if not victims:
+                raise CapacityError(
+                    f"node {node}: cannot make room for"
+                    f" {nbytes / 2**20:.1f} MiB —"
+                    f" {self.resident_bytes(node) / 2**20:.1f} MiB pinned by"
+                    " running tasks"
+                )
+            victim = min(victims, key=lambda r: r.last_use)
+            ready = max(ready, self._evict(victim.handle, node, now, writeback))
+        return ready
+
+    def _evict(
+        self,
+        handle: DataHandle,
+        node: int,
+        now: float,
+        writeback: Callable[[TransferNeed, float], float],
+    ) -> float:
+        valid = self.coherence.valid_nodes(handle)
+        finish = now
+        if valid == {node} and node != handle.home_node:
+            # sole dirty copy: write back before dropping it
+            need = TransferNeed(handle, node, handle.home_node)
+            finish = writeback(need, now)
+            self.coherence.note_transfer(need)
+            self.note_resident(handle, handle.home_node, finish)
+            self.writeback_bytes += handle.nbytes
+        valid.discard(node)
+        if not valid:
+            # the home copy must survive; never drop the last copy
+            valid.add(handle.home_node)
+        self._resident[node].pop(handle.id, None)
+        self.eviction_count += 1
+        return finish
+
+    def __repr__(self) -> str:
+        nodes = {
+            node: f"{self.resident_bytes(node) / 2**20:.0f}MiB"
+            for node in self._resident
+        }
+        return f"MemoryCapacityManager({nodes}, evictions={self.eviction_count})"

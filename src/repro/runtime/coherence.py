@@ -1,0 +1,174 @@
+"""MSI-style coherence of data handles across memory nodes.
+
+StarPU keeps an MSI cache-coherence automaton per (handle, memory node);
+we reproduce the same behaviour at handle granularity:
+
+* a handle starts VALID only on its home node;
+* a **read** on node *n* requires a valid copy: if absent, one transfer
+  from some valid node is needed, after which *n* joins the sharers;
+* a **write** (or read-write) on node *n* makes *n* the exclusive owner,
+  invalidating all other copies;
+* eviction is not modeled (the paper's working sets fit device memory).
+
+The coherence directory is pure bookkeeping — it *reports* which transfer
+is required and mutates state when told the access happened; actually
+timing/performing the transfer is the engine's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.errors import CoherenceError
+from repro.runtime.data import DataHandle
+
+__all__ = ["AccessMode", "TransferNeed", "CoherenceDirectory"]
+
+
+class AccessMode(str, Enum):
+    """Task parameter access modes (paper §IV-A: read, write, readwrite)."""
+
+    READ = "r"
+    WRITE = "w"
+    READWRITE = "rw"
+
+    @property
+    def reads(self) -> bool:
+        return self in (AccessMode.READ, AccessMode.READWRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (AccessMode.WRITE, AccessMode.READWRITE)
+
+    @classmethod
+    def parse(cls, text: str) -> "AccessMode":
+        lowered = str(text).strip().lower()
+        aliases = {
+            "r": cls.READ,
+            "read": cls.READ,
+            "w": cls.WRITE,
+            "write": cls.WRITE,
+            "rw": cls.READWRITE,
+            "readwrite": cls.READWRITE,
+        }
+        try:
+            return aliases[lowered]
+        except KeyError:
+            raise CoherenceError(
+                f"unknown access mode {text!r}; use read|write|readwrite"
+            ) from None
+
+
+@dataclass(frozen=True)
+class TransferNeed:
+    """One data movement required before an access may proceed."""
+
+    handle: DataHandle
+    src_node: int
+    dst_node: int
+
+    @property
+    def nbytes(self) -> int:
+        return self.handle.nbytes
+
+
+class CoherenceDirectory:
+    """Tracks which memory nodes hold valid copies of which handles."""
+
+    def __init__(self):
+        #: handle id → set of nodes with a valid copy
+        self._valid: dict[int, set[int]] = {}
+        self._stats_transfers = 0
+        self._stats_bytes = 0.0
+        self._stats_invalidations = 0
+
+    # -- queries -------------------------------------------------------------
+    def valid_nodes(self, handle: DataHandle) -> set[int]:
+        nodes = self._valid.get(handle.id)
+        if nodes is None:
+            nodes = {handle.home_node}
+            self._valid[handle.id] = nodes
+        return nodes
+
+    def is_valid_on(self, handle: DataHandle, node: int) -> bool:
+        return node in self.valid_nodes(handle)
+
+    def required_transfer(
+        self, handle: DataHandle, node: int, mode: AccessMode
+    ) -> Optional[TransferNeed]:
+        """The transfer needed before ``node`` may perform ``mode``.
+
+        Pure-WRITE accesses need no inbound copy (the old content is
+        overwritten); READ/READWRITE fetch from the *preferred* valid node:
+        the home node if valid there, else the lowest-numbered sharer
+        (deterministic; the engine may re-route by cost).
+        """
+        if not mode.reads:
+            return None
+        valid = self.valid_nodes(handle)
+        if node in valid:
+            return None
+        if not valid:
+            raise CoherenceError(
+                f"handle {handle.name!r} has no valid copy anywhere"
+            )
+        src = handle.home_node if handle.home_node in valid else min(valid)
+        return TransferNeed(handle, src, node)
+
+    # -- state transitions --------------------------------------------------------
+    def note_transfer(self, need: TransferNeed) -> None:
+        """Record that ``need`` was carried out: dst joins the sharers."""
+        valid = self.valid_nodes(need.handle)
+        if need.src_node not in valid:
+            raise CoherenceError(
+                f"transfer of {need.handle.name!r} from node {need.src_node}"
+                f" but valid copies are on {sorted(valid)}"
+            )
+        valid.add(need.dst_node)
+        self._stats_transfers += 1
+        self._stats_bytes += need.nbytes
+
+    def note_access(self, handle: DataHandle, node: int, mode: AccessMode) -> None:
+        """Apply the coherence transition for a completed access."""
+        valid = self.valid_nodes(handle)
+        if mode.writes:
+            if len(valid) > 1 or node not in valid:
+                self._stats_invalidations += max(0, len(valid - {node}))
+            valid.clear()
+            valid.add(node)
+        else:
+            if node not in valid:
+                raise CoherenceError(
+                    f"read of {handle.name!r} on node {node} without a valid"
+                    f" copy (valid on {sorted(valid)}); transfer it first"
+                )
+
+    def flush_to_home(self, handle: DataHandle) -> Optional[TransferNeed]:
+        """Transfer needed to make the home node valid again (result
+        gather at the end of a computation)."""
+        valid = self.valid_nodes(handle)
+        if handle.home_node in valid:
+            return None
+        src = min(valid)
+        return TransferNeed(handle, src, handle.home_node)
+
+    # -- stats ---------------------------------------------------------------------
+    @property
+    def transfer_count(self) -> int:
+        return self._stats_transfers
+
+    @property
+    def bytes_transferred(self) -> float:
+        return self._stats_bytes
+
+    @property
+    def invalidation_count(self) -> int:
+        return self._stats_invalidations
+
+    def reset(self) -> None:
+        self._valid.clear()
+        self._stats_transfers = 0
+        self._stats_bytes = 0.0
+        self._stats_invalidations = 0

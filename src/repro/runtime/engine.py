@@ -1,0 +1,706 @@
+"""The heterogeneous runtime engine (StarPU-like, paper §IV-D).
+
+Builds an executable runtime *from a PDL platform description*: Worker
+entities become execution lanes, MemoryRegions become memory nodes,
+Interconnects become the (contended) transfer fabric, and descriptor
+properties feed the performance model.  This is the paper's thesis made
+concrete — retargeting a program is swapping the descriptor.
+
+Two execution modes share one API:
+
+``sim``
+    Discrete-event simulation with calibrated cost models.  Optionally
+    executes kernel payloads on real arrays (functional validation while
+    timing analytically).
+``real``
+    Actually runs kernels on host threads and reports wall-clock times
+    (numpy releases the GIL in BLAS calls, so CPU workers genuinely
+    parallelize).
+
+Typical use::
+
+    engine = RuntimeEngine(load_platform("xeon_x5550_2gpu"), scheduler="dmda")
+    C, A, B = (engine.register(shape=(n, n)) for _ in range(3))
+    ... partition, submit dgemm tile tasks ...
+    result = engine.run()
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import RuntimeEngineError, SchedulerError
+from repro.kernels.registry import KernelRegistry, default_kernel_registry
+from repro.model.entities import ProcessingUnit
+from repro.model.platform import Platform
+from repro.perf.calibration import TASK_SCHEDULING_OVERHEAD_S
+from repro.perf.models import PerfModel
+from repro.perf.transfer import TransferModel
+from repro.runtime.capacity import MemoryCapacityManager
+from repro.runtime.coherence import CoherenceDirectory, TransferNeed
+from repro.runtime.data import DataHandle
+from repro.runtime.schedulers import Scheduler, make_scheduler
+from repro.runtime.simclock import EventQueue
+from repro.runtime.tasks import DependencyTracker, RuntimeTask, TaskState
+from repro.runtime.trace import RunResult, TaskTrace, TraceLog, TransferTrace
+from repro.runtime.workers import WorkerContext, expand_workers
+
+__all__ = ["RuntimeEngine"]
+
+
+def _is_available(pu: ProcessingUnit) -> bool:
+    """Dynamic availability: AVAILABLE=false excludes a Worker."""
+    prop = pu.descriptor.find("AVAILABLE")
+    if prop is None:
+        return True
+    try:
+        return prop.value.as_bool()
+    except Exception:
+        return True
+
+
+class _EngineCostModel:
+    """CostModel protocol implementation backed by the engine's state."""
+
+    def __init__(self, engine: "RuntimeEngine"):
+        self._engine = engine
+
+    def supports(self, task: RuntimeTask, worker: WorkerContext) -> bool:
+        if worker.instance_id in self._engine._offline:
+            return False  # mid-run dynamic event took this worker down
+        return self._engine.registry.get(task.kernel).supports(worker.architecture)
+
+    def exec_estimate(self, task: RuntimeTask, worker: WorkerContext) -> float:
+        return self._engine.exec_estimate(task, worker)
+
+    def transfer_estimate(self, task: RuntimeTask, worker: WorkerContext) -> float:
+        engine = self._engine
+        total = 0.0
+        for access in task.accesses:
+            need = engine.coherence.required_transfer(
+                access.handle, worker.memory_node, access.mode
+            )
+            if need is not None:
+                total += engine.transfer_model.ideal_time(
+                    engine.node_anchor[need.src_node],
+                    worker.entity_id,
+                    need.nbytes,
+                )
+        return total
+
+
+class RuntimeEngine:
+    """A StarPU-like runtime instantiated from a platform description."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        scheduler: str | Scheduler = "dmda",
+        registry: Optional[KernelRegistry] = None,
+        perf_model: Optional[PerfModel] = None,
+        execute_kernels: bool = False,
+        task_overhead_s: float = TASK_SCHEDULING_OVERHEAD_S,
+        prefetch: bool = False,
+        model_capacity: bool = False,
+        model_contention: bool = True,
+    ):
+        self.platform = platform
+        self.registry = registry if registry is not None else default_kernel_registry()
+        self.perf = perf_model if perf_model is not None else PerfModel()
+        self.execute_kernels = execute_kernels
+        self.task_overhead_s = task_overhead_s
+        #: stage the next queued task's operands while the current one runs
+        self.prefetch = prefetch
+        #: enforce MemoryRegion SIZE limits with LRU eviction + write-back
+        self.model_capacity = model_capacity
+        self.capacity: Optional["MemoryCapacityManager"] = None
+
+        # --- memory nodes -------------------------------------------------
+        # node 0 is host RAM anchored at the first Master; every non-Master
+        # PU owning a MemoryRegion gets its own node.
+        if not platform.masters:
+            raise RuntimeEngineError("platform has no Master processing unit")
+        self.node_anchor: dict[int, str] = {0: platform.masters[0].id}
+        self._node_of_entity: dict[str, int] = {}
+        next_node = 1
+        for pu in platform.walk():
+            if pu.kind != "Master" and pu.memory_regions:
+                self._node_of_entity[pu.id] = next_node
+                self.node_anchor[next_node] = pu.id
+                next_node += 1
+        # PUs without own memory inherit the nearest ancestor's node (or 0)
+        for pu in platform.walk():
+            if pu.id in self._node_of_entity:
+                continue
+            node = 0
+            for ancestor in pu.ancestors():
+                if ancestor.id in self._node_of_entity:
+                    node = self._node_of_entity[ancestor.id]
+                    break
+            self._node_of_entity[pu.id] = node
+
+        # --- workers -----------------------------------------------------------
+        # dynamic availability (repro.dynamic events) is honored here:
+        # Workers whose descriptor says AVAILABLE=false are not lanes
+        leaf_workers = [
+            pu
+            for pu in platform.walk()
+            if pu.kind == "Worker" and _is_available(pu)
+        ]
+        if not leaf_workers:
+            raise RuntimeEngineError(
+                f"platform {platform.name!r} declares no (available) Worker PUs"
+            )
+        self.workers: list[WorkerContext] = expand_workers(
+            leaf_workers, self._node_of_entity
+        )
+
+        # --- plumbing -------------------------------------------------------------
+        self.transfer_model = TransferModel(
+            platform, model_contention=model_contention
+        )
+        self.coherence = CoherenceDirectory()
+        self.scheduler: Scheduler = (
+            scheduler if isinstance(scheduler, Scheduler) else make_scheduler(scheduler)
+        )
+        self.scheduler.attach(self.workers, _EngineCostModel(self))
+
+        self._tasks: list[RuntimeTask] = []
+        self._tracker = DependencyTracker()
+        self._handles: list[DataHandle] = []
+        self._ran = False
+        #: worker instance ids taken down by mid-run dynamic events
+        self._offline: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # data API
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        array: Optional[np.ndarray] = None,
+        *,
+        shape: Optional[Sequence[int]] = None,
+        dtype=np.float64,
+        name: str = "",
+    ) -> DataHandle:
+        """Register a datum with the runtime (array, or shape for sim-only)."""
+        handle = DataHandle(shape=shape, dtype=dtype, array=array, name=name)
+        self._handles.append(handle)
+        return handle
+
+    # ------------------------------------------------------------------
+    # task API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        kernel: str,
+        accesses: Sequence[tuple],
+        *,
+        dims: Optional[tuple] = None,
+        args: Optional[dict] = None,
+        priority: int = 0,
+        tag: str = "",
+    ) -> RuntimeTask:
+        """Submit one task; dependencies are inferred from access modes."""
+        if self._ran:
+            raise RuntimeEngineError(
+                "engine already ran; create a new engine for another run"
+            )
+        kernel_def = self.registry.get(kernel)  # raises on unknown kernel
+        if not any(kernel_def.supports(w.architecture) for w in self.workers):
+            raise SchedulerError(
+                f"kernel {kernel!r} has no implementation for any worker"
+                f" architecture on platform {self.platform.name!r}"
+                f" (architectures: {sorted({w.architecture for w in self.workers})})"
+            )
+        task = RuntimeTask(
+            kernel, accesses, dims=dims, args=args, priority=priority, tag=tag
+        )
+        for access in task.accesses:
+            if access.handle.is_partitioned:
+                raise RuntimeEngineError(
+                    f"task {task.tag}: handle {access.handle.name!r} is"
+                    " partitioned; submit tasks on its leaf children"
+                )
+        self._tracker.register(task)
+        self._tasks.append(task)
+        return task
+
+    @property
+    def task_count(self) -> int:
+        return len(self._tasks)
+
+    # ------------------------------------------------------------------
+    # cost estimation (also used by schedulers through _EngineCostModel)
+    # ------------------------------------------------------------------
+    def exec_estimate(self, task: RuntimeTask, worker: WorkerContext) -> float:
+        kernel_def = self.registry.get(task.kernel)
+        dims = task.dims
+        if dims is None:
+            # derive a size proxy from the first access
+            dims = task.accesses[0].handle.shape
+        flops = kernel_def.flops(dims)
+        nbytes = kernel_def.bytes_touched(dims)
+        return self.perf.estimate(
+            worker.pu,
+            kernel=task.kernel,
+            flops=flops,
+            bytes_touched=nbytes,
+            dims=dims if len(dims) == 3 else None,
+        )
+
+    # ------------------------------------------------------------------
+    # simulated execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        gather_to_home: bool = True,
+        dynamic_events: Optional[Sequence[tuple]] = None,
+    ) -> RunResult:
+        """Run all submitted tasks in discrete-event simulation.
+
+        ``gather_to_home`` appends the transfers that bring written data
+        back to host memory (as the paper's experiment must, to hand the
+        result matrix back to the caller) and counts them in the makespan.
+
+        ``dynamic_events`` is an optional list of ``(time_s, event)``
+        pairs (see :mod:`repro.dynamic.events`) applied *while the
+        simulation runs* — the "highly dynamic run-time schedulers" of
+        the paper's conclusion.  A worker taken offline finishes its
+        current task, its queued tasks are drained back to the scheduler,
+        and no new work reaches it until a matching online event.
+        """
+        if self._ran:
+            raise RuntimeEngineError("engine already ran")
+        self._ran = True
+        wall_start = _time.perf_counter()
+
+        clock = EventQueue()
+        trace = TraceLog()
+        self.transfer_model.reset()
+        self.coherence.reset()
+        for worker in self.workers:
+            worker.reset()
+
+        if self.model_capacity:
+            node_capacity: dict[int, Optional[float]] = {0: None}
+            for node, anchor_id in self.node_anchor.items():
+                if node == 0:
+                    continue
+                anchor = self.platform.pu(anchor_id)
+                sizes = [
+                    r.size_bytes
+                    for r in anchor.memory_regions
+                    if r.size_bytes is not None
+                ]
+                node_capacity[node] = sum(sizes) if sizes else None
+            self.capacity = MemoryCapacityManager(self.coherence, node_capacity)
+
+        def charge_writeback(need: TransferNeed, when: float) -> float:
+            est = self.transfer_model.schedule(
+                self.node_anchor[need.src_node],
+                self.node_anchor[need.dst_node],
+                need.nbytes,
+                when,
+            )
+            trace.record_transfer(
+                TransferTrace(
+                    handle_name=need.handle.name,
+                    nbytes=need.nbytes,
+                    src_node=need.src_node,
+                    dst_node=need.dst_node,
+                    start=est.start,
+                    end=est.finish,
+                )
+            )
+            return est.finish
+
+        pending = sum(1 for t in self._tasks if t.state != TaskState.DONE)
+        written_handles: dict[int, DataHandle] = {}
+        idle: dict[str, WorkerContext] = {}
+        #: task id → (memory node prefetched into, arrival time)
+        prefetched_until: dict[int, tuple[int, float]] = {}
+
+        def wake_idle() -> None:
+            for worker in list(idle.values()):
+                del idle[worker.instance_id]
+                clock.schedule_in(0.0, lambda w=worker: worker_tick(w))
+
+        def worker_tick(worker: WorkerContext) -> None:
+            now = clock.now
+            if worker.instance_id in self._offline:
+                return  # taken down by a dynamic event; no new work
+            if now < worker.busy_until - 1e-15:
+                return  # still executing; its completion event will re-tick
+            task = self.scheduler.next_task(worker, now)
+            if task is None:
+                idle[worker.instance_id] = worker
+                return
+            start_task(task, worker, now)
+
+        def stage_operands(
+            task: RuntimeTask, worker: WorkerContext, now: float
+        ) -> float:
+            """Schedule missing-operand transfers; returns their finish time."""
+            node = worker.memory_node
+            data_ready = now
+            for access in task.accesses:
+                need = self.coherence.required_transfer(
+                    access.handle, node, access.mode
+                )
+                if need is None:
+                    # already resident (or write-only): room still needed
+                    # for write-only claims under capacity modeling
+                    if self.capacity is not None:
+                        if self.coherence.is_valid_on(access.handle, node):
+                            self.capacity.touch(access.handle, node, now)
+                        elif access.mode.writes:
+                            ready = self.capacity.make_room(
+                                node, access.handle.nbytes, now,
+                                writeback=charge_writeback,
+                            )
+                            self.capacity.note_resident(
+                                access.handle, node, ready
+                            )
+                            data_ready = max(data_ready, ready)
+                    continue
+                start_at = now
+                if self.capacity is not None:
+                    start_at = self.capacity.make_room(
+                        node, need.nbytes, now, writeback=charge_writeback
+                    )
+                est = self.transfer_model.schedule(
+                    self.node_anchor[need.src_node],
+                    worker.entity_id,
+                    need.nbytes,
+                    start_at,
+                )
+                self.coherence.note_transfer(need)
+                if self.capacity is not None:
+                    self.capacity.note_resident(access.handle, node, est.finish)
+                trace.record_transfer(
+                    TransferTrace(
+                        handle_name=need.handle.name,
+                        nbytes=need.nbytes,
+                        src_node=need.src_node,
+                        dst_node=node,
+                        start=est.start,
+                        end=est.finish,
+                    )
+                )
+                data_ready = max(data_ready, est.finish)
+            return data_ready
+
+        def start_task(task: RuntimeTask, worker: WorkerContext, now: float) -> None:
+            task.state = TaskState.RUNNING
+            # pin the task's working set first so staging one operand can
+            # never evict another operand of the same task
+            if self.capacity is not None:
+                for access in task.accesses:
+                    self.capacity.pin(access.handle, worker.memory_node)
+            # stage operands (already-prefetched ones are valid in the
+            # coherence directory and cost nothing here; we only wait for
+            # their arrival time)
+            data_ready = stage_operands(task, worker, now)
+            staged = prefetched_until.pop(task.id, None)
+            if staged is not None and staged[0] == worker.memory_node:
+                # stolen tasks may run elsewhere; only wait for a prefetch
+                # that targeted this worker's node
+                data_ready = max(data_ready, staged[1])
+            transfer_wait = data_ready - now
+
+            start = data_ready + self.task_overhead_s
+            duration = self.exec_estimate(task, worker)
+            end = start + duration
+
+            # coherence transition at start (write ownership is claimed
+            # when the kernel begins mutating the buffer)
+            for access in task.accesses:
+                self.coherence.note_access(
+                    access.handle, worker.memory_node, access.mode
+                )
+                if access.mode.writes:
+                    written_handles[access.handle.id] = access.handle
+                if self.capacity is not None and access.mode.writes:
+                    self.capacity.note_invalidated(
+                        access.handle, worker.memory_node
+                    )
+                    self.capacity.note_resident(
+                        access.handle, worker.memory_node, start
+                    )
+
+            if self.execute_kernels:
+                self._execute_payload(task, worker)
+
+            worker.busy_until = end
+            worker.is_idle = False
+            task.worker_id = worker.instance_id
+            task.start_time = start
+            task.end_time = end
+            clock.schedule_at(
+                end, lambda: finish_task(task, worker, transfer_wait)
+            )
+
+            # data prefetch: stage the *next* queued task's operands while
+            # this one computes (StarPU's dmda-prefetch behaviour)
+            if self.prefetch:
+                upcoming = self.scheduler.peek(worker)
+                if (
+                    upcoming is not None
+                    and upcoming.id not in prefetched_until
+                ):
+                    prefetched_until[upcoming.id] = (
+                        worker.memory_node,
+                        stage_operands(upcoming, worker, now),
+                    )
+
+        def finish_task(
+            task: RuntimeTask, worker: WorkerContext, transfer_wait: float
+        ) -> None:
+            nonlocal pending
+            now = clock.now
+            task.state = TaskState.DONE
+            pending -= 1
+            worker.busy_time += task.duration or 0.0
+            worker.tasks_executed += 1
+            if self.capacity is not None:
+                for access in task.accesses:
+                    self.capacity.unpin(access.handle, worker.memory_node)
+                    self.capacity.touch(access.handle, worker.memory_node, now)
+            trace.record_task(
+                TaskTrace(
+                    task_id=task.id,
+                    tag=task.tag,
+                    kernel=task.kernel,
+                    worker_id=worker.instance_id,
+                    architecture=worker.architecture,
+                    start=task.start_time or 0.0,
+                    end=now,
+                    transfer_wait=transfer_wait,
+                )
+            )
+            newly_ready = [
+                dep for dep in task.dependents if dep.notify_producer_done()
+            ]
+            for dep in newly_ready:
+                dep.state = TaskState.READY
+                self.scheduler.task_ready(dep, now)
+            if newly_ready:
+                wake_idle()
+            worker_tick(worker)
+
+        def on_dynamic_event(event) -> None:
+            now = clock.now
+            event.apply(self.platform)
+            # descriptor properties feed the cost models; drop stale rates
+            self.perf._cache.clear()
+            for worker in self.workers:
+                if worker.entity_id != event.pu_id:
+                    continue
+                if _is_available(worker.pu):
+                    if worker.instance_id in self._offline:
+                        self._offline.discard(worker.instance_id)
+                        idle.pop(worker.instance_id, None)
+                        clock.schedule_in(0.0, lambda w=worker: worker_tick(w))
+                else:
+                    if worker.instance_id not in self._offline:
+                        self._offline.add(worker.instance_id)
+                        idle.pop(worker.instance_id, None)
+                        # re-queue whatever was bound to this worker
+                        for task in self.scheduler.drain(worker):
+                            self.scheduler.task_ready(task, now)
+            wake_idle()
+
+        # seed: initially-ready tasks and all workers
+        for task in self._tasks:
+            if task.ready:
+                task.state = TaskState.READY
+                self.scheduler.task_ready(task, 0.0)
+        for worker in self.workers:
+            clock.schedule_at(0.0, lambda w=worker: worker_tick(w))
+        for when, event in dynamic_events or ():
+            clock.schedule_at(float(when), lambda e=event: on_dynamic_event(e))
+
+        clock.run()
+
+        if pending:
+            stuck = [t.tag for t in self._tasks if t.state != TaskState.DONE][:10]
+            raise RuntimeEngineError(
+                f"simulation stalled with {pending} unfinished tasks"
+                f" (first: {stuck}); dependency cycle or scheduler bug"
+            )
+
+        makespan = trace.makespan
+        if gather_to_home:
+            makespan = self._gather(written_handles.values(), makespan, trace)
+
+        wall = _time.perf_counter() - wall_start
+        return RunResult(
+            makespan=makespan,
+            mode="sim",
+            scheduler=self.scheduler.name,
+            task_count=len(self._tasks),
+            trace=trace,
+            transfer_count=self.coherence.transfer_count,
+            bytes_transferred=self.coherence.bytes_transferred,
+            wall_time=wall,
+            eviction_count=(
+                self.capacity.eviction_count if self.capacity is not None else 0
+            ),
+            writeback_bytes=(
+                self.capacity.writeback_bytes if self.capacity is not None else 0.0
+            ),
+        )
+
+    def _gather(self, handles, start_time: float, trace: TraceLog) -> float:
+        """Flush written handles back to the host node; returns new makespan."""
+        end = start_time
+        for handle in handles:
+            need = self.coherence.flush_to_home(handle)
+            if need is None:
+                continue
+            est = self.transfer_model.schedule(
+                self.node_anchor[need.src_node],
+                self.node_anchor[need.dst_node],
+                need.nbytes,
+                start_time,
+            )
+            self.coherence.note_transfer(need)
+            trace.record_transfer(
+                TransferTrace(
+                    handle_name=need.handle.name,
+                    nbytes=need.nbytes,
+                    src_node=need.src_node,
+                    dst_node=need.dst_node,
+                    start=est.start,
+                    end=est.finish,
+                )
+            )
+            end = max(end, est.finish)
+        return end
+
+    def _execute_payload(self, task: RuntimeTask, worker: WorkerContext) -> None:
+        impl = self.registry.get(task.kernel).variant_for(worker.architecture)
+        arrays = [access.handle.require_array() for access in task.accesses]
+        impl.fn(*arrays, **task.args)
+
+    # ------------------------------------------------------------------
+    # real (threaded) execution
+    # ------------------------------------------------------------------
+    def run_real(self, *, max_threads: Optional[int] = None) -> RunResult:
+        """Execute all tasks for real on host threads.
+
+        Every worker context runs a thread pulling from the same scheduler
+        (under a lock).  Data transfers are no-ops (host shared memory);
+        the coherence directory is bypassed.  All accessed handles must be
+        array-backed.
+        """
+        if self._ran:
+            raise RuntimeEngineError("engine already ran")
+        self._ran = True
+        for task in self._tasks:
+            for access in task.accesses:
+                access.handle.require_array()
+
+        workers = self.workers if max_threads is None else self.workers[:max_threads]
+        if not workers:
+            raise RuntimeEngineError("no workers to run on")
+        self.scheduler.attach(workers, _EngineCostModel(self))
+
+        trace = TraceLog()
+        lock = threading.Lock()
+        work_available = threading.Condition(lock)
+        pending = [sum(1 for t in self._tasks if t.state != TaskState.DONE)]
+        failure: list[BaseException] = []
+        t0 = _time.perf_counter()
+
+        with lock:
+            for task in self._tasks:
+                if task.ready:
+                    task.state = TaskState.READY
+                    self.scheduler.task_ready(task, 0.0)
+
+        def loop(worker: WorkerContext) -> None:
+            while True:
+                with lock:
+                    if failure or pending[0] == 0:
+                        work_available.notify_all()
+                        return
+                    now = _time.perf_counter() - t0
+                    task = self.scheduler.next_task(worker, now)
+                    if task is None:
+                        work_available.wait(timeout=0.05)
+                        continue
+                    task.state = TaskState.RUNNING
+                try:
+                    start = _time.perf_counter() - t0
+                    self._execute_payload(task, worker)
+                    end = _time.perf_counter() - t0
+                except BaseException as exc:  # propagate to caller
+                    with lock:
+                        failure.append(exc)
+                        work_available.notify_all()
+                    return
+                with lock:
+                    task.state = TaskState.DONE
+                    task.worker_id = worker.instance_id
+                    task.start_time, task.end_time = start, end
+                    worker.busy_time += end - start
+                    worker.tasks_executed += 1
+                    pending[0] -= 1
+                    trace.record_task(
+                        TaskTrace(
+                            task_id=task.id,
+                            tag=task.tag,
+                            kernel=task.kernel,
+                            worker_id=worker.instance_id,
+                            architecture=worker.architecture,
+                            start=start,
+                            end=end,
+                            transfer_wait=0.0,
+                        )
+                    )
+                    now = end
+                    for dep in task.dependents:
+                        if dep.notify_producer_done():
+                            dep.state = TaskState.READY
+                            self.scheduler.task_ready(dep, now)
+                    work_available.notify_all()
+
+        threads = [
+            threading.Thread(target=loop, args=(w,), name=w.instance_id, daemon=True)
+            for w in workers
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failure:
+            raise failure[0]
+        if pending[0]:
+            raise RuntimeEngineError(
+                f"real execution stalled with {pending[0]} unfinished tasks"
+            )
+        wall = _time.perf_counter() - t0
+        return RunResult(
+            makespan=trace.makespan,
+            mode="real",
+            scheduler=self.scheduler.name,
+            task_count=len(self._tasks),
+            trace=trace,
+            wall_time=wall,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RuntimeEngine({self.platform.name!r},"
+            f" workers={len(self.workers)},"
+            f" scheduler={self.scheduler.name!r})"
+        )

@@ -1,0 +1,316 @@
+"""Pluggable task schedulers (StarPU's scheduling-policy zoo, §IV-D).
+
+Four policies, matching the families StarPU shipped at the paper's time:
+
+``eager``
+    One central FIFO; idle workers grab the first compatible task.
+``ws`` (work stealing)
+    Per-worker deques; ready tasks go to the shortest compatible queue,
+    idle workers steal from the longest.
+``dm`` (deque model)
+    Performance-model driven: each ready task is placed on the worker with
+    the earliest *estimated finish time* considering execution cost only.
+``dmda`` (deque model, data aware)
+    Like ``dm`` but the estimate adds the data-transfer cost of operands
+    not yet valid on the candidate worker's memory node — the policy the
+    StarPU DGEMM experiments used.
+
+Schedulers interact with the engine through two calls:
+:meth:`Scheduler.task_ready` (a task's dependencies resolved) and
+:meth:`Scheduler.next_task` (an idle worker asks for work).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Optional, Protocol
+
+from repro.errors import SchedulerError
+from repro.runtime.tasks import RuntimeTask
+from repro.runtime.workers import WorkerContext
+
+__all__ = [
+    "CostModel",
+    "Scheduler",
+    "EagerScheduler",
+    "WorkStealingScheduler",
+    "DequeModelScheduler",
+    "RandomScheduler",
+    "make_scheduler",
+    "SCHEDULER_NAMES",
+]
+
+
+class CostModel(Protocol):
+    """What a performance-model-driven scheduler may ask the engine."""
+
+    def exec_estimate(self, task: RuntimeTask, worker: WorkerContext) -> float:
+        """Estimated kernel execution seconds of ``task`` on ``worker``."""
+        ...
+
+    def transfer_estimate(self, task: RuntimeTask, worker: WorkerContext) -> float:
+        """Estimated seconds to stage missing operands onto ``worker``."""
+        ...
+
+    def supports(self, task: RuntimeTask, worker: WorkerContext) -> bool:
+        """Whether ``worker`` has an implementation for ``task``."""
+        ...
+
+
+class Scheduler:
+    """Base class; concrete policies override the queue behaviour."""
+
+    name = "base"
+
+    def __init__(self):
+        self.workers: list[WorkerContext] = []
+        self.cost: Optional[CostModel] = None
+
+    def attach(self, workers: list[WorkerContext], cost: CostModel) -> None:
+        self.workers = list(workers)
+        self.cost = cost
+        self.reset()
+
+    def reset(self) -> None:
+        """Clear queues for a fresh run."""
+
+    # -- protocol ----------------------------------------------------------
+    def task_ready(self, task: RuntimeTask, now: float) -> None:
+        raise NotImplementedError
+
+    def next_task(self, worker: WorkerContext, now: float) -> Optional[RuntimeTask]:
+        raise NotImplementedError
+
+    def peek(self, worker: WorkerContext) -> Optional[RuntimeTask]:
+        """The task ``worker`` would get next, without removing it.
+
+        Used by the engine's data-prefetch path; policies without a
+        per-worker queue may return None (no prefetch opportunity).
+        """
+        return None
+
+    def drain(self, worker: WorkerContext) -> list[RuntimeTask]:
+        """Remove and return every task queued specifically for ``worker``.
+
+        Called when a worker goes offline mid-run; the engine re-submits
+        the drained tasks so other workers pick them up.  Central-queue
+        policies have nothing worker-bound to drain.
+        """
+        return []
+
+    def pending_count(self) -> int:
+        raise NotImplementedError
+
+
+class EagerScheduler(Scheduler):
+    """Central queue; highest-priority compatible task wins, FIFO on ties."""
+
+    name = "eager"
+
+    def reset(self) -> None:
+        self._queue: deque[RuntimeTask] = deque()
+
+    def task_ready(self, task: RuntimeTask, now: float) -> None:
+        self._queue.append(task)
+
+    def next_task(self, worker: WorkerContext, now: float) -> Optional[RuntimeTask]:
+        best_index: Optional[int] = None
+        best_priority = None
+        for i, task in enumerate(self._queue):
+            if not self.cost.supports(task, worker):
+                continue
+            if best_index is None or task.priority > best_priority:
+                best_index, best_priority = i, task.priority
+        if best_index is None:
+            return None
+        task = self._queue[best_index]
+        del self._queue[best_index]
+        return task
+
+    def peek(self, worker: WorkerContext) -> Optional[RuntimeTask]:
+        best = None
+        for task in self._queue:
+            if not self.cost.supports(task, worker):
+                continue
+            if best is None or task.priority > best.priority:
+                best = task
+        return best
+
+    def pending_count(self) -> int:
+        return len(self._queue)
+
+
+class WorkStealingScheduler(Scheduler):
+    """Per-worker deques with stealing from the longest queue."""
+
+    name = "ws"
+
+    def reset(self) -> None:
+        self._queues: dict[str, deque[RuntimeTask]] = {
+            w.instance_id: deque() for w in self.workers
+        }
+
+    def task_ready(self, task: RuntimeTask, now: float) -> None:
+        candidates = [w for w in self.workers if self.cost.supports(task, w)]
+        if not candidates:
+            raise SchedulerError(
+                f"no worker supports kernel {task.kernel!r}"
+            )
+        target = min(candidates, key=lambda w: len(self._queues[w.instance_id]))
+        self._queues[target.instance_id].append(task)
+
+    def next_task(self, worker: WorkerContext, now: float) -> Optional[RuntimeTask]:
+        own = self._queues[worker.instance_id]
+        if own:
+            return own.popleft()
+        # steal from the back of the longest compatible queue
+        victims = sorted(
+            (w for w in self.workers if w.instance_id != worker.instance_id),
+            key=lambda w: -len(self._queues[w.instance_id]),
+        )
+        for victim in victims:
+            queue = self._queues[victim.instance_id]
+            for i in range(len(queue) - 1, -1, -1):
+                if self.cost.supports(queue[i], worker):
+                    task = queue[i]
+                    del queue[i]
+                    return task
+        return None
+
+    def peek(self, worker: WorkerContext) -> Optional[RuntimeTask]:
+        own = self._queues[worker.instance_id]
+        return own[0] if own else None
+
+    def drain(self, worker: WorkerContext) -> list[RuntimeTask]:
+        own = self._queues[worker.instance_id]
+        drained = list(own)
+        own.clear()
+        return drained
+
+
+    def pending_count(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+
+class DequeModelScheduler(Scheduler):
+    """StarPU's ``dm`` / ``dmda``: earliest-estimated-finish placement.
+
+    Maintains a per-worker estimated-free clock; each ready task is
+    appended to the deque of the worker minimizing
+
+    ``max(now, est_free) + (transfer if data_aware) + exec``.
+    """
+
+    def __init__(self, *, data_aware: bool = True):
+        super().__init__()
+        self.data_aware = data_aware
+        self.name = "dmda" if data_aware else "dm"
+
+    def reset(self) -> None:
+        self._queues: dict[str, deque[RuntimeTask]] = {
+            w.instance_id: deque() for w in self.workers
+        }
+        self._est_free: dict[str, float] = {w.instance_id: 0.0 for w in self.workers}
+
+    def task_ready(self, task: RuntimeTask, now: float) -> None:
+        best: Optional[WorkerContext] = None
+        best_finish = float("inf")
+        for worker in self.workers:
+            if not self.cost.supports(task, worker):
+                continue
+            begin = max(now, self._est_free[worker.instance_id])
+            cost = self.cost.exec_estimate(task, worker)
+            if self.data_aware:
+                cost += self.cost.transfer_estimate(task, worker)
+            finish = begin + cost
+            if finish < best_finish:
+                best_finish = finish
+                best = worker
+        if best is None:
+            raise SchedulerError(f"no worker supports kernel {task.kernel!r}")
+        self._queues[best.instance_id].append(task)
+        self._est_free[best.instance_id] = best_finish
+
+    def next_task(self, worker: WorkerContext, now: float) -> Optional[RuntimeTask]:
+        own = self._queues[worker.instance_id]
+        if own:
+            return own.popleft()
+        return None
+
+    def peek(self, worker: WorkerContext) -> Optional[RuntimeTask]:
+        own = self._queues[worker.instance_id]
+        return own[0] if own else None
+
+    def drain(self, worker: WorkerContext) -> list[RuntimeTask]:
+        own = self._queues[worker.instance_id]
+        drained = list(own)
+        own.clear()
+        return drained
+
+
+    def pending_count(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+
+class RandomScheduler(Scheduler):
+    """Uniform-random placement over compatible workers (ablation baseline)."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0):
+        super().__init__()
+        self._seed = seed
+
+    def reset(self) -> None:
+        self._rng = random.Random(self._seed)
+        self._queues: dict[str, deque[RuntimeTask]] = {
+            w.instance_id: deque() for w in self.workers
+        }
+
+    def task_ready(self, task: RuntimeTask, now: float) -> None:
+        candidates = [w for w in self.workers if self.cost.supports(task, w)]
+        if not candidates:
+            raise SchedulerError(f"no worker supports kernel {task.kernel!r}")
+        target = self._rng.choice(candidates)
+        self._queues[target.instance_id].append(task)
+
+    def next_task(self, worker: WorkerContext, now: float) -> Optional[RuntimeTask]:
+        own = self._queues[worker.instance_id]
+        if own:
+            return own.popleft()
+        return None
+
+    def peek(self, worker: WorkerContext) -> Optional[RuntimeTask]:
+        own = self._queues[worker.instance_id]
+        return own[0] if own else None
+
+    def drain(self, worker: WorkerContext) -> list[RuntimeTask]:
+        own = self._queues[worker.instance_id]
+        drained = list(own)
+        own.clear()
+        return drained
+
+
+    def pending_count(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+
+SCHEDULER_NAMES = ("eager", "ws", "dm", "dmda", "random")
+
+
+def make_scheduler(name: str, **kwargs) -> Scheduler:
+    """Factory by policy name (``eager | ws | dm | dmda | random``)."""
+    if name == "eager":
+        return EagerScheduler()
+    if name == "ws":
+        return WorkStealingScheduler()
+    if name == "dm":
+        return DequeModelScheduler(data_aware=False)
+    if name == "dmda":
+        return DequeModelScheduler(data_aware=True)
+    if name == "random":
+        return RandomScheduler(**kwargs)
+    raise SchedulerError(
+        f"unknown scheduler {name!r}; available: {SCHEDULER_NAMES}"
+    )

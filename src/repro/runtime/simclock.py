@@ -1,0 +1,78 @@
+"""Discrete-event simulation clock.
+
+A deterministic event queue: events fire in time order, ties broken by
+insertion sequence (so equal-time events run in schedule order, which
+keeps simulations reproducible run-to-run).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from repro.errors import RuntimeEngineError
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Priority queue of ``(time, callback)`` events with a current clock."""
+
+    def __init__(self):
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at absolute time ``when``."""
+        if when < self._now - 1e-12:
+            raise RuntimeEngineError(
+                f"cannot schedule event at {when} before current time {self._now}"
+            )
+        heapq.heappush(self._heap, (when, next(self._seq), callback))
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise RuntimeEngineError(f"negative delay {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        if not self._heap:
+            return False
+        when, _, callback = heapq.heappop(self._heap)
+        self._now = when
+        callback()
+        return True
+
+    def run(self, *, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Drain the queue (optionally up to time ``until``); returns the
+        final clock value."""
+        fired = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            if fired >= max_events:
+                raise RuntimeEngineError(
+                    f"event budget exceeded ({max_events}); runaway simulation?"
+                )
+            self.step()
+            fired += 1
+        return self._now
+
+    def reset(self) -> None:
+        self._heap.clear()
+        self._now = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap

@@ -1,0 +1,177 @@
+"""Runtime tasks and implicit dependency inference.
+
+Tasks reference a kernel (codelet) plus data handles with access modes;
+dependencies between tasks are inferred from data hazards in submission
+order, exactly like StarPU's implicit data-dependency mode and as the
+paper motivates ("explicit task outlining with parameter access-specifiers
+helps ... derive inter-task data-dependencies", §IV-A):
+
+* RAW — a reader depends on the last writer of each handle it reads;
+* WAW — a writer depends on the last writer;
+* WAR — a writer depends on every reader since the last writer.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Sequence
+
+from repro.errors import RuntimeEngineError
+from repro.runtime.coherence import AccessMode
+from repro.runtime.data import DataHandle
+
+__all__ = ["TaskState", "Access", "RuntimeTask", "DependencyTracker"]
+
+_task_ids = itertools.count(1)
+
+
+class TaskState(str, Enum):
+    BLOCKED = "blocked"
+    READY = "ready"
+    RUNNING = "running"
+    DONE = "done"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One (handle, mode) task parameter."""
+
+    handle: DataHandle
+    mode: AccessMode
+
+
+class RuntimeTask:
+    """A schedulable unit of work.
+
+    Parameters
+    ----------
+    kernel:
+        Kernel (codelet) name resolved against the engine's registry.
+    accesses:
+        ``(handle, mode)`` pairs; modes accept strings (``"r"|"w"|"rw"``)
+        or :class:`AccessMode`.
+    dims:
+        Cost-model dims (e.g. ``(m, n, k)`` for GEMM tiles).
+    args:
+        Extra keyword arguments passed to the kernel function.
+    priority:
+        Larger = more urgent; schedulers may use it as a tie-break.
+    tag:
+        Free-form label for traces.
+    """
+
+    def __init__(
+        self,
+        kernel: str,
+        accesses: Sequence[tuple],
+        *,
+        dims: Optional[tuple] = None,
+        args: Optional[dict] = None,
+        priority: int = 0,
+        tag: str = "",
+    ):
+        self.id = next(_task_ids)
+        self.kernel = kernel
+        self.accesses: tuple[Access, ...] = tuple(
+            Access(handle, mode if isinstance(mode, AccessMode) else AccessMode.parse(mode))
+            for handle, mode in accesses
+        )
+        if not self.accesses:
+            raise RuntimeEngineError(f"task {kernel!r} has no data accesses")
+        self.dims = tuple(dims) if dims is not None else None
+        self.args = dict(args or {})
+        self.priority = priority
+        self.tag = tag or f"{kernel}#{self.id}"
+
+        self.state = TaskState.BLOCKED
+        #: tasks that must finish before this one starts
+        self.depends_on: set[int] = set()
+        #: tasks waiting on this one
+        self.dependents: list["RuntimeTask"] = []
+        self._unfinished_deps = 0
+
+        # filled by the engine at completion
+        self.worker_id: Optional[str] = None
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+
+    # -- dependency bookkeeping ----------------------------------------------
+    def add_dependency(self, producer: "RuntimeTask") -> None:
+        if producer.id == self.id:
+            raise RuntimeEngineError(f"task {self.tag} cannot depend on itself")
+        if producer.id in self.depends_on:
+            return
+        self.depends_on.add(producer.id)
+        if producer.state != TaskState.DONE:
+            producer.dependents.append(self)
+            self._unfinished_deps += 1
+
+    @property
+    def ready(self) -> bool:
+        return self._unfinished_deps == 0 and self.state == TaskState.BLOCKED
+
+    def notify_producer_done(self) -> bool:
+        """Called when one producer finishes; True when the task became ready."""
+        if self._unfinished_deps <= 0:
+            raise RuntimeEngineError(
+                f"task {self.tag}: dependency counter underflow"
+            )
+        self._unfinished_deps -= 1
+        return self._unfinished_deps == 0
+
+    # -- introspection -----------------------------------------------------------
+    def handles(self) -> list[DataHandle]:
+        return [access.handle for access in self.accesses]
+
+    def reads(self) -> list[DataHandle]:
+        return [a.handle for a in self.accesses if a.mode.reads]
+
+    def writes(self) -> list[DataHandle]:
+        return [a.handle for a in self.accesses if a.mode.writes]
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def __repr__(self) -> str:
+        return f"RuntimeTask({self.tag!r}, state={self.state.value})"
+
+
+class DependencyTracker:
+    """Per-handle hazard state for implicit dependency inference."""
+
+    def __init__(self):
+        #: handle id → last task that wrote it
+        self._last_writer: dict[int, RuntimeTask] = {}
+        #: handle id → readers since the last write
+        self._readers: dict[int, list[RuntimeTask]] = {}
+
+    def register(self, task: RuntimeTask) -> None:
+        """Infer and record dependencies for ``task`` (submission order)."""
+        for access in task.accesses:
+            hid = access.handle.id
+            writer = self._last_writer.get(hid)
+            if access.mode.reads and writer is not None:
+                task.add_dependency(writer)  # RAW
+            if access.mode.writes:
+                if writer is not None:
+                    task.add_dependency(writer)  # WAW
+                for reader in self._readers.get(hid, ()):  # WAR
+                    if reader is not task:
+                        task.add_dependency(reader)
+        # second pass: update hazard state after *all* deps are known
+        for access in task.accesses:
+            hid = access.handle.id
+            if access.mode.writes:
+                self._last_writer[hid] = task
+                self._readers[hid] = []
+            if access.mode.reads and not access.mode.writes:
+                self._readers.setdefault(hid, []).append(task)
+
+    def reset(self) -> None:
+        self._last_writer.clear()
+        self._readers.clear()

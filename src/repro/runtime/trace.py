@@ -1,0 +1,158 @@
+"""Execution traces and run statistics.
+
+Every simulated (or real) run produces a :class:`TraceLog`: per-task
+records plus aggregate views (makespan, per-worker utilization, Gantt
+rows, CSV export).  The Figure-5 harness and the scheduler-ablation bench
+read their numbers from here.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+__all__ = ["TaskTrace", "TransferTrace", "TraceLog", "RunResult"]
+
+
+@dataclass(frozen=True)
+class TaskTrace:
+    """One executed task."""
+
+    task_id: int
+    tag: str
+    kernel: str
+    worker_id: str
+    architecture: str
+    start: float
+    end: float
+    transfer_wait: float  # seconds spent staging operands before start
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TransferTrace:
+    """One data movement."""
+
+    handle_name: str
+    nbytes: int
+    src_node: int
+    dst_node: int
+    start: float
+    end: float
+
+
+class TraceLog:
+    """Accumulates traces during one run."""
+
+    def __init__(self):
+        self.tasks: list[TaskTrace] = []
+        self.transfers: list[TransferTrace] = []
+
+    # -- recording ---------------------------------------------------------
+    def record_task(self, trace: TaskTrace) -> None:
+        self.tasks.append(trace)
+
+    def record_transfer(self, trace: TransferTrace) -> None:
+        self.transfers.append(trace)
+
+    # -- aggregates ------------------------------------------------------------
+    @property
+    def makespan(self) -> float:
+        if not self.tasks:
+            return 0.0
+        end = max(t.end for t in self.tasks)
+        if self.transfers:
+            end = max(end, max(t.end for t in self.transfers))
+        return end
+
+    def busy_time(self, worker_id: str) -> float:
+        return sum(t.duration for t in self.tasks if t.worker_id == worker_id)
+
+    def utilization(self) -> dict[str, float]:
+        """worker id → busy fraction of the makespan."""
+        span = self.makespan
+        if span <= 0:
+            return {}
+        workers = {t.worker_id for t in self.tasks}
+        return {w: self.busy_time(w) / span for w in sorted(workers)}
+
+    def tasks_per_worker(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for t in self.tasks:
+            counts[t.worker_id] = counts.get(t.worker_id, 0) + 1
+        return counts
+
+    def tasks_per_architecture(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for t in self.tasks:
+            counts[t.architecture] = counts.get(t.architecture, 0) + 1
+        return counts
+
+    @property
+    def bytes_transferred(self) -> float:
+        return sum(t.nbytes for t in self.transfers)
+
+    def gantt_rows(self) -> dict[str, list[tuple[float, float, str]]]:
+        """worker id → list of (start, end, tag) sorted by start."""
+        rows: dict[str, list[tuple[float, float, str]]] = {}
+        for t in sorted(self.tasks, key=lambda t: t.start):
+            rows.setdefault(t.worker_id, []).append((t.start, t.end, t.tag))
+        return rows
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        out.write("task_id,tag,kernel,worker,architecture,start,end,transfer_wait\n")
+        for t in sorted(self.tasks, key=lambda t: (t.start, t.task_id)):
+            out.write(
+                f"{t.task_id},{t.tag},{t.kernel},{t.worker_id},"
+                f"{t.architecture},{t.start:.9f},{t.end:.9f},{t.transfer_wait:.9f}\n"
+            )
+        return out.getvalue()
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run."""
+
+    makespan: float
+    mode: str  # "sim" | "real"
+    scheduler: str
+    task_count: int
+    trace: TraceLog
+    transfer_count: int = 0
+    bytes_transferred: float = 0.0
+    #: wall-clock seconds the run itself took (host time, both modes)
+    wall_time: float = 0.0
+    #: capacity modeling (when enabled): LRU evictions and write-back volume
+    eviction_count: int = 0
+    writeback_bytes: float = 0.0
+
+    def gflops(self, total_flops: float) -> float:
+        """Achieved GFLOP/s for a computation of ``total_flops``."""
+        if self.makespan <= 0:
+            return 0.0
+        return total_flops / self.makespan / 1e9
+
+    def summary(self) -> str:
+        lines = [
+            f"mode={self.mode} scheduler={self.scheduler}"
+            f" tasks={self.task_count}",
+            f"makespan: {self.makespan:.6f} s",
+            f"transfers: {self.transfer_count}"
+            f" ({self.bytes_transferred / 2**20:.1f} MiB)",
+        ]
+        util = self.trace.utilization()
+        if util:
+            per_arch = self.trace.tasks_per_architecture()
+            lines.append(
+                "tasks by architecture: "
+                + ", ".join(f"{a}={n}" for a, n in sorted(per_arch.items()))
+            )
+            lines.append(
+                "utilization: "
+                + ", ".join(f"{w}={u:.0%}" for w, u in util.items())
+            )
+        return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""Trace export: Paje, JSON and ASCII-Gantt renderings of run traces.
+
+StarPU ships FxT/Paje trace export for post-mortem analysis (ViTE etc.);
+this module provides the same observability surface for our runtime:
+
+* :func:`to_paje` — a minimal, valid Paje trace (header + container/state
+  events) per worker;
+* :func:`to_json` — structured dump for external tooling;
+* :func:`gantt_ascii` — terminal Gantt chart, one row per worker.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.runtime.trace import TraceLog
+
+__all__ = ["to_paje", "to_json", "gantt_ascii"]
+
+_PAJE_HEADER = """\
+%EventDef PajeDefineContainerType 1
+% Alias string
+% ContainerType string
+% Name string
+%EndEventDef
+%EventDef PajeDefineStateType 2
+% Alias string
+% ContainerType string
+% Name string
+%EndEventDef
+%EventDef PajeCreateContainer 3
+% Time date
+% Alias string
+% Type string
+% Container string
+% Name string
+%EndEventDef
+%EventDef PajeSetState 4
+% Time date
+% Container string
+% Type string
+% Value string
+%EndEventDef
+"""
+
+
+def to_paje(trace: TraceLog) -> str:
+    """Render the trace in (minimal) Paje format.
+
+    Containers: one per worker under a root "Machine" container.  States:
+    the kernel name while a task runs, "Idle" otherwise.
+    """
+    lines = [_PAJE_HEADER]
+    lines.append('1 CT_Machine 0 "Machine"')
+    lines.append('1 CT_Worker CT_Machine "Worker"')
+    lines.append('2 ST_WorkerState CT_Worker "Worker State"')
+    lines.append('3 0.000000 machine CT_Machine 0 "machine"')
+
+    workers = sorted({t.worker_id for t in trace.tasks})
+    for worker in workers:
+        lines.append(
+            f'3 0.000000 {_paje_id(worker)} CT_Worker machine "{worker}"'
+        )
+        lines.append(
+            f'4 0.000000 {_paje_id(worker)} ST_WorkerState "Idle"'
+        )
+    for task in sorted(trace.tasks, key=lambda t: t.start):
+        container = _paje_id(task.worker_id)
+        lines.append(
+            f'4 {task.start:.9f} {container} ST_WorkerState "{task.kernel}"'
+        )
+        lines.append(
+            f'4 {task.end:.9f} {container} ST_WorkerState "Idle"'
+        )
+    return "\n".join(lines) + "\n"
+
+
+def _paje_id(worker_id: str) -> str:
+    return "w_" + worker_id.replace("#", "_")
+
+
+def to_json(trace: TraceLog, *, indent: Optional[int] = None) -> str:
+    """Structured JSON dump of tasks and transfers."""
+    payload = {
+        "makespan": trace.makespan,
+        "tasks": [
+            {
+                "id": t.task_id,
+                "tag": t.tag,
+                "kernel": t.kernel,
+                "worker": t.worker_id,
+                "architecture": t.architecture,
+                "start": t.start,
+                "end": t.end,
+                "transfer_wait": t.transfer_wait,
+            }
+            for t in sorted(trace.tasks, key=lambda t: (t.start, t.task_id))
+        ],
+        "transfers": [
+            {
+                "handle": x.handle_name,
+                "bytes": x.nbytes,
+                "src_node": x.src_node,
+                "dst_node": x.dst_node,
+                "start": x.start,
+                "end": x.end,
+            }
+            for x in sorted(trace.transfers, key=lambda x: x.start)
+        ],
+        "utilization": trace.utilization(),
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def gantt_ascii(trace: TraceLog, *, width: int = 72) -> str:
+    """One Gantt row per worker; '#' = busy, '.' = idle.
+
+    Time is discretized into ``width`` buckets over the makespan; a bucket
+    is busy when any task overlaps it.
+    """
+    span = trace.makespan
+    if span <= 0 or not trace.tasks:
+        return "(empty trace)"
+    rows = trace.gantt_rows()
+    label_width = max(len(w) for w in rows)
+    out = [
+        f"{'':{label_width}}   0{'-' * (width - 10)}{span:.3f}s",
+    ]
+    for worker in sorted(rows):
+        cells = ["."] * width
+        for start, end, _tag in rows[worker]:
+            lo = min(width - 1, int(start / span * width))
+            hi = min(width - 1, int(max(start, end - 1e-12) / span * width))
+            for i in range(lo, hi + 1):
+                cells[i] = "#"
+        busy = trace.busy_time(worker) / span
+        out.append(f"{worker:{label_width}} |{''.join(cells)}| {busy:4.0%}")
+    return "\n".join(out)

@@ -1,0 +1,78 @@
+"""Unit tests for the cascabel CLI."""
+
+import os
+
+import pytest
+
+from repro.cascabel.cli import main
+
+
+class TestCascabelCli:
+    def test_samples(self, capsys):
+        assert main(["samples"]) == 0
+        out = capsys.readouterr().out
+        assert "dgemm_serial" in out and "vecadd" in out
+
+    def test_inspect(self, capsys):
+        assert main(["inspect", "vecadd"]) == 0
+        out = capsys.readouterr().out
+        assert "task Ivecadd" in out
+        assert "execute Ivecadd" in out
+        assert "A:BLOCK:N" in out
+
+    def test_translate_to_stdout(self, capsys):
+        assert main(["translate", "dgemm_serial",
+                     "--platform", "xeon_x5550_2gpu"]) == 0
+        out = capsys.readouterr().out
+        assert "backend 'starpu'" in out
+        assert "idgemm_cublas" in out
+
+    def test_translate_writes_files(self, tmp_path, capsys):
+        outdir = tmp_path / "gen"
+        assert main([
+            "translate", "dgemm_serial",
+            "--platform", "xeon_x5550_2gpu", "-o", str(outdir),
+        ]) == 0
+        assert (outdir / "main_starpu.c").exists()
+        assert (outdir / "kernels_cuda.cu").exists()
+        assert (outdir / "Makefile").exists()
+        makefile = (outdir / "Makefile").read_text()
+        assert "nvcc" in makefile
+
+    def test_translate_platform_file(self, tmp_path, capsys):
+        from repro.pdl.catalog import platform_path
+
+        src = platform_path("xeon_x5550_dual")
+        assert main(["translate", "vecadd", "--platform", src]) == 0
+        assert "starpu" in capsys.readouterr().out
+
+    def test_run(self, capsys):
+        assert main([
+            "run", "dgemm_serial", "--platform", "xeon_x5550_2gpu",
+            "--size", "2048", "--block", "512",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "scheduler=dmda" in out
+
+    def test_run_scheduler_option(self, capsys):
+        assert main([
+            "run", "vecadd", "--platform", "xeon_x5550_dual",
+            "--size", "65536", "--scheduler", "eager",
+        ]) == 0
+        assert "scheduler=eager" in capsys.readouterr().out
+
+    def test_input_file(self, tmp_path, capsys):
+        from repro.cascabel.cli import sample_source
+
+        f = tmp_path / "mine.c"
+        f.write_text(sample_source("vecadd"))
+        assert main(["inspect", str(f)]) == 0
+
+    def test_unknown_input(self):
+        with pytest.raises(SystemExit):
+            main(["inspect", "does_not_exist"])
+
+    def test_unknown_platform(self):
+        with pytest.raises(SystemExit):
+            main(["translate", "vecadd", "--platform", "pdp11"])

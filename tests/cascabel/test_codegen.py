@@ -1,0 +1,225 @@
+"""Unit tests for the code-generation backends (FIG4 step 3)."""
+
+import pytest
+
+from repro.errors import CodegenError
+from repro.cascabel.cli import sample_source
+from repro.cascabel.codegen import (
+    CudaBackend,
+    OpenCLBackend,
+    SequentialBackend,
+    StarPUBackend,
+    select_backend,
+)
+from repro.cascabel.codegen.base import replace_call, strip_pragmas, transform_source
+from repro.cascabel.driver import translate
+from repro.cascabel.frontend import parse_program
+
+
+@pytest.fixture
+def dgemm_source():
+    return sample_source("dgemm_serial")
+
+
+@pytest.fixture
+def vecadd_source():
+    return sample_source("vecadd")
+
+
+class TestStripPragmas:
+    def test_removes_cascabel_only(self):
+        src = (
+            "#pragma omp for\n"
+            "#pragma cascabel task : x86 : I : v : (A: read)\n"
+            "void f(double *A) {}\n"
+        )
+        out = strip_pragmas(src)
+        assert "cascabel" not in out
+        assert "#pragma omp for" in out
+
+    def test_removes_continuations(self):
+        src = "#pragma cascabel task : x86 \\\n : I : v : (A: read)\nint x;"
+        out = strip_pragmas(src)
+        assert "cascabel" not in out and ": I :" not in out
+        assert "int x;" in out
+
+
+class TestReplaceCall:
+    def test_replaces_at_line(self, vecadd_source):
+        program = parse_program(vecadd_source)
+        call = program.executions[0].call
+        out = replace_call(vecadd_source, call, "GLUE(A, B);")
+        assert "GLUE(A, B);" in out
+        # the original call statement is gone from the call site region
+        tail = out[out.index("int main") :]
+        assert "vectoradd(A, B);" not in tail
+
+    def test_transform_source_multiple(self):
+        src = (
+            "#pragma cascabel task : x86 : I : v : (A: readwrite)\n"
+            "void f(double *A) {}\n"
+            "int main() {\n"
+            "#pragma cascabel execute I : g (A:BLOCK:N)\n"
+            "f(A);\n"
+            "#pragma cascabel execute I : g (A:BLOCK:N)\n"
+            "f(A);\n"
+            "}\n"
+        )
+        program = parse_program(src)
+        replacements = [
+            (program.executions[0].call, "glue0(A);"),
+            (program.executions[1].call, "glue1(A);"),
+        ]
+        out = transform_source(src, replacements)
+        assert "glue0(A);" in out and "glue1(A);" in out
+        assert "cascabel" not in out
+
+
+class TestSequentialBackend:
+    def test_output_is_pragma_free_c(self, dgemm_source):
+        result = translate(dgemm_source, "xeon_x5550_dual",
+                           backend=SequentialBackend())
+        content = result.output.main_file.content
+        assert "#pragma cascabel" not in content
+        assert "matmul(C, A, B);" in content  # call site untouched
+        assert "dgemm_goto01" in content  # banner names the fallback
+        assert result.output.main_file.name == "main_seq.c"
+
+
+class TestStarPUBackend:
+    def test_codelet_structure(self, dgemm_source, gpgpu_platform):
+        result = translate(dgemm_source, gpgpu_platform)
+        content = result.output.file("main_starpu.c").content
+        assert "struct starpu_codelet Idgemm_cl" in content
+        assert ".cpu_funcs = { Idgemm_cpu_wrapper }" in content
+        assert ".cuda_funcs = { Idgemm_cuda_wrapper }" in content
+        assert ".modes = { STARPU_RW, STARPU_R, STARPU_R }" in content
+        assert ".nbuffers = 3" in content
+
+    def test_call_site_replaced_with_glue(self, dgemm_source, gpgpu_platform):
+        result = translate(dgemm_source, gpgpu_platform)
+        content = result.output.file("main_starpu.c").content
+        assert "cascabel_execute_Idgemm_0(C, A, B);" in content
+        assert "starpu_task_submit" in content
+        assert "starpu_task_wait_for_all" in content
+        assert "starpu_data_partition" in content
+
+    def test_cpu_only_platform_has_no_cuda(self, dgemm_source, cpu_platform):
+        result = translate(dgemm_source, cpu_platform)
+        content = result.output.main_file.content
+        assert ".cuda_funcs" not in content
+        assert len(result.output.files) == 1  # no kernels_cuda.cu
+
+    def test_gpu_platform_emits_cublas_stub(self, dgemm_source, gpgpu_platform):
+        result = translate(dgemm_source, gpgpu_platform)
+        cu = result.output.file("kernels_cuda.cu").content
+        assert "cublasDgemm" in cu
+        assert "Idgemm_cuda_wrapper" in cu
+
+    def test_banner_names_platform_and_workers(self, dgemm_source, gpgpu_platform):
+        result = translate(dgemm_source, gpgpu_platform)
+        content = result.output.main_file.content
+        assert "xeon-x5550-2gpu" in content
+        assert "8x x86_64" in content and "2x gpu" in content
+
+    def test_fallback_function_body_kept(self, vecadd_source, cpu_platform):
+        result = translate(vecadd_source, cpu_platform)
+        content = result.output.main_file.content
+        assert "A[i] += B[i];" in content
+
+    def test_over_decomposition_scales_with_lanes(self, vecadd_source,
+                                                  cpu_platform, gpgpu_platform):
+        cpu = translate(vecadd_source, cpu_platform)
+        gpu = translate(vecadd_source, gpgpu_platform)
+        def nparts(result):
+            content = result.output.main_file.content
+            for line in content.splitlines():
+                if "const unsigned nparts = " in line:
+                    return int(line.split("=")[1].strip(" ;"))
+            raise AssertionError("nparts not found")
+        assert nparts(cpu) == 8 * 4  # 8 lanes x over-decomposition 4
+        assert nparts(gpu) == 10 * 4
+
+
+class TestCudaBackend:
+    def test_memcpy_staging(self, dgemm_source, gpgpu_platform):
+        result = translate(dgemm_source, gpgpu_platform, backend=CudaBackend())
+        content = result.output.file("main_cuda.cu").content
+        assert "cudaMemcpy(d_A, A" in content
+        assert "cudaMemcpyHostToDevice" in content
+        # only written params are copied back
+        assert "cudaMemcpy(C, d_C" in content
+        assert "cudaMemcpy(A, d_A" not in content
+        assert "cublasDgemm" in content
+
+    def test_data_paths_documented(self, dgemm_source, gpgpu_platform):
+        result = translate(dgemm_source, gpgpu_platform, backend=CudaBackend())
+        content = result.output.main_file.content
+        assert "host->gpu0 via PCIe" in content
+
+
+class TestOpenCLBackend:
+    def test_kernel_and_host_files(self, dgemm_source, gpgpu_platform):
+        result = translate(dgemm_source, gpgpu_platform, backend=OpenCLBackend())
+        names = [f.name for f in result.output.files]
+        assert names == ["main_opencl.c", "kernels.cl"]
+        cl = result.output.file("kernels.cl").content
+        assert "__kernel void Idgemm_kernel" in cl
+        assert "get_global_id" in cl
+
+    def test_devices_pinned_from_descriptor(self, dgemm_source, gpgpu_platform):
+        result = translate(dgemm_source, gpgpu_platform, backend=OpenCLBackend())
+        host = result.output.file("main_opencl.c").content
+        # the ocl:DEVICE_NAME properties of the PDL drive device selection
+        assert '"GeForce GTX 480"' in host
+        assert '"GeForce GTX 285"' in host
+
+
+class TestBackendSelection:
+    def test_starpu_from_runtime_property(self, gpgpu_platform, cpu_platform):
+        assert select_backend(gpgpu_platform).name == "starpu"
+        assert select_backend(cpu_platform).name == "starpu"
+
+    def test_cuda_when_no_runtime(self):
+        from repro.model.builder import PlatformBuilder
+
+        bare = (
+            PlatformBuilder("bare")
+            .master("m", architecture="x86_64")
+            .worker("g", architecture="gpu")
+            .build()
+        )
+        assert select_backend(bare).name == "cuda"
+
+    def test_sequential_when_no_workers(self):
+        from repro.model.builder import PlatformBuilder
+
+        solo = PlatformBuilder("solo").master("m", architecture="x86_64").build()
+        assert select_backend(solo).name == "sequential"
+
+    def test_opencl_runtime_property(self):
+        from repro.model.builder import PlatformBuilder
+
+        p = (
+            PlatformBuilder("ocl")
+            .master("m", architecture="x86_64",
+                    properties={"RUNTIME": "opencl"})
+            .worker("g", architecture="gpu")
+            .build()
+        )
+        assert select_backend(p).name == "opencl"
+
+    def test_cell_gets_task_runtime_backend(self, cell_platform):
+        assert select_backend(cell_platform).name == "starpu"
+
+
+class TestOutputContainer:
+    def test_file_lookup_and_write(self, dgemm_source, gpgpu_platform, tmp_path):
+        result = translate(dgemm_source, gpgpu_platform)
+        with pytest.raises(CodegenError, match="no generated file"):
+            result.output.file("nope.c")
+        paths = result.output.write_to(tmp_path)
+        assert len(paths) == 2
+        import os
+
+        assert all(os.path.exists(p) for p in paths)

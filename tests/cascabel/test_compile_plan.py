@@ -1,0 +1,96 @@
+"""Unit tests for compilation-plan derivation (FIG4 step 4)."""
+
+import pytest
+
+from repro.errors import CompilePlanError
+from repro.cascabel.cli import sample_source
+from repro.cascabel.codegen import CudaBackend, OpenCLBackend
+from repro.cascabel.codegen.base import GeneratedOutput, OutputFile
+from repro.cascabel.compile_plan import derive_compile_plan
+from repro.cascabel.driver import translate
+
+
+@pytest.fixture
+def dgemm_source():
+    return sample_source("dgemm_serial")
+
+
+class TestPlans:
+    def test_cpu_platform_gcc_and_starpu(self, dgemm_source, cpu_platform):
+        plan = translate(dgemm_source, cpu_platform).plan
+        assert len(plan.steps) == 1
+        step = plan.steps[0]
+        assert step.compiler == "gcc"
+        assert "-O2" in step.flags
+        assert any("starpu" in f for f in step.flags)
+        assert plan.link.libraries == ("starpu-1.0",)
+        assert plan.link.linker == "gcc"
+
+    def test_gpu_platform_adds_nvcc_and_cublas(self, dgemm_source, gpgpu_platform):
+        plan = translate(dgemm_source, gpgpu_platform).plan
+        compilers = [s.compiler for s in plan.steps]
+        assert compilers == ["gcc", "nvcc"]
+        assert set(plan.link.libraries) == {"starpu-1.0", "cublas", "cudart"}
+        assert plan.link.linker == "nvcc"
+
+    def test_cuda_arch_flag_from_lowest_capability(self, dgemm_source,
+                                                   gpgpu_platform):
+        # GTX480 is sm_20 but GTX285 is sm_13: code must run on both
+        plan = translate(dgemm_source, gpgpu_platform).plan
+        nvcc = next(s for s in plan.steps if s.compiler == "nvcc")
+        assert "-arch=sm_13" in nvcc.flags
+
+    def test_cell_platform_ppu_gcc(self, dgemm_source, cell_platform):
+        plan = translate(dgemm_source, cell_platform).plan
+        assert plan.steps[0].compiler == "ppu-gcc"
+        assert "spe2" in plan.link.libraries
+
+    def test_opencl_cl_files_not_compiled(self, dgemm_source, gpgpu_platform):
+        result = translate(dgemm_source, gpgpu_platform, backend=OpenCLBackend())
+        sources = [s.source for s in result.plan.steps]
+        assert "kernels.cl" not in sources
+        assert "OpenCL" in result.plan.link.libraries
+
+    def test_cuda_backend_plan(self, dgemm_source, gpgpu_platform):
+        result = translate(dgemm_source, gpgpu_platform, backend=CudaBackend())
+        assert result.plan.steps[0].compiler == "nvcc"
+        assert result.plan.link.linker == "nvcc"
+
+    def test_commands_renderable(self, dgemm_source, gpgpu_platform):
+        plan = translate(dgemm_source, gpgpu_platform).plan
+        commands = plan.commands()
+        assert len(commands) == 3  # 2 compiles + 1 link
+        assert commands[0].startswith("gcc ")
+        assert commands[-1].endswith(plan.link.output)
+        assert "-lcublas" in commands[-1]
+
+    def test_makefile_rendering(self, dgemm_source, cpu_platform):
+        plan = translate(dgemm_source, cpu_platform).plan
+        makefile = plan.as_makefile()
+        assert makefile.startswith("# build plan")
+        assert "all:" in makefile
+        assert "main_starpu.o: main_starpu.c" in makefile
+
+    def test_executable_name_override(self, dgemm_source, cpu_platform):
+        result = translate(dgemm_source, cpu_platform, executable="dgemm_cpu")
+        assert result.plan.link.output == "dgemm_cpu"
+
+
+class TestErrors:
+    def test_unknown_language(self, gpgpu_platform):
+        output = GeneratedOutput(
+            backend="weird",
+            platform_name="x",
+            files=[OutputFile("a.rs", "rust", "fn main() {}")],
+        )
+        with pytest.raises(CompilePlanError, match="no compiler known"):
+            derive_compile_plan(output, gpgpu_platform)
+
+    def test_no_compilable_files(self, gpgpu_platform):
+        output = GeneratedOutput(
+            backend="opencl",
+            platform_name="x",
+            files=[OutputFile("k.cl", "opencl-c", "__kernel void f() {}")],
+        )
+        with pytest.raises(CompilePlanError, match="no compilable files"):
+            derive_compile_plan(output, gpgpu_platform)

@@ -1,0 +1,159 @@
+"""Unit and property tests for BLOCK/CYCLIC/BLOCKCYCLIC distributions."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import DistributionError
+from repro.cascabel.distribution import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+    make_distribution,
+)
+
+
+class TestBlock:
+    def test_indices_contiguous(self):
+        d = BlockDistribution(10, 3)
+        assert d.indices(0) == [0, 1, 2, 3]
+        assert d.indices(1) == [4, 5, 6]
+        assert d.indices(2) == [7, 8, 9]
+
+    def test_owner(self):
+        d = BlockDistribution(10, 3)
+        assert [d.owner(i) for i in range(10)] == [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+
+    def test_range(self):
+        assert BlockDistribution(8, 4).range(2) == (4, 6)
+
+    def test_runs_single(self):
+        assert BlockDistribution(10, 3).contiguous_runs(1) == [(4, 7)]
+
+
+class TestCyclic:
+    def test_round_robin(self):
+        d = CyclicDistribution(7, 3)
+        assert d.indices(0) == [0, 3, 6]
+        assert d.indices(1) == [1, 4]
+        assert d.indices(2) == [2, 5]
+
+    def test_owner(self):
+        d = CyclicDistribution(7, 3)
+        assert [d.owner(i) for i in range(7)] == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_runs_fragmented(self):
+        runs = CyclicDistribution(6, 2).contiguous_runs(0)
+        assert runs == [(0, 1), (2, 3), (4, 5)]
+
+
+class TestBlockCyclic:
+    def test_block_2_over_2(self):
+        d = BlockCyclicDistribution(8, 2, block=2)
+        assert d.indices(0) == [0, 1, 4, 5]
+        assert d.indices(1) == [2, 3, 6, 7]
+
+    def test_owner(self):
+        d = BlockCyclicDistribution(8, 2, block=2)
+        assert [d.owner(i) for i in range(8)] == [0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_block_1_equals_cyclic(self):
+        bc = BlockCyclicDistribution(9, 3, block=1)
+        cy = CyclicDistribution(9, 3)
+        for part in range(3):
+            assert bc.indices(part) == cy.indices(part)
+
+    def test_large_block_equals_block_for_exact_fit(self):
+        bc = BlockCyclicDistribution(12, 3, block=4)
+        bl = BlockDistribution(12, 3)
+        for part in range(3):
+            assert bc.indices(part) == bl.indices(part)
+
+    def test_ragged_tail(self):
+        d = BlockCyclicDistribution(7, 2, block=3)
+        assert d.indices(0) == [0, 1, 2, 6]
+        assert d.indices(1) == [3, 4, 5]
+
+    def test_bad_block(self):
+        with pytest.raises(DistributionError):
+            BlockCyclicDistribution(8, 2, block=0)
+
+
+class TestFactoryAndErrors:
+    def test_factory(self):
+        assert make_distribution("BLOCK", 8, 2).kind == "BLOCK"
+        assert make_distribution("cyclic", 8, 2).kind == "CYCLIC"
+        assert make_distribution("block-cyclic", 8, 2, block=2).kind == "BLOCKCYCLIC"
+
+    def test_factory_unknown(self):
+        with pytest.raises(DistributionError, match="unknown distribution"):
+            make_distribution("SCATTER", 8, 2)
+
+    @pytest.mark.parametrize("extent,nparts", [(0, 1), (5, 0), (3, 4)])
+    def test_invalid_dims(self, extent, nparts):
+        with pytest.raises(DistributionError):
+            BlockDistribution(extent, nparts)
+
+    def test_bounds_checking(self):
+        d = BlockDistribution(8, 2)
+        with pytest.raises(DistributionError):
+            d.indices(2)
+        with pytest.raises(DistributionError):
+            d.owner(8)
+
+
+# ---------------------------------------------------------------------------
+# properties: every distribution is a partition of the index space
+# ---------------------------------------------------------------------------
+_dist_strategy = st.one_of(
+    st.tuples(st.just("BLOCK"), st.just(1)),
+    st.tuples(st.just("CYCLIC"), st.just(1)),
+    st.tuples(st.just("BLOCKCYCLIC"), st.integers(1, 7)),
+)
+
+
+@given(
+    st.integers(1, 500),
+    st.integers(1, 32),
+    _dist_strategy,
+)
+@settings(max_examples=200, deadline=None)
+def test_distribution_partitions_index_space(extent, nparts, spec):
+    kind, block = spec
+    if nparts > extent:
+        with pytest.raises(DistributionError):
+            make_distribution(kind, extent, nparts, block=block)
+        return
+    d = make_distribution(kind, extent, nparts, block=block)
+    all_indices = []
+    for part in range(nparts):
+        indices = d.indices(part)
+        assert indices == sorted(indices)
+        assert d.part_size(part) == len(indices)
+        for idx in indices:
+            assert d.owner(idx) == part
+        all_indices.extend(indices)
+    assert sorted(all_indices) == list(range(extent))  # exact cover
+
+
+@given(st.integers(1, 300), st.integers(1, 16))
+@settings(max_examples=100, deadline=None)
+def test_block_is_balanced(extent, nparts):
+    if nparts > extent:
+        return
+    d = BlockDistribution(extent, nparts)
+    sizes = [d.part_size(p) for p in range(nparts)]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@given(st.integers(2, 300), st.integers(1, 16), st.integers(1, 8))
+@settings(max_examples=100, deadline=None)
+def test_runs_reconstruct_indices(extent, nparts, block):
+    if nparts > extent:
+        return
+    d = BlockCyclicDistribution(extent, nparts, block=block)
+    for part in range(nparts):
+        reconstructed = [
+            i for lo, hi in d.contiguous_runs(part) for i in range(lo, hi)
+        ]
+        assert reconstructed == d.indices(part)

@@ -1,0 +1,142 @@
+"""Unit tests for the frontend and program validation."""
+
+import pytest
+
+from repro.errors import CascabelError
+from repro.cascabel.cli import available_samples, sample_source
+from repro.cascabel.frontend import parse_program
+
+
+GOOD = """\
+#pragma cascabel task : x86 : Ivecadd : vecadd01 : (A: readwrite, B: read)
+void vectoradd(double *A, double *B) { A[0] += B[0]; }
+
+#pragma cascabel task : cuda : Ivecadd : vecadd_gpu01 : (A: readwrite, B: read)
+void vectoradd_cuda(double *A, double *B) { A[0] += B[0]; }
+
+int main(void) {
+    double A[4], B[4];
+    #pragma cascabel execute Ivecadd : executionset01 (A:BLOCK:N, B:BLOCK:N)
+    vectoradd(A, B);
+    return 0;
+}
+"""
+
+
+class TestParseProgram:
+    def test_definitions_and_executions(self):
+        program = parse_program(GOOD)
+        assert len(program.definitions) == 2
+        assert len(program.executions) == 1
+        assert program.interfaces() == ["Ivecadd"]
+
+    def test_definition_binding(self):
+        program = parse_program(GOOD)
+        d = program.definitions[0]
+        assert d.function.name == "vectoradd"
+        assert d.variant_name == "vecadd01"
+        d2 = program.definitions[1]
+        assert d2.function.name == "vectoradd_cuda"
+        assert d2.targets == ("cuda",)
+
+    def test_execution_binding(self):
+        program = parse_program(GOOD)
+        e = program.executions[0]
+        assert e.call.name == "vectoradd"
+        assert e.call.arguments == ("A", "B")
+        assert e.execution_group == "executionset01"
+
+    def test_definitions_for(self):
+        program = parse_program(GOOD)
+        assert len(program.definitions_for("Ivecadd")) == 2
+        assert program.definitions_for("Imystery") == []
+        assert len(program.executions_for("Ivecadd")) == 1
+
+
+class TestValidation:
+    def test_pragma_param_must_exist_in_signature(self):
+        bad = (
+            "#pragma cascabel task : x86 : I : v : (Z: read)\n"
+            "void f(double *A) { }\n"
+        )
+        with pytest.raises(CascabelError, match="declares"):
+            parse_program(bad)
+
+    def test_variant_names_unique(self):
+        bad = (
+            "#pragma cascabel task : x86 : I : same : (A: read)\n"
+            "void f(double *A) { }\n"
+            "#pragma cascabel task : cuda : I : same : (A: read)\n"
+            "void g(double *A) { }\n"
+        )
+        with pytest.raises(CascabelError, match="duplicate taskname"):
+            parse_program(bad)
+
+    def test_signatures_must_match_across_variants(self):
+        # paper: same functionality AND function signature for all impls
+        bad = (
+            "#pragma cascabel task : x86 : I : v1 : (A: read)\n"
+            "void f(double *A) { }\n"
+            "#pragma cascabel task : cuda : I : v2 : (A: read)\n"
+            "void g(double *A, double *B) { }\n"
+        )
+        with pytest.raises(CascabelError, match="signature"):
+            parse_program(bad)
+
+    def test_execute_unknown_interface(self):
+        bad = (
+            "#pragma cascabel task : x86 : I : v : (A: read)\n"
+            "void f(double *A) { }\n"
+            "int main() {\n"
+            "#pragma cascabel execute Iother : g (A:BLOCK:N)\n"
+            "f(A);\n}"
+        )
+        with pytest.raises(CascabelError, match="unknown task interface"):
+            parse_program(bad)
+
+    def test_distribution_for_unknown_parameter(self):
+        bad = (
+            "#pragma cascabel task : x86 : I : v : (A: read)\n"
+            "void f(double *A) { }\n"
+            "int main() {\n"
+            "#pragma cascabel execute I : g (Q:BLOCK:N)\n"
+            "f(A);\n}"
+        )
+        with pytest.raises(CascabelError, match="unknown parameter"):
+            parse_program(bad)
+
+    def test_validation_optional(self):
+        bad = (
+            "#pragma cascabel task : x86 : I : v : (Z: read)\n"
+            "void f(double *A) { }\n"
+        )
+        program = parse_program(bad, validate=False)
+        assert len(program.definitions) == 1
+
+
+class TestShippedSamples:
+    def test_samples_available(self):
+        assert set(available_samples()) >= {"vecadd", "dgemm_serial"}
+
+    def test_vecadd_sample_parses(self):
+        program = parse_program(sample_source("vecadd"))
+        assert program.interfaces() == ["Ivecadd"]
+        d = program.definitions[0]
+        assert d.function.name == "vectoradd"
+        assert [p.mode.value for p in d.pragma.parameters] == ["rw", "r"]
+
+    def test_dgemm_sample_parses(self):
+        program = parse_program(sample_source("dgemm_serial"))
+        assert program.interfaces() == ["Idgemm"]
+        e = program.executions[0]
+        assert e.execution_group == "executionset01"
+        assert len(e.pragma.distributions) == 3
+
+    def test_file_parsing(self, tmp_path):
+        from repro.cascabel.frontend import parse_program_file
+
+        f = tmp_path / "prog.c"
+        f.write_text(GOOD)
+        program = parse_program_file(f)
+        assert program.filename == str(f)
+        assert len(program.definitions) == 2

@@ -1,0 +1,105 @@
+"""Unit tests for static task mapping (execution groups → PUs)."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.cascabel.driver import register_builtin_variants
+from repro.cascabel.frontend import parse_program
+from repro.cascabel.mapping import map_tasks
+from repro.cascabel.repository import TaskRepository
+from repro.cascabel.selection import preselect
+
+PROGRAM = """\
+#pragma cascabel task : x86 : Idgemm : dgemm_cpu : (C: readwrite, A: read, B: read)
+void matmul(double *C, double *A, double *B) { }
+
+int main(void) {
+    double *C, *A, *B;
+    #pragma cascabel execute Idgemm : executionset01 (C:BLOCK:N, A:BLOCK:N, B:BLOCK:N)
+    matmul(C, A, B);
+    return 0;
+}
+"""
+
+
+def pipeline(platform, source=PROGRAM, builtin=True):
+    program = parse_program(source)
+    repo = TaskRepository()
+    repo.register_program(program)
+    if builtin:
+        register_builtin_variants(repo, program)
+    selection = preselect(repo, program, platform)
+    return program, selection, map_tasks(program, selection, platform)
+
+
+class TestMapping:
+    def test_group_members_resolved(self, gpgpu_platform):
+        _, _, report = pipeline(gpgpu_platform)
+        mapping = report.mappings[0]
+        assert [pu.id for pu in mapping.group_members] == ["cpu", "gpu0", "gpu1"]
+
+    def test_placements_pair_pu_and_variant(self, gpgpu_platform):
+        _, _, report = pipeline(gpgpu_platform)
+        mapping = report.mappings[0]
+        table = {p.pu.id: p.variant.name for p in mapping.placements}
+        assert table["cpu"] == "dgemm_cpu"
+        assert table["gpu0"] == "idgemm_cublas"
+        assert table["gpu1"] == "idgemm_cublas"
+
+    def test_lane_accounting(self, gpgpu_platform):
+        _, _, report = pipeline(gpgpu_platform)
+        mapping = report.mappings[0]
+        assert mapping.total_lanes == 10  # 8 cpu + 2 gpu
+
+    def test_cpu_only_platform(self, cpu_platform):
+        _, _, report = pipeline(cpu_platform)
+        mapping = report.mappings[0]
+        assert [p.pu.id for p in mapping.placements] == ["cpu"]
+        assert mapping.total_lanes == 8
+
+    def test_cell_platform_uses_spe_variant(self, cell_platform):
+        _, _, report = pipeline(cell_platform)
+        mapping = report.mappings[0]
+        table = {p.pu.id: p.variant.name for p in mapping.placements}
+        assert table == {"spe": "idgemm_spe"}
+        assert mapping.total_lanes == 8
+
+    def test_unknown_group_raises(self, gpgpu_platform):
+        bad = PROGRAM.replace("executionset01", "ghostgroup")
+        with pytest.raises(MappingError, match="ghostgroup"):
+            pipeline(gpgpu_platform, source=bad)
+
+    def test_empty_group_falls_back_to_all_workers(self, gpgpu_platform):
+        src = PROGRAM.replace(" : executionset01", "")
+        _, _, report = pipeline(gpgpu_platform, source=src)
+        mapping = report.mappings[0]
+        assert {pu.id for pu in mapping.group_members} == {"cpu", "gpu0", "gpu1"}
+
+    def test_no_placement_raises(self, gpgpu_platform):
+        # without builtin (cuda) variants, only the x86 variant exists;
+        # restrict the group to gpus only -> nothing can run there
+        src = PROGRAM.replace("executionset01", "gpus")
+        with pytest.raises(MappingError, match="none of the eligible"):
+            pipeline(gpgpu_platform, source=src, builtin=False)
+
+    def test_architecture_filter(self, gpgpu_platform):
+        _, _, report = pipeline(gpgpu_platform)
+        mapping = report.mappings[0]
+        gpu_placements = mapping.placements_for_architecture("gpu")
+        assert len(gpu_placements) == 2
+        assert all(p.variant.name == "idgemm_cublas" for p in gpu_placements)
+
+    def test_variants_used_deduplicated(self, gpgpu_platform):
+        _, _, report = pipeline(gpgpu_platform)
+        used = report.mappings[0].variants_used()
+        assert sorted(v.name for v in used) == ["dgemm_cpu", "idgemm_cublas"]
+
+    def test_summary(self, gpgpu_platform):
+        _, _, report = pipeline(gpgpu_platform)
+        text = report.summary()
+        assert "Idgemm" in text and "executionset01" in text and "lanes" in text
+
+    def test_for_interface(self, gpgpu_platform):
+        _, _, report = pipeline(gpgpu_platform)
+        assert len(report.for_interface("Idgemm")) == 1
+        assert report.for_interface("Iother") == []

@@ -1,0 +1,72 @@
+"""Tests for the multi-interface pipeline sample program."""
+
+import pytest
+
+from repro.cascabel.cli import sample_source
+from repro.cascabel.driver import translate
+from repro.cascabel.frontend import parse_program
+from repro.cascabel.lowering import run_translation
+
+
+@pytest.fixture(scope="module")
+def program():
+    return parse_program(sample_source("pipeline"), filename="pipeline.c")
+
+
+class TestParsing:
+    def test_two_interfaces_three_variants(self, program):
+        assert program.interfaces() == ["Iscale", "Iaccum"]
+        assert len(program.definitions) == 3
+        assert len(program.definitions_for("Iscale")) == 2
+
+    def test_two_call_sites(self, program):
+        assert [e.interface for e in program.executions] == ["Iscale", "Iaccum"]
+
+    def test_gpu_variant_targets(self, program):
+        gpu_variant = program.definitions_for("Iscale")[1]
+        assert gpu_variant.targets == ("cuda", "opencl")
+        assert gpu_variant.variant_name == "scale_gpu01"
+
+
+class TestTranslation:
+    def test_gpu_platform_uses_annotated_gpu_variant(self, program,
+                                                     gpgpu_platform):
+        result = translate(program, gpgpu_platform)
+        selected = {
+            v.name for v in result.selection.variants_for("Iscale")
+        }
+        assert "scale_gpu01" in selected  # the source-provided CUDA variant
+        assert "scale_seq01" in selected
+        content = result.output.main_file.content
+        # both interfaces get codelets and glue
+        assert "struct starpu_codelet Iscale_cl" in content
+        assert "struct starpu_codelet Iaccum_cl" in content
+        assert "cascabel_execute_Iscale_0" in content
+        assert "cascabel_execute_Iaccum_1" in content
+
+    def test_cpu_platform_prunes_gpu_variant(self, program, cpu_platform):
+        result = translate(program, cpu_platform)
+        assert "scale_gpu01" in result.selection.pruned
+
+    def test_both_call_sites_replaced(self, program, gpgpu_platform):
+        result = translate(program, gpgpu_platform)
+        content = result.output.main_file.content
+        # inside the transformed main loop, the raw calls are gone
+        transformed_tail = content[content.index("int main") :]
+        assert "scale(buf);" not in transformed_tail
+        assert "accumulate(acc, buf);" not in transformed_tail
+        assert "cascabel_execute_Iscale_0(buf);" in transformed_tail
+        assert "cascabel_execute_Iaccum_1(acc, buf);" in transformed_tail
+
+
+class TestLowering:
+    def test_runs_on_simulated_runtime(self, program):
+        result = translate(program, "xeon_x5550_dual")
+        run = run_translation(
+            result,
+            sizes={"N": 1 << 21},
+            kernel_bindings={"Iscale": "dscal", "Iaccum": "dvecadd"},
+        )
+        # two executions, each lowered to lanes*4 parts
+        assert run.task_count == 2 * 8 * 4
+        assert run.makespan > 0

@@ -1,0 +1,148 @@
+"""Unit tests for the cascabel pragma grammar (paper §IV-A)."""
+
+import pytest
+
+from repro.errors import PragmaSyntaxError
+from repro.runtime.coherence import AccessMode
+from repro.cascabel.lexer import PragmaDirective
+from repro.cascabel.pragmas import ExecutePragma, TaskPragma, parse_pragma
+
+
+def parse(text, line=1):
+    return parse_pragma(PragmaDirective(text=text, line=line, end_line=line))
+
+
+class TestTaskPragma:
+    def test_paper_example(self):
+        # the exact annotation from §IV-A
+        p = parse(
+            "cascabel task : x86 : Ivecadd : vecadd01"
+            " : (A: readwrite, B: read)"
+        )
+        assert isinstance(p, TaskPragma)
+        assert p.targets == ("x86",)
+        assert p.interface == "Ivecadd"
+        assert p.variant_name == "vecadd01"
+        assert [(x.name, x.mode) for x in p.parameters] == [
+            ("A", AccessMode.READWRITE),
+            ("B", AccessMode.READ),
+        ]
+
+    def test_multiple_targets(self):
+        p = parse("cascabel task : opencl,cuda : I : v : (X: write)")
+        assert p.targets == ("opencl", "cuda")
+
+    def test_unknown_target(self):
+        with pytest.raises(PragmaSyntaxError, match="unknown target platform"):
+            parse("cascabel task : riscv : I : v : (X: read)")
+
+    def test_empty_targets(self):
+        with pytest.raises(PragmaSyntaxError):
+            parse("cascabel task :  : I : v : (X: read)")
+
+    def test_missing_sections(self):
+        with pytest.raises(PragmaSyntaxError, match="4"):
+            parse("cascabel task : x86 : I : v")
+
+    def test_bad_access_mode(self):
+        with pytest.raises(PragmaSyntaxError):
+            parse("cascabel task : x86 : I : v : (A: readonly)")
+
+    def test_param_without_mode(self):
+        with pytest.raises(PragmaSyntaxError, match="access mode"):
+            parse("cascabel task : x86 : I : v : (A)")
+
+    def test_unparenthesized_params(self):
+        # without parentheses the inner ':' splits into a 5th section
+        with pytest.raises(PragmaSyntaxError):
+            parse("cascabel task : x86 : I : v : A: read")
+        with pytest.raises(PragmaSyntaxError, match="parenthesized"):
+            parse("cascabel task : x86 : I : v : A read")
+
+    def test_empty_parameterlist_allowed(self):
+        p = parse("cascabel task : x86 : I : v : ()")
+        assert p.parameters == ()
+
+    def test_bad_identifier(self):
+        with pytest.raises(PragmaSyntaxError, match="taskidentifier"):
+            parse("cascabel task : x86 : 9lives : v : ()")
+
+    def test_parameter_lookup(self):
+        p = parse("cascabel task : x86 : I : v : (A: read)")
+        assert p.parameter("A").mode is AccessMode.READ
+        with pytest.raises(PragmaSyntaxError):
+            p.parameter("Z")
+
+
+class TestExecutePragma:
+    def test_paper_example(self):
+        p = parse(
+            "cascabel execute Ivecadd : executionset01"
+            " (A:BLOCK:N, B:BLOCK:N)"
+        )
+        assert isinstance(p, ExecutePragma)
+        assert p.interface == "Ivecadd"
+        assert p.execution_group == "executionset01"
+        assert [(d.name, d.kind, d.size) for d in p.distributions] == [
+            ("A", "BLOCK", "N"),
+            ("B", "BLOCK", "N"),
+        ]
+
+    def test_without_group(self):
+        p = parse("cascabel execute Itask (A:CYCLIC)")
+        assert p.execution_group == ""
+        assert p.distributions[0].kind == "CYCLIC"
+
+    def test_without_distributions(self):
+        p = parse("cascabel execute Itask : grp")
+        assert p.distributions == ()
+
+    def test_blockcyclic_with_size(self):
+        p = parse("cascabel execute I : g (A:BLOCKCYCLIC:64)")
+        d = p.distributions[0]
+        assert d.kind == "BLOCKCYCLIC" and d.size == "64"
+
+    def test_block_cyclic_hyphen_normalized(self):
+        p = parse("cascabel execute I : g (A:block-cyclic:4)")
+        assert p.distributions[0].kind == "BLOCKCYCLIC"
+
+    def test_unknown_distribution(self):
+        with pytest.raises(PragmaSyntaxError, match="unknown distribution"):
+            parse("cascabel execute I : g (A:SCATTER)")
+
+    def test_distribution_without_kind(self):
+        with pytest.raises(PragmaSyntaxError, match="name:KIND"):
+            parse("cascabel execute I : g (A)")
+
+    def test_numeric_size_allowed(self):
+        p = parse("cascabel execute I : g (A:BLOCK:8192)")
+        assert p.distributions[0].size == "8192"
+
+    def test_distribution_lookup(self):
+        p = parse("cascabel execute I : g (A:BLOCK:N)")
+        assert p.distribution("A").kind == "BLOCK"
+        assert p.distribution("Z") is None
+
+    def test_too_many_sections(self):
+        with pytest.raises(PragmaSyntaxError):
+            parse("cascabel execute I : g : extra (A:BLOCK)")
+
+    def test_unbalanced_distribution_list(self):
+        with pytest.raises(PragmaSyntaxError, match="unbalanced"):
+            parse("cascabel execute I : g )A:BLOCK(")
+
+
+class TestDispatch:
+    def test_unknown_kind(self):
+        with pytest.raises(PragmaSyntaxError, match="unknown cascabel pragma"):
+            parse("cascabel offload I")
+
+    def test_not_cascabel(self):
+        with pytest.raises(PragmaSyntaxError, match="not a cascabel"):
+            parse("omp parallel for")
+
+    def test_error_carries_line(self):
+        with pytest.raises(PragmaSyntaxError) as info:
+            parse("cascabel task : x86 : I : v", line=42)
+        assert info.value.line == 42
+        assert "42" in str(info.value)

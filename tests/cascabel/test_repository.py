@@ -1,0 +1,98 @@
+"""Unit tests for the task repository."""
+
+import pytest
+
+from repro.errors import RepositoryError
+from repro.model.builder import PlatformBuilder
+from repro.cascabel.frontend import parse_program
+from repro.cascabel.repository import TaskRepository
+
+PROGRAM = """\
+#pragma cascabel task : x86 : Idgemm : dgemm_cpu : (C: readwrite, A: read, B: read)
+void matmul(double *C, double *A, double *B) { }
+
+#pragma cascabel task : cuda : Idgemm : dgemm_gpu : (C: readwrite, A: read, B: read)
+void matmul_gpu(double *C, double *A, double *B) { }
+"""
+
+
+class TestRegistration:
+    def test_register_program(self):
+        repo = TaskRepository()
+        variants = repo.register_program(parse_program(PROGRAM))
+        assert len(variants) == 2
+        assert repo.interfaces() == ["Idgemm"]
+        assert repo.variant_count() == 2
+
+    def test_interface_contract_recorded(self):
+        repo = TaskRepository()
+        repo.register_program(parse_program(PROGRAM))
+        iface = repo.interface("Idgemm")
+        assert iface.param_names == ("C", "A", "B")
+        assert iface.arity == 3
+
+    def test_fallback_detection(self):
+        repo = TaskRepository()
+        repo.register_program(parse_program(PROGRAM))
+        fallbacks = repo.fallbacks("Idgemm")
+        assert [v.name for v in fallbacks] == ["dgemm_cpu"]
+        assert not repo.variant("dgemm_gpu").is_fallback
+
+    def test_duplicate_taskname_rejected(self):
+        repo = TaskRepository()
+        repo.register_program(parse_program(PROGRAM))
+        with pytest.raises(RepositoryError, match="duplicate taskname"):
+            repo.register_expert_variant("Idgemm", "dgemm_cpu", ("x86",))
+
+    def test_signature_conflict_rejected(self):
+        repo = TaskRepository()
+        repo.register_program(parse_program(PROGRAM))
+        other = parse_program(
+            "#pragma cascabel task : x86 : Idgemm : other : (X: read)\n"
+            "void f(double *X) { }\n"
+        )
+        with pytest.raises(RepositoryError, match="signature mismatch"):
+            repo.register_program(other)
+
+    def test_unknown_interface_lookup(self):
+        with pytest.raises(RepositoryError, match="unknown task interface"):
+            TaskRepository().interface("Inope")
+        with pytest.raises(RepositoryError, match="unknown taskname"):
+            TaskRepository().variant("vnope")
+
+
+class TestExpertVariants:
+    def test_expert_variant_creates_interface(self):
+        repo = TaskRepository()
+        v = repo.register_expert_variant(
+            "Ifft", "fft_cublas", ("cuda",),
+            param_names=("X",), provenance="CUFFT",
+        )
+        assert repo.interface("Ifft").param_names == ("X",)
+        assert v.provenance == "CUFFT"
+        assert not v.is_fallback
+
+    def test_expert_variant_needs_params_for_new_interface(self):
+        with pytest.raises(RepositoryError, match="param_names"):
+            TaskRepository().register_expert_variant("Inew", "v", ("cuda",))
+
+    def test_expert_variant_with_pattern(self):
+        pattern = (
+            PlatformBuilder("pat").master("m")
+            .worker("w", architecture="gpu").build(validate=False)
+        )
+        repo = TaskRepository()
+        repo.register_program(parse_program(PROGRAM))
+        v = repo.register_expert_variant(
+            "Idgemm", "dgemm_tuned", ("cuda",), required_pattern=pattern
+        )
+        assert v.required_pattern is pattern
+        assert v.targets_include("cuda") and not v.targets_include("x86")
+
+    def test_expert_fallback_flag(self):
+        repo = TaskRepository()
+        repo.register_expert_variant(
+            "Isolve", "solve_seq", ("x86",),
+            param_names=("A",), is_fallback=True,
+        )
+        assert repo.fallbacks("Isolve")[0].name == "solve_seq"

@@ -1,0 +1,150 @@
+"""Unit tests for static variant pre-selection (Cascabel step 2)."""
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.model.builder import PlatformBuilder
+from repro.cascabel.frontend import parse_program
+from repro.cascabel.repository import TaskRepository
+from repro.cascabel.selection import (
+    eligible_variants,
+    preselect,
+    target_available,
+)
+
+PROGRAM = """\
+#pragma cascabel task : x86 : Idgemm : dgemm_cpu : (C: readwrite, A: read, B: read)
+void matmul(double *C, double *A, double *B) { }
+
+#pragma cascabel task : cuda,opencl : Idgemm : dgemm_gpu : (C: readwrite, A: read, B: read)
+void matmul_gpu(double *C, double *A, double *B) { }
+
+#pragma cascabel task : cellsdk : Idgemm : dgemm_spe : (C: readwrite, A: read, B: read)
+void matmul_spe(double *C, double *A, double *B) { }
+"""
+
+
+def repo_and_program():
+    program = parse_program(PROGRAM)
+    repo = TaskRepository()
+    repo.register_program(program)
+    return repo, program
+
+
+class TestTargetAvailability:
+    def test_gpu_targets(self, gpgpu_platform, cpu_platform):
+        assert target_available("cuda", gpgpu_platform)
+        assert target_available("opencl", gpgpu_platform)
+        assert not target_available("cuda", cpu_platform)
+
+    def test_cell_targets(self, cell_platform, gpgpu_platform):
+        assert target_available("cellsdk", cell_platform)
+        assert not target_available("cellsdk", gpgpu_platform)
+
+    def test_x86_portable_serial(self, cell_platform, gpgpu_platform):
+        # serial C runs wherever a Master exists (paper §IV-A)
+        assert target_available("x86", gpgpu_platform)
+        assert target_available("x86", cell_platform)
+
+    def test_unknown_target(self, gpgpu_platform):
+        assert not target_available("riscv", gpgpu_platform)
+
+
+class TestPreselection:
+    def test_gpu_platform_keeps_cuda_prunes_spe(self, gpgpu_platform):
+        repo, program = repo_and_program()
+        report = preselect(repo, program, gpgpu_platform)
+        names = [v.name for v in report.variants_for("Idgemm")]
+        assert "dgemm_gpu" in names and "dgemm_cpu" in names
+        assert "dgemm_spe" not in names
+        assert "dgemm_spe" in report.pruned
+
+    def test_cpu_platform_keeps_only_fallback(self, cpu_platform):
+        repo, program = repo_and_program()
+        report = preselect(repo, program, cpu_platform)
+        names = [v.name for v in report.variants_for("Idgemm")]
+        assert names == ["dgemm_cpu"]
+        assert set(report.pruned) == {"dgemm_gpu", "dgemm_spe"}
+
+    def test_cell_platform_keeps_spe(self, cell_platform):
+        repo, program = repo_and_program()
+        report = preselect(repo, program, cell_platform)
+        names = [v.name for v in report.variants_for("Idgemm")]
+        assert "dgemm_spe" in names and "dgemm_cpu" in names
+
+    def test_accelerator_ordered_first(self, gpgpu_platform):
+        repo, program = repo_and_program()
+        report = preselect(repo, program, gpgpu_platform)
+        variants = report.variants_for("Idgemm")
+        assert not variants[0].is_fallback
+        assert variants[-1].is_fallback
+        assert report.accelerator_variants("Idgemm")[0].name == "dgemm_gpu"
+        assert report.fallback("Idgemm").name == "dgemm_cpu"
+
+    def test_required_pattern_prunes(self, gpgpu_platform):
+        repo, program = repo_and_program()
+        two_gpu_pattern = (
+            PlatformBuilder("pat").master("m")
+            .worker("w1", architecture="gpu")
+            .worker("w2", architecture="gpu")
+            .worker("w3", architecture="gpu")
+            .build(validate=False)
+        )
+        repo.register_expert_variant(
+            "Idgemm", "dgemm_3gpu", ("cuda",), required_pattern=two_gpu_pattern
+        )
+        report = preselect(repo, program, gpgpu_platform)
+        assert "dgemm_3gpu" in report.pruned
+        assert "pattern" in report.pruned["dgemm_3gpu"]
+
+    def test_required_pattern_matching_keeps(self, gpgpu_platform):
+        repo, program = repo_and_program()
+        pattern = (
+            PlatformBuilder("pat").master("m")
+            .worker("w", properties={"MODEL": "GeForce GTX 480"})
+            .build(validate=False)
+        )
+        repo.register_expert_variant(
+            "Idgemm", "dgemm_gtx480", ("cuda",), required_pattern=pattern
+        )
+        report = preselect(repo, program, gpgpu_platform)
+        assert "dgemm_gtx480" in [v.name for v in report.variants_for("Idgemm")]
+
+    def test_no_variant_at_all_raises(self, gpgpu_platform):
+        program = parse_program(
+            "#pragma cascabel task : cellsdk : Ionly : v : (A: read)\n"
+            "void f(double *A) { }\n",
+        )
+        repo = TaskRepository()
+        repo.register_program(program)
+        with pytest.raises(SelectionError, match="no variant is suitable"):
+            preselect(repo, program, gpgpu_platform)
+
+    def test_missing_fallback_raises(self, gpgpu_platform):
+        program = parse_program(
+            "#pragma cascabel task : cuda : Igpuonly : v : (A: read)\n"
+            "void f(double *A) { }\n",
+        )
+        repo = TaskRepository()
+        repo.register_program(program)
+        with pytest.raises(SelectionError, match="fallback"):
+            preselect(repo, program, gpgpu_platform)
+        # relaxed mode allows it
+        report = preselect(repo, program, gpgpu_platform, require_fallback=False)
+        assert [v.name for v in report.variants_for("Igpuonly")] == ["v"]
+
+    def test_summary_text(self, gpgpu_platform):
+        repo, program = repo_and_program()
+        report = preselect(repo, program, gpgpu_platform)
+        text = report.summary()
+        assert "Idgemm" in text and "pruned dgemm_spe" in text
+
+
+class TestEligibleVariants:
+    def test_prune_reasons_informative(self, cpu_platform):
+        repo, _ = repo_and_program()
+        eligible, pruned = eligible_variants(
+            repo.variants("Idgemm"), cpu_platform
+        )
+        assert [v.name for v in eligible] == ["dgemm_cpu"]
+        assert "no hardware" in pruned["dgemm_gpu"]

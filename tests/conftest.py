@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import PlatformBuilder
+from repro.pdl import load_platform
+
+
+@pytest.fixture
+def gpgpu_platform():
+    """The Figure-5 GPU platform (8 CPU cores + GTX480 + GTX285)."""
+    return load_platform("xeon_x5550_2gpu")
+
+
+@pytest.fixture
+def cpu_platform():
+    """The Figure-5 CPU-only platform (8 CPU cores)."""
+    return load_platform("xeon_x5550_dual")
+
+
+@pytest.fixture
+def cell_platform():
+    return load_platform("cell_qs22")
+
+
+@pytest.fixture
+def cluster_platform():
+    return load_platform("hybrid_cluster")
+
+
+@pytest.fixture
+def small_platform():
+    """A tiny programmatic platform: 1 Master, 2 CPU workers, 1 GPU."""
+    return (
+        PlatformBuilder("small")
+        .master("host", architecture="x86_64", properties={"RUNTIME": "starpu"})
+        .memory("main", size="4 GB")
+        .worker(
+            "cpu",
+            architecture="x86_64",
+            quantity=2,
+            properties={"PEAK_GFLOPS_DP": "10.0", "DGEMM_EFFICIENCY": "0.9"},
+            groups=("cpus", "executionset01"),
+        )
+        .worker(
+            "gpu0",
+            architecture="gpu",
+            properties={"PEAK_GFLOPS_DP": "100.0", "DGEMM_EFFICIENCY": "0.7"},
+            groups=("gpus", "executionset01"),
+        )
+        .interconnect("host", "cpu", type="SHM", bandwidth="25.6 GB/s",
+                      latency="100 ns")
+        .interconnect("host", "gpu0", type="PCIe", bandwidth="5.7 GB/s",
+                      latency="15 us")
+        .build()
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)

@@ -1,0 +1,75 @@
+"""Unit tests for the device spec database."""
+
+import pytest
+
+from repro.discovery.database import (
+    CPU_DATABASE,
+    GPU_DATABASE,
+    cpu_spec,
+    gpu_spec,
+)
+from repro.errors import DiscoveryError
+
+
+class TestLookup:
+    def test_exact(self):
+        assert gpu_spec("GeForce GTX 480").compute_units == 15
+        assert cpu_spec("Intel Xeon X5550").total_cores == 8
+
+    def test_substring(self):
+        assert gpu_spec("GTX 285").name == "GeForce GTX 285"
+        assert cpu_spec("X5550").name == "Intel Xeon X5550"
+
+    def test_case_insensitive(self):
+        assert gpu_spec("gtx 480").name == "GeForce GTX 480"
+
+    def test_unknown(self):
+        with pytest.raises(DiscoveryError, match="unknown GPU"):
+            gpu_spec("Voodoo2")
+        with pytest.raises(DiscoveryError, match="unknown CPU"):
+            cpu_spec("MOS 6502")
+
+    def test_ambiguous(self):
+        with pytest.raises(DiscoveryError, match="ambiguous"):
+            gpu_spec("GeForce")
+
+
+class TestPaperTestbedNumbers:
+    """The Figure-5 testbed entries carry period-accurate figures."""
+
+    def test_gtx480(self):
+        spec = gpu_spec("GeForce GTX 480")
+        assert spec.compute_capability == "2.0"
+        assert spec.peak_gflops_dp == pytest.approx(168.0)
+        assert spec.global_mem_kb == 1_572_864  # Listing 2 value
+        assert spec.local_mem_kb == 48  # Listing 2 value
+        assert spec.sustained_dgemm_gflops == pytest.approx(168.0 * 0.70)
+
+    def test_gtx285(self):
+        spec = gpu_spec("GeForce GTX 285")
+        assert spec.compute_capability == "1.3"
+        assert spec.peak_gflops_dp == pytest.approx(88.5)
+
+    def test_x5550(self):
+        spec = cpu_spec("Intel Xeon X5550")
+        assert spec.sockets == 2 and spec.cores_per_socket == 4
+        assert spec.frequency_ghz == pytest.approx(2.66)
+        # 2.66 GHz * 4 DP flops/cycle = 10.64 GF peak per core
+        assert spec.peak_gflops_dp_per_core == pytest.approx(10.64)
+        assert spec.sustained_dgemm_gflops_per_core == pytest.approx(9.576)
+
+    def test_gpu_ordering_sanity(self):
+        # GTX480 must beat GTX285 in sustained DGEMM (Fermi vs GT200)
+        assert (
+            gpu_spec("GTX 480").sustained_dgemm_gflops
+            > gpu_spec("GTX 285").sustained_dgemm_gflops
+        )
+
+    def test_databases_nonempty_and_consistent(self):
+        assert len(GPU_DATABASE) >= 4 and len(CPU_DATABASE) >= 4
+        for name, spec in GPU_DATABASE.items():
+            assert spec.name == name
+            assert 0 < spec.dgemm_efficiency <= 1
+        for name, spec in CPU_DATABASE.items():
+            assert spec.name == name
+            assert 0 < spec.dgemm_efficiency <= 1

@@ -1,0 +1,79 @@
+"""Unit tests for the hwloc-style topology source."""
+
+import pytest
+
+from repro.discovery.hwloc_sim import (
+    TopologyObject,
+    read_host_topology,
+    synthetic_topology,
+)
+
+
+class TestSyntheticTopology:
+    def test_x5550_shape(self):
+        machine = synthetic_topology("Intel Xeon X5550")
+        assert machine.obj_type == "Machine"
+        assert len(machine.by_type("NUMANode")) == 2
+        assert len(machine.by_type("Package")) == 2
+        assert len(machine.by_type("L3Cache")) == 2
+        assert len(machine.cores()) == 8
+
+    def test_core_attrs(self):
+        machine = synthetic_topology("X5550")
+        core = machine.cores()[0]
+        assert core.attrs["FREQUENCY_GHZ"] == pytest.approx(2.66)
+        assert core.attrs["PEAK_GFLOPS_DP"] == pytest.approx(10.64)
+        assert core.attrs["NUMA_NODE"] == 0
+        last = machine.cores()[-1]
+        assert last.attrs["NUMA_NODE"] == 1
+
+    def test_cache_sizes(self):
+        machine = synthetic_topology("X5550")
+        l3 = machine.by_type("L3Cache")[0]
+        assert l3.attrs["CACHE_SIZE"] == (8192, "kB")
+        assert len(machine.by_type("L2Cache")) == 8
+        assert len(machine.by_type("L1Cache")) == 8
+
+    def test_memory_split_across_numa(self):
+        machine = synthetic_topology("X5550", memory_gb=48)
+        numas = machine.by_type("NUMANode")
+        assert all(n.attrs["LOCAL_MEMORY"] == (24 * 1024, "MB") for n in numas)
+
+    def test_logical_indices_sequential(self):
+        machine = synthetic_topology("AMD Opteron 6172")
+        cores = machine.cores()
+        assert [c.logical_index for c in cores] == list(range(48))
+
+    def test_walk_parent_links(self):
+        machine = synthetic_topology("X5550")
+        for obj in machine.walk():
+            for child in obj.children:
+                assert child.parent is obj
+
+    def test_no_l3_collapses_level(self):
+        machine = synthetic_topology("Cell BE PPE")
+        assert machine.by_type("L3Cache") == []
+        assert len(machine.cores()) == 1
+
+
+class TestHostTopology:
+    def test_reads_this_linux_host(self):
+        machine = read_host_topology()
+        assert machine is not None  # test env is Linux
+        assert machine.obj_type == "Machine"
+        assert len(machine.cores()) >= 1
+        assert machine.attrs["CPU_MODEL"]
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert read_host_topology(str(tmp_path / "nope")) is None
+
+    def test_parses_synthetic_cpuinfo(self, tmp_path):
+        cpuinfo = tmp_path / "cpuinfo"
+        cpuinfo.write_text(
+            "processor : 0\nmodel name : Test CPU 9000\ncpu MHz : 2400.0\n\n"
+            "processor : 1\nmodel name : Test CPU 9000\ncpu MHz : 2400.0\n"
+        )
+        machine = read_host_topology(str(cpuinfo))
+        assert len(machine.cores()) == 2
+        assert machine.attrs["CPU_MODEL"] == "Test CPU 9000"
+        assert machine.cores()[0].attrs["FREQUENCY_GHZ"] == pytest.approx(2.4)

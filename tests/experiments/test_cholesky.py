@@ -1,0 +1,93 @@
+"""Tests for the tiled-Cholesky workload (second domain application)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError
+from repro.pdl.catalog import load_platform
+from repro.runtime.engine import RuntimeEngine
+from repro.experiments.workloads import cholesky_flops, submit_tiled_cholesky
+
+
+def task_count(p):
+    """POTRF: p, TRSM: p(p-1)/2, SYRK: p(p-1)/2, GEMM: p(p-1)(p-2)/6."""
+    return p + p * (p - 1) // 2 + p * (p - 1) // 2 + p * (p - 1) * (p - 2) // 6
+
+
+class TestGraphShape:
+    def test_task_counts(self, small_platform):
+        for n, bs in ((1024, 256), (2048, 256)):
+            engine = RuntimeEngine(small_platform)
+            submit_tiled_cholesky(engine, n, bs)
+            assert engine.task_count == task_count(n // bs)
+
+    def test_kernel_mix(self, small_platform):
+        engine = RuntimeEngine(small_platform)
+        submit_tiled_cholesky(engine, 1024, 256)
+        kernels = {}
+        for task in engine._tasks:
+            kernels[task.kernel] = kernels.get(task.kernel, 0) + 1
+        assert kernels == {"dpotrf": 4, "dtrsm": 6, "dsyrk": 6, "dgemm_nt": 4}
+
+    def test_only_first_potrf_ready(self, small_platform):
+        engine = RuntimeEngine(small_platform)
+        submit_tiled_cholesky(engine, 1024, 256)
+        ready = [t for t in engine._tasks if t.ready]
+        assert len(ready) == 1
+        assert ready[0].kernel == "dpotrf"
+
+    def test_size_must_divide(self, small_platform):
+        engine = RuntimeEngine(small_platform)
+        with pytest.raises(DistributionError):
+            submit_tiled_cholesky(engine, 1000, 256)
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("scheduler", ["eager", "dmda"])
+    def test_factorization_correct_sim(self, small_platform, scheduler):
+        engine = RuntimeEngine(small_platform, scheduler=scheduler,
+                               execute_kernels=True)
+        A = submit_tiled_cholesky(engine, 128, 32, materialize=True)
+        original = A.array.copy()
+        engine.run()
+        L = np.tril(A.array)
+        np.testing.assert_allclose(L @ L.T, original, rtol=1e-8)
+
+    def test_factorization_correct_real_threads(self, small_platform):
+        engine = RuntimeEngine(small_platform, scheduler="ws")
+        A = submit_tiled_cholesky(engine, 128, 32, materialize=True)
+        original = A.array.copy()
+        engine.run_real()
+        L = np.tril(A.array)
+        np.testing.assert_allclose(L @ L.T, original, rtol=1e-8)
+
+
+class TestPerformance:
+    def test_gpu_platform_faster(self):
+        times = {}
+        for name in ("xeon_x5550_dual", "xeon_x5550_2gpu"):
+            engine = RuntimeEngine(load_platform(name), scheduler="dmda")
+            submit_tiled_cholesky(engine, 8192, 512)
+            times[name] = engine.run().makespan
+        assert times["xeon_x5550_2gpu"] < times["xeon_x5550_dual"]
+
+    def test_flops_helper(self):
+        assert cholesky_flops(8192) == pytest.approx(8192**3 / 3)
+
+    def test_less_parallel_than_dgemm(self):
+        """Cholesky's dependency structure limits speedup vs DGEMM."""
+        from repro.experiments.workloads import submit_tiled_dgemm
+
+        platform = load_platform("xeon_x5550_dual")
+
+        e1 = RuntimeEngine(platform, scheduler="dmda")
+        submit_tiled_cholesky(e1, 4096, 512)
+        chol = e1.run()
+        chol_eff = cholesky_flops(4096) / chol.makespan
+
+        e2 = RuntimeEngine(load_platform("xeon_x5550_dual"), scheduler="dmda")
+        submit_tiled_dgemm(e2, 4096, 512)
+        gemm = e2.run()
+        gemm_eff = (2.0 * 4096**3) / gemm.makespan
+
+        assert chol_eff < gemm_eff  # achieved FLOP/s lower for Cholesky

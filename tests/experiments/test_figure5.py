@@ -1,0 +1,87 @@
+"""FIG5: the reproduced Figure 5 must match the paper's shape.
+
+We are not expected to match the authors' absolute numbers (their substrate
+was real hardware; ours is a calibrated simulator), but who-wins, by
+roughly what factor, must hold:
+
+* ``starpu`` (8 CPU cores) beats ``single`` near-linearly (~7x),
+* ``starpu+2gpu`` beats ``starpu`` by another ~2-3x (~15-20x total).
+"""
+
+import pytest
+
+from repro.experiments.figure5 import (
+    Figure5Config,
+    run_configuration,
+    run_figure5,
+    single_thread_time,
+)
+
+
+@pytest.fixture(scope="module")
+def figure5():
+    # a reduced size keeps the suite fast; shape is scale-invariant here
+    return run_figure5(Figure5Config(n=4096, block_size=512))
+
+
+class TestShape:
+    def test_three_bars(self, figure5):
+        assert [r.configuration for r in figure5.rows] == [
+            "single", "starpu", "starpu+2gpu",
+        ]
+
+    def test_ordering(self, figure5):
+        single, starpu, gpu = figure5.rows
+        assert single.time_s > starpu.time_s > gpu.time_s
+        assert single.speedup == 1.0
+
+    def test_starpu_near_linear_8core(self, figure5):
+        starpu = figure5.row("starpu")
+        assert 5.0 < starpu.speedup < 8.2
+
+    def test_gpu_configuration_factor(self, figure5):
+        starpu = figure5.row("starpu")
+        gpu = figure5.row("starpu+2gpu")
+        assert 1.5 < gpu.speedup / starpu.speedup < 4.0
+        assert 10.0 < gpu.speedup < 30.0
+
+    def test_gpus_do_work(self, figure5):
+        gpu = figure5.row("starpu+2gpu")
+        assert gpu.tasks_by_architecture.get("gpu", 0) > 0
+        assert gpu.tasks_by_architecture.get("x86_64", 0) > 0
+
+    def test_gflops_consistent(self, figure5):
+        for row in figure5.rows:
+            flops = 2.0 * 4096**3
+            assert row.gflops == pytest.approx(flops / row.time_s / 1e9)
+
+    def test_table_rendering(self, figure5):
+        text = figure5.table()
+        assert "single" in text and "starpu+2gpu" in text
+        assert "paper shape" in text
+
+    def test_row_lookup(self, figure5):
+        assert figure5.row("starpu").configuration == "starpu"
+        with pytest.raises(KeyError):
+            figure5.row("quantum")
+
+
+class TestAnchors:
+    def test_single_thread_anchor(self):
+        # 2*8192^3 / (10.64 GF * 0.9) ≈ 115 s — the paper's serial baseline
+        t = single_thread_time(8192)
+        assert 105 < t < 125
+
+    def test_full_size_shape_holds(self):
+        """Run the exact paper size once (fast: simulation only)."""
+        result = run_figure5(Figure5Config(n=8192, block_size=1024))
+        starpu = result.row("starpu")
+        gpu = result.row("starpu+2gpu")
+        assert 6.5 < starpu.speedup < 8.1
+        assert 14.0 < gpu.speedup < 26.0
+
+    def test_run_configuration_returns_trace(self):
+        config = Figure5Config(n=2048, block_size=512)
+        run = run_configuration("xeon_x5550_2gpu", config)
+        assert run.task_count == 64
+        assert run.scheduler == "dmda"

@@ -1,0 +1,77 @@
+"""Unit tests for table/chart rendering."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.reporting import (
+    ascii_bar_chart,
+    dataclass_table,
+    format_table,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 22.25]],
+            title="T",
+        )
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        # numeric cells right-aligned under their column
+        assert lines[3].startswith("alpha")
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.0001234]])
+        assert "1.234e-04" in text
+        text = format_table(["x"], [[3.14159]])
+        assert "3.142" in text
+        text = format_table(["x"], [[0.0]])
+        assert "0" in text
+
+    def test_dict_cells(self):
+        text = format_table(["d"], [[{"b": 2, "a": 1}]])
+        assert "a=1,b=2" in text
+
+
+class TestDataclassTable:
+    def test_renders_fields(self):
+        @dataclass
+        class Row:
+            name: str
+            value: float
+
+        text = dataclass_table([Row("x", 1.0), Row("y", 2.0)])
+        assert "name" in text and "value" in text and "y" in text
+
+    def test_empty(self):
+        assert dataclass_table([], title="empty") == "empty"
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            dataclass_table([{"a": 1}])
+
+
+class TestBarChart:
+    def test_scaling(self):
+        text = ascii_bar_chart(["a", "bb"], [1.0, 2.0], width=10, unit="x")
+        lines = text.split("\n")
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+        assert "2.00x" in lines[1]
+
+    def test_title(self):
+        text = ascii_bar_chart(["a"], [1.0], title="Figure 5")
+        assert text.startswith("Figure 5")
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_minimum_one_hash(self):
+        text = ascii_bar_chart(["tiny", "huge"], [0.001, 100.0], width=20)
+        assert text.split("\n")[0].count("#") >= 1

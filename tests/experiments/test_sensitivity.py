@@ -1,0 +1,82 @@
+"""Calibration-sensitivity analysis of the Figure-5 reproduction.
+
+The reproduced shape must not hinge on exact calibration constants: a
+±10 % perturbation of every DGEMM efficiency (the least certain numbers
+in the table) must leave the qualitative result intact — ordering,
+near-linear CPU scaling, and a 1.5–4× GPU uplift.
+"""
+
+import pytest
+
+from repro.model.properties import Property
+from repro.pdl.catalog import load_platform
+from repro.perf.models import PerfModel
+from repro.runtime.engine import RuntimeEngine
+from repro.experiments.workloads import submit_tiled_dgemm
+
+N, BS = 4096, 512
+
+
+def perturbed(platform_name: str, factor: float):
+    """The shipped platform with every DGEMM_EFFICIENCY scaled by factor."""
+    platform = load_platform(platform_name)
+    for pu in platform.walk():
+        prop = pu.descriptor.find("DGEMM_EFFICIENCY")
+        if prop is None:
+            continue
+        value = min(0.99, prop.value.as_float() * factor)
+        pu.descriptor.remove("DGEMM_EFFICIENCY")
+        pu.descriptor.add(Property("DGEMM_EFFICIENCY", f"{value:.4f}"))
+    return platform
+
+
+def figure5_shape(factor: float):
+    cpu_platform = perturbed("xeon_x5550_dual", factor)
+    gpu_platform = perturbed("xeon_x5550_2gpu", factor)
+
+    single = PerfModel().dgemm_time(cpu_platform.pu("cpu"), N, N, N)
+
+    engine = RuntimeEngine(cpu_platform, scheduler="dmda")
+    submit_tiled_dgemm(engine, N, BS)
+    t_cpu = engine.run().makespan
+
+    engine = RuntimeEngine(gpu_platform, scheduler="dmda")
+    submit_tiled_dgemm(engine, N, BS)
+    t_gpu = engine.run().makespan
+
+    return single / t_cpu, single / t_gpu
+
+
+@pytest.mark.parametrize("factor", [0.9, 1.0, 1.1])
+def test_shape_robust_to_efficiency_perturbation(factor):
+    cpu_speedup, gpu_speedup = figure5_shape(factor)
+    # ordering and bands hold across the calibration uncertainty
+    assert gpu_speedup > cpu_speedup > 1.0
+    assert 5.0 < cpu_speedup < 8.5
+    assert 1.5 < gpu_speedup / cpu_speedup < 4.0
+
+
+def test_cpu_speedup_invariant_to_uniform_scaling():
+    """Scaling ALL efficiencies uniformly cancels out of the CPU-only
+    speedup (both the serial baseline and the workers speed up alike)."""
+    base_cpu, _ = figure5_shape(1.0)
+    slow_cpu, _ = figure5_shape(0.9)
+    assert slow_cpu == pytest.approx(base_cpu, rel=0.02)
+
+
+def test_gpu_uplift_tracks_gpu_efficiency():
+    """Perturbing ONLY the GPU efficiencies moves the GPU bar, not the
+    CPU bar — the knob-to-effect mapping is sane."""
+
+    def gpu_only(factor):
+        platform = load_platform("xeon_x5550_2gpu")
+        for pu_id in ("gpu0", "gpu1"):
+            pu = platform.pu(pu_id)
+            value = min(0.99, pu.descriptor.get_float("DGEMM_EFFICIENCY") * factor)
+            pu.descriptor.remove("DGEMM_EFFICIENCY")
+            pu.descriptor.add(Property("DGEMM_EFFICIENCY", f"{value:.4f}"))
+        engine = RuntimeEngine(platform, scheduler="dmda")
+        submit_tiled_dgemm(engine, N, BS)
+        return engine.run().makespan
+
+    assert gpu_only(0.8) > gpu_only(1.0) > gpu_only(1.2)

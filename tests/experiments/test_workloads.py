@@ -1,0 +1,69 @@
+"""Unit tests for the workload builders."""
+
+import pytest
+
+from repro.errors import DistributionError
+from repro.experiments.workloads import (
+    dgemm_flops,
+    submit_tiled_dgemm,
+    submit_vecadd,
+)
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.tasks import TaskState
+
+
+class TestTiledDgemm:
+    def test_task_count(self, small_platform):
+        engine = RuntimeEngine(small_platform)
+        handles = submit_tiled_dgemm(engine, 1024, 256)
+        assert handles.tiles_per_dim == 4
+        assert handles.task_count == 64
+        assert engine.task_count == 64
+        assert handles.flops == dgemm_flops(1024)
+
+    def test_size_must_divide(self, small_platform):
+        engine = RuntimeEngine(small_platform)
+        with pytest.raises(DistributionError, match="multiple"):
+            submit_tiled_dgemm(engine, 1000, 256)
+
+    def test_dependency_chain_per_c_tile(self, small_platform):
+        engine = RuntimeEngine(small_platform)
+        submit_tiled_dgemm(engine, 512, 256)  # p=2: 8 tasks
+        ready = [t for t in engine._tasks if t.ready]
+        blocked = [t for t in engine._tasks if not t.ready]
+        assert len(ready) == 4  # one k=0 task per C tile
+        assert len(blocked) == 4
+
+    def test_materialize_allocates(self, small_platform):
+        engine = RuntimeEngine(small_platform)
+        handles = submit_tiled_dgemm(engine, 128, 64, materialize=True)
+        assert handles.A.array is not None
+        assert handles.C.array.shape == (128, 128)
+        assert (handles.C.array == 0).all()
+
+    def test_metadata_only_by_default(self, small_platform):
+        engine = RuntimeEngine(small_platform)
+        handles = submit_tiled_dgemm(engine, 128, 64)
+        assert handles.A.array is None
+
+
+class TestVecadd:
+    def test_block_parts(self, small_platform):
+        engine = RuntimeEngine(small_platform)
+        A, B = submit_vecadd(engine, 1000, 7)
+        assert engine.task_count == 7
+        assert len(A.children) == 7
+        sizes = [c.shape[0] for c in A.children]
+        assert sum(sizes) == 1000
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_runs_clean(self, small_platform):
+        engine = RuntimeEngine(small_platform)
+        submit_vecadd(engine, 10000, 4)
+        result = engine.run()
+        assert all(t.state == TaskState.DONE for t in engine._tasks)
+        assert result.makespan > 0
+
+
+def test_dgemm_flops():
+    assert dgemm_flops(8192) == 2 * 8192**3

@@ -1,0 +1,89 @@
+"""Functional tests: every kernel variant computes the right answer."""
+
+import numpy as np
+import pytest
+
+from repro.kernels.registry import default_kernel_registry
+
+
+@pytest.fixture
+def reg():
+    return default_kernel_registry()
+
+
+class TestDgemm:
+    @pytest.mark.parametrize("arch", ["x86_64", "x86", "gpu", "spe"])
+    def test_all_variants_agree(self, reg, rng, arch):
+        A = rng.standard_normal((16, 12))
+        B = rng.standard_normal((12, 20))
+        C = rng.standard_normal((16, 20))
+        expected = C + A @ B
+        out = C.copy()
+        reg.get("dgemm").variant_for(arch).fn(out, A, B)
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+    def test_accumulates(self, reg, rng):
+        # C += A@B twice accumulates, matching the BLAS beta=1 contract
+        A = rng.standard_normal((8, 8))
+        B = rng.standard_normal((8, 8))
+        C = np.zeros((8, 8))
+        fn = reg.get("dgemm").variant_for("x86_64").fn
+        fn(C, A, B)
+        fn(C, A, B)
+        np.testing.assert_allclose(C, 2 * (A @ B), rtol=1e-12)
+
+
+class TestVectorKernels:
+    def test_dvecadd(self, reg, rng):
+        A = rng.standard_normal(100)
+        B = rng.standard_normal(100)
+        expected = A + B
+        reg.get("dvecadd").variant_for("x86_64").fn(A, B)
+        np.testing.assert_allclose(A, expected)
+
+    def test_dvecadd_gpu_variant_same_result(self, reg, rng):
+        A1 = rng.standard_normal(64)
+        B = rng.standard_normal(64)
+        A2 = A1.copy()
+        reg.get("dvecadd").variant_for("x86_64").fn(A1, B)
+        reg.get("dvecadd").variant_for("gpu").fn(A2, B)
+        np.testing.assert_array_equal(A1, A2)
+
+    def test_dscal(self, reg):
+        X = np.arange(10, dtype=float)
+        reg.get("dscal").variant_for("x86_64").fn(X, alpha=2.5)
+        np.testing.assert_allclose(X, 2.5 * np.arange(10))
+
+    def test_daxpy(self, reg, rng):
+        X = rng.standard_normal(50)
+        Y = rng.standard_normal(50)
+        expected = Y + 3.0 * X
+        reg.get("daxpy").variant_for("x86_64").fn(Y, X, alpha=3.0)
+        np.testing.assert_allclose(Y, expected)
+
+
+class TestDpotrf:
+    @pytest.mark.parametrize("arch", ["x86_64", "gpu"])
+    def test_cholesky(self, reg, rng, arch):
+        M = rng.standard_normal((12, 12))
+        A = M @ M.T + 12 * np.eye(12)  # SPD
+        original = A.copy()
+        reg.get("dpotrf").variant_for(arch).fn(A)
+        np.testing.assert_allclose(A @ A.T, original, rtol=1e-10)
+        assert np.allclose(A, np.tril(A))  # lower triangular
+
+    def test_flops_cubic(self, reg):
+        kernel = reg.get("dpotrf")
+        assert kernel.flops((300,)) == pytest.approx(300**3 / 3)
+
+
+class TestOperandsAreViewsSafe:
+    def test_dgemm_on_views(self, reg, rng):
+        """Kernels must work on non-contiguous views (partitioned tiles)."""
+        big = rng.standard_normal((32, 32))
+        A = big[:16, :16]
+        B = big[:16, 16:]
+        C = np.zeros((16, 16))
+        expected = A @ B
+        reg.get("dgemm").variant_for("x86_64").fn(C, A, B)
+        np.testing.assert_allclose(C, expected, rtol=1e-12)

@@ -1,0 +1,79 @@
+"""Unit tests for the kernel registry."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.kernels.registry import KernelRegistry, default_kernel_registry
+
+
+def fresh():
+    reg = KernelRegistry()
+    reg.define(
+        "axpy",
+        flops=lambda dims: 2.0 * dims[0],
+        bytes_touched=lambda dims: 24.0 * dims[0],
+    )
+    return reg
+
+
+class TestDefinition:
+    def test_define_and_get(self):
+        reg = fresh()
+        assert "axpy" in reg
+        assert reg.get("axpy").flops((10,)) == 20.0
+
+    def test_duplicate_kernel(self):
+        reg = fresh()
+        with pytest.raises(KernelError, match="already defined"):
+            reg.define("axpy", flops=lambda d: 0, bytes_touched=lambda d: 0)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KernelError, match="unknown kernel"):
+            fresh().get("fft")
+
+    def test_variant_decorator(self):
+        reg = fresh()
+
+        @reg.variant("axpy", "x86_64", provenance="MKL")
+        def axpy_cpu(Y, X):
+            Y += X
+
+        kernel = reg.get("axpy")
+        impl = kernel.variant_for("x86_64")
+        assert impl.name == "axpy_cpu"
+        assert impl.provenance == "MKL"
+        assert kernel.supports("x86_64") and not kernel.supports("gpu")
+
+    def test_duplicate_variant_arch(self):
+        reg = fresh()
+        reg.variant("axpy", "x86_64")(lambda Y, X: None)
+        with pytest.raises(KernelError, match="already has a variant"):
+            reg.variant("axpy", "x86_64")(lambda Y, X: None)
+
+    def test_missing_variant(self):
+        reg = fresh()
+        with pytest.raises(KernelError, match="no variant"):
+            reg.get("axpy").variant_for("gpu")
+
+
+class TestDefaultRegistry:
+    def test_blas_kernels_present(self):
+        reg = default_kernel_registry()
+        for name in ("dgemm", "dvecadd", "dscal", "daxpy", "dpotrf"):
+            assert name in reg, name
+
+    def test_dgemm_variants_cover_paper_architectures(self):
+        kernel = default_kernel_registry().get("dgemm")
+        assert {"x86_64", "x86", "gpu", "spe"} <= set(kernel.architectures())
+        assert kernel.variant_for("gpu").provenance == "CUBLAS-3.2"
+        assert kernel.variant_for("x86_64").provenance == "GotoBLAS2-1.13"
+
+    def test_dgemm_cost_metadata(self):
+        kernel = default_kernel_registry().get("dgemm")
+        assert kernel.flops((8192, 8192, 8192)) == 2 * 8192**3
+        assert kernel.bytes_touched((100, 100, 100)) == 8 * (
+            100 * 100 + 100 * 100 + 2 * 100 * 100
+        )
+
+    def test_singleton(self):
+        assert default_kernel_registry() is default_kernel_registry()

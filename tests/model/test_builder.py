@@ -1,0 +1,102 @@
+"""Unit tests for the fluent PlatformBuilder."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.builder import PlatformBuilder, split_quantity_string
+
+
+class TestBuilder:
+    def test_basic_chain(self, small_platform):
+        assert small_platform.name == "small"
+        assert small_platform.pu("cpu").quantity == 2
+        assert small_platform.pu("gpu0").architecture == "gpu"
+        assert len(small_platform.interconnects()) == 2
+
+    def test_memory_size_property(self, small_platform):
+        region = small_platform.find_memory_region("main")
+        assert region.size_bytes == 4 * 1024**3
+
+    def test_interconnect_metrics(self, small_platform):
+        ic = next(
+            ic for ic in small_platform.interconnects() if ic.type == "PCIe"
+        )
+        assert ic.bandwidth_bytes_per_s == pytest.approx(5.7 * 1024**3)
+        assert ic.latency_s == pytest.approx(15e-6)
+
+    def test_hybrid_scoping(self):
+        p = (
+            PlatformBuilder("h")
+            .master("m")
+            .hybrid("node")
+            .worker("w", architecture="gpu")
+            .end()
+            .worker("w2", architecture="x86_64")
+            .build()
+        )
+        assert p.pu("w").parent.id == "node"
+        assert p.pu("w2").parent.id == "m"
+
+    def test_build_validates(self):
+        builder = PlatformBuilder("bad").master("m").hybrid("h")
+        # childless hybrid is a violation
+        with pytest.raises(Exception):
+            builder.build()
+        # but can be skipped
+        platform = (
+            PlatformBuilder("bad2").master("m").hybrid("h").build(validate=False)
+        )
+        assert platform.pu("h") is not None
+
+    def test_worker_requires_scope(self):
+        with pytest.raises(ModelError):
+            PlatformBuilder("x").worker("w")
+
+    def test_hybrid_requires_scope(self):
+        with pytest.raises(ModelError):
+            PlatformBuilder("x").hybrid("h")
+
+    def test_master_only_top_level(self):
+        builder = PlatformBuilder("x").master("m")
+        with pytest.raises(ModelError, match="top level"):
+            builder.master("m2")
+
+    def test_end_without_scope(self):
+        with pytest.raises(ModelError):
+            PlatformBuilder("x").end()
+
+    def test_two_masters_via_end(self):
+        p = (
+            PlatformBuilder("x")
+            .master("m1").worker("w1", architecture="x86_64").end()
+            .master("m2").worker("w2", architecture="x86_64")
+            .build()
+        )
+        assert len(p.masters) == 2
+
+    def test_prop_on_current(self):
+        p = (
+            PlatformBuilder("x")
+            .master("m")
+            .prop("RUNTIME", "starpu")
+            .worker("w")
+            .build()
+        )
+        assert p.pu("m").descriptor.get_str("RUNTIME") == "starpu"
+
+    def test_groups_applied(self, small_platform):
+        assert small_platform.pu("cpu").groups == ["cpus", "executionset01"]
+
+
+class TestSplitQuantity:
+    @pytest.mark.parametrize("text,expected", [
+        ("48 GB", (48.0, "GB")),
+        ("5.7 GB/s", (5.7, "GB/s")),
+        ("7", (7.0, None)),
+    ])
+    def test_ok(self, text, expected):
+        assert split_quantity_string(text) == expected
+
+    def test_bad(self):
+        with pytest.raises(ModelError):
+            split_quantity_string("1 2 3")

@@ -1,0 +1,195 @@
+"""Unit tests for PU/MemoryRegion/Interconnect entities."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.entities import (
+    Hybrid,
+    Interconnect,
+    Master,
+    MemoryRegion,
+    Worker,
+)
+from repro.model.properties import Property, PropertyValue
+
+
+class TestHierarchy:
+    def test_master_controls_worker(self):
+        m = Master("m")
+        w = m.add_child(Worker("w"))
+        assert w.parent is m
+        assert m.children == (w,)
+
+    def test_worker_cannot_control(self):
+        w = Worker("w")
+        with pytest.raises(ModelError, match="cannot control"):
+            w.add_child(Worker("w2"))
+
+    def test_hybrid_is_inner_node(self):
+        m = Master("m")
+        h = m.add_child(Hybrid("h"))
+        w = h.add_child(Worker("w"))
+        assert list(m.walk()) == [m, h, w]
+        assert w.depth == 2 and h.depth == 1 and m.depth == 0
+
+    def test_single_controller(self):
+        m1, m2 = Master("m1"), Master("m2")
+        w = m1.add_child(Worker("w"))
+        with pytest.raises(ModelError, match="already controlled"):
+            m2.add_child(w)
+
+    def test_cycle_rejected(self):
+        m = Master("m")
+        h1 = m.add_child(Hybrid("h1"))
+        h2 = h1.add_child(Hybrid("h2"))
+        # the root has no controller, so only the cycle check can stop this
+        with pytest.raises(ModelError, match="cycle"):
+            h2.add_child(m)
+
+    def test_reparenting_rejected(self):
+        m = Master("m")
+        h1 = m.add_child(Hybrid("h1"))
+        h2 = h1.add_child(Hybrid("h2"))
+        with pytest.raises(ModelError, match="already controlled"):
+            h2.add_child(h1)
+
+    def test_self_child_rejected(self):
+        h = Hybrid("h")
+        with pytest.raises(ModelError, match="cycle"):
+            h.add_child(h)
+
+    def test_remove_child(self):
+        m = Master("m")
+        w = m.add_child(Worker("w"))
+        m.remove_child(w)
+        assert w.parent is None and m.children == ()
+        with pytest.raises(ModelError):
+            m.remove_child(w)
+
+    def test_ancestors_and_is_ancestor_of(self):
+        m = Master("m")
+        h = m.add_child(Hybrid("h"))
+        w = h.add_child(Worker("w"))
+        assert list(w.ancestors()) == [h, m]
+        assert m.is_ancestor_of(w)
+        assert not w.is_ancestor_of(m)
+
+    def test_leaves(self):
+        m = Master("m")
+        h = m.add_child(Hybrid("h"))
+        w1 = h.add_child(Worker("w1"))
+        w2 = m.add_child(Worker("w2"))
+        assert list(m.leaves()) == [w1, w2]
+
+    def test_walk_preorder(self):
+        m = Master("m")
+        a = m.add_child(Hybrid("a"))
+        b = m.add_child(Worker("b"))
+        c = a.add_child(Worker("c"))
+        assert [p.id for p in m.walk()] == ["m", "a", "c", "b"]
+
+
+class TestQuantity:
+    def test_quantity_validation(self):
+        with pytest.raises(ModelError):
+            Worker("w", quantity=0)
+
+    def test_expand_single(self):
+        w = Worker("w")
+        assert w.expand() == [w]
+
+    def test_expand_many_shares_descriptor(self):
+        w = Worker("w", quantity=4, groups=["g"])
+        w.descriptor.add(Property("ARCHITECTURE", "x86_64"))
+        instances = w.expand()
+        assert len(instances) == 4
+        assert [i.id for i in instances] == ["w#0", "w#1", "w#2", "w#3"]
+        assert all(i.architecture == "x86_64" for i in instances)
+        assert all(i.quantity == 1 for i in instances)
+        assert all(i.in_group("g") for i in instances)
+
+
+class TestAttachments:
+    def test_memory_region_ownership(self):
+        m = Master("m")
+        region = m.add_memory_region(MemoryRegion("mem"))
+        assert region.owner is m
+        with pytest.raises(ModelError, match="already owned"):
+            Master("m2").add_memory_region(region)
+
+    def test_memory_region_size(self):
+        region = MemoryRegion("mem")
+        prop = Property("SIZE", PropertyValue("48", "GB"))
+        region.descriptor.add(prop)
+        assert region.size_bytes == 48 * 1024**3
+
+    def test_memory_region_size_absent(self):
+        assert MemoryRegion("mem").size_bytes is None
+
+    def test_interconnect_endpoints(self):
+        ic = Interconnect("a", "b", type="PCIe")
+        assert ic.endpoints() == ("a", "b")
+        assert ic.connects("a") and ic.connects("b") and not ic.connects("c")
+
+    def test_interconnect_metrics(self):
+        ic = Interconnect("a", "b")
+        ic.descriptor.add(Property("BANDWIDTH", PropertyValue("5.7", "GB/s")))
+        ic.descriptor.add(Property("LATENCY", PropertyValue("15", "us")))
+        assert ic.bandwidth_bytes_per_s == pytest.approx(5.7 * 1024**3)
+        assert ic.latency_s == pytest.approx(15e-6)
+
+    def test_interconnect_defaults_bidirectional(self):
+        assert Interconnect("a", "b").bidirectional is True
+        assert Interconnect("a", "b", bidirectional=False).bidirectional is False
+
+
+class TestConvenience:
+    def test_architecture_shortcut(self):
+        w = Worker("w")
+        assert w.architecture is None
+        w.descriptor.add(Property("ARCHITECTURE", "gpu"))
+        assert w.architecture == "gpu"
+
+    def test_groups_deduplicated(self):
+        w = Worker("w", groups=["a", "a", "b"])
+        assert w.groups == ["a", "b"]
+        w.add_group("a")
+        assert w.groups == ["a", "b"]
+
+    def test_matches_properties(self):
+        w = Worker("w")
+        w.descriptor.add(Property("ARCHITECTURE", "gpu"))
+        w.descriptor.add(Property("MODEL", "GTX 480"))
+        assert w.matches_properties({"ARCHITECTURE": "gpu"})
+        assert w.matches_properties({"ARCHITECTURE": "gpu", "MODEL": "GTX 480"})
+        assert not w.matches_properties({"ARCHITECTURE": "x86"})
+        assert not w.matches_properties({"MISSING": "x"})
+
+    def test_copy_deep_subtree(self):
+        m = Master("m")
+        m.descriptor.add(Property("A", "1"))
+        h = m.add_child(Hybrid("h"))
+        h.add_child(Worker("w"))
+        m.add_memory_region(MemoryRegion("mem"))
+        m.add_interconnect(Interconnect("m", "h"))
+
+        clone = m.copy()
+        assert clone is not m
+        assert [p.id for p in clone.walk()] == ["m", "h", "w"]
+        assert clone.parent is None
+        assert len(clone.memory_regions) == 1
+        assert len(clone.interconnects) == 1
+        # mutating the clone leaves the original untouched
+        clone.descriptor.find("A")
+        m.descriptor.remove("A")
+        assert clone.descriptor.get_str("A") == "1"
+
+    def test_auto_ids_unique(self):
+        ids = {Worker().id for _ in range(50)}
+        assert len(ids) == 50
+
+    def test_repr_mentions_arch_and_quantity(self):
+        w = Worker("w", quantity=8)
+        w.descriptor.add(Property("ARCHITECTURE", "x86_64"))
+        text = repr(w)
+        assert "x86_64" in text and "8" in text

@@ -1,0 +1,88 @@
+"""Unit tests for LogicGroupAttribute handling."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.builder import PlatformBuilder
+from repro.model.groups import GroupRegistry, valid_group_name
+
+
+def platform():
+    return (
+        PlatformBuilder("g")
+        .master("m", groups=("hosts",))
+        .worker("a", architecture="x86_64", groups=("cpus", "all"))
+        .worker("b", architecture="gpu", groups=("gpus", "all"))
+        .worker("c", architecture="gpu", groups=("gpus",))
+        .build(validate=False)
+    )
+
+
+class TestGroupRegistry:
+    def test_names(self):
+        reg = GroupRegistry(platform())
+        assert reg.names() == ["all", "cpus", "gpus", "hosts"]
+
+    def test_members(self):
+        reg = GroupRegistry(platform())
+        assert reg.member_ids("gpus") == ["b", "c"]
+        assert reg.member_ids("hosts") == ["m"]
+
+    def test_unknown_group(self):
+        reg = GroupRegistry(platform())
+        with pytest.raises(ModelError, match="unknown execution group"):
+            reg.members("nope")
+
+    def test_has_and_contains(self):
+        reg = GroupRegistry(platform())
+        assert reg.has("cpus") and "cpus" in reg and "nope" not in reg
+        assert len(reg) == 4
+
+    def test_union(self):
+        reg = GroupRegistry(platform())
+        ids = [pu.id for pu in reg.union(["cpus", "gpus"])]
+        assert ids == ["a", "b", "c"]
+
+    def test_union_deduplicates(self):
+        reg = GroupRegistry(platform())
+        ids = [pu.id for pu in reg.union(["all", "gpus"])]
+        assert ids == ["a", "b", "c"]
+
+    def test_intersection(self):
+        reg = GroupRegistry(platform())
+        ids = [pu.id for pu in reg.intersection(["all", "gpus"])]
+        assert ids == ["b"]
+
+    def test_intersection_empty_input(self):
+        assert GroupRegistry(platform()).intersection([]) == []
+
+    def test_groups_of(self):
+        reg = GroupRegistry(platform())
+        assert reg.groups_of("b") == ["all", "gpus"]
+        assert reg.groups_of("ghost") == []
+
+    def test_refresh_after_mutation(self):
+        p = platform()
+        reg = GroupRegistry(p)
+        p.pu("c").add_group("special")
+        assert not reg.has("special")
+        reg.refresh()
+        assert reg.member_ids("special") == ["c"]
+
+    def test_invalid_group_name_rejected(self):
+        p = platform()
+        p.pu("c").groups.append("bad name!")
+        with pytest.raises(ModelError, match="invalid group name"):
+            GroupRegistry(p)
+
+
+@pytest.mark.parametrize("name,ok", [
+    ("executionset01", True),
+    ("all-accel", True),
+    ("_x", True),
+    ("9lives", False),
+    ("bad name", False),
+    ("", False),
+])
+def test_valid_group_name(name, ok):
+    assert valid_group_name(name) is ok

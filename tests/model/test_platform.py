@@ -1,0 +1,86 @@
+"""Unit tests for the Platform container."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.entities import Hybrid, Master, MemoryRegion, Worker
+from repro.model.platform import Platform
+
+
+def build():
+    m = Master("m")
+    h = m.add_child(Hybrid("h"))
+    h.add_child(Worker("w1", quantity=4))
+    m.add_child(Worker("w2"))
+    m.add_memory_region(MemoryRegion("mem"))
+    return Platform("p", [m])
+
+
+class TestConstruction:
+    def test_only_masters_at_top(self):
+        with pytest.raises(ModelError, match="Master"):
+            Platform("p", [Worker("w")])
+
+    def test_controlled_master_rejected(self):
+        m = Master("m1")
+        # manually force a Master below another (bypassing class checks is
+        # not possible via the API, so simulate by parenting a Hybrid)
+        m2 = Master("m2")
+        m2.parent = m  # simulate a corrupted document
+        with pytest.raises(ModelError, match="controller"):
+            Platform("p", [m2])
+
+    def test_multiple_masters_coexist(self):
+        # §III-A: Masters "may co-exist with other Masters"
+        p = Platform("p", [Master("m1"), Master("m2")])
+        assert len(p.masters) == 2
+
+
+class TestQueries:
+    def test_walk_covers_all(self):
+        p = build()
+        assert [pu.id for pu in p.walk()] == ["m", "h", "w1", "w2"]
+
+    def test_kind_filters(self):
+        p = build()
+        assert [pu.id for pu in p.workers()] == ["w1", "w2"]
+        assert [pu.id for pu in p.hybrids()] == ["h"]
+
+    def test_find_pu(self):
+        p = build()
+        assert p.find_pu("w1").id == "w1"
+        assert p.find_pu("nope") is None
+        with pytest.raises(ModelError):
+            p.pu("nope")
+
+    def test_memory_and_interconnect_lookup(self):
+        p = build()
+        assert p.find_memory_region("mem").id == "mem"
+        assert p.find_memory_region("nope") is None
+        assert p.find_interconnect("nope") is None
+
+    def test_total_pu_count_expansion(self):
+        p = build()
+        assert p.total_pu_count(expand_quantity=False) == 4
+        assert p.total_pu_count() == 7  # w1 counts 4
+
+    def test_architectures(self, gpgpu_platform):
+        assert gpgpu_platform.architectures() == {"x86_64", "gpu"}
+
+    def test_groups_table(self, gpgpu_platform):
+        groups = gpgpu_platform.groups()
+        assert set(groups["gpus"]) == {
+            gpgpu_platform.pu("gpu0"),
+            gpgpu_platform.pu("gpu1"),
+        }
+        assert [pu.id for pu in gpgpu_platform.group_members("cpus")] == ["cpu"]
+
+    def test_copy_independent(self):
+        p = build()
+        c = p.copy()
+        assert c.total_pu_count() == p.total_pu_count()
+        c.masters[0].remove_child(c.pu("w2"))
+        assert p.find_pu("w2") is not None
+
+    def test_validate_delegates(self, gpgpu_platform):
+        gpgpu_platform.validate()  # should not raise

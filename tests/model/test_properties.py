@@ -1,0 +1,235 @@
+"""Unit tests for property/descriptor primitives."""
+
+import pytest
+
+from repro.errors import PropertyError
+from repro.model.properties import (
+    Descriptor,
+    ICDescriptor,
+    MRDescriptor,
+    Property,
+    PropertyValue,
+    PUDescriptor,
+    parse_quantity,
+)
+
+
+class TestPropertyValue:
+    def test_string_storage(self):
+        v = PropertyValue("gpu")
+        assert v.as_str() == "gpu"
+        assert v.unit is None
+
+    def test_int_accessor(self):
+        assert PropertyValue("15").as_int() == 15
+
+    def test_int_accessor_rejects_non_int(self):
+        with pytest.raises(PropertyError):
+            PropertyValue("fifteen").as_int()
+
+    def test_float_accessor(self):
+        assert PropertyValue("2.66").as_float() == pytest.approx(2.66)
+
+    @pytest.mark.parametrize("text,expected", [
+        ("true", True), ("1", True), ("yes", True),
+        ("false", False), ("0", False), ("no", False),
+        ("TRUE", True), ("False", False),
+    ])
+    def test_bool_accessor(self, text, expected):
+        assert PropertyValue(text).as_bool() is expected
+
+    def test_bool_accessor_rejects_garbage(self):
+        with pytest.raises(PropertyError):
+            PropertyValue("maybe").as_bool()
+
+    def test_quantity_with_unit(self):
+        # Listing 2: GLOBAL_MEM_SIZE 1572864 kB == 1.5 GiB
+        v = PropertyValue("1572864", unit="kB")
+        assert v.as_quantity() == 1572864 * 1024
+
+    def test_quantity_without_unit(self):
+        assert PropertyValue("42").as_quantity() == 42.0
+
+    def test_numeric_constructor(self):
+        assert PropertyValue(15).as_int() == 15
+        assert PropertyValue(2.5).as_float() == 2.5
+
+    def test_bool_constructor_normalizes(self):
+        assert PropertyValue(True).as_bool() is True
+        assert PropertyValue(False).text == "false"
+
+    def test_equality_with_string(self):
+        assert PropertyValue("gpu") == "gpu"
+        assert PropertyValue("gpu", unit="kB") != "gpu"
+
+    def test_equality_and_hash(self):
+        a = PropertyValue("48", "kB")
+        b = PropertyValue("48", "kB")
+        assert a == b and hash(a) == hash(b)
+        assert a != PropertyValue("48", "MB")
+
+    def test_str_rendering(self):
+        assert str(PropertyValue("48", "kB")) == "48 kB"
+        assert str(PropertyValue("x86")) == "x86"
+
+
+class TestParseQuantity:
+    @pytest.mark.parametrize("value,unit,expected", [
+        ("1", "kB", 1024.0),
+        ("1", "MB", 1024.0**2),
+        ("1", "GB", 1024.0**3),
+        ("2.66", "GHz", 2.66e9),
+        ("5.7", "GB/s", 5.7 * 1024**3),
+        ("15", "us", 15e-6),
+        ("100", "ns", 100e-9),
+        ("7", None, 7.0),
+    ])
+    def test_scaling(self, value, unit, expected):
+        assert parse_quantity(value, unit) == pytest.approx(expected)
+
+    def test_unknown_unit(self):
+        with pytest.raises(PropertyError, match="unknown unit"):
+            parse_quantity("1", "parsec")
+
+    def test_non_numeric(self):
+        with pytest.raises(PropertyError, match="not numeric"):
+            parse_quantity("large", "kB")
+
+
+class TestProperty:
+    def test_basic(self):
+        p = Property("ARCHITECTURE", "x86")
+        assert p.name == "ARCHITECTURE"
+        assert p.fixed is True
+        assert p.type_name is None
+        assert p.namespace is None
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(PropertyError):
+            Property("9BAD NAME", "x")
+
+    def test_fixed_property_immutable(self):
+        p = Property("ARCH", "x86", fixed=True)
+        with pytest.raises(PropertyError, match="fixed"):
+            p.value = "gpu"
+
+    def test_unfixed_property_instantiable(self):
+        # §III-B: unfixed values are editable by later toolchain stages
+        p = Property("DEVICE_NAME", "", fixed=False)
+        p.instantiate("GeForce GTX 480")
+        assert p.value.as_str() == "GeForce GTX 480"
+
+    def test_namespace_from_type(self):
+        p = Property("DEVICE_NAME", "x", type_name="ocl:oclDevicePropertyType")
+        assert p.namespace == "ocl"
+
+    def test_copy_is_independent(self):
+        p = Property("X", "1", fixed=False)
+        q = p.copy()
+        q.instantiate("2")
+        assert p.value.as_str() == "1"
+
+    def test_equality(self):
+        assert Property("A", "1") == Property("A", "1")
+        assert Property("A", "1") != Property("A", "2")
+        assert Property("A", "1") != Property("A", "1", fixed=False)
+
+
+class TestDescriptor:
+    def test_add_and_get(self):
+        d = Descriptor()
+        d.add(Property("ARCH", "gpu"))
+        assert d.get_str("ARCH") == "gpu"
+        assert "ARCH" in d
+        assert len(d) == 1
+
+    def test_duplicate_same_type_rejected(self):
+        d = Descriptor([Property("A", "1")])
+        with pytest.raises(PropertyError, match="duplicate"):
+            d.add(Property("A", "2"))
+
+    def test_same_name_different_type_allowed(self):
+        d = Descriptor([Property("NAME", "base")])
+        d.add(Property("NAME", "ext", type_name="ocl:oclDevicePropertyType"))
+        assert len(d) == 2
+        assert d.find("NAME", type_name="ocl:oclDevicePropertyType").value == "ext"
+
+    def test_typed_getters_with_defaults(self):
+        d = Descriptor([Property("N", "8")])
+        assert d.get_int("N") == 8
+        assert d.get_int("MISSING", 3) == 3
+        assert d.get_float("MISSING") is None
+        assert d.get_quantity("MISSING", 1.5) == 1.5
+
+    def test_set_adds_or_instantiates(self):
+        d = Descriptor()
+        d.set("X", "1", fixed=False)
+        d.set("X", "2")
+        assert d.get_str("X") == "2"
+
+    def test_set_fixed_raises_on_reassign(self):
+        d = Descriptor()
+        d.set("X", "1")  # fixed by default
+        with pytest.raises(PropertyError):
+            d.set("X", "2")
+
+    def test_remove(self):
+        d = Descriptor([Property("A", "1"), Property("B", "2")])
+        d.remove("A")
+        assert "A" not in d
+        with pytest.raises(PropertyError):
+            d.remove("A")
+
+    def test_unfixed_listing(self):
+        d = Descriptor([
+            Property("A", "1"),
+            Property("B", "", fixed=False),
+        ])
+        assert [p.name for p in d.unfixed()] == ["B"]
+
+    def test_by_namespace(self):
+        d = Descriptor([
+            Property("A", "1"),
+            Property("B", "2", type_name="ocl:x"),
+            Property("C", "3", type_name="cuda:y"),
+        ])
+        assert [p.name for p in d.by_namespace("ocl")] == ["B"]
+        assert [p.name for p in d.by_namespace(None)] == ["A"]
+
+    def test_merge_instantiates_unfixed(self):
+        # the late-binding flow: composition leaves slots, runtime fills them
+        base = Descriptor([Property("DEVICE_NAME", "", fixed=False)])
+        runtime = Descriptor([Property("DEVICE_NAME", "GTX 480", fixed=False)])
+        base.merge(runtime)
+        assert base.get_str("DEVICE_NAME") == "GTX 480"
+
+    def test_merge_appends_new(self):
+        base = Descriptor([Property("A", "1")])
+        base.merge(Descriptor([Property("B", "2")]))
+        assert base.names() == ["A", "B"]
+
+    def test_merge_keeps_fixed(self):
+        base = Descriptor([Property("A", "1")])
+        base.merge(Descriptor([Property("A", "other")]))
+        assert base.get_str("A") == "1"
+
+    def test_copy_deep(self):
+        d = PUDescriptor([Property("A", "1", fixed=False)])
+        c = d.copy()
+        c.find("A").instantiate("2")
+        assert d.get_str("A") == "1"
+        assert isinstance(c, PUDescriptor)
+
+    def test_iteration_order_stable(self):
+        names = [f"P{i}" for i in range(10)]
+        d = Descriptor([Property(n, "v") for n in names])
+        assert d.names() == names
+
+    def test_xml_tags(self):
+        assert PUDescriptor.xml_tag == "PUDescriptor"
+        assert MRDescriptor.xml_tag == "MRDescriptor"
+        assert ICDescriptor.xml_tag == "ICDescriptor"
+
+    def test_add_non_property_rejected(self):
+        with pytest.raises(PropertyError):
+            Descriptor().add("not a property")

@@ -1,0 +1,130 @@
+"""Unit tests for structural validation (paper §III-A rules)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.entities import Hybrid, Interconnect, Master, MemoryRegion, Worker
+from repro.model.platform import Platform
+from repro.model.validation import collect_violations, validate_platform
+
+
+def make_valid():
+    m = Master("m")
+    h = m.add_child(Hybrid("h"))
+    h.add_child(Worker("w1"))
+    m.add_child(Worker("w2"))
+    m.add_interconnect(Interconnect("m", "w2", id="ic1"))
+    return Platform("p", [m])
+
+
+class TestValidPlatforms:
+    def test_valid_passes(self):
+        assert collect_violations(make_valid()) == []
+        validate_platform(make_valid())
+
+    def test_shipped_descriptors_valid(self, gpgpu_platform, cell_platform,
+                                       cluster_platform, cpu_platform):
+        for platform in (gpgpu_platform, cell_platform, cluster_platform,
+                         cpu_platform):
+            validate_platform(platform)
+
+
+class TestPUClassRules:
+    def test_uncontrolled_worker(self):
+        # bypass Platform.add_master guards by corrupting after the fact
+        m = Master("m")
+        w = Worker("w")
+        m._children.append(w)  # child without parent backlink
+        p = Platform("p", [m])
+        violations = collect_violations(p)
+        assert any("uncontrolled" in v for v in violations)
+
+    def test_worker_with_children_flagged(self):
+        m = Master("m")
+        w = m.add_child(Worker("w"))
+        w._children.append(Worker("sub"))  # corrupt: workers are leaves
+        w._children[0].parent = w
+        violations = collect_violations(Platform("p", [m]))
+        assert any("leaves" in v for v in violations)
+
+    def test_master_below_master_flagged(self):
+        m = Master("m")
+        inner = Master("inner")
+        inner.parent = m
+        m._children.append(inner)
+        violations = collect_violations(Platform("p", [m]))
+        assert any("highest level" in v for v in violations)
+
+    def test_childless_hybrid_flagged(self):
+        m = Master("m")
+        m.add_child(Hybrid("h"))  # no children below the hybrid
+        violations = collect_violations(Platform("p", [m]))
+        assert any("Hybrid" in v and "no controlled" in v for v in violations)
+
+    def test_validation_error_carries_violations(self):
+        m = Master("m")
+        m.add_child(Hybrid("h"))
+        with pytest.raises(ValidationError) as info:
+            validate_platform(Platform("p", [m]))
+        assert info.value.violations
+
+
+class TestIds:
+    def test_duplicate_pu_ids(self):
+        m = Master("m")
+        m.add_child(Worker("dup"))
+        m.add_child(Worker("dup"))
+        violations = collect_violations(Platform("p", [m]))
+        assert any("duplicate PU id" in v for v in violations)
+
+    def test_duplicate_memory_region_ids(self):
+        m = Master("m")
+        m.add_child(Worker("w"))
+        m.add_memory_region(MemoryRegion("mem"))
+        m.pu_extra = None
+        w = m.children[0]
+        w.add_memory_region(MemoryRegion("mem"))
+        violations = collect_violations(Platform("p", [m]))
+        assert any("duplicate MemoryRegion id" in v for v in violations)
+
+    def test_duplicate_interconnect_ids(self):
+        m = Master("m")
+        m.add_child(Worker("w"))
+        m.add_interconnect(Interconnect("m", "w", id="ic"))
+        m.add_interconnect(Interconnect("m", "w", id="ic"))
+        violations = collect_violations(Platform("p", [m]))
+        assert any("duplicate Interconnect id" in v for v in violations)
+
+
+class TestInterconnectRules:
+    def test_unknown_endpoint(self):
+        m = Master("m")
+        m.add_child(Worker("w"))
+        m.add_interconnect(Interconnect("m", "ghost"))
+        violations = collect_violations(Platform("p", [m]))
+        assert any("unknown PU" in v for v in violations)
+
+    def test_out_of_scope_endpoint(self):
+        # Listing-1 scoping: links declared under a PU must stay inside
+        # that PU's subtree
+        m = Master("m")
+        h = m.add_child(Hybrid("h"))
+        h.add_child(Worker("w1"))
+        m.add_child(Worker("w2"))
+        h.add_interconnect(Interconnect("h", "w2"))  # w2 outside h's subtree
+        violations = collect_violations(Platform("p", [m]))
+        assert any("outside that subtree" in v for v in violations)
+
+    def test_self_loop(self):
+        m = Master("m")
+        m.add_child(Worker("w"))
+        m.add_interconnect(Interconnect("w", "w"))
+        violations = collect_violations(Platform("p", [m]))
+        assert any("self-loop" in v for v in violations)
+
+    def test_multiple_violations_all_reported(self):
+        m = Master("m")
+        m.add_child(Hybrid("h"))  # childless hybrid
+        m.add_interconnect(Interconnect("m", "ghost"))  # unknown endpoint
+        violations = collect_violations(Platform("p", [m]))
+        assert len(violations) >= 2

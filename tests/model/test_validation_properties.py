@@ -1,0 +1,112 @@
+"""Property-based tests for the machine model (FIG2 rules).
+
+Strategy: generate random control hierarchies through the *public* builder
+API (which only produces legal shapes) and assert the validator accepts
+them; then apply random single corruptions and assert the validator
+rejects them.  This checks that the §III-A rules are enforced exactly —
+no false positives on legal trees, no false negatives on broken ones.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.model.entities import Hybrid, Master, Worker
+from repro.model.platform import Platform
+from repro.model.validation import collect_violations
+
+
+@st.composite
+def legal_platforms(draw):
+    """Random legal platform: 1-3 Masters, Hybrids at inner nodes,
+    Workers at leaves, bounded depth/fanout."""
+    n_masters = draw(st.integers(1, 3))
+    counter = [0]
+
+    def fresh_id(prefix):
+        counter[0] += 1
+        return f"{prefix}{counter[0]}"
+
+    def grow(parent, depth):
+        n_children = draw(st.integers(0 if depth > 0 else 1, 3))
+        for _ in range(n_children):
+            make_hybrid = depth < 2 and draw(st.booleans())
+            if make_hybrid:
+                h = parent.add_child(Hybrid(fresh_id("h")))
+                # hybrids must control something
+                h.add_child(Worker(fresh_id("w"), quantity=draw(st.integers(1, 4))))
+                grow(h, depth + 1)
+            else:
+                parent.add_child(
+                    Worker(fresh_id("w"), quantity=draw(st.integers(1, 4)))
+                )
+
+    masters = []
+    for _ in range(n_masters):
+        m = Master(fresh_id("m"))
+        grow(m, 0)
+        masters.append(m)
+    return Platform("random", masters)
+
+
+@given(legal_platforms())
+@settings(max_examples=60, deadline=None)
+def test_legal_platforms_validate(platform):
+    assert collect_violations(platform) == []
+
+
+@given(legal_platforms())
+@settings(max_examples=60, deadline=None)
+def test_pu_count_matches_walk(platform):
+    walked = list(platform.walk())
+    assert len(walked) == platform.total_pu_count(expand_quantity=False)
+    assert platform.total_pu_count() >= len(walked)
+    # every non-master has a parent, every master has none
+    for pu in walked:
+        if isinstance(pu, Master):
+            assert pu.parent is None
+        else:
+            assert pu.parent is not None
+
+
+@given(legal_platforms(), st.randoms())
+@settings(max_examples=60, deadline=None)
+def test_corrupted_platforms_rejected(platform, rand):
+    """Apply one corruption; the validator must flag it."""
+    pus = list(platform.walk())
+    corruption = rand.choice(["orphan_worker", "nested_master", "dup_id"])
+
+    if corruption == "orphan_worker":
+        victim_parent = rand.choice(
+            [pu for pu in pus if pu.children] or [platform.masters[0]]
+        )
+        if victim_parent.children:
+            child = victim_parent.children[0]
+            child.parent = None  # orphan it but keep it in the tree
+        else:
+            w = Worker("orphan")
+            victim_parent._children.append(w)
+    elif corruption == "nested_master":
+        host = rand.choice([pu for pu in pus if pu.children] or [platform.masters[0]])
+        rogue = Master("rogue")
+        rogue.parent = host
+        host._children.append(rogue)
+    else:  # dup_id
+        if len(pus) < 2:
+            host = platform.masters[0]
+            host.add_child(Worker(host.id))  # child with the master's id
+        else:
+            a, b = pus[0], pus[-1]
+            b.id = a.id
+
+    assert collect_violations(platform) != []
+
+
+@given(legal_platforms())
+@settings(max_examples=40, deadline=None)
+def test_copy_preserves_validity_and_shape(platform):
+    clone = platform.copy()
+    assert collect_violations(clone) == []
+    assert [pu.id for pu in clone.walk()] == [pu.id for pu in platform.walk()]
+    assert [pu.kind for pu in clone.walk()] == [pu.kind for pu in platform.walk()]

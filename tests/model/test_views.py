@@ -1,0 +1,169 @@
+"""Unit tests for co-existing logical platform views (paper §II)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.model.views import PHYSICAL_ID_PROP, LogicalView, ViewRegistry
+from repro.pdl.catalog import load_platform
+from repro.pdl.writer import write_pdl
+
+
+@pytest.fixture
+def physical():
+    return load_platform("xeon_x5550_2gpu")
+
+
+class TestLogicalView:
+    def test_opencl_host_device_view(self, physical):
+        """The same box seen through the OpenCL host-device model:
+        host Master, GPU devices only (CPUs invisible)."""
+        view = (
+            LogicalView("opencl", physical)
+            .master("*[@id=host]")
+            .workers("Worker[ARCHITECTURE=gpu]")
+            .build()
+        )
+        assert view.name == "xeon-x5550-2gpu::opencl"
+        assert [pu.id for pu in view.workers()] == ["gpu0", "gpu1"]
+        assert view.find_pu("cpu") is None
+
+    def test_starpu_flat_pool_view(self, physical):
+        view = (
+            LogicalView("starpu", physical)
+            .master("*[@id=host]")
+            .workers("Worker")
+            .build()
+        )
+        assert {pu.id for pu in view.workers()} == {"cpu", "gpu0", "gpu1"}
+        assert view.total_pu_count() == 11
+
+    def test_physical_backlink(self, physical):
+        builder = LogicalView("v", physical)
+        view = builder.master("*[@id=host]").workers(
+            "Worker[ARCHITECTURE=gpu]"
+        ).build()
+        gpu0 = view.pu("gpu0")
+        assert gpu0.descriptor.get_str(PHYSICAL_ID_PROP) == "gpu0"
+        assert builder.physical_of("gpu0") is physical.pu("gpu0")
+
+    def test_properties_and_groups_copied(self, physical):
+        view = (
+            LogicalView("v", physical)
+            .master("*[@id=host]")
+            .workers("Worker[ARCHITECTURE=gpu]")
+            .build()
+        )
+        gpu0 = view.pu("gpu0")
+        assert gpu0.descriptor.get_str("MODEL") == "GeForce GTX 480"
+        assert "gpus" in gpu0.groups
+
+    def test_views_are_real_pdl_platforms(self, physical):
+        view = (
+            LogicalView("v", physical)
+            .master("*[@id=host]")
+            .workers("Worker")
+            .build()
+        )
+        text = write_pdl(view)
+        assert PHYSICAL_ID_PROP in text
+        from repro.pdl.parser import parse_pdl
+
+        assert parse_pdl(text).total_pu_count() == view.total_pu_count()
+
+    def test_views_drive_the_runtime(self, physical):
+        from repro.runtime.engine import RuntimeEngine
+        from repro.experiments.workloads import submit_tiled_dgemm
+
+        gpu_only = (
+            LogicalView("accel", physical)
+            .master("*[@id=host]")
+            .workers("Worker[ARCHITECTURE=gpu]")
+            .build()
+        )
+        engine = RuntimeEngine(gpu_only)
+        submit_tiled_dgemm(engine, 2048, 512)
+        result = engine.run()
+        assert result.trace.tasks_per_architecture() == {"gpu": 64}
+
+    def test_hierarchical_view(self, physical):
+        """Group the flat machine into a synthetic NUMA-style hierarchy."""
+        view = (
+            LogicalView("mpi-x", physical)
+            .master("*[@id=host]")
+            .hybrid("Worker[@id=cpu]", id="numa0")
+            .workers("Worker[ARCHITECTURE=gpu]")
+            .end()
+            .build()
+        )
+        assert view.pu("numa0").kind == "Hybrid"
+        assert view.pu("gpu0").parent.id == "numa0"
+
+    def test_master_selector_must_be_unique(self, physical):
+        with pytest.raises(ModelError, match="need exactly 1"):
+            LogicalView("bad", physical).master("Worker")
+
+    def test_physical_pu_used_once(self, physical):
+        view = (
+            LogicalView("v", physical)
+            .master("*[@id=host]")
+            .workers("Worker[ARCHITECTURE=gpu]")
+        )
+        # selecting gpus again silently deduplicates
+        view.workers("Worker[@group=gpus]")
+        assert len(view.build().workers()) == 2
+
+    def test_empty_worker_selector(self, physical):
+        with pytest.raises(ModelError, match="matched nothing"):
+            LogicalView("v", physical).master("*[@id=host]").workers(
+                "Worker[ARCHITECTURE=spe]"
+            )
+
+    def test_scope_errors(self, physical):
+        with pytest.raises(ModelError, match="master\\(\\) first"):
+            LogicalView("v", physical).workers("Worker")
+        with pytest.raises(ModelError, match="no inner scope"):
+            LogicalView("v", physical).master("*[@id=host]").end()
+
+    def test_callable_selector(self, physical):
+        view = (
+            LogicalView("v", physical)
+            .master(lambda pu: pu.kind == "Master")
+            .workers(lambda pu: pu.architecture == "gpu")
+            .build()
+        )
+        assert len(view.workers()) == 2
+
+
+class TestViewRegistry:
+    def test_coexisting_views(self, physical):
+        registry = ViewRegistry(physical)
+        registry.define("opencl").master("*[@id=host]").workers(
+            "Worker[ARCHITECTURE=gpu]"
+        )
+        registry.define("starpu").master("*[@id=host]").workers("Worker")
+        assert registry.names() == ["opencl", "starpu"]
+        assert len(registry) == 2
+        assert registry.platform("opencl").total_pu_count() == 3
+        assert registry.platform("starpu").total_pu_count() == 11
+
+    def test_views_containing(self, physical):
+        registry = ViewRegistry(physical)
+        registry.define("opencl").master("*[@id=host]").workers(
+            "Worker[ARCHITECTURE=gpu]"
+        )
+        registry.define("cpuonly").master("*[@id=host]").workers(
+            "Worker[ARCHITECTURE=x86_64]"
+        )
+        assert registry.views_containing("gpu0") == ["opencl"]
+        assert registry.views_containing("cpu") == ["cpuonly"]
+        assert registry.views_containing("host") == ["cpuonly", "opencl"]
+
+    def test_duplicate_view_name(self, physical):
+        registry = ViewRegistry(physical)
+        registry.define("v")
+        with pytest.raises(ModelError, match="already defined"):
+            registry.define("v")
+
+    def test_unknown_view(self, physical):
+        with pytest.raises(ModelError, match="unknown view"):
+            ViewRegistry(physical).view("nope")

@@ -1,0 +1,94 @@
+"""Unit tests for traversal utilities and ASCII rendering."""
+
+from repro.model.builder import PlatformBuilder
+from repro.model.visitor import (
+    PlatformVisitor,
+    find_all,
+    render_tree,
+    tree_lines,
+    walk_breadth_first,
+)
+
+
+def platform():
+    return (
+        PlatformBuilder("t")
+        .master("m", architecture="x86_64")
+        .hybrid("h")
+        .worker("w1", architecture="gpu", quantity=2)
+        .end()
+        .worker("w2", architecture="x86_64", groups=("cpus",))
+        .build(validate=False)
+    )
+
+
+class CountingVisitor(PlatformVisitor):
+    def __init__(self):
+        self.masters = 0
+        self.hybrids = 0
+        self.workers = 0
+
+    def visit_master(self, pu):
+        self.masters += 1
+
+    def visit_hybrid(self, pu):
+        self.hybrids += 1
+
+    def visit_worker(self, pu):
+        self.workers += 1
+
+
+class DefaultHookVisitor(PlatformVisitor):
+    def __init__(self):
+        self.seen = []
+
+    def visit_pu(self, pu):
+        self.seen.append(pu.id)
+
+
+def test_visitor_dispatch():
+    v = CountingVisitor()
+    v.visit(platform())
+    assert (v.masters, v.hybrids, v.workers) == (1, 1, 2)
+
+
+def test_visitor_default_hook():
+    v = DefaultHookVisitor()
+    v.visit(platform())
+    assert v.seen == ["m", "h", "w1", "w2"]
+
+
+def test_visitor_on_subtree():
+    p = platform()
+    v = CountingVisitor()
+    v.visit(p.pu("h"))
+    assert (v.masters, v.hybrids, v.workers) == (0, 1, 1)
+
+
+def test_breadth_first_order():
+    ids = [pu.id for pu in walk_breadth_first(platform())]
+    assert ids == ["m", "h", "w2", "w1"]
+
+
+def test_find_all():
+    gpus = find_all(platform(), lambda pu: pu.architecture == "gpu")
+    assert [pu.id for pu in gpus] == ["w1"]
+
+
+def test_tree_lines_structure():
+    lines = tree_lines(platform())
+    assert lines[0].startswith("Master(m)")
+    assert any("`--" in l or "|--" in l for l in lines)
+    assert len(lines) == 4
+
+
+def test_render_tree_content():
+    text = render_tree(platform())
+    assert "Worker(w1) [gpu] x2" in text
+    assert "groups=cpus" in text
+
+
+def test_custom_label():
+    text = render_tree(platform(), label=lambda pu: pu.id.upper())
+    assert "M" in text.splitlines()[0]
+    assert "W1" in text

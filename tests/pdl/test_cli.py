@@ -1,0 +1,40 @@
+"""Unit tests for the pdl-tool CLI."""
+
+import pytest
+
+from repro.pdl.cli import main
+
+
+class TestPdlCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "xeon_x5550_2gpu" in out
+
+    def test_show(self, capsys):
+        assert main(["show", "xeon_x5550_2gpu"]) == 0
+        out = capsys.readouterr().out
+        assert "Master(host)" in out
+        assert "Worker(gpu0)" in out
+
+    def test_validate_ok(self, capsys):
+        assert main(["validate", "cell_qs22"]) == 0
+        assert "structural violations: 0" in capsys.readouterr().out
+
+    def test_validate_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text('<Master id="m"><Hybrid id="h"/></Master>')
+        assert main(["validate", str(bad)]) == 1
+        assert "Hybrid" in capsys.readouterr().out
+
+    def test_roundtrip(self, capsys):
+        assert main(["roundtrip", "listing1_gpgpu"]) == 0
+        out = capsys.readouterr().out
+        assert "<Platform" in out and "rDMA" in out
+
+    def test_discover(self, capsys):
+        assert main(["discover", "--name", "box",
+                     "--gpus", "GeForce GTX 480"]) == 0
+        out = capsys.readouterr().out
+        assert 'name="box"' in out
+        assert "GeForce GTX 480" in out

@@ -1,0 +1,117 @@
+"""Unit tests for the structural platform diff."""
+
+import pytest
+
+from repro.pdl.catalog import load_platform
+from repro.pdl.diff import ChangeKind, diff_platforms
+
+
+class TestIdentity:
+    def test_self_diff_empty(self):
+        p = load_platform("xeon_x5550_2gpu")
+        diff = diff_platforms(p, p.copy())
+        assert diff.identical
+        assert "no differences" in diff.summary()
+
+    def test_copy_roundtrip_identical(self):
+        from repro.pdl.parser import parse_pdl
+        from repro.pdl.writer import write_pdl
+
+        p = load_platform("cell_qs22")
+        again = parse_pdl(write_pdl(p), name=p.name)
+        assert diff_platforms(p, again).identical
+
+
+class TestStructuralChanges:
+    def test_cpu_vs_gpu_platform(self):
+        cpu = load_platform("xeon_x5550_dual")
+        gpu = load_platform("xeon_x5550_2gpu")
+        diff = diff_platforms(cpu, gpu)
+        added = {c.subject for c in diff.by_kind(ChangeKind.PU_ADDED)}
+        assert added == {"gpu0", "gpu1"}
+        ics = {c.subject for c in diff.by_kind(ChangeKind.INTERCONNECT_ADDED)}
+        assert ics == {"pcie0", "pcie1"}
+        mems = {c.subject for c in diff.by_kind(ChangeKind.MEMORY_ADDED)}
+        assert mems == {"gpu0-mem", "gpu1-mem"}
+
+    def test_reverse_direction(self):
+        cpu = load_platform("xeon_x5550_dual")
+        gpu = load_platform("xeon_x5550_2gpu")
+        diff = diff_platforms(gpu, cpu)
+        removed = {c.subject for c in diff.by_kind(ChangeKind.PU_REMOVED)}
+        assert removed == {"gpu0", "gpu1"}
+
+    def test_quantity_change(self):
+        a = load_platform("xeon_x5550_dual")
+        b = load_platform("xeon_x5550_dual")
+        b.pu("cpu").quantity = 4
+        diff = diff_platforms(a, b)
+        changes = diff.by_kind(ChangeKind.QUANTITY_CHANGED)
+        assert len(changes) == 1
+        assert changes[0].detail == "8 -> 4"
+
+    def test_group_changes(self):
+        a = load_platform("xeon_x5550_dual")
+        b = load_platform("xeon_x5550_dual")
+        b.pu("cpu").add_group("overclocked")
+        b.pu("cpu").groups.remove("cpus")
+        diff = diff_platforms(a, b)
+        assert diff.by_kind(ChangeKind.GROUP_ADDED)[0].detail == "overclocked"
+        assert diff.by_kind(ChangeKind.GROUP_REMOVED)[0].detail == "cpus"
+
+
+class TestPropertyChanges:
+    def test_dynamic_events_visible_in_diff(self):
+        """The natural pairing: diff(old snapshot, new snapshot) after
+        dynamic events (XTRA-DYN audit tooling)."""
+        from repro.dynamic import DynamicPlatform, FrequencyChange, PUOffline
+
+        dyn = DynamicPlatform(load_platform("xeon_x5550_2gpu"))
+        before = dyn.snapshot()
+        dyn.apply(PUOffline("gpu0"))
+        dyn.apply(FrequencyChange("cpu", new_ghz=2.0))
+        diff = diff_platforms(before, dyn.snapshot())
+
+        gpu0_changes = diff.for_subject("gpu0")
+        assert any(
+            c.kind == ChangeKind.PROPERTY_ADDED and "AVAILABLE" in c.detail
+            for c in gpu0_changes
+        )
+        cpu_changes = diff.for_subject("cpu")
+        assert any(
+            c.kind in (ChangeKind.PROPERTY_CHANGED, ChangeKind.PROPERTY_REMOVED)
+            and "FREQUENCY" in c.detail
+            for c in cpu_changes
+        ) or any(
+            c.kind == ChangeKind.PROPERTY_ADDED and "FREQUENCY" in c.detail
+            for c in cpu_changes
+        )
+
+    def test_property_value_change(self):
+        a = load_platform("xeon_x5550_dual")
+        b = load_platform("xeon_x5550_dual")
+        prop = b.pu("cpu").descriptor.find("DGEMM_EFFICIENCY")
+        b.pu("cpu").descriptor.remove("DGEMM_EFFICIENCY")
+        from repro.model.properties import Property
+
+        b.pu("cpu").descriptor.add(Property("DGEMM_EFFICIENCY", "0.5"))
+        diff = diff_platforms(a, b)
+        changed = diff.by_kind(ChangeKind.PROPERTY_CHANGED)
+        assert any("0.90 -> 0.5" in c.detail for c in changed)
+
+
+class TestCli:
+    def test_diff_command(self, capsys):
+        from repro.pdl.cli import main
+
+        rc = main(["diff", "xeon_x5550_dual", "xeon_x5550_2gpu"])
+        out = capsys.readouterr().out
+        assert rc == 1  # differences found
+        assert "pu-added" in out and "gpu0" in out
+
+    def test_diff_identical(self, capsys):
+        from repro.pdl.cli import main
+
+        rc = main(["diff", "cell_qs22", "cell_qs22"])
+        assert rc == 0
+        assert "no differences" in capsys.readouterr().out

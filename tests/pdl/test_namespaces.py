@@ -1,0 +1,68 @@
+"""Unit tests for namespace handling."""
+
+import pytest
+
+from repro.pdl.namespaces import (
+    PDL_NS,
+    WELL_KNOWN,
+    XSI_NS,
+    NamespaceMap,
+    clark,
+    split_clark,
+)
+
+
+class TestClark:
+    def test_roundtrip(self):
+        tag = clark("http://x.example/1.0", "value")
+        assert tag == "{http://x.example/1.0}value"
+        assert split_clark(tag) == ("http://x.example/1.0", "value")
+
+    def test_plain_tag(self):
+        assert split_clark("Master") == (None, "Master")
+        assert clark("", "Master") == "Master"
+
+
+class TestNamespaceMap:
+    def test_well_known_defaults(self):
+        m = NamespaceMap()
+        assert m.uri("ocl") == WELL_KNOWN["ocl"]
+        assert m.prefix(PDL_NS) == "pdl"
+        assert m.uri("xsi") == XSI_NS
+
+    def test_register_and_lookup(self):
+        m = NamespaceMap({})
+        m.register("v", "http://v.example/1.0")
+        assert m.uri("v") == "http://v.example/1.0"
+        assert m.prefix("http://v.example/1.0") == "v"
+
+    def test_conflicting_prefix_rejected(self):
+        m = NamespaceMap({})
+        m.register("v", "http://a.example")
+        with pytest.raises(ValueError):
+            m.register("v", "http://b.example")
+
+    def test_reregister_same_ok(self):
+        m = NamespaceMap({})
+        m.register("v", "http://a.example")
+        m.register("v", "http://a.example")
+
+    def test_qualify(self):
+        m = NamespaceMap()
+        assert m.qualify("ocl:value") == clark(WELL_KNOWN["ocl"], "value")
+        assert m.qualify("plain") == "plain"
+        with pytest.raises(KeyError):
+            m.qualify("nope:value")
+
+    def test_shorten(self):
+        m = NamespaceMap()
+        assert m.shorten(clark(WELL_KNOWN["ocl"], "value")) == "ocl:value"
+        assert m.shorten("plain") == "plain"
+        assert m.shorten("{http://unknown.example}x") == "x"
+
+    def test_copy_independent(self):
+        m = NamespaceMap({})
+        m.register("a", "http://a.example")
+        c = m.copy()
+        c.register("b", "http://b.example")
+        assert m.uri("b") is None

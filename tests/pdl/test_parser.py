@@ -1,0 +1,311 @@
+"""Unit tests for the PDL XML parser."""
+
+import pytest
+
+from repro.errors import PDLParseError
+from repro.model.entities import Hybrid, Master, Worker
+from repro.pdl.parser import parse_pdl
+
+LISTING1 = """\
+<Master id="0" quantity="1">
+  <PUDescriptor>
+    <Property fixed="true">
+      <name>ARCHITECTURE</name>
+      <value>x86</value>
+    </Property>
+  </PUDescriptor>
+  <Worker quantity="1" id="1">
+    <PUDescriptor>
+      <Property fixed="true">
+        <name>ARCHITECTURE</name>
+        <value>gpu</value>
+      </Property>
+    </PUDescriptor>
+  </Worker>
+  <Interconnect type="rDMA" from="0" to="1" scheme="" />
+</Master>
+"""
+
+
+class TestListing1:
+    """The paper's Listing 1 parses into the expected model."""
+
+    def test_bare_master_root(self):
+        platform = parse_pdl(LISTING1, name="listing1")
+        assert platform.name == "listing1"
+        assert len(platform.masters) == 1
+        master = platform.masters[0]
+        assert isinstance(master, Master)
+        assert master.id == "0"
+        assert master.architecture == "x86"
+
+    def test_worker_under_master(self):
+        platform = parse_pdl(LISTING1)
+        worker = platform.pu("1")
+        assert isinstance(worker, Worker)
+        assert worker.architecture == "gpu"
+        assert worker.parent.id == "0"
+
+    def test_interconnect(self):
+        platform = parse_pdl(LISTING1)
+        ics = platform.interconnects()
+        assert len(ics) == 1
+        assert ics[0].type == "rDMA"
+        assert ics[0].endpoints() == ("0", "1")
+
+
+class TestPlatformRoot:
+    def test_platform_wrapper(self):
+        text = """
+        <Platform name="two" schemaVersion="2.1">
+          <Master id="m1" quantity="1"><Worker id="w1" quantity="1"/></Master>
+          <Master id="m2" quantity="1"><Worker id="w2" quantity="1"/></Master>
+        </Platform>
+        """
+        platform = parse_pdl(text)
+        assert platform.name == "two"
+        assert platform.schema_version == "2.1"
+        assert len(platform.masters) == 2
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(PDLParseError, match="no Master"):
+            parse_pdl("<Platform name='x'></Platform>")
+
+    def test_non_master_top_rejected(self):
+        with pytest.raises(PDLParseError, match="Master"):
+            parse_pdl("<Platform><Worker id='w'/></Platform>")
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(PDLParseError, match="root element"):
+            parse_pdl("<Banana/>")
+
+
+class TestElements:
+    def test_quantity_parsing(self):
+        platform = parse_pdl(
+            '<Master id="m"><Worker id="w" quantity="8"/></Master>'
+        )
+        assert platform.pu("w").quantity == 8
+
+    def test_quantity_not_integer(self):
+        with pytest.raises(PDLParseError, match="not an integer"):
+            parse_pdl('<Master id="m" quantity="many"/>')
+
+    def test_missing_id(self):
+        with pytest.raises(PDLParseError, match="id"):
+            parse_pdl("<Master quantity='1'/>")
+
+    def test_hybrid_nesting(self):
+        text = """
+        <Master id="m">
+          <Hybrid id="h"><Worker id="w"/></Hybrid>
+        </Master>
+        """
+        platform = parse_pdl(text)
+        assert isinstance(platform.pu("h"), Hybrid)
+        assert platform.pu("w").parent.id == "h"
+
+    def test_logic_group_attribute(self):
+        text = """
+        <Master id="m">
+          <Worker id="w">
+            <LogicGroupAttribute>grp1</LogicGroupAttribute>
+            <LogicGroupAttribute>grp2</LogicGroupAttribute>
+          </Worker>
+        </Master>
+        """
+        platform = parse_pdl(text)
+        assert platform.pu("w").groups == ["grp1", "grp2"]
+
+    def test_empty_group_rejected(self):
+        text = "<Master id='m'><LogicGroupAttribute/></Master>"
+        with pytest.raises(PDLParseError, match="LogicGroupAttribute"):
+            parse_pdl(text)
+
+    def test_memory_region_with_descriptor(self):
+        text = """
+        <Master id="m">
+          <MemoryRegion id="mem">
+            <MRDescriptor>
+              <Property fixed="true"><name>SIZE</name>
+                <value unit="GB">48</value></Property>
+            </MRDescriptor>
+          </MemoryRegion>
+          <Worker id="w"/>
+        </Master>
+        """
+        platform = parse_pdl(text)
+        region = platform.find_memory_region("mem")
+        assert region.size_bytes == 48 * 1024**3
+
+    def test_interconnect_missing_endpoints(self):
+        with pytest.raises(PDLParseError, match="from and to"):
+            parse_pdl('<Master id="m"><Interconnect type="x"/></Master>')
+
+    def test_interconnect_unidirectional(self):
+        text = (
+            '<Master id="m"><Worker id="w"/>'
+            '<Interconnect from="m" to="w" bidirectional="false"/></Master>'
+        )
+        ic = parse_pdl(text).interconnects()[0]
+        assert ic.bidirectional is False
+
+    def test_unexpected_element_rejected(self):
+        with pytest.raises(PDLParseError, match="unexpected element"):
+            parse_pdl('<Master id="m"><Gizmo/></Master>')
+
+
+class TestProperties:
+    def test_unfixed_flag(self):
+        text = """
+        <Master id="m">
+          <PUDescriptor>
+            <Property fixed="false"><name>SLOT</name><value></value></Property>
+          </PUDescriptor>
+        </Master>
+        """
+        platform = parse_pdl(text, validate=False)
+        prop = platform.pu("m").descriptor.find("SLOT")
+        assert prop.fixed is False
+
+    def test_property_missing_name(self):
+        text = (
+            '<Master id="m"><PUDescriptor>'
+            "<Property><value>x</value></Property>"
+            "</PUDescriptor></Master>"
+        )
+        with pytest.raises(PDLParseError, match="name"):
+            parse_pdl(text)
+
+    def test_property_missing_value(self):
+        text = (
+            '<Master id="m"><PUDescriptor>'
+            "<Property><name>X</name></Property>"
+            "</PUDescriptor></Master>"
+        )
+        with pytest.raises(PDLParseError, match="value"):
+            parse_pdl(text)
+
+    def test_descriptor_only_properties(self):
+        text = (
+            '<Master id="m"><PUDescriptor><Oops/></PUDescriptor></Master>'
+        )
+        with pytest.raises(PDLParseError, match="Property"):
+            parse_pdl(text)
+
+    def test_value_units_preserved(self):
+        text = """
+        <Master id="m"><PUDescriptor>
+          <Property fixed="true"><name>FREQ</name>
+            <value unit="GHz">2.66</value></Property>
+        </PUDescriptor></Master>
+        """
+        prop = parse_pdl(text).pu("m").descriptor.find("FREQ")
+        assert prop.value.unit == "GHz"
+        assert prop.value.as_quantity() == pytest.approx(2.66e9)
+
+
+class TestPolymorphicProperties:
+    """Listing 2: xsi:type-based property subschemas."""
+
+    LISTING2_STYLE = """\
+<Master id="0"
+        xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"
+        xmlns:ocl="http://repro.example.org/pdl/ext/opencl/1.0">
+  <Worker id="1">
+    <PUDescriptor>
+      <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+        <ocl:name>DEVICE_NAME</ocl:name>
+        <ocl:value>GeForce GTX 480</ocl:value>
+      </Property>
+      <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+        <ocl:name>LOCAL_MEM_SIZE</ocl:name>
+        <ocl:value unit="kB">48</ocl:value>
+      </Property>
+    </PUDescriptor>
+  </Worker>
+</Master>
+"""
+
+    def test_typed_properties(self):
+        platform = parse_pdl(self.LISTING2_STYLE)
+        worker = platform.pu("1")
+        prop = worker.descriptor.find("DEVICE_NAME")
+        assert prop.type_name == "ocl:oclDevicePropertyType"
+        assert prop.namespace == "ocl"
+        assert prop.fixed is False
+        assert prop.value.as_str() == "GeForce GTX 480"
+
+    def test_typed_quantity(self):
+        platform = parse_pdl(self.LISTING2_STYLE)
+        prop = platform.pu("1").descriptor.find("LOCAL_MEM_SIZE")
+        assert prop.value.as_quantity() == 48 * 1024
+
+    def test_nonstandard_prefix_normalized(self):
+        # a document may bind the OpenCL namespace to any prefix; the
+        # parser normalizes xsi:type to the canonical prefix via the URI
+        text = """\
+<Master id="0"
+        xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"
+        xmlns:ns0="http://repro.example.org/pdl/ext/opencl/1.0">
+  <PUDescriptor>
+    <Property fixed="false" xsi:type="ns0:oclDevicePropertyType">
+      <ns0:name>DEVICE_NAME</ns0:name>
+      <ns0:value>GeForce GTX 480</ns0:value>
+    </Property>
+  </PUDescriptor>
+</Master>
+"""
+        platform = parse_pdl(text)
+        prop = platform.pu("0").descriptor.find("DEVICE_NAME")
+        assert prop.type_name == "ocl:oclDevicePropertyType"
+
+    def test_unknown_subschema_tolerated(self):
+        text = """
+        <Master id="0" xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"
+                xmlns:v="http://vendor.example/secret/1.0">
+          <PUDescriptor>
+            <Property fixed="true" xsi:type="v:vendorPropertyType">
+              <v:name>SECRET_SAUCE</v:name><v:value>11</v:value>
+            </Property>
+          </PUDescriptor>
+        </Master>
+        """
+        platform = parse_pdl(text)  # non-strict: loads fine
+        prop = platform.pu("0").descriptor.find("SECRET_SAUCE")
+        assert prop.type_name == "v:vendorPropertyType"
+
+    def test_unknown_subschema_strict_rejected(self):
+        from repro.errors import PDLSchemaError
+
+        text = """
+        <Master id="0" xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance"
+                xmlns:v="http://vendor.example/secret/1.0">
+          <PUDescriptor>
+            <Property fixed="true" xsi:type="v:vendorPropertyType">
+              <v:name>SECRET_SAUCE</v:name><v:value>11</v:value>
+            </Property>
+          </PUDescriptor>
+        </Master>
+        """
+        with pytest.raises(PDLSchemaError, match="unknown property type"):
+            parse_pdl(text, strict_schema=True)
+
+
+class TestErrors:
+    def test_malformed_xml(self):
+        with pytest.raises(PDLParseError):
+            parse_pdl("<Master id='m'")
+
+    def test_empty_document(self):
+        with pytest.raises(PDLParseError):
+            parse_pdl("")
+
+    def test_structural_validation_runs_by_default(self):
+        from repro.errors import ValidationError
+
+        # childless Hybrid violates FIG2 rules
+        text = '<Master id="m"><Hybrid id="h"/></Master>'
+        with pytest.raises(ValidationError):
+            parse_pdl(text)
+        parse_pdl(text, validate=False)  # opt-out works

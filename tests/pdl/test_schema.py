@@ -1,0 +1,227 @@
+"""Unit tests for the schema registry, subschemas and inheritance (FIG3)."""
+
+import pytest
+
+from repro.errors import PDLSchemaError
+from repro.model.properties import Property
+from repro.pdl.schema import (
+    BASE_PROPERTY_TYPE,
+    PropertyNameDef,
+    PropertyTypeDef,
+    SchemaRegistry,
+    Subschema,
+    ValueKind,
+    default_registry,
+)
+
+
+class TestValueKind:
+    def test_int_ok(self):
+        ValueKind.check(ValueKind.INT, Property("X", "15"))
+
+    def test_int_bad(self):
+        with pytest.raises(PDLSchemaError):
+            ValueKind.check(ValueKind.INT, Property("X", "many"))
+
+    def test_quantity_ok(self):
+        from repro.model.properties import PropertyValue
+
+        ValueKind.check(ValueKind.QUANTITY, Property("X", PropertyValue("48", "kB")))
+
+    def test_bool_bad(self):
+        with pytest.raises(PDLSchemaError):
+            ValueKind.check(ValueKind.BOOL, Property("X", "perhaps"))
+
+    def test_unknown_kind(self):
+        with pytest.raises(PDLSchemaError, match="unknown value kind"):
+            ValueKind.check("tensor", Property("X", "1"))
+
+
+class TestPropertyTypeDef:
+    def make_type(self):
+        return PropertyTypeDef(
+            qname="t:testType",
+            names={
+                "COUNT": PropertyNameDef("COUNT", ValueKind.INT),
+                "MODE": PropertyNameDef("MODE", enum=("fast", "slow")),
+                "PINNED": PropertyNameDef("PINNED", allow_unfixed=False),
+            },
+        )
+
+    def test_known_name_validates(self):
+        self.make_type().check(Property("COUNT", "4", type_name="t:testType"))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(PDLSchemaError, match="does not define"):
+            self.make_type().check(Property("OTHER", "x"))
+
+    def test_kind_violation(self):
+        with pytest.raises(PDLSchemaError):
+            self.make_type().check(Property("COUNT", "four"))
+
+    def test_enum_violation(self):
+        t = self.make_type()
+        t.check(Property("MODE", "fast"))
+        with pytest.raises(PDLSchemaError, match="enumeration"):
+            t.check(Property("MODE", "warp"))
+
+    def test_unfixed_restriction(self):
+        t = self.make_type()
+        with pytest.raises(PDLSchemaError, match="must be fixed"):
+            t.check(Property("PINNED", "x", fixed=False))
+
+    def test_inheritance_resolves_base_names(self):
+        base = self.make_type()
+        derived = PropertyTypeDef(
+            qname="t:derived",
+            base=base,
+            names={"EXTRA": PropertyNameDef("EXTRA")},
+        )
+        derived.check(Property("COUNT", "1"))  # inherited
+        derived.check(Property("EXTRA", "x"))  # own
+        assert derived.derives_from("t:testType")
+        assert not base.derives_from("t:derived")
+        assert set(derived.all_names()) == {"COUNT", "MODE", "PINNED", "EXTRA"}
+
+    def test_open_type_admits_anything(self):
+        BASE_PROPERTY_TYPE.check(Property("WHATEVER", "yes"))
+
+    def test_derived_from_open_base_admits_anything(self):
+        derived = PropertyTypeDef(qname="t:d", base=BASE_PROPERTY_TYPE)
+        derived.check(Property("NOVEL", "1"))
+
+
+class TestSubschema:
+    def test_define_type_qualifies_name(self):
+        sub = Subschema(prefix="t", uri="http://t.example/1.0")
+        tdef = sub.define_type("fooType")
+        assert tdef.qname == "t:fooType"
+        assert "t:fooType" in sub.types
+
+    def test_duplicate_type_rejected(self):
+        sub = Subschema(prefix="t", uri="http://t.example/1.0")
+        sub.define_type("fooType")
+        with pytest.raises(PDLSchemaError, match="already defined"):
+            sub.define_type("fooType")
+
+    def test_identifier_versioned(self):
+        # §III-B: subschemas have unique identification and versioning
+        sub = Subschema(prefix="t", uri="http://t.example/1.0", version="2.3")
+        assert sub.identifier == "http://t.example/1.0#v2.3"
+
+
+class TestSchemaRegistry:
+    def test_register_and_lookup(self):
+        reg = SchemaRegistry()
+        sub = Subschema(prefix="t", uri="http://t.example/x/1.0")
+        tdef = sub.define_type("fooType")
+        reg.register(sub)
+        assert reg.lookup_type("t:fooType") is tdef
+        assert reg.subschema("t") is sub
+        assert reg.known_type("t:fooType")
+
+    def test_idempotent_reregistration(self):
+        reg = SchemaRegistry()
+        sub = Subschema(prefix="t2", uri="http://t2.example/1.0")
+        reg.register(sub)
+        reg.register(sub)  # no error
+
+    def test_prefix_conflict_rejected(self):
+        reg = SchemaRegistry()
+        reg.register(Subschema(prefix="tc", uri="http://a.example/1.0"))
+        with pytest.raises(PDLSchemaError, match="already bound"):
+            reg.register(Subschema(prefix="tc", uri="http://b.example/1.0"))
+
+    def test_base_type_always_known(self):
+        reg = SchemaRegistry()
+        assert reg.lookup_type(None) is BASE_PROPERTY_TYPE
+        assert reg.lookup_type("pdl:PropertyType") is BASE_PROPERTY_TYPE
+
+    def test_check_property_nonstrict_ignores_unknown(self):
+        reg = SchemaRegistry()
+        reg.check_property(Property("X", "1", type_name="mystery:type"))
+
+    def test_check_property_strict_rejects_unknown(self):
+        reg = SchemaRegistry()
+        with pytest.raises(PDLSchemaError, match="unknown property type"):
+            reg.check_property(
+                Property("X", "1", type_name="mystery:type"), strict=True
+            )
+
+
+class TestDefaultRegistry:
+    def test_shipped_subschemas_present(self):
+        reg = default_registry()
+        for prefix in ("ocl", "cuda", "hwloc", "cell"):
+            assert reg.subschema(prefix) is not None, prefix
+
+    def test_listing2_properties_validate(self):
+        # the exact names/kinds of the paper's Listing 2
+        reg = default_registry()
+        from repro.model.properties import PropertyValue
+
+        samples = [
+            Property("DEVICE_NAME", "GeForce GTX 480", fixed=False,
+                     type_name="ocl:oclDevicePropertyType"),
+            Property("MAX_COMPUTE_UNITS", "15", fixed=False,
+                     type_name="ocl:oclDevicePropertyType"),
+            Property("MAX_WORK_ITEM_DIMENSIONS", "3", fixed=False,
+                     type_name="ocl:oclDevicePropertyType"),
+            Property("GLOBAL_MEM_SIZE", PropertyValue("1572864", "kB"),
+                     fixed=False, type_name="ocl:oclDevicePropertyType"),
+            Property("LOCAL_MEM_SIZE", PropertyValue("48", "kB"),
+                     fixed=False, type_name="ocl:oclDevicePropertyType"),
+        ]
+        for prop in samples:
+            reg.check_property(prop, strict=True)
+
+    def test_shipped_types_are_closed(self):
+        # a typo'd CL_DEVICE_* name must be flagged — shipped subschemas
+        # enumerate their admissible names (vendors extend via NEW
+        # subschemas, not by sneaking names into existing ones)
+        reg = default_registry()
+        with pytest.raises(PDLSchemaError, match="does not define"):
+            reg.check_property(
+                Property("MAX_COMPUT_UNITS", "15",  # typo
+                         type_name="ocl:oclDevicePropertyType"),
+                strict=True,
+            )
+
+    def test_ocl_kind_violations_detected(self):
+        reg = default_registry()
+        with pytest.raises(PDLSchemaError):
+            reg.check_property(
+                Property("MAX_COMPUTE_UNITS", "fifteen",
+                         type_name="ocl:oclDevicePropertyType"),
+                strict=True,
+            )
+
+    def test_ocl_device_type_enum(self):
+        reg = default_registry()
+        with pytest.raises(PDLSchemaError, match="enumeration"):
+            reg.check_property(
+                Property("DEVICE_TYPE", "QPU",
+                         type_name="ocl:oclDevicePropertyType"),
+                strict=True,
+            )
+
+    def test_cuda_and_cell_types(self):
+        reg = default_registry()
+        reg.check_property(
+            Property("COMPUTE_CAPABILITY", "2.0",
+                     type_name="cuda:cudaDevicePropertyType"),
+            strict=True,
+        )
+        from repro.model.properties import PropertyValue
+
+        reg.check_property(
+            Property("LOCAL_STORE_SIZE", PropertyValue("256", "kB"),
+                     type_name="cell:cellSpePropertyType"),
+            strict=True,
+        )
+
+    def test_registry_copy_independent(self):
+        reg = default_registry().copy()
+        sub = Subschema(prefix="priv", uri="http://priv.example/1.0")
+        reg.register(sub)
+        assert default_registry().subschema("priv") is None

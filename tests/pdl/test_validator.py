@@ -1,0 +1,84 @@
+"""Unit tests for document-level validation reports."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.model.builder import PlatformBuilder
+from repro.model.entities import Hybrid
+from repro.model.properties import Property
+from repro.pdl.validator import PDLValidator, validate_document
+
+
+def valid_platform():
+    return (
+        PlatformBuilder("v")
+        .master("m", architecture="x86_64")
+        .worker("w", architecture="gpu")
+        .build()
+    )
+
+
+class TestValidationReport:
+    def test_clean_platform(self):
+        report = validate_document(valid_platform())
+        assert report.ok
+        assert report.structural == [] and report.schema == []
+        report.raise_if_failed()  # no-op
+
+    def test_structural_violation_reported(self):
+        p = valid_platform()
+        p.masters[0].add_child(Hybrid("h"))  # childless hybrid
+        report = validate_document(p)
+        assert not report.ok
+        assert any("Hybrid" in v for v in report.structural)
+        with pytest.raises(ValidationError):
+            report.raise_if_failed()
+
+    def test_schema_violation_reported(self):
+        p = valid_platform()
+        p.pu("w").descriptor.add(
+            Property("MAX_COMPUTE_UNITS", "many",
+                     type_name="ocl:oclDevicePropertyType")
+        )
+        report = validate_document(p)
+        assert not report.ok
+        assert any("MAX_COMPUTE_UNITS" in v for v in report.schema)
+        assert any("Worker 'w'" in v for v in report.schema)
+
+    def test_unfixed_properties_informational(self):
+        p = valid_platform()
+        p.pu("w").descriptor.add(Property("SLOT", "", fixed=False))
+        report = validate_document(p)
+        assert report.ok  # unfixed is legal
+        assert any("SLOT" in u for u in report.unfixed)
+
+    def test_memory_and_interconnect_descriptors_checked(self):
+        p = (
+            PlatformBuilder("v2")
+            .master("m")
+            .memory("mem")
+            .worker("w", architecture="gpu")
+            .interconnect("m", "w", type="PCIe")
+            .build()
+        )
+        region = p.find_memory_region("mem")
+        region.descriptor.add(
+            Property("CACHE_SIZE", "huge", type_name="hwloc:hwlocObjPropertyType")
+        )
+        report = validate_document(p)
+        assert any("MemoryRegion 'mem'" in v for v in report.schema)
+
+    def test_summary_mentions_counts(self):
+        report = validate_document(valid_platform())
+        text = report.summary()
+        assert "structural violations: 0" in text
+        assert "schema violations:" in text
+
+    def test_strict_mode_flags_unknown_types(self):
+        p = valid_platform()
+        p.pu("w").descriptor.add(
+            Property("X", "1", type_name="alien:propertyType")
+        )
+        assert validate_document(p).ok  # default tolerant
+        report = PDLValidator(strict_schema=True).validate(p)
+        assert not report.ok

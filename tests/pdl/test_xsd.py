@@ -1,0 +1,118 @@
+"""Unit tests for XSD emission (§III-B: the PDL derives an XSD)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.pdl.namespaces import PDL_NS
+from repro.pdl.schema import default_registry
+from repro.pdl.xsd import emit_all_xsd, emit_base_xsd, emit_subschema_xsd
+
+XS = "{http://www.w3.org/2001/XMLSchema}"
+
+
+@pytest.fixture(scope="module")
+def base_root():
+    return ET.fromstring(emit_base_xsd())
+
+
+class TestBaseSchema:
+    def test_well_formed(self, base_root):
+        assert base_root.tag == f"{XS}schema"
+        assert base_root.get("targetNamespace") == PDL_NS
+
+    def test_all_entity_types_defined(self, base_root):
+        names = {el.get("name") for el in base_root.findall(f"{XS}complexType")}
+        assert {
+            "PropertyType", "ValueType", "DescriptorType",
+            "MemoryRegionType", "InterconnectType",
+            "MasterType", "HybridType", "WorkerType", "PlatformType",
+        } <= names
+
+    def test_roots_declared(self, base_root):
+        roots = {el.get("name") for el in base_root.findall(f"{XS}element")}
+        # both document shapes the parser accepts: Platform and bare Master
+        assert roots == {"Platform", "Master"}
+
+    def test_worker_is_leaf(self, base_root):
+        worker = next(
+            el for el in base_root.findall(f"{XS}complexType")
+            if el.get("name") == "WorkerType"
+        )
+        # no nested Worker/Hybrid elements inside WorkerType
+        text = ET.tostring(worker, encoding="unicode")
+        assert 'type="pdl:WorkerType"' not in text
+        assert 'type="pdl:HybridType"' not in text
+
+    def test_master_controls_workers_and_hybrids(self, base_root):
+        master = next(
+            el for el in base_root.findall(f"{XS}complexType")
+            if el.get("name") == "MasterType"
+        )
+        text = ET.tostring(master, encoding="unicode")
+        assert 'type="pdl:WorkerType"' in text
+        assert 'type="pdl:HybridType"' in text
+        # but no nested Master (Masters only at the highest level)
+        assert 'type="pdl:MasterType"' not in text
+
+    def test_property_has_fixed_attribute(self, base_root):
+        prop = next(
+            el for el in base_root.findall(f"{XS}complexType")
+            if el.get("name") == "PropertyType"
+        )
+        attrs = {a.get("name") for a in prop.findall(f"{XS}attribute")}
+        assert "fixed" in attrs
+
+    def test_value_has_unit(self, base_root):
+        text = emit_base_xsd()
+        assert 'name="unit"' in text
+
+
+class TestSubschemaEmission:
+    def test_ocl_schema(self):
+        registry = default_registry()
+        text = emit_subschema_xsd(registry.subschema("ocl"))
+        root = ET.fromstring(text)
+        assert root.get("targetNamespace") == registry.subschema("ocl").uri
+        assert root.get("version") == "1.1"
+        # xs:extension based inheritance from the generic property type
+        assert 'base="pdl:PropertyType"' in text
+        assert 'name="oclDevicePropertyType"' in text
+        # Listing-2 names documented
+        assert "MAX_COMPUTE_UNITS" in text
+        assert "GLOBAL_MEM_SIZE" in text
+
+    def test_enum_facets_documented(self):
+        registry = default_registry()
+        text = emit_subschema_xsd(registry.subschema("ocl"))
+        assert "enum={CPU,GPU,ACCELERATOR,CUSTOM,DEFAULT}" in text
+
+    def test_import_of_base(self):
+        registry = default_registry()
+        text = emit_subschema_xsd(registry.subschema("cuda"))
+        assert 'schemaLocation="pdl-base.xsd"' in text
+
+    def test_all_emission(self):
+        documents = emit_all_xsd()
+        assert "pdl-base.xsd" in documents
+        for prefix in ("ocl", "cuda", "hwloc", "cell"):
+            assert f"pdl-ext-{prefix}.xsd" in documents
+        # every document is well-formed XML
+        for text in documents.values():
+            ET.fromstring(text)
+
+
+class TestCli:
+    def test_xsd_stdout(self, capsys):
+        from repro.pdl.cli import main
+
+        assert main(["xsd"]) == 0
+        out = capsys.readouterr().out
+        assert "pdl-base.xsd" in out and "xs:schema" in out
+
+    def test_xsd_directory(self, tmp_path, capsys):
+        from repro.pdl.cli import main
+
+        assert main(["xsd", "-o", str(tmp_path)]) == 0
+        assert (tmp_path / "pdl-base.xsd").exists()
+        assert (tmp_path / "pdl-ext-ocl.xsd").exists()

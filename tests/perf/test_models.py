@@ -1,0 +1,126 @@
+"""Unit tests for the PU performance models."""
+
+import pytest
+
+from repro.errors import PerfModelError
+from repro.model.entities import Worker
+from repro.model.properties import Property
+from repro.perf.models import PerfModel, performance_of
+
+
+def worker(arch="x86_64", **props):
+    w = Worker("w")
+    w.descriptor.add(Property("ARCHITECTURE", arch))
+    for key, value in props.items():
+        w.descriptor.add(Property(key, str(value)))
+    return w
+
+
+class TestPerformanceResolution:
+    def test_descriptor_values_win(self):
+        w = worker(PEAK_GFLOPS_DP=50.0, DGEMM_EFFICIENCY=0.5)
+        perf = performance_of(w)
+        assert perf.peak_gflops_dp == 50.0
+        assert perf.sustained_dgemm_gflops == pytest.approx(25.0)
+
+    def test_calibration_defaults_fill_gaps(self):
+        perf = performance_of(worker("gpu"))
+        assert perf.peak_gflops_dp == pytest.approx(168.0)  # GTX480 class
+        assert perf.kernel_launch_overhead_s > 0
+
+    def test_cpu_has_no_launch_overhead(self):
+        assert performance_of(worker("x86_64")).kernel_launch_overhead_s == 0.0
+
+    def test_missing_architecture(self):
+        w = Worker("w")
+        with pytest.raises(PerfModelError, match="ARCHITECTURE"):
+            performance_of(w)
+
+    def test_unknown_architecture_without_props(self):
+        w = worker("quantum")
+        with pytest.raises(PerfModelError, match="no calibration default"):
+            performance_of(w)
+
+    def test_unknown_architecture_with_explicit_props(self):
+        w = worker("quantum", PEAK_GFLOPS_DP=1000.0, DGEMM_EFFICIENCY=0.9,
+                   STREAM_BANDWIDTH_GBS=100.0)
+        perf = performance_of(w)
+        assert perf.sustained_dgemm_gflops == pytest.approx(900.0)
+
+
+class TestDgemmModel:
+    def test_single_core_fig5_anchor(self, cpu_platform):
+        # one X5550 core on the full 8192 DGEMM: ~115 s (the "single" bar)
+        model = PerfModel()
+        t = model.dgemm_time(cpu_platform.pu("cpu"), 8192, 8192, 8192)
+        expected = 2 * 8192**3 / (10.64e9 * 0.90)
+        assert t == pytest.approx(expected, rel=0.05)
+        assert 105 < t < 125
+
+    def test_gpu_faster_than_cpu_at_large_tiles(self, gpgpu_platform):
+        model = PerfModel()
+        cpu_t = model.dgemm_time(gpgpu_platform.pu("cpu"), 1024, 1024, 1024)
+        gpu_t = model.dgemm_time(gpgpu_platform.pu("gpu0"), 1024, 1024, 1024)
+        assert gpu_t < cpu_t / 4
+
+    def test_efficiency_ramp_punishes_tiny_gpu_tiles(self, gpgpu_platform):
+        # per-FLOP cost should be much worse at 64^3 than at 2048^3 on a GPU
+        model = PerfModel()
+        gpu = gpgpu_platform.pu("gpu0")
+        small = model.dgemm_time(gpu, 64, 64, 64) / (2 * 64**3)
+        large = model.dgemm_time(gpu, 2048, 2048, 2048) / (2 * 2048**3)
+        assert small > 5 * large
+
+    def test_monotone_in_size(self, gpgpu_platform):
+        model = PerfModel()
+        gpu = gpgpu_platform.pu("gpu0")
+        times = [model.dgemm_time(gpu, n, n, n) for n in (128, 256, 512, 1024)]
+        assert times == sorted(times)
+
+    def test_gtx480_beats_gtx285(self, gpgpu_platform):
+        model = PerfModel()
+        t480 = model.dgemm_time(gpgpu_platform.pu("gpu0"), 1024, 1024, 1024)
+        t285 = model.dgemm_time(gpgpu_platform.pu("gpu1"), 1024, 1024, 1024)
+        assert t480 < t285
+
+
+class TestGenericEstimate:
+    def test_dgemm_dims_dispatch(self, gpgpu_platform):
+        model = PerfModel()
+        cpu = gpgpu_platform.pu("cpu")
+        via_estimate = model.estimate(
+            cpu, kernel="dgemm", flops=2 * 512**3, dims=(512, 512, 512)
+        )
+        direct = model.dgemm_time(cpu, 512, 512, 512)
+        assert via_estimate == pytest.approx(direct)
+
+    def test_roofline_max(self, gpgpu_platform):
+        model = PerfModel()
+        cpu = gpgpu_platform.pu("cpu")
+        # memory-bound: tiny flops, many bytes
+        t_mem = model.estimate(cpu, kernel="copy", flops=10, bytes_touched=1e9)
+        # compute-bound: many flops, few bytes
+        t_cpu = model.estimate(cpu, kernel="crunch", flops=1e9, bytes_touched=10)
+        perf = model.pu_performance(cpu)
+        assert t_mem == pytest.approx(1e9 / (perf.stream_bandwidth_gbs * 1e9))
+        assert t_cpu == pytest.approx(1e9 / (perf.sustained_dgemm_gflops * 1e9))
+
+    def test_no_cost_info_raises(self, gpgpu_platform):
+        model = PerfModel()
+        with pytest.raises(PerfModelError, match="flops and/or bytes"):
+            model.estimate(gpgpu_platform.pu("cpu"), kernel="mystery")
+
+    def test_bandwidth_bound_time(self, gpgpu_platform):
+        model = PerfModel()
+        gpu = gpgpu_platform.pu("gpu0")
+        t = model.bandwidth_bound_time(gpu, 1e9)
+        perf = model.pu_performance(gpu)
+        assert t == pytest.approx(
+            1e9 / (perf.stream_bandwidth_gbs * 1e9) + perf.kernel_launch_overhead_s
+        )
+
+    def test_caching(self, gpgpu_platform):
+        model = PerfModel()
+        a = model.pu_performance(gpgpu_platform.pu("gpu0"))
+        b = model.pu_performance(gpgpu_platform.pu("gpu0"))
+        assert a is b

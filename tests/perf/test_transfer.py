@@ -1,0 +1,90 @@
+"""Unit tests for the contention-aware transfer model."""
+
+import pytest
+
+from repro.perf.transfer import TransferModel
+
+
+class TestIdealTime:
+    def test_matches_route_math(self, gpgpu_platform):
+        model = TransferModel(gpgpu_platform)
+        nbytes = 8 * 2**20
+        t = model.ideal_time("host", "gpu0", nbytes)
+        assert t == pytest.approx(15e-6 + nbytes / (5.7 * 1024**3))
+
+    def test_same_node_free(self, gpgpu_platform):
+        model = TransferModel(gpgpu_platform)
+        assert model.ideal_time("host", "host", 10**9) == 0.0
+
+    def test_route_caching(self, gpgpu_platform):
+        model = TransferModel(gpgpu_platform)
+        r1 = model.route("host", "gpu0")
+        r2 = model.route("host", "gpu0")
+        assert r1 is r2
+
+
+class TestContention:
+    def test_serialization_on_one_link(self, gpgpu_platform):
+        model = TransferModel(gpgpu_platform)
+        nbytes = 8 * 2**20
+        first = model.schedule("host", "gpu0", nbytes, now=0.0)
+        second = model.schedule("host", "gpu0", nbytes, now=0.0)
+        # second transfer must queue behind the first on the pcie0 link
+        assert first.start == 0.0
+        assert second.start == pytest.approx(first.finish)
+        assert second.finish == pytest.approx(2 * first.finish)
+
+    def test_independent_links_parallel(self, gpgpu_platform):
+        model = TransferModel(gpgpu_platform)
+        nbytes = 8 * 2**20
+        a = model.schedule("host", "gpu0", nbytes, now=0.0)
+        b = model.schedule("host", "gpu1", nbytes, now=0.0)
+        assert a.start == 0.0 and b.start == 0.0  # different PCIe links
+
+    def test_multihop_holds_each_link(self, cluster_platform):
+        model = TransferModel(cluster_platform)
+        est = model.schedule("head", "node0-gpu0", 2**20, now=0.0)
+        assert est.route.hop_count == 2
+        assert est.finish > est.start >= 0.0
+        # the second hop's link is now busy until the transfer finished
+        second_link = est.route.links[1]
+        assert model.link_busy_until(second_link.id) == pytest.approx(est.finish)
+
+    def test_reset_clears_occupancy(self, gpgpu_platform):
+        model = TransferModel(gpgpu_platform)
+        model.schedule("host", "gpu0", 2**26, now=0.0)
+        model.reset()
+        again = model.schedule("host", "gpu0", 2**20, now=0.0)
+        assert again.start == 0.0
+
+    def test_zero_byte_same_node(self, gpgpu_platform):
+        model = TransferModel(gpgpu_platform)
+        est = model.schedule("cpu", "cpu", 0, now=5.0)
+        assert est.start == est.finish == 5.0
+        assert est.duration == 0.0
+
+    def test_now_respected(self, gpgpu_platform):
+        model = TransferModel(gpgpu_platform)
+        est = model.schedule("host", "gpu0", 2**20, now=3.0)
+        assert est.start == 3.0
+
+
+class TestCalibrationConstants:
+    def test_paper_constants(self):
+        from repro.perf.calibration import (
+            CUDA_LAUNCH_OVERHEAD_S,
+            PCIE2_X16_BANDWIDTH_BPS,
+            TASK_SCHEDULING_OVERHEAD_S,
+        )
+
+        assert PCIE2_X16_BANDWIDTH_BPS == pytest.approx(5.7 * 1024**3)
+        assert 0 < TASK_SCHEDULING_OVERHEAD_S < 1e-4
+        assert 0 < CUDA_LAUNCH_OVERHEAD_S < 1e-4
+
+    def test_arch_defaults_cover_paper_architectures(self):
+        from repro.perf.calibration import ARCH_DEFAULTS
+
+        for arch in ("x86_64", "x86", "gpu", "spe", "ppc64"):
+            cal = ARCH_DEFAULTS[arch]
+            assert cal.peak_gflops_dp > 0
+            assert 0 < cal.dgemm_efficiency <= 1

@@ -1,0 +1,85 @@
+"""Property-based tests of the contended transfer model."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.model.builder import PlatformBuilder
+from repro.perf.transfer import TransferModel
+
+
+def star_platform(n_gpus=2):
+    builder = PlatformBuilder("star").master("m", architecture="x86_64")
+    builder.worker("cpu", architecture="x86_64", quantity=2)
+    builder.interconnect("m", "cpu", type="SHM", bandwidth="25.6 GB/s",
+                         latency="100 ns")
+    for g in range(n_gpus):
+        builder.worker(f"g{g}", architecture="gpu")
+        builder.interconnect("m", f"g{g}", type="PCIe",
+                             bandwidth="5.7 GB/s", latency="15 us",
+                             id=f"pcie{g}")
+    return builder.build(validate=False)
+
+
+@given(st.integers(1, 2**30), st.integers(1, 2**30))
+@settings(max_examples=100, deadline=None)
+def test_more_bytes_never_faster(a_bytes, b_bytes):
+    model = TransferModel(star_platform())
+    ta = model.ideal_time("m", "g0", a_bytes)
+    tb = model.ideal_time("m", "g0", b_bytes)
+    if a_bytes <= b_bytes:
+        assert ta <= tb + 1e-15
+
+
+@given(st.lists(st.integers(2**10, 2**26), min_size=1, max_size=20))
+@settings(max_examples=60, deadline=None)
+def test_contention_serializes_exactly(sizes):
+    """k transfers on one link at t=0 finish back-to-back: the total busy
+    time equals the sum of individual ideal times."""
+    model = TransferModel(star_platform())
+    finishes = []
+    ideal_total = 0.0
+    for nbytes in sizes:
+        est = model.schedule("m", "g0", nbytes, now=0.0)
+        finishes.append(est.finish)
+        ideal_total += model.ideal_time("m", "g0", nbytes)
+    assert finishes == sorted(finishes)
+    assert finishes[-1] == pytest.approx(ideal_total, rel=1e-9)
+
+
+@given(st.lists(st.integers(2**10, 2**26), min_size=2, max_size=10))
+@settings(max_examples=60, deadline=None)
+def test_disjoint_links_independent(sizes):
+    """The same schedule on two different PCIe links never interferes."""
+    model = TransferModel(star_platform())
+    for i, nbytes in enumerate(sizes):
+        dst = "g0" if i % 2 == 0 else "g1"
+        est = model.schedule("m", dst, nbytes, now=0.0)
+        # each link serializes only its own transfers
+        own_prior = [s for j, s in enumerate(sizes[:i]) if j % 2 == i % 2]
+        expected_start = sum(
+            model.ideal_time("m", dst, s) for s in own_prior
+        )
+        assert est.start == pytest.approx(expected_start, rel=1e-9)
+
+
+@given(st.floats(0.0, 100.0), st.integers(1, 2**24))
+@settings(max_examples=60, deadline=None)
+def test_schedule_never_starts_before_now(now, nbytes):
+    model = TransferModel(star_platform())
+    est = model.schedule("m", "g0", nbytes, now=now)
+    assert est.start >= now
+    assert est.finish > est.start
+
+
+@given(st.integers(1, 2**26))
+@settings(max_examples=40, deadline=None)
+def test_reset_restores_ideal(nbytes):
+    model = TransferModel(star_platform())
+    model.schedule("m", "g0", 2**28, now=0.0)  # occupy the link
+    model.reset()
+    est = model.schedule("m", "g0", nbytes, now=0.0)
+    assert est.start == 0.0
+    assert est.finish == pytest.approx(
+        model.ideal_time("m", "g0", nbytes), rel=1e-9
+    )

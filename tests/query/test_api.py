@@ -1,0 +1,71 @@
+"""Unit tests for the PlatformQuery façade."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.model.builder import PlatformBuilder
+from repro.query.api import PlatformQuery
+
+
+class TestPlatformQuery:
+    def test_select_and_cache(self, gpgpu_platform):
+        q = PlatformQuery(gpgpu_platform)
+        first = q.select("//Worker[ARCHITECTURE=gpu]")
+        second = q.select("//Worker[ARCHITECTURE=gpu]")
+        assert [pu.id for pu in first] == ["gpu0", "gpu1"]
+        assert first == second
+        assert "//Worker[ARCHITECTURE=gpu]" in q._selector_cache
+
+    def test_select_one(self, gpgpu_platform):
+        q = PlatformQuery(gpgpu_platform)
+        assert q.select_one("*[@id=gpu0]").id == "gpu0"
+        with pytest.raises(QueryError, match="matched 2"):
+            q.select_one("Worker[ARCHITECTURE=gpu]")
+        with pytest.raises(QueryError, match="matched 0"):
+            q.select_one("Worker[ARCHITECTURE=spe]")
+
+    def test_workers_filter(self, gpgpu_platform):
+        q = PlatformQuery(gpgpu_platform)
+        assert len(q.workers()) == 3
+        assert [pu.id for pu in q.workers(architecture="gpu")] == ["gpu0", "gpu1"]
+
+    def test_by_property(self, gpgpu_platform):
+        q = PlatformQuery(gpgpu_platform)
+        assert [pu.id for pu in q.by_property("MODEL", "GeForce GTX 480")] == ["gpu0"]
+        with_blas = q.by_property("BLAS")
+        assert {pu.id for pu in with_blas} == {"cpu", "gpu0", "gpu1"}
+
+    def test_group(self, gpgpu_platform):
+        q = PlatformQuery(gpgpu_platform)
+        assert [pu.id for pu in q.group("executionset01")] == ["cpu", "gpu0", "gpu1"]
+
+    def test_route_and_transfer(self, gpgpu_platform):
+        q = PlatformQuery(gpgpu_platform)
+        route = q.route("host", "gpu0")
+        assert route.hop_count == 1
+        assert q.transfer_time("host", "gpu0", 2**20) > 0
+
+    def test_pattern_helpers(self, gpgpu_platform):
+        q = PlatformQuery(gpgpu_platform)
+        pat = (
+            PlatformBuilder("p").master("m").worker("w", architecture="gpu")
+            .build(validate=False)
+        )
+        assert q.supports_pattern(pat)
+        assert len(q.matches(pat)) == 2
+        assert q.match(pat).concrete("w").architecture == "gpu"
+
+    def test_invalidate_after_mutation(self, small_platform):
+        q = PlatformQuery(small_platform)
+        assert not q.groups.has("newgrp")
+        small_platform.pu("gpu0").add_group("newgrp")
+        q.invalidate()
+        assert q.groups.has("newgrp")
+
+    def test_architectures(self, cell_platform):
+        q = PlatformQuery(cell_platform)
+        assert q.architectures() == {"ppc64", "spe"}
+
+    def test_pu_passthrough(self, gpgpu_platform):
+        q = PlatformQuery(gpgpu_platform)
+        assert q.pu("gpu1").id == "gpu1"

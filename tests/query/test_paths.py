@@ -1,0 +1,161 @@
+"""Unit tests for interconnect routing and transfer estimation."""
+
+import math
+
+import pytest
+
+from repro.errors import PathError
+from repro.model.builder import PlatformBuilder
+from repro.query.paths import InterconnectGraph
+
+
+def multihop_platform():
+    """head -IB- node0(hybrid) -PCIe- gpu; two parallel links head->fast."""
+    return (
+        PlatformBuilder("net")
+        .master("head")
+        .hybrid("node0")
+        .worker("gpu", architecture="gpu")
+        .interconnect("node0", "gpu", type="PCIe",
+                      bandwidth="5.7 GB/s", latency="15 us", id="pcie")
+        .end()
+        .worker("fast", architecture="x86_64")
+        .interconnect("head", "node0", type="IB",
+                      bandwidth="3.2 GB/s", latency="1.5 us", id="ib")
+        .interconnect("head", "fast", type="ETH",
+                      bandwidth="0.125 GB/s", latency="50 us", id="eth")
+        .interconnect("head", "fast", type="IB2",
+                      bandwidth="3.2 GB/s", latency="2 us", id="ib2")
+        .build(validate=False)
+    )
+
+
+class TestRouting:
+    def test_single_hop(self, gpgpu_platform):
+        graph = InterconnectGraph(gpgpu_platform)
+        route = graph.shortest("host", "gpu0")
+        assert route.nodes == ("host", "gpu0")
+        assert route.hop_count == 1
+        assert route.links[0].type == "PCIe"
+
+    def test_same_node_route(self, gpgpu_platform):
+        graph = InterconnectGraph(gpgpu_platform)
+        route = graph.shortest("host", "host")
+        assert route.hop_count == 0
+        assert route.transfer_time(10**9) == 0.0
+        assert route.bottleneck_bandwidth() == math.inf
+
+    def test_multi_hop_through_hierarchy(self):
+        graph = InterconnectGraph(multihop_platform())
+        route = graph.shortest("head", "gpu")
+        assert route.nodes == ("head", "node0", "gpu")
+        assert route.hop_count == 2
+
+    def test_gpu_to_gpu_via_host(self, gpgpu_platform):
+        graph = InterconnectGraph(gpgpu_platform)
+        route = graph.shortest("gpu0", "gpu1")
+        assert route.nodes == ("gpu0", "host", "gpu1")
+
+    def test_parallel_links_pick_cheapest_by_metric(self):
+        graph = InterconnectGraph(multihop_platform())
+        by_latency = graph.shortest("head", "fast", weight="latency")
+        assert by_latency.links[0].id == "ib2"
+        by_bandwidth = graph.shortest("head", "fast", weight="bandwidth")
+        assert by_bandwidth.links[0].id == "ib2"
+
+    def test_no_path(self):
+        p = (
+            PlatformBuilder("iso")
+            .master("m")
+            .worker("w", architecture="gpu")
+            .build(validate=False)
+        )
+        graph = InterconnectGraph(p)  # no links, no control edges
+        with pytest.raises(PathError, match="no data path"):
+            graph.shortest("m", "w")
+
+    def test_control_edges_fallback(self):
+        p = (
+            PlatformBuilder("iso")
+            .master("m")
+            .worker("w", architecture="gpu")
+            .build(validate=False)
+        )
+        graph = InterconnectGraph(p, include_control_edges=True)
+        route = graph.shortest("m", "w")
+        assert route.links[0].type == "control"
+
+    def test_unknown_node(self, gpgpu_platform):
+        graph = InterconnectGraph(gpgpu_platform)
+        with pytest.raises(PathError, match="unknown processing unit"):
+            graph.shortest("host", "ghost")
+
+    def test_unknown_weight(self, gpgpu_platform):
+        graph = InterconnectGraph(gpgpu_platform)
+        with pytest.raises(PathError, match="unknown path weight"):
+            graph.shortest("host", "gpu0", weight="vibes")
+
+    def test_unidirectional_respected(self):
+        p = (
+            PlatformBuilder("uni")
+            .master("m")
+            .worker("w", architecture="gpu")
+            .interconnect("m", "w", type="X", bidirectional=False)
+            .build(validate=False)
+        )
+        graph = InterconnectGraph(p)
+        assert graph.shortest("m", "w").hop_count == 1
+        with pytest.raises(PathError):
+            graph.shortest("w", "m")
+
+    def test_neighbors_and_reachable(self, gpgpu_platform):
+        graph = InterconnectGraph(gpgpu_platform)
+        assert graph.neighbors("host") == ["cpu", "gpu0", "gpu1"]
+        assert graph.reachable("gpu0") == {"host", "cpu", "gpu1"}
+        assert graph.is_connected()
+
+    def test_links_between(self, gpgpu_platform):
+        graph = InterconnectGraph(gpgpu_platform)
+        links = graph.links_between("host", "gpu0")
+        assert len(links) == 1 and links[0].type == "PCIe"
+        assert graph.links_between("gpu0", "gpu1") == []
+
+
+class TestTransferTime:
+    def test_pcie_transfer_math(self, gpgpu_platform):
+        graph = InterconnectGraph(gpgpu_platform)
+        route = graph.shortest("host", "gpu0", weight="latency")
+        nbytes = 8 * 2**20  # one 1024x1024 DP tile
+        expected = 15e-6 + nbytes / (5.7 * 1024**3)
+        assert route.transfer_time(nbytes) == pytest.approx(expected)
+
+    def test_multihop_sums_per_hop(self):
+        graph = InterconnectGraph(multihop_platform())
+        route = graph.shortest("head", "gpu", weight="latency")
+        nbytes = 2**20
+        expected = (1.5e-6 + nbytes / (3.2 * 1024**3)) + (
+            15e-6 + nbytes / (5.7 * 1024**3)
+        )
+        assert route.transfer_time(nbytes) == pytest.approx(expected)
+
+    def test_bottleneck_bandwidth(self):
+        graph = InterconnectGraph(multihop_platform())
+        route = graph.shortest("head", "gpu")
+        assert route.bottleneck_bandwidth() == pytest.approx(3.2 * 1024**3)
+
+    def test_route_latency_sum(self):
+        graph = InterconnectGraph(multihop_platform())
+        route = graph.shortest("head", "gpu", weight="latency")
+        assert route.latency_s() == pytest.approx(16.5e-6)
+
+    def test_estimate_transfer_time_convenience(self, gpgpu_platform):
+        graph = InterconnectGraph(gpgpu_platform)
+        t = graph.estimate_transfer_time("host", "gpu1", 512 * 2**20)
+        assert t == pytest.approx(15e-6 + 512 * 2**20 / (5.7 * 1024**3))
+
+    def test_route_between_regions(self, gpgpu_platform):
+        graph = InterconnectGraph(gpgpu_platform)
+        main = gpgpu_platform.find_memory_region("main")
+        gpu_mem = gpgpu_platform.find_memory_region("gpu0-mem")
+        route = graph.route_between_regions(main, gpu_mem)
+        assert route.endpoints == ("host", "gpu0")

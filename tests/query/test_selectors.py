@@ -1,0 +1,125 @@
+"""Unit tests for the selector mini-language."""
+
+import pytest
+
+from repro.errors import SelectorSyntaxError
+from repro.query.selectors import parse_selector, select
+
+
+class TestParsing:
+    def test_single_step(self):
+        sel = parse_selector("Worker")
+        assert len(sel.steps) == 1
+        assert sel.steps[0].kind == "Worker"
+        assert sel.steps[0].descendant is True  # default axis searches deep
+
+    def test_anchored(self):
+        sel = parse_selector("/Master/Worker")
+        assert sel.steps[0].descendant is False
+        assert sel.steps[1].descendant is False
+
+    def test_descendant_axis(self):
+        sel = parse_selector("Master//Worker")
+        assert sel.steps[1].descendant is True
+
+    def test_predicates(self):
+        sel = parse_selector("Worker[ARCHITECTURE=gpu][@quantity>=2]")
+        preds = sel.steps[0].predicates
+        assert len(preds) == 2
+        assert preds[0].key == "ARCHITECTURE" and preds[0].op == "="
+        assert preds[1].key == "@quantity" and preds[1].op == ">="
+
+    def test_quoted_values(self):
+        sel = parse_selector('Worker[MODEL="GeForce GTX 480"]')
+        assert sel.steps[0].predicates[0].value == "GeForce GTX 480"
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "Gizmo", "Worker[", "Worker[X]", "Worker[X=]",
+        "Worker/", "Worker//", "Worker[@bogus=1]", "/[A=1]",
+    ])
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SelectorSyntaxError):
+            parse_selector(bad)
+
+    def test_error_carries_position(self):
+        with pytest.raises(SelectorSyntaxError) as info:
+            parse_selector("Worker[@bogus=1]")
+        assert info.value.selector == "Worker[@bogus=1]"
+        assert isinstance(info.value.position, int)
+
+
+class TestEvaluation:
+    def test_kind_filter(self, gpgpu_platform):
+        assert [pu.id for pu in select(gpgpu_platform, "Worker")] == [
+            "cpu", "gpu0", "gpu1",
+        ]
+        assert [pu.id for pu in select(gpgpu_platform, "Master")] == ["host"]
+
+    def test_wildcard(self, gpgpu_platform):
+        assert len(select(gpgpu_platform, "*")) == 4
+
+    def test_property_equality(self, gpgpu_platform):
+        ids = [pu.id for pu in select(gpgpu_platform, "Worker[ARCHITECTURE=gpu]")]
+        assert ids == ["gpu0", "gpu1"]
+
+    def test_property_inequality(self, gpgpu_platform):
+        ids = [pu.id for pu in select(gpgpu_platform, "Worker[ARCHITECTURE!=gpu]")]
+        assert ids == ["cpu"]
+
+    def test_numeric_comparison(self, gpgpu_platform):
+        ids = [pu.id for pu in select(gpgpu_platform, "*[PEAK_GFLOPS_DP>=80]")]
+        assert ids == ["gpu0", "gpu1"]
+        ids = [pu.id for pu in select(gpgpu_platform, "*[PEAK_GFLOPS_DP<80]")]
+        assert ids == ["cpu"]
+
+    def test_meta_keys(self, gpgpu_platform):
+        assert [pu.id for pu in select(gpgpu_platform, "*[@id=gpu1]")] == ["gpu1"]
+        assert [pu.id for pu in select(gpgpu_platform, "*[@kind=Master]")] == ["host"]
+        assert [pu.id for pu in select(gpgpu_platform, "Worker[@quantity>=8]")] == ["cpu"]
+
+    def test_group_membership(self, gpgpu_platform):
+        ids = [pu.id for pu in select(gpgpu_platform, "Worker[@group=gpus]")]
+        assert ids == ["gpu0", "gpu1"]
+        ids = [pu.id for pu in select(gpgpu_platform, "Worker[@group!=gpus]")]
+        assert ids == ["cpu"]
+
+    def test_path_steps(self, gpgpu_platform):
+        ids = [pu.id for pu in select(gpgpu_platform, "/Master/Worker[ARCHITECTURE=gpu]")]
+        assert ids == ["gpu0", "gpu1"]
+
+    def test_descendants_through_hybrids(self, cluster_platform):
+        # Master//Worker crosses the Hybrid level
+        ids = [pu.id for pu in select(cluster_platform, "/Master//Worker")]
+        assert ids == ["node0-gpu0", "node1-spe"]
+        # direct children of Masters are only the Hybrids
+        assert select(cluster_platform, "/Master/Worker") == []
+
+    def test_hybrid_selection(self, cluster_platform):
+        ids = [pu.id for pu in select(cluster_platform, "Hybrid")]
+        assert ids == ["node0", "node1"]
+
+    def test_chained_predicates_and(self, gpgpu_platform):
+        ids = [
+            pu.id
+            for pu in select(
+                gpgpu_platform, "Worker[ARCHITECTURE=gpu][PEAK_GFLOPS_DP>100]"
+            )
+        ]
+        assert ids == ["gpu0"]
+
+    def test_missing_property_never_matches(self, gpgpu_platform):
+        assert select(gpgpu_platform, "Worker[NONEXISTENT=1]") == []
+        assert select(gpgpu_platform, "Worker[NONEXISTENT>1]") == []
+
+    def test_select_on_subtree(self, cluster_platform):
+        node0 = cluster_platform.pu("node0")
+        ids = [pu.id for pu in select(node0, "Worker")]
+        assert ids == ["node0-gpu0"]
+
+    def test_string_ordering_fallback(self, gpgpu_platform):
+        # non-numeric comparison falls back to lexical ordering:
+        # "GeForce ..." < "Intel" < "J..."
+        ids = [pu.id for pu in select(gpgpu_platform, "Worker[MODEL<Intel]")]
+        assert ids == ["gpu0", "gpu1"]
+        ids = [pu.id for pu in select(gpgpu_platform, "Worker[MODEL>=Intel]")]
+        assert ids == ["cpu"]

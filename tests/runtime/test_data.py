@@ -1,0 +1,133 @@
+"""Unit and property tests for data handles and partitioning."""
+
+import hypothesis.strategies as st
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import DataError
+from repro.runtime.data import DataHandle, block_ranges
+
+
+class TestBlockRanges:
+    def test_even_split(self):
+        assert block_ranges(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_to_leading_parts(self):
+        assert block_ranges(10, 3) == [(0, 4), (4, 7), (7, 10)]
+
+    def test_single_part(self):
+        assert block_ranges(5, 1) == [(0, 5)]
+
+    def test_errors(self):
+        with pytest.raises(DataError):
+            block_ranges(3, 0)
+        with pytest.raises(DataError):
+            block_ranges(3, 4)
+
+    @given(st.integers(1, 10_000), st.integers(1, 64))
+    @settings(max_examples=200, deadline=None)
+    def test_partition_properties(self, extent, nparts):
+        """BLOCK ranges tile the index space exactly, balanced to ±1."""
+        if nparts > extent:
+            with pytest.raises(DataError):
+                block_ranges(extent, nparts)
+            return
+        ranges = block_ranges(extent, nparts)
+        assert len(ranges) == nparts
+        assert ranges[0][0] == 0 and ranges[-1][1] == extent
+        # contiguous, non-overlapping
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 == b0 and a0 < a1
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == extent
+
+
+class TestDataHandle:
+    def test_metadata_only(self):
+        h = DataHandle(shape=(8192, 8192), name="A")
+        assert h.nbytes == 8192 * 8192 * 8
+        assert h.array is None
+        with pytest.raises(DataError, match="no backing array"):
+            h.require_array()
+
+    def test_array_backed(self, rng):
+        arr = rng.standard_normal((10, 4))
+        h = DataHandle(array=arr)
+        assert h.shape == (10, 4)
+        assert h.require_array() is arr
+
+    def test_needs_shape_or_array(self):
+        with pytest.raises(DataError):
+            DataHandle()
+
+    def test_unique_ids_and_names(self):
+        a, b = DataHandle(shape=(1,)), DataHandle(shape=(1,))
+        assert a.id != b.id
+        assert a.name != b.name
+
+    def test_partition_rows_views(self, rng):
+        arr = rng.standard_normal((10, 3))
+        h = DataHandle(array=arr, name="X")
+        parts = h.partition_rows(3)
+        assert [p.shape for p in parts] == [(4, 3), (3, 3), (3, 3)]
+        # children are views: writing through them hits the parent
+        parts[0].array[:] = 7.0
+        assert np.all(arr[:4] == 7.0)
+        assert parts[0].name == "X[0]"
+        assert parts[0].parent is h
+
+    def test_partition_rows_metadata_only(self):
+        h = DataHandle(shape=(100,))
+        parts = h.partition_rows(4)
+        assert all(p.array is None for p in parts)
+        assert sum(p.shape[0] for p in parts) == 100
+
+    def test_partition_cols(self, rng):
+        arr = rng.standard_normal((4, 10))
+        parts = DataHandle(array=arr).partition_cols(2)
+        assert [p.shape for p in parts] == [(4, 5), (4, 5)]
+        parts[1].array[:] = 0
+        assert np.all(arr[:, 5:] == 0)
+
+    def test_partition_cols_needs_2d(self):
+        with pytest.raises(DataError, match="2-D"):
+            DataHandle(shape=(10,)).partition_cols(2)
+
+    def test_partition_tiles(self, rng):
+        arr = rng.standard_normal((8, 8))
+        grid = DataHandle(array=arr, name="C").partition_tiles(2, 4)
+        assert len(grid) == 2 and len(grid[0]) == 4
+        assert grid[1][3].shape == (4, 2)
+        assert grid[1][3].name == "C[1,3]"
+        grid[0][0].array[:] = 1.0
+        assert np.all(arr[:4, :2] == 1.0)
+
+    def test_tiles_cover_exactly(self):
+        h = DataHandle(shape=(13, 7))
+        grid = h.partition_tiles(3, 2)
+        total = sum(t.shape[0] * t.shape[1] for row in grid for t in row)
+        assert total == 13 * 7
+
+    def test_double_partition_rejected(self):
+        h = DataHandle(shape=(8, 8))
+        h.partition_tiles(2, 2)
+        with pytest.raises(DataError, match="already partitioned"):
+            h.partition_rows(2)
+
+    def test_leaves_and_unpartition(self):
+        h = DataHandle(shape=(8, 8))
+        grid = h.partition_tiles(2, 2)
+        assert len(list(h.leaves())) == 4
+        assert h.is_partitioned
+        h.unpartition()
+        assert h.is_leaf
+        assert list(h.leaves()) == [h]
+        assert grid[0][0].parent is None
+
+    def test_dtype_preserved(self):
+        h = DataHandle(shape=(4, 4), dtype=np.float32)
+        parts = h.partition_rows(2)
+        assert parts[0].dtype == np.float32
+        assert parts[0].nbytes == 2 * 4 * 4

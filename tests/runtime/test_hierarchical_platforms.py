@@ -1,0 +1,74 @@
+"""Engine behaviour on deep (Hybrid-bearing) platform hierarchies."""
+
+import pytest
+
+from repro.pdl.catalog import load_platform
+from repro.runtime.engine import RuntimeEngine
+from repro.experiments.workloads import submit_tiled_dgemm
+
+
+class TestHybridCluster:
+    @pytest.fixture(scope="class")
+    def engine(self, ):
+        platform = load_platform("hybrid_cluster")
+        engine = RuntimeEngine(platform, scheduler="dmda")
+        submit_tiled_dgemm(engine, 2048, 256)
+        return engine
+
+    def test_leaf_workers_found_through_hybrids(self, engine):
+        ids = {w.instance_id for w in engine.workers}
+        assert ids == {
+            "node0-gpu0#0", "node0-gpu0#1",
+            *{f"node1-spe#{k}" for k in range(8)},
+        }
+
+    def test_memory_nodes_follow_hierarchy(self, engine):
+        # node0 Hybrid owns a MemoryRegion: its gpu children inherit it
+        gpu_nodes = {
+            w.memory_node for w in engine.workers
+            if w.entity_id == "node0-gpu0"
+        }
+        assert len(gpu_nodes) == 1
+        gpu_node = gpu_nodes.pop()
+        assert gpu_node != 0
+        assert engine.node_anchor[gpu_node] == "node0"
+        # node1's SPEs declare no MemoryRegion in this descriptor: they
+        # fall back to the host node (nearest ancestor with memory is none)
+        spe_nodes = {
+            w.memory_node for w in engine.workers
+            if w.entity_id == "node1-spe"
+        }
+        assert spe_nodes == {0}
+
+    def test_run_completes_with_transfers(self, engine):
+        result = engine.run()
+        assert len(result.trace.tasks) == 512
+        # data must cross InfiniBand to reach the nodes
+        assert result.transfer_count > 0
+        per_arch = result.trace.tasks_per_architecture()
+        assert per_arch.get("gpu", 0) > 0  # GPUs pull their weight
+
+    def test_transfer_routes_multihop(self):
+        platform = load_platform("hybrid_cluster")
+        engine = RuntimeEngine(platform, scheduler="dmda")
+        # route from host memory (anchored at head) to a gpu worker
+        route = engine.transfer_model.route("head", "node0-gpu0")
+        assert route.hop_count == 2  # head -IB-> node0 -PCIe-> gpu
+        kinds = [link.type for link in route.links]
+        assert kinds == ["InfiniBand", "PCIe"]
+
+
+class TestCellPlatform:
+    def test_spe_local_store_nodes(self):
+        engine = RuntimeEngine(load_platform("cell_qs22"), scheduler="eager")
+        # one shared entity node for the 8 SPE instances (entity-level MR)
+        nodes = {w.memory_node for w in engine.workers}
+        assert len(nodes) == 1 and 0 not in nodes
+
+    def test_dgemm_runs_on_spes(self):
+        engine = RuntimeEngine(load_platform("cell_qs22"), scheduler="dmda")
+        submit_tiled_dgemm(engine, 2048, 256)
+        result = engine.run()
+        assert result.trace.tasks_per_architecture() == {"spe": 512}
+        # DMA over the EIB is modeled
+        assert result.transfer_count > 0

@@ -1,0 +1,68 @@
+"""Tests for data prefetching (StarPU's dmda-prefetch behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.pdl.catalog import load_platform
+from repro.runtime.engine import RuntimeEngine
+from repro.experiments.workloads import submit_tiled_cholesky, submit_tiled_dgemm
+
+
+def run(platform_name, *, prefetch, scheduler="dmda", n=4096, bs=512,
+        builder=submit_tiled_dgemm):
+    engine = RuntimeEngine(
+        load_platform(platform_name), scheduler=scheduler, prefetch=prefetch
+    )
+    builder(engine, n, bs)
+    return engine.run()
+
+
+class TestPrefetch:
+    def test_never_slower(self):
+        base = run("xeon_x5550_2gpu", prefetch=False)
+        fetched = run("xeon_x5550_2gpu", prefetch=True)
+        assert fetched.makespan <= base.makespan * 1.001
+
+    def test_helps_on_transfer_heavy_workload(self):
+        # smaller tiles => more transfers per flop => more to hide
+        base = run("xeon_x5550_2gpu", prefetch=False, bs=256)
+        fetched = run("xeon_x5550_2gpu", prefetch=True, bs=256)
+        assert fetched.makespan < base.makespan
+
+    def test_noop_on_cpu_platform(self):
+        base = run("xeon_x5550_dual", prefetch=False)
+        fetched = run("xeon_x5550_dual", prefetch=True)
+        assert fetched.makespan == pytest.approx(base.makespan)
+        assert fetched.transfer_count == 0
+
+    @pytest.mark.parametrize("scheduler", ["eager", "ws", "dm", "dmda"])
+    def test_all_schedulers_complete_with_prefetch(self, scheduler):
+        result = run("xeon_x5550_2gpu", prefetch=True, scheduler=scheduler,
+                     n=2048, bs=512)
+        assert result.task_count == 64
+        assert len(result.trace.tasks) == 64
+
+    def test_functional_correctness_with_prefetch(self, small_platform):
+        engine = RuntimeEngine(small_platform, scheduler="dmda",
+                               prefetch=True, execute_kernels=True)
+        handles = submit_tiled_dgemm(engine, 256, 64, materialize=True)
+        a, b = handles.A.array.copy(), handles.B.array.copy()
+        engine.run()
+        np.testing.assert_allclose(handles.C.array, a @ b, rtol=1e-10)
+
+    def test_cholesky_with_prefetch(self):
+        base = run("xeon_x5550_2gpu", prefetch=False,
+                   builder=submit_tiled_cholesky, n=8192, bs=512)
+        fetched = run("xeon_x5550_2gpu", prefetch=True,
+                      builder=submit_tiled_cholesky, n=8192, bs=512)
+        assert fetched.makespan <= base.makespan * 1.001
+
+    def test_dependencies_still_respected(self):
+        engine = RuntimeEngine(load_platform("xeon_x5550_2gpu"),
+                               scheduler="dmda", prefetch=True)
+        submit_tiled_dgemm(engine, 2048, 512)
+        engine.run()
+        by_id = {t.id: t for t in engine._tasks}
+        for task in engine._tasks:
+            for dep in task.depends_on:
+                assert by_id[dep].end_time <= task.start_time + 1e-12

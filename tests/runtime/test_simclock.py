@@ -1,0 +1,91 @@
+"""Unit tests for the discrete-event queue."""
+
+import pytest
+
+from repro.errors import RuntimeEngineError
+from repro.runtime.simclock import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        fired = []
+        q.schedule_at(2.0, lambda: fired.append("b"))
+        q.schedule_at(1.0, lambda: fired.append("a"))
+        q.schedule_at(3.0, lambda: fired.append("c"))
+        q.run()
+        assert fired == ["a", "b", "c"]
+        assert q.now == 3.0
+
+    def test_tie_break_by_insertion(self):
+        q = EventQueue()
+        fired = []
+        for label in "abc":
+            q.schedule_at(1.0, lambda l=label: fired.append(l))
+        q.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_schedule_in_relative(self):
+        q = EventQueue()
+        times = []
+        q.schedule_at(5.0, lambda: q.schedule_in(2.0, lambda: times.append(q.now)))
+        q.run()
+        assert times == [7.0]
+
+    def test_events_can_spawn_events(self):
+        q = EventQueue()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10:
+                q.schedule_in(1.0, tick)
+
+        q.schedule_at(0.0, tick)
+        q.run()
+        assert count[0] == 10 and q.now == 9.0
+
+    def test_past_scheduling_rejected(self):
+        q = EventQueue()
+        q.schedule_at(5.0, lambda: None)
+        q.step()
+        with pytest.raises(RuntimeEngineError, match="before current time"):
+            q.schedule_at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(RuntimeEngineError, match="negative delay"):
+            EventQueue().schedule_in(-1.0, lambda: None)
+
+    def test_run_until(self):
+        q = EventQueue()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            q.schedule_at(t, lambda t=t: fired.append(t))
+        q.run(until=2.0)
+        assert fired == [1.0, 2.0]
+        assert len(q) == 1
+
+    def test_event_budget(self):
+        q = EventQueue()
+
+        def forever():
+            q.schedule_in(0.1, forever)
+
+        q.schedule_at(0.0, forever)
+        with pytest.raises(RuntimeEngineError, match="event budget"):
+            q.run(max_events=100)
+
+    def test_step_and_empty(self):
+        q = EventQueue()
+        assert q.empty and not q.step()
+        q.schedule_at(1.0, lambda: None)
+        assert not q.empty
+        assert q.step() is True
+        assert q.empty
+
+    def test_reset(self):
+        q = EventQueue()
+        q.schedule_at(1.0, lambda: None)
+        q.run()
+        q.reset()
+        assert q.now == 0.0 and q.empty

@@ -1,0 +1,88 @@
+"""Unit tests for Paje/JSON/Gantt trace export."""
+
+import json
+
+import pytest
+
+from repro.pdl.catalog import load_platform
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.trace_export import gantt_ascii, to_json, to_paje
+from repro.experiments.workloads import submit_tiled_dgemm
+
+
+@pytest.fixture(scope="module")
+def trace():
+    engine = RuntimeEngine(load_platform("xeon_x5550_2gpu"), scheduler="dmda")
+    submit_tiled_dgemm(engine, 2048, 512)
+    return engine.run().trace
+
+
+class TestPaje:
+    def test_header_present(self, trace):
+        text = to_paje(trace)
+        assert text.startswith("%EventDef PajeDefineContainerType")
+        assert "%EndEventDef" in text
+
+    def test_one_container_per_worker(self, trace):
+        text = to_paje(trace)
+        workers = {t.worker_id for t in trace.tasks}
+        for worker in workers:
+            assert f'"{worker}"' in text
+
+    def test_state_events_paired(self, trace):
+        text = to_paje(trace)
+        kernel_events = [l for l in text.splitlines()
+                         if l.startswith("4 ") and '"dgemm"' in l]
+        idle_events = [l for l in text.splitlines()
+                       if l.startswith("4 ") and '"Idle"' in l]
+        # one dgemm-state + one back-to-idle per task (plus initial idles)
+        assert len(kernel_events) == len(trace.tasks)
+        assert len(idle_events) == len(trace.tasks) + len(
+            {t.worker_id for t in trace.tasks}
+        )
+
+    def test_times_monotone_per_event_stream(self, trace):
+        text = to_paje(trace)
+        times = [float(l.split()[1]) for l in text.splitlines()
+                 if l.startswith("4 ")]
+        assert min(times) >= 0.0
+        assert max(times) <= trace.makespan + 1e-9
+
+
+class TestJson:
+    def test_valid_json_with_fields(self, trace):
+        payload = json.loads(to_json(trace))
+        assert payload["makespan"] == pytest.approx(trace.makespan)
+        assert len(payload["tasks"]) == len(trace.tasks)
+        assert len(payload["transfers"]) == len(trace.transfers)
+        task = payload["tasks"][0]
+        for key in ("id", "kernel", "worker", "start", "end"):
+            assert key in task
+
+    def test_tasks_sorted_by_start(self, trace):
+        payload = json.loads(to_json(trace))
+        starts = [t["start"] for t in payload["tasks"]]
+        assert starts == sorted(starts)
+
+    def test_indent_option(self, trace):
+        assert "\n" in to_json(trace, indent=2)
+
+
+class TestGantt:
+    def test_row_per_worker(self, trace):
+        chart = gantt_ascii(trace, width=40)
+        lines = chart.splitlines()
+        workers = {t.worker_id for t in trace.tasks}
+        assert len(lines) == len(workers) + 1  # header + rows
+        assert all("|" in l for l in lines[1:])
+
+    def test_busy_markers_present(self, trace):
+        chart = gantt_ascii(trace, width=40)
+        assert "#" in chart
+        # utilization percentages rendered
+        assert "%" in chart
+
+    def test_empty_trace(self):
+        from repro.runtime.trace import TraceLog
+
+        assert gantt_ascii(TraceLog()) == "(empty trace)"

@@ -1,0 +1,69 @@
+"""The documented public API surface stays importable and coherent."""
+
+import importlib
+
+import pytest
+
+
+TOP_LEVEL_EXPORTS = [
+    "Master", "Hybrid", "Worker", "MemoryRegion", "Interconnect",
+    "Platform", "PlatformBuilder", "Property",
+    "parse_pdl", "parse_pdl_file", "write_pdl", "write_pdl_file",
+    "load_platform",
+]
+
+SUBPACKAGES = [
+    "repro.model", "repro.pdl", "repro.query", "repro.discovery",
+    "repro.perf", "repro.kernels", "repro.runtime", "repro.cascabel",
+    "repro.experiments", "repro.errors", "repro.dynamic", "repro.predict",
+]
+
+
+def test_top_level_exports():
+    import repro
+
+    for name in TOP_LEVEL_EXPORTS:
+        assert hasattr(repro, name), name
+    assert repro.__version__
+
+
+@pytest.mark.parametrize("module", SUBPACKAGES)
+def test_subpackages_importable(module):
+    mod = importlib.import_module(module)
+    assert mod is not None
+
+
+@pytest.mark.parametrize("module", SUBPACKAGES)
+def test_all_lists_resolve(module):
+    mod = importlib.import_module(module)
+    for name in getattr(mod, "__all__", []):
+        assert hasattr(mod, name), f"{module}.{name} in __all__ but missing"
+
+
+def test_errors_all_derive_from_repro_error():
+    from repro import errors
+
+    for name in errors.__all__:
+        obj = getattr(errors, name)
+        assert issubclass(obj, errors.ReproError)
+
+
+def test_readme_quickstart_sequence():
+    """The 6-line quickstart from the README must work verbatim."""
+    from repro import PlatformBuilder, parse_pdl, write_pdl
+    from repro.runtime import RuntimeEngine
+    from repro.experiments import submit_tiled_dgemm
+
+    platform = (
+        PlatformBuilder("node")
+        .master("host", architecture="x86_64")
+        .worker("cpu", architecture="x86_64", quantity=4)
+        .worker("gpu0", architecture="gpu")
+        .interconnect("host", "gpu0", type="PCIe", bandwidth="5.7 GB/s")
+        .build()
+    )
+    roundtrip = parse_pdl(write_pdl(platform))
+    engine = RuntimeEngine(roundtrip, scheduler="dmda")
+    submit_tiled_dgemm(engine, 1024, 256)
+    result = engine.run()
+    assert result.makespan > 0
