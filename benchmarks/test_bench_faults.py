@@ -1,0 +1,72 @@
+"""XTRA-FAULT — graceful degradation under worker failure.
+
+A WorkerFault kills one GPU lane mid-run: its in-flight task is aborted
+and requeued, its queue drains to survivors, and the run completes
+degraded.  The benchmark bounds the slowdown — losing one of two GPUs on
+the Figure-5 platform must cost time, but far less than losing the work:
+every task still completes exactly once.
+"""
+
+from repro.dynamic import TaskFault, WorkerFault
+from repro.pdl.catalog import load_platform
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.faults import FaultPolicy
+from repro.runtime.tasks import TaskState
+from repro.experiments.workloads import submit_tiled_dgemm
+from benchmarks.conftest import print_report
+
+
+def run(events, **kwargs):
+    engine = RuntimeEngine(load_platform("xeon_x5550_2gpu"), scheduler="dmda")
+    submit_tiled_dgemm(engine, 8192, 1024)
+    return engine, engine.run(dynamic_events=events, **kwargs)
+
+
+def test_bench_worker_fault_degradation(benchmark):
+    def scenario_pair():
+        _, base = run([])
+        engine, hit = run([(1.0, WorkerFault("gpu0", reason="ecc"))])
+        return base, hit, engine
+
+    base, hit, engine = benchmark.pedantic(
+        scenario_pair, iterations=1, rounds=2
+    )
+    print_report(
+        "XTRA-FAULT — DGEMM 8192, gpu0 dies abruptly at t=1s",
+        f"baseline {base.makespan:.3f} s -> degraded {hit.makespan:.3f} s"
+        f" (+{(hit.makespan / base.makespan - 1) * 100:.0f}%);"
+        f" {hit.worker_failures} lane lost, {hit.requeue_count} requeues,"
+        f" {len(hit.trace.tasks)}/512 tasks completed",
+    )
+    assert all(t.state is TaskState.DONE for t in engine._tasks)
+    assert len(hit.trace.tasks) == 512  # nothing lost, nothing doubled
+    assert hit.worker_failures == 1
+    assert hit.requeue_count >= 1
+    # bounded degradation: slower than the healthy run, but the survivors
+    # absorb the work rather than the run collapsing
+    assert base.makespan < hit.makespan < base.makespan * 2.5
+
+
+def test_bench_retry_overhead(benchmark):
+    """Transient task faults + retry barely move the makespan."""
+    victims = [f"dgemm[{i},{i},0]" for i in range(4)]
+
+    def scenario_pair():
+        _, base = run([])
+        _, faulted = run(
+            [(0.01 * (i + 1), TaskFault(task_tag=tag))
+             for i, tag in enumerate(victims)],
+            fault_policy=FaultPolicy(max_retries=2, backoff_base_s=0.001),
+        )
+        return base, faulted
+
+    base, faulted = benchmark.pedantic(scenario_pair, iterations=1, rounds=2)
+    print_report(
+        "XTRA-FAULT — 4 injected transient task faults, retried",
+        f"baseline {base.makespan:.3f} s -> with faults"
+        f" {faulted.makespan:.3f} s;"
+        f" {faulted.task_failures} failures, {faulted.retry_count} retries",
+    )
+    assert faulted.retry_count == faulted.task_failures
+    assert len(faulted.trace.tasks) == 512
+    assert faulted.makespan < base.makespan * 1.5

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Fault-tolerant execution: lane death, task faults, retry, watchdog.
+
+The runtime survives three classes of failure, in both execution modes:
+
+* **worker faults** — a lane dies abruptly mid-run
+  (:class:`~repro.dynamic.WorkerFault` in simulation, ``kill_at`` /
+  :meth:`~repro.runtime.RuntimeEngine.kill_worker` in real mode).  Its
+  in-flight and queued work is requeued to surviving compatible lanes.
+* **task faults** — one execution attempt fails
+  (:class:`~repro.dynamic.TaskFault`, or a raising kernel in real mode)
+  and is retried with capped exponential backoff under a
+  :class:`~repro.runtime.FaultPolicy`.
+* **stalls** — when no forward progress is possible, a watchdog raises a
+  diagnostic error instead of hanging forever.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+import numpy as np
+
+from repro.dynamic import TaskFault, WorkerFault
+from repro.kernels.registry import KernelRegistry
+from repro.pdl import load_platform
+from repro.runtime import FaultPolicy, RuntimeEngine
+from repro.experiments import submit_tiled_dgemm
+
+
+def sim_worker_fault():
+    """gpu0 dies abruptly 100 ms into a 512-task DGEMM."""
+    print("== sim: WorkerFault(gpu0) at t=0.1s ==")
+    engine = RuntimeEngine(load_platform("xeon_x5550_2gpu"), scheduler="dmda")
+    submit_tiled_dgemm(engine, 8192, 1024)
+    result = engine.run(
+        dynamic_events=[(0.1, WorkerFault("gpu0", reason="ecc fault"))]
+    )
+    print(result.summary())
+    print(f"fault trace: {result.trace.fault_counts()}\n")
+
+
+def sim_task_fault_with_retry():
+    """Two transient task faults, retried under an explicit policy."""
+    print("== sim: transient TaskFaults, retried ==")
+    engine = RuntimeEngine(load_platform("xeon_x5550_2gpu"), scheduler="dmda")
+    submit_tiled_dgemm(engine, 4096, 1024)
+    result = engine.run(
+        dynamic_events=[
+            (0.01, TaskFault(task_tag="dgemm[0,0,0]")),
+            (0.02, TaskFault(task_tag="dgemm[1,1,0]")),
+        ],
+        fault_policy=FaultPolicy(max_retries=2, backoff_base_s=0.005),
+    )
+    print(result.summary())
+    for fault in result.trace.faults:
+        print(f"  t={fault.time:.4f}s {fault.kind:<11} {fault.task_tag:<14}"
+              f" {fault.detail}")
+    print()
+
+
+def real_lane_killed():
+    """Real threaded run with one CPU lane killed 10 ms in."""
+    print("== real: kill cpu#0 at t=0.01s ==")
+    engine = RuntimeEngine(load_platform("xeon_x5550_2gpu"), scheduler="eager")
+    handles = submit_tiled_dgemm(engine, 1024, 128, materialize=True)
+    expected = handles.A.array @ handles.B.array
+    result = engine.run_real(kill_at=[(0.01, "cpu#0")])
+    ok = np.allclose(handles.C.array, expected)
+    print(result.summary())
+    print(f"lanes lost: {result.worker_failures},"
+          f" result correct despite the kill: {ok}\n")
+
+
+def real_flaky_kernel():
+    """A kernel that fails on its first attempt, healed by retry."""
+    print("== real: flaky kernel, retry with backoff ==")
+    registry = KernelRegistry()
+    registry.define("flaky_scale", flops=lambda d: d[0], bytes_touched=lambda d: 8 * d[0])
+    attempts = {"n": 0}
+
+    def flaky_scale(X, alpha=2.0):
+        attempts["n"] += 1
+        if attempts["n"] == 1:
+            raise RuntimeError("spurious launch failure")
+        X *= alpha
+
+    registry.variant("flaky_scale", "x86_64")(flaky_scale)
+    registry.variant("flaky_scale", "gpu")(flaky_scale)
+
+    engine = RuntimeEngine(
+        load_platform("xeon_x5550_2gpu"), scheduler="eager", registry=registry
+    )
+    x = engine.register(np.ones(8))
+    engine.submit("flaky_scale", [(x, "rw")], dims=(8,), args={"alpha": 3.0})
+    result = engine.run_real(
+        fault_policy=FaultPolicy(max_retries=2, backoff_base_s=0.001)
+    )
+    print(f"attempts: {attempts['n']}, retries: {result.retry_count},"
+          f" x[0] = {x.array[0]:g} (expected 3)")
+    print()
+
+
+def main():
+    sim_worker_fault()
+    sim_task_fault_with_retry()
+    real_lane_killed()
+    real_flaky_kernel()
+
+
+if __name__ == "__main__":
+    main()

@@ -7,12 +7,15 @@ Events mutate descriptors through the unfixed-property mechanism;
 
 from repro.dynamic.events import (
     AVAILABLE_PROP,
+    INTERCONNECT_PROPS,
     FrequencyChange,
     GroupChange,
     PlatformEvent,
     PropertyUpdate,
     PUOffline,
     PUOnline,
+    TaskFault,
+    WorkerFault,
 )
 from repro.dynamic.monitor import AppliedEvent, DynamicPlatform, available_workers
 from repro.dynamic.rebalance import RevisionRun, run_across_revisions
@@ -21,10 +24,13 @@ __all__ = [
     "PlatformEvent",
     "PUOffline",
     "PUOnline",
+    "WorkerFault",
+    "TaskFault",
     "FrequencyChange",
     "PropertyUpdate",
     "GroupChange",
     "AVAILABLE_PROP",
+    "INTERCONNECT_PROPS",
     "DynamicPlatform",
     "AppliedEvent",
     "available_workers",

@@ -25,14 +25,21 @@ __all__ = [
     "PlatformEvent",
     "PUOffline",
     "PUOnline",
+    "WorkerFault",
+    "TaskFault",
     "FrequencyChange",
     "PropertyUpdate",
     "GroupChange",
     "AVAILABLE_PROP",
+    "INTERCONNECT_PROPS",
 ]
 
 #: descriptor property carrying dynamic availability (unfixed by design)
 AVAILABLE_PROP = "AVAILABLE"
+
+#: descriptor properties that parameterize the interconnect fabric; an
+#: event updating one of these invalidates memoized transfer routes
+INTERCONNECT_PROPS = frozenset({"BANDWIDTH", "LATENCY", "LINKWIDTH"})
 
 
 @dataclass(frozen=True)
@@ -43,6 +50,11 @@ class PlatformEvent:
 
     def apply(self, platform: Platform) -> None:
         raise NotImplementedError
+
+    @property
+    def affects_interconnect(self) -> bool:
+        """Whether the event invalidates cached transfer routes."""
+        return False
 
     def describe(self) -> str:
         return f"{type(self).__name__}({self.pu_id})"
@@ -96,6 +108,47 @@ class PUOnline(PlatformEvent):
 
 
 @dataclass(frozen=True)
+class WorkerFault(PUOffline):
+    """A worker lane *died* abruptly (crash, ECC fault, watchdog reset).
+
+    Stronger than :class:`PUOffline`: the graceful-offline semantics let
+    the lane finish its in-flight task, a fault does not.  The runtime
+    aborts whatever was executing on the lane, requeues it (and the
+    lane's queued tasks) to surviving compatible workers, and marks the
+    lane retired — a later :class:`PUOnline` does not revive it.
+    """
+
+    def describe(self) -> str:
+        extra = f": {self.reason}" if self.reason else ""
+        return f"WorkerFault({self.pu_id}{extra})"
+
+
+@dataclass(frozen=True)
+class TaskFault(PlatformEvent):
+    """Inject a (transient) failure into one task by its trace tag.
+
+    Not a descriptor mutation — the platform is untouched — but delivered
+    through the same mid-run event stream so fault scenarios compose with
+    availability and DVFS events.  If the target task is running when the
+    event fires, the attempt is aborted mid-flight; if it has not started
+    yet, its next start attempt fails.  Either way the runtime's retry
+    policy (:class:`repro.runtime.faults.FaultPolicy`) decides whether it
+    gets another attempt.
+    """
+
+    pu_id: str = ""
+    task_tag: str = ""
+
+    def apply(self, platform: Platform) -> None:
+        if not self.task_tag:
+            raise ModelError("TaskFault requires a task_tag")
+        # no descriptor change; the engine interprets the event
+
+    def describe(self) -> str:
+        return f"TaskFault({self.task_tag})"
+
+
+@dataclass(frozen=True)
 class FrequencyChange(PlatformEvent):
     """DVFS: the PU's clock changed; dependent rates scale with it.
 
@@ -145,6 +198,10 @@ class PropertyUpdate(PlatformEvent):
             raise ModelError("PropertyUpdate requires a property name")
         pu = self._pu(platform)
         _set_unfixed(pu.descriptor, self.name, self.value, self.unit)
+
+    @property
+    def affects_interconnect(self) -> bool:
+        return self.name.upper() in INTERCONNECT_PROPS
 
     def describe(self) -> str:
         return f"PropertyUpdate({self.pu_id}.{self.name}={self.value})"

@@ -32,6 +32,9 @@ __all__ = [
     "SchedulerError",
     "DataError",
     "CoherenceError",
+    "TaskFailureError",
+    "WorkerFailureError",
+    "WatchdogTimeoutError",
     "PerfModelError",
     "KernelError",
 ]
@@ -181,6 +184,27 @@ class DataError(RuntimeEngineError):
 
 class CoherenceError(RuntimeEngineError):
     """Coherence-protocol invariant violation."""
+
+
+class TaskFailureError(RuntimeEngineError):
+    """A task exhausted its retry budget (fault injection or kernel bug)."""
+
+    def __init__(self, message, *, task_tag=None, attempts=None):
+        self.task_tag = task_tag
+        self.attempts = attempts
+        super().__init__(message)
+
+
+class WorkerFailureError(RuntimeEngineError):
+    """A worker lane died and the run could not recover around it."""
+
+
+class WatchdogTimeoutError(RuntimeEngineError):
+    """The stall watchdog fired: no forward progress within the timeout.
+
+    The message carries a diagnosis of which tasks and workers were
+    blocked when the watchdog tripped.
+    """
 
 
 # --------------------------------------------------------------------------

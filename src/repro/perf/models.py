@@ -101,6 +101,18 @@ class PerfModel:
             self._cache[pu.id] = perf
         return perf
 
+    def invalidate(self, pu_id: Optional[str] = None) -> None:
+        """Drop cached rates so descriptor changes are re-resolved.
+
+        Dynamic events (DVFS, property re-instantiation) mutate the
+        descriptor properties this model reads; callers must invalidate
+        either the affected PU or, with no argument, the whole cache.
+        """
+        if pu_id is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(pu_id, None)
+
     # -- kernel models ------------------------------------------------------
     def dgemm_time(self, pu: ProcessingUnit, m: int, n: int, k: int) -> float:
         """Estimated seconds for a dense DP ``C += A(m×k) · B(k×n)``."""

@@ -64,6 +64,15 @@ class TransferModel:
         """Forget all link occupancy (start of a new simulation run)."""
         self._link_free_at.clear()
 
+    def invalidate_routes(self) -> None:
+        """Drop memoized routes after a dynamic event changed the fabric.
+
+        Routes are computed from the interconnect graph once and cached;
+        an event that re-instantiates link bandwidth/latency (or re-wires
+        the topology) makes those cached paths stale.
+        """
+        self._route_cache.clear()
+
     # -- pure estimates (no state) --------------------------------------------
     def route(self, src: str, dst: str) -> Route:
         key = (src, dst)

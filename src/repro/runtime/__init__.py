@@ -8,6 +8,7 @@ from repro.runtime.capacity import CapacityError, MemoryCapacityManager
 from repro.runtime.coherence import AccessMode, CoherenceDirectory, TransferNeed
 from repro.runtime.data import DataHandle, block_ranges
 from repro.runtime.engine import RuntimeEngine
+from repro.runtime.faults import FaultPolicy
 from repro.runtime.schedulers import (
     SCHEDULER_NAMES,
     DequeModelScheduler,
@@ -19,7 +20,13 @@ from repro.runtime.schedulers import (
 )
 from repro.runtime.simclock import EventQueue
 from repro.runtime.tasks import Access, DependencyTracker, RuntimeTask, TaskState
-from repro.runtime.trace import RunResult, TaskTrace, TraceLog, TransferTrace
+from repro.runtime.trace import (
+    FaultTrace,
+    RunResult,
+    TaskTrace,
+    TraceLog,
+    TransferTrace,
+)
 from repro.runtime.trace_export import gantt_ascii, to_json, to_paje
 from repro.runtime.workers import WorkerContext
 
@@ -45,7 +52,9 @@ __all__ = [
     "TraceLog",
     "TaskTrace",
     "TransferTrace",
+    "FaultTrace",
     "RunResult",
+    "FaultPolicy",
     "WorkerContext",
     "to_paje",
     "to_json",

@@ -28,13 +28,20 @@ Typical use::
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 import time as _time
 from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.errors import RuntimeEngineError, SchedulerError
+from repro.errors import (
+    RuntimeEngineError,
+    SchedulerError,
+    TaskFailureError,
+    WatchdogTimeoutError,
+    WorkerFailureError,
+)
 from repro.kernels.registry import KernelRegistry, default_kernel_registry
 from repro.model.entities import ProcessingUnit
 from repro.model.platform import Platform
@@ -44,10 +51,17 @@ from repro.perf.transfer import TransferModel
 from repro.runtime.capacity import MemoryCapacityManager
 from repro.runtime.coherence import CoherenceDirectory, TransferNeed
 from repro.runtime.data import DataHandle
+from repro.runtime.faults import FaultPolicy
 from repro.runtime.schedulers import Scheduler, make_scheduler
 from repro.runtime.simclock import EventQueue
 from repro.runtime.tasks import DependencyTracker, RuntimeTask, TaskState
-from repro.runtime.trace import RunResult, TaskTrace, TraceLog, TransferTrace
+from repro.runtime.trace import (
+    FaultTrace,
+    RunResult,
+    TaskTrace,
+    TraceLog,
+    TransferTrace,
+)
 from repro.runtime.workers import WorkerContext, expand_workers
 
 __all__ = ["RuntimeEngine"]
@@ -177,6 +191,9 @@ class RuntimeEngine:
         self._ran = False
         #: worker instance ids taken down by mid-run dynamic events
         self._offline: set[str] = set()
+        #: real mode only: per-lane kill switches (live during run_real)
+        self._kill_events: Optional[dict[str, threading.Event]] = None
+        self._kill_reasons: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # data API
@@ -263,6 +280,7 @@ class RuntimeEngine:
         *,
         gather_to_home: bool = True,
         dynamic_events: Optional[Sequence[tuple]] = None,
+        fault_policy: Optional[FaultPolicy] = None,
     ) -> RunResult:
         """Run all submitted tasks in discrete-event simulation.
 
@@ -275,11 +293,28 @@ class RuntimeEngine:
         simulation runs* — the "highly dynamic run-time schedulers" of
         the paper's conclusion.  A worker taken offline finishes its
         current task, its queued tasks are drained back to the scheduler,
-        and no new work reaches it until a matching online event.
+        and no new work reaches it until a matching online event.  A
+        :class:`~repro.dynamic.WorkerFault` additionally aborts the
+        lane's in-flight task (requeued to survivors); a
+        :class:`~repro.dynamic.TaskFault` fails one attempt of a task,
+        retried under ``fault_policy``.
+
+        ``fault_policy`` configures retry/backoff for injected task
+        faults (defaults to :class:`~repro.runtime.faults.FaultPolicy`).
         """
+        # lazy: repro.dynamic's package __init__ imports this module
+        from repro.dynamic.events import TaskFault, WorkerFault
+
         if self._ran:
             raise RuntimeEngineError("engine already ran")
         self._ran = True
+        policy = fault_policy if fault_policy is not None else FaultPolicy()
+        fault_stats = {
+            "task_failures": 0,
+            "retries": 0,
+            "requeues": 0,
+            "worker_failures": 0,
+        }
         wall_start = _time.perf_counter()
 
         clock = EventQueue()
@@ -325,7 +360,9 @@ class RuntimeEngine:
         pending = sum(1 for t in self._tasks if t.state != TaskState.DONE)
         written_handles: dict[int, DataHandle] = {}
         idle: dict[str, WorkerContext] = {}
-        #: task id → (memory node prefetched into, arrival time)
+        worker_by_id = {w.instance_id: w for w in self.workers}
+        #: task id → (memory node prefetch targeted, initiation time);
+        #: commits are deferred until the task actually starts there
         prefetched_until: dict[int, tuple[int, float]] = {}
 
         def wake_idle() -> None:
@@ -399,21 +436,29 @@ class RuntimeEngine:
             return data_ready
 
         def start_task(task: RuntimeTask, worker: WorkerContext, now: float) -> None:
+            if task.fault_armed:
+                # an injected TaskFault armed before the task started:
+                # this attempt fails immediately; the retry policy decides
+                task.fault_armed = False
+                fail_attempt(task, now, worker.instance_id, "injected task fault")
+                clock.schedule_in(0.0, lambda w=worker: worker_tick(w))
+                return
             task.state = TaskState.RUNNING
             # pin the task's working set first so staging one operand can
             # never evict another operand of the same task
             if self.capacity is not None:
                 for access in task.accesses:
                     self.capacity.pin(access.handle, worker.memory_node)
-            # stage operands (already-prefetched ones are valid in the
-            # coherence directory and cost nothing here; we only wait for
-            # their arrival time)
-            data_ready = stage_operands(task, worker, now)
+            # stage operands; a prefetch noted for this worker's node is
+            # committed here, back-dated to its initiation time, so the
+            # transfers overlap the previous task's compute — and a task
+            # that was drained or stolen after the peek never charges
+            # transfers or link occupancy it did not use
             staged = prefetched_until.pop(task.id, None)
+            stage_at = now
             if staged is not None and staged[0] == worker.memory_node:
-                # stolen tasks may run elsewhere; only wait for a prefetch
-                # that targeted this worker's node
-                data_ready = max(data_ready, staged[1])
+                stage_at = staged[1]
+            data_ready = max(now, stage_operands(task, worker, stage_at))
             transfer_wait = data_ready - now
 
             start = data_ready + self.task_overhead_s
@@ -436,36 +481,41 @@ class RuntimeEngine:
                         access.handle, worker.memory_node, start
                     )
 
-            if self.execute_kernels:
-                self._execute_payload(task, worker)
-
             worker.busy_until = end
             worker.is_idle = False
             task.worker_id = worker.instance_id
             task.start_time = start
             task.end_time = end
+            incarnation = task.incarnation
             clock.schedule_at(
-                end, lambda: finish_task(task, worker, transfer_wait)
+                end, lambda: finish_task(task, worker, transfer_wait, incarnation)
             )
 
-            # data prefetch: stage the *next* queued task's operands while
-            # this one computes (StarPU's dmda-prefetch behaviour)
+            # data prefetch: note the *next* queued task's operands for
+            # staging while this one computes (StarPU's dmda-prefetch
+            # behaviour); the commit is deferred to its own start
             if self.prefetch:
                 upcoming = self.scheduler.peek(worker)
                 if (
                     upcoming is not None
                     and upcoming.id not in prefetched_until
                 ):
-                    prefetched_until[upcoming.id] = (
-                        worker.memory_node,
-                        stage_operands(upcoming, worker, now),
-                    )
+                    prefetched_until[upcoming.id] = (worker.memory_node, now)
 
         def finish_task(
-            task: RuntimeTask, worker: WorkerContext, transfer_wait: float
+            task: RuntimeTask,
+            worker: WorkerContext,
+            transfer_wait: float,
+            incarnation: int,
         ) -> None:
             nonlocal pending
             now = clock.now
+            if task.incarnation != incarnation or task.state is not TaskState.RUNNING:
+                return  # attempt aborted by a fault event; stale completion
+            # the payload runs at completion, not dispatch, so an aborted
+            # attempt never half-applies a non-idempotent kernel
+            if self.execute_kernels:
+                self._execute_payload(task, worker)
             task.state = TaskState.DONE
             pending -= 1
             worker.busy_time += task.duration or 0.0
@@ -496,16 +546,100 @@ class RuntimeEngine:
                 wake_idle()
             worker_tick(worker)
 
+        def record_fault(kind: str, task_tag: str, worker_id: str, detail: str) -> None:
+            trace.record_fault(
+                FaultTrace(kind, clock.now, task_tag, worker_id, detail)
+            )
+
+        def release_pins(task: RuntimeTask, worker: WorkerContext) -> None:
+            if self.capacity is not None:
+                for access in task.accesses:
+                    self.capacity.unpin(access.handle, worker.memory_node)
+
+        def fail_attempt(
+            task: RuntimeTask, now: float, worker_id: str, detail: str
+        ) -> None:
+            """One execution attempt failed; retry with backoff or give up."""
+            task.incarnation += 1
+            task.attempt += 1
+            task.last_error = detail
+            fault_stats["task_failures"] += 1
+            record_fault("task-fault", task.tag, worker_id or "", detail)
+            if task.state is TaskState.RUNNING:
+                worker = worker_by_id[task.worker_id]
+                release_pins(task, worker)
+                worker.busy_until = now
+                clock.schedule_in(0.0, lambda w=worker: worker_tick(w))
+            task.worker_id = None
+            task.start_time = task.end_time = None
+            if task.attempt > policy.max_retries:
+                task.state = TaskState.FAILED
+                raise TaskFailureError(
+                    f"task {task.tag!r} failed permanently after"
+                    f" {task.attempt} attempt(s); last error: {detail}",
+                    task_tag=task.tag,
+                    attempts=task.attempt,
+                )
+            task.state = TaskState.READY
+            fault_stats["retries"] += 1
+            delay = policy.backoff(task.attempt)
+            record_fault(
+                "retry", task.tag, worker_id or "",
+                f"attempt {task.attempt + 1} after {delay:.4g}s backoff",
+            )
+
+            def resubmit(t=task):
+                self.scheduler.task_ready(t, clock.now)
+                wake_idle()
+
+            clock.schedule_in(delay, resubmit)
+
+        def abort_inflight(worker: WorkerContext, now: float, reason: str) -> None:
+            """Requeue the task executing on a faulted lane (work lost)."""
+            for task in self._tasks:
+                if (
+                    task.state is TaskState.RUNNING
+                    and task.worker_id == worker.instance_id
+                ):
+                    task.incarnation += 1  # the scheduled finish is void
+                    release_pins(task, worker)
+                    task.worker_id = None
+                    task.start_time = task.end_time = None
+                    task.state = TaskState.READY
+                    fault_stats["requeues"] += 1
+                    record_fault("requeue", task.tag, worker.instance_id, reason)
+                    self.scheduler.task_ready(task, now)
+            worker.busy_until = now
+
         def on_dynamic_event(event) -> None:
             now = clock.now
             event.apply(self.platform)
+            if isinstance(event, TaskFault):
+                target = next(
+                    (t for t in self._tasks if t.tag == event.task_tag), None
+                )
+                if target is None:
+                    raise RuntimeEngineError(
+                        f"TaskFault: no submitted task with tag"
+                        f" {event.task_tag!r}"
+                    )
+                if target.state in (TaskState.DONE, TaskState.FAILED):
+                    return  # completed before the fault landed
+                if target.state is TaskState.RUNNING:
+                    fail_attempt(target, now, target.worker_id, event.describe())
+                else:
+                    target.fault_armed = True
+                wake_idle()
+                return
             # descriptor properties feed the cost models; drop stale rates
-            self.perf._cache.clear()
+            self.perf.invalidate()
+            if event.affects_interconnect:
+                self.transfer_model.invalidate_routes()
             for worker in self.workers:
                 if worker.entity_id != event.pu_id:
                     continue
                 if _is_available(worker.pu):
-                    if worker.instance_id in self._offline:
+                    if worker.instance_id in self._offline and not worker.retired:
                         self._offline.discard(worker.instance_id)
                         idle.pop(worker.instance_id, None)
                         clock.schedule_in(0.0, lambda w=worker: worker_tick(w))
@@ -513,8 +647,23 @@ class RuntimeEngine:
                     if worker.instance_id not in self._offline:
                         self._offline.add(worker.instance_id)
                         idle.pop(worker.instance_id, None)
+                        if isinstance(event, WorkerFault):
+                            # abrupt death: in-flight work is lost and
+                            # requeued; the lane never comes back
+                            worker.retired = True
+                            fault_stats["worker_failures"] += 1
+                            record_fault(
+                                "worker-fault", "", worker.instance_id,
+                                event.describe(),
+                            )
+                            abort_inflight(worker, now, event.describe())
                         # re-queue whatever was bound to this worker
                         for task in self.scheduler.drain(worker):
+                            fault_stats["requeues"] += 1
+                            record_fault(
+                                "requeue", task.tag, worker.instance_id,
+                                "queued work drained off offline lane",
+                            )
                             self.scheduler.task_ready(task, now)
             wake_idle()
 
@@ -531,10 +680,8 @@ class RuntimeEngine:
         clock.run()
 
         if pending:
-            stuck = [t.tag for t in self._tasks if t.state != TaskState.DONE][:10]
             raise RuntimeEngineError(
-                f"simulation stalled with {pending} unfinished tasks"
-                f" (first: {stuck}); dependency cycle or scheduler bug"
+                self._stall_diagnosis("simulation", pending, self.workers)
             )
 
         makespan = trace.makespan
@@ -557,7 +704,55 @@ class RuntimeEngine:
             writeback_bytes=(
                 self.capacity.writeback_bytes if self.capacity is not None else 0.0
             ),
+            task_failures=fault_stats["task_failures"],
+            retry_count=fault_stats["retries"],
+            requeue_count=fault_stats["requeues"],
+            worker_failures=fault_stats["worker_failures"],
         )
+
+    def _stall_diagnosis(
+        self,
+        where: str,
+        pending: int,
+        workers: Sequence[WorkerContext],
+        running: Optional[dict[str, str]] = None,
+    ) -> str:
+        """Human-readable account of why no forward progress is possible."""
+        by_state: dict[str, list[str]] = {}
+        for t in self._tasks:
+            if t.state not in (TaskState.DONE, TaskState.FAILED):
+                by_state.setdefault(t.state.value, []).append(t.tag)
+        online = [w for w in workers if w.instance_id not in self._offline]
+        lines = [f"{where} stalled with {pending} unfinished tasks"]
+        for state, tags in sorted(by_state.items()):
+            shown = ", ".join(tags[:8]) + (", ..." if len(tags) > 8 else "")
+            lines.append(f"  {state}: {len(tags)} task(s) [{shown}]")
+        if running:
+            lines.append(
+                "  running: "
+                + ", ".join(f"{w}={t}" for w, t in sorted(running.items()))
+            )
+        if self._offline:
+            lines.append(f"  offline lanes: {sorted(self._offline)}")
+        lines.append(
+            f"  online lanes: {[w.instance_id for w in online]}"
+        )
+        orphans = [
+            t.tag
+            for t in self._tasks
+            if t.state in (TaskState.READY, TaskState.BLOCKED)
+            and not any(
+                self.registry.get(t.kernel).supports(w.architecture)
+                for w in online
+            )
+        ]
+        if orphans:
+            lines.append(
+                f"  no compatible online lane for: {orphans[:8]}"
+                f"{' ...' if len(orphans) > 8 else ''}"
+            )
+        lines.append("  (dependency cycle, scheduler bug, or unrecovered fault)")
+        return "\n".join(lines)
 
     def _gather(self, handles, start_time: float, trace: TraceLog) -> float:
         """Flush written handles back to the host node; returns new makespan."""
@@ -594,17 +789,61 @@ class RuntimeEngine:
     # ------------------------------------------------------------------
     # real (threaded) execution
     # ------------------------------------------------------------------
-    def run_real(self, *, max_threads: Optional[int] = None) -> RunResult:
+    def kill_worker(self, instance_id: str, *, reason: str = "") -> None:
+        """Abruptly kill one real-mode worker lane (fault injection).
+
+        Thread-safe; callable from a timer or another thread while
+        :meth:`run_real` executes.  The lane stops claiming work, its
+        claimed-but-unexecuted task and queued tasks are requeued to
+        surviving compatible lanes, and the run continues degraded.
+        """
+        events = self._kill_events
+        if events is None or instance_id not in events:
+            raise RuntimeEngineError(
+                f"kill_worker: no live lane {instance_id!r}"
+                " (only valid while run_real executes)"
+            )
+        self._kill_reasons[instance_id] = reason or "killed"
+        events[instance_id].set()
+
+    def run_real(
+        self,
+        *,
+        max_threads: Optional[int] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+        watchdog_s: Optional[float] = None,
+        kill_at: Optional[Sequence[tuple[float, str]]] = None,
+    ) -> RunResult:
         """Execute all tasks for real on host threads.
 
         Every worker context runs a thread pulling from the same scheduler
         (under a lock).  Data transfers are no-ops (host shared memory);
         the coherence directory is bypassed.  All accessed handles must be
         array-backed.
+
+        Fault tolerance (``fault_policy``, default :class:`FaultPolicy`):
+
+        * transient kernel failures are retried on any compatible lane
+          with capped exponential backoff;
+        * a dying worker thread (or one killed via :meth:`kill_worker` /
+          ``kill_at``) requeues its claimed task to surviving compatible
+          lanes and is marked offline instead of aborting the run;
+        * a stall watchdog raises
+          :class:`~repro.errors.WatchdogTimeoutError` with a diagnosis of
+          the blocked tasks/workers instead of spinning forever.
+
+        ``watchdog_s`` overrides ``fault_policy.watchdog_s``.  ``kill_at``
+        is a list of ``(delay_s, instance_id)`` fault injections: each
+        lane observes its own deadline against the run's wall clock (a
+        separate timer thread would be GIL-starved behind busy workers
+        and fire arbitrarily late).
         """
         if self._ran:
             raise RuntimeEngineError("engine already ran")
         self._ran = True
+        policy = fault_policy if fault_policy is not None else FaultPolicy()
+        if watchdog_s is not None:
+            policy = dataclasses.replace(policy, watchdog_s=watchdog_s)
         for task in self._tasks:
             for access in task.accesses:
                 access.handle.require_array()
@@ -612,6 +851,27 @@ class RuntimeEngine:
         workers = self.workers if max_threads is None else self.workers[:max_threads]
         if not workers:
             raise RuntimeEngineError("no workers to run on")
+        # re-check feasibility against the *truncated* worker set: the
+        # submit-time check ran against all lanes, and a kernel whose only
+        # compatible lane was cut would leave every thread waiting forever
+        active = [w for w in workers if w.instance_id not in self._offline]
+        infeasible: dict[str, list[str]] = {}
+        for task in self._tasks:
+            if task.state is TaskState.DONE:
+                continue
+            kernel_def = self.registry.get(task.kernel)
+            if not any(kernel_def.supports(w.architecture) for w in active):
+                infeasible.setdefault(task.kernel, []).append(task.tag)
+        if infeasible:
+            detail = "; ".join(
+                f"kernel {k!r} ({len(tags)} task(s), e.g. {tags[:3]})"
+                for k, tags in sorted(infeasible.items())
+            )
+            raise SchedulerError(
+                "run_real: no compatible worker lane for submitted work after"
+                f" max_threads={max_threads} truncated the lanes to"
+                f" {[w.instance_id for w in active]}: {detail}"
+            )
         self.scheduler.attach(workers, _EngineCostModel(self))
 
         trace = TraceLog()
@@ -619,7 +879,66 @@ class RuntimeEngine:
         work_available = threading.Condition(lock)
         pending = [sum(1 for t in self._tasks if t.state != TaskState.DONE)]
         failure: list[BaseException] = []
+        stats = {
+            "task_failures": 0,
+            "retries": 0,
+            "requeues": 0,
+            "worker_failures": 0,
+        }
+        #: instance id → task currently executing there (for diagnosis)
+        running: dict[str, RuntimeTask] = {}
+        last_progress = [_time.perf_counter()]
+        self._kill_events = {w.instance_id: threading.Event() for w in workers}
+        self._kill_reasons = {}
         t0 = _time.perf_counter()
+
+        def now_s() -> float:
+            return _time.perf_counter() - t0
+
+        def note_progress() -> None:
+            last_progress[0] = _time.perf_counter()
+
+        def record_fault(kind: str, task_tag: str, worker_id: str, detail: str):
+            trace.record_fault(
+                FaultTrace(kind, now_s(), task_tag, worker_id, detail)
+            )
+
+        def retire_worker(
+            worker: WorkerContext, claimed: Optional[RuntimeTask], why: str
+        ) -> None:
+            """Mark a dead lane offline and requeue its work (under lock)."""
+            if worker.retired:
+                return  # already recovered from this lane's death
+            self._offline.add(worker.instance_id)
+            worker.retired = True
+            running.pop(worker.instance_id, None)
+            stats["worker_failures"] += 1
+            record_fault("worker-fault", "", worker.instance_id, why)
+            requeued: list[RuntimeTask] = []
+            if claimed is not None:
+                claimed.incarnation += 1
+                requeued.append(claimed)
+            requeued.extend(self.scheduler.drain(worker))
+            for t in requeued:
+                t.state = TaskState.READY
+                t.worker_id = None
+                stats["requeues"] += 1
+                record_fault("requeue", t.tag, worker.instance_id, why)
+                try:
+                    self.scheduler.task_ready(t, now_s())
+                except SchedulerError as exc:
+                    failure.append(exc)
+            if not any(
+                w.instance_id not in self._offline for w in workers
+            ):
+                failure.append(
+                    WorkerFailureError(
+                        "every worker lane has failed; cannot recover"
+                        f" (last: {worker.instance_id}: {why})"
+                    )
+                )
+            note_progress()
+            work_available.notify_all()
 
         with lock:
             for task in self._tasks:
@@ -627,52 +946,37 @@ class RuntimeEngine:
                     task.state = TaskState.READY
                     self.scheduler.task_ready(task, 0.0)
 
+        deadlines: dict[str, float] = {}
+        for delay, instance_id in kill_at or ():
+            if instance_id not in self._kill_events:
+                raise RuntimeEngineError(
+                    f"kill_at: unknown worker lane {instance_id!r}"
+                )
+            delay = float(delay)
+            if instance_id not in deadlines or delay < deadlines[instance_id]:
+                deadlines[instance_id] = delay
+
         def loop(worker: WorkerContext) -> None:
-            while True:
+            kill = self._kill_events[worker.instance_id]
+            deadline = deadlines.get(worker.instance_id)
+            try:
+                self._worker_loop(
+                    worker, kill, deadline, policy, lock, work_available,
+                    pending, failure, stats, running, last_progress, trace,
+                    t0, retire_worker, workers,
+                )
+            except BaseException as exc:
+                # the lane itself died (scheduler bug, chaos injection):
+                # recover around it instead of aborting the whole run
                 with lock:
-                    if failure or pending[0] == 0:
-                        work_available.notify_all()
-                        return
-                    now = _time.perf_counter() - t0
-                    task = self.scheduler.next_task(worker, now)
-                    if task is None:
-                        work_available.wait(timeout=0.05)
-                        continue
-                    task.state = TaskState.RUNNING
-                try:
-                    start = _time.perf_counter() - t0
-                    self._execute_payload(task, worker)
-                    end = _time.perf_counter() - t0
-                except BaseException as exc:  # propagate to caller
-                    with lock:
-                        failure.append(exc)
-                        work_available.notify_all()
-                    return
-                with lock:
-                    task.state = TaskState.DONE
-                    task.worker_id = worker.instance_id
-                    task.start_time, task.end_time = start, end
-                    worker.busy_time += end - start
-                    worker.tasks_executed += 1
-                    pending[0] -= 1
-                    trace.record_task(
-                        TaskTrace(
-                            task_id=task.id,
-                            tag=task.tag,
-                            kernel=task.kernel,
-                            worker_id=worker.instance_id,
-                            architecture=worker.architecture,
-                            start=start,
-                            end=end,
-                            transfer_wait=0.0,
+                    claimed = running.get(worker.instance_id)
+                    try:
+                        retire_worker(
+                            worker, claimed, f"worker thread died: {exc!r}"
                         )
-                    )
-                    now = end
-                    for dep in task.dependents:
-                        if dep.notify_producer_done():
-                            dep.state = TaskState.READY
-                            self.scheduler.task_ready(dep, now)
-                    work_available.notify_all()
+                    except BaseException as requeue_exc:
+                        failure.append(requeue_exc)
+                        work_available.notify_all()
 
         threads = [
             threading.Thread(target=loop, args=(w,), name=w.instance_id, daemon=True)
@@ -680,13 +984,20 @@ class RuntimeEngine:
         ]
         for thread in threads:
             thread.start()
-        for thread in threads:
-            thread.join()
+        try:
+            for thread in threads:
+                thread.join()
+        finally:
+            self._kill_events = None
+            self._kill_reasons = {}
         if failure:
             raise failure[0]
         if pending[0]:
             raise RuntimeEngineError(
-                f"real execution stalled with {pending[0]} unfinished tasks"
+                self._stall_diagnosis(
+                    "real execution", pending[0], workers,
+                    {w: t.tag for w, t in running.items()},
+                )
             )
         wall = _time.perf_counter() - t0
         return RunResult(
@@ -696,7 +1007,170 @@ class RuntimeEngine:
             task_count=len(self._tasks),
             trace=trace,
             wall_time=wall,
+            task_failures=stats["task_failures"],
+            retry_count=stats["retries"],
+            requeue_count=stats["requeues"],
+            worker_failures=stats["worker_failures"],
         )
+
+    def _worker_loop(
+        self, worker, kill, deadline, policy, lock, work_available, pending,
+        failure, stats, running, last_progress, trace, t0, retire_worker,
+        workers,
+    ) -> None:
+        """One real-mode worker lane: claim, execute, retry, recover."""
+
+        def now_s() -> float:
+            return _time.perf_counter() - t0
+
+        def lane_killed() -> bool:
+            if kill.is_set():
+                return True
+            if deadline is not None and now_s() >= deadline:
+                self._kill_reasons.setdefault(
+                    worker.instance_id, f"kill_at t={deadline:g}s"
+                )
+                return True
+            return False
+
+        while True:
+            with lock:
+                if failure or pending[0] == 0:
+                    work_available.notify_all()
+                    return
+                if lane_killed():
+                    retire_worker(
+                        worker, None,
+                        self._kill_reasons.get(worker.instance_id, "killed"),
+                    )
+                    return
+                now = now_s()
+                task = self.scheduler.next_task(worker, now)
+                if task is None:
+                    if (
+                        policy.watchdog_s is not None
+                        and pending[0] > 0
+                        and not running
+                        and _time.perf_counter() - last_progress[0]
+                        > policy.watchdog_s
+                    ):
+                        failure.append(
+                            WatchdogTimeoutError(
+                                self._stall_diagnosis(
+                                    "real execution (watchdog"
+                                    f" {policy.watchdog_s:g}s)",
+                                    pending[0], workers,
+                                    {w: t.tag for w, t in running.items()},
+                                )
+                            )
+                        )
+                        trace.record_fault(
+                            FaultTrace(
+                                "watchdog", now, "", worker.instance_id,
+                                f"no progress for {policy.watchdog_s:g}s",
+                            )
+                        )
+                        work_available.notify_all()
+                        return
+                    work_available.wait(timeout=0.05)
+                    continue
+                task.state = TaskState.RUNNING
+                task.worker_id = worker.instance_id
+                running[worker.instance_id] = task
+                last_progress[0] = _time.perf_counter()
+                if lane_killed():
+                    # died after claiming but before the kernel ran: the
+                    # claim is lost work, requeued to surviving lanes
+                    retire_worker(
+                        worker, task,
+                        self._kill_reasons.get(worker.instance_id, "killed"),
+                    )
+                    return
+            try:
+                start = now_s()
+                self._execute_payload(task, worker)
+                end = now_s()
+            except BaseException as exc:
+                delay = 0.0
+                with lock:
+                    running.pop(worker.instance_id, None)
+                    task.attempt += 1
+                    task.last_error = repr(exc)
+                    stats["task_failures"] += 1
+                    trace.record_fault(
+                        FaultTrace(
+                            "task-fault", now_s(), task.tag,
+                            worker.instance_id, repr(exc),
+                        )
+                    )
+                    retryable = (
+                        isinstance(exc, policy.retry_on)
+                        and task.attempt <= policy.max_retries
+                    )
+                    if not retryable:
+                        task.state = TaskState.FAILED
+                        failure.append(exc)
+                        work_available.notify_all()
+                        return
+                    stats["retries"] += 1
+                    delay = policy.backoff(task.attempt)
+                    trace.record_fault(
+                        FaultTrace(
+                            "retry", now_s(), task.tag, worker.instance_id,
+                            f"attempt {task.attempt + 1} after"
+                            f" {delay:.4g}s backoff",
+                        )
+                    )
+                if delay > 0.0:
+                    _time.sleep(delay)  # backoff outside the lock
+                with lock:
+                    task.state = TaskState.READY
+                    task.incarnation += 1
+                    task.worker_id = None
+                    try:
+                        # back to the shared pool: any compatible lane may
+                        # pick the retry up, not just the one that failed
+                        self.scheduler.task_ready(task, now_s())
+                    except SchedulerError as exc2:
+                        failure.append(exc2)
+                    last_progress[0] = _time.perf_counter()
+                    work_available.notify_all()
+                continue
+            with lock:
+                running.pop(worker.instance_id, None)
+                task.state = TaskState.DONE
+                task.worker_id = worker.instance_id
+                task.start_time, task.end_time = start, end
+                worker.busy_time += end - start
+                worker.tasks_executed += 1
+                pending[0] -= 1
+                last_progress[0] = _time.perf_counter()
+                trace.record_task(
+                    TaskTrace(
+                        task_id=task.id,
+                        tag=task.tag,
+                        kernel=task.kernel,
+                        worker_id=worker.instance_id,
+                        architecture=worker.architecture,
+                        start=start,
+                        end=end,
+                        transfer_wait=0.0,
+                    )
+                )
+                now = end
+                for dep in task.dependents:
+                    if dep.notify_producer_done():
+                        dep.state = TaskState.READY
+                        self.scheduler.task_ready(dep, now)
+                work_available.notify_all()
+                if lane_killed():
+                    # the kernel's side effects are committed, so the
+                    # task completes; the lane dies afterwards
+                    retire_worker(
+                        worker, None,
+                        self._kill_reasons.get(worker.instance_id, "killed"),
+                    )
+                    return
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,77 @@
+"""Fault-tolerance policy knobs shared by both execution modes.
+
+The runtime's failure model distinguishes three classes of fault:
+
+* **task faults** — one execution attempt of a kernel fails (a transient
+  launch error, an injected :class:`repro.dynamic.TaskFault`).  Handled by
+  per-task retry with capped exponential backoff.
+* **worker faults** — an execution lane dies mid-run (a thread crash in
+  real mode, a :class:`repro.dynamic.WorkerFault` event in simulation).
+  The lane is marked offline, its claimed and queued tasks are requeued
+  to surviving compatible workers, and the run continues degraded.
+* **stalls** — no lane can make forward progress (dependency-accounting
+  bug, every compatible lane offline).  A watchdog bounds the wait and
+  raises a diagnostic error instead of spinning forever.
+
+:class:`FaultPolicy` carries the knobs; `RunResult` reports the
+failure/retry/requeue counters so benchmarks can assert graceful
+degradation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["FaultPolicy"]
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """Retry/backoff/watchdog configuration for one engine run.
+
+    Parameters
+    ----------
+    max_retries:
+        How many *additional* attempts a failed task gets before its
+        failure is considered permanent.  ``0`` disables retry.
+    backoff_base_s:
+        Delay before the first retry.
+    backoff_factor:
+        Multiplier applied per subsequent retry (exponential backoff).
+    backoff_cap_s:
+        Upper bound on any single backoff delay.
+    watchdog_s:
+        Real mode: raise :class:`~repro.errors.WatchdogTimeoutError` when
+        tasks remain pending but nothing has run or completed for this
+        many wall-clock seconds.  ``None`` disables the watchdog
+        (restores the historical hang-forever behaviour; not advised).
+    retry_on:
+        Exception classes considered transient in real mode.  Failures
+        outside this tuple (e.g. ``KeyboardInterrupt``) propagate
+        immediately without retry.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.001
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 0.25
+    watchdog_s: Optional[float] = 30.0
+    retry_on: tuple = (Exception,)
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.watchdog_s is not None and self.watchdog_s <= 0:
+            raise ValueError("watchdog_s must be positive (or None)")
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff delay before retry number ``attempt`` (1-based)."""
+        if attempt <= 0:
+            return 0.0
+        delay = self.backoff_base_s * self.backoff_factor ** (attempt - 1)
+        return min(self.backoff_cap_s, delay)

@@ -200,11 +200,23 @@ class DequeModelScheduler(Scheduler):
     appended to the deque of the worker minimizing
 
     ``max(now, est_free) + (transfer if data_aware) + exec``.
+
+    The estimated cost *charged* per queued task is remembered so the
+    clock can be rewound when a task leaves a queue without running
+    there: :meth:`drain` (worker went offline) credits the drained
+    costs back, and with ``steal=True`` an idle worker that steals a
+    queued task moves its charge from the victim to the thief.  Without
+    the rewind an offline/online cycle leaves the revived lane with an
+    inflated finish estimate and dm/dmda placement shuns it.
     """
 
-    def __init__(self, *, data_aware: bool = True):
+    def __init__(self, *, data_aware: bool = True, steal: bool = False):
         super().__init__()
         self.data_aware = data_aware
+        #: idle workers may steal queued tasks from the longest queue
+        #: (charge-migrating; off by default to preserve strict dm/dmda
+        #: pre-assignment semantics)
+        self.steal = steal
         self.name = "dmda" if data_aware else "dm"
 
     def reset(self) -> None:
@@ -212,30 +224,69 @@ class DequeModelScheduler(Scheduler):
             w.instance_id: deque() for w in self.workers
         }
         self._est_free: dict[str, float] = {w.instance_id: 0.0 for w in self.workers}
+        #: worker id → {task id → estimated cost charged while queued}
+        self._charge: dict[str, dict[int, float]] = {
+            w.instance_id: {} for w in self.workers
+        }
+
+    def _task_cost(self, task: RuntimeTask, worker: WorkerContext) -> float:
+        cost = self.cost.exec_estimate(task, worker)
+        if self.data_aware:
+            cost += self.cost.transfer_estimate(task, worker)
+        return cost
 
     def task_ready(self, task: RuntimeTask, now: float) -> None:
         best: Optional[WorkerContext] = None
         best_finish = float("inf")
+        best_cost = 0.0
         for worker in self.workers:
             if not self.cost.supports(task, worker):
                 continue
             begin = max(now, self._est_free[worker.instance_id])
-            cost = self.cost.exec_estimate(task, worker)
-            if self.data_aware:
-                cost += self.cost.transfer_estimate(task, worker)
+            cost = self._task_cost(task, worker)
             finish = begin + cost
             if finish < best_finish:
                 best_finish = finish
                 best = worker
+                best_cost = cost
         if best is None:
             raise SchedulerError(f"no worker supports kernel {task.kernel!r}")
         self._queues[best.instance_id].append(task)
+        self._charge[best.instance_id][task.id] = best_cost
         self._est_free[best.instance_id] = best_finish
 
     def next_task(self, worker: WorkerContext, now: float) -> Optional[RuntimeTask]:
         own = self._queues[worker.instance_id]
         if own:
-            return own.popleft()
+            task = own.popleft()
+            # the cost stays baked into est_free: the worker is about to
+            # spend it executing; only the per-task record is retired
+            self._charge[worker.instance_id].pop(task.id, None)
+            return task
+        if not self.steal:
+            return None
+        victims = sorted(
+            (w for w in self.workers if w.instance_id != worker.instance_id),
+            key=lambda w: -len(self._queues[w.instance_id]),
+        )
+        for victim in victims:
+            queue = self._queues[victim.instance_id]
+            for i in range(len(queue) - 1, -1, -1):
+                if not self.cost.supports(queue[i], worker):
+                    continue
+                task = queue[i]
+                del queue[i]
+                # migrate the charge: credit the victim's clock, debit
+                # the thief's with the thief's own estimate
+                refund = self._charge[victim.instance_id].pop(task.id, None)
+                if refund is not None:
+                    self._est_free[victim.instance_id] = max(
+                        0.0, self._est_free[victim.instance_id] - refund
+                    )
+                self._est_free[worker.instance_id] = max(
+                    now, self._est_free[worker.instance_id]
+                ) + self._task_cost(task, worker)
+                return task
         return None
 
     def peek(self, worker: WorkerContext) -> Optional[RuntimeTask]:
@@ -246,8 +297,14 @@ class DequeModelScheduler(Scheduler):
         own = self._queues[worker.instance_id]
         drained = list(own)
         own.clear()
+        charges = self._charge[worker.instance_id]
+        refund = sum(charges.pop(t.id, 0.0) for t in drained)
+        # rewind the estimated-free clock so a later online event sees
+        # the lane as free, not burdened by work it will never run
+        self._est_free[worker.instance_id] = max(
+            0.0, self._est_free[worker.instance_id] - refund
+        )
         return drained
-
 
     def pending_count(self) -> int:
         return sum(len(q) for q in self._queues.values())
@@ -306,9 +363,9 @@ def make_scheduler(name: str, **kwargs) -> Scheduler:
     if name == "ws":
         return WorkStealingScheduler()
     if name == "dm":
-        return DequeModelScheduler(data_aware=False)
+        return DequeModelScheduler(data_aware=False, **kwargs)
     if name == "dmda":
-        return DequeModelScheduler(data_aware=True)
+        return DequeModelScheduler(data_aware=True, **kwargs)
     if name == "random":
         return RandomScheduler(**kwargs)
     raise SchedulerError(

@@ -32,6 +32,8 @@ class TaskState(str, Enum):
     READY = "ready"
     RUNNING = "running"
     DONE = "done"
+    #: permanently failed (retry budget exhausted); terminal like DONE
+    FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -96,6 +98,18 @@ class RuntimeTask:
         self.worker_id: Optional[str] = None
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
+
+        # -- fault-tolerance state -------------------------------------
+        #: failed execution attempts so far (retry budget consumed)
+        self.attempt = 0
+        #: bumped whenever an in-flight execution is aborted/requeued, so
+        #: a stale completion event (sim) or thread (real) can detect it
+        #: no longer owns the task
+        self.incarnation = 0
+        #: armed by a TaskFault injection event: the next start fails
+        self.fault_armed = False
+        #: repr of the most recent execution failure, for diagnostics
+        self.last_error: Optional[str] = None
 
     # -- dependency bookkeeping ----------------------------------------------
     def add_dependency(self, producer: "RuntimeTask") -> None:

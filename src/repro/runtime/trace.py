@@ -11,7 +11,7 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass
 
-__all__ = ["TaskTrace", "TransferTrace", "TraceLog", "RunResult"]
+__all__ = ["TaskTrace", "TransferTrace", "FaultTrace", "TraceLog", "RunResult"]
 
 
 @dataclass(frozen=True)
@@ -44,12 +44,30 @@ class TransferTrace:
     end: float
 
 
+@dataclass(frozen=True)
+class FaultTrace:
+    """One fault-tolerance event (failure, retry, requeue, watchdog).
+
+    ``kind`` is one of ``task-fault`` (an execution attempt failed),
+    ``worker-fault`` (a lane died), ``retry`` (a failed task was given
+    another attempt), ``requeue`` (a claimed or queued task migrated off
+    a dead lane) or ``watchdog`` (the stall watchdog fired).
+    """
+
+    kind: str
+    time: float
+    task_tag: str
+    worker_id: str
+    detail: str = ""
+
+
 class TraceLog:
     """Accumulates traces during one run."""
 
     def __init__(self):
         self.tasks: list[TaskTrace] = []
         self.transfers: list[TransferTrace] = []
+        self.faults: list[FaultTrace] = []
 
     # -- recording ---------------------------------------------------------
     def record_task(self, trace: TaskTrace) -> None:
@@ -57,6 +75,9 @@ class TraceLog:
 
     def record_transfer(self, trace: TransferTrace) -> None:
         self.transfers.append(trace)
+
+    def record_fault(self, trace: FaultTrace) -> None:
+        self.faults.append(trace)
 
     # -- aggregates ------------------------------------------------------------
     @property
@@ -89,6 +110,13 @@ class TraceLog:
         counts: dict[str, int] = {}
         for t in self.tasks:
             counts[t.architecture] = counts.get(t.architecture, 0) + 1
+        return counts
+
+    def fault_counts(self) -> dict[str, int]:
+        """fault kind → occurrence count (empty dict for a clean run)."""
+        counts: dict[str, int] = {}
+        for f in self.faults:
+            counts[f.kind] = counts.get(f.kind, 0) + 1
         return counts
 
     @property
@@ -129,6 +157,14 @@ class RunResult:
     #: capacity modeling (when enabled): LRU evictions and write-back volume
     eviction_count: int = 0
     writeback_bytes: float = 0.0
+    #: fault tolerance: failed execution attempts (task faults)
+    task_failures: int = 0
+    #: fault tolerance: failed attempts that were given another try
+    retry_count: int = 0
+    #: fault tolerance: tasks migrated off a dead/offline lane
+    requeue_count: int = 0
+    #: fault tolerance: worker lanes lost mid-run
+    worker_failures: int = 0
 
     def gflops(self, total_flops: float) -> float:
         """Achieved GFLOP/s for a computation of ``total_flops``."""
@@ -144,6 +180,17 @@ class RunResult:
             f"transfers: {self.transfer_count}"
             f" ({self.bytes_transferred / 2**20:.1f} MiB)",
         ]
+        if (
+            self.task_failures
+            or self.retry_count
+            or self.requeue_count
+            or self.worker_failures
+        ):
+            lines.append(
+                f"faults: {self.task_failures} task failures,"
+                f" {self.retry_count} retries, {self.requeue_count} requeues,"
+                f" {self.worker_failures} worker failures"
+            )
         util = self.trace.utilization()
         if util:
             per_arch = self.trace.tasks_per_architecture()

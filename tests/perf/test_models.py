@@ -124,3 +124,35 @@ class TestGenericEstimate:
         a = model.pu_performance(gpgpu_platform.pu("gpu0"))
         b = model.pu_performance(gpgpu_platform.pu("gpu0"))
         assert a is b
+
+
+class TestInvalidate:
+    def test_cached_rates_survive_descriptor_change(self):
+        w = worker(PEAK_GFLOPS_DP=50.0, DGEMM_EFFICIENCY=0.5)
+        model = PerfModel()
+        assert model.pu_performance(w).peak_gflops_dp == 50.0
+        w.descriptor.remove("PEAK_GFLOPS_DP")
+        w.descriptor.add(Property("PEAK_GFLOPS_DP", "100.0"))
+        # memoized: the change is invisible until invalidated
+        assert model.pu_performance(w).peak_gflops_dp == 50.0
+
+    def test_invalidate_one_pu(self):
+        w = worker(PEAK_GFLOPS_DP=50.0, DGEMM_EFFICIENCY=0.5)
+        model = PerfModel()
+        model.pu_performance(w)
+        w.descriptor.remove("PEAK_GFLOPS_DP")
+        w.descriptor.add(Property("PEAK_GFLOPS_DP", "100.0"))
+        model.invalidate("w")
+        assert model.pu_performance(w).peak_gflops_dp == 100.0
+
+    def test_invalidate_all(self):
+        w = worker(PEAK_GFLOPS_DP=50.0, DGEMM_EFFICIENCY=0.5)
+        model = PerfModel()
+        model.pu_performance(w)
+        w.descriptor.remove("PEAK_GFLOPS_DP")
+        w.descriptor.add(Property("PEAK_GFLOPS_DP", "75.0"))
+        model.invalidate()
+        assert model.pu_performance(w).peak_gflops_dp == 75.0
+
+    def test_invalidate_unknown_pu_is_noop(self):
+        PerfModel().invalidate("nonexistent")

@@ -88,3 +88,25 @@ class TestCalibrationConstants:
             cal = ARCH_DEFAULTS[arch]
             assert cal.peak_gflops_dp > 0
             assert 0 < cal.dgemm_efficiency <= 1
+
+
+class TestRouteInvalidation:
+    def test_routes_are_memoized(self, gpgpu_platform):
+        model = TransferModel(gpgpu_platform)
+        assert model.route("host", "gpu0") is model.route("host", "gpu0")
+
+    def test_invalidate_routes_recomputes(self, gpgpu_platform):
+        model = TransferModel(gpgpu_platform)
+        before = model.route("host", "gpu0")
+        model.invalidate_routes()
+        after = model.route("host", "gpu0")
+        assert after is not before  # fresh path computation
+        assert after.nodes == before.nodes  # same fabric, same answer
+
+    def test_invalidation_preserves_link_occupancy(self, gpgpu_platform):
+        # invalidate_routes drops cached paths, not in-flight link state
+        model = TransferModel(gpgpu_platform)
+        est = model.schedule("host", "gpu0", 8 * 2**20, 0.0)
+        model.invalidate_routes()
+        est2 = model.schedule("host", "gpu0", 8 * 2**20, 0.0)
+        assert est2.start >= est.finish  # still queued behind the first

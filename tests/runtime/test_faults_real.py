@@ -1,0 +1,239 @@
+"""Fault tolerance in real (threaded) execution mode.
+
+Covers the stall watchdog, per-task retry with backoff, worker-failure
+recovery (kill switches), and the regression test for the historical
+``run_real`` hang when ``max_threads`` truncation left a kernel with no
+compatible lane.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    RuntimeEngineError,
+    SchedulerError,
+    WatchdogTimeoutError,
+    WorkerFailureError,
+)
+from repro.kernels.registry import KernelRegistry
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.faults import FaultPolicy
+from repro.runtime.tasks import TaskState
+
+
+def make_registry():
+    """A registry with controllable kernels for fault scenarios."""
+    registry = KernelRegistry()
+    for name in ("bump", "slow_bump", "gpu_only", "flaky", "always_boom"):
+        registry.define(name, flops=lambda d: 1.0, bytes_touched=lambda d: 8.0)
+
+    def bump(X):
+        X += 1.0
+
+    def slow_bump(X):
+        time.sleep(0.02)
+        X += 1.0
+
+    registry.variant("bump", "x86_64")(bump)
+    registry.variant("bump", "gpu")(bump)
+    registry.variant("slow_bump", "x86_64")(slow_bump)
+    registry.variant("slow_bump", "gpu")(slow_bump)
+    registry.variant("gpu_only", "gpu")(bump)
+
+    calls = {"flaky": 0}
+
+    def flaky(X):
+        calls["flaky"] += 1
+        if calls["flaky"] == 1:
+            raise ValueError("transient glitch")
+        X += 1.0
+
+    registry.variant("flaky", "x86_64")(flaky)
+    registry.variant("flaky", "gpu")(flaky)
+
+    def always_boom(X):
+        raise ValueError("kaboom")
+
+    registry.variant("always_boom", "x86_64")(always_boom)
+    registry.variant("always_boom", "gpu")(always_boom)
+    return registry
+
+
+FAST_RETRY = FaultPolicy(max_retries=2, backoff_base_s=0.0, watchdog_s=10.0)
+
+
+class TestHangRegression:
+    def test_truncated_lanes_raise_instead_of_hanging(self, small_platform):
+        """gpu-only work + max_threads cutting the gpu lane used to spin
+        every thread forever; it must now fail fast with a diagnosis."""
+        engine = RuntimeEngine(
+            small_platform, scheduler="eager", registry=make_registry()
+        )
+        h = engine.register(np.zeros(4))
+        engine.submit("gpu_only", [(h, "rw")], dims=(4,), tag="g0")
+        t0 = time.perf_counter()
+        # lanes truncated to [cpu#0, cpu#1]: the submit-time check passed
+        # (gpu0 existed then) but no active lane supports the kernel
+        with pytest.raises(SchedulerError, match="gpu_only"):
+            engine.run_real(max_threads=2)
+        assert time.perf_counter() - t0 < 10.0
+        assert engine._tasks[0].state is not TaskState.DONE
+
+    def test_feasible_truncation_still_runs(self, small_platform):
+        engine = RuntimeEngine(
+            small_platform, scheduler="eager", registry=make_registry()
+        )
+        h = engine.register(np.zeros(4))
+        engine.submit("bump", [(h, "rw")], dims=(4,))
+        result = engine.run_real(max_threads=1)
+        assert h.array[0] == 1.0
+        assert result.task_count == 1
+
+
+class TestRetry:
+    def test_transient_failure_retried(self, small_platform):
+        engine = RuntimeEngine(
+            small_platform, scheduler="eager", registry=make_registry()
+        )
+        h = engine.register(np.zeros(4))
+        engine.submit("flaky", [(h, "rw")], dims=(4,), tag="flaky-task")
+        result = engine.run_real(fault_policy=FAST_RETRY)
+        assert h.array[0] == 1.0  # the retry attempt succeeded, exactly once
+        assert result.task_failures == 1
+        assert result.retry_count == 1
+        kinds = [f.kind for f in result.trace.faults]
+        assert "task-fault" in kinds and "retry" in kinds
+        assert engine._tasks[0].attempt == 1
+        assert engine._tasks[0].state is TaskState.DONE
+
+    def test_retry_budget_exhaustion_propagates_original_error(
+        self, small_platform
+    ):
+        engine = RuntimeEngine(
+            small_platform, scheduler="eager", registry=make_registry()
+        )
+        h = engine.register(np.zeros(4))
+        engine.submit("always_boom", [(h, "rw")], dims=(4,))
+        policy = FaultPolicy(max_retries=1, backoff_base_s=0.0, watchdog_s=10.0)
+        with pytest.raises(ValueError, match="kaboom"):
+            engine.run_real(fault_policy=policy)
+        task = engine._tasks[0]
+        assert task.state is TaskState.FAILED
+        assert task.attempt == 2  # original + one retry
+        assert "kaboom" in (task.last_error or "")
+
+    def test_retry_on_filter(self, small_platform):
+        """Exception classes outside retry_on fail immediately."""
+        engine = RuntimeEngine(
+            small_platform, scheduler="eager", registry=make_registry()
+        )
+        h = engine.register(np.zeros(4))
+        engine.submit("always_boom", [(h, "rw")], dims=(4,))
+        policy = FaultPolicy(
+            max_retries=5, backoff_base_s=0.0, watchdog_s=10.0,
+            retry_on=(TypeError,),
+        )
+        with pytest.raises(ValueError, match="kaboom"):
+            engine.run_real(fault_policy=policy)
+        assert engine._tasks[0].attempt == 1  # no retries were spent
+
+    def test_backoff_schedule(self):
+        policy = FaultPolicy(
+            backoff_base_s=0.01, backoff_factor=2.0, backoff_cap_s=0.03
+        )
+        assert policy.backoff(0) == 0.0
+        assert policy.backoff(1) == pytest.approx(0.01)
+        assert policy.backoff(2) == pytest.approx(0.02)
+        assert policy.backoff(3) == pytest.approx(0.03)  # capped
+        assert policy.backoff(9) == pytest.approx(0.03)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            FaultPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            FaultPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            FaultPolicy(watchdog_s=0.0)
+
+
+class TestWorkerKill:
+    def test_killed_lane_recovers_exactly_once_semantics(self, small_platform):
+        """Kill a lane mid-run: every task still runs exactly once."""
+        engine = RuntimeEngine(
+            small_platform, scheduler="eager", registry=make_registry()
+        )
+        handles = [engine.register(np.zeros(1)) for _ in range(30)]
+        for i, h in enumerate(handles):
+            engine.submit("slow_bump", [(h, "rw")], dims=(1,), tag=f"b{i}")
+        result = engine.run_real(
+            fault_policy=FAST_RETRY, kill_at=[(0.05, "cpu#0")]
+        )
+        assert result.worker_failures == 1
+        for h in handles:
+            assert h.array[0] == 1.0  # exactly once despite the kill
+        assert all(t.state is TaskState.DONE for t in engine._tasks)
+        # nothing completed on the dead lane well after the kill landed
+        late = [
+            t for t in result.trace.tasks
+            if t.worker_id == "cpu#0" and t.start > 0.2
+        ]
+        assert late == []
+        assert any(f.kind == "worker-fault" for f in result.trace.faults)
+
+    def test_all_lanes_killed_raises_worker_failure(self, small_platform):
+        engine = RuntimeEngine(
+            small_platform, scheduler="eager", registry=make_registry()
+        )
+        handles = [engine.register(np.zeros(1)) for _ in range(40)]
+        for h in handles:
+            engine.submit("slow_bump", [(h, "rw")], dims=(1,))
+        with pytest.raises(WorkerFailureError, match="every worker lane"):
+            engine.run_real(
+                fault_policy=FAST_RETRY,
+                kill_at=[(0.02, "cpu#0"), (0.02, "cpu#1"), (0.02, "gpu0")],
+            )
+
+    def test_kill_worker_outside_run_rejected(self, small_platform):
+        engine = RuntimeEngine(small_platform, registry=make_registry())
+        with pytest.raises(RuntimeEngineError, match="kill_worker"):
+            engine.kill_worker("cpu#0")
+
+    def test_kill_at_unknown_lane_rejected(self, small_platform):
+        engine = RuntimeEngine(
+            small_platform, scheduler="eager", registry=make_registry()
+        )
+        h = engine.register(np.zeros(1))
+        engine.submit("bump", [(h, "rw")], dims=(1,))
+        with pytest.raises(RuntimeEngineError, match="unknown worker lane"):
+            engine.run_real(kill_at=[(0.01, "tpu9")])
+
+
+class TestWatchdog:
+    def test_stall_raises_diagnostic_within_timeout(self, small_platform):
+        engine = RuntimeEngine(
+            small_platform, scheduler="eager", registry=make_registry()
+        )
+        h = engine.register(np.zeros(1))
+        task = engine.submit("bump", [(h, "rw")], dims=(1,), tag="stuck")
+        # simulate a dependency that will never resolve (producer lost)
+        task._unfinished_deps = 1
+        t0 = time.perf_counter()
+        with pytest.raises(WatchdogTimeoutError) as err:
+            engine.run_real(watchdog_s=0.3)
+        elapsed = time.perf_counter() - t0
+        assert 0.3 <= elapsed < 5.0
+        msg = str(err.value)
+        assert "stalled" in msg and "stuck" in msg
+        assert "blocked" in msg  # the diagnosis names the wedged state
+
+    def test_watchdog_quiet_on_healthy_run(self, small_platform):
+        engine = RuntimeEngine(
+            small_platform, scheduler="eager", registry=make_registry()
+        )
+        h = engine.register(np.zeros(1))
+        engine.submit("slow_bump", [(h, "rw")], dims=(1,))
+        result = engine.run_real(watchdog_s=5.0)
+        assert not any(f.kind == "watchdog" for f in result.trace.faults)
+        assert h.array[0] == 1.0

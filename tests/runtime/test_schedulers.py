@@ -169,6 +169,75 @@ class TestDequeModel:
             s.task_ready(make_task("cpu_only"), 0.0)
 
 
+class TestDequeModelCharges:
+    """The est_free clock must be rewound when queued work leaves a lane
+    without running there (drain on outage, steal by an idle sibling)."""
+
+    def test_drain_rewinds_est_free(self, workers):
+        s = DequeModelScheduler(data_aware=False)
+        s.attach(workers, FakeCost())
+        for _ in range(10):
+            s.task_ready(make_task(), 0.0)
+        gpu = workers[2]
+        assert s._est_free["gpu0"] > 0.0
+        drained = s.drain(gpu)
+        assert drained  # the fast lane had queued work
+        # the regression: drain used to leave the clock inflated, so a
+        # revived lane was shunned by every later placement decision
+        assert s._est_free["gpu0"] == pytest.approx(0.0)
+
+    def test_drained_work_lands_back_on_revived_lane(self, workers):
+        s = DequeModelScheduler(data_aware=False)
+        s.attach(workers, FakeCost())
+        for _ in range(10):
+            s.task_ready(make_task(), 0.0)
+        gpu = workers[2]
+        for t in s.drain(gpu):
+            s.task_ready(t, 5.0)  # outage over; resubmit later in time
+        # with a rewound clock the 10x-faster gpu wins placements again
+        assert len(s._queues["gpu0"]) > 0
+
+    def test_partial_drain_only_refunds_queued_costs(self, workers):
+        s = DequeModelScheduler(data_aware=False)
+        s.attach(workers, FakeCost())
+        t1, t2 = make_task(), make_task()
+        s.task_ready(t1, 0.0)
+        s.task_ready(t2, 0.0)
+        gpu = workers[2]
+        assert s.next_task(gpu, 0.0) is t1  # t1 now executing, not queued
+        before = s._est_free["gpu0"]
+        s.drain(gpu)
+        # only t2's charge is refunded; the in-flight t1 cost stays
+        assert s._est_free["gpu0"] == pytest.approx(before - 0.1)
+
+    def test_steal_migrates_charge(self, workers):
+        s = DequeModelScheduler(data_aware=False, steal=True)
+        s.attach(workers, FakeCost())
+        for _ in range(4):
+            s.task_ready(make_task(), 0.0)
+        victim = max(s._queues, key=lambda w: len(s._queues[w]))
+        victim_before = s._est_free[victim]
+        thief = next(
+            w for w in workers
+            if w.instance_id != victim and not s._queues[w.instance_id]
+        )
+        stolen = s.next_task(thief, 0.0)
+        assert stolen is not None
+        # the victim's clock is credited, the thief's debited at its own rate
+        assert s._est_free[victim] < victim_before
+        assert s._est_free[thief.instance_id] > 0.0
+
+    def test_no_steal_by_default(self, workers):
+        s = DequeModelScheduler(data_aware=False)
+        s.attach(workers, FakeCost())
+        s.task_ready(make_task(), 0.0)  # lands on the gpu
+        assert s.next_task(workers[0], 0.0) is None  # cpu0 may not steal
+
+    def test_factory_forwards_steal(self):
+        assert make_scheduler("dmda", steal=True).steal is True
+        assert make_scheduler("dm").steal is False
+
+
 class TestRandom:
     def test_deterministic_with_seed(self, workers):
         def run(seed):
