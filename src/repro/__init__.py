@@ -18,6 +18,9 @@ Subpackages
     StarPU-like heterogeneous runtime (simulated-time and real threads).
 ``repro.cascabel``
     The source-to-source compiler for ``#pragma cascabel`` programs.
+``repro.service``
+    Platform registry service: content-addressed PDL store + HTTP API
+    exposing queries, diffs and variant pre-selection remotely.
 ``repro.experiments``
     Harnesses regenerating the paper's figures and our ablations.
 """

@@ -22,6 +22,8 @@ always be compiled for a Master PU").
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 from repro.errors import SelectionError
@@ -137,6 +139,40 @@ class SelectionReport:
             lines.append(f"  pruned {name}: {reason}")
         return "\n".join(lines)
 
+    def to_payload(self) -> dict:
+        """JSON-serializable representation (wire format of the registry
+        service's ``/preselect`` endpoint).
+
+        Deterministic: interfaces and pruned variants are emitted sorted,
+        and :func:`preselect` orders variants canonically, so two
+        selections of the same program against the same descriptor
+        produce byte-identical payloads.
+        """
+        return {
+            "platform": self.platform_name,
+            "selected": {
+                interface: [
+                    {
+                        "name": v.name,
+                        "targets": list(v.targets),
+                        "is_fallback": v.is_fallback,
+                        "provenance": v.provenance,
+                    }
+                    for v in variants
+                ]
+                for interface, variants in sorted(self.selected.items())
+            },
+            "pruned": dict(sorted(self.pruned.items())),
+        }
+
+    def fingerprint(self) -> str:
+        """Stable sha256 over :meth:`to_payload` (cheap memoization key /
+        equality check for services caching selection results)."""
+        canonical = json.dumps(
+            self.to_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
 
 def preselect(
     repository: TaskRepository,
@@ -168,7 +204,10 @@ def preselect(
                 f" remains for platform {platform.name!r}; the paper requires"
                 " at least one Master-executable implementation"
             )
-        # accelerator variants first: output generation prefers them
-        ordered = sorted(eligible, key=lambda v: v.is_fallback)
+        # canonical order: accelerator variants first (output generation
+        # prefers them), then by name — deterministic regardless of the
+        # repository's registration order, so SelectionReport payloads
+        # and fingerprints are stable and safely memoizable
+        ordered = sorted(eligible, key=lambda v: (v.is_fallback, v.name))
         report.selected[interface] = ordered
     return report

@@ -37,6 +37,10 @@ __all__ = [
     "WatchdogTimeoutError",
     "PerfModelError",
     "KernelError",
+    "ServiceError",
+    "ServiceProtocolError",
+    "ServiceOverloadError",
+    "UnknownPlatformError",
 ]
 
 
@@ -216,3 +220,29 @@ class PerfModelError(ReproError):
 
 class KernelError(ReproError):
     """Kernel registry / execution failure."""
+
+
+# --------------------------------------------------------------------------
+# Platform registry service
+# --------------------------------------------------------------------------
+class ServiceError(ReproError):
+    """Base class for platform-registry-service errors."""
+
+
+class ServiceProtocolError(ServiceError):
+    """Malformed request or response on the registry wire protocol."""
+
+
+class ServiceOverloadError(ServiceError):
+    """The registry rejected a request because its queue is full (HTTP 429).
+
+    :attr:`retry_after` carries the server's suggested wait in seconds.
+    """
+
+    def __init__(self, message, *, retry_after=None):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class UnknownPlatformError(ServiceError):
+    """No stored descriptor matches the requested tag or digest (HTTP 404)."""

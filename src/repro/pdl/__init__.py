@@ -6,7 +6,15 @@ the schema registry with predefined subschemas, and the shipped
 descriptor catalog.
 """
 
-from repro.pdl.catalog import available_platforms, load_platform, platform_path
+from repro.pdl.catalog import (
+    available_platforms,
+    clear_parse_cache,
+    content_digest,
+    load_platform,
+    parse_cache_info,
+    parse_cached,
+    platform_path,
+)
 from repro.pdl.namespaces import DEFAULT_NAMESPACES, PDL_NS, XSI_NS, NamespaceMap
 from repro.pdl.parser import PDLParser, parse_pdl, parse_pdl_file
 from repro.pdl.schema import (
@@ -43,6 +51,10 @@ __all__ = [
     "available_platforms",
     "load_platform",
     "platform_path",
+    "content_digest",
+    "parse_cached",
+    "parse_cache_info",
+    "clear_parse_cache",
     "NamespaceMap",
     "DEFAULT_NAMESPACES",
     "PDL_NS",

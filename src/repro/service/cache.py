@@ -1,0 +1,85 @@
+"""Thread-safe LRU cache used by the registry store's hot paths.
+
+Deliberately tiny: the store keys entries by content digest, so entries
+are immutable-by-construction and eviction is purely a memory bound —
+a stale read is impossible, only a re-parse.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable, Optional
+
+__all__ = ["LRUCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction.
+
+    All operations are O(1) and thread-safe.  ``hits``/``misses``
+    counters feed :class:`repro.service.metrics.ServiceMetrics`.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            return self._data.pop(key, default)
+
+    def evict_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Drop every entry whose *key* satisfies ``predicate``; returns
+        the number of evicted entries (tag-move invalidation hook)."""
+        with self._lock:
+            stale = [k for k in self._data if predicate(k)]
+            for k in stale:
+                del self._data[k]
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def hit_ratio(self) -> Optional[float]:
+        total = self.hits + self.misses
+        return self.hits / total if total else None
+
+    def __repr__(self) -> str:
+        return (
+            f"LRUCache(size={len(self)}/{self.capacity},"
+            f" hits={self.hits}, misses={self.misses})"
+        )

@@ -1,0 +1,213 @@
+"""Blocking client for the platform registry service.
+
+Thin ``http.client`` wrapper that speaks the JSON protocol of
+:mod:`repro.service.server` and rehydrates structured errors back into
+:mod:`repro.errors` exceptions, so remote callers handle failures
+exactly like in-process toolchain callers.
+
+Overload handling mirrors the runtime's fault idiom: on ``429`` the
+client honours the server's ``Retry-After`` (bounded by its own
+:class:`~repro.runtime.faults.FaultPolicy` backoff curve) and retries up
+to ``policy.max_retries`` times before surfacing
+:class:`~repro.errors.ServiceOverloadError`.
+"""
+
+from __future__ import annotations
+
+import http.client
+import time
+from typing import Optional, Union
+from urllib.parse import quote, urlencode, urlsplit
+
+from repro.errors import ServiceError, ServiceOverloadError
+from repro.model.platform import Platform
+from repro.pdl.catalog import parse_cached
+from repro.pdl.writer import write_pdl
+from repro.runtime.faults import FaultPolicy
+from repro.service import protocol
+
+__all__ = ["RegistryClient"]
+
+
+def _default_retry_policy() -> FaultPolicy:
+    return FaultPolicy(
+        max_retries=3,
+        backoff_base_s=0.05,
+        backoff_factor=2.0,
+        backoff_cap_s=1.0,
+        watchdog_s=None,
+    )
+
+
+class RegistryClient:
+    """Synchronous registry client bound to one base URL."""
+
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        timeout: float = 30.0,
+        retry_policy: Optional[FaultPolicy] = None,
+    ):
+        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
+        if split.scheme not in ("", "http"):
+            raise ServiceError(f"unsupported registry scheme {split.scheme!r}")
+        if not split.hostname:
+            raise ServiceError(f"invalid registry URL {base_url!r}")
+        self.host = split.hostname
+        self.port = split.port or 80
+        self.timeout = timeout
+        #: None disables retry entirely (each 429 raises immediately)
+        self.retry_policy = (
+            _default_retry_policy() if retry_policy is None else retry_policy
+        )
+
+    # -- low-level ----------------------------------------------------------
+    def _once(self, method: str, path: str, body: Optional[bytes]) -> tuple:
+        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            headers = {"Accept": "application/json", "Connection": "close"}
+            if body is not None:
+                headers["Content-Type"] = (
+                    "application/json"
+                    if body[:1] in (b"{", b"[")
+                    else "application/xml"
+                )
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            retry_after = response.getheader("Retry-After")
+            return response.status, raw, retry_after
+        except (ConnectionError, OSError) as exc:
+            raise ServiceError(
+                f"registry at {self.host}:{self.port} unreachable: {exc}"
+            ) from exc
+        finally:
+            conn.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[bytes] = None,
+        params: Optional[dict] = None,
+    ) -> dict:
+        """One JSON round trip with 429-aware retry; raises rehydrated
+        library exceptions on error responses."""
+        if params:
+            path = f"{path}?{urlencode(params)}"
+        attempt = 0
+        while True:
+            status, raw, retry_after_header = self._once(method, path, body)
+            try:
+                payload = protocol.loads(raw) if raw else {}
+            except ServiceError:
+                raise ServiceError(
+                    f"registry returned non-JSON body for {method} {path}"
+                    f" (HTTP {status})"
+                ) from None
+            if status != 429:
+                protocol.raise_for_error(status, payload)
+                return payload
+            retry_after = None
+            if retry_after_header is not None:
+                try:
+                    retry_after = float(retry_after_header)
+                except ValueError:
+                    retry_after = None
+            policy = self.retry_policy
+            if policy is None or attempt >= policy.max_retries:
+                protocol.raise_for_error(status, payload, retry_after=retry_after)
+            attempt += 1
+            delay = policy.backoff(attempt)
+            if retry_after is not None:
+                delay = max(delay, min(retry_after, policy.backoff_cap_s))
+            time.sleep(delay)
+
+    # -- registry operations -------------------------------------------------
+    def health(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def info(self) -> dict:
+        return self.request("GET", "/")
+
+    def platforms(self) -> list[dict]:
+        return self.request("GET", "/platforms")["platforms"]
+
+    def publish(self, name: str, descriptor: Union[str, bytes, Platform]) -> dict:
+        """Publish XML text or an in-memory :class:`Platform` under ``name``."""
+        if isinstance(descriptor, Platform):
+            descriptor = write_pdl(descriptor)
+        if isinstance(descriptor, str):
+            descriptor = descriptor.encode("utf-8")
+        return self.request(
+            "PUT", f"/platforms/{quote(name, safe='')}", body=descriptor
+        )
+
+    def fetch(self, ref: str) -> dict:
+        """``{"ref", "digest", "name", "xml"}`` of a stored version."""
+        return self.request("GET", f"/platforms/{quote(ref, safe='')}")
+
+    def platform(self, ref: str) -> Platform:
+        """Fetch and parse a descriptor (client-side digest cache applies)."""
+        record = self.fetch(ref)
+        return parse_cached(
+            record["xml"], digest=record["digest"], name=record["name"]
+        )
+
+    def delete_tag(self, name: str) -> dict:
+        return self.request("DELETE", f"/platforms/{quote(name, safe='')}")
+
+    def retag(self, name: str, ref: str) -> dict:
+        return self.request(
+            "POST", "/tags", body=protocol.dumps({"name": name, "ref": ref})
+        )
+
+    def query(self, ref: str, selector: Optional[str] = None) -> dict:
+        params = {"selector": selector} if selector is not None else None
+        return self.request(
+            "GET", f"/platforms/{quote(ref, safe='')}/query", params=params
+        )
+
+    def diff(self, old_ref: str, new_ref: str) -> dict:
+        return self.request(
+            "POST", "/diff", body=protocol.dumps({"old": old_ref, "new": new_ref})
+        )
+
+    def preselect(
+        self,
+        platform_ref: str,
+        source: str,
+        *,
+        expert_variants: bool = False,
+        require_fallback: bool = True,
+    ) -> dict:
+        """Pre-select one program; returns ``{"cached", "report"}``."""
+        return self.preselect_batch(
+            platform_ref,
+            [
+                {
+                    "source": source,
+                    "expert_variants": expert_variants,
+                    "require_fallback": require_fallback,
+                }
+            ],
+        )[0]
+
+    def preselect_batch(self, platform_ref: str, programs: list) -> list[dict]:
+        """Batched pre-selection: one round trip, one result per program."""
+        payload = self.request(
+            "POST",
+            "/preselect",
+            body=protocol.dumps(
+                {"platform": platform_ref, "programs": programs}
+            ),
+        )
+        return payload["results"]
+
+    def __repr__(self) -> str:
+        return f"RegistryClient(http://{self.host}:{self.port})"

@@ -1,0 +1,141 @@
+"""Wire protocol of the platform registry: JSON envelopes + error mapping.
+
+Every response body is JSON.  Failures use one structured shape::
+
+    {"error": {"code": "pdl-error", "type": "PDLParseError",
+               "message": "...", "status": 422}}
+
+``error_payload`` maps library exceptions onto that shape (and an HTTP
+status); ``raise_for_error`` is the client-side inverse, rehydrating the
+closest :mod:`repro.errors` class so callers of
+:class:`~repro.service.client.RegistryClient` catch the same exception
+types as in-process callers of the toolchain.  A traceback never crosses
+the wire: unexpected exceptions map to an opaque ``internal-error``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.errors import (
+    CascabelError,
+    PDLError,
+    QueryError,
+    ReproError,
+    RepositoryError,
+    SelectionError,
+    ServiceError,
+    ServiceOverloadError,
+    ServiceProtocolError,
+    UnknownPlatformError,
+)
+
+__all__ = [
+    "JSON_CONTENT_TYPE",
+    "STATUS_PHRASES",
+    "dumps",
+    "loads",
+    "error_payload",
+    "raise_for_error",
+]
+
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+STATUS_PHRASES = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+#: exception class → (HTTP status, stable error code).  Ordered most
+#: specific first; the first isinstance match wins.
+_ERROR_MAP: list[tuple[type, int, str]] = [
+    (UnknownPlatformError, 404, "unknown-platform"),
+    (ServiceOverloadError, 429, "overloaded"),
+    (ServiceProtocolError, 400, "bad-request"),
+    (ServiceError, 500, "service-error"),
+    (SelectionError, 422, "selection-error"),
+    (RepositoryError, 422, "repository-error"),
+    (CascabelError, 422, "cascabel-error"),
+    (PDLError, 422, "pdl-error"),
+    (QueryError, 422, "query-error"),
+    (ReproError, 422, "repro-error"),
+]
+
+#: error code → exception class for client-side rehydration
+_CODE_MAP: dict[str, type] = {
+    "unknown-platform": UnknownPlatformError,
+    "overloaded": ServiceOverloadError,
+    "bad-request": ServiceProtocolError,
+    "service-error": ServiceError,
+    "selection-error": SelectionError,
+    "repository-error": RepositoryError,
+    "cascabel-error": CascabelError,
+    "pdl-error": PDLError,
+    "query-error": QueryError,
+    "repro-error": ReproError,
+}
+
+
+def dumps(payload) -> bytes:
+    """Canonical wire encoding (compact separators, sorted keys)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def loads(body: bytes):
+    """Decode a JSON body; raises :class:`ServiceProtocolError` on junk."""
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceProtocolError(f"request body is not valid JSON: {exc}") from exc
+
+
+def error_payload(exc: Exception) -> tuple[int, dict]:
+    """Map an exception to ``(http_status, structured error body)``.
+
+    Anything outside the library hierarchy becomes an opaque 500 — the
+    message is a generic string so internals (and tracebacks) never leak
+    to clients.
+    """
+    for cls, status, code in _ERROR_MAP:
+        if isinstance(exc, cls):
+            return status, {
+                "error": {
+                    "code": code,
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "status": status,
+                }
+            }
+    return 500, {
+        "error": {
+            "code": "internal-error",
+            "type": "InternalError",
+            "message": "internal server error",
+            "status": 500,
+        }
+    }
+
+
+def raise_for_error(
+    status: int, payload, *, retry_after: Optional[float] = None
+) -> None:
+    """Client side: re-raise the library exception a failure body encodes."""
+    if status < 400:
+        return
+    error = payload.get("error", {}) if isinstance(payload, dict) else {}
+    code = error.get("code", "service-error")
+    message = error.get("message", f"registry request failed with HTTP {status}")
+    if status == 429 or code == "overloaded":
+        raise ServiceOverloadError(message, retry_after=retry_after)
+    cls = _CODE_MAP.get(code)
+    if cls is None:
+        cls = ServiceProtocolError if status < 500 else ServiceError
+    raise cls(message)

@@ -148,3 +148,50 @@ class TestEligibleVariants:
         )
         assert [v.name for v in eligible] == ["dgemm_cpu"]
         assert "no hardware" in pruned["dgemm_gpu"]
+
+
+class TestDeterminism:
+    """Stable ordering + cheap hashing so services can memoize reports."""
+
+    def test_order_independent_of_registration_order(self, gpgpu_platform):
+        program = parse_program(PROGRAM)
+        forward = TaskRepository()
+        forward.register_program(program)
+        reversed_repo = TaskRepository()
+        for definition in reversed(program.definitions):
+            reversed_repo._register_definition(definition)
+        a = preselect(forward, program, gpgpu_platform)
+        b = preselect(reversed_repo, program, gpgpu_platform)
+        assert [v.name for v in a.variants_for("Idgemm")] == [
+            v.name for v in b.variants_for("Idgemm")
+        ]
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_accelerator_variants_still_first(self, gpgpu_platform):
+        repo, program = repo_and_program()
+        report = preselect(repo, program, gpgpu_platform)
+        ordered = report.variants_for("Idgemm")
+        assert [v.is_fallback for v in ordered] == [False, True]
+
+    def test_payload_shape(self, gpgpu_platform):
+        repo, program = repo_and_program()
+        report = preselect(repo, program, gpgpu_platform)
+        payload = report.to_payload()
+        assert payload["platform"] == report.platform_name
+        variants = payload["selected"]["Idgemm"]
+        assert variants[0]["name"] == "dgemm_gpu"
+        assert variants[0]["targets"] == ["cuda", "opencl"]
+        assert variants[1]["is_fallback"] is True
+        assert "dgemm_spe" in payload["pruned"]
+
+    def test_fingerprint_distinguishes_platforms(
+        self, gpgpu_platform, cpu_platform
+    ):
+        repo, program = repo_and_program()
+        gpu = preselect(repo, program, gpgpu_platform)
+        cpu = preselect(repo, program, cpu_platform)
+        assert gpu.fingerprint() != cpu.fingerprint()
+        # repeated runs are byte-stable
+        assert gpu.fingerprint() == preselect(
+            repo, program, gpgpu_platform
+        ).fingerprint()

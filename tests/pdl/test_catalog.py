@@ -74,3 +74,58 @@ class TestCatalog:
         assert p.pu("1").architecture == "gpu"
         ic = p.interconnects()[0]
         assert ic.type == "rDMA" and ic.endpoints() == ("0", "1")
+
+
+class TestParseCache:
+    """The content-digest parse cache behind load_platform (shared with
+    the registry service's store)."""
+
+    def setup_method(self):
+        from repro.pdl import clear_parse_cache
+
+        clear_parse_cache()
+
+    def test_second_load_is_a_cache_hit(self):
+        from repro.pdl import parse_cache_info
+
+        load_platform("xeon_x5550_2gpu")
+        before = parse_cache_info()
+        load_platform("xeon_x5550_2gpu")
+        after = parse_cache_info()
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_loads_return_independent_objects(self):
+        a = load_platform("cell_qs22")
+        a.pu("spe").quantity = 1
+        a.name = "mutated"
+        b = load_platform("cell_qs22")
+        assert b.pu("spe").quantity == 8
+        assert b.name != "mutated"
+
+    def test_content_digest_stable(self):
+        from repro.pdl import content_digest
+
+        assert content_digest("abc") == content_digest(b"abc")
+        assert len(content_digest("abc")) == 64
+        assert content_digest("abc") != content_digest("abd")
+
+    def test_parse_cached_respects_kwargs(self):
+        from repro.pdl import parse_cache_info, parse_cached, platform_path
+
+        with open(platform_path("cell_qs22"), encoding="utf-8") as handle:
+            text = handle.read()
+        parse_cached(text, validate=True)
+        before = parse_cache_info()
+        # different validate flag -> different key -> miss, not a stale hit
+        parse_cached(text, validate=False)
+        after = parse_cache_info()
+        assert after.misses == before.misses + 1
+
+    def test_cache_is_bounded(self):
+        from repro.pdl import parse_cache_info
+
+        for name in available_platforms():
+            load_platform(name)
+        info = parse_cache_info()
+        assert info.size <= info.limit

@@ -1,0 +1,32 @@
+"""Shared fixtures for the registry-service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import DescriptorStore
+
+
+#: a CUDA+x86 annotated program (the paper's DGEMM shape)
+CUDA_X86_PROGRAM = """\
+#pragma cascabel task : x86 : Idgemm : dgemm_cpu : (C: readwrite, A: read, B: read)
+void matmul(double *C, double *A, double *B) { }
+
+#pragma cascabel task : cuda,opencl : Idgemm : dgemm_gpu : (C: readwrite, A: read, B: read)
+void matmul_gpu(double *C, double *A, double *B) { }
+
+#pragma cascabel task : cellsdk : Idgemm : dgemm_spe : (C: readwrite, A: read, B: read)
+void matmul_spe(double *C, double *A, double *B) { }
+"""
+
+
+@pytest.fixture
+def program_source() -> str:
+    return CUDA_X86_PROGRAM
+
+
+@pytest.fixture
+def seeded_store() -> DescriptorStore:
+    store = DescriptorStore()
+    store.seed_catalog()
+    return store

@@ -1,0 +1,112 @@
+"""Tests for the ``repro-registry`` CLI and client edge behaviour."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.pdl import load_platform, write_pdl
+from repro.service import RegistryClient, ServerThread
+from repro.service.cli import build_arg_parser, main
+
+
+@pytest.fixture(scope="module")
+def service_url():
+    with ServerThread() as url:
+        yield url
+
+
+class TestCLI:
+    def test_list(self, service_url, capsys):
+        assert main(["list", "--url", service_url]) == 0
+        out = capsys.readouterr().out
+        assert "xeon_x5550_2gpu" in out
+        assert "cell_qs22" in out
+
+    def test_publish_and_fetch(self, service_url, capsys, tmp_path):
+        platform = load_platform("xeon_x5550_dual")
+        platform.name = "cli-published"
+        src = tmp_path / "box.xml"
+        src.write_text(write_pdl(platform), encoding="utf-8")
+        assert main(["publish", "cli-box", str(src), "--url", service_url]) == 0
+        out = capsys.readouterr().out
+        assert "cli-box" in out and "new version" in out
+
+        dst = tmp_path / "fetched.xml"
+        assert main(
+            ["fetch", "cli-box", "--url", service_url, "-o", str(dst)]
+        ) == 0
+        fetched = dst.read_text(encoding="utf-8")
+        assert 'name="cli-published"' in fetched
+
+    def test_fetch_to_stdout(self, service_url, capsys):
+        assert main(["fetch", "cell_qs22", "--url", service_url]) == 0
+        assert capsys.readouterr().out.startswith("<?xml")
+
+    def test_preselect(self, service_url, capsys, tmp_path, program_source):
+        src = tmp_path / "prog.c"
+        src.write_text(program_source, encoding="utf-8")
+        assert main(
+            ["preselect", "xeon_x5550_2gpu", str(src), "--url", service_url]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dgemm_gpu" in out and "dgemm_cpu" in out
+        assert "pruned dgemm_spe" in out
+        # second run is served from the memo ("cache" marker printed)
+        assert main(
+            ["preselect", "xeon_x5550_2gpu", str(src), "--url", service_url]
+        ) == 0
+        assert "(cache)" in capsys.readouterr().out
+
+    def test_diff(self, service_url, capsys):
+        assert main(
+            ["diff", "xeon_x5550_dual", "xeon_x5550_2gpu", "--url", service_url]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "pu-added" in out
+
+    def test_metrics(self, service_url, capsys):
+        assert main(["metrics", "--url", service_url]) == 0
+        out = capsys.readouterr().out
+        assert '"requests_total"' in out
+
+    def test_error_exit_code(self, service_url, capsys):
+        assert main(["fetch", "no-such-ref", "--url", service_url]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "Traceback" not in err
+
+    def test_missing_file_exit_code(self, service_url, capsys):
+        assert main(
+            ["publish", "x", "/no/such/file.xml", "--url", service_url]
+        ) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_parser_defaults(self):
+        args = build_arg_parser().parse_args(["serve", "--port", "0"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.max_queue == 64
+        assert not args.no_seed
+
+
+class TestClientEdges:
+    def test_unreachable_server(self):
+        client = RegistryClient("http://127.0.0.1:9", timeout=0.5)
+        with pytest.raises(ServiceError, match="unreachable"):
+            client.health()
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(ServiceError, match="scheme"):
+            RegistryClient("ftp://somewhere:21")
+
+    def test_bare_hostport_accepted(self, service_url):
+        hostport = service_url.removeprefix("http://")
+        client = RegistryClient(hostport)
+        assert client.health() == {"status": "ok"}
+
+    def test_publish_platform_object(self, service_url):
+        client = RegistryClient(service_url)
+        platform = load_platform("cell_qs22")
+        platform.name = "cell-object-publish"
+        result = client.publish("cell-object", platform)
+        fetched = client.platform("cell-object")
+        assert fetched.name == "cell-object-publish"
+        assert result["digest"] == client.fetch("cell-object")["digest"]
