@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""The autotuning loop: measure -> model -> select -> write back.
+
+The PDL descriptor claims what the hardware *should* deliver; `unfixed`
+properties are slots the paper reserves for "later stages of the
+toolchain" to fill with reality.  This example plays out the whole loop
+on the Figure-5 platform with a deliberately sick gpu0 (15% of its
+claimed GFLOPS — think thermal throttling):
+
+1. calibrate: micro-benchmark dgemm per PU class against the "actual"
+   hardware and persist the samples keyed by the descriptor digest,
+2. model: build a history-based performance model from the samples,
+3. select: run the same tiled DGEMM under dmda twice — scheduler
+   planning with the analytic model vs with the measured history,
+4. write back: late-bind the measured rates into the descriptor's
+   unfixed properties and re-validate the tuned document,
+5. share: publish the profile to an in-process registry service.
+
+Run:  python examples/autotune.py
+"""
+
+import tempfile
+
+from repro.model.properties import Property
+from repro.pdl import load_platform, write_pdl
+from repro.pdl.catalog import content_digest
+from repro.pdl.validator import validate_document
+from repro.perf.models import PerfModel
+from repro.runtime.engine import RuntimeEngine
+from repro.experiments.workloads import submit_tiled_dgemm
+from repro.service import RegistryClient, ServerThread
+from repro.tune import (
+    CalibrationConfig,
+    GroundTruthPerfModel,
+    HistoryPerfModel,
+    TuningDatabase,
+    calibrate_platform,
+    late_bind,
+)
+
+N, BLOCK = 4096, 1024
+
+
+def run_dgemm(platform, truth, sched_model):
+    engine = RuntimeEngine(
+        platform, scheduler="dmda", perf_model=truth,
+        sched_perf_model=sched_model,
+    )
+    submit_tiled_dgemm(engine, N, BLOCK)
+    return engine.run().makespan
+
+
+def main():
+    platform = load_platform("xeon_x5550_2gpu")
+    # the "actual hardware": gpu0 delivers 15% of its descriptor's claim
+    truth = GroundTruthPerfModel({"gpu0": 0.15})
+
+    # ---- 1. calibrate ----------------------------------------------------
+    db, digest = calibrate_platform(
+        platform,
+        config=CalibrationConfig(
+            kernels=("dgemm",), sizes=(256, 512, 1024), repeats=3
+        ),
+        perf_model=truth,
+    )
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        path = handle.name
+    db.save(path)
+    print(f"== calibrated {platform.name} [{digest[:12]}] ==")
+    print(f"  {db.sample_count(digest)} samples, "
+          f"{len(db.transfers(digest))} transfers -> {path}\n")
+
+    # ---- 2. model --------------------------------------------------------
+    history = HistoryPerfModel(TuningDatabase.load(path), digest)
+    pu = platform.pu("gpu0")
+    claimed = PerfModel().dgemm_time(pu, 1024, 1024, 1024)
+    measured = history.dgemm_time(pu, 1024, 1024, 1024)
+    print("== history model vs descriptor claim (dgemm 1024^3 on gpu0) ==")
+    print(f"  descriptor says {claimed * 1e3:8.2f} ms,"
+          f" history says {measured * 1e3:8.2f} ms"
+          f"  ({measured / claimed:.1f}x slower)\n")
+
+    # ---- 3. select -------------------------------------------------------
+    analytic_makespan = run_dgemm(platform, truth, PerfModel())
+    tuned_makespan = run_dgemm(platform, truth, history)
+    print(f"== dmda on DGEMM {N}x{N} DP (truth: gpu0 throttled) ==")
+    print(f"  analytic sched model : {analytic_makespan:8.3f} s")
+    print(f"  tuned sched model    : {tuned_makespan:8.3f} s"
+          f"  ({analytic_makespan / tuned_makespan:.1f}x faster)\n")
+
+    # ---- 4. write back ---------------------------------------------------
+    tuned = platform.copy()
+    tuned.pu("gpu0").descriptor.add(
+        Property("SUSTAINED_GFLOPS_DP", "", fixed=False)  # an open slot
+    )
+    report = late_bind(tuned, db, digest=digest)
+    print("== late binding: measurements -> unfixed properties ==")
+    for entry in report.entries:
+        if entry.action != "skipped-fixed":
+            print(f"  [{entry.action}] {entry.owner}.{entry.name}"
+                  f" = {entry.new}")
+    validation = validate_document(tuned)
+    tuned_xml = write_pdl(tuned)
+    print(f"  tuned document valid: {validation.ok},"
+          f" new digest {content_digest(tuned_xml)[:12]}\n")
+
+    # ---- 5. share --------------------------------------------------------
+    with ServerThread() as url:
+        client = RegistryClient(url)
+        result = client.publish_profile(digest, db)
+        print(f"== published profile to {url} ==")
+        print(f"  {result['digest'][:12]}: {result['samples']} samples"
+              f" (created={result['created']})")
+        fetched = client.fetch_profile(digest[:12])
+        restored = TuningDatabase.from_payload(fetched["profile"])
+        print(f"  round trip intact: "
+              f"{restored.fingerprint() == db.fingerprint()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -38,6 +38,7 @@ __all__ = [
     "eligible_variants",
     "SelectionReport",
     "preselect",
+    "annotate_predictions",
 ]
 
 #: target platform identifier → PU architectures that can host it
@@ -108,6 +109,9 @@ class SelectionReport:
     selected: dict[str, list[TaskVariant]] = field(default_factory=dict)
     #: variant name → pruning reason
     pruned: dict[str, str] = field(default_factory=dict)
+    #: interface → variant name → {"analytic": s, "tuned": s} predicted
+    #: execution seconds (filled by :func:`annotate_predictions`)
+    predictions: dict[str, dict[str, dict[str, float]]] = field(default_factory=dict)
 
     def variants_for(self, interface: str) -> list[TaskVariant]:
         try:
@@ -135,6 +139,14 @@ class SelectionReport:
                 f"{v.name}({'/'.join(v.targets)})" for v in variants
             )
             lines.append(f"  {interface}: {names}")
+            for name, figures in sorted(
+                self.predictions.get(interface, {}).items()
+            ):
+                cells = "  ".join(
+                    f"{model}={seconds:.4g}s"
+                    for model, seconds in sorted(figures.items())
+                )
+                lines.append(f"    {name}: {cells}")
         for name, reason in sorted(self.pruned.items()):
             lines.append(f"  pruned {name}: {reason}")
         return "\n".join(lines)
@@ -148,7 +160,7 @@ class SelectionReport:
         selections of the same program against the same descriptor
         produce byte-identical payloads.
         """
-        return {
+        payload = {
             "platform": self.platform_name,
             "selected": {
                 interface: [
@@ -164,6 +176,17 @@ class SelectionReport:
             },
             "pruned": dict(sorted(self.pruned.items())),
         }
+        if self.predictions:
+            # present only when annotated, so un-annotated payloads (and
+            # their fingerprints / service memo keys) are unchanged
+            payload["predictions"] = {
+                interface: {
+                    name: dict(sorted(figures.items()))
+                    for name, figures in sorted(variants.items())
+                }
+                for interface, variants in sorted(self.predictions.items())
+            }
+        return payload
 
     def fingerprint(self) -> str:
         """Stable sha256 over :meth:`to_payload` (cheap memoization key /
@@ -210,4 +233,82 @@ def preselect(
         # and fingerprints are stable and safely memoizable
         ordered = sorted(eligible, key=lambda v: (v.is_fallback, v.name))
         report.selected[interface] = ordered
+    return report
+
+
+def _kernel_for_interface(interface: str, registry) -> str | None:
+    """Map a task interface name onto a runtime kernel.
+
+    Interface names follow the paper's ``I<kernel>`` convention
+    (``Idgemm``, ``Ivecadd``); kernels carry BLAS-style ``d`` prefixes.
+    Candidates are tried in order: the name itself, the name without the
+    ``I`` prefix, and the de-prefixed name with a ``d`` prepended.
+    """
+    candidates = [interface]
+    if interface.startswith("I") and len(interface) > 1:
+        stripped = interface[1:]
+        candidates += [stripped, f"d{stripped}"]
+    for candidate in candidates:
+        if candidate in registry.names():
+            return candidate
+    return None
+
+
+def annotate_predictions(
+    report: SelectionReport,
+    platform: Platform,
+    *,
+    models: dict,
+    probe_size: int = 1024,
+    registry=None,
+) -> SelectionReport:
+    """Fill ``report.predictions`` with estimated execution seconds.
+
+    ``models`` maps a column label to a perf model — typically
+    ``{"analytic": PerfModel(), "tuned": HistoryPerfModel(...)}`` — so a
+    selection report can show how an empirically tuned model re-ranks the
+    selected variants against the analytic guesses.  For every variant,
+    the predicted time is the *best* (minimum) estimate over the platform
+    Workers its targets can run on, probing a canonical
+    ``probe_size``-sized problem of the interface's kernel.  Interfaces
+    with no kernel mapping or no matching Worker are left un-annotated.
+
+    Returns ``report`` (annotated in place) for chaining.
+    """
+    # local imports keep the static toolchain layer import-light; the
+    # runtime/tune layers are only pulled in when annotation is requested
+    from repro.kernels.registry import default_kernel_registry
+    from repro.tune.calibrate import dims_for
+
+    if registry is None:
+        registry = default_kernel_registry()
+    workers = platform.workers()
+    for interface, variants in report.selected.items():
+        kernel = _kernel_for_interface(interface, registry)
+        if kernel is None:
+            continue
+        kernel_def = registry.get(kernel)
+        dims = dims_for(kernel, probe_size)
+        flops = kernel_def.flops(dims)
+        nbytes = kernel_def.bytes_touched(dims)
+        for variant in variants:
+            architectures: set[str] = set()
+            for target in variant.targets:
+                architectures.update(TARGET_ARCHITECTURES.get(target, ()))
+            candidates = [w for w in workers if w.architecture in architectures]
+            if not candidates:
+                continue
+            figures: dict[str, float] = {}
+            for label, model in models.items():
+                figures[label] = min(
+                    model.estimate(
+                        pu,
+                        kernel=kernel,
+                        flops=flops,
+                        bytes_touched=nbytes,
+                        dims=dims if len(dims) == 3 else None,
+                    )
+                    for pu in candidates
+                )
+            report.predictions.setdefault(interface, {})[variant.name] = figures
     return report

@@ -37,6 +37,7 @@ __all__ = [
     "WatchdogTimeoutError",
     "PerfModelError",
     "KernelError",
+    "TuningError",
     "ServiceError",
     "ServiceProtocolError",
     "ServiceOverloadError",
@@ -220,6 +221,10 @@ class PerfModelError(ReproError):
 
 class KernelError(ReproError):
     """Kernel registry / execution failure."""
+
+
+class TuningError(ReproError):
+    """Autotuning subsystem failure (calibration, database, late binding)."""
 
 
 # --------------------------------------------------------------------------

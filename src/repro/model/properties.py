@@ -351,13 +351,26 @@ class Descriptor:
         properties are instantiated from ``other`` when
         ``overwrite_unfixed`` is set — this is the paper's late-binding
         flow where a runtime fills in slots left open at composition time.
+
+        Invariants:
+
+        * fixed-ness never flips — instantiation fills the value of an
+          unfixed slot but the slot stays unfixed, and fixed properties
+          here are never overwritten;
+        * units are preserved — an incoming bare magnitude (``unit is
+          None``) fills the slot *in the slot's authored unit* (the unit
+          is part of the slot's contract; dropping it would silently
+          rescale quantities like ``"2" kB`` → ``"2"`` bytes), while an
+          incoming value with an explicit unit replaces unit and text
+          together (lossless).
         """
         for prop in other:
             mine = self.find(prop.name, type_name=prop.type_name)
             if mine is None:
                 self.add(prop.copy())
             elif not mine.fixed and overwrite_unfixed:
-                mine.instantiate(PropertyValue(prop.value.text, prop.value.unit))
+                unit = prop.value.unit if prop.value.unit is not None else mine.value.unit
+                mine.instantiate(PropertyValue(prop.value.text, unit))
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}({self._props!r})"

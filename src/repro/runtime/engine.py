@@ -90,7 +90,7 @@ class _EngineCostModel:
         return self._engine.registry.get(task.kernel).supports(worker.architecture)
 
     def exec_estimate(self, task: RuntimeTask, worker: WorkerContext) -> float:
-        return self._engine.exec_estimate(task, worker)
+        return self._engine.sched_estimate(task, worker)
 
     def transfer_estimate(self, task: RuntimeTask, worker: WorkerContext) -> float:
         engine = self._engine
@@ -118,6 +118,7 @@ class RuntimeEngine:
         scheduler: str | Scheduler = "dmda",
         registry: Optional[KernelRegistry] = None,
         perf_model: Optional[PerfModel] = None,
+        sched_perf_model: Optional[PerfModel] = None,
         execute_kernels: bool = False,
         task_overhead_s: float = TASK_SCHEDULING_OVERHEAD_S,
         prefetch: bool = False,
@@ -127,6 +128,13 @@ class RuntimeEngine:
         self.platform = platform
         self.registry = registry if registry is not None else default_kernel_registry()
         self.perf = perf_model if perf_model is not None else PerfModel()
+        #: model driving *scheduler placement decisions*; defaults to the
+        #: simulation-truth model.  Passing a distinct model (e.g. a
+        #: tuned :class:`~repro.tune.model.HistoryPerfModel`) makes the
+        #: scheduler plan with measured estimates while simulated task
+        #: durations stay governed by ``perf_model`` — the setup needed
+        #: to evaluate how estimate quality affects placement.
+        self.sched_perf = sched_perf_model if sched_perf_model is not None else self.perf
         self.execute_kernels = execute_kernels
         self.task_overhead_s = task_overhead_s
         #: stage the next queued task's operands while the current one runs
@@ -256,7 +264,9 @@ class RuntimeEngine:
     # ------------------------------------------------------------------
     # cost estimation (also used by schedulers through _EngineCostModel)
     # ------------------------------------------------------------------
-    def exec_estimate(self, task: RuntimeTask, worker: WorkerContext) -> float:
+    def _estimate_with(
+        self, model: PerfModel, task: RuntimeTask, worker: WorkerContext
+    ) -> float:
         kernel_def = self.registry.get(task.kernel)
         dims = task.dims
         if dims is None:
@@ -264,13 +274,22 @@ class RuntimeEngine:
             dims = task.accesses[0].handle.shape
         flops = kernel_def.flops(dims)
         nbytes = kernel_def.bytes_touched(dims)
-        return self.perf.estimate(
+        return model.estimate(
             worker.pu,
             kernel=task.kernel,
             flops=flops,
             bytes_touched=nbytes,
             dims=dims if len(dims) == 3 else None,
         )
+
+    def exec_estimate(self, task: RuntimeTask, worker: WorkerContext) -> float:
+        """Simulated-truth duration of ``task`` on ``worker``."""
+        return self._estimate_with(self.perf, task, worker)
+
+    def sched_estimate(self, task: RuntimeTask, worker: WorkerContext) -> float:
+        """The estimate scheduler placement decisions see (may differ
+        from simulated truth when ``sched_perf_model`` was given)."""
+        return self._estimate_with(self.sched_perf, task, worker)
 
     # ------------------------------------------------------------------
     # simulated execution
@@ -633,6 +652,8 @@ class RuntimeEngine:
                 return
             # descriptor properties feed the cost models; drop stale rates
             self.perf.invalidate()
+            if self.sched_perf is not self.perf:
+                self.sched_perf.invalidate()
             if event.affects_interconnect:
                 self.transfer_model.invalidate_routes()
             for worker in self.workers:

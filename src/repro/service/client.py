@@ -209,5 +209,29 @@ class RegistryClient:
         )
         return payload["results"]
 
+    # -- tuning profiles -----------------------------------------------------
+    def profiles(self) -> list[dict]:
+        """Summaries of every tuning profile stored on the registry."""
+        return self.request("GET", "/profiles")["profiles"]
+
+    def publish_profile(self, ref: str, profile) -> dict:
+        """Attach a tuning profile to a stored descriptor version.
+
+        ``profile`` is either a :class:`~repro.tune.database.TuningDatabase`
+        or its wire payload (``TuningDatabase.to_payload()``); it must
+        contain samples for the digest ``ref`` resolves to.
+        """
+        if hasattr(profile, "to_payload"):
+            profile = profile.to_payload()
+        return self.request(
+            "PUT",
+            f"/profiles/{quote(ref, safe='')}",
+            body=protocol.dumps(profile),
+        )
+
+    def fetch_profile(self, ref: str) -> dict:
+        """``{"digest", "profile"}`` — the stored tuning payload of ``ref``."""
+        return self.request("GET", f"/profiles/{quote(ref, safe='')}")
+
     def __repr__(self) -> str:
         return f"RegistryClient(http://{self.host}:{self.port})"

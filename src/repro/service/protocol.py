@@ -28,6 +28,7 @@ from repro.errors import (
     ServiceError,
     ServiceOverloadError,
     ServiceProtocolError,
+    TuningError,
     UnknownPlatformError,
 )
 
@@ -66,6 +67,7 @@ _ERROR_MAP: list[tuple[type, int, str]] = [
     (CascabelError, 422, "cascabel-error"),
     (PDLError, 422, "pdl-error"),
     (QueryError, 422, "query-error"),
+    (TuningError, 422, "tuning-error"),
     (ReproError, 422, "repro-error"),
 ]
 
@@ -80,6 +82,7 @@ _CODE_MAP: dict[str, type] = {
     "cascabel-error": CascabelError,
     "pdl-error": PDLError,
     "query-error": QueryError,
+    "tuning-error": TuningError,
     "repro-error": ReproError,
 }
 

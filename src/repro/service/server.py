@@ -20,6 +20,9 @@ Endpoints
 ``POST /tags``                               move a tag: ``{"name", "ref"}``
 ``POST /diff``                               ``{"old", "new"}`` → structural diff
 ``POST /preselect``                          batched Cascabel pre-selection
+``GET  /profiles``                           stored tuning profiles (digest summaries)
+``PUT  /profiles/{ref}``                     attach a tuning-database payload to a digest
+``GET  /profiles/{ref}``                     fetch the tuning profile of a digest
 ===========================================  ===========================================
 
 Backpressure
@@ -304,6 +307,24 @@ class RegistryServer:
                 "POST /preselect",
                 self._ep_preselect,
             ),
+            (
+                "GET",
+                re.compile(r"^/profiles$"),
+                "GET /profiles",
+                self._ep_profiles_list,
+            ),
+            (
+                "PUT",
+                re.compile(r"^/profiles/(?P<ref>[^/]+)$"),
+                "PUT /profiles/{ref}",
+                self._ep_profile_put,
+            ),
+            (
+                "GET",
+                re.compile(r"^/profiles/(?P<ref>[^/]+)$"),
+                "GET /profiles/{ref}",
+                self._ep_profile_get,
+            ),
         ]
 
     #: endpoints that must answer even when the service sheds load
@@ -489,6 +510,21 @@ class RegistryServer:
             )
             reports.append({"cached": cached, "report": payload})
         return _Response(200, {"platform": ref, "results": reports})
+
+    def _ep_profiles_list(self, request: _Request) -> _Response:
+        return _Response(200, {"profiles": self.store.profiles()})
+
+    def _ep_profile_put(self, request: _Request, ref: str) -> _Response:
+        body = protocol.loads(request.body)
+        if not isinstance(body, dict):
+            raise ServiceProtocolError(
+                "PUT /profiles/{ref} expects a tuning-database JSON payload"
+            )
+        result = self.store.put_profile(ref, body)
+        return _Response(201 if result["created"] else 200, result)
+
+    def _ep_profile_get(self, request: _Request, ref: str) -> _Response:
+        return _Response(200, self.store.get_profile(ref))
 
 
 class ServerThread:

@@ -88,6 +88,9 @@ class DescriptorStore:
         self._tags: dict[str, str] = {}  # name -> digest
         self._platforms = LRUCache(platform_cache_size)  # digest -> master copy
         self._preselect = LRUCache(preselect_cache_size)
+        #: platform digest -> tuning profile payload (TuningDatabase wire
+        #: format restricted to that one platform)
+        self._profiles: dict[str, dict] = {}
 
     # -- publishing ---------------------------------------------------------
     def publish(self, name: str, xml_text: Union[str, bytes]) -> PublishResult:
@@ -303,13 +306,74 @@ class DescriptorStore:
         self._preselect.put(key, payload)
         return payload, False
 
+    # -- tuning profiles -----------------------------------------------------
+    def put_profile(self, ref: str, payload: dict) -> dict:
+        """Attach a tuning profile to a stored descriptor version.
+
+        ``payload`` is the :class:`~repro.tune.database.TuningDatabase`
+        wire format; it must contain a profile for the digest ``ref``
+        resolves to (profiles are keyed by content digest, so a profile
+        can never silently apply to a different descriptor revision).
+        The payload is validated by round-tripping it through the
+        database parser before anything is stored.
+        """
+        from repro.errors import TuningError
+        from repro.tune.database import TuningDatabase
+
+        digest = self.resolve(ref)
+        database = TuningDatabase.from_payload(payload)
+        if digest not in database.platforms():
+            raise TuningError(
+                f"profile payload has no samples for digest {digest[:12]!r}"
+                f" (profiles inside: {[d[:12] for d in database.platforms()]})"
+            )
+        normalized = database.to_payload(digest)
+        with self._lock:
+            created = digest not in self._profiles
+            self._profiles[digest] = normalized
+        return {
+            "digest": digest,
+            "samples": database.sample_count(digest),
+            "created": created,
+        }
+
+    def get_profile(self, ref: str) -> dict:
+        """Tuning profile payload of a stored descriptor version."""
+        digest = self.resolve(ref)
+        with self._lock:
+            payload = self._profiles.get(digest)
+        if payload is None:
+            raise UnknownPlatformError(
+                f"no tuning profile stored for {ref!r} ({digest[:12]})"
+            )
+        return {"digest": digest, "profile": payload}
+
+    def profiles(self) -> list[dict]:
+        """Summaries of every stored profile (sorted by digest)."""
+        with self._lock:
+            stored = dict(self._profiles)
+        out = []
+        for digest in sorted(stored):
+            entry = stored[digest]["platforms"][digest]
+            out.append(
+                {
+                    "digest": digest,
+                    "name": self.name_of(digest) or entry.get("platform_name", ""),
+                    "samples": len(entry.get("samples", ())),
+                    "transfers": len(entry.get("transfers", ())),
+                }
+            )
+        return out
+
     # -- introspection ------------------------------------------------------
     def stats(self) -> dict:
         with self._lock:
             blobs, tags = len(self._blobs), len(self._tags)
+            profiles = len(self._profiles)
         return {
             "blobs": blobs,
             "tags": tags,
+            "profiles": profiles,
             "platform_cache": {
                 "size": len(self._platforms),
                 "capacity": self._platforms.capacity,

@@ -1,0 +1,61 @@
+"""Autotuning subsystem: measure → model → select.
+
+Closes the loop the paper leaves to "later toolchain stages": the
+calibration harness (:mod:`repro.tune.calibrate`) measures kernels per
+PU class on the simulated runtime, the persistent
+:class:`~repro.tune.database.TuningDatabase` stores the samples keyed by
+platform content digest, :class:`~repro.tune.model.HistoryPerfModel`
+turns them into scheduler-consumable estimates, and
+:mod:`repro.tune.latebind` writes measured figures back into unfixed
+descriptor properties — a schema-valid "tuned" PDL document.
+
+Quick tour::
+
+    from repro.pdl.catalog import load_platform
+    from repro.tune import Calibrator, HistoryPerfModel, late_bind
+
+    platform = load_platform("xeon_x5550_2gpu")
+    calibrator = Calibrator(platform)
+    db = calibrator.run()
+    tuned = HistoryPerfModel(db, calibrator.digest)
+    engine = RuntimeEngine(platform, scheduler="dmda", sched_perf_model=tuned)
+"""
+
+from repro.tune.calibrate import (
+    CalibrationConfig,
+    Calibrator,
+    PinnedScheduler,
+    calibrate_platform,
+    dims_for,
+    harvest_run,
+)
+from repro.tune.database import TimingSample, TransferSample, TuningDatabase
+from repro.tune.latebind import (
+    BoundProperty,
+    LateBindingReport,
+    late_bind,
+    tuned_platform,
+)
+from repro.tune.model import GroundTruthPerfModel, HistoryPerfModel
+from repro.tune.regression import HistoryCurve, PowerLawFit, fit_power_law
+
+__all__ = [
+    "BoundProperty",
+    "CalibrationConfig",
+    "Calibrator",
+    "GroundTruthPerfModel",
+    "HistoryCurve",
+    "HistoryPerfModel",
+    "LateBindingReport",
+    "PinnedScheduler",
+    "PowerLawFit",
+    "TimingSample",
+    "TransferSample",
+    "TuningDatabase",
+    "calibrate_platform",
+    "dims_for",
+    "fit_power_law",
+    "harvest_run",
+    "late_bind",
+    "tuned_platform",
+]

@@ -1,0 +1,309 @@
+"""Calibration harness: micro-experiments that populate the tuning DB.
+
+The harness runs one tiny task graph per (kernel × PU class × size) on
+the simulated runtime with a *pinned* scheduler, so each measurement
+exercises exactly one worker lane — the AMTHA recipe of measuring every
+task type on every core class.  Measured task durations and transfer
+times land in a :class:`~repro.tune.database.TuningDatabase` keyed by
+the platform's content digest.
+
+The same ingestion path (:func:`harvest_run`) also accepts *production*
+runs: any finished :class:`~repro.runtime.trace.RunResult` can be folded
+into the database, so real workloads keep refining the history models —
+StarPU's feedback loop.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.errors import TuningError
+from repro.kernels.registry import KernelRegistry, default_kernel_registry
+from repro.model.platform import Platform
+from repro.pdl.catalog import content_digest
+from repro.pdl.writer import write_pdl
+from repro.perf.models import PerfModel
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.schedulers import Scheduler
+from repro.runtime.tasks import RuntimeTask
+from repro.runtime.trace import RunResult
+from repro.runtime.workers import WorkerContext
+from repro.tune.database import TimingSample, TransferSample, TuningDatabase
+
+__all__ = [
+    "PinnedScheduler",
+    "CalibrationConfig",
+    "Calibrator",
+    "calibrate_platform",
+    "harvest_run",
+    "dims_for",
+]
+
+#: GEMM-shaped kernels take (m, n, k) dims
+_GEMM_KERNELS = ("dgemm", "dgemm_nt")
+#: tile kernels take a single (n,) edge length
+_TILE_KERNELS = ("dpotrf", "dtrsm", "dsyrk")
+
+
+def dims_for(kernel: str, size: int) -> tuple[int, ...]:
+    """Canonical dims tuple for one size-grid entry.
+
+    GEMM-shaped kernels get a cubic ``(s, s, s)`` problem, tile kernels
+    an ``(s,)`` edge, and vector kernels ``(s²,)`` elements (a bare
+    ``s``-element vector would be too small to resolve on the grid used
+    for matrix kernels).
+    """
+    if kernel in _GEMM_KERNELS:
+        return (size, size, size)
+    if kernel in _TILE_KERNELS:
+        return (size,)
+    return (size * size,)
+
+
+def _handle_shape(kernel: str, dims: tuple[int, ...]) -> tuple[int, ...]:
+    """Shape of the single micro-benchmark operand (sets transfer bytes)."""
+    if kernel in _GEMM_KERNELS:
+        return (dims[0], dims[1])
+    if kernel in _TILE_KERNELS:
+        return (dims[0], dims[0])
+    return (dims[0],)
+
+
+class PinnedScheduler(Scheduler):
+    """Hand every task to one designated worker lane (measurement rig).
+
+    Not a production policy: it exists so a calibration run isolates a
+    single PU class with zero placement interference.
+    """
+
+    name = "pinned"
+
+    def __init__(self, instance_id: str):
+        super().__init__()
+        self.instance_id = instance_id
+
+    def attach(self, workers: list[WorkerContext], cost) -> None:
+        if not any(w.instance_id == self.instance_id for w in workers):
+            raise TuningError(
+                f"PinnedScheduler: no worker lane {self.instance_id!r}"
+                f" (lanes: {[w.instance_id for w in workers]})"
+            )
+        super().attach(workers, cost)
+
+    def reset(self) -> None:
+        self._queue: deque[RuntimeTask] = deque()
+
+    def task_ready(self, task: RuntimeTask, now: float) -> None:
+        self._queue.append(task)
+
+    def next_task(self, worker: WorkerContext, now: float) -> Optional[RuntimeTask]:
+        if worker.instance_id != self.instance_id or not self._queue:
+            return None
+        return self._queue.popleft()
+
+    def peek(self, worker: WorkerContext) -> Optional[RuntimeTask]:
+        if worker.instance_id != self.instance_id or not self._queue:
+            return None
+        return self._queue[0]
+
+    def pending_count(self) -> int:
+        return len(self._queue)
+
+
+@dataclass(frozen=True)
+class CalibrationConfig:
+    """Knobs of one calibration sweep."""
+
+    #: kernel interfaces to measure
+    kernels: tuple[str, ...] = ("dgemm",)
+    #: size grid (interpreted per kernel family by :func:`dims_for`)
+    sizes: tuple[int, ...] = (128, 256, 512, 1024)
+    #: independent repetitions per point
+    repeats: int = 3
+    #: relative Gaussian measurement noise (0 = deterministic)
+    noise: float = 0.0
+    #: RNG seed for the noise model
+    seed: int = 7
+
+    def __post_init__(self):
+        if self.repeats < 1:
+            raise TuningError(f"repeats must be >= 1, got {self.repeats}")
+        if self.noise < 0.0:
+            raise TuningError(f"noise must be >= 0, got {self.noise}")
+        if not self.kernels or not self.sizes:
+            raise TuningError("calibration needs at least one kernel and one size")
+
+
+def harvest_run(
+    engine: RuntimeEngine,
+    result: RunResult,
+    database: TuningDatabase,
+    *,
+    digest: Optional[str] = None,
+    source: str = "harvest",
+    jitter: Optional[Callable[[float], float]] = None,
+) -> int:
+    """Fold a finished run's trace into ``database``; returns #samples.
+
+    Works for calibration micro-runs and production runs alike: task
+    durations become :class:`TimingSample` records (keyed by the Worker
+    *entity*, so quantity-expanded lanes share one history) and transfer
+    records become :class:`TransferSample` entries.
+    """
+    if digest is None:
+        digest = content_digest(write_pdl(engine.platform))
+    name = engine.platform.name
+    tasks_by_id = {t.id: t for t in engine._tasks}
+    workers = {w.instance_id: w for w in engine.workers}
+    recorded = 0
+    for tt in result.trace.tasks:
+        worker = workers.get(tt.worker_id)
+        task = tasks_by_id.get(tt.task_id)
+        if worker is None or task is None:
+            continue
+        seconds = tt.duration
+        if seconds <= 0.0:
+            continue
+        if jitter is not None:
+            seconds = jitter(seconds)
+        dims = task.dims
+        if dims is None:
+            dims = task.accesses[0].handle.shape
+        kernel_def = engine.registry.get(tt.kernel)
+        database.record(
+            digest,
+            TimingSample(
+                kernel=tt.kernel,
+                pu=worker.entity_id,
+                architecture=worker.architecture,
+                dims=tuple(dims),
+                flops=kernel_def.flops(dims),
+                bytes_touched=kernel_def.bytes_touched(dims),
+                seconds=seconds,
+                source=source,
+            ),
+            platform_name=name,
+        )
+        recorded += 1
+    for tr in result.trace.transfers:
+        seconds = tr.end - tr.start
+        if seconds <= 0.0:
+            continue
+        database.record_transfer(
+            digest,
+            TransferSample(
+                src=engine.node_anchor[tr.src_node],
+                dst=engine.node_anchor[tr.dst_node],
+                nbytes=float(tr.nbytes),
+                seconds=seconds,
+                source=source,
+            ),
+            platform_name=name,
+        )
+    return recorded
+
+
+class Calibrator:
+    """Runs the micro-experiment sweep for one platform.
+
+    ``perf_model`` is the model that *generates* the simulated ground
+    truth (e.g. a :class:`~repro.tune.model.GroundTruthPerfModel` whose
+    speed factors encode how the actual device deviates from its
+    descriptor).  Samples measure that truth — which is the whole point:
+    the history model learns what the hardware does, not what the
+    descriptor claims.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        config: Optional[CalibrationConfig] = None,
+        perf_model: Optional[PerfModel] = None,
+        registry: Optional[KernelRegistry] = None,
+    ):
+        self.platform = platform
+        self.config = config or CalibrationConfig()
+        self.perf_model = perf_model
+        self.registry = registry if registry is not None else default_kernel_registry()
+        self.digest = content_digest(write_pdl(platform))
+
+    def _lanes(self) -> list[WorkerContext]:
+        """One representative lane per Worker entity."""
+        probe = RuntimeEngine(
+            self.platform, scheduler="eager", registry=self.registry
+        )
+        seen: dict[str, WorkerContext] = {}
+        for worker in probe.workers:
+            seen.setdefault(worker.entity_id, worker)
+        return list(seen.values())
+
+    def run(self, database: Optional[TuningDatabase] = None) -> TuningDatabase:
+        """Execute the sweep; returns the (possibly given) database."""
+        db = database if database is not None else TuningDatabase()
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+
+        def jitter(seconds: float) -> float:
+            if cfg.noise <= 0.0:
+                return seconds
+            return seconds * max(0.05, 1.0 + rng.gauss(0.0, cfg.noise))
+
+        measured = 0
+        for lane in self._lanes():
+            for kernel in cfg.kernels:
+                kernel_def = self.registry.get(kernel)
+                if not kernel_def.supports(lane.architecture):
+                    continue
+                for size in cfg.sizes:
+                    dims = dims_for(kernel, size)
+                    engine = RuntimeEngine(
+                        self.platform,
+                        scheduler=PinnedScheduler(lane.instance_id),
+                        registry=self.registry,
+                        perf_model=self.perf_model,
+                    )
+                    shape = _handle_shape(kernel, dims)
+                    for r in range(cfg.repeats):
+                        handle = engine.register(
+                            shape=shape, name=f"cal-{kernel}-{size}-{r}"
+                        )
+                        engine.submit(
+                            kernel,
+                            [(handle, "rw")],
+                            dims=dims,
+                            tag=f"cal:{kernel}[{lane.entity_id},{size},{r}]",
+                        )
+                    result = engine.run(gather_to_home=True)
+                    measured += harvest_run(
+                        engine,
+                        result,
+                        db,
+                        digest=self.digest,
+                        source="microbench",
+                        jitter=jitter,
+                    )
+        if measured == 0:
+            raise TuningError(
+                f"calibration produced no samples for platform"
+                f" {self.platform.name!r} (kernels {list(cfg.kernels)})"
+            )
+        return db
+
+
+def calibrate_platform(
+    platform: Platform,
+    *,
+    database: Optional[TuningDatabase] = None,
+    config: Optional[CalibrationConfig] = None,
+    perf_model: Optional[PerfModel] = None,
+    registry: Optional[KernelRegistry] = None,
+) -> tuple[TuningDatabase, str]:
+    """One-call sweep; returns ``(database, platform digest)``."""
+    calibrator = Calibrator(
+        platform, config=config, perf_model=perf_model, registry=registry
+    )
+    return calibrator.run(database), calibrator.digest

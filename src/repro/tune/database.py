@@ -1,0 +1,363 @@
+"""Persistent store of empirical timing samples (the tuning database).
+
+StarPU keeps *history-based performance models* — per (kernel, worker,
+size) files of measured execution times that feed its ``dm``/``dmda``
+schedulers.  This module is our equivalent: a JSON document on disk
+holding :class:`TimingSample` records, keyed by the **platform content
+digest** (:func:`repro.pdl.catalog.content_digest` of the canonical
+descriptor), so measurements taken against one descriptor version can
+never silently be applied to another.
+
+Layout (version 1)::
+
+    {
+      "version": 1,
+      "platforms": {
+        "<sha256 digest>": {
+          "platform_name": "xeon_x5550_2gpu",
+          "samples":   [ {kernel, pu, architecture, dims, flops,
+                          bytes, seconds, source}, ... ],
+          "transfers": [ {src, dst, nbytes, seconds, source}, ... ]
+        }
+      }
+    }
+
+``pu`` is the PDL *entity* id of the Worker (``"cpu"``, ``"gpu0"``), not
+a lane instance id: quantity-expanded lanes of one Worker entity share
+descriptor and hence one timing history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import TuningError
+
+__all__ = ["TimingSample", "TransferSample", "TuningDatabase"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TimingSample:
+    """One measured kernel execution."""
+
+    kernel: str
+    pu: str  # Worker entity id ("gpu0"), not a lane instance id
+    architecture: str
+    dims: Optional[tuple[int, ...]]
+    flops: float
+    bytes_touched: float
+    seconds: float
+    source: str = "microbench"  # "microbench" | "harvest" | ...
+
+    def __post_init__(self):
+        if self.seconds <= 0.0:
+            raise TuningError(
+                f"sample for {self.kernel!r} on {self.pu!r} has"
+                f" non-positive duration {self.seconds!r}"
+            )
+
+    @property
+    def work(self) -> float:
+        """The size metric regressions run over: flops + bytes touched.
+
+        Both terms come from the same kernel definition at record *and*
+        query time, so the metric is consistent; summing keeps one axis
+        for compute-bound and bandwidth-bound kernels alike.
+        """
+        return self.flops + self.bytes_touched
+
+    def to_payload(self) -> dict:
+        # floats coerced explicitly: kernel definitions may hand back
+        # ints, which JSON would serialize differently (2097152 vs
+        # 2097152.0) and break payload/fingerprint stability
+        return {
+            "kernel": self.kernel,
+            "pu": self.pu,
+            "architecture": self.architecture,
+            "dims": list(self.dims) if self.dims is not None else None,
+            "flops": float(self.flops),
+            "bytes": float(self.bytes_touched),
+            "seconds": float(self.seconds),
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TimingSample":
+        try:
+            dims = payload.get("dims")
+            return cls(
+                kernel=str(payload["kernel"]),
+                pu=str(payload["pu"]),
+                architecture=str(payload["architecture"]),
+                dims=tuple(int(d) for d in dims) if dims is not None else None,
+                flops=float(payload["flops"]),
+                bytes_touched=float(payload["bytes"]),
+                seconds=float(payload["seconds"]),
+                source=str(payload.get("source", "microbench")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TuningError(f"malformed timing sample {payload!r}") from exc
+
+
+@dataclass(frozen=True)
+class TransferSample:
+    """One measured data transfer between two entity anchors."""
+
+    src: str
+    dst: str
+    nbytes: float
+    seconds: float
+    source: str = "microbench"
+
+    def __post_init__(self):
+        if self.seconds <= 0.0:
+            raise TuningError(
+                f"transfer sample {self.src}->{self.dst} has"
+                f" non-positive duration {self.seconds!r}"
+            )
+
+    @property
+    def bandwidth(self) -> float:
+        """Effective bytes/second of this transfer."""
+        return self.nbytes / self.seconds
+
+    def to_payload(self) -> dict:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "nbytes": float(self.nbytes),
+            "seconds": float(self.seconds),
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TransferSample":
+        try:
+            return cls(
+                src=str(payload["src"]),
+                dst=str(payload["dst"]),
+                nbytes=float(payload["nbytes"]),
+                seconds=float(payload["seconds"]),
+                source=str(payload.get("source", "microbench")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TuningError(f"malformed transfer sample {payload!r}") from exc
+
+
+class TuningDatabase:
+    """Thread-safe, JSON-persisted collection of timing samples.
+
+    One database may hold profiles for many platforms; every sample is
+    filed under the content digest of the descriptor it was measured
+    against.
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._lock = threading.RLock()
+        #: digest -> {"platform_name": str, "samples": [...], "transfers": [...]}
+        self._platforms: dict[str, dict] = {}
+
+    # -- recording -----------------------------------------------------------
+    def _entry(self, digest: str, platform_name: Optional[str] = None) -> dict:
+        entry = self._platforms.get(digest)
+        if entry is None:
+            entry = {"platform_name": platform_name or "", "samples": [], "transfers": []}
+            self._platforms[digest] = entry
+        elif platform_name and not entry["platform_name"]:
+            entry["platform_name"] = platform_name
+        return entry
+
+    def record(
+        self,
+        digest: str,
+        sample: TimingSample,
+        *,
+        platform_name: Optional[str] = None,
+    ) -> None:
+        with self._lock:
+            self._entry(digest, platform_name)["samples"].append(sample)
+
+    def record_transfer(
+        self,
+        digest: str,
+        sample: TransferSample,
+        *,
+        platform_name: Optional[str] = None,
+    ) -> None:
+        with self._lock:
+            self._entry(digest, platform_name)["transfers"].append(sample)
+
+    # -- queries -------------------------------------------------------------
+    def platforms(self) -> dict[str, str]:
+        """digest → platform name for every profiled platform."""
+        with self._lock:
+            return {d: e["platform_name"] for d, e in sorted(self._platforms.items())}
+
+    def sample_count(self, digest: Optional[str] = None) -> int:
+        with self._lock:
+            if digest is not None:
+                entry = self._platforms.get(digest)
+                return len(entry["samples"]) if entry else 0
+            return sum(len(e["samples"]) for e in self._platforms.values())
+
+    def samples(
+        self,
+        digest: str,
+        *,
+        kernel: Optional[str] = None,
+        pu: Optional[str] = None,
+        architecture: Optional[str] = None,
+    ) -> list[TimingSample]:
+        with self._lock:
+            entry = self._platforms.get(digest)
+            found = list(entry["samples"]) if entry else []
+        if kernel is not None:
+            found = [s for s in found if s.kernel == kernel]
+        if pu is not None:
+            found = [s for s in found if s.pu == pu]
+        if architecture is not None:
+            found = [s for s in found if s.architecture == architecture]
+        return found
+
+    def transfers(
+        self,
+        digest: str,
+        *,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+    ) -> list[TransferSample]:
+        with self._lock:
+            entry = self._platforms.get(digest)
+            found = list(entry["transfers"]) if entry else []
+        if src is not None:
+            found = [s for s in found if s.src == src]
+        if dst is not None:
+            found = [s for s in found if s.dst == dst]
+        return found
+
+    def kernels(self, digest: str) -> list[str]:
+        """Kernel names with at least one sample for ``digest``, sorted."""
+        return sorted({s.kernel for s in self.samples(digest)})
+
+    def pus(self, digest: str) -> list[str]:
+        """PU entity ids with at least one sample for ``digest``, sorted."""
+        return sorted({s.pu for s in self.samples(digest)})
+
+    def merge(self, other: "TuningDatabase") -> None:
+        """Append every sample of ``other`` into this database."""
+        with other._lock:
+            snapshot = {
+                d: (e["platform_name"], list(e["samples"]), list(e["transfers"]))
+                for d, e in other._platforms.items()
+            }
+        with self._lock:
+            for digest, (name, samples, transfers) in snapshot.items():
+                entry = self._entry(digest, name)
+                entry["samples"].extend(samples)
+                entry["transfers"].extend(transfers)
+
+    # -- (de)serialization ---------------------------------------------------
+    def to_payload(self, digest: Optional[str] = None) -> dict:
+        """JSON-ready dict; restrict to one platform with ``digest``."""
+        with self._lock:
+            items: Iterable[tuple[str, dict]]
+            if digest is not None:
+                entry = self._platforms.get(digest)
+                if entry is None:
+                    raise TuningError(
+                        f"no tuning profile for platform digest {digest[:12]!r}"
+                    )
+                items = [(digest, entry)]
+            else:
+                items = sorted(self._platforms.items())
+            return {
+                "version": _FORMAT_VERSION,
+                "platforms": {
+                    d: {
+                        "platform_name": e["platform_name"],
+                        "samples": [s.to_payload() for s in e["samples"]],
+                        "transfers": [t.to_payload() for t in e["transfers"]],
+                    }
+                    for d, e in items
+                },
+            }
+
+    @classmethod
+    def from_payload(cls, payload: dict, *, path: Optional[str] = None) -> "TuningDatabase":
+        if not isinstance(payload, dict):
+            raise TuningError("tuning database payload must be a JSON object")
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise TuningError(
+                f"unsupported tuning database version {version!r}"
+                f" (expected {_FORMAT_VERSION})"
+            )
+        platforms = payload.get("platforms")
+        if not isinstance(platforms, dict):
+            raise TuningError('tuning database payload lacks a "platforms" map')
+        db = cls(path)
+        for digest, entry in platforms.items():
+            if not isinstance(entry, dict):
+                raise TuningError(f"malformed platform entry for {digest!r}")
+            name = str(entry.get("platform_name", ""))
+            for raw in entry.get("samples", ()):
+                db.record(digest, TimingSample.from_payload(raw), platform_name=name)
+            for raw in entry.get("transfers", ()):
+                db.record_transfer(
+                    digest, TransferSample.from_payload(raw), platform_name=name
+                )
+            # remember even empty profiles, so platform listing round-trips
+            with db._lock:
+                db._entry(digest, name)
+        return db
+
+    def fingerprint(self) -> str:
+        """Stable sha256 over the canonical payload (change detection)."""
+        canonical = json.dumps(
+            self.to_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    # -- persistence ---------------------------------------------------------
+    def save(self, path: Optional[str] = None) -> str:
+        """Write the database to disk (atomically); returns the path used."""
+        target = path or self.path
+        if target is None:
+            raise TuningError("TuningDatabase.save: no path given or configured")
+        tmp = f"{target}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, target)
+        self.path = target
+        return target
+
+    @classmethod
+    def load(cls, path: str) -> "TuningDatabase":
+        """Read a database from disk; a missing file yields an empty one."""
+        if not os.path.exists(path):
+            return cls(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise TuningError(f"cannot read tuning database {path!r}: {exc}") from exc
+        return cls.from_payload(payload, path=path)
+
+    def __len__(self) -> int:
+        return self.sample_count()
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"TuningDatabase(platforms={len(self._platforms)},"
+                f" samples={self.sample_count()})"
+            )

@@ -1,0 +1,272 @@
+"""Late binding: fill unfixed PDL properties from measured data.
+
+The paper (§III-B) reserves **unfixed** property values as slots "to be
+filled in by later toolchain stages".  This module is that stage: it
+turns tuning-database measurements into descriptor properties —
+
+* per Worker: ``SUSTAINED_GFLOPS_DP`` (measured sustained compute rate)
+  and ``MEASURED_STREAM_BANDWIDTH_GBS`` (measured streaming rate, when
+  bandwidth-bound kernels were calibrated),
+* per Interconnect: ``BANDWIDTH`` (effective link bandwidth observed on
+  real transfers) and ``MEASURED_BANDWIDTH`` as an additive note when
+  the authored ``BANDWIDTH`` is fixed,
+
+and applies them through :meth:`repro.model.properties.Descriptor.merge`
+— existing *unfixed* slots are instantiated in place (keeping their
+fixed-ness and authored units), missing names are appended as new
+unfixed properties with ``source="repro-tune"`` provenance.  The result
+re-serializes through the PDL writer as a schema-valid "tuned"
+descriptor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import TuningError
+from repro.model.entities import Interconnect, ProcessingUnit
+from repro.model.platform import Platform
+from repro.model.properties import Descriptor, Property, PropertyValue
+from repro.pdl.catalog import content_digest
+from repro.pdl.writer import write_pdl
+from repro.perf.models import PerfModel
+from repro.perf.transfer import TransferModel
+from repro.tune.database import TimingSample, TransferSample, TuningDatabase
+
+__all__ = ["BoundProperty", "LateBindingReport", "late_bind", "tuned_platform"]
+
+_SOURCE = "repro-tune"
+_GIB = 1024.0**3
+
+
+@dataclass(frozen=True)
+class BoundProperty:
+    """One property the late-binding pass touched (or refused to)."""
+
+    owner: str  # e.g. "pu:gpu0" or "ic:pcie0"
+    name: str
+    old: Optional[str]
+    new: str
+    action: str  # "instantiated" | "added" | "skipped-fixed"
+
+
+@dataclass
+class LateBindingReport:
+    """Outcome of one late-binding pass over a platform."""
+
+    platform_name: str
+    digest: str
+    entries: list[BoundProperty] = field(default_factory=list)
+
+    @property
+    def changed(self) -> int:
+        return sum(1 for e in self.entries if e.action != "skipped-fixed")
+
+    def summary(self) -> str:
+        lines = [
+            f"late binding for {self.platform_name!r}"
+            f" [{self.digest[:12]}]: {self.changed} propert(y/ies) bound"
+        ]
+        for e in self.entries:
+            old = f" (was {e.old})" if e.old is not None else ""
+            lines.append(f"  [{e.action}] {e.owner} {e.name} = {e.new}{old}")
+        return "\n".join(lines)
+
+
+def _sustained_gflops(samples: list[TimingSample]) -> Optional[float]:
+    """Measured sustained GFLOP/s at the largest calibrated size."""
+    compute = [s for s in samples if s.flops > 0.0]
+    if not compute:
+        return None
+    best = max(s.work for s in compute)
+    top = [s for s in compute if s.work >= best * (1.0 - 1e-9)]
+    rates = [s.flops / s.seconds for s in top]
+    return sum(rates) / len(rates) / 1e9
+
+
+def _stream_gbs(samples: list[TimingSample]) -> Optional[float]:
+    """Measured streaming GB/s (decimal, matching STREAM_BANDWIDTH_GBS)
+    from bandwidth-bound samples (bytes dominate flops)."""
+    streaming = [s for s in samples if s.bytes_touched >= s.flops and s.bytes_touched > 0]
+    if not streaming:
+        return None
+    best = max(s.work for s in streaming)
+    top = [s for s in streaming if s.work >= best * (1.0 - 1e-9)]
+    rates = [s.bytes_touched / s.seconds for s in top]
+    return sum(rates) / len(rates) / 1e9
+
+
+def _link_bandwidth(samples: list[TransferSample]) -> Optional[float]:
+    """Effective bytes/s of a link, from its largest observed transfer
+    (large transfers amortize latency, approaching raw bandwidth)."""
+    if not samples:
+        return None
+    biggest = max(samples, key=lambda s: s.nbytes)
+    peers = [s for s in samples if s.nbytes >= biggest.nbytes * (1.0 - 1e-9)]
+    rates = [s.bandwidth for s in peers]
+    return sum(rates) / len(rates)
+
+
+def _apply_overlay(
+    descriptor: Descriptor,
+    overlay: list[Property],
+    *,
+    owner: str,
+    add_missing: bool,
+    report: LateBindingReport,
+) -> None:
+    """Merge ``overlay`` into ``descriptor``, recording what happened."""
+    to_merge: list[Property] = []
+    for prop in overlay:
+        mine = descriptor.find(prop.name, type_name=prop.type_name)
+        if mine is None:
+            if add_missing:
+                to_merge.append(prop)
+                report.entries.append(
+                    BoundProperty(owner, prop.name, None, str(prop.value), "added")
+                )
+            continue
+        if mine.fixed:
+            report.entries.append(
+                BoundProperty(
+                    owner, prop.name, str(mine.value), str(prop.value), "skipped-fixed"
+                )
+            )
+            continue
+        to_merge.append(prop)
+        report.entries.append(
+            BoundProperty(
+                owner, prop.name, str(mine.value), str(prop.value), "instantiated"
+            )
+        )
+    if to_merge:
+        descriptor.merge(Descriptor(to_merge), overwrite_unfixed=True)
+
+
+def _pu_overlay(samples: list[TimingSample]) -> list[Property]:
+    overlay: list[Property] = []
+    gflops = _sustained_gflops(samples)
+    if gflops is not None:
+        overlay.append(
+            Property(
+                "SUSTAINED_GFLOPS_DP",
+                f"{gflops:.6g}",
+                fixed=False,
+                source=_SOURCE,
+            )
+        )
+    stream = _stream_gbs(samples)
+    if stream is not None:
+        overlay.append(
+            Property(
+                "MEASURED_STREAM_BANDWIDTH_GBS",
+                f"{stream:.6g}",
+                fixed=False,
+                source=_SOURCE,
+            )
+        )
+    return overlay
+
+
+def _ic_overlay(link: Interconnect, bandwidth_bps: float) -> list[Property]:
+    gib = bandwidth_bps / _GIB
+    value = PropertyValue(f"{gib:.6g}", "GB/s")
+    overlay = [Property("BANDWIDTH", value, fixed=False, source=_SOURCE)]
+    existing = link.descriptor.find("BANDWIDTH")
+    if existing is not None and existing.fixed:
+        # the authored figure is immutable; record the measurement beside it
+        overlay.append(
+            Property(
+                "MEASURED_BANDWIDTH",
+                PropertyValue(f"{gib:.6g}", "GB/s"),
+                fixed=False,
+                source=_SOURCE,
+            )
+        )
+    return overlay
+
+
+def late_bind(
+    platform: Platform,
+    database: TuningDatabase,
+    *,
+    digest: Optional[str] = None,
+    add_missing: bool = True,
+    perf_model: Optional[PerfModel] = None,
+    transfer_model: Optional[TransferModel] = None,
+) -> LateBindingReport:
+    """Instantiate unfixed properties of ``platform`` from measurements.
+
+    ``digest`` selects the tuning profile (defaults to the platform's own
+    content digest — pass the calibration-time digest explicitly when the
+    platform object was modified since).  ``add_missing=False`` restricts
+    the pass to slots that already exist, never appending new properties.
+
+    Mutates ``platform`` in place; use :func:`tuned_platform` for a
+    non-destructive variant.  When the live engine's ``perf_model`` /
+    ``transfer_model`` are passed, their caches are invalidated so the
+    new property values take effect immediately.
+    """
+    if digest is None:
+        digest = content_digest(write_pdl(platform))
+    if database.sample_count(digest) == 0 and not database.transfers(digest):
+        raise TuningError(
+            f"no tuning profile for platform {platform.name!r}"
+            f" (digest {digest[:12]}); run calibration first"
+        )
+    report = LateBindingReport(platform_name=platform.name, digest=digest)
+
+    pus: list[ProcessingUnit] = list(platform.walk())
+    for pu in pus:
+        samples = database.samples(digest, pu=pu.id)
+        overlay = _pu_overlay(samples)
+        if overlay:
+            _apply_overlay(
+                pu.descriptor,
+                overlay,
+                owner=f"pu:{pu.id}",
+                add_missing=add_missing,
+                report=report,
+            )
+
+    for link in platform.interconnects():
+        observed = database.transfers(digest, src=link.from_pu, dst=link.to_pu)
+        if link.bidirectional:
+            observed += database.transfers(
+                digest, src=link.to_pu, dst=link.from_pu
+            )
+        bandwidth = _link_bandwidth(observed)
+        if bandwidth is None:
+            continue
+        _apply_overlay(
+            link.descriptor,
+            _ic_overlay(link, bandwidth),
+            owner=f"ic:{link.id}",
+            add_missing=add_missing,
+            report=report,
+        )
+
+    # measured values feed both cost models; drop anything stale
+    if perf_model is not None:
+        perf_model.invalidate()
+    if transfer_model is not None:
+        transfer_model.invalidate_routes()
+    return report
+
+
+def tuned_platform(
+    platform: Platform,
+    database: TuningDatabase,
+    *,
+    digest: Optional[str] = None,
+    add_missing: bool = True,
+) -> tuple[Platform, LateBindingReport]:
+    """Late-bind onto a *copy*; returns ``(tuned copy, report)``."""
+    if digest is None:
+        digest = content_digest(write_pdl(platform))
+    tuned = platform.copy()
+    report = late_bind(
+        tuned, database, digest=digest, add_missing=add_missing
+    )
+    return tuned, report

@@ -1,0 +1,249 @@
+"""History-based and ground-truth performance models.
+
+:class:`HistoryPerfModel` is the measurement-driven counterpart of the
+analytic :class:`~repro.perf.models.PerfModel` (StarPU's history-based
+models, AMTHA's measured per-core times): estimates come from
+:class:`~repro.tune.regression.HistoryCurve` fits over the samples of a
+:class:`~repro.tune.database.TuningDatabase`, falling back to the
+analytic model where no history exists.  It is a drop-in ``PerfModel``:
+the dmda scheduler (through the engine's ``sched_perf_model``) and
+Cascabel's prediction annotations consume it unchanged.
+
+:class:`GroundTruthPerfModel` wraps the analytic model with per-PU speed
+factors.  It plays the role of the *actual hardware* in simulation
+experiments: a descriptor may claim 168 GFLOP/s while the real device
+sustains a quarter of that (thermal throttling, driver overhead, an
+optimistic datasheet).  Calibration measures the truth; the history
+model learns it; schedulers driven by history then beat schedulers
+driven by the descriptor's optimism.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.entities import ProcessingUnit
+from repro.perf.models import PerfModel
+from repro.perf.transfer import TransferModel
+from repro.tune.database import TuningDatabase
+from repro.tune.regression import HistoryCurve, build_curve
+
+__all__ = ["HistoryPerfModel", "GroundTruthPerfModel"]
+
+#: bytes per double, mirrored from :mod:`repro.kernels.blas`
+_DOUBLE_BYTES = 8.0
+
+
+class HistoryPerfModel(PerfModel):
+    """Perf model answering from measured history, analytic as fallback.
+
+    Parameters
+    ----------
+    database:
+        The sample store to answer from.
+    digest:
+        Platform content digest selecting the profile inside ``database``.
+    blend:
+        Weight of the historical prediction in ``[0, 1]``; the analytic
+        estimate contributes ``1 - blend``.  ``1.0`` (default) trusts
+        measurements entirely, ``0.0`` degenerates to the analytic model.
+    """
+
+    def __init__(
+        self,
+        database: TuningDatabase,
+        digest: str,
+        *,
+        blend: float = 1.0,
+    ):
+        super().__init__()
+        if not 0.0 <= blend <= 1.0:
+            from repro.errors import TuningError
+
+            raise TuningError(f"blend must be within [0, 1], got {blend!r}")
+        self.database = database
+        self.digest = digest
+        self.blend = blend
+        #: (kernel, key) -> HistoryCurve | None; key is a PU entity id or
+        #: an ``"arch:<architecture>"`` aggregate
+        self._curves: dict[tuple[str, str], Optional[HistoryCurve]] = {}
+
+    # -- curve management ----------------------------------------------------
+    def curve_for(
+        self, kernel: str, pu_id: str, architecture: Optional[str] = None
+    ) -> Optional[HistoryCurve]:
+        """Best available curve: per-PU first, per-architecture second."""
+        curve = self._cached_curve(kernel, pu_id, pu=pu_id)
+        if curve is None and architecture is not None:
+            curve = self._cached_curve(
+                kernel, f"arch:{architecture}", architecture=architecture
+            )
+        return curve
+
+    def _cached_curve(self, kernel: str, key: str, **query) -> Optional[HistoryCurve]:
+        cache_key = (kernel, key)
+        if cache_key not in self._curves:
+            samples = self.database.samples(self.digest, kernel=kernel, **query)
+            self._curves[cache_key] = build_curve(samples)
+        return self._curves[cache_key]
+
+    def invalidate(self, pu_id: Optional[str] = None) -> None:
+        """Drop fitted curves (and the analytic rate cache)."""
+        if pu_id is None:
+            self._curves.clear()
+        else:
+            self._curves = {
+                key: curve for key, curve in self._curves.items() if key[1] != pu_id
+            }
+        super().invalidate(pu_id)
+
+    def reload(
+        self,
+        database: Optional[TuningDatabase] = None,
+        *,
+        digest: Optional[str] = None,
+        transfer_model: Optional[TransferModel] = None,
+    ) -> None:
+        """Swap in freshly calibrated data and drop every stale estimate.
+
+        Passing the engine's :class:`TransferModel` also clears its
+        memoized routes, so bandwidth changes late-bound into the
+        descriptor are observed on the next transfer estimate.
+        """
+        if database is not None:
+            self.database = database
+        if digest is not None:
+            self.digest = digest
+        self.invalidate()
+        if transfer_model is not None:
+            transfer_model.invalidate_routes()
+
+    # -- estimation ----------------------------------------------------------
+    def _analytic(
+        self,
+        pu: ProcessingUnit,
+        *,
+        kernel: str,
+        flops: float,
+        bytes_touched: float,
+        dims: Optional[tuple[int, ...]],
+    ) -> float:
+        """The base model's answer, bypassing this class's overrides.
+
+        ``PerfModel.estimate`` dispatches GEMM-shaped queries through
+        ``self.dgemm_time`` — overridden here to route back into
+        :meth:`estimate` — so the fallback must pin the base
+        implementation explicitly to avoid mutual recursion.
+        """
+        if kernel.startswith("dgemm") and dims is not None and len(dims) == 3:
+            return PerfModel.dgemm_time(self, pu, *dims)
+        return PerfModel.estimate(
+            self, pu, kernel=kernel, flops=flops, bytes_touched=bytes_touched, dims=dims
+        )
+
+    def estimate(
+        self,
+        pu: ProcessingUnit,
+        *,
+        kernel: str,
+        flops: float = 0.0,
+        bytes_touched: float = 0.0,
+        dims: Optional[tuple[int, ...]] = None,
+    ) -> float:
+        curve = self.curve_for(kernel, pu.id, pu.architecture)
+        work = flops + bytes_touched
+        if curve is None or work <= 0.0:
+            return self._analytic(
+                pu, kernel=kernel, flops=flops, bytes_touched=bytes_touched, dims=dims
+            )
+        history = curve.predict(work)
+        if self.blend >= 1.0:
+            return history
+        analytic = self._analytic(
+            pu, kernel=kernel, flops=flops, bytes_touched=bytes_touched, dims=dims
+        )
+        return self.blend * history + (1.0 - self.blend) * analytic
+
+    def dgemm_time(self, pu: ProcessingUnit, m: int, n: int, k: int) -> float:
+        """History-backed DGEMM estimate (same footprint as the kernel
+        registry's ``dgemm`` definition, so sizes line up with samples)."""
+        flops = 2.0 * m * n * k
+        nbytes = _DOUBLE_BYTES * (m * k + k * n + 2 * m * n)
+        return self.estimate(
+            pu, kernel="dgemm", flops=flops, bytes_touched=nbytes, dims=(m, n, k)
+        )
+
+    def coverage(self) -> dict[str, list[str]]:
+        """kernel → PU entity ids with history (introspection / CLI)."""
+        out: dict[str, list[str]] = {}
+        for kernel in self.database.kernels(self.digest):
+            pus = sorted(
+                {
+                    s.pu
+                    for s in self.database.samples(self.digest, kernel=kernel)
+                }
+            )
+            out[kernel] = pus
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"HistoryPerfModel(digest={self.digest[:12]!r},"
+            f" samples={self.database.sample_count(self.digest)},"
+            f" blend={self.blend})"
+        )
+
+
+class GroundTruthPerfModel(PerfModel):
+    """Analytic model distorted by per-PU/per-architecture speed factors.
+
+    ``speed_factors`` maps a PU entity id (``"gpu0"``) or architecture
+    (``"gpu"``) to the fraction of its descriptor-claimed speed the
+    device actually sustains: ``0.25`` runs 4× slower than the analytic
+    model believes, ``1.0`` matches it exactly.  Entity ids take
+    precedence over architectures.
+    """
+
+    def __init__(self, speed_factors: Optional[dict[str, float]] = None):
+        super().__init__()
+        self.speed_factors = dict(speed_factors or {})
+        for key, factor in self.speed_factors.items():
+            if factor <= 0.0:
+                from repro.errors import TuningError
+
+                raise TuningError(
+                    f"speed factor for {key!r} must be positive, got {factor!r}"
+                )
+
+    def factor_for(self, pu: ProcessingUnit) -> float:
+        if pu.id in self.speed_factors:
+            return self.speed_factors[pu.id]
+        arch = pu.architecture
+        if arch is not None and arch in self.speed_factors:
+            return self.speed_factors[arch]
+        return 1.0
+
+    def estimate(self, pu: ProcessingUnit, **kwargs) -> float:
+        # the base class routes GEMM-shaped queries through
+        # ``self.dgemm_time`` — already overridden below — so dividing
+        # here too would distort that path twice
+        dims = kwargs.get("dims")
+        if (
+            kwargs.get("kernel", "").startswith("dgemm")
+            and dims is not None
+            and len(dims) == 3
+        ):
+            return self.dgemm_time(pu, *dims)
+        return super().estimate(pu, **kwargs) / self.factor_for(pu)
+
+    def dgemm_time(self, pu: ProcessingUnit, m: int, n: int, k: int) -> float:
+        return super().dgemm_time(pu, m, n, k) / self.factor_for(pu)
+
+    def bandwidth_bound_time(self, pu: ProcessingUnit, nbytes: float) -> float:
+        return super().bandwidth_bound_time(pu, nbytes) / self.factor_for(pu)
+
+    def flops_bound_time(self, pu: ProcessingUnit, flops: float) -> float:
+        return super().flops_bound_time(pu, flops) / self.factor_for(pu)
+
+    def __repr__(self) -> str:
+        return f"GroundTruthPerfModel({self.speed_factors!r})"

@@ -1,0 +1,137 @@
+"""Log-log regression / interpolation over timing samples.
+
+Kernel execution time over problem size is very close to a power law
+(``t = a · x^b``; DGEMM: b ≈ 1 in flops, vector kernels: b ≈ 1 in
+bytes), so — like StarPU's ``STARPU_REGRESSION_BASED`` models — we fit a
+straight line in log-log space with ordinary least squares:
+
+    ``log t = b · log x + log a``
+
+Exact size-grid hits short-circuit to the sample mean of that size
+(StarPU's ``STARPU_HISTORY_BASED`` behaviour); sizes off the grid use
+the fitted power law.  With a single distinct size on record the
+exponent is indeterminate; we fall back to linear scaling through the
+measured point (work-proportional time, the safest default for the
+kernels modeled here).
+
+Pure stdlib math — the samples are few, the fit is closed-form.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import TuningError
+from repro.tune.database import TimingSample
+
+__all__ = ["PowerLawFit", "HistoryCurve", "fit_power_law", "build_curve"]
+
+#: relative tolerance for "this query size was measured exactly"
+_EXACT_RTOL = 1e-6
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """``t = coefficient · x ** exponent`` fitted in log-log space."""
+
+    coefficient: float
+    exponent: float
+    n_points: int
+    #: mean squared residual in log space (0.0 for <= 2 distinct points)
+    residual: float = 0.0
+
+    def predict(self, x: float) -> float:
+        if x <= 0.0:
+            raise TuningError(f"power-law prediction needs x > 0, got {x!r}")
+        return self.coefficient * x**self.exponent
+
+
+def fit_power_law(points: Sequence[tuple[float, float]]) -> PowerLawFit:
+    """Least-squares power-law fit through ``(x, t)`` measurement points.
+
+    One distinct abscissa degenerates to linear scaling through the mean
+    of its measurements (exponent 1.0).
+    """
+    cleaned = [(x, t) for x, t in points if x > 0.0 and t > 0.0]
+    if not cleaned:
+        raise TuningError("cannot fit a power law through zero usable points")
+    xs = sorted({x for x, _ in cleaned})
+    if len(xs) == 1:
+        x0 = xs[0]
+        t_mean = sum(t for _, t in cleaned) / len(cleaned)
+        return PowerLawFit(
+            coefficient=t_mean / x0, exponent=1.0, n_points=len(cleaned)
+        )
+    logs = [(math.log(x), math.log(t)) for x, t in cleaned]
+    n = len(logs)
+    mean_lx = sum(lx for lx, _ in logs) / n
+    mean_lt = sum(lt for _, lt in logs) / n
+    sxx = sum((lx - mean_lx) ** 2 for lx, _ in logs)
+    sxt = sum((lx - mean_lx) * (lt - mean_lt) for lx, lt in logs)
+    exponent = sxt / sxx
+    intercept = mean_lt - exponent * mean_lx
+    residual = (
+        sum((lt - (exponent * lx + intercept)) ** 2 for lx, lt in logs) / n
+    )
+    return PowerLawFit(
+        coefficient=math.exp(intercept),
+        exponent=exponent,
+        n_points=n,
+        residual=residual,
+    )
+
+
+class HistoryCurve:
+    """Prediction curve for one (kernel, PU) pair.
+
+    Combines an exact-size table (mean of samples sharing one size) with
+    a :class:`PowerLawFit` for off-grid sizes.
+    """
+
+    def __init__(self, samples: Sequence[TimingSample]):
+        if not samples:
+            raise TuningError("HistoryCurve needs at least one sample")
+        buckets: dict[float, list[float]] = {}
+        for sample in samples:
+            buckets.setdefault(sample.work, []).append(sample.seconds)
+        #: size (flops + bytes) -> mean measured seconds
+        self.table: dict[float, float] = {
+            x: sum(ts) / len(ts) for x, ts in buckets.items()
+        }
+        self.fit = fit_power_law(
+            [(x, t) for x, t in self.table.items()]
+        )
+        self.n_samples = len(samples)
+
+    def predict(self, x: float) -> float:
+        """Seconds for work amount ``x`` (exact hit first, fit second)."""
+        exact = self.lookup_exact(x)
+        if exact is not None:
+            return exact
+        return self.fit.predict(x)
+
+    def lookup_exact(self, x: float) -> Optional[float]:
+        for measured_x, seconds in self.table.items():
+            if math.isclose(measured_x, x, rel_tol=_EXACT_RTOL):
+                return seconds
+        return None
+
+    @property
+    def sizes(self) -> list[float]:
+        return sorted(self.table)
+
+    def __repr__(self) -> str:
+        return (
+            f"HistoryCurve(sizes={len(self.table)},"
+            f" samples={self.n_samples},"
+            f" exponent={self.fit.exponent:.3f})"
+        )
+
+
+def build_curve(samples: Sequence[TimingSample]) -> Optional[HistoryCurve]:
+    """A :class:`HistoryCurve` over ``samples``, or None when empty."""
+    if not samples:
+        return None
+    return HistoryCurve(samples)

@@ -1,0 +1,113 @@
+"""Tuned-vs-analytic prediction columns on selection reports."""
+
+import pytest
+
+from repro.cascabel.frontend import parse_program
+from repro.cascabel.repository import TaskRepository
+from repro.cascabel.selection import (
+    _kernel_for_interface,
+    annotate_predictions,
+    preselect,
+)
+from repro.kernels.registry import default_kernel_registry
+from repro.perf.models import PerfModel
+from repro.tune.database import TimingSample, TuningDatabase
+from repro.tune.model import HistoryPerfModel
+
+PROGRAM = """\
+#pragma cascabel task : x86 : Idgemm : dgemm_cpu : (C: readwrite, A: read, B: read)
+void matmul(double *C, double *A, double *B) { }
+
+#pragma cascabel task : cuda,opencl : Idgemm : dgemm_gpu : (C: readwrite, A: read, B: read)
+void matmul_gpu(double *C, double *A, double *B) { }
+"""
+
+DIGEST = "f" * 64
+
+
+def make_report(platform):
+    program = parse_program(PROGRAM)
+    repo = TaskRepository()
+    repo.register_program(program)
+    return preselect(repo, program, platform)
+
+
+class TestKernelForInterface:
+    def test_paper_interface_convention(self):
+        registry = default_kernel_registry()
+        assert _kernel_for_interface("Idgemm", registry) == "dgemm"
+        assert _kernel_for_interface("Ivecadd", registry) == "dvecadd"
+        assert _kernel_for_interface("dgemm", registry) == "dgemm"
+        assert _kernel_for_interface("Iunknown", registry) is None
+
+
+class TestAnnotatePredictions:
+    def test_analytic_and_tuned_columns(self, gpgpu_platform):
+        report = make_report(gpgpu_platform)
+        db = TuningDatabase()
+        # history says every gpu-class PU is 10x slower than claimed
+        registry = default_kernel_registry()
+        kernel = registry.get("dgemm")
+        dims = (1024, 1024, 1024)
+        analytic_best = min(
+            PerfModel().dgemm_time(w, *dims)
+            for w in gpgpu_platform.workers()
+            if w.architecture == "gpu"
+        )
+        for pu_id in ("gpu0", "gpu1"):
+            pu = gpgpu_platform.pu(pu_id)
+            db.record(
+                DIGEST,
+                TimingSample(
+                    kernel="dgemm",
+                    pu=pu_id,
+                    architecture="gpu",
+                    dims=dims,
+                    flops=kernel.flops(dims),
+                    bytes_touched=kernel.bytes_touched(dims),
+                    seconds=10.0 * PerfModel().dgemm_time(pu, *dims),
+                ),
+            )
+        annotate_predictions(
+            report,
+            gpgpu_platform,
+            models={"analytic": PerfModel(), "tuned": HistoryPerfModel(db, DIGEST)},
+        )
+        figures = report.predictions["Idgemm"]["dgemm_gpu"]
+        assert set(figures) == {"analytic", "tuned"}
+        assert figures["analytic"] == pytest.approx(analytic_best)
+        assert figures["tuned"] == pytest.approx(10.0 * analytic_best, rel=1e-6)
+        # cpu variant got a column too (analytic fallback for the tuned model)
+        assert report.predictions["Idgemm"]["dgemm_cpu"]["tuned"] == pytest.approx(
+            report.predictions["Idgemm"]["dgemm_cpu"]["analytic"]
+        )
+
+    def test_payload_and_summary_carry_predictions(self, gpgpu_platform):
+        report = make_report(gpgpu_platform)
+        fingerprint_before = report.fingerprint()
+        payload_before = report.to_payload()
+        assert "predictions" not in payload_before
+        annotate_predictions(
+            report, gpgpu_platform, models={"analytic": PerfModel()}
+        )
+        payload = report.to_payload()
+        assert "predictions" in payload
+        assert report.fingerprint() != fingerprint_before
+        assert "analytic=" in report.summary()
+        # annotation never perturbs the legacy keys memo caches hash
+        assert payload["selected"] == payload_before["selected"]
+        assert payload["pruned"] == payload_before["pruned"]
+
+    def test_unmapped_interfaces_left_alone(self, gpgpu_platform):
+        program = parse_program(
+            "#pragma cascabel task : x86 : Imystery : impl_cpu : (A: readwrite)\n"
+            "void mystery(double *A) { }\n"
+        )
+        repo = TaskRepository()
+        repo.register_program(program)
+        report = preselect(repo, program, gpgpu_platform)
+        annotate_predictions(
+            report, gpgpu_platform, models={"analytic": PerfModel()}
+        )
+        assert report.predictions == {}
+        assert "predictions" not in report.to_payload()

@@ -213,6 +213,44 @@ class TestDescriptor:
         base.merge(Descriptor([Property("A", "other")]))
         assert base.get_str("A") == "1"
 
+    def test_merge_preserves_slot_unit_for_bare_magnitude(self):
+        # regression: merging a unitless measured magnitude into a slot
+        # authored with a unit must not strip the unit — the slot's unit
+        # is the contract later quantity reads scale by
+        base = Descriptor(
+            [Property("BANDWIDTH", PropertyValue("", "GB/s"), fixed=False)]
+        )
+        base.merge(Descriptor([Property("BANDWIDTH", "5.3", fixed=False)]))
+        prop = base.find("BANDWIDTH")
+        assert prop.value.text == "5.3"
+        assert prop.value.unit == "GB/s"
+        assert base.get_quantity("BANDWIDTH") == pytest.approx(5.3 * 1024**3)
+
+    def test_merge_explicit_unit_replaces_slot_unit(self):
+        base = Descriptor(
+            [Property("LATENCY", PropertyValue("", "us"), fixed=False)]
+        )
+        base.merge(
+            Descriptor(
+                [Property("LATENCY", PropertyValue("2", "ms"), fixed=False)]
+            )
+        )
+        prop = base.find("LATENCY")
+        assert prop.value.unit == "ms"
+        assert base.get_quantity("LATENCY") == pytest.approx(2e-3)
+
+    def test_merge_never_flips_fixedness(self):
+        # a fixed incoming property must not turn an unfixed slot fixed
+        # (late binding may legitimately refill it on recalibration), and
+        # fixed targets stay fixed/immutable regardless of the source
+        base = Descriptor([Property("X", "", fixed=False)])
+        base.merge(Descriptor([Property("X", "7", fixed=True)]))
+        prop = base.find("X")
+        assert prop.value.text == "7"
+        assert not prop.fixed
+        base.merge(Descriptor([Property("X", "8", fixed=False)]))
+        assert base.get_str("X") == "8"
+
     def test_copy_deep(self):
         d = PUDescriptor([Property("A", "1", fixed=False)])
         c = d.copy()

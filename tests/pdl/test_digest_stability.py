@@ -1,0 +1,72 @@
+"""Content-digest stability across writer round-trips.
+
+The content digest is the identity key of the registry service and the
+tuning database: a descriptor that re-serializes to different canonical
+XML would silently orphan its stored profiles.  These tests pin the
+invariant for the shipped catalog and for tuned (late-bound)
+descriptors.
+"""
+
+import pytest
+
+from repro.model.properties import Property
+from repro.pdl.catalog import available_platforms, content_digest, load_platform
+from repro.pdl.parser import parse_pdl
+from repro.pdl.writer import write_pdl
+
+
+class TestCatalogDigestStability:
+    @pytest.mark.parametrize("name", available_platforms())
+    def test_digest_survives_parse_write_cycles(self, name):
+        platform = load_platform(name, validate=False)
+        first = write_pdl(platform)
+        digest = content_digest(first)
+        for _ in range(2):
+            platform = parse_pdl(first, validate=False, name=platform.name)
+            first = write_pdl(platform)
+            assert content_digest(first) == digest
+
+    def test_digest_is_write_deterministic(self):
+        platform = load_platform("xeon_x5550_2gpu")
+        assert content_digest(write_pdl(platform)) == content_digest(
+            write_pdl(platform)
+        )
+
+
+class TestTunedDescriptorDigest:
+    def test_unchanged_tuned_descriptor_redigests_identically(
+        self, gpgpu_platform
+    ):
+        """A late-bound descriptor keeps one stable digest while its
+        content is unchanged — so profile lookups keyed by the tuned
+        digest survive any number of serialize/parse cycles."""
+        from repro.tune.calibrate import CalibrationConfig, calibrate_platform
+        from repro.tune.latebind import tuned_platform
+
+        db, digest = calibrate_platform(
+            gpgpu_platform,
+            config=CalibrationConfig(kernels=("dgemm",), sizes=(256,), repeats=1),
+        )
+        tuned, _ = tuned_platform(gpgpu_platform, db, digest=digest)
+        xml = write_pdl(tuned)
+        tuned_digest = content_digest(xml)
+        # tuning changed the content, so the identity changed with it
+        assert tuned_digest != digest
+        reparsed = parse_pdl(xml, validate=False, name=tuned.name)
+        assert content_digest(write_pdl(reparsed)) == tuned_digest
+        # binding the same measurements again is idempotent
+        retuned, _ = tuned_platform(reparsed, db, digest=digest)
+        assert content_digest(write_pdl(retuned)) == tuned_digest
+
+    def test_slot_instantiation_changes_digest_once(self, gpgpu_platform):
+        platform = gpgpu_platform.copy()
+        platform.pu("gpu0").descriptor.add(
+            Property("SUSTAINED_GFLOPS_DP", "", fixed=False)
+        )
+        with_slot = content_digest(write_pdl(platform))
+        platform.pu("gpu0").descriptor.find("SUSTAINED_GFLOPS_DP").instantiate(
+            "42.0"
+        )
+        filled = content_digest(write_pdl(platform))
+        assert filled != with_slot
+        assert content_digest(write_pdl(platform)) == filled

@@ -1,0 +1,58 @@
+"""The engine's simulation-truth vs scheduler-estimate model split."""
+
+import pytest
+
+from repro.perf.models import PerfModel
+from repro.runtime.engine import RuntimeEngine
+from repro.experiments.workloads import submit_tiled_dgemm
+from repro.tune.model import GroundTruthPerfModel
+
+
+def run(platform, **engine_kwargs):
+    engine = RuntimeEngine(platform, scheduler="dmda", **engine_kwargs)
+    submit_tiled_dgemm(engine, 1024, 512)
+    return engine, engine.run()
+
+
+class TestSchedPerfModelSplit:
+    def test_defaults_to_the_truth_model(self, gpgpu_platform):
+        engine = RuntimeEngine(gpgpu_platform)
+        assert engine.sched_perf is engine.perf
+
+    def test_sched_model_steers_placement_not_durations(self, gpgpu_platform):
+        # a sched model that believes every gpu is 100x slower than the
+        # descriptor claims pushes the whole graph onto the CPU cores...
+        pessimist = GroundTruthPerfModel({"gpu": 0.01})
+        _, result = run(
+            gpgpu_platform, perf_model=PerfModel(), sched_perf_model=pessimist
+        )
+        per_arch = result.trace.tasks_per_architecture()
+        assert per_arch.get("gpu", 0) == 0
+        # ...while the default setup happily uses the GPUs
+        _, baseline = run(gpgpu_platform, perf_model=PerfModel())
+        assert baseline.trace.tasks_per_architecture().get("gpu", 0) > 0
+
+    def test_durations_follow_truth_not_sched_estimates(self, gpgpu_platform):
+        # identical placement inputs, wildly different sched estimates:
+        # simulated task durations must come from perf_model alone
+        truth = PerfModel()
+        engine, result = run(
+            gpgpu_platform,
+            perf_model=truth,
+            sched_perf_model=GroundTruthPerfModel({"gpu": 0.5, "x86_64": 0.5}),
+        )
+        workers = {w.instance_id: w for w in engine.workers}
+        tasks = {t.id: t for t in engine._tasks}
+        for tt in result.trace.tasks:
+            pu = workers[tt.worker_id].pu
+            task = tasks[tt.task_id]
+            expected = truth.estimate(
+                pu,
+                kernel=tt.kernel,
+                flops=engine.registry.get(tt.kernel).flops(task.dims),
+                bytes_touched=engine.registry.get(tt.kernel).bytes_touched(
+                    task.dims
+                ),
+                dims=task.dims,
+            )
+            assert tt.duration == pytest.approx(expected, rel=1e-9)

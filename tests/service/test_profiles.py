@@ -1,0 +1,106 @@
+"""Tuning-profile storage on the registry (store + HTTP surface)."""
+
+import pytest
+
+from repro.errors import TuningError, UnknownPlatformError
+from repro.service import DescriptorStore
+from repro.service.client import RegistryClient
+from repro.service.server import ServerThread
+from repro.tune.database import TimingSample, TuningDatabase
+
+
+def profile_for(store: DescriptorStore, name: str) -> tuple[TuningDatabase, str]:
+    """A tiny hand-made profile keyed by the store's digest of ``name``."""
+    digest = store.resolve(name)
+    db = TuningDatabase()
+    db.record(
+        digest,
+        TimingSample(
+            kernel="dgemm",
+            pu="gpu0",
+            architecture="gpu",
+            dims=(512, 512, 512),
+            flops=2.0 * 512**3,
+            bytes_touched=8.0 * 4 * 512**2,
+            seconds=0.01,
+        ),
+        platform_name=name,
+    )
+    return db, digest
+
+
+class TestStoreProfiles:
+    def test_put_get_round_trip(self, seeded_store):
+        db, digest = profile_for(seeded_store, "xeon_x5550_2gpu")
+        result = seeded_store.put_profile("xeon_x5550_2gpu", db.to_payload())
+        assert result == {"digest": digest, "samples": 1, "created": True}
+        fetched = seeded_store.get_profile(digest[:12])
+        assert fetched["digest"] == digest
+        restored = TuningDatabase.from_payload(fetched["profile"])
+        assert restored.sample_count(digest) == 1
+
+    def test_replace_reports_not_created(self, seeded_store):
+        db, _ = profile_for(seeded_store, "xeon_x5550_2gpu")
+        assert seeded_store.put_profile("xeon_x5550_2gpu", db.to_payload())["created"]
+        again = seeded_store.put_profile("xeon_x5550_2gpu", db.to_payload())
+        assert not again["created"]
+
+    def test_payload_for_wrong_digest_rejected(self, seeded_store):
+        db, _ = profile_for(seeded_store, "xeon_x5550_2gpu")
+        with pytest.raises(TuningError):
+            seeded_store.put_profile("xeon_x5550_dual", db.to_payload())
+
+    def test_invalid_payload_rejected(self, seeded_store):
+        with pytest.raises(TuningError):
+            seeded_store.put_profile("xeon_x5550_2gpu", {"version": 99})
+
+    def test_unknown_ref_rejected(self, seeded_store):
+        db, _ = profile_for(seeded_store, "xeon_x5550_2gpu")
+        with pytest.raises(UnknownPlatformError):
+            seeded_store.put_profile("no-such-platform", db.to_payload())
+
+    def test_missing_profile_raises(self, seeded_store):
+        with pytest.raises(UnknownPlatformError):
+            seeded_store.get_profile("xeon_x5550_2gpu")
+
+    def test_listing_and_stats(self, seeded_store):
+        assert seeded_store.profiles() == []
+        assert seeded_store.stats()["profiles"] == 0
+        db, digest = profile_for(seeded_store, "xeon_x5550_2gpu")
+        seeded_store.put_profile("xeon_x5550_2gpu", db.to_payload())
+        listing = seeded_store.profiles()
+        assert len(listing) == 1
+        assert listing[0]["digest"] == digest
+        assert listing[0]["name"] == "xeon_x5550_2gpu"
+        assert listing[0]["samples"] == 1
+        assert seeded_store.stats()["profiles"] == 1
+
+
+class TestProfileEndpoints:
+    @pytest.fixture
+    def service(self):
+        with ServerThread(seed_catalog=True) as url:
+            yield RegistryClient(url)
+
+    def test_http_round_trip(self, service):
+        store = DescriptorStore()
+        store.seed_catalog()
+        db, digest = profile_for(store, "xeon_x5550_2gpu")
+        result = service.publish_profile("xeon_x5550_2gpu", db)
+        assert result["digest"] == digest
+        assert result["created"] is True
+        fetched = service.fetch_profile(digest[:12])
+        assert (
+            TuningDatabase.from_payload(fetched["profile"]).sample_count(digest)
+            == 1
+        )
+        assert service.profiles()[0]["digest"] == digest
+
+    def test_http_errors_rehydrate(self, service):
+        with pytest.raises(UnknownPlatformError):
+            service.fetch_profile("xeon_x5550_2gpu")
+        store = DescriptorStore()
+        store.seed_catalog()
+        db, _ = profile_for(store, "xeon_x5550_2gpu")
+        with pytest.raises(TuningError):
+            service.publish_profile("xeon_x5550_dual", db)

@@ -1,0 +1,28 @@
+"""Shared fixtures for the autotuning tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tune.calibrate import CalibrationConfig, calibrate_platform
+from repro.tune.model import GroundTruthPerfModel
+
+
+@pytest.fixture
+def quick_config():
+    """A small, fast calibration sweep."""
+    return CalibrationConfig(kernels=("dgemm",), sizes=(256, 512), repeats=2)
+
+
+@pytest.fixture
+def degraded_truth():
+    """Simulated hardware where gpu0 sustains 20% of its descriptor claim."""
+    return GroundTruthPerfModel({"gpu0": 0.2})
+
+
+@pytest.fixture
+def calibrated(gpgpu_platform, quick_config, degraded_truth):
+    """(database, digest) from a quick sweep of the Figure-5 GPU platform."""
+    return calibrate_platform(
+        gpgpu_platform, config=quick_config, perf_model=degraded_truth
+    )

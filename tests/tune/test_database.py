@@ -1,0 +1,174 @@
+"""Unit tests for the persistent tuning database."""
+
+import json
+
+import pytest
+
+from repro.errors import TuningError
+from repro.tune.database import TimingSample, TransferSample, TuningDatabase
+
+DIGEST_A = "a" * 64
+DIGEST_B = "b" * 64
+
+
+def sample(**overrides):
+    base = dict(
+        kernel="dgemm",
+        pu="gpu0",
+        architecture="gpu",
+        dims=(512, 512, 512),
+        flops=2.0 * 512**3,
+        bytes_touched=8.0 * 4 * 512**2,
+        seconds=0.01,
+    )
+    base.update(overrides)
+    return TimingSample(**base)
+
+
+class TestTimingSample:
+    def test_work_metric_sums_flops_and_bytes(self):
+        s = sample(flops=100.0, bytes_touched=50.0)
+        assert s.work == 150.0
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(TuningError):
+            sample(seconds=0.0)
+        with pytest.raises(TuningError):
+            sample(seconds=-1.0)
+
+    def test_payload_round_trip(self):
+        s = sample(source="harvest")
+        assert TimingSample.from_payload(s.to_payload()) == s
+
+    def test_payload_round_trip_without_dims(self):
+        s = sample(dims=None)
+        assert TimingSample.from_payload(s.to_payload()) == s
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(TuningError):
+            TimingSample.from_payload({"kernel": "dgemm"})
+
+
+class TestTransferSample:
+    def test_bandwidth(self):
+        t = TransferSample(src="host", dst="gpu0", nbytes=1e6, seconds=0.5)
+        assert t.bandwidth == pytest.approx(2e6)
+
+    def test_rejects_non_positive_duration(self):
+        with pytest.raises(TuningError):
+            TransferSample(src="host", dst="gpu0", nbytes=1.0, seconds=0.0)
+
+    def test_payload_round_trip(self):
+        t = TransferSample(src="host", dst="gpu0", nbytes=4096.0, seconds=1e-4)
+        assert TransferSample.from_payload(t.to_payload()) == t
+
+
+class TestTuningDatabase:
+    def test_record_and_filtered_queries(self):
+        db = TuningDatabase()
+        db.record(DIGEST_A, sample(pu="cpu", architecture="x86_64"))
+        db.record(DIGEST_A, sample(pu="gpu0"))
+        db.record(DIGEST_A, sample(pu="gpu0", kernel="dvecadd"))
+        db.record(DIGEST_B, sample(pu="gpu1"))
+        assert db.sample_count(DIGEST_A) == 3
+        assert db.sample_count() == 4
+        assert len(db.samples(DIGEST_A, kernel="dgemm")) == 2
+        assert len(db.samples(DIGEST_A, pu="gpu0")) == 2
+        assert len(db.samples(DIGEST_A, architecture="x86_64")) == 1
+        assert db.samples("c" * 64) == []
+
+    def test_kernels_and_pus_sorted(self):
+        db = TuningDatabase()
+        db.record(DIGEST_A, sample(kernel="dvecadd", pu="gpu1"))
+        db.record(DIGEST_A, sample(kernel="dgemm", pu="cpu"))
+        assert db.kernels(DIGEST_A) == ["dgemm", "dvecadd"]
+        assert db.pus(DIGEST_A) == ["cpu", "gpu1"]
+
+    def test_platform_name_sticks(self):
+        db = TuningDatabase()
+        db.record(DIGEST_A, sample(), platform_name="fig5")
+        db.record(DIGEST_A, sample())  # no name: keeps the first
+        assert db.platforms() == {DIGEST_A: "fig5"}
+
+    def test_transfer_filters(self):
+        db = TuningDatabase()
+        db.record_transfer(
+            DIGEST_A, TransferSample(src="host", dst="gpu0", nbytes=1.0, seconds=1.0)
+        )
+        db.record_transfer(
+            DIGEST_A, TransferSample(src="gpu0", dst="host", nbytes=1.0, seconds=1.0)
+        )
+        assert len(db.transfers(DIGEST_A)) == 2
+        assert len(db.transfers(DIGEST_A, src="host")) == 1
+        assert len(db.transfers(DIGEST_A, src="host", dst="gpu0")) == 1
+
+    def test_payload_round_trip(self):
+        db = TuningDatabase()
+        db.record(DIGEST_A, sample(), platform_name="one")
+        db.record_transfer(
+            DIGEST_A, TransferSample(src="host", dst="gpu0", nbytes=8.0, seconds=1e-6)
+        )
+        db.record(DIGEST_B, sample(pu="cpu", architecture="x86_64"), platform_name="two")
+        clone = TuningDatabase.from_payload(db.to_payload())
+        assert clone.fingerprint() == db.fingerprint()
+        assert clone.platforms() == db.platforms()
+
+    def test_single_platform_payload(self):
+        db = TuningDatabase()
+        db.record(DIGEST_A, sample())
+        db.record(DIGEST_B, sample())
+        restricted = db.to_payload(DIGEST_A)
+        assert list(restricted["platforms"]) == [DIGEST_A]
+        with pytest.raises(TuningError):
+            db.to_payload("c" * 64)
+
+    def test_from_payload_rejects_bad_version(self):
+        with pytest.raises(TuningError):
+            TuningDatabase.from_payload({"version": 99, "platforms": {}})
+        with pytest.raises(TuningError):
+            TuningDatabase.from_payload({"version": 1})
+        with pytest.raises(TuningError):
+            TuningDatabase.from_payload([])
+
+    def test_merge_appends(self):
+        a, b = TuningDatabase(), TuningDatabase()
+        a.record(DIGEST_A, sample(), platform_name="one")
+        b.record(DIGEST_A, sample())
+        b.record(DIGEST_B, sample(), platform_name="two")
+        a.merge(b)
+        assert a.sample_count(DIGEST_A) == 2
+        assert a.platforms()[DIGEST_B] == "two"
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = str(tmp_path / "tuning.json")
+        db = TuningDatabase()
+        db.record(DIGEST_A, sample(), platform_name="fig5")
+        db.save(path)
+        loaded = TuningDatabase.load(path)
+        assert loaded.fingerprint() == db.fingerprint()
+        assert loaded.path == path
+        # on-disk format is plain JSON, version-tagged
+        with open(path, encoding="utf-8") as handle:
+            assert json.load(handle)["version"] == 1
+
+    def test_load_missing_file_yields_empty(self, tmp_path):
+        db = TuningDatabase.load(str(tmp_path / "absent.json"))
+        assert len(db) == 0
+        assert db.platforms() == {}
+
+    def test_load_corrupt_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(TuningError):
+            TuningDatabase.load(str(path))
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(TuningError):
+            TuningDatabase().save()
+
+    def test_fingerprint_changes_with_content(self):
+        db = TuningDatabase()
+        db.record(DIGEST_A, sample())
+        before = db.fingerprint()
+        db.record(DIGEST_A, sample(seconds=0.5))
+        assert db.fingerprint() != before

@@ -1,0 +1,123 @@
+"""Unit tests for the unfixed-property late-binding pass."""
+
+import pytest
+
+from repro.errors import TuningError
+from repro.model.properties import Property, PropertyValue
+from repro.pdl.validator import validate_document
+from repro.perf.models import PerfModel
+from repro.perf.transfer import TransferModel
+from repro.tune.database import TuningDatabase
+from repro.tune.latebind import late_bind, tuned_platform
+
+
+class TestLateBind:
+    def test_appends_measured_rates(self, gpgpu_platform, calibrated):
+        db, digest = calibrated
+        platform = gpgpu_platform.copy()
+        report = late_bind(platform, db, digest=digest)
+        assert report.changed > 0
+        for pu_id in ("cpu", "gpu0", "gpu1"):
+            prop = platform.pu(pu_id).descriptor.find("SUSTAINED_GFLOPS_DP")
+            assert prop is not None
+            assert not prop.fixed
+            assert prop.source == "repro-tune"
+            assert float(str(prop.value)) > 0.0
+
+    def test_instantiates_existing_unfixed_slot(self, gpgpu_platform, calibrated):
+        db, digest = calibrated
+        platform = gpgpu_platform.copy()
+        platform.pu("gpu0").descriptor.add(
+            Property("SUSTAINED_GFLOPS_DP", "", fixed=False)
+        )
+        report = late_bind(platform, db, digest=digest)
+        entry = next(
+            e
+            for e in report.entries
+            if e.owner == "pu:gpu0" and e.name == "SUSTAINED_GFLOPS_DP"
+        )
+        assert entry.action == "instantiated"
+        assert float(
+            str(platform.pu("gpu0").descriptor.find("SUSTAINED_GFLOPS_DP").value)
+        ) > 0.0
+
+    def test_fixed_authored_bandwidth_is_never_overwritten(
+        self, gpgpu_platform, calibrated
+    ):
+        db, digest = calibrated
+        platform = gpgpu_platform.copy()
+        link = next(
+            ic for ic in platform.interconnects() if ic.to_pu == "gpu0"
+        )
+        authored = str(link.descriptor.find("BANDWIDTH").value)
+        report = late_bind(platform, db, digest=digest)
+        assert str(link.descriptor.find("BANDWIDTH").value) == authored
+        assert link.descriptor.find("MEASURED_BANDWIDTH") is not None
+        skipped = [e for e in report.entries if e.action == "skipped-fixed"]
+        assert any(e.name == "BANDWIDTH" for e in skipped)
+
+    def test_unfixed_bandwidth_slot_is_instantiated_with_unit(
+        self, gpgpu_platform, calibrated
+    ):
+        db, digest = calibrated
+        platform = gpgpu_platform.copy()
+        link = next(
+            ic for ic in platform.interconnects() if ic.to_pu == "gpu0"
+        )
+        link.descriptor.remove("BANDWIDTH")
+        link.descriptor.add(
+            Property("BANDWIDTH", PropertyValue("", "GB/s"), fixed=False)
+        )
+        late_bind(platform, db, digest=digest)
+        prop = link.descriptor.find("BANDWIDTH")
+        assert prop.value.unit == "GB/s"
+        assert not prop.fixed
+        assert float(prop.value.text) > 0.0
+        # no shadow note needed when the real slot could be filled
+        assert link.descriptor.find("MEASURED_BANDWIDTH") is None
+
+    def test_add_missing_false_only_fills_existing_slots(
+        self, gpgpu_platform, calibrated
+    ):
+        db, digest = calibrated
+        platform = gpgpu_platform.copy()
+        platform.pu("cpu").descriptor.add(
+            Property("SUSTAINED_GFLOPS_DP", "", fixed=False)
+        )
+        report = late_bind(platform, db, digest=digest, add_missing=False)
+        assert platform.pu("cpu").descriptor.find("SUSTAINED_GFLOPS_DP") is not None
+        assert platform.pu("gpu0").descriptor.find("SUSTAINED_GFLOPS_DP") is None
+        assert all(e.action != "added" for e in report.entries)
+
+    def test_missing_profile_raises(self, gpgpu_platform):
+        with pytest.raises(TuningError):
+            late_bind(gpgpu_platform.copy(), TuningDatabase())
+
+    def test_invalidates_passed_models(self, gpgpu_platform, calibrated):
+        db, digest = calibrated
+        platform = gpgpu_platform.copy()
+        transfer = TransferModel(platform)
+        transfer.ideal_time("host", "gpu0", 1e6)
+        assert transfer._route_cache
+        perf = PerfModel()
+        late_bind(
+            platform, db, digest=digest, perf_model=perf, transfer_model=transfer
+        )
+        assert not transfer._route_cache
+
+
+class TestTunedPlatform:
+    def test_original_untouched_and_copy_valid(self, gpgpu_platform, calibrated):
+        db, digest = calibrated
+        tuned, report = tuned_platform(gpgpu_platform, db, digest=digest)
+        assert report.changed > 0
+        assert gpgpu_platform.pu("cpu").descriptor.find("SUSTAINED_GFLOPS_DP") is None
+        assert tuned.pu("cpu").descriptor.find("SUSTAINED_GFLOPS_DP") is not None
+        assert validate_document(tuned).ok
+
+    def test_report_summary_mentions_bindings(self, gpgpu_platform, calibrated):
+        db, digest = calibrated
+        _, report = tuned_platform(gpgpu_platform, db, digest=digest)
+        text = report.summary()
+        assert "SUSTAINED_GFLOPS_DP" in text
+        assert digest[:12] in text

@@ -1,0 +1,193 @@
+"""Unit tests for the history-based and ground-truth perf models."""
+
+import pytest
+
+from repro.errors import TuningError
+from repro.perf.models import PerfModel
+from repro.perf.transfer import TransferModel
+from repro.tune.database import TimingSample, TuningDatabase
+from repro.tune.model import GroundTruthPerfModel, HistoryPerfModel
+
+DIGEST = "d" * 64
+
+
+def record(db, *, pu="cpu", architecture="x86_64", flops=1e9, seconds=0.1,
+           kernel="dgemm"):
+    db.record(
+        DIGEST,
+        TimingSample(
+            kernel=kernel,
+            pu=pu,
+            architecture=architecture,
+            dims=None,
+            flops=flops,
+            bytes_touched=0.0,
+            seconds=seconds,
+        ),
+    )
+
+
+class TestHistoryPerfModel:
+    def test_exact_history_reproduces_measured_truth(
+        self, gpgpu_platform, calibrated, degraded_truth
+    ):
+        """An on-grid query answers with the measured (distorted) time,
+        not the analytic optimism — the measure→model loop closes."""
+        db, digest = calibrated
+        model = HistoryPerfModel(db, digest)
+        analytic = PerfModel()
+        for pu_id in ("cpu", "gpu0", "gpu1"):
+            pu = gpgpu_platform.pu(pu_id)
+            measured = model.dgemm_time(pu, 512, 512, 512)
+            truth = degraded_truth.dgemm_time(pu, 512, 512, 512)
+            assert measured == pytest.approx(truth, rel=1e-9)
+        # the distorted gpu0 is now correctly seen as slower than claimed
+        gpu0 = gpgpu_platform.pu("gpu0")
+        assert model.dgemm_time(gpu0, 512, 512, 512) > analytic.dgemm_time(
+            gpu0, 512, 512, 512
+        )
+
+    def test_off_grid_interpolates_close_to_truth(
+        self, gpgpu_platform, calibrated, degraded_truth
+    ):
+        db, digest = calibrated
+        model = HistoryPerfModel(db, digest)
+        gpu0 = gpgpu_platform.pu("gpu0")
+        est = model.dgemm_time(gpu0, 384, 384, 384)
+        truth = degraded_truth.dgemm_time(gpu0, 384, 384, 384)
+        assert est == pytest.approx(truth, rel=0.05)
+
+    def test_analytic_fallback_without_history(self, gpgpu_platform):
+        model = HistoryPerfModel(TuningDatabase(), DIGEST)
+        cpu = gpgpu_platform.pu("cpu")
+        assert model.dgemm_time(cpu, 512, 512, 512) == pytest.approx(
+            PerfModel().dgemm_time(cpu, 512, 512, 512)
+        )
+
+    def test_architecture_aggregate_fallback(self, gpgpu_platform):
+        # gpu1 has no samples of its own, but another gpu-class PU does:
+        # the per-architecture aggregate answers instead of the analytic model
+        db = TuningDatabase()
+        record(db, pu="gpu0", architecture="gpu", flops=1e9, seconds=0.25)
+        model = HistoryPerfModel(db, DIGEST)
+        gpu1 = gpgpu_platform.pu("gpu1")
+        est = model.estimate(gpu1, kernel="dgemm", flops=1e9)
+        assert est == pytest.approx(0.25)
+
+    def test_blend_mixes_history_and_analytic(self, gpgpu_platform):
+        db = TuningDatabase()
+        cpu = gpgpu_platform.pu("cpu")
+        analytic = PerfModel().estimate(cpu, kernel="dgemm", flops=1e9)
+        record(db, pu="cpu", flops=1e9, seconds=analytic * 3)
+        half = HistoryPerfModel(db, DIGEST, blend=0.5)
+        est = half.estimate(cpu, kernel="dgemm", flops=1e9)
+        assert est == pytest.approx(0.5 * analytic * 3 + 0.5 * analytic)
+        zero = HistoryPerfModel(db, DIGEST, blend=0.0)
+        assert zero.estimate(cpu, kernel="dgemm", flops=1e9) == pytest.approx(
+            analytic
+        )
+
+    def test_blend_out_of_range_raises(self):
+        with pytest.raises(TuningError):
+            HistoryPerfModel(TuningDatabase(), DIGEST, blend=1.5)
+
+    def test_zero_work_falls_back(self, gpgpu_platform):
+        # a query with no work metric cannot hit the curve; it routes to
+        # the analytic dims-based path instead
+        db = TuningDatabase()
+        record(db, pu="cpu")
+        model = HistoryPerfModel(db, DIGEST)
+        cpu = gpgpu_platform.pu("cpu")
+        assert model.estimate(
+            cpu, kernel="dgemm", dims=(64, 64, 64)
+        ) == pytest.approx(PerfModel().dgemm_time(cpu, 64, 64, 64))
+
+    def test_coverage(self, calibrated):
+        db, digest = calibrated
+        model = HistoryPerfModel(db, digest)
+        assert model.coverage() == {"dgemm": ["cpu", "gpu0", "gpu1"]}
+
+
+class TestStaleness:
+    """Satellite: profile reload must drop every memoized estimate."""
+
+    def test_new_samples_invisible_until_reload(self, gpgpu_platform):
+        db = TuningDatabase()
+        record(db, pu="cpu", flops=1e9, seconds=0.1)
+        model = HistoryPerfModel(db, DIGEST)
+        cpu = gpgpu_platform.pu("cpu")
+        assert model.estimate(cpu, kernel="dgemm", flops=1e9) == pytest.approx(0.1)
+        # curve is memoized: appending samples does not change answers...
+        record(db, pu="cpu", flops=1e9, seconds=0.3)
+        assert model.estimate(cpu, kernel="dgemm", flops=1e9) == pytest.approx(0.1)
+        # ...until the model is told the profile changed
+        model.reload()
+        assert model.estimate(cpu, kernel="dgemm", flops=1e9) == pytest.approx(0.2)
+
+    def test_reload_swaps_database_and_digest(self, gpgpu_platform):
+        old = TuningDatabase()
+        record(old, pu="cpu", flops=1e9, seconds=0.1)
+        model = HistoryPerfModel(old, DIGEST)
+        cpu = gpgpu_platform.pu("cpu")
+        model.estimate(cpu, kernel="dgemm", flops=1e9)
+        fresh = TuningDatabase()
+        other_digest = "e" * 64
+        fresh.record(
+            other_digest,
+            TimingSample(
+                kernel="dgemm",
+                pu="cpu",
+                architecture="x86_64",
+                dims=None,
+                flops=1e9,
+                bytes_touched=0.0,
+                seconds=0.7,
+            ),
+        )
+        model.reload(fresh, digest=other_digest)
+        assert model.estimate(cpu, kernel="dgemm", flops=1e9) == pytest.approx(0.7)
+
+    def test_reload_invalidates_transfer_routes(self, gpgpu_platform):
+        transfer = TransferModel(gpgpu_platform)
+        transfer.ideal_time("host", "gpu0", 1e6)  # primes the route cache
+        assert transfer._route_cache
+        model = HistoryPerfModel(TuningDatabase(), DIGEST)
+        model.reload(transfer_model=transfer)
+        assert not transfer._route_cache
+
+    def test_per_pu_invalidate(self, gpgpu_platform):
+        db = TuningDatabase()
+        record(db, pu="cpu", flops=1e9, seconds=0.1)
+        record(db, pu="gpu0", architecture="gpu", flops=1e9, seconds=0.2)
+        model = HistoryPerfModel(db, DIGEST)
+        cpu, gpu0 = gpgpu_platform.pu("cpu"), gpgpu_platform.pu("gpu0")
+        model.estimate(cpu, kernel="dgemm", flops=1e9)
+        model.estimate(gpu0, kernel="dgemm", flops=1e9)
+        model.invalidate("gpu0")
+        assert ("dgemm", "cpu") in model._curves
+        assert ("dgemm", "gpu0") not in model._curves
+
+
+class TestGroundTruthPerfModel:
+    def test_entity_factor_beats_architecture_factor(self, gpgpu_platform):
+        model = GroundTruthPerfModel({"gpu": 0.5, "gpu0": 0.25})
+        assert model.factor_for(gpgpu_platform.pu("gpu0")) == 0.25
+        assert model.factor_for(gpgpu_platform.pu("gpu1")) == 0.5
+        assert model.factor_for(gpgpu_platform.pu("cpu")) == 1.0
+
+    def test_estimates_scale_inversely(self, gpgpu_platform):
+        truth = GroundTruthPerfModel({"gpu0": 0.25})
+        analytic = PerfModel()
+        gpu0 = gpgpu_platform.pu("gpu0")
+        assert truth.dgemm_time(gpu0, 256, 256, 256) == pytest.approx(
+            4.0 * analytic.dgemm_time(gpu0, 256, 256, 256)
+        )
+        assert truth.estimate(
+            gpu0, kernel="dvecadd", bytes_touched=1e6
+        ) == pytest.approx(
+            4.0 * analytic.estimate(gpu0, kernel="dvecadd", bytes_touched=1e6)
+        )
+
+    def test_rejects_non_positive_factor(self):
+        with pytest.raises(TuningError):
+            GroundTruthPerfModel({"gpu0": 0.0})

@@ -1,0 +1,80 @@
+"""Unit tests for the log-log regression layer."""
+
+import pytest
+
+from repro.errors import TuningError
+from repro.tune.database import TimingSample
+from repro.tune.regression import HistoryCurve, build_curve, fit_power_law
+
+
+def mk_sample(work: float, seconds: float) -> TimingSample:
+    return TimingSample(
+        kernel="dgemm",
+        pu="cpu",
+        architecture="x86_64",
+        dims=None,
+        flops=work,
+        bytes_touched=0.0,
+        seconds=seconds,
+    )
+
+
+class TestPowerLawFit:
+    def test_recovers_exact_power_law(self):
+        # t = 3e-9 * x^1.5
+        points = [(x, 3e-9 * x**1.5) for x in (1e3, 1e4, 1e5, 1e6)]
+        fit = fit_power_law(points)
+        assert fit.exponent == pytest.approx(1.5, rel=1e-9)
+        assert fit.coefficient == pytest.approx(3e-9, rel=1e-9)
+        assert fit.residual == pytest.approx(0.0, abs=1e-18)
+        assert fit.predict(5e4) == pytest.approx(3e-9 * 5e4**1.5, rel=1e-9)
+
+    def test_single_size_degenerates_to_linear(self):
+        fit = fit_power_law([(100.0, 2.0), (100.0, 4.0)])
+        assert fit.exponent == 1.0
+        assert fit.predict(100.0) == pytest.approx(3.0)
+        assert fit.predict(200.0) == pytest.approx(6.0)
+
+    def test_noisy_points_leave_residual(self):
+        points = [(1e3, 1e-3), (1e4, 1.3e-2), (1e5, 0.9e-1)]
+        fit = fit_power_law(points)
+        assert fit.residual > 0.0
+        assert 0.9 < fit.exponent < 1.1
+
+    def test_rejects_unusable_points(self):
+        with pytest.raises(TuningError):
+            fit_power_law([(0.0, 1.0), (-1.0, 2.0)])
+        with pytest.raises(TuningError):
+            fit_power_law([])
+
+    def test_predict_rejects_non_positive(self):
+        fit = fit_power_law([(1.0, 1.0), (2.0, 2.0)])
+        with pytest.raises(TuningError):
+            fit.predict(0.0)
+
+
+class TestHistoryCurve:
+    def test_exact_hit_returns_bucket_mean(self):
+        curve = HistoryCurve(
+            [mk_sample(1e6, 0.010), mk_sample(1e6, 0.030), mk_sample(4e6, 0.080)]
+        )
+        assert curve.lookup_exact(1e6) == pytest.approx(0.020)
+        assert curve.predict(1e6) == pytest.approx(0.020)
+
+    def test_off_grid_uses_fit(self):
+        curve = HistoryCurve([mk_sample(1e6, 0.01), mk_sample(4e6, 0.04)])
+        assert curve.lookup_exact(2e6) is None
+        # linear in this data: predict interpolates the power law
+        assert curve.predict(2e6) == pytest.approx(0.02, rel=1e-6)
+
+    def test_sizes_sorted(self):
+        curve = HistoryCurve([mk_sample(4e6, 0.04), mk_sample(1e6, 0.01)])
+        assert curve.sizes == [1e6, 4e6]
+
+    def test_needs_samples(self):
+        with pytest.raises(TuningError):
+            HistoryCurve([])
+
+    def test_build_curve_empty_is_none(self):
+        assert build_curve([]) is None
+        assert build_curve([mk_sample(1.0, 1.0)]) is not None
