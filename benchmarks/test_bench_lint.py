@@ -1,0 +1,122 @@
+"""LINT — static-analysis throughput on many-core mesh descriptors.
+
+``repro-lint`` is meant to sit in editor hooks and registry publish
+paths, so the whole PDL rule pack must stay cheap even on descriptors
+with hundreds of PUs and thousands of interconnects.  This benchmark
+lints the XTRA-SCALE mesh family (tiled many-core platforms from
+:func:`repro.experiments.scenarios.synthetic_mesh_platform`) end to end
+— serialize, re-parse, run the PDL pack — and reports bytes/s and
+PUs/s.  Results land in ``BENCH_lint.json`` (override the path via the
+``BENCH_LINT_JSON`` environment variable).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis import Linter
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import synthetic_mesh_platform
+from repro.pdl.parser import parse_pdl
+from repro.pdl.writer import write_pdl
+from benchmarks.conftest import print_report
+
+MESHES = ((4, 4), (8, 8), (16, 16))
+
+
+@pytest.fixture(scope="module")
+def documents():
+    docs = {}
+    for rows, cols in MESHES:
+        platform = synthetic_mesh_platform(rows, cols, distributed_memory=True)
+        docs[(rows, cols)] = write_pdl(platform)
+    return docs
+
+
+def lint_document(linter, text):
+    platform = parse_pdl(text, validate=False)
+    return linter.lint_platform(platform)
+
+
+def test_bench_lint_throughput(benchmark, documents):
+    linter = Linter()
+    rows = []
+    results = {}
+    for rows_cols, text in documents.items():
+        mesh_rows, mesh_cols = rows_cols
+        n_pus = mesh_rows * mesh_cols + 1  # tiles + host master
+        t0 = time.perf_counter()
+        report = lint_document(linter, text)
+        elapsed = time.perf_counter() - t0
+        assert report.ok, report.summary()
+        throughput = len(text) / elapsed
+        rows.append(
+            (
+                f"{mesh_rows}x{mesh_cols}",
+                n_pus,
+                len(text),
+                f"{elapsed * 1e3:.2f}",
+                f"{throughput / 1e6:.2f}",
+                f"{n_pus / elapsed:.0f}",
+            )
+        )
+        results[f"{mesh_rows}x{mesh_cols}"] = {
+            "pus": n_pus,
+            "xml_bytes": len(text),
+            "lint_seconds": elapsed,
+            "bytes_per_second": throughput,
+            "pus_per_second": n_pus / elapsed,
+            "findings": len(report.diagnostics),
+        }
+    # the steady-state number: re-lint the largest mesh under the harness
+    largest = documents[MESHES[-1]]
+    report = benchmark.pedantic(
+        lint_document, args=(linter, largest), iterations=1, rounds=3
+    )
+    assert report.ok
+    print_report(
+        "LINT — PDL rule-pack cost vs mesh size",
+        format_table(
+            ["mesh", "PUs", "XML bytes", "lint [ms]", "MB/s", "PUs/s"],
+            rows,
+        ),
+    )
+    out = os.environ.get("BENCH_LINT_JSON", "BENCH_lint.json")
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "tool": "repro-lint",
+                "pack": "pdl",
+                "meshes": results,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    # a descriptor under half a megabyte must lint in well under a second
+    assert results["16x16"]["lint_seconds"] < 1.0
+
+
+def test_bench_lint_16x16_mesh(benchmark, documents):
+    linter = Linter()
+    report = benchmark(lint_document, linter, documents[(16, 16)])
+    assert report.ok
+
+
+def test_bench_lint_rules_scale_linearly(documents):
+    """Guard against superlinear rules: 16x16 has ~16x the PUs of 4x4
+    but must not cost more than ~64x the lint time (generous 4x slack
+    over linear to keep CI timing noise from flaking the build)."""
+    linter = Linter()
+    timings = {}
+    for rows_cols, text in documents.items():
+        platform = parse_pdl(text, validate=False)
+        t0 = time.perf_counter()
+        for _ in range(3):
+            linter.lint_platform(platform)
+        timings[rows_cols] = (time.perf_counter() - t0) / 3
+    ratio = timings[(16, 16)] / max(timings[(4, 4)], 1e-9)
+    assert ratio < 64.0, f"lint cost grew {ratio:.1f}x from 4x4 to 16x16"

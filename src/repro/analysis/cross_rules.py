@@ -1,0 +1,345 @@
+"""Cross-artifact lint rules (``XAR0xx``): program × descriptor(s).
+
+These answer the questions the toolchain otherwise discovers late (or
+never): can every variant run *somewhere* on the supplied targets, does
+every interface stay translatable, can the compile plan actually derive
+its toolchain flags from the descriptor, and do declared transfers have a
+feasible interconnect route?  A context carries one program and one or
+more target platforms — a single descriptor for CI-style gating, or the
+whole shipped catalog for dead-variant detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.analysis.diagnostics import Finding, Severity, SourceLocation
+from repro.errors import RepositoryError
+from repro.model.platform import Platform
+from repro.cascabel.compile_plan import _cuda_arch_flag
+from repro.cascabel.program import AnnotatedProgram
+from repro.cascabel.repository import TaskRepository, TaskVariant
+from repro.cascabel.selection import eligible_variants
+
+__all__ = ["CrossContext", "RULES"]
+
+
+@dataclass
+class CrossContext:
+    """One annotated program against one or more target descriptors."""
+
+    program: AnnotatedProgram
+    targets: list[tuple[str, Platform]]  # (label, parsed platform)
+    filename: Optional[str] = None
+    expert_variants: bool = False
+    _repository: Optional[TaskRepository] = field(default=None, repr=False)
+    _repository_error: Optional[str] = field(default=None, repr=False)
+    _eligibility: Optional[dict] = field(default=None, repr=False)
+
+    def location(self) -> Optional[SourceLocation]:
+        name = self.filename or self.program.filename
+        return SourceLocation(file=name) if name else None
+
+    def variant_location(self, variant_name: str) -> Optional[SourceLocation]:
+        for definition in self.program.definitions:
+            if definition.variant_name == variant_name:
+                pragma = definition.pragma
+                return SourceLocation(
+                    file=self.filename or self.program.filename,
+                    line=pragma.line,
+                    column=getattr(pragma, "column", None),
+                )
+        return self.location()
+
+    def pragma_location(self, pragma) -> SourceLocation:
+        return SourceLocation(
+            file=self.filename or self.program.filename,
+            line=pragma.line,
+            column=getattr(pragma, "column", None),
+        )
+
+    def repository(self) -> Optional[TaskRepository]:
+        """Task repository of the program (None when registration fails —
+        the Cascabel pack reports why)."""
+        if self._repository is None and self._repository_error is None:
+            repo = TaskRepository()
+            try:
+                repo.register_program(self.program)
+                if self.expert_variants:
+                    from repro.cascabel.driver import register_builtin_variants
+
+                    register_builtin_variants(repo, self.program)
+            except RepositoryError as exc:
+                self._repository_error = str(exc)
+                return None
+            self._repository = repo
+        return self._repository
+
+    def eligibility(self) -> dict:
+        """``{interface: {label: (eligible variants, pruned reasons)}}``."""
+        if self._eligibility is not None:
+            return self._eligibility
+        table: dict[str, dict[str, tuple[list[TaskVariant], dict]]] = {}
+        repo = self.repository()
+        if repo is not None:
+            for interface in repo.interfaces():
+                variants = repo.variants(interface)
+                table[interface] = {
+                    label: eligible_variants(variants, platform)
+                    for label, platform in self.targets
+                }
+        self._eligibility = table
+        return table
+
+
+def _target_list(ctx: CrossContext) -> str:
+    return ", ".join(label for label, _ in ctx.targets)
+
+
+# ---------------------------------------------------------------------------
+# XAR001–XAR003 — variant satisfiability
+# ---------------------------------------------------------------------------
+def check_dead_variants(ctx: CrossContext) -> Iterable[Finding]:
+    """Variants not eligible on *any* supplied target (dead code)."""
+    for interface, per_target in sorted(ctx.eligibility().items()):
+        reasons: dict[str, dict[str, str]] = {}
+        alive: set[str] = set()
+        for label, (eligible, pruned) in per_target.items():
+            alive.update(v.name for v in eligible)
+            for name, reason in pruned.items():
+                reasons.setdefault(name, {})[label] = reason
+        for name in sorted(set(reasons) - alive):
+            detail = "; ".join(
+                f"{label}: {reason}"
+                for label, reason in sorted(reasons[name].items())
+            )
+            yield Finding(
+                message=(
+                    f"variant {name!r} of interface {interface!r} is dead:"
+                    f" not eligible on any supplied target"
+                    f" ({_target_list(ctx)}) — {detail}"
+                ),
+                location=ctx.variant_location(name),
+                subject=name,
+                hint=(
+                    "drop the variant or add a descriptor providing its"
+                    " target hardware"
+                ),
+            )
+
+
+def check_unsatisfiable_interfaces(ctx: CrossContext) -> Iterable[Finding]:
+    for interface, per_target in sorted(ctx.eligibility().items()):
+        for label, (eligible, pruned) in sorted(per_target.items()):
+            if eligible:
+                continue
+            yield Finding(
+                message=(
+                    f"interface {interface!r} has no eligible variant on"
+                    f" target {label!r} (pruned: {dict(sorted(pruned.items()))})"
+                ),
+                location=ctx.location(),
+                subject=interface,
+                hint="provide an x86 fallback variant for the interface",
+            )
+
+
+def check_missing_fallback(ctx: CrossContext) -> Iterable[Finding]:
+    for interface, per_target in sorted(ctx.eligibility().items()):
+        for label, (eligible, _pruned) in sorted(per_target.items()):
+            if not eligible or any(v.is_fallback for v in eligible):
+                continue
+            yield Finding(
+                message=(
+                    f"interface {interface!r} has no sequential fallback"
+                    f" variant on target {label!r}; the paper requires at"
+                    f" least one Master-executable implementation"
+                ),
+                location=ctx.location(),
+                subject=interface,
+                hint="add an x86/x86_64 variant of the interface",
+            )
+
+
+# ---------------------------------------------------------------------------
+# XAR010 — compile-plan toolchain mismatches
+# ---------------------------------------------------------------------------
+def check_toolchain(ctx: CrossContext) -> Iterable[Finding]:
+    """Eligible variants whose toolchain flags the descriptor cannot yield.
+
+    Mirrors :mod:`repro.cascabel.compile_plan`: CUDA compilation derives
+    ``-arch=sm_XX`` from the lowest ``COMPUTE_CAPABILITY``, and Cell
+    builds switch to ``ppu-gcc``/``libspe2`` keyed on a ``cellsdk``
+    runtime declaration.
+    """
+    for label, platform in ctx.targets:
+        eligible_targets: set[str] = set()
+        for _interface, per_target in ctx.eligibility().items():
+            eligible, _pruned = per_target[label]
+            for variant in eligible:
+                eligible_targets.update(variant.targets)
+        if "cuda" in eligible_targets and "gpu" in platform.architectures():
+            if _cuda_arch_flag(platform) is None:
+                yield Finding(
+                    message=(
+                        f"target {label!r} hosts CUDA variants but no PU"
+                        f" declares COMPUTE_CAPABILITY — the compile plan"
+                        f" cannot derive an nvcc -arch flag"
+                    ),
+                    location=ctx.location(),
+                    subject=label,
+                    hint=(
+                        "add a cuda:COMPUTE_CAPABILITY property to the GPU"
+                        " Workers"
+                    ),
+                )
+        cell_targets = eligible_targets & {"cellsdk", "spe"}
+        if cell_targets and "spe" in platform.architectures():
+            runtimes = {
+                pu.descriptor.get_str("RUNTIME") for pu in platform.walk()
+            }
+            if "cellsdk" not in runtimes:
+                yield Finding(
+                    message=(
+                        f"target {label!r} hosts {sorted(cell_targets)}"
+                        f" variants but no PU declares RUNTIME 'cellsdk' —"
+                        f" the compile plan cannot select the Cell"
+                        f" toolchain (ppu-gcc/libspe2)"
+                    ),
+                    location=ctx.location(),
+                    subject=label,
+                    hint="declare RUNTIME=cellsdk on the controlling PU",
+                )
+
+
+# ---------------------------------------------------------------------------
+# XAR020 / XAR021 — transfer routes and execution groups
+# ---------------------------------------------------------------------------
+def check_transfer_routes(ctx: CrossContext) -> Iterable[Finding]:
+    """Execution placements no Master can reach over declared interconnects.
+
+    Skipped for descriptors that declare no interconnects at all (the
+    control hierarchy then implies connectivity); otherwise every PU an
+    execution may be placed on must be reachable from a Master, or the
+    transfers the distributions imply have no route.
+    """
+    from repro.query.paths import InterconnectGraph
+
+    for label, platform in ctx.targets:
+        if not platform.interconnects():
+            continue
+        graph = InterconnectGraph(platform)
+        master_ids = {pu.id for pu in platform.masters}
+        reachable: set[str] = set(master_ids)
+        for master_id in master_ids:
+            reachable.update(graph.reachable(master_id))
+        for execution in ctx.program.executions:
+            members = _placement_candidates(execution, platform)
+            for pu in members:
+                if pu.id in reachable:
+                    continue
+                yield Finding(
+                    message=(
+                        f"execute of {execution.interface!r} (group"
+                        f" {execution.execution_group or '<all>'!r}) may be"
+                        f" placed on {pu.kind} {pu.id!r} of target {label!r},"
+                        f" but no Master has an interconnect route to it —"
+                        f" the implied data transfers are infeasible"
+                    ),
+                    location=ctx.pragma_location(execution.pragma),
+                    subject=pu.id,
+                    hint=(
+                        f"declare an interconnect path from a Master to"
+                        f" {pu.id!r} or shrink the execution group"
+                    ),
+                )
+
+
+def _placement_candidates(execution, platform: Platform):
+    group = execution.execution_group
+    if not group:
+        return platform.workers()
+    members = platform.groups().get(group)
+    return members if members is not None else []  # XAR021 reports unknowns
+
+
+def check_execution_groups(ctx: CrossContext) -> Iterable[Finding]:
+    for label, platform in ctx.targets:
+        groups = set(platform.groups())
+        for execution in ctx.program.executions:
+            group = execution.execution_group
+            if not group or group in groups:
+                continue
+            yield Finding(
+                message=(
+                    f"execute of {execution.interface!r} names execution"
+                    f" group {group!r}, which no PU of target {label!r}"
+                    f" declares (groups: {sorted(groups) or '(none)'})"
+                ),
+                location=ctx.pragma_location(execution.pragma),
+                subject=group,
+                hint=(
+                    "add the LogicGroupAttribute to the descriptor or"
+                    " reference an existing group"
+                ),
+            )
+
+
+def _rule(rule_id, name, severity, summary, check):
+    from repro.analysis.rules import Rule
+
+    return Rule(
+        id=rule_id,
+        name=name,
+        pack="cross",
+        severity=severity,
+        summary=summary,
+        check=check,
+    )
+
+
+RULES = [
+    _rule(
+        "XAR001",
+        "dead-variant",
+        Severity.WARNING,
+        "variant is not eligible on any supplied target descriptor",
+        check_dead_variants,
+    ),
+    _rule(
+        "XAR002",
+        "unsatisfiable-interface",
+        Severity.ERROR,
+        "interface has zero eligible variants on a target",
+        check_unsatisfiable_interfaces,
+    ),
+    _rule(
+        "XAR003",
+        "missing-fallback",
+        Severity.ERROR,
+        "no sequential fallback variant remains on a target",
+        check_missing_fallback,
+    ),
+    _rule(
+        "XAR010",
+        "toolchain-mismatch",
+        Severity.WARNING,
+        "descriptor lacks the properties the compile plan derives flags from",
+        check_toolchain,
+    ),
+    _rule(
+        "XAR020",
+        "unroutable-transfer",
+        Severity.ERROR,
+        "execution placement unreachable over declared interconnects",
+        check_transfer_routes,
+    ),
+    _rule(
+        "XAR021",
+        "unknown-execution-group",
+        Severity.ERROR,
+        "execution group is not declared on the target descriptor",
+        check_execution_groups,
+    ),
+]

@@ -1,0 +1,201 @@
+"""Structured lint findings: the data model every rule pack emits.
+
+Deliberately dependency-light (stdlib only) so lower layers — e.g.
+:mod:`repro.pdl.validator` — can import the payload shape without pulling
+in the rule packs or their model/cascabel dependencies.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+__all__ = [
+    "Severity",
+    "SourceLocation",
+    "Finding",
+    "Diagnostic",
+    "LintReport",
+]
+
+
+class Severity(enum.Enum):
+    """Finding severity, ordered ``note < warning < error``."""
+
+    NOTE = "note"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls(str(text).strip().lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {text!r};"
+                f" use {', '.join(s.value for s in cls)}"
+            ) from None
+
+    def __ge__(self, other: "Severity") -> bool:
+        return self.rank >= other.rank
+
+    def __gt__(self, other: "Severity") -> bool:
+        return self.rank > other.rank
+
+    def __le__(self, other: "Severity") -> bool:
+        return self.rank <= other.rank
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.rank < other.rank
+
+
+_SEVERITY_RANK = {Severity.NOTE: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """Where a finding points: file, 1-based line, 1-based column.
+
+    PDL entities carry no line information after parsing, so descriptor
+    findings typically have a file only; Cascabel findings carry the
+    pragma's line/column from the lexer.
+    """
+
+    file: Optional[str] = None
+    line: Optional[int] = None
+    column: Optional[int] = None
+
+    def to_payload(self) -> dict:
+        payload: dict = {}
+        if self.file is not None:
+            payload["file"] = self.file
+        if self.line is not None:
+            payload["line"] = self.line
+        if self.column is not None:
+            payload["column"] = self.column
+        return payload
+
+    def __str__(self) -> str:
+        parts = [self.file or "<unknown>"]
+        if self.line is not None:
+            parts.append(str(self.line))
+            if self.column is not None:
+                parts.append(str(self.column))
+        return ":".join(parts)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """What a rule's check function yields — everything but the rule
+    identity and severity, which the engine stamps on."""
+
+    message: str
+    location: Optional[SourceLocation] = None
+    subject: Optional[str] = None  # entity id / interface / variant name
+    hint: Optional[str] = None  # how to fix it
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, fully attributed: rule ID + severity + location."""
+
+    rule: str  # stable ID, e.g. "PDL001"
+    severity: Severity
+    message: str
+    location: Optional[SourceLocation] = None
+    subject: Optional[str] = None
+    hint: Optional[str] = None
+
+    def to_payload(self) -> dict:
+        payload = {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }
+        if self.location is not None and self.location.to_payload():
+            payload["location"] = self.location.to_payload()
+        if self.subject is not None:
+            payload["subject"] = self.subject
+        if self.hint is not None:
+            payload["hint"] = self.hint
+        return payload
+
+    def sort_key(self) -> tuple:
+        loc = self.location or SourceLocation()
+        return (
+            loc.file or "",
+            loc.line if loc.line is not None else 0,
+            loc.column if loc.column is not None else 0,
+            self.rule,
+            self.subject or "",
+            self.message,
+        )
+
+    def format(self) -> str:
+        loc = f"{self.location}: " if self.location is not None else ""
+        subject = f" [{self.subject}]" if self.subject else ""
+        text = f"{loc}{self.severity.value}: {self.rule}{subject}: {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one linted artifact."""
+
+    artifact: str  # file path, catalog name, or digest
+    kind: str  # "pdl" | "cascabel" | "cross"
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def count(self, severity: Severity) -> int:
+        return sum(1 for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def ok(self) -> bool:
+        """Clean at the default gate: nothing at warning level or above."""
+        return not self.at_least(Severity.WARNING)
+
+    def at_least(self, severity: Severity) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity >= severity]
+
+    def sorted(self) -> "LintReport":
+        """Copy with diagnostics in canonical (location, rule) order, so
+        renderings of the same findings are byte-identical."""
+        return LintReport(
+            artifact=self.artifact,
+            kind=self.kind,
+            diagnostics=sorted(self.diagnostics, key=Diagnostic.sort_key),
+        )
+
+    def to_payload(self) -> dict:
+        ordered = sorted(self.diagnostics, key=Diagnostic.sort_key)
+        return {
+            "artifact": self.artifact,
+            "kind": self.kind,
+            "ok": self.ok,
+            "counts": {
+                "error": self.count(Severity.ERROR),
+                "warning": self.count(Severity.WARNING),
+                "note": self.count(Severity.NOTE),
+            },
+            "diagnostics": [d.to_payload() for d in ordered],
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.artifact}: {self.count(Severity.ERROR)} error(s),"
+            f" {self.count(Severity.WARNING)} warning(s),"
+            f" {self.count(Severity.NOTE)} note(s)"
+        )

@@ -1,0 +1,164 @@
+"""The :class:`Linter` façade: run rule packs over artifacts.
+
+Three entry points — one per pack — plus path dispatch for the CLI.
+Every entry point returns a :class:`~repro.analysis.diagnostics.LintReport`
+with diagnostics in canonical (location, rule) order, so repeated runs
+over the same input render byte-identically in every output format.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.analysis.cascabel_rules import CascabelContext, build_context
+from repro.analysis.cross_rules import CrossContext
+from repro.analysis.diagnostics import LintReport
+from repro.analysis.pdl_rules import PdlContext
+from repro.analysis.rules import LintConfig, RuleRegistry, default_registry
+from repro.model.platform import Platform
+
+__all__ = ["Linter", "lint_platform", "lint_program", "lint_cross"]
+
+#: file suffixes the CLI dispatches on
+_PDL_SUFFIXES = (".xml", ".pdl")
+_PROGRAM_SUFFIXES = (".c", ".cc", ".cpp", ".cxx")
+
+
+class Linter:
+    """One configured lint run: registry + selection/severity config."""
+
+    def __init__(
+        self,
+        registry: Optional[RuleRegistry] = None,
+        config: Optional[LintConfig] = None,
+    ):
+        self.registry = registry if registry is not None else default_registry()
+        self.config = config if config is not None else LintConfig()
+
+    # -- pack runners --------------------------------------------------------
+    def _run_pack(self, pack: str, context, report: LintReport) -> LintReport:
+        for rule in self.registry.rules(pack):
+            if not self.config.enabled(rule):
+                continue
+            for finding in rule.check(context):
+                report.diagnostics.append(self.config.stamp(rule, finding))
+        report.diagnostics.sort(key=lambda d: d.sort_key())
+        return report
+
+    def lint_platform(
+        self, platform: Platform, *, filename: Optional[str] = None
+    ) -> LintReport:
+        """PDL pack over one parsed platform."""
+        artifact = filename or platform.name
+        report = LintReport(artifact=artifact, kind="pdl")
+        ctx = PdlContext(platform=platform, filename=filename)
+        return self._run_pack("pdl", ctx, report)
+
+    def lint_program(
+        self,
+        source: Union[str, CascabelContext],
+        *,
+        filename: str = "<string>",
+    ) -> LintReport:
+        """Cascabel pack over one annotated translation unit."""
+        ctx = (
+            source
+            if isinstance(source, CascabelContext)
+            else build_context(source, filename=filename)
+        )
+        report = LintReport(artifact=ctx.filename, kind="cascabel")
+        return self._run_pack("cascabel", ctx, report)
+
+    def lint_cross(
+        self,
+        source: Union[str, CascabelContext],
+        targets: list[tuple[str, Platform]],
+        *,
+        filename: str = "<string>",
+        expert_variants: bool = False,
+    ) -> LintReport:
+        """Cross pack: one program against one or more target platforms."""
+        ctx = (
+            source
+            if isinstance(source, CascabelContext)
+            else build_context(source, filename=filename)
+        )
+        cross = CrossContext(
+            program=ctx.program,
+            targets=list(targets),
+            filename=ctx.filename,
+            expert_variants=expert_variants,
+        )
+        labels = ",".join(label for label, _ in targets)
+        report = LintReport(
+            artifact=f"{ctx.filename} @ {labels or '(no targets)'}",
+            kind="cross",
+        )
+        return self._run_pack("cross", cross, report)
+
+    # -- path / source dispatch ----------------------------------------------
+    def lint_path(
+        self,
+        path: Union[str, Path],
+        *,
+        targets: Optional[list[tuple[str, Platform]]] = None,
+        expert_variants: bool = False,
+    ) -> list[LintReport]:
+        """Lint one file: descriptors get the PDL pack, programs get the
+        Cascabel pack plus — when ``targets`` are supplied — the cross
+        pack.  Raises ``ValueError`` for unknown suffixes."""
+        path = Path(path)
+        suffix = path.suffix.lower()
+        text = path.read_text(encoding="utf-8")
+        if suffix in _PDL_SUFFIXES:
+            from repro.pdl.parser import parse_pdl
+
+            platform = parse_pdl(text, validate=False, name=path.stem)
+            return [self.lint_platform(platform, filename=str(path))]
+        if suffix in _PROGRAM_SUFFIXES:
+            ctx = build_context(text, filename=str(path))
+            reports = [self.lint_program(ctx)]
+            if targets:
+                reports.append(
+                    self.lint_cross(
+                        ctx, targets, expert_variants=expert_variants
+                    )
+                )
+            return reports
+        raise ValueError(
+            f"cannot lint {path}: unknown suffix {suffix!r}"
+            f" (descriptors: {_PDL_SUFFIXES}, programs: {_PROGRAM_SUFFIXES})"
+        )
+
+
+# -- module-level conveniences ----------------------------------------------
+def lint_platform(
+    platform: Platform,
+    *,
+    filename: Optional[str] = None,
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    return Linter(config=config).lint_platform(platform, filename=filename)
+
+
+def lint_program(
+    source: str,
+    *,
+    filename: str = "<string>",
+    config: Optional[LintConfig] = None,
+) -> LintReport:
+    return Linter(config=config).lint_program(source, filename=filename)
+
+
+def lint_cross(
+    source: str,
+    targets: list[tuple[str, Platform]],
+    *,
+    filename: str = "<string>",
+    config: Optional[LintConfig] = None,
+    expert_variants: bool = False,
+) -> LintReport:
+    return Linter(config=config).lint_cross(
+        source, targets, filename=filename, expert_variants=expert_variants
+    )

@@ -1,0 +1,466 @@
+"""Descriptor-local lint rules (``PDL0xx``).
+
+These run over one parsed :class:`~repro.model.platform.Platform` and
+check invariants the structural validator (:mod:`repro.model.validation`)
+and schema checker (:mod:`repro.pdl.validator`) do not cover: physical
+unit consistency, referential integrity of conventional reference
+properties, interconnect reachability, link symmetry, and whether every
+*unfixed* property slot can actually be filled later (by namespaced
+runtime discovery or by :mod:`repro.tune.latebind`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.analysis.diagnostics import Finding, Severity, SourceLocation
+from repro.errors import PathError
+from repro.model.entities import Interconnect, ProcessingUnit
+from repro.model.platform import Platform
+from repro.model.properties import Property, UNIT_SCALES
+
+__all__ = ["PdlContext", "RULES", "UNIT_DIMENSIONS", "LATEBIND_FILLABLE"]
+
+#: unit → physical dimension (covers every unit in ``UNIT_SCALES``)
+UNIT_DIMENSIONS: dict[str, str] = {
+    **{u: "bytes" for u in ("B", "kB", "KB", "MB", "GB", "TB")},
+    **{u: "frequency" for u in ("Hz", "kHz", "MHz", "GHz")},
+    **{u: "bandwidth" for u in ("B/s", "kB/s", "MB/s", "GB/s")},
+    **{u: "time" for u in ("s", "ms", "us", "ns")},
+}
+
+#: property names :mod:`repro.tune.latebind` can fill per owner kind;
+#: anything else unfixed *and* un-namespaced has no instantiation path
+LATEBIND_FILLABLE: dict[str, frozenset] = {
+    "pu": frozenset({"SUSTAINED_GFLOPS_DP", "MEASURED_STREAM_BANDWIDTH_GBS"}),
+    "interconnect": frozenset({"BANDWIDTH", "MEASURED_BANDWIDTH"}),
+    "memory": frozenset(),
+}
+
+#: conventional reference properties → what their value must name
+_REGION_REFS = ("AFFINITY", "MEMORY_REGION", "MEMORY_AFFINITY")
+_GROUP_REFS = ("GROUP", "EXECUTION_GROUP", "LOGIC_GROUP")
+
+_SUPPORTED_SCHEMA_VERSIONS = ("1.0",)
+
+
+@dataclass(frozen=True)
+class PdlContext:
+    """Input of the PDL pack: one platform plus its display location."""
+
+    platform: Platform
+    filename: Optional[str] = None
+
+    @property
+    def location(self) -> Optional[SourceLocation]:
+        if self.filename is None:
+            return None
+        return SourceLocation(file=self.filename)
+
+    def properties(self) -> Iterator[tuple[str, str, str, Property]]:
+        """``(owner_kind, owner_id, owner_class, prop)`` for every property;
+        ``owner_class`` is a :data:`LATEBIND_FILLABLE` key."""
+        for pu in self.platform.walk():
+            for prop in pu.descriptor:
+                yield pu.kind, pu.id, "pu", prop
+            for region in pu.memory_regions:
+                for prop in region.descriptor:
+                    yield "MemoryRegion", region.id, "memory", prop
+            for ic in pu.interconnects:
+                for prop in ic.descriptor:
+                    yield "Interconnect", ic.id, "interconnect", prop
+
+    def interconnects(self) -> list[tuple[ProcessingUnit, Interconnect]]:
+        out = []
+        for pu in self.platform.walk():
+            out.extend((pu, ic) for ic in pu.interconnects)
+        return out
+
+
+def _owner_label(kind: str, owner_id: str) -> str:
+    return f"{kind} {owner_id!r}"
+
+
+# ---------------------------------------------------------------------------
+# PDL001 / PDL002 — units
+# ---------------------------------------------------------------------------
+def check_unit_dimensions(ctx: PdlContext) -> Iterable[Finding]:
+    """Same property name used with units of different physical dimensions."""
+    uses: dict[str, dict[str, list[str]]] = {}
+    for kind, owner_id, _cls, prop in ctx.properties():
+        unit = prop.value.unit
+        dimension = UNIT_DIMENSIONS.get(unit) if unit else None
+        if dimension is None:
+            continue
+        uses.setdefault(prop.name, {}).setdefault(dimension, []).append(
+            f"{_owner_label(kind, owner_id)} ({unit})"
+        )
+    for name in sorted(uses):
+        dimensions = uses[name]
+        if len(dimensions) < 2:
+            continue
+        detail = "; ".join(
+            f"{dim}: {', '.join(owners)}"
+            for dim, owners in sorted(dimensions.items())
+        )
+        yield Finding(
+            message=(
+                f"property {name!r} mixes units of different dimensions"
+                f" across the document — {detail}"
+            ),
+            location=ctx.location,
+            subject=name,
+            hint="give every use of a comparable property the same dimension",
+        )
+
+
+def check_unknown_units(ctx: PdlContext) -> Iterable[Finding]:
+    """Units :func:`repro.model.properties.parse_quantity` would reject."""
+    for kind, owner_id, _cls, prop in ctx.properties():
+        unit = prop.value.unit
+        if unit and unit not in UNIT_SCALES:
+            yield Finding(
+                message=(
+                    f"{_owner_label(kind, owner_id)}: property {prop.name!r}"
+                    f" has unknown unit {unit!r}"
+                ),
+                location=ctx.location,
+                subject=owner_id,
+                hint=f"known units: {', '.join(sorted(UNIT_SCALES))}",
+            )
+
+
+# ---------------------------------------------------------------------------
+# PDL003 — dangling references
+# ---------------------------------------------------------------------------
+def check_dangling_references(ctx: PdlContext) -> Iterable[Finding]:
+    """Reference properties naming nonexistent regions or groups."""
+    region_ids = {r.id for r in ctx.platform.memory_regions()}
+    groups = set(ctx.platform.groups())
+    for kind, owner_id, _cls, prop in ctx.properties():
+        target = prop.value.text.strip()
+        if prop.name in _REGION_REFS and target not in region_ids:
+            yield Finding(
+                message=(
+                    f"{_owner_label(kind, owner_id)}: {prop.name} references"
+                    f" memory region {target!r}, which is not declared"
+                ),
+                location=ctx.location,
+                subject=owner_id,
+                hint=(
+                    f"declared regions: {sorted(region_ids) or '(none)'}"
+                ),
+            )
+        elif prop.name in _GROUP_REFS and target not in groups:
+            yield Finding(
+                message=(
+                    f"{_owner_label(kind, owner_id)}: {prop.name} references"
+                    f" LogicGroupAttribute {target!r}, which no PU declares"
+                ),
+                location=ctx.location,
+                subject=owner_id,
+                hint=f"declared groups: {sorted(groups) or '(none)'}",
+            )
+
+
+# ---------------------------------------------------------------------------
+# PDL010 — interconnect reachability
+# ---------------------------------------------------------------------------
+def _memory_anchor(pu: ProcessingUnit) -> Optional[ProcessingUnit]:
+    """The nearest ancestor holding a memory region — the controller
+    memory a Worker's data must travel from/to."""
+    for ancestor in pu.ancestors():
+        if ancestor.memory_regions:
+            return ancestor
+    return None
+
+
+def check_reachability(ctx: PdlContext) -> Iterable[Finding]:
+    """Workers/Hybrids with no declared route to their controller's memory.
+
+    Only meaningful when the document models both interconnects and
+    memory regions; descriptors that omit either (e.g. minimal examples)
+    imply connectivity through the control hierarchy and are skipped.
+    """
+    platform = ctx.platform
+    if not platform.interconnects() or not platform.memory_regions():
+        return
+    # imported lazily: networkx stays out of the import path of callers
+    # that never run this rule
+    from repro.query.paths import InterconnectGraph
+
+    graph = InterconnectGraph(platform)
+    for pu in platform.walk():
+        if pu.kind == "Master":
+            continue
+        anchor = _memory_anchor(pu)
+        if anchor is None:
+            continue
+        if _has_route(graph, pu.id, anchor.id):
+            continue
+        regions = ", ".join(r.id for r in anchor.memory_regions)
+        yield Finding(
+            message=(
+                f"{pu.kind} {pu.id!r} has no interconnect route to"
+                f" {anchor.kind} {anchor.id!r}, which holds its controller"
+                f" memory ({regions}) — transfers to this PU cannot be"
+                f" derived"
+            ),
+            location=ctx.location,
+            subject=pu.id,
+            hint=f"declare an Interconnect between {anchor.id!r} and {pu.id!r}",
+        )
+
+
+def _has_route(graph, a: str, b: str) -> bool:
+    for src, dst in ((a, b), (b, a)):
+        try:
+            graph.shortest(src, dst)
+            return True
+        except PathError:
+            continue
+    return False
+
+
+# ---------------------------------------------------------------------------
+# PDL011 / PDL012 — duplicate and asymmetric links
+# ---------------------------------------------------------------------------
+def check_duplicate_links(ctx: PdlContext) -> Iterable[Finding]:
+    """More than one link of the same type between the same endpoints."""
+    seen: dict[tuple, list[str]] = {}
+    for _pu, ic in ctx.interconnects():
+        key = (frozenset((ic.from_pu, ic.to_pu)), ic.type)
+        seen.setdefault(key, []).append(ic.id)
+    for (endpoints, link_type), ids in sorted(
+        seen.items(), key=lambda item: sorted(item[1])
+    ):
+        if len(ids) < 2:
+            continue
+        pair = " <-> ".join(sorted(endpoints))
+        yield Finding(
+            message=(
+                f"duplicate {link_type!r} interconnects between {pair}:"
+                f" {sorted(ids)}"
+            ),
+            location=ctx.location,
+            subject=sorted(ids)[0],
+            hint="merge duplicates or give the links distinct types",
+        )
+
+
+def check_asymmetric_links(ctx: PdlContext) -> Iterable[Finding]:
+    """Unidirectional links with no (or contradictory) return direction."""
+    links = [ic for _pu, ic in ctx.interconnects()]
+    for ic in links:
+        if ic.bidirectional:
+            continue
+        reverse = [
+            other
+            for other in links
+            if other.from_pu == ic.to_pu and other.to_pu == ic.from_pu
+        ]
+        if not reverse:
+            yield Finding(
+                message=(
+                    f"interconnect {ic.id!r} ({ic.from_pu} -> {ic.to_pu}) is"
+                    f" unidirectional and no link declares the return"
+                    f" direction"
+                ),
+                location=ctx.location,
+                subject=ic.id,
+                hint=(
+                    "mark the link bidirectional or declare the reverse"
+                    " direction explicitly"
+                ),
+            )
+            continue
+        for other in reverse:
+            if ic.id >= other.id:
+                continue  # report each asymmetric pair once
+            mismatched = [
+                name
+                for name, a, b in (
+                    ("bandwidth", ic.bandwidth_bytes_per_s, other.bandwidth_bytes_per_s),
+                    ("latency", ic.latency_s, other.latency_s),
+                )
+                if a is not None and b is not None and a != b
+            ]
+            if mismatched:
+                yield Finding(
+                    message=(
+                        f"interconnects {ic.id!r} and {other.id!r} form a"
+                        f" directed pair but disagree on"
+                        f" {' and '.join(mismatched)}"
+                    ),
+                    location=ctx.location,
+                    subject=ic.id,
+                    hint="symmetric links should declare identical figures",
+                )
+
+
+# ---------------------------------------------------------------------------
+# PDL020 / PDL021 — schema versions and subschema types
+# ---------------------------------------------------------------------------
+def check_schema_version(ctx: PdlContext) -> Iterable[Finding]:
+    version = ctx.platform.schema_version
+    if version not in _SUPPORTED_SCHEMA_VERSIONS:
+        yield Finding(
+            message=(
+                f"document declares schemaVersion {version!r}; this"
+                f" toolchain supports {', '.join(_SUPPORTED_SCHEMA_VERSIONS)}"
+            ),
+            location=ctx.location,
+            subject=ctx.platform.name,
+            hint="regenerate the descriptor against a supported schema",
+        )
+
+
+def check_subschema_types(ctx: PdlContext) -> Iterable[Finding]:
+    """Property types no registered subschema defines (stale or unknown)."""
+    from repro.pdl.schema import default_registry
+
+    registry = default_registry()
+    known_prefixes = sorted(s.prefix for s in registry.subschemas())
+    for kind, owner_id, _cls, prop in ctx.properties():
+        if prop.type_name is None:
+            continue
+        if registry.lookup_type(prop.type_name) is not None:
+            continue
+        prefix = prop.namespace
+        if prefix and registry.subschema(prefix) is None:
+            message = (
+                f"{_owner_label(kind, owner_id)}: property {prop.name!r}"
+                f" uses type {prop.type_name!r} from unregistered"
+                f" subschema prefix {prefix!r}"
+            )
+            hint = f"registered subschemas: {known_prefixes}"
+        else:
+            sub = registry.subschema(prefix) if prefix else None
+            stale = (
+                f" (registered {prefix!r} is version {sub.version})"
+                if sub is not None
+                else ""
+            )
+            message = (
+                f"{_owner_label(kind, owner_id)}: property {prop.name!r}"
+                f" has unknown type {prop.type_name!r}{stale}"
+            )
+            hint = "update the subschema registration or the descriptor"
+        yield Finding(
+            message=message, location=ctx.location, subject=owner_id, hint=hint
+        )
+
+
+# ---------------------------------------------------------------------------
+# PDL030 — unfixed-property flow
+# ---------------------------------------------------------------------------
+def check_unfixed_flow(ctx: PdlContext) -> Iterable[Finding]:
+    """Unfixed slots nothing can instantiate.
+
+    An unfixed property is fine when a later stage can fill it: properties
+    with a namespaced subschema type are resolved by runtime discovery
+    (§III-B), and :mod:`repro.tune.latebind` writes the measured names in
+    :data:`LATEBIND_FILLABLE`.  Anything else stays unfixed forever.
+    """
+    for kind, owner_id, owner_class, prop in ctx.properties():
+        if prop.fixed:
+            continue
+        if prop.namespace is not None:
+            continue  # discovery fills namespaced (ocl:/cuda:/...) slots
+        if prop.name in LATEBIND_FILLABLE.get(owner_class, frozenset()):
+            continue
+        fillable = sorted(LATEBIND_FILLABLE.get(owner_class, frozenset()))
+        yield Finding(
+            message=(
+                f"{_owner_label(kind, owner_id)}: unfixed property"
+                f" {prop.name!r} has no instantiation path — it is neither"
+                f" namespaced (discovery) nor late-bindable by repro-tune"
+            ),
+            location=ctx.location,
+            subject=owner_id,
+            hint=(
+                f"fix the value, give it a subschema type, or use one of"
+                f" the tunable names {fillable or '(none for this entity)'}"
+            ),
+        )
+
+
+def _rule(rule_id, name, severity, summary, check):
+    from repro.analysis.rules import Rule
+
+    return Rule(
+        id=rule_id,
+        name=name,
+        pack="pdl",
+        severity=severity,
+        summary=summary,
+        check=check,
+    )
+
+
+RULES = [
+    _rule(
+        "PDL001",
+        "unit-dimension-conflict",
+        Severity.ERROR,
+        "comparable properties mix units of different physical dimensions",
+        check_unit_dimensions,
+    ),
+    _rule(
+        "PDL002",
+        "unknown-unit",
+        Severity.ERROR,
+        "property unit is not a known PDL unit",
+        check_unknown_units,
+    ),
+    _rule(
+        "PDL003",
+        "dangling-reference",
+        Severity.ERROR,
+        "reference property names an undeclared memory region or group",
+        check_dangling_references,
+    ),
+    _rule(
+        "PDL010",
+        "unreachable-pu",
+        Severity.ERROR,
+        "PU has no interconnect route to its controller's memory",
+        check_reachability,
+    ),
+    _rule(
+        "PDL011",
+        "duplicate-link",
+        Severity.WARNING,
+        "multiple interconnects of one type between the same endpoints",
+        check_duplicate_links,
+    ),
+    _rule(
+        "PDL012",
+        "asymmetric-link",
+        Severity.WARNING,
+        "unidirectional link without a consistent return direction",
+        check_asymmetric_links,
+    ),
+    _rule(
+        "PDL020",
+        "stale-schema-version",
+        Severity.WARNING,
+        "document schemaVersion is not supported by this toolchain",
+        check_schema_version,
+    ),
+    _rule(
+        "PDL021",
+        "unknown-subschema-type",
+        Severity.WARNING,
+        "property type is not defined by any registered subschema",
+        check_subschema_types,
+    ),
+    _rule(
+        "PDL030",
+        "unfillable-unfixed-property",
+        Severity.WARNING,
+        "unfixed property that neither discovery nor late binding can fill",
+        check_unfixed_flow,
+    ),
+]

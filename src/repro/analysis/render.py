@@ -1,0 +1,143 @@
+"""Render lint reports as text, JSON, or SARIF 2.1.0.
+
+All three formats are projections of the same sorted diagnostic list, so
+one run rendered twice always carries identical findings — the JSON and
+SARIF outputs differ in envelope only.  JSON/SARIF are emitted with
+sorted keys and stable ordering for byte-reproducibility.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+from repro.analysis.diagnostics import Diagnostic, LintReport, Severity
+from repro.analysis.rules import RuleRegistry
+
+__all__ = ["render_text", "render_json", "render_sarif", "FORMATS"]
+
+FORMATS = ("text", "json", "sarif")
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_SARIF_LEVELS = {
+    Severity.NOTE: "note",
+    Severity.WARNING: "warning",
+    Severity.ERROR: "error",
+}
+
+
+def render_text(reports: Iterable[LintReport]) -> str:
+    lines = []
+    total_findings = 0
+    for report in reports:
+        ordered = report.sorted()
+        lines.append(f"== {ordered.artifact} ({ordered.kind})")
+        if not ordered.diagnostics:
+            lines.append("   clean")
+        for diagnostic in ordered:
+            total_findings += 1
+            for row in diagnostic.format().splitlines():
+                lines.append(f"   {row}")
+        lines.append(f"   {ordered.summary()}")
+    lines.append(f"total findings: {total_findings}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(reports: Iterable[LintReport]) -> str:
+    reports = list(reports)
+    payload = {
+        "tool": "repro-lint",
+        "version": "1.0",
+        "ok": all(r.ok for r in reports),
+        "reports": [r.to_payload() for r in reports],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_location(diagnostic: Diagnostic) -> list:
+    location = diagnostic.location
+    if location is None or not location.to_payload():
+        return []
+    physical: dict = {}
+    if location.file is not None:
+        physical["artifactLocation"] = {"uri": location.file}
+    if location.line is not None:
+        region = {"startLine": location.line}
+        if location.column is not None:
+            region["startColumn"] = location.column
+        physical["region"] = region
+    return [{"physicalLocation": physical}]
+
+
+def render_sarif(
+    reports: Iterable[LintReport], *, registry: Optional[RuleRegistry] = None
+) -> str:
+    """One SARIF run holding every report's results.
+
+    Rule metadata (``tool.driver.rules``) is included for each rule that
+    fired, so SARIF viewers can show names and summaries.
+    """
+    reports = list(reports)
+    results = []
+    fired: set[str] = set()
+    for report in reports:
+        for diagnostic in report.sorted():
+            fired.add(diagnostic.rule)
+            result = {
+                "ruleId": diagnostic.rule,
+                "level": _SARIF_LEVELS[diagnostic.severity],
+                "message": {"text": diagnostic.message},
+                "locations": _sarif_location(diagnostic),
+                "properties": {"artifact": report.artifact, "pack": report.kind},
+            }
+            if diagnostic.subject is not None:
+                result["properties"]["subject"] = diagnostic.subject
+            if diagnostic.hint is not None:
+                result["properties"]["hint"] = diagnostic.hint
+            results.append(result)
+
+    rules_meta = []
+    if registry is not None:
+        for rule_id in sorted(fired):
+            if rule_id not in registry:
+                continue
+            rule = registry.rule(rule_id)
+            rules_meta.append(
+                {
+                    "id": rule.id,
+                    "name": rule.name,
+                    "shortDescription": {"text": rule.summary},
+                    "defaultConfiguration": {
+                        "level": _SARIF_LEVELS[rule.severity]
+                    },
+                }
+            )
+
+    driver: dict = {"name": "repro-lint", "informationUri": "", "version": "1.0"}
+    if rules_meta:
+        driver["rules"] = rules_meta
+    sarif = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [{"tool": {"driver": driver}, "results": results}],
+    }
+    return json.dumps(sarif, indent=2, sort_keys=True) + "\n"
+
+
+def render(
+    reports: Iterable[LintReport],
+    fmt: str,
+    *,
+    registry: Optional[RuleRegistry] = None,
+) -> str:
+    if fmt == "text":
+        return render_text(reports)
+    if fmt == "json":
+        return render_json(reports)
+    if fmt == "sarif":
+        return render_sarif(reports, registry=registry)
+    raise ValueError(f"unknown format {fmt!r}; use {', '.join(FORMATS)}")

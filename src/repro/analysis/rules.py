@@ -1,0 +1,174 @@
+"""Rule registry: stable IDs, default severities, selection, overrides.
+
+Rule IDs are part of the tool's public contract (CI configurations and
+suppression lists reference them), so IDs are never reused and renaming a
+rule keeps its ID.  Conventions::
+
+    PDL0xx   descriptor-local rules      (pack "pdl")
+    CAS0xx   program-local rules         (pack "cascabel")
+    XAR0xx   cross-artifact rules        (pack "cross")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Optional
+
+from repro.analysis.diagnostics import Diagnostic, Finding, Severity
+
+__all__ = ["Rule", "RuleRegistry", "LintConfig", "default_registry"]
+
+_RULE_ID = re.compile(r"^[A-Z]{3}\d{3}$")
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: identity, default severity, and its check function.
+
+    ``check`` receives the pack-specific context object and yields
+    :class:`~repro.analysis.diagnostics.Finding` instances; the engine
+    stamps the rule ID and the (possibly overridden) severity.
+    """
+
+    id: str
+    name: str  # kebab-case slug, e.g. "unit-dimension-conflict"
+    pack: str  # "pdl" | "cascabel" | "cross"
+    severity: Severity
+    summary: str  # one line for --list-rules and SARIF metadata
+    check: Callable[..., Iterable[Finding]] = field(compare=False, repr=False)
+
+    def __post_init__(self):
+        if not _RULE_ID.match(self.id):
+            raise ValueError(f"rule id {self.id!r} is not of the form ABC123")
+
+
+class RuleRegistry:
+    """All known rules, addressable by stable ID."""
+
+    def __init__(self):
+        self._rules: dict[str, Rule] = {}
+
+    def register(self, rule: Rule) -> Rule:
+        if rule.id in self._rules:
+            raise ValueError(f"duplicate rule id {rule.id!r}")
+        self._rules[rule.id] = rule
+        return rule
+
+    def register_all(self, rules: Iterable[Rule]) -> None:
+        for rule in rules:
+            self.register(rule)
+
+    def rule(self, rule_id: str) -> Rule:
+        try:
+            return self._rules[rule_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown rule {rule_id!r}; known: {sorted(self._rules)}"
+            ) from None
+
+    def rules(self, pack: Optional[str] = None) -> list[Rule]:
+        out = [
+            r
+            for r in self._rules.values()
+            if pack is None or r.pack == pack
+        ]
+        return sorted(out, key=lambda r: r.id)
+
+    def ids(self) -> list[str]:
+        return sorted(self._rules)
+
+    def __contains__(self, rule_id: str) -> bool:
+        return rule_id in self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+
+def _normalize_patterns(patterns) -> Optional[frozenset]:
+    if patterns is None:
+        return None
+    if isinstance(patterns, str):
+        patterns = [patterns]
+    return frozenset(str(p).strip() for p in patterns if str(p).strip())
+
+
+def _matches(rule_id: str, patterns: frozenset) -> bool:
+    """``PDL001`` matches itself and any prefix (``PDL``, ``PDL0``)."""
+    return any(rule_id.startswith(pattern) for pattern in patterns)
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Per-run rule selection and severity overrides.
+
+    ``select``/``ignore`` accept exact IDs or prefixes (``CAS`` enables
+    the whole Cascabel pack).  ``ignore`` wins over ``select``.
+    """
+
+    select: Optional[frozenset] = None  # None = all rules
+    ignore: frozenset = frozenset()
+    severity_overrides: Mapping[str, Severity] = field(default_factory=dict)
+    fail_on: Severity = Severity.WARNING
+
+    @classmethod
+    def build(
+        cls,
+        *,
+        select=None,
+        ignore=None,
+        severity_overrides: Optional[Mapping[str, str]] = None,
+        fail_on="warning",
+    ) -> "LintConfig":
+        overrides = {
+            str(rule_id): (
+                sev if isinstance(sev, Severity) else Severity.parse(sev)
+            )
+            for rule_id, sev in (severity_overrides or {}).items()
+        }
+        return cls(
+            select=_normalize_patterns(select),
+            ignore=_normalize_patterns(ignore) or frozenset(),
+            severity_overrides=overrides,
+            fail_on=(
+                fail_on
+                if isinstance(fail_on, Severity)
+                else Severity.parse(fail_on)
+            ),
+        )
+
+    def enabled(self, rule: Rule) -> bool:
+        if self.ignore and _matches(rule.id, self.ignore):
+            return False
+        if self.select is not None:
+            return _matches(rule.id, self.select)
+        return True
+
+    def effective_severity(self, rule: Rule) -> Severity:
+        for pattern, severity in self.severity_overrides.items():
+            if rule.id == pattern or rule.id.startswith(pattern):
+                return severity
+        return rule.severity
+
+    def stamp(self, rule: Rule, finding: Finding) -> Diagnostic:
+        return Diagnostic(
+            rule=rule.id,
+            severity=self.effective_severity(rule),
+            message=finding.message,
+            location=finding.location,
+            subject=finding.subject,
+            hint=finding.hint,
+        )
+
+
+def default_registry() -> RuleRegistry:
+    """A fresh registry holding every built-in rule pack."""
+    # imported here, not at module top: the packs pull in model/cascabel/
+    # query layers that must not become dependencies of the diagnostic core
+    from repro.analysis import cascabel_rules, cross_rules, pdl_rules
+
+    registry = RuleRegistry()
+    registry.register_all(pdl_rules.RULES)
+    registry.register_all(cascabel_rules.RULES)
+    registry.register_all(cross_rules.RULES)
+    return registry

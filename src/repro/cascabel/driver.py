@@ -15,7 +15,7 @@ XTRA-RETARGET experiment).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.model.platform import Platform
@@ -42,6 +42,8 @@ class TranslationResult:
     mapping: MappingReport
     output: GeneratedOutput
     plan: CompilationPlan
+    #: lint reports (program + cross pack) when translate ran with lint
+    lint_reports: list = field(default_factory=list)
 
     @property
     def backend_name(self) -> str:
@@ -103,6 +105,7 @@ def translate(
     backend: Optional[Backend] = None,
     with_builtin_variants: bool = True,
     executable: Optional[str] = None,
+    lint: str = "warn",
 ) -> TranslationResult:
     """Translate one annotated program for one target platform.
 
@@ -120,13 +123,25 @@ def translate(
     with_builtin_variants:
         Add the stock accelerator variants (CUBLAS/SPE) to the repository,
         as the paper's task-implementation repository provides.
+    lint:
+        ``"warn"`` (default) runs the Cascabel and cross-artifact rule
+        packs and attaches their reports to
+        :attr:`TranslationResult.lint_reports`; ``"strict"`` additionally
+        raises :class:`~repro.errors.LintError` on error-severity
+        findings; ``"off"`` skips linting.
     """
+    if lint not in ("off", "warn", "strict"):
+        raise ValueError(f"lint must be 'off', 'warn', or 'strict', got {lint!r}")
     program = (
         source
         if isinstance(source, AnnotatedProgram)
         else parse_program(source, filename=filename)
     )
     target = platform if isinstance(platform, Platform) else load_platform(platform)
+
+    lint_reports: list = []
+    if lint != "off":
+        lint_reports = _lint_translation(program, target, strict=lint == "strict")
 
     repo = repository if repository is not None else TaskRepository()
     repo.register_program(program)  # step 1: task registration
@@ -148,4 +163,42 @@ def translate(
         mapping=mapping,
         output=output,
         plan=plan,
+        lint_reports=lint_reports,
     )
+
+
+def _lint_translation(
+    program: AnnotatedProgram, target: Platform, *, strict: bool
+) -> list:
+    """Run the Cascabel + cross rule packs over one translation's inputs.
+
+    Lints the variants the program itself defines — the auto-injected
+    builtin expert variants are speculative retargeting stock and would
+    only add dead-variant noise on targets they don't fit.
+    """
+    from repro.analysis.cascabel_rules import CascabelContext
+    from repro.analysis.diagnostics import Severity
+    from repro.analysis.engine import Linter
+
+    linter = Linter()
+    ctx = CascabelContext(
+        source=program.source,
+        filename=program.filename,
+        program=program,
+        syntax_findings=[],
+    )
+    reports = [
+        linter.lint_program(ctx),
+        linter.lint_cross(ctx, [(target.name, target)]),
+    ]
+    if strict:
+        errors = [d for r in reports for d in r.at_least(Severity.ERROR)]
+        if errors:
+            from repro.errors import LintError
+
+            raise LintError(
+                f"strict lint rejected {program.filename!r}:"
+                f" {len(errors)} error-severity finding(s)",
+                diagnostics=[d.to_payload() for d in errors],
+            )
+    return reports

@@ -34,6 +34,7 @@ class PragmaDirective:
     text: str  # joined pragma text, single-spaced, without '#pragma'
     line: int  # 1-based line of the first physical line
     end_line: int  # last physical line of the directive
+    column: int = 1  # 1-based column of the '#' on the first line
 
 
 @dataclass(frozen=True)
@@ -61,6 +62,7 @@ class CallStatement:
     arguments: tuple[str, ...]
     text: str
     line: int
+    column: int = 1  # 1-based column where the statement starts
 
 
 def strip_comments(source: str) -> str:
@@ -135,6 +137,7 @@ def scan_pragmas(source: str, *, prefix: str = "cascabel") -> list[PragmaDirecti
         stripped = lines[i].strip()
         if stripped.startswith("#pragma"):
             start = i
+            column = lines[i].index("#") + 1
             text = stripped
             while text.endswith("\\"):
                 text = text[:-1].rstrip()
@@ -151,6 +154,7 @@ def scan_pragmas(source: str, *, prefix: str = "cascabel") -> list[PragmaDirecti
                         text=" ".join(body.split()),
                         line=start + 1,
                         end_line=i + 1,
+                        column=column,
                     )
                 )
         i += 1
@@ -243,9 +247,17 @@ def extract_call(source: str, after_line: int) -> CallStatement:
     name = head.split()[-1].lstrip("*&")
     args = tuple(a.strip() for a in _split_params(text[paren + 1 : close]))
     line = text.count("\n", 0, offset) + 1
+    # column of the statement's first non-whitespace character on its line
+    stmt_start = offset
+    while stmt_start < paren and text[stmt_start].isspace():
+        stmt_start += 1
+    line_start = text.rfind("\n", 0, stmt_start) + 1
+    column = stmt_start - line_start + 1
     stmt_end = text.find(";", close)
     stmt = text[offset : stmt_end + 1 if stmt_end != -1 else close + 1].strip()
-    return CallStatement(name=name, arguments=args, text=stmt, line=line)
+    return CallStatement(
+        name=name, arguments=args, text=stmt, line=line, column=column
+    )
 
 
 def parse_signature(decl: str) -> tuple[str, str, tuple[str, ...]]:

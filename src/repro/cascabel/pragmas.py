@@ -69,6 +69,7 @@ class TaskPragma:
     variant_name: str  # taskname
     parameters: tuple[ParameterSpec, ...]
     line: int
+    column: int = 1  # 1-based column of the directive's '#'
 
     def parameter(self, name: str) -> ParameterSpec:
         for p in self.parameters:
@@ -87,6 +88,7 @@ class ExecutePragma:
     execution_group: str
     distributions: tuple[DistributionSpec, ...]
     line: int
+    column: int = 1  # 1-based column of the directive's '#'
 
     def distribution(self, name: str) -> Optional[DistributionSpec]:
         for d in self.distributions:
@@ -106,10 +108,13 @@ def parse_pragma(directive: PragmaDirective):
             f"not a cascabel pragma: {text!r}", line=directive.line
         )
     rest = text[len("cascabel") :].strip()
+    column = getattr(directive, "column", 1)
     if rest.startswith("task"):
-        return _parse_task(rest[len("task") :].strip(), directive.line)
+        return _parse_task(rest[len("task") :].strip(), directive.line, column)
     if rest.startswith("execute"):
-        return _parse_execute(rest[len("execute") :].strip(), directive.line)
+        return _parse_execute(
+            rest[len("execute") :].strip(), directive.line, column
+        )
     raise PragmaSyntaxError(
         f"unknown cascabel pragma kind in {text!r}"
         " (expected 'task' or 'execute')",
@@ -117,7 +122,7 @@ def parse_pragma(directive: PragmaDirective):
     )
 
 
-def _parse_task(body: str, line: int) -> TaskPragma:
+def _parse_task(body: str, line: int, column: int = 1) -> TaskPragma:
     # body: ": targets : interface : name : (params)"
     sections = _split_colons(body, line)
     if len(sections) != 4:
@@ -168,10 +173,11 @@ def _parse_task(body: str, line: int) -> TaskPragma:
         variant_name=variant_name.strip(),
         parameters=tuple(params),
         line=line,
+        column=column,
     )
 
 
-def _parse_execute(body: str, line: int) -> ExecutePragma:
+def _parse_execute(body: str, line: int, column: int = 1) -> ExecutePragma:
     # body: "Iface : group (dists)"  — distributions attach to the last section
     dist_specs: tuple[DistributionSpec, ...] = ()
     paren = body.find("(")
@@ -202,6 +208,7 @@ def _parse_execute(body: str, line: int) -> ExecutePragma:
         execution_group=group,
         distributions=dist_specs,
         line=line,
+        column=column,
     )
 
 

@@ -38,6 +38,7 @@ __all__ = [
     "PerfModelError",
     "KernelError",
     "TuningError",
+    "LintError",
     "ServiceError",
     "ServiceProtocolError",
     "ServiceOverloadError",
@@ -141,10 +142,13 @@ class CascabelError(ReproError):
 class PragmaSyntaxError(CascabelError):
     """A ``#pragma cascabel`` annotation is malformed."""
 
-    def __init__(self, message, *, line=None, pragma=None):
+    def __init__(self, message, *, line=None, column=None, pragma=None):
         self.line = line
+        self.column = column
         self.pragma = pragma
         loc = f" at line {line}" if line is not None else ""
+        if line is not None and column is not None:
+            loc += f", column {column}"
         super().__init__(f"pragma syntax error{loc}: {message}")
 
 
@@ -225,6 +229,21 @@ class KernelError(ReproError):
 
 class TuningError(ReproError):
     """Autotuning subsystem failure (calibration, database, late binding)."""
+
+
+# --------------------------------------------------------------------------
+# Static analysis
+# --------------------------------------------------------------------------
+class LintError(ReproError):
+    """Strict-mode lint rejected an artifact.
+
+    :attr:`diagnostics` carries the offending finding payloads (the
+    ``Diagnostic.to_payload()`` shape of :mod:`repro.analysis`).
+    """
+
+    def __init__(self, message, *, diagnostics=None):
+        self.diagnostics = list(diagnostics or [])
+        super().__init__(message)
 
 
 # --------------------------------------------------------------------------

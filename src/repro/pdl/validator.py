@@ -45,6 +45,31 @@ class ValidationReport:
         if not self.ok:
             raise ValidationError(self.structural + self.schema)
 
+    def to_payload(self) -> dict:
+        """JSON-safe dict sharing the diagnostic shape of ``repro.analysis``.
+
+        Structural violations map to VAL001, schema violations to VAL002
+        (both errors); unresolved unfixed properties to VAL010 (note).
+        """
+
+        def entry(rule: str, severity: str, message: str) -> dict:
+            return {"rule": rule, "severity": severity, "message": message}
+
+        diagnostics = (
+            [entry("VAL001", "error", m) for m in self.structural]
+            + [entry("VAL002", "error", m) for m in self.schema]
+            + [entry("VAL010", "note", m) for m in self.unfixed]
+        )
+        return {
+            "ok": self.ok,
+            "counts": {
+                "error": len(self.structural) + len(self.schema),
+                "warning": 0,
+                "note": len(self.unfixed),
+            },
+            "diagnostics": diagnostics,
+        }
+
     def summary(self) -> str:
         lines = [
             f"structural violations: {len(self.structural)}",

@@ -138,14 +138,29 @@ class RegistryClient:
     def platforms(self) -> list[dict]:
         return self.request("GET", "/platforms")["platforms"]
 
-    def publish(self, name: str, descriptor: Union[str, bytes, Platform]) -> dict:
-        """Publish XML text or an in-memory :class:`Platform` under ``name``."""
+    def publish(
+        self,
+        name: str,
+        descriptor: Union[str, bytes, Platform],
+        *,
+        strict_lint: bool = False,
+    ) -> dict:
+        """Publish XML text or an in-memory :class:`Platform` under ``name``.
+
+        With ``strict_lint`` the registry lints the descriptor first and
+        rejects error-severity findings with
+        :class:`~repro.errors.LintError` (the finding payloads ride along
+        on the exception's ``diagnostics``).
+        """
         if isinstance(descriptor, Platform):
             descriptor = write_pdl(descriptor)
         if isinstance(descriptor, str):
             descriptor = descriptor.encode("utf-8")
         return self.request(
-            "PUT", f"/platforms/{quote(name, safe='')}", body=descriptor
+            "PUT",
+            f"/platforms/{quote(name, safe='')}",
+            body=descriptor,
+            params={"strict": "1"} if strict_lint else None,
         )
 
     def fetch(self, ref: str) -> dict:
@@ -172,6 +187,11 @@ class RegistryClient:
         return self.request(
             "GET", f"/platforms/{quote(ref, safe='')}/query", params=params
         )
+
+    def lint(self, ref: str) -> dict:
+        """Lint a stored version; returns the ``LintReport`` payload plus
+        the resolved digest (findings never raise — inspect ``ok``)."""
+        return self.request("POST", "/lint", body=protocol.dumps({"ref": ref}))
 
     def diff(self, old_ref: str, new_ref: str) -> dict:
         return self.request(

@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.errors import (
     CascabelError,
+    LintError,
     PDLError,
     QueryError,
     ReproError,
@@ -62,6 +63,7 @@ _ERROR_MAP: list[tuple[type, int, str]] = [
     (ServiceOverloadError, 429, "overloaded"),
     (ServiceProtocolError, 400, "bad-request"),
     (ServiceError, 500, "service-error"),
+    (LintError, 422, "lint-error"),
     (SelectionError, 422, "selection-error"),
     (RepositoryError, 422, "repository-error"),
     (CascabelError, 422, "cascabel-error"),
@@ -77,6 +79,7 @@ _CODE_MAP: dict[str, type] = {
     "overloaded": ServiceOverloadError,
     "bad-request": ServiceProtocolError,
     "service-error": ServiceError,
+    "lint-error": LintError,
     "selection-error": SelectionError,
     "repository-error": RepositoryError,
     "cascabel-error": CascabelError,
@@ -109,14 +112,15 @@ def error_payload(exc: Exception) -> tuple[int, dict]:
     """
     for cls, status, code in _ERROR_MAP:
         if isinstance(exc, cls):
-            return status, {
-                "error": {
-                    "code": code,
-                    "type": type(exc).__name__,
-                    "message": str(exc),
-                    "status": status,
-                }
+            error = {
+                "code": code,
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "status": status,
             }
+            if isinstance(exc, LintError) and exc.diagnostics:
+                error["diagnostics"] = list(exc.diagnostics)
+            return status, {"error": error}
     return 500, {
         "error": {
             "code": "internal-error",
@@ -141,4 +145,6 @@ def raise_for_error(
     cls = _CODE_MAP.get(code)
     if cls is None:
         cls = ServiceProtocolError if status < 500 else ServiceError
+    if cls is LintError:
+        raise LintError(message, diagnostics=error.get("diagnostics"))
     raise cls(message)

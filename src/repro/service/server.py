@@ -18,6 +18,7 @@ Endpoints
 ``DELETE /platforms/{name}``                 drop a tag (blob stays)
 ``GET  /platforms/{ref}/query?selector=…``   delegate to :mod:`repro.query`
 ``POST /tags``                               move a tag: ``{"name", "ref"}``
+``POST /lint``                               lint a stored version: ``{"ref": ...}``
 ``POST /diff``                               ``{"old", "new"}`` → structural diff
 ``POST /preselect``                          batched Cascabel pre-selection
 ``GET  /profiles``                           stored tuning profiles (digest summaries)
@@ -300,6 +301,7 @@ class RegistryServer:
                 self._ep_query,
             ),
             ("POST", re.compile(r"^/tags$"), "POST /tags", self._ep_retag),
+            ("POST", re.compile(r"^/lint$"), "POST /lint", self._ep_lint),
             ("POST", re.compile(r"^/diff$"), "POST /diff", self._ep_diff),
             (
                 "POST",
@@ -438,7 +440,8 @@ class RegistryServer:
             raise ServiceProtocolError(
                 "PUT /platforms/{name} requires a PDL XML body"
             )
-        result = self.store.publish(name, request.body)
+        strict = request.query.get("strict", "").lower() in ("1", "true", "yes")
+        result = self.store.publish(name, request.body, strict_lint=strict)
         return _Response(201 if result.created else 200, result.to_payload())
 
     def _ep_fetch(self, request: _Request, ref: str) -> _Response:
@@ -470,6 +473,12 @@ class RegistryServer:
             )
         result = self.store.retag(str(body["name"]), str(body["ref"]))
         return _Response(200, result.to_payload())
+
+    def _ep_lint(self, request: _Request) -> _Response:
+        body = protocol.loads(request.body)
+        if not isinstance(body, dict) or "ref" not in body:
+            raise ServiceProtocolError('POST /lint expects {"ref": ...}')
+        return _Response(200, self.store.lint(str(body["ref"])))
 
     def _ep_diff(self, request: _Request) -> _Response:
         body = protocol.loads(request.body)

@@ -93,17 +93,36 @@ class DescriptorStore:
         self._profiles: dict[str, dict] = {}
 
     # -- publishing ---------------------------------------------------------
-    def publish(self, name: str, xml_text: Union[str, bytes]) -> PublishResult:
+    def publish(
+        self, name: str, xml_text: Union[str, bytes], *, strict_lint: bool = False
+    ) -> PublishResult:
         """Store a descriptor under ``name``.
 
         The document is parsed (and validated — malformed XML raises
         :class:`~repro.errors.PDLError` before anything is stored),
         canonicalized, and content-addressed.  Publishing identical
         content twice is idempotent.
+
+        With ``strict_lint`` the PDL rule pack runs before anything is
+        stored, and error-severity findings reject the publish with
+        :class:`~repro.errors.LintError`.
         """
         if isinstance(xml_text, bytes):
             xml_text = xml_text.decode("utf-8")
         platform = parse_cached(xml_text, name=name)
+        if strict_lint:
+            from repro.analysis.diagnostics import Severity
+
+            report = self._lint_platform(platform, name)
+            errors = report.at_least(Severity.ERROR)
+            if errors:
+                from repro.errors import LintError
+
+                raise LintError(
+                    f"strict lint rejected {name!r}:"
+                    f" {len(errors)} error-severity finding(s)",
+                    diagnostics=[d.to_payload() for d in errors],
+                )
         canonical = write_pdl(platform)
         digest = content_digest(canonical)
         with self._lock:
@@ -305,6 +324,26 @@ class DescriptorStore:
         payload["fingerprint"] = report.fingerprint()
         self._preselect.put(key, payload)
         return payload, False
+
+    # -- static analysis -----------------------------------------------------
+    @staticmethod
+    def _lint_platform(platform: Platform, filename: str):
+        from repro.analysis.engine import Linter
+
+        return Linter().lint_platform(platform, filename=filename)
+
+    def lint(self, ref: str) -> dict:
+        """Run the PDL rule pack against a stored version.
+
+        Returns the :class:`~repro.analysis.diagnostics.LintReport`
+        payload plus the resolved digest; never raises on findings (the
+        caller decides what severity gates).
+        """
+        digest = self.resolve(ref)
+        report = self._lint_platform(self.platform(digest), self.name_of(digest) or ref)
+        payload = report.to_payload()
+        payload["digest"] = digest
+        return payload
 
     # -- tuning profiles -----------------------------------------------------
     def put_profile(self, ref: str, payload: dict) -> dict:

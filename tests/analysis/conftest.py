@@ -1,0 +1,194 @@
+"""Shared fixtures for the static-analysis tests: descriptors and
+programs with precisely seeded defects, each firing one known rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.engine import Linter
+from repro.pdl.parser import parse_pdl
+
+
+def _pdl(body: str, name: str = "seeded", version: str = "1.0") -> str:
+    return (
+        '<?xml version="1.0" encoding="UTF-8"?>\n'
+        f'<Platform name="{name}" schemaVersion="{version}">\n'
+        f"{body}\n"
+        "</Platform>"
+    )
+
+
+def _prop(name: str, value: str, unit: str = "", fixed: bool = True) -> str:
+    unit_attr = f' unit="{unit}"' if unit else ""
+    return (
+        f'<Property fixed="{"true" if fixed else "false"}">'
+        f"<name>{name}</name><value{unit_attr}>{value}</value></Property>"
+    )
+
+
+#: FREQUENCY declared in GHz on the Master but MB on the Worker → PDL001
+UNIT_CLASH_XML = _pdl(
+    f"""  <Master id="host" quantity="1">
+    <PUDescriptor>
+      {_prop("ARCHITECTURE", "x86_64")}
+      {_prop("FREQUENCY", "2.66", "GHz")}
+    </PUDescriptor>
+    <Worker id="gpu0" quantity="1">
+      <PUDescriptor>
+        {_prop("ARCHITECTURE", "gpu")}
+        {_prop("FREQUENCY", "1.15", "MB")}
+      </PUDescriptor>
+    </Worker>
+  </Master>"""
+)
+
+#: a unit parse_quantity would reject → PDL002
+UNKNOWN_UNIT_XML = _pdl(
+    f"""  <Master id="host" quantity="1">
+    <PUDescriptor>
+      {_prop("ARCHITECTURE", "x86_64")}
+      {_prop("CACHE_SIZE", "8", "parsecs")}
+    </PUDescriptor>
+  </Master>"""
+)
+
+#: AFFINITY names a memory region nobody declares → PDL003
+DANGLING_REF_XML = _pdl(
+    f"""  <Master id="host" quantity="1">
+    <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+    <MemoryRegion id="main">
+      <MRDescriptor>{_prop("SIZE", "4", "GB")}</MRDescriptor>
+    </MemoryRegion>
+    <Worker id="cpu0" quantity="1">
+      <PUDescriptor>
+        {_prop("ARCHITECTURE", "x86_64")}
+        {_prop("AFFINITY", "vram")}
+      </PUDescriptor>
+    </Worker>
+  </Master>"""
+)
+
+#: gpu1 has no interconnect route to the host's memory → PDL010
+UNREACHABLE_PU_XML = _pdl(
+    f"""  <Master id="host" quantity="1">
+    <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+    <MemoryRegion id="main">
+      <MRDescriptor>{_prop("SIZE", "16", "GB")}</MRDescriptor>
+    </MemoryRegion>
+    <Worker id="gpu0" quantity="1">
+      <PUDescriptor>{_prop("ARCHITECTURE", "gpu")}</PUDescriptor>
+    </Worker>
+    <Worker id="gpu1" quantity="1">
+      <PUDescriptor>{_prop("ARCHITECTURE", "gpu")}</PUDescriptor>
+    </Worker>
+    <Interconnect id="pcie0" type="PCIe" from="host" to="gpu0">
+      <ICDescriptor>{_prop("BANDWIDTH", "5.7", "GB/s")}</ICDescriptor>
+    </Interconnect>
+  </Master>"""
+)
+
+#: two PCIe links between the same endpoints → PDL011; plus a
+#: unidirectional link without a return direction → PDL012
+LINK_DEFECTS_XML = _pdl(
+    f"""  <Master id="host" quantity="1">
+    <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+    <Worker id="gpu0" quantity="1">
+      <PUDescriptor>{_prop("ARCHITECTURE", "gpu")}</PUDescriptor>
+    </Worker>
+    <Worker id="gpu1" quantity="1">
+      <PUDescriptor>{_prop("ARCHITECTURE", "gpu")}</PUDescriptor>
+    </Worker>
+    <Interconnect id="pcie0" type="PCIe" from="host" to="gpu0">
+      <ICDescriptor>{_prop("BANDWIDTH", "5.7", "GB/s")}</ICDescriptor>
+    </Interconnect>
+    <Interconnect id="pcie0b" type="PCIe" from="gpu0" to="host">
+      <ICDescriptor>{_prop("BANDWIDTH", "5.7", "GB/s")}</ICDescriptor>
+    </Interconnect>
+    <Interconnect id="dma1" type="DMA" from="host" to="gpu1"
+                  bidirectional="false">
+      <ICDescriptor>{_prop("BANDWIDTH", "2.0", "GB/s")}</ICDescriptor>
+    </Interconnect>
+  </Master>"""
+)
+
+#: unfixed, un-namespaced, not late-bindable → PDL030
+UNFILLABLE_XML = _pdl(
+    f"""  <Master id="host" quantity="1">
+    <PUDescriptor>
+      {_prop("ARCHITECTURE", "x86_64")}
+      {_prop("MAGIC_FACTOR", "", fixed=False)}
+    </PUDescriptor>
+  </Master>"""
+)
+
+#: future schema version → PDL020
+STALE_SCHEMA_XML = _pdl(
+    f"""  <Master id="host" quantity="1">
+    <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+  </Master>""",
+    version="9.9",
+)
+
+#: shared buffer written from two different execution groups → CAS010
+RACY_PROGRAM = """\
+#pragma cascabel task : x86 : Iaxpy : axpy_serial : (A: readwrite, B: read)
+void axpy_serial(double *A, double *B) { A[0] += B[0]; }
+
+#pragma cascabel execute Iaxpy : cpus (A:BLOCK:4)
+axpy_serial(buf, src);
+
+#pragma cascabel execute Iaxpy : executionset01 (A:BLOCK:4)
+axpy_serial(buf, other);
+"""
+
+#: one side writes what the other reads, across groups → CAS011
+READ_WRITE_RACE_PROGRAM = """\
+#pragma cascabel task : x86 : Iscale : scale_serial : (A: write, B: read)
+void scale_serial(double *A, double *B) { A[0] = 2 * B[0]; }
+
+#pragma cascabel execute Iscale : cpus (A:BLOCK:4)
+scale_serial(out, shared);
+
+#pragma cascabel execute Iscale : executionset01 (A:BLOCK:4)
+scale_serial(shared, other);
+"""
+
+#: x86 fallback plus a cellsdk-only variant — dead on a CPU/GPU box → XAR001
+DEAD_VARIANT_PROGRAM = """\
+#pragma cascabel task : x86 : Idgemm : dgemm_cpu : (C: readwrite, A: read, B: read)
+void dgemm_cpu(double *C, double *A, double *B) { }
+
+#pragma cascabel task : cellsdk : Idgemm : dgemm_spe : (C: readwrite, A: read, B: read)
+void dgemm_spe(double *C, double *A, double *B) { }
+
+#pragma cascabel execute Idgemm : executionset01 (C:BLOCK:64)
+dgemm_cpu(C, A, B);
+"""
+
+#: execution group that no shipped descriptor declares → XAR021
+UNKNOWN_GROUP_PROGRAM = """\
+#pragma cascabel task : x86 : Ivecadd : vecadd_cpu : (A: readwrite, B: read)
+void vecadd_cpu(double *A, double *B) { }
+
+#pragma cascabel execute Ivecadd : nosuchgroup (A:BLOCK:4)
+vecadd_cpu(A, B);
+"""
+
+
+@pytest.fixture
+def linter() -> Linter:
+    return Linter()
+
+
+@pytest.fixture
+def parse():
+    """Parse seeded-defect XML without structural validation."""
+
+    def _parse(xml: str):
+        return parse_pdl(xml, validate=False)
+
+    return _parse
+
+
+def rule_ids(report) -> list[str]:
+    return [d.rule for d in report]

@@ -1,0 +1,149 @@
+"""Cascabel rule pack: program-local defects and the access-mode
+dataflow race checks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.cascabel.cli import available_samples, sample_source
+
+from tests.analysis.conftest import (
+    RACY_PROGRAM,
+    READ_WRITE_RACE_PROGRAM,
+    rule_ids,
+)
+
+
+def test_write_write_race_fires_cas010(linter):
+    report = linter.lint_program(RACY_PROGRAM, filename="racy.c")
+    assert rule_ids(report) == ["CAS010"]
+    diag = report.diagnostics[0]
+    assert diag.severity is Severity.ERROR
+    assert diag.subject == "buf"
+    assert diag.location.file == "racy.c"
+    assert diag.location.line == 7  # the second execute pragma
+    assert diag.location.column == 1
+
+
+def test_read_write_race_fires_cas011(linter):
+    report = linter.lint_program(READ_WRITE_RACE_PROGRAM)
+    assert rule_ids(report) == ["CAS011"]
+    diag = report.diagnostics[0]
+    assert diag.severity is Severity.WARNING
+    assert diag.subject == "shared"
+
+
+def test_same_group_executions_do_not_race(linter):
+    source = RACY_PROGRAM.replace("executionset01", "cpus")
+    assert rule_ids(linter.lint_program(source)) == []
+
+
+def test_syntax_error_becomes_cas000(linter):
+    source = "#pragma cascabel task : x86 : OnlyTwoSections\n"
+    report = linter.lint_program(source, filename="broken.c")
+    assert rule_ids(report) == ["CAS000"]
+    diag = report.diagnostics[0]
+    assert diag.location.line == 1
+    assert "4 ':'-separated sections" in diag.message
+
+
+def test_unknown_interface_fires_cas001(linter):
+    source = """\
+#pragma cascabel execute Imissing : cpus (A:BLOCK:4)
+something(A);
+"""
+    assert rule_ids(linter.lint_program(source)) == ["CAS001"]
+
+
+def test_use_before_definition_fires_cas002(linter):
+    source = """\
+#pragma cascabel execute Ilate : cpus (A:BLOCK:4)
+late_cpu(A);
+
+#pragma cascabel task : x86 : Ilate : late_cpu : (A: readwrite)
+void late_cpu(double *A) { }
+"""
+    report = linter.lint_program(source)
+    assert rule_ids(report) == ["CAS002"]
+    assert report.diagnostics[0].severity is Severity.WARNING
+
+
+def test_unused_task_fires_cas003(linter):
+    source = """\
+#pragma cascabel task : x86 : Idead : dead_cpu : (A: read)
+void dead_cpu(double *A) { }
+"""
+    report = linter.lint_program(source)
+    assert rule_ids(report) == ["CAS003"]
+    assert report.diagnostics[0].subject == "Idead"
+
+
+def test_dead_execute_pragma_fires_cas004(linter):
+    source = """\
+#pragma cascabel task : x86 : Iwork : work_cpu : (A: readwrite)
+void work_cpu(double *A) { }
+
+#pragma cascabel execute Iwork : cpus (A:BLOCK:4)
+completely_unrelated(A);
+"""
+    report = linter.lint_program(source)
+    assert rule_ids(report) == ["CAS004"]
+    assert "completely_unrelated" in report.diagnostics[0].message
+
+
+def test_unknown_distribution_parameter_fires_cas005(linter):
+    source = """\
+#pragma cascabel task : x86 : Iwork : work_cpu : (A: readwrite)
+void work_cpu(double *A) { }
+
+#pragma cascabel execute Iwork : cpus (Z:BLOCK:4)
+work_cpu(A);
+"""
+    assert rule_ids(linter.lint_program(source)) == ["CAS005"]
+
+
+def test_duplicate_variant_fires_cas006(linter):
+    source = """\
+#pragma cascabel task : x86 : Ia : twice : (A: readwrite)
+void fa(double *A) { }
+
+#pragma cascabel task : cuda : Ia : twice : (A: readwrite)
+void fb(double *A) { }
+
+#pragma cascabel execute Ia : cpus (A:BLOCK:4)
+fa(A);
+"""
+    assert rule_ids(linter.lint_program(source)) == ["CAS006"]
+
+
+def test_signature_mismatch_fires_cas007(linter):
+    source = """\
+#pragma cascabel task : x86 : Ia : va : (A: readwrite)
+void fa(double *A) { }
+
+#pragma cascabel task : cuda : Ia : vb : (A: readwrite)
+void fb(double *A, int n) { }
+
+#pragma cascabel execute Ia : cpus (A:BLOCK:4)
+fa(A);
+"""
+    assert rule_ids(linter.lint_program(source)) == ["CAS007"]
+
+
+def test_parameter_not_in_signature_fires_cas008(linter):
+    source = """\
+#pragma cascabel task : x86 : Ia : va : (Z: readwrite)
+void fa(double *A) { }
+
+#pragma cascabel execute Ia : cpus ()
+fa(A);
+"""
+    report = linter.lint_program(source)
+    assert "CAS008" in rule_ids(report)
+
+
+@pytest.mark.parametrize("name", available_samples())
+def test_shipped_samples_lint_clean(linter, name):
+    report = linter.lint_program(sample_source(name), filename=name)
+    assert rule_ids(report) == [], report.summary()

@@ -1,0 +1,135 @@
+"""``repro-lint`` CLI: artifact resolution, formats, selection, exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import cli
+
+from tests.analysis.conftest import RACY_PROGRAM, UNIT_CLASH_XML
+
+
+@pytest.fixture
+def racy_file(tmp_path):
+    path = tmp_path / "racy.c"
+    path.write_text(RACY_PROGRAM)
+    return str(path)
+
+
+@pytest.fixture
+def clash_file(tmp_path):
+    path = tmp_path / "clash.xml"
+    path.write_text(UNIT_CLASH_XML)
+    return str(path)
+
+
+def run(args):
+    return cli.main(args)
+
+
+def test_no_artifacts_is_usage_error(capsys):
+    assert run([]) == cli.EXIT_USAGE
+    assert "nothing to lint" in capsys.readouterr().err
+
+
+def test_list_rules(capsys):
+    assert run(["--list-rules"]) == cli.EXIT_CLEAN
+    out = capsys.readouterr().out
+    for rule_id in ("PDL001", "CAS010", "XAR001"):
+        assert rule_id in out
+
+
+def test_catalog_and_samples_are_clean(capsys):
+    code = run(["--catalog", "--samples", "--platform", "xeon_x5550_2gpu"])
+    assert code == cli.EXIT_CLEAN
+    assert "total findings: 0" in capsys.readouterr().out
+
+
+def test_defective_descriptor_fails(clash_file, capsys):
+    assert run([clash_file]) == cli.EXIT_FINDINGS
+    assert "PDL001" in capsys.readouterr().out
+
+
+def test_defective_program_fails(racy_file, capsys):
+    assert run([racy_file]) == cli.EXIT_FINDINGS
+    assert "CAS010" in capsys.readouterr().out
+
+
+def test_ignore_suppresses_the_finding(racy_file):
+    assert run([racy_file, "--ignore", "CAS010"]) == cli.EXIT_CLEAN
+
+
+def test_select_limits_to_prefix(clash_file):
+    # the clash file only has PDL findings, so selecting CAS yields clean
+    assert run([clash_file, "--select", "CAS"]) == cli.EXIT_CLEAN
+    assert run([clash_file, "--select", "PDL001"]) == cli.EXIT_FINDINGS
+
+
+def test_severity_override_passes_gate(racy_file):
+    # demote the race to a note; the default gate is warning
+    assert run([racy_file, "--severity", "CAS010=note"]) == cli.EXIT_CLEAN
+    # but an explicit note gate still fails
+    assert (
+        run([racy_file, "--severity", "CAS010=note", "--fail-on", "note"])
+        == cli.EXIT_FINDINGS
+    )
+
+
+def test_bad_severity_entry_is_usage_error(racy_file, capsys):
+    assert run([racy_file, "--severity", "CAS010"]) == cli.EXIT_USAGE
+    assert "RULE=LEVEL" in capsys.readouterr().err
+
+
+def test_unknown_artifact_is_usage_error(capsys):
+    assert run(["nope-does-not-exist"]) == cli.EXIT_USAGE
+    assert "neither a file" in capsys.readouterr().err
+
+
+def test_unknown_platform_ref_is_usage_error(capsys):
+    assert run(["vecadd", "--platform", "nope"]) == cli.EXIT_USAGE
+    assert "cannot load target platform" in capsys.readouterr().err
+
+
+def test_json_format_is_reproducible(racy_file, capsys):
+    run([racy_file, "--format", "json"])
+    first = capsys.readouterr().out
+    run([racy_file, "--format", "json"])
+    second = capsys.readouterr().out
+    assert first == second
+    payload = json.loads(first)
+    assert payload["tool"] == "repro-lint"
+    assert payload["reports"][0]["diagnostics"][0]["rule"] == "CAS010"
+
+
+def test_sarif_and_json_carry_identical_findings(racy_file, capsys):
+    run([racy_file, "--format", "json"])
+    via_json = [
+        (d["rule"], d["severity"], d["message"])
+        for r in json.loads(capsys.readouterr().out)["reports"]
+        for d in r["diagnostics"]
+    ]
+    run([racy_file, "--format", "sarif"])
+    sarif = json.loads(capsys.readouterr().out)
+    via_sarif = [
+        (r["ruleId"], r["level"], r["message"]["text"])
+        for r in sarif["runs"][0]["results"]
+    ]
+    assert via_json == via_sarif
+    assert sarif["version"] == "2.1.0"
+
+
+def test_program_with_platform_runs_cross_pack(racy_file, capsys):
+    code = run([racy_file, "--platform", "xeon_x5550_dual", "--format", "json"])
+    assert code == cli.EXIT_FINDINGS
+    kinds = [r["kind"] for r in json.loads(capsys.readouterr().out)["reports"]]
+    assert kinds == ["cascabel", "cross"]
+
+
+def test_sample_name_resolves(capsys):
+    assert run(["vecadd"]) == cli.EXIT_CLEAN
+
+
+def test_catalog_name_resolves(capsys):
+    assert run(["xeon_x5550_2gpu"]) == cli.EXIT_CLEAN

@@ -1,0 +1,134 @@
+"""Cross-artifact rule pack: program × descriptor satisfiability,
+toolchain derivability, and transfer feasibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.cascabel.cli import available_samples, sample_source
+from repro.cascabel.driver import translate
+from repro.errors import LintError
+
+from tests.analysis.conftest import (
+    DEAD_VARIANT_PROGRAM,
+    RACY_PROGRAM,
+    UNKNOWN_GROUP_PROGRAM,
+    rule_ids,
+)
+
+
+@pytest.fixture
+def cpu_target(cpu_platform):
+    return [("xeon_x5550_dual", cpu_platform)]
+
+
+def test_dead_variant_fires_xar001(linter, cpu_target):
+    report = linter.lint_cross(
+        DEAD_VARIANT_PROGRAM, cpu_target, filename="dead.c"
+    )
+    assert rule_ids(report) == ["XAR001"]
+    diag = report.diagnostics[0]
+    assert diag.severity is Severity.WARNING
+    assert diag.subject == "dgemm_spe"
+    assert diag.location.line == 4  # the cellsdk task pragma
+
+
+def test_variant_alive_on_some_target_is_not_dead(linter, cpu_target, cell_platform):
+    targets = cpu_target + [("cell_qs22", cell_platform)]
+    report = linter.lint_cross(DEAD_VARIANT_PROGRAM, targets)
+    assert "XAR001" not in rule_ids(report)
+
+
+def test_unsatisfiable_interface_fires_xar002_and_xar003(linter, cpu_target):
+    # cellsdk-only interface: zero eligible variants on a CPU box
+    source = """\
+#pragma cascabel task : cellsdk : Ispe : spe_only : (A: readwrite)
+void spe_only(double *A) { }
+
+#pragma cascabel execute Ispe : executionset01 (A:BLOCK:4)
+spe_only(A);
+"""
+    report = linter.lint_cross(source, cpu_target)
+    ids = rule_ids(report)
+    assert "XAR001" in ids and "XAR002" in ids
+    by_rule = {d.rule: d for d in report}
+    assert by_rule["XAR002"].severity is Severity.ERROR
+    assert by_rule["XAR002"].subject == "Ispe"
+
+
+def test_missing_fallback_fires_xar003(linter, gpgpu_platform):
+    # cuda-only interface: eligible on the GPU box but no Master fallback
+    source = """\
+#pragma cascabel task : cuda : Igpu : gpu_only : (A: readwrite)
+void gpu_only(double *A) { }
+
+#pragma cascabel execute Igpu : executionset01 (A:BLOCK:4)
+gpu_only(A);
+"""
+    report = linter.lint_cross(source, [("xeon_x5550_2gpu", gpgpu_platform)])
+    assert "XAR003" in rule_ids(report)
+
+
+def test_toolchain_mismatch_fires_xar010(linter, cluster_platform):
+    # hybrid_cluster's gpu node declares no COMPUTE_CAPABILITY
+    source = """\
+#pragma cascabel task : x86 : Ia : a_cpu : (A: readwrite)
+void a_cpu(double *A) { }
+
+#pragma cascabel task : cuda : Ia : a_gpu : (A: readwrite)
+void a_gpu(double *A) { }
+
+#pragma cascabel execute Ia : hosts (A:BLOCK:4)
+a_cpu(A);
+"""
+    report = linter.lint_cross(source, [("hybrid_cluster", cluster_platform)])
+    assert "XAR010" in rule_ids(report)
+    diag = next(d for d in report if d.rule == "XAR010")
+    assert "COMPUTE_CAPABILITY" in diag.message
+
+
+def test_unknown_execution_group_fires_xar021(linter, cpu_target):
+    report = linter.lint_cross(UNKNOWN_GROUP_PROGRAM, cpu_target)
+    assert rule_ids(report) == ["XAR021"]
+    diag = report.diagnostics[0]
+    assert diag.subject == "nosuchgroup"
+    assert diag.severity is Severity.ERROR
+
+
+@pytest.mark.parametrize("name", available_samples())
+def test_shipped_samples_cross_clean_on_gpgpu(linter, gpgpu_platform, name):
+    report = linter.lint_cross(
+        sample_source(name), [("xeon_x5550_2gpu", gpgpu_platform)], filename=name
+    )
+    assert rule_ids(report) == [], report.summary()
+
+
+# -- driver hook --------------------------------------------------------------
+class TestDriverHook:
+    def test_translate_attaches_clean_reports(self):
+        result = translate(sample_source("vecadd"), "xeon_x5550_2gpu")
+        kinds = [r.kind for r in result.lint_reports]
+        assert kinds == ["cascabel", "cross"]
+        assert all(r.ok for r in result.lint_reports)
+
+    def test_translate_lint_off(self):
+        result = translate(
+            sample_source("vecadd"), "xeon_x5550_2gpu", lint="off"
+        )
+        assert result.lint_reports == []
+
+    def test_translate_strict_rejects_races(self):
+        with pytest.raises(LintError) as excinfo:
+            translate(RACY_PROGRAM, "xeon_x5550_dual", lint="strict")
+        rules = {d["rule"] for d in excinfo.value.diagnostics}
+        assert "CAS010" in rules
+
+    def test_translate_warn_attaches_findings(self):
+        result = translate(RACY_PROGRAM, "xeon_x5550_dual", lint="warn")
+        rules = {d.rule for r in result.lint_reports for d in r}
+        assert "CAS010" in rules
+
+    def test_translate_rejects_bad_lint_mode(self):
+        with pytest.raises(ValueError, match="lint must be"):
+            translate(sample_source("vecadd"), "xeon_x5550_dual", lint="maybe")

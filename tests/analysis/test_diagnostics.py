@@ -1,0 +1,214 @@
+"""Diagnostic core, rule registry/config, and the three renderers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Finding,
+    LintReport,
+    Severity,
+    SourceLocation,
+)
+from repro.analysis.render import render_json, render_sarif, render_text
+from repro.analysis.rules import LintConfig, Rule, RuleRegistry, default_registry
+
+
+def _diag(rule="PDL001", severity=Severity.ERROR, **kw):
+    kw.setdefault("message", "boom")
+    return Diagnostic(rule=rule, severity=severity, **kw)
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+        assert Severity.ERROR >= Severity.WARNING
+
+    def test_parse(self):
+        assert Severity.parse(" Warning ") is Severity.WARNING
+        with pytest.raises(ValueError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestSourceLocation:
+    def test_str_forms(self):
+        assert str(SourceLocation("f.c", 3, 7)) == "f.c:3:7"
+        assert str(SourceLocation("f.c", 3)) == "f.c:3"
+        assert str(SourceLocation("f.c")) == "f.c"
+
+    def test_payload_omits_missing(self):
+        assert SourceLocation("f.c", 3).to_payload() == {"file": "f.c", "line": 3}
+        assert SourceLocation().to_payload() == {}
+
+
+class TestDiagnostic:
+    def test_payload_shape(self):
+        diag = _diag(
+            location=SourceLocation("a.xml", 1, 2),
+            subject="gpu0",
+            hint="do the thing",
+        )
+        assert diag.to_payload() == {
+            "rule": "PDL001",
+            "severity": "error",
+            "message": "boom",
+            "location": {"file": "a.xml", "line": 1, "column": 2},
+            "subject": "gpu0",
+            "hint": "do the thing",
+        }
+
+    def test_sort_key_orders_by_location_then_rule(self):
+        a = _diag(rule="PDL002", location=SourceLocation("a.c", 1))
+        b = _diag(rule="PDL001", location=SourceLocation("a.c", 1))
+        c = _diag(rule="PDL001", location=SourceLocation("a.c", 9))
+        assert sorted([c, a, b], key=Diagnostic.sort_key) == [b, a, c]
+
+
+class TestLintReport:
+    def test_counts_and_ok(self):
+        report = LintReport(
+            artifact="x",
+            kind="pdl",
+            diagnostics=[
+                _diag(severity=Severity.NOTE),
+                _diag(severity=Severity.WARNING),
+                _diag(severity=Severity.ERROR),
+            ],
+        )
+        assert report.count(Severity.WARNING) == 1
+        assert not report.ok
+        assert len(report.at_least(Severity.WARNING)) == 2
+        note_only = LintReport(
+            artifact="x", kind="pdl", diagnostics=[_diag(severity=Severity.NOTE)]
+        )
+        assert note_only.ok
+
+
+class TestRules:
+    def test_bad_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="ABC123"):
+            Rule(
+                id="X1",
+                name="bad",
+                pack="pdl",
+                severity=Severity.ERROR,
+                summary="",
+                check=lambda ctx: [],
+            )
+
+    def test_duplicate_registration_rejected(self):
+        registry = RuleRegistry()
+        rule = Rule(
+            id="PDL999",
+            name="x",
+            pack="pdl",
+            severity=Severity.NOTE,
+            summary="",
+            check=lambda ctx: [],
+        )
+        registry.register(rule)
+        with pytest.raises(ValueError, match="duplicate"):
+            registry.register(rule)
+
+    def test_default_registry_has_all_packs(self):
+        registry = default_registry()
+        packs = {r.pack for r in registry.rules()}
+        assert packs == {"pdl", "cascabel", "cross"}
+        assert "PDL001" in registry and "CAS010" in registry and "XAR001" in registry
+
+
+class TestLintConfig:
+    def _rule(self, rule_id="CAS003"):
+        return Rule(
+            id=rule_id,
+            name="x",
+            pack="cascabel",
+            severity=Severity.WARNING,
+            summary="",
+            check=lambda ctx: [],
+        )
+
+    def test_select_prefix(self):
+        config = LintConfig.build(select=["CAS"])
+        assert config.enabled(self._rule("CAS003"))
+        assert not config.enabled(self._rule("PDL001"))
+
+    def test_ignore_wins_over_select(self):
+        config = LintConfig.build(select=["CAS"], ignore=["CAS003"])
+        assert not config.enabled(self._rule("CAS003"))
+        assert config.enabled(self._rule("CAS010"))
+
+    def test_severity_override_and_stamp(self):
+        config = LintConfig.build(severity_overrides={"CAS003": "note"})
+        diag = config.stamp(self._rule(), Finding(message="m"))
+        assert diag.severity is Severity.NOTE
+        assert diag.rule == "CAS003"
+
+    def test_bad_fail_on_rejected(self):
+        with pytest.raises(ValueError):
+            LintConfig.build(fail_on="catastrophic")
+
+
+class TestRenderers:
+    def _reports(self):
+        return [
+            LintReport(
+                artifact="bad.xml",
+                kind="pdl",
+                diagnostics=[
+                    _diag(
+                        location=SourceLocation("bad.xml"),
+                        subject="gpu0",
+                        hint="fix it",
+                    ),
+                    _diag(rule="PDL011", severity=Severity.WARNING),
+                ],
+            ),
+            LintReport(artifact="ok.c", kind="cascabel"),
+        ]
+
+    def test_text_lists_findings_and_totals(self):
+        text = render_text(self._reports())
+        assert "== bad.xml (pdl)" in text
+        assert "PDL001" in text and "hint: fix it" in text
+        assert "clean" in text  # the empty report
+        assert "total findings: 2" in text
+
+    def test_json_is_deterministic(self):
+        one = render_json(self._reports())
+        two = render_json(self._reports())
+        assert one == two
+        payload = json.loads(one)
+        assert payload["tool"] == "repro-lint"
+        assert payload["ok"] is False
+        assert payload["reports"][0]["counts"] == {
+            "error": 1,
+            "warning": 1,
+            "note": 0,
+        }
+
+    def test_sarif_envelope(self):
+        sarif = json.loads(render_sarif(self._reports(), registry=default_registry()))
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        # canonical order: the location-less PDL011 sorts before PDL001
+        assert [r["ruleId"] for r in run["results"]] == ["PDL011", "PDL001"]
+        rule_meta = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rule_meta == {"PDL001", "PDL011"}
+
+    def test_json_and_sarif_carry_identical_findings(self):
+        reports = self._reports()
+        via_json = [
+            (d["rule"], d["severity"], d["message"])
+            for r in json.loads(render_json(reports))["reports"]
+            for d in r["diagnostics"]
+        ]
+        via_sarif = [
+            (r["ruleId"], r["level"], r["message"]["text"])
+            for r in json.loads(render_sarif(reports))["runs"][0]["results"]
+        ]
+        assert via_json == via_sarif

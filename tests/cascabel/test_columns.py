@@ -1,0 +1,76 @@
+"""Column tracking through the lexer and pragma parser (lint locations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PragmaSyntaxError
+from repro.cascabel.lexer import extract_call, scan_pragmas
+from repro.cascabel.pragmas import parse_pragma
+
+
+class TestDirectiveColumns:
+    def test_column_of_flush_pragma(self):
+        directives = scan_pragmas(
+            "#pragma cascabel task : x86 : Ia : va : (A: read)\n"
+        )
+        assert directives[0].line == 1
+        assert directives[0].column == 1
+
+    def test_column_of_indented_pragma(self):
+        source = "int main() {\n    #pragma cascabel execute Ia : g ()\n}\n"
+        directives = scan_pragmas(source)
+        assert directives[0].line == 2
+        assert directives[0].column == 5
+
+    def test_continuation_keeps_first_line_column(self):
+        source = (
+            "  #pragma cascabel task \\\n"
+            "      : x86 : Ia : va : (A: read)\n"
+        )
+        directives = scan_pragmas(source)
+        assert directives[0].line == 1
+        assert directives[0].column == 3
+
+
+class TestPragmaColumns:
+    def test_task_pragma_carries_column(self):
+        source = "   #pragma cascabel task : x86 : Ia : va : (A: read)\n"
+        pragma = parse_pragma(scan_pragmas(source)[0])
+        assert pragma.line == 1
+        assert pragma.column == 4
+
+    def test_execute_pragma_carries_column(self):
+        source = "\t#pragma cascabel execute Ia : g (A:BLOCK:4)\n"
+        pragma = parse_pragma(scan_pragmas(source)[0])
+        assert pragma.column == 2
+
+    def test_syntax_error_reports_line(self):
+        source = "#pragma cascabel task : x86 : OnlyTwo\n"
+        with pytest.raises(PragmaSyntaxError) as excinfo:
+            parse_pragma(scan_pragmas(source)[0])
+        assert excinfo.value.line == 1
+
+
+class TestCallColumns:
+    def test_call_statement_column(self):
+        source = "void f();\n\n    va(A, B);\n"
+        call = extract_call(source, 3)
+        assert call.line == 3
+        assert call.column == 5
+        assert call.name == "va"
+
+    def test_flush_call_column(self):
+        call = extract_call("va(A);\n", 1)
+        assert call.column == 1
+
+
+class TestErrorColumns:
+    def test_pragma_syntax_error_mentions_column_when_given(self):
+        exc = PragmaSyntaxError("bad", line=3, column=9)
+        assert exc.line == 3 and exc.column == 9
+        assert "line 3, column 9" in str(exc)
+
+    def test_message_unchanged_without_column(self):
+        exc = PragmaSyntaxError("bad", line=3)
+        assert "column" not in str(exc)

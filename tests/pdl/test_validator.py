@@ -82,3 +82,27 @@ class TestValidationReport:
         assert validate_document(p).ok  # default tolerant
         report = PDLValidator(strict_schema=True).validate(p)
         assert not report.ok
+
+    def test_to_payload_shares_diagnostic_shape(self):
+        p = valid_platform()
+        p.pu("w").descriptor.add(Property("SLOT", "", fixed=False))
+        payload = validate_document(p).to_payload()
+        assert payload["ok"] is True
+        assert payload["counts"] == {"error": 0, "warning": 0, "note": 1}
+        note = payload["diagnostics"][0]
+        assert note["rule"] == "VAL010" and note["severity"] == "note"
+        assert "SLOT" in note["message"]
+
+    def test_to_payload_counts_errors(self):
+        p = valid_platform()
+        p.pu("w").descriptor.add(
+            Property(
+                "MAX_COMPUTE_UNITS",
+                "not-a-number",
+                type_name="ocl:oclDevicePropertyType",
+            )
+        )
+        payload = PDLValidator(strict_schema=True).validate(p).to_payload()
+        assert payload["ok"] is False
+        assert payload["counts"]["error"] >= 1
+        assert any(d["rule"] == "VAL002" for d in payload["diagnostics"])

@@ -1,0 +1,115 @@
+"""Registry lint surface: POST /lint, strict publishes, client.lint()."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LintError, ServiceProtocolError, UnknownPlatformError
+from repro.service import DescriptorStore, RegistryClient, ServerThread
+from repro.service.protocol import error_payload, raise_for_error
+
+#: FREQUENCY in GHz on the Master but MB on the Worker — a PDL001 error
+DIRTY_XML = """<?xml version="1.0" encoding="UTF-8"?>
+<Platform name="dirty" schemaVersion="1.0">
+  <Master id="host" quantity="1">
+    <PUDescriptor>
+      <Property fixed="true"><name>ARCHITECTURE</name><value>x86_64</value></Property>
+      <Property fixed="true"><name>FREQUENCY</name><value unit="GHz">2.66</value></Property>
+    </PUDescriptor>
+    <Worker id="gpu0" quantity="1">
+      <PUDescriptor>
+        <Property fixed="true"><name>ARCHITECTURE</name><value>gpu</value></Property>
+        <Property fixed="true"><name>FREQUENCY</name><value unit="MB">1.15</value></Property>
+      </PUDescriptor>
+    </Worker>
+  </Master>
+</Platform>"""
+
+
+class TestStoreLint:
+    def test_lint_clean_catalog_descriptor(self, seeded_store):
+        payload = seeded_store.lint("xeon_x5550_2gpu")
+        assert payload["ok"] is True
+        assert payload["counts"] == {"error": 0, "warning": 0, "note": 0}
+        assert payload["digest"] == seeded_store.resolve("xeon_x5550_2gpu")
+
+    def test_lint_dirty_descriptor(self, seeded_store):
+        seeded_store.publish("dirty", DIRTY_XML)
+        payload = seeded_store.lint("dirty")
+        assert payload["ok"] is False
+        assert [d["rule"] for d in payload["diagnostics"]] == ["PDL001"]
+
+    def test_lint_unknown_ref(self, seeded_store):
+        with pytest.raises(UnknownPlatformError):
+            seeded_store.lint("nope")
+
+    def test_strict_publish_rejects_and_stores_nothing(self):
+        store = DescriptorStore()
+        with pytest.raises(LintError) as excinfo:
+            store.publish("dirty", DIRTY_XML, strict_lint=True)
+        assert [d["rule"] for d in excinfo.value.diagnostics] == ["PDL001"]
+        assert "dirty" not in store.tags()
+        assert store.digests() == []
+
+    def test_strict_publish_accepts_clean(self, seeded_store):
+        xml = seeded_store.xml("xeon_x5550_2gpu")
+        result = seeded_store.publish("copy", xml, strict_lint=True)
+        assert result.name == "copy"
+
+    def test_lenient_publish_accepts_dirty(self):
+        store = DescriptorStore()
+        assert store.publish("dirty", DIRTY_XML).created is True
+
+
+class TestProtocolMapping:
+    def test_lint_error_payload_carries_diagnostics(self):
+        exc = LintError(
+            "rejected", diagnostics=[{"rule": "PDL001", "severity": "error"}]
+        )
+        status, payload = error_payload(exc)
+        assert status == 422
+        assert payload["error"]["code"] == "lint-error"
+        assert payload["error"]["diagnostics"][0]["rule"] == "PDL001"
+
+    def test_round_trip_rehydrates_lint_error(self):
+        status, payload = error_payload(
+            LintError("rejected", diagnostics=[{"rule": "PDL001"}])
+        )
+        with pytest.raises(LintError) as excinfo:
+            raise_for_error(status, payload)
+        assert excinfo.value.diagnostics == [{"rule": "PDL001"}]
+
+
+@pytest.fixture(scope="module")
+def service():
+    with ServerThread() as url:
+        yield RegistryClient(url)
+
+
+class TestLintOverHttp:
+    def test_client_lint_clean(self, service):
+        payload = service.lint("xeon_x5550_2gpu")
+        assert payload["ok"] is True
+        assert payload["diagnostics"] == []
+
+    def test_client_lint_findings(self, service):
+        service.publish("dirty", DIRTY_XML)
+        payload = service.lint("dirty")
+        assert payload["ok"] is False
+        assert payload["diagnostics"][0]["rule"] == "PDL001"
+
+    def test_lint_requires_ref(self, service):
+        with pytest.raises(ServiceProtocolError):
+            service.request("POST", "/lint", body=b"{}")
+
+    def test_strict_put_rejects_dirty_descriptor(self, service):
+        with pytest.raises(LintError) as excinfo:
+            service.publish("dirty-strict", DIRTY_XML, strict_lint=True)
+        assert [d["rule"] for d in excinfo.value.diagnostics] == ["PDL001"]
+        names = {p["name"] for p in service.platforms()}
+        assert "dirty-strict" not in names
+
+    def test_strict_put_accepts_clean_descriptor(self, service):
+        xml = service.fetch("xeon_x5550_2gpu")["xml"]
+        result = service.publish("strict-copy", xml, strict_lint=True)
+        assert result["name"] == "strict-copy"
