@@ -23,6 +23,12 @@ Subpackages
     exposing queries, diffs and variant pre-selection remotely.
 ``repro.experiments``
     Harnesses regenerating the paper's figures and our ablations.
+``repro.obs``
+    Observability: hierarchical spans, counters/gauges/histograms, and
+    trace exporters (Chrome trace-event JSON, deterministic JSON, text).
+``repro.session``
+    The :class:`Session` facade tying platform + tracer + policies into
+    one object with ``parse/translate/run/preselect/lint/calibrate``.
 """
 
 __version__ = "1.0.0"
@@ -38,6 +44,7 @@ from repro.model import (  # noqa: F401
     Property,
     Worker,
 )
+from repro.obs import Tracer, span, use_tracer  # noqa: F401
 from repro.pdl import (  # noqa: F401
     load_platform,
     parse_pdl,
@@ -62,4 +69,32 @@ __all__ = [
     "write_pdl",
     "write_pdl_file",
     "load_platform",
+    "Tracer",
+    "span",
+    "use_tracer",
+    "Session",
+    "SelectionReport",
 ]
+
+#: heavyweight exports resolved lazily (PEP 562) so ``import repro``
+#: stays light: Session pulls the toolchain in on first attribute access
+_LAZY = {
+    "Session": ("repro.session", "Session"),
+    "SelectionReport": ("repro.cascabel.selection", "SelectionReport"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    value = getattr(importlib.import_module(module_name), attr)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

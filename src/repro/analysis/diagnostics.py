@@ -193,6 +193,13 @@ class LintReport:
             "diagnostics": [d.to_payload() for d in ordered],
         }
 
+    def fingerprint(self) -> str:
+        """Stable sha256 over :meth:`to_payload` (the shared convention
+        of every toolchain report object)."""
+        from repro.obs.digest import fingerprint_payload
+
+        return fingerprint_payload(self.to_payload())
+
     def summary(self) -> str:
         return (
             f"{self.artifact}: {self.count(Severity.ERROR)} error(s),"

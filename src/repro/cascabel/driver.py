@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.model.platform import Platform
+from repro.obs import spans as _obs
 from repro.pdl.catalog import load_platform
 from repro.cascabel.codegen import Backend, GeneratedOutput, select_backend
 from repro.cascabel.compile_plan import CompilationPlan, derive_compile_plan
@@ -132,6 +133,41 @@ def translate(
     """
     if lint not in ("off", "warn", "strict"):
         raise ValueError(f"lint must be 'off', 'warn', or 'strict', got {lint!r}")
+    tracer = _obs.get_tracer()
+    if tracer is None:
+        return _translate(
+            source, platform,
+            filename=filename, repository=repository, backend=backend,
+            with_builtin_variants=with_builtin_variants,
+            executable=executable, lint=lint,
+        )
+    with tracer.span("cascabel.translate", filename=filename, lint=lint) as span_:
+        result = _translate(
+            source, platform,
+            filename=filename, repository=repository, backend=backend,
+            with_builtin_variants=with_builtin_variants,
+            executable=executable, lint=lint,
+        )
+        span_.set(
+            platform=result.platform.name,
+            backend=result.backend_name,
+            interfaces=len(result.selection.selected),
+        )
+        return result
+
+
+def _translate(
+    source: Union[str, AnnotatedProgram],
+    platform: Union[str, Platform],
+    *,
+    filename: str,
+    repository: Optional[TaskRepository],
+    backend: Optional[Backend],
+    with_builtin_variants: bool,
+    executable: Optional[str],
+    lint: str,
+) -> TranslationResult:
+    """The four pipeline steps, each under its own (optional) span."""
     program = (
         source
         if isinstance(source, AnnotatedProgram)
@@ -141,20 +177,27 @@ def translate(
 
     lint_reports: list = []
     if lint != "off":
-        lint_reports = _lint_translation(program, target, strict=lint == "strict")
+        with _obs.span("cascabel.lint", strict=lint == "strict"):
+            lint_reports = _lint_translation(
+                program, target, strict=lint == "strict"
+            )
 
     repo = repository if repository is not None else TaskRepository()
-    repo.register_program(program)  # step 1: task registration
-    if with_builtin_variants:
-        register_builtin_variants(repo, program)
+    with _obs.span("cascabel.register"):
+        repo.register_program(program)  # step 1: task registration
+        if with_builtin_variants:
+            register_builtin_variants(repo, program)
 
     selection = preselect(repo, program, target)  # step 2: pre-selection
-    mapping = map_tasks(program, selection, target)
+    with _obs.span("cascabel.lower"):
+        mapping = map_tasks(program, selection, target)
 
     chosen_backend = backend if backend is not None else select_backend(target)
-    output = chosen_backend.generate(program, selection, mapping, target)  # step 3
+    with _obs.span("cascabel.codegen", backend=chosen_backend.name):
+        output = chosen_backend.generate(program, selection, mapping, target)  # step 3
 
-    plan = derive_compile_plan(output, target, executable=executable)  # step 4
+    with _obs.span("cascabel.compile_plan"):
+        plan = derive_compile_plan(output, target, executable=executable)  # step 4
     return TranslationResult(
         program=program,
         platform=target,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.cascabel.lexer import extract_call, extract_function, scan_pragmas
 from repro.cascabel.pragmas import ExecutePragma, TaskPragma, parse_pragma
 from repro.cascabel.program import AnnotatedProgram, TaskDefinition, TaskExecution
+from repro.obs import spans as _obs
 
 __all__ = ["parse_program", "parse_program_file"]
 
@@ -20,19 +21,39 @@ def parse_program(
     source: str, *, filename: str = "<string>", validate: bool = True
 ) -> AnnotatedProgram:
     """Parse an annotated C/C++ translation unit."""
+    tracer = _obs.get_tracer()
+    if tracer is None:
+        return _parse_program(source, filename=filename, validate=validate)
+    with tracer.span(
+        "cascabel.frontend", filename=filename, nbytes=len(source)
+    ) as span_:
+        program = _parse_program(source, filename=filename, validate=validate)
+        span_.set(
+            definitions=len(program.definitions),
+            executions=len(program.executions),
+        )
+        return program
+
+
+def _parse_program(
+    source: str, *, filename: str, validate: bool
+) -> AnnotatedProgram:
     program = AnnotatedProgram(source=source, filename=filename)
-    for directive in scan_pragmas(source):
-        pragma = parse_pragma(directive)
-        if isinstance(pragma, TaskPragma):
-            function = extract_function(source, directive.end_line + 1)
-            program.definitions.append(
-                TaskDefinition(pragma=pragma, function=function)
-            )
-        elif isinstance(pragma, ExecutePragma):
-            call = extract_call(source, directive.end_line + 1)
-            program.executions.append(TaskExecution(pragma=pragma, call=call))
-    if validate:
-        program.validate()
+    with _obs.span("cascabel.lex"):
+        directives = list(scan_pragmas(source))
+    with _obs.span("cascabel.parse"):
+        for directive in directives:
+            pragma = parse_pragma(directive)
+            if isinstance(pragma, TaskPragma):
+                function = extract_function(source, directive.end_line + 1)
+                program.definitions.append(
+                    TaskDefinition(pragma=pragma, function=function)
+                )
+            elif isinstance(pragma, ExecutePragma):
+                call = extract_call(source, directive.end_line + 1)
+                program.executions.append(TaskExecution(pragma=pragma, call=call))
+        if validate:
+            program.validate()
     return program
 
 

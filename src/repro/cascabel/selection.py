@@ -22,12 +22,12 @@ always be compiled for a Master PU").
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass, field
 
 from repro.errors import SelectionError
 from repro.model.platform import Platform
+from repro.obs import spans as _obs
+from repro.obs.digest import fingerprint_payload
 from repro.query.patterns import pattern_matches
 from repro.cascabel.program import AnnotatedProgram
 from repro.cascabel.repository import TaskRepository, TaskVariant
@@ -191,10 +191,7 @@ class SelectionReport:
     def fingerprint(self) -> str:
         """Stable sha256 over :meth:`to_payload` (cheap memoization key /
         equality check for services caching selection results)."""
-        canonical = json.dumps(
-            self.to_payload(), sort_keys=True, separators=(",", ":")
-        )
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return fingerprint_payload(self.to_payload())
 
 
 def preselect(
@@ -210,6 +207,32 @@ def preselect(
     (they may be called indirectly); interfaces with *zero* eligible
     variants raise :class:`~repro.errors.SelectionError`.
     """
+    tracer = _obs.get_tracer()
+    if tracer is None:
+        return _preselect(
+            repository, program, platform, require_fallback=require_fallback
+        )
+    with tracer.span(
+        "cascabel.preselect", platform=platform.name
+    ) as span_:
+        report = _preselect(
+            repository, program, platform, require_fallback=require_fallback
+        )
+        span_.set(
+            interfaces=len(report.selected),
+            pruned=len(report.pruned),
+            fingerprint=report.fingerprint(),
+        )
+        return report
+
+
+def _preselect(
+    repository: TaskRepository,
+    program: AnnotatedProgram,
+    platform: Platform,
+    *,
+    require_fallback: bool,
+) -> SelectionReport:
     report = SelectionReport(platform_name=platform.name)
     for interface in repository.interfaces():
         variants = repository.variants(interface)

@@ -1,0 +1,83 @@
+"""Toolchain-wide observability: spans, metrics, trace export.
+
+The substrate every layer of the toolchain reports into — PDL parsing,
+catalog caching, Cascabel translation phases, runtime engine execution,
+registry HTTP requests (with ``X-Repro-Trace-Id`` propagation) and
+calibration sweeps.  Tracing is **disabled by default** and the
+disabled path is near-free: call sites guard on :func:`get_tracer`.
+
+Quick start::
+
+    from repro import obs
+
+    tracer = obs.Tracer()
+    with obs.use_tracer(tracer):
+        translate(source, "xeon_x5550_2gpu")
+    print(obs.render_tree(tracer))
+    obs.write_chrome_trace(tracer, "trace.json")   # chrome://tracing
+
+See ``docs/observability.md`` for the span model, exporters and
+overhead notes.
+"""
+
+from repro.obs.digest import (  # noqa: F401
+    digest_summary,
+    fingerprint_payload,
+    percentile,
+)
+from repro.obs.metrics import (  # noqa: F401
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import (  # noqa: F401
+    NULL_SPAN,
+    SIM_CLOCK,
+    WALL_CLOCK,
+    Span,
+    Tracer,
+    current_trace_id,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+)
+from repro.obs.export import (  # noqa: F401
+    chrome_trace,
+    render_payload_tree,
+    render_tree,
+    trace_payload,
+    write_chrome_trace,
+)
+from repro.obs.bridge import record_trace_log  # noqa: F401
+
+__all__ = [
+    # digests
+    "percentile",
+    "digest_summary",
+    "fingerprint_payload",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    # spans
+    "Span",
+    "Tracer",
+    "span",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "current_trace_id",
+    "NULL_SPAN",
+    "WALL_CLOCK",
+    "SIM_CLOCK",
+    # export
+    "chrome_trace",
+    "write_chrome_trace",
+    "trace_payload",
+    "render_tree",
+    "render_payload_tree",
+    "record_trace_log",
+]

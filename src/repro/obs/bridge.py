@@ -1,0 +1,92 @@
+"""Bridge the runtime's :class:`~repro.runtime.trace.TraceLog` into spans.
+
+The simulated engine times tasks in *simulated seconds*; the tracer
+times spans in *wall seconds*.  Replaying a finished ``TraceLog`` under
+the run's span keeps both views in one trace: the wall-clock span says
+how long the simulation took to compute, the sim-clock spans (exported
+as a separate Chrome trace process) say what the simulated schedule
+looked like — per worker lane, with transfers and fault events.
+
+Real-mode runs measure wall time already; their task records are
+replayed on the wall clock, offset to the run span's start, so kernel
+executions nest under the run that produced them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.spans import SIM_CLOCK, WALL_CLOCK, Span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import Tracer
+    from repro.runtime.trace import TraceLog
+
+__all__ = ["record_trace_log"]
+
+
+def record_trace_log(
+    tracer: "Tracer",
+    trace: "TraceLog",
+    *,
+    parent: Optional[Span] = None,
+    mode: str = "sim",
+    wall_offset: float = 0.0,
+) -> int:
+    """Replay one finished run trace as spans; returns #spans recorded.
+
+    ``mode="sim"`` replays on the simulated clock verbatim;
+    ``mode="real"`` shifts task times by ``wall_offset`` (the run span's
+    start) onto the wall clock.  Fault events become zero-length spans so
+    they surface as instants in every exporter.
+    """
+    sim = mode != "real"
+    clock = SIM_CLOCK if sim else WALL_CLOCK
+    offset = 0.0 if sim else wall_offset
+    recorded = 0
+    for tt in trace.tasks:
+        tracer.record_span(
+            f"task:{tt.kernel}",
+            offset + tt.start,
+            offset + tt.end,
+            parent=parent,
+            clock=clock,
+            track=tt.worker_id,
+            tag=tt.tag,
+            task_id=tt.task_id,
+            kernel=tt.kernel,
+            worker=tt.worker_id,
+            architecture=tt.architecture,
+            transfer_wait_s=tt.transfer_wait,
+        )
+        recorded += 1
+    for tr in trace.transfers:
+        tracer.record_span(
+            f"transfer:{tr.handle_name}",
+            offset + tr.start,
+            offset + tr.end,
+            parent=parent,
+            clock=clock,
+            track=f"xfer:{tr.src_node}->{tr.dst_node}",
+            handle=tr.handle_name,
+            nbytes=tr.nbytes,
+            src_node=tr.src_node,
+            dst_node=tr.dst_node,
+        )
+        recorded += 1
+    for fault in trace.faults:
+        tracer.record_span(
+            f"fault:{fault.kind}",
+            offset + fault.time,
+            offset + fault.time,
+            parent=parent,
+            clock=clock,
+            track=fault.worker_id or "faults",
+            status="error" if fault.kind in ("task-fault", "worker-fault") else "ok",
+            kind=fault.kind,
+            task_tag=fault.task_tag,
+            worker=fault.worker_id,
+            detail=fault.detail,
+        )
+        recorded += 1
+    return recorded

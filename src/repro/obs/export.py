@@ -1,0 +1,171 @@
+"""Trace exporters: Chrome trace-event JSON, deterministic JSON, text tree.
+
+``chrome_trace`` emits the `Trace Event Format`_ consumed by
+``chrome://tracing`` and `Perfetto <https://ui.perfetto.dev>`_: complete
+(``"ph": "X"``) events with microsecond timestamps.  Wall-clock spans
+land in process 1 ("wall clock"), spans replayed from a simulated-time
+:class:`~repro.runtime.trace.TraceLog` in process 2 ("sim time"), so the
+two time bases never overlap on one track but stay side by side in the
+viewer — the alignment the runtime bridge needs.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.spans import SIM_CLOCK, Span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "trace_payload",
+    "render_tree",
+]
+
+_WALL_PID = 1
+_SIM_PID = 2
+
+
+def _ordered(spans: list[Span]) -> list[Span]:
+    return sorted(spans, key=lambda s: (s.start, s.span_id))
+
+
+def chrome_trace(tracer: "Tracer") -> dict:
+    """The tracer's spans as a Chrome trace-event document (a dict ready
+    for ``json.dump``)."""
+    spans = _ordered(tracer.finished())
+    tracks: dict[tuple[int, str], int] = {}
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": _WALL_PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro wall clock"},
+        },
+        {
+            "ph": "M",
+            "pid": _SIM_PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": "repro sim time"},
+        },
+    ]
+    for span_ in spans:
+        pid = _SIM_PID if span_.clock == SIM_CLOCK else _WALL_PID
+        key = (pid, span_.track or "main")
+        tid = tracks.get(key)
+        if tid is None:
+            tid = tracks[key] = len([k for k in tracks if k[0] == pid]) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": span_.track or "main"},
+                }
+            )
+        end = span_.end if span_.end is not None else span_.start
+        args = {k: span_.attributes[k] for k in sorted(span_.attributes)}
+        args["trace_id"] = span_.trace_id
+        args["span_id"] = span_.span_id
+        if span_.parent_id is not None:
+            args["parent_id"] = span_.parent_id
+        if span_.error is not None:
+            args["error"] = span_.error
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": tid,
+                "name": span_.name,
+                "cat": span_.clock,
+                "ts": span_.start * 1e6,
+                "dur": max(0.0, (end - span_.start)) * 1e6,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: "Tracer", path) -> str:
+    """Write the Chrome trace to ``path``; returns the path written."""
+    document = chrome_trace(tracer)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return str(path)
+
+
+def trace_payload(tracer: "Tracer") -> dict:
+    """Deterministic JSON payload (``Tracer.to_payload`` by another name,
+    exported here so the three formats live side by side)."""
+    return tracer.to_payload()
+
+
+def _format_duration(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "?"
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds * 1e6:.1f}us"
+
+
+def render_tree(tracer: "Tracer", *, attributes: bool = True) -> str:
+    """Compact text rendering of the span forest.
+
+    Works on a live :class:`Tracer` or anything exposing ``finished()``;
+    :func:`render_payload_tree` renders the serialized form.
+    """
+    return _render(
+        [s.to_payload() for s in _ordered(tracer.finished())],
+        attributes=attributes,
+    )
+
+
+def render_payload_tree(payload: dict, *, attributes: bool = True) -> str:
+    """Render the text tree from a deterministic-JSON trace payload."""
+    spans = payload.get("spans", [])
+    return _render(spans, attributes=attributes)
+
+
+def _render(spans: list[dict], *, attributes: bool) -> str:
+    by_parent: dict[Optional[int], list[dict]] = {}
+    ids = {s["span_id"] for s in spans}
+    for span_ in spans:
+        parent = span_.get("parent_id")
+        if parent is not None and parent not in ids:
+            parent = None  # orphan (e.g. parent span still open): show as root
+        by_parent.setdefault(parent, []).append(span_)
+    out = io.StringIO()
+
+    def emit(span_: dict, depth: int) -> None:
+        indent = "  " * depth
+        duration = span_.get("duration")
+        if duration is None and span_.get("end") is not None:
+            duration = span_["end"] - span_["start"]
+        marker = "" if span_.get("status", "ok") == "ok" else " [ERROR]"
+        clock = f" ({span_['clock']})" if span_.get("clock") == SIM_CLOCK else ""
+        line = f"{indent}{span_['name']}  {_format_duration(duration)}{clock}{marker}"
+        attrs = span_.get("attributes") or {}
+        if attributes and attrs:
+            rendered = ", ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+            line += f"  {{{rendered}}}"
+        out.write(line + "\n")
+        for child in by_parent.get(span_["span_id"], []):
+            emit(child, depth + 1)
+
+    for root in by_parent.get(None, []):
+        emit(root, 0)
+    return out.getvalue().rstrip("\n")

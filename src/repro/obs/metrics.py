@@ -1,0 +1,170 @@
+"""Counters, gauges and histograms for toolchain metrics.
+
+A :class:`MetricsRegistry` is a thread-safe, name-keyed family of
+instruments.  Histograms keep a bounded reservoir (most recent
+observations) and report the same ``{"count", "p50", "p99"}`` digest
+shape as :class:`~repro.service.metrics.ServiceMetrics` latencies —
+both are computed by :func:`repro.obs.digest.digest_summary`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Optional
+
+from repro.obs.digest import digest_summary, fingerprint_payload
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Gauge:
+    """Last-written value (queue depths, cache sizes, ratios)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value: float = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self._value})"
+
+
+class Histogram:
+    """Bounded-reservoir distribution with p50/p99 digests."""
+
+    __slots__ = ("name", "_lock", "_samples", "_count", "_total")
+
+    def __init__(self, name: str, *, window: int = 2048):
+        self.name = name
+        self._lock = threading.Lock()
+        self._samples: deque = deque(maxlen=window)
+        self._count = 0
+        self._total = 0.0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._samples.append(float(value))
+            self._count += 1
+            self._total += value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def snapshot(self) -> dict:
+        """``{"count", "p50", "p99", "sum"}`` — the shared digest shape,
+        where count/sum cover *all* observations and the percentiles the
+        bounded reservoir."""
+        with self._lock:
+            samples = list(self._samples)
+            count, total = self._count, self._total
+        summary = digest_summary(samples)
+        summary["count"] = count
+        summary["sum"] = total
+        return summary
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self._count})"
+
+
+class MetricsRegistry:
+    """Get-or-create instrument family, snapshot-able as one payload."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str, *, window: int = 2048) -> Histogram:
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, window=window)
+            return instrument
+
+    def get(self, name: str) -> Optional[object]:
+        """Look an instrument up by name across all three families."""
+        with self._lock:
+            return (
+                self._counters.get(name)
+                or self._gauges.get(name)
+                or self._histograms.get(name)
+            )
+
+    def to_payload(self) -> dict:
+        """Deterministic JSON snapshot (names sorted within each family)."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {n: counters[n].value for n in sorted(counters)},
+            "gauges": {n: gauges[n].value for n in sorted(gauges)},
+            "histograms": {n: histograms[n].snapshot() for n in sorted(histograms)},
+        }
+
+    # ``snapshot`` mirrors ServiceMetrics' verb for the same concept
+    snapshot = to_payload
+
+    def fingerprint(self) -> str:
+        return fingerprint_payload(self.to_payload())
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"MetricsRegistry(counters={len(self._counters)},"
+                f" gauges={len(self._gauges)},"
+                f" histograms={len(self._histograms)})"
+            )

@@ -25,6 +25,7 @@ from typing import NamedTuple, Union
 
 from repro.errors import PDLError
 from repro.model.platform import Platform
+from repro.obs import spans as _obs
 from repro.pdl.parser import parse_pdl
 
 __all__ = [
@@ -104,13 +105,18 @@ def parse_cached(
             text, validate=validate, strict_schema=strict_schema, name=name, **kwargs
         )
     key = (digest or content_digest(text), name, validate, strict_schema)
+    tracer = _obs.get_tracer()
     with _parse_lock:
         master = _parse_cache.get(key)
         if master is not None:
             _parse_cache.move_to_end(key)
             _parse_hits += 1
     if master is not None:
+        if tracer is not None:
+            tracer.metrics.counter("pdl.parse_cache.hit").inc()
         return master.copy()
+    if tracer is not None:
+        tracer.metrics.counter("pdl.parse_cache.miss").inc()
     parsed = parse_pdl(text, validate=validate, strict_schema=strict_schema, name=name)
     with _parse_lock:
         _parse_misses += 1

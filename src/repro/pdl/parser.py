@@ -20,6 +20,7 @@ import xml.etree.ElementTree as ET
 from typing import Optional, Union
 
 from repro.errors import PDLParseError
+from repro.obs import spans as _obs
 from repro.model.entities import (
     Hybrid,
     Interconnect,
@@ -70,11 +71,22 @@ def parse_pdl(
         Platform name override (used for bare-Master documents that carry
         no name of their own).
     """
-    parser = PDLParser(registry=registry, strict_schema=strict_schema)
-    platform = parser.parse(text, name=name)
-    if validate:
-        platform.validate()
-    return platform
+    tracer = _obs.get_tracer()
+    if tracer is None:
+        parser = PDLParser(registry=registry, strict_schema=strict_schema)
+        platform = parser.parse(text, name=name)
+        if validate:
+            platform.validate()
+        return platform
+    with tracer.span(
+        "pdl.parse", nbytes=len(text), validate=validate
+    ) as span_:
+        parser = PDLParser(registry=registry, strict_schema=strict_schema)
+        platform = parser.parse(text, name=name)
+        if validate:
+            platform.validate()
+        span_.set(platform=platform.name, pu_count=platform.total_pu_count())
+        return platform
 
 
 def parse_pdl_file(path, **kwargs) -> Platform:

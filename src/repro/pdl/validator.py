@@ -19,6 +19,8 @@ from typing import Optional
 from repro.errors import PDLSchemaError, ValidationError
 from repro.model.platform import Platform
 from repro.model.validation import collect_violations
+from repro.obs import spans as _obs
+from repro.obs.digest import fingerprint_payload
 from repro.pdl.schema import SchemaRegistry, default_registry
 
 __all__ = ["ValidationReport", "validate_document", "PDLValidator"]
@@ -69,6 +71,11 @@ class ValidationReport:
             },
             "diagnostics": diagnostics,
         }
+
+    def fingerprint(self) -> str:
+        """Stable sha256 over :meth:`to_payload` (shared convention of
+        every report object; see :func:`repro.obs.fingerprint_payload`)."""
+        return fingerprint_payload(self.to_payload())
 
     def summary(self) -> str:
         lines = [
@@ -127,4 +134,16 @@ def validate_document(
     strict_schema: bool = False,
 ) -> ValidationReport:
     """One-shot full validation of a parsed platform."""
-    return PDLValidator(registry, strict_schema=strict_schema).validate(platform)
+    validator = PDLValidator(registry, strict_schema=strict_schema)
+    tracer = _obs.get_tracer()
+    if tracer is None:
+        return validator.validate(platform)
+    with tracer.span("pdl.validate", platform=platform.name) as span_:
+        report = validator.validate(platform)
+        span_.set(
+            ok=report.ok,
+            structural=len(report.structural),
+            schema=len(report.schema),
+            unfixed=len(report.unfixed),
+        )
+        return report

@@ -14,6 +14,7 @@ from xml.sax.saxutils import escape, quoteattr
 from repro.model.entities import Interconnect, MemoryRegion, ProcessingUnit
 from repro.model.platform import Platform
 from repro.model.properties import Descriptor, Property
+from repro.obs import spans as _obs
 from repro.pdl.namespaces import DEFAULT_NAMESPACES, PDL_NS, XSI_NS
 
 __all__ = ["write_pdl", "write_pdl_file", "PDLWriter"]
@@ -26,9 +27,16 @@ def write_pdl(
     xml_declaration: bool = True,
 ) -> str:
     """Serialize ``platform`` to PDL XML text."""
-    return PDLWriter(
+    writer = PDLWriter(
         default_namespace=default_namespace, xml_declaration=xml_declaration
-    ).write(platform)
+    )
+    tracer = _obs.get_tracer()
+    if tracer is None:
+        return writer.write(platform)
+    with tracer.span("pdl.write", platform=platform.name) as span_:
+        text = writer.write(platform)
+        span_.set(nbytes=len(text))
+        return text
 
 
 def write_pdl_file(platform: Platform, path, **kwargs) -> None:

@@ -44,6 +44,8 @@ from repro.errors import (
 )
 from repro.kernels.registry import KernelRegistry, default_kernel_registry
 from repro.model.entities import ProcessingUnit
+from repro.obs import spans as _obs
+from repro.obs.bridge import record_trace_log
 from repro.model.platform import Platform
 from repro.perf.calibration import TASK_SCHEDULING_OVERHEAD_S
 from repro.perf.models import PerfModel
@@ -295,6 +297,50 @@ class RuntimeEngine:
     # simulated execution
     # ------------------------------------------------------------------
     def run(
+        self,
+        *,
+        gather_to_home: bool = True,
+        dynamic_events: Optional[Sequence[tuple]] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+    ) -> RunResult:
+        """Run all submitted tasks in discrete-event simulation (see
+        :meth:`_run_sim` for the semantics of every parameter).
+
+        When a tracer is active (:mod:`repro.obs`) the run executes under
+        a ``runtime.run`` span and the finished :class:`TraceLog` is
+        replayed as sim-clock spans (per-task, per-transfer, per-fault),
+        so wall-time and simulated-time views align in one trace.  With
+        tracing disabled this wrapper adds one global read.
+        """
+        tracer = _obs.get_tracer()
+        if tracer is None:
+            return self._run_sim(
+                gather_to_home=gather_to_home,
+                dynamic_events=dynamic_events,
+                fault_policy=fault_policy,
+            )
+        with tracer.span(
+            "runtime.run",
+            platform=self.platform.name,
+            scheduler=self.scheduler.name,
+            mode="sim",
+            tasks=len(self._tasks),
+            workers=len(self.workers),
+        ) as span_:
+            result = self._run_sim(
+                gather_to_home=gather_to_home,
+                dynamic_events=dynamic_events,
+                fault_policy=fault_policy,
+            )
+            span_.set(
+                makespan_s=result.makespan,
+                transfers=result.transfer_count,
+                task_failures=result.task_failures,
+            )
+            record_trace_log(tracer, result.trace, parent=span_, mode="sim")
+            return result
+
+    def _run_sim(
         self,
         *,
         gather_to_home: bool = True,
@@ -828,6 +874,49 @@ class RuntimeEngine:
         events[instance_id].set()
 
     def run_real(
+        self,
+        *,
+        max_threads: Optional[int] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+        watchdog_s: Optional[float] = None,
+        kill_at: Optional[Sequence[tuple[float, str]]] = None,
+    ) -> RunResult:
+        """Execute all tasks for real on host threads (semantics in
+        :meth:`_run_real_impl`); traced like :meth:`run`, but replayed
+        task spans stay on the wall clock anchored at the run's start."""
+        tracer = _obs.get_tracer()
+        if tracer is None:
+            return self._run_real_impl(
+                max_threads=max_threads,
+                fault_policy=fault_policy,
+                watchdog_s=watchdog_s,
+                kill_at=kill_at,
+            )
+        with tracer.span(
+            "runtime.run_real",
+            platform=self.platform.name,
+            scheduler=self.scheduler.name,
+            mode="real",
+            tasks=len(self._tasks),
+        ) as span_:
+            start = span_.start
+            result = self._run_real_impl(
+                max_threads=max_threads,
+                fault_policy=fault_policy,
+                watchdog_s=watchdog_s,
+                kill_at=kill_at,
+            )
+            span_.set(
+                makespan_s=result.makespan,
+                task_failures=result.task_failures,
+                worker_failures=result.worker_failures,
+            )
+            record_trace_log(
+                tracer, result.trace, parent=span_, mode="real", wall_offset=start
+            )
+            return result
+
+    def _run_real_impl(
         self,
         *,
         max_threads: Optional[int] = None,

@@ -11,6 +11,8 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass
 
+from repro.obs.digest import fingerprint_payload
+
 __all__ = ["TaskTrace", "TransferTrace", "FaultTrace", "TraceLog", "RunResult"]
 
 
@@ -171,6 +173,42 @@ class RunResult:
         if self.makespan <= 0:
             return 0.0
         return total_flops / self.makespan / 1e9
+
+    def to_payload(self) -> dict:
+        """JSON-serializable aggregate of the run.
+
+        Deterministic for deterministic simulations: ``wall_time`` (host
+        time, noisy by nature) is deliberately excluded so two identical
+        sim runs fingerprint identically; per-event detail stays on
+        :attr:`trace`.
+        """
+        return {
+            "makespan_s": self.makespan,
+            "mode": self.mode,
+            "scheduler": self.scheduler,
+            "task_count": self.task_count,
+            "transfer_count": self.transfer_count,
+            "bytes_transferred": self.bytes_transferred,
+            "eviction_count": self.eviction_count,
+            "writeback_bytes": self.writeback_bytes,
+            "faults": {
+                "task_failures": self.task_failures,
+                "retries": self.retry_count,
+                "requeues": self.requeue_count,
+                "worker_failures": self.worker_failures,
+            },
+            "tasks_by_architecture": dict(
+                sorted(self.trace.tasks_per_architecture().items())
+            ),
+            "utilization": {
+                w: round(u, 9) for w, u in self.trace.utilization().items()
+            },
+        }
+
+    def fingerprint(self) -> str:
+        """Stable sha256 over :meth:`to_payload` (the shared convention
+        of every toolchain report object)."""
+        return fingerprint_payload(self.to_payload())
 
     def summary(self) -> str:
         lines = [

@@ -21,6 +21,7 @@ from urllib.parse import quote, urlencode, urlsplit
 
 from repro.errors import ServiceError, ServiceOverloadError
 from repro.model.platform import Platform
+from repro.obs import spans as _obs
 from repro.pdl.catalog import parse_cached
 from repro.pdl.writer import write_pdl
 from repro.runtime.faults import FaultPolicy
@@ -63,10 +64,18 @@ class RegistryClient:
         )
 
     # -- low-level ----------------------------------------------------------
-    def _once(self, method: str, path: str, body: Optional[bytes]) -> tuple:
+    def _once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        trace_id: Optional[str] = None,
+    ) -> tuple:
         conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             headers = {"Accept": "application/json", "Connection": "close"}
+            if trace_id is not None:
+                headers["X-Repro-Trace-Id"] = trace_id
             if body is not None:
                 headers["Content-Type"] = (
                     "application/json"
@@ -94,12 +103,41 @@ class RegistryClient:
         params: Optional[dict] = None,
     ) -> dict:
         """One JSON round trip with 429-aware retry; raises rehydrated
-        library exceptions on error responses."""
+        library exceptions on error responses.
+
+        When a tracer is active the round trip runs under a
+        ``registry.client.request`` span whose trace id travels in the
+        ``X-Repro-Trace-Id`` header — the server opens its request span
+        under the same id and echoes the header back, so one trace shows
+        both halves of the trip.
+        """
+        tracer = _obs.get_tracer()
+        if tracer is None:
+            return self._request_impl(method, path, body=body, params=params)
+        with tracer.span(
+            "registry.client.request", method=method, path=path
+        ) as span_:
+            payload = self._request_impl(
+                method, path, body=body, params=params, trace_id=span_.trace_id
+            )
+            return payload
+
+    def _request_impl(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Optional[bytes] = None,
+        params: Optional[dict] = None,
+        trace_id: Optional[str] = None,
+    ) -> dict:
         if params:
             path = f"{path}?{urlencode(params)}"
         attempt = 0
         while True:
-            status, raw, retry_after_header = self._once(method, path, body)
+            status, raw, retry_after_header = self._once(
+                method, path, body, trace_id
+            )
             try:
                 payload = protocol.loads(raw) if raw else {}
             except ServiceError:

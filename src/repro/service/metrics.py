@@ -7,32 +7,20 @@ of ``GET /metrics``.
 
 Latency percentiles are computed over a bounded reservoir (the most
 recent ``latency_window`` observations) — good enough for p50/p99 of a
-live service without unbounded memory.
+live service without unbounded memory.  The percentile math itself
+lives in :mod:`repro.obs.digest`, shared with the observability
+histograms so every digest in the toolchain has the same shape.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import Counter, deque
-from typing import Optional
+
+# re-exported for backwards compatibility: this was percentile's home
+from repro.obs.digest import digest_summary, fingerprint_payload, percentile
 
 __all__ = ["ServiceMetrics", "percentile"]
-
-
-def percentile(samples: list[float], q: float) -> Optional[float]:
-    """q-th percentile (0..100) by linear interpolation; None when empty."""
-    if not samples:
-        return None
-    if not 0 <= q <= 100:
-        raise ValueError("percentile q must be in [0, 100]")
-    ordered = sorted(samples)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (q / 100.0) * (len(ordered) - 1)
-    lo = int(rank)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = rank - lo
-    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 
 class ServiceMetrics:
@@ -92,7 +80,7 @@ class ServiceMetrics:
             self.queue_depth = max(0, self.queue_depth - 1)
 
     # -- reporting ----------------------------------------------------------
-    def _ratio(self, hits: int, misses: int) -> Optional[float]:
+    def _ratio(self, hits: int, misses: int):
         total = hits + misses
         return hits / total if total else None
 
@@ -124,12 +112,17 @@ class ServiceMetrics:
                     "depth": self.queue_depth,
                     "high_water": self.queue_high_water,
                 },
-                "latency_s": {
-                    "count": len(samples),
-                    "p50": percentile(samples, 50),
-                    "p99": percentile(samples, 99),
-                },
+                "latency_s": digest_summary(samples),
             }
+
+    def to_payload(self) -> dict:
+        """Alias of :meth:`snapshot` — the uniform report-object verb
+        (``SelectionReport``/``LintReport``/``RunResult`` parity)."""
+        return self.snapshot()
+
+    def fingerprint(self) -> str:
+        """Stable sha256 over :meth:`to_payload`."""
+        return fingerprint_payload(self.to_payload())
 
     def __repr__(self) -> str:
         return (

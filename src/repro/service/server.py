@@ -40,6 +40,7 @@ service stays observable while shedding load.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import re
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -48,6 +49,7 @@ from typing import Callable, Optional
 from urllib.parse import parse_qsl, unquote, urlsplit
 
 from repro.errors import ServiceProtocolError
+from repro.obs import spans as _obs
 from repro.runtime.faults import FaultPolicy
 from repro.service import protocol
 from repro.service.metrics import ServiceMetrics
@@ -332,11 +334,17 @@ class RegistryServer:
     #: endpoints that must answer even when the service sheds load
     _UNGATED = {"GET /healthz", "GET /metrics", "GET /"}
 
+    #: request header carrying the caller's trace id (lower-cased by the
+    #: reader); echoed back on every response so client and server spans
+    #: of one round trip share a trace
+    _TRACE_HEADER = "x-repro-trace-id"
+
     async def _dispatch(
         self, request: _Request, consecutive_overloads: int
     ) -> tuple[str, _Response]:
         handler = None
         endpoint = f"{request.method} {request.path}"
+        trace_id = request.headers.get(self._TRACE_HEADER) or None
         path_matched = False
         for method, pattern, label, fn in self._routes:
             match = pattern.match(request.path)
@@ -349,16 +357,19 @@ class RegistryServer:
         if handler is None:
             status = 405 if path_matched else 404
             code = "method-not-allowed" if path_matched else "not-found"
-            return endpoint, _Response(
-                status,
-                {
-                    "error": {
-                        "code": code,
-                        "type": "RoutingError",
-                        "message": f"no route for {request.method} {request.path}",
-                        "status": status,
-                    }
-                },
+            return endpoint, self._echo_trace(
+                trace_id,
+                _Response(
+                    status,
+                    {
+                        "error": {
+                            "code": code,
+                            "type": "RoutingError",
+                            "message": f"no route for {request.method} {request.path}",
+                            "status": status,
+                        }
+                    },
+                ),
             )
         if (
             endpoint not in self._UNGATED
@@ -367,31 +378,63 @@ class RegistryServer:
             retry_after = self.config.overload_policy.backoff(
                 consecutive_overloads + 1
             )
-            return endpoint, _Response(
-                429,
-                {
-                    "error": {
-                        "code": "overloaded",
-                        "type": "ServiceOverloadError",
-                        "message": (
-                            f"request queue full"
-                            f" ({self.config.max_queue} in flight);"
-                            f" retry after {retry_after:.3f}s"
-                        ),
-                        "status": 429,
-                    }
-                },
-                headers={"Retry-After": f"{retry_after:.3f}"},
+            return endpoint, self._echo_trace(
+                trace_id,
+                _Response(
+                    429,
+                    {
+                        "error": {
+                            "code": "overloaded",
+                            "type": "ServiceOverloadError",
+                            "message": (
+                                f"request queue full"
+                                f" ({self.config.max_queue} in flight);"
+                                f" retry after {retry_after:.3f}s"
+                            ),
+                            "status": 429,
+                        }
+                    },
+                    headers={"Retry-After": f"{retry_after:.3f}"},
+                ),
             )
         self.metrics.enter_queue()
         try:
-            loop = asyncio.get_running_loop()
-            response = await loop.run_in_executor(
-                self._executor, self._run_handler, handler, request, params
-            )
+            tracer = _obs.get_tracer()
+            if tracer is None:
+                response = await self._execute(handler, request, params)
+            else:
+                with tracer.span(
+                    "registry.server.request",
+                    trace_id=trace_id,
+                    endpoint=endpoint,
+                    method=request.method,
+                    path=request.path,
+                ) as span_:
+                    response = await self._execute(handler, request, params)
+                    span_.set(status=response.status)
+                    if trace_id is None:
+                        trace_id = span_.trace_id
         finally:
             self.metrics.exit_queue()
-        return endpoint, response
+        return endpoint, self._echo_trace(trace_id, response)
+
+    async def _execute(
+        self, handler: Callable, request: _Request, params: dict
+    ) -> _Response:
+        """Run one handler on the worker pool, carrying the caller's
+        context (and with it the current span) into the thread so
+        store-level spans attach under the request span."""
+        loop = asyncio.get_running_loop()
+        ctx = contextvars.copy_context()
+        return await loop.run_in_executor(
+            self._executor, ctx.run, self._run_handler, handler, request, params
+        )
+
+    @staticmethod
+    def _echo_trace(trace_id: Optional[str], response: _Response) -> _Response:
+        if trace_id:
+            response.headers.setdefault("X-Repro-Trace-Id", trace_id)
+        return response
 
     def _run_handler(
         self, handler: Callable, request: _Request, params: dict

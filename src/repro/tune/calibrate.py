@@ -23,6 +23,7 @@ from typing import Callable, Optional
 from repro.errors import TuningError
 from repro.kernels.registry import KernelRegistry, default_kernel_registry
 from repro.model.platform import Platform
+from repro.obs import spans as _obs
 from repro.pdl.catalog import content_digest
 from repro.pdl.writer import write_pdl
 from repro.perf.models import PerfModel
@@ -242,7 +243,26 @@ class Calibrator:
         return list(seen.values())
 
     def run(self, database: Optional[TuningDatabase] = None) -> TuningDatabase:
-        """Execute the sweep; returns the (possibly given) database."""
+        """Execute the sweep; returns the (possibly given) database.
+
+        With a tracer active each (lane × kernel) sweep runs under a
+        ``tune.sweep`` span beneath one ``tune.calibrate`` root, so a
+        calibration trace shows where the measurement time went.
+        """
+        tracer = _obs.get_tracer()
+        if tracer is None:
+            return self._run_sweep(database)
+        with tracer.span(
+            "tune.calibrate",
+            platform=self.platform.name,
+            digest=self.digest[:12],
+            kernels=",".join(self.config.kernels),
+        ) as span_:
+            db = self._run_sweep(database)
+            span_.set(samples=db.sample_count(self.digest))
+            return db
+
+    def _run_sweep(self, database: Optional[TuningDatabase]) -> TuningDatabase:
         db = database if database is not None else TuningDatabase()
         cfg = self.config
         rng = random.Random(cfg.seed)
@@ -258,34 +278,37 @@ class Calibrator:
                 kernel_def = self.registry.get(kernel)
                 if not kernel_def.supports(lane.architecture):
                     continue
-                for size in cfg.sizes:
-                    dims = dims_for(kernel, size)
-                    engine = RuntimeEngine(
-                        self.platform,
-                        scheduler=PinnedScheduler(lane.instance_id),
-                        registry=self.registry,
-                        perf_model=self.perf_model,
-                    )
-                    shape = _handle_shape(kernel, dims)
-                    for r in range(cfg.repeats):
-                        handle = engine.register(
-                            shape=shape, name=f"cal-{kernel}-{size}-{r}"
+                with _obs.span(
+                    "tune.sweep", lane=lane.entity_id, kernel=kernel
+                ):
+                    for size in cfg.sizes:
+                        dims = dims_for(kernel, size)
+                        engine = RuntimeEngine(
+                            self.platform,
+                            scheduler=PinnedScheduler(lane.instance_id),
+                            registry=self.registry,
+                            perf_model=self.perf_model,
                         )
-                        engine.submit(
-                            kernel,
-                            [(handle, "rw")],
-                            dims=dims,
-                            tag=f"cal:{kernel}[{lane.entity_id},{size},{r}]",
+                        shape = _handle_shape(kernel, dims)
+                        for r in range(cfg.repeats):
+                            handle = engine.register(
+                                shape=shape, name=f"cal-{kernel}-{size}-{r}"
+                            )
+                            engine.submit(
+                                kernel,
+                                [(handle, "rw")],
+                                dims=dims,
+                                tag=f"cal:{kernel}[{lane.entity_id},{size},{r}]",
+                            )
+                        result = engine.run(gather_to_home=True)
+                        measured += harvest_run(
+                            engine,
+                            result,
+                            db,
+                            digest=self.digest,
+                            source="microbench",
+                            jitter=jitter,
                         )
-                    result = engine.run(gather_to_home=True)
-                    measured += harvest_run(
-                        engine,
-                        result,
-                        db,
-                        digest=self.digest,
-                        source="microbench",
-                        jitter=jitter,
-                    )
         if measured == 0:
             raise TuningError(
                 f"calibration produced no samples for platform"

@@ -29,7 +29,6 @@ descriptor and hence one timing history.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import threading
@@ -37,6 +36,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.errors import TuningError
+from repro.obs.digest import fingerprint_payload
 
 __all__ = ["TimingSample", "TransferSample", "TuningDatabase"]
 
@@ -321,10 +321,7 @@ class TuningDatabase:
 
     def fingerprint(self) -> str:
         """Stable sha256 over the canonical payload (change detection)."""
-        canonical = json.dumps(
-            self.to_payload(), sort_keys=True, separators=(",", ":")
-        )
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return fingerprint_payload(self.to_payload())
 
     # -- persistence ---------------------------------------------------------
     def save(self, path: Optional[str] = None) -> str:

@@ -1,0 +1,37 @@
+"""Shared fixtures for the observability tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import spans as obs_spans
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_tracer():
+    """Every test starts and ends with tracing disabled."""
+    obs_spans.set_tracer(None)
+    yield
+    obs_spans.set_tracer(None)
+
+
+#: an annotated program with a CUDA variant and an x86 fallback
+PROGRAM = """\
+#pragma cascabel task : x86 : Idgemm : dgemm_cpu : (C: readwrite, A: read, B: read)
+void matmul(double *C, double *A, double *B) { }
+
+#pragma cascabel task : cuda,opencl : Idgemm : dgemm_gpu : (C: readwrite, A: read, B: read)
+void matmul_gpu(double *C, double *A, double *B) { }
+
+int main(void) {
+    double *C, *A, *B;
+    #pragma cascabel execute Idgemm : executionset01 (C:BLOCK:N, A:BLOCK:N, B:BLOCK:N)
+    matmul(C, A, B);
+    return 0;
+}
+"""
+
+
+@pytest.fixture
+def program_source() -> str:
+    return PROGRAM

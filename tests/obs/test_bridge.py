@@ -1,0 +1,83 @@
+"""TraceLog → span replay, and the engine's automatic bridging."""
+
+from repro.obs import SIM_CLOCK, WALL_CLOCK, Tracer, record_trace_log, use_tracer
+from repro.pdl import load_platform
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.trace import FaultTrace, TaskTrace, TraceLog, TransferTrace
+
+
+def _small_run(platform_name="xeon_x5550_dual"):
+    engine = RuntimeEngine(load_platform(platform_name), scheduler="eager")
+    a = engine.register(shape=(256, 256), name="A")
+    engine.submit("dgemm", [(a, "rw")], dims=(256, 256, 256), tag="t0")
+    return engine, engine.run()
+
+
+class TestRecordTraceLog:
+    def test_sim_replay(self):
+        log = TraceLog()
+        log.record_task(
+            TaskTrace(1, "t", "dgemm", "cpu#0", "x86_64", 0.0, 1.0, 0.1)
+        )
+        log.record_transfer(TransferTrace("A", 1024, 0, 1, 0.0, 0.2))
+        tracer = Tracer()
+        count = record_trace_log(tracer, log)
+        assert count == 2
+        spans = tracer.finished()
+        assert {s.clock for s in spans} == {SIM_CLOCK}
+        task = next(s for s in spans if s.name == "task:dgemm")
+        assert task.track == "cpu#0"
+        assert task.attributes["transfer_wait_s"] == 0.1
+
+    def test_real_replay_offsets_onto_wall_clock(self):
+        log = TraceLog()
+        log.record_task(
+            TaskTrace(1, "t", "dgemm", "cpu#0", "x86_64", 0.5, 1.5, 0.0)
+        )
+        tracer = Tracer()
+        record_trace_log(tracer, log, mode="real", wall_offset=10.0)
+        (span_,) = tracer.finished()
+        assert span_.clock == WALL_CLOCK
+        assert span_.start == 10.5
+        assert span_.end == 11.5
+
+    def test_faults_become_zero_length_error_spans(self):
+        log = TraceLog()
+        log.record_fault(FaultTrace("task-fault", 1.0, "t0", "gpu0#0", "boom"))
+        log.record_fault(FaultTrace("retry", 1.1, "t0", "gpu0#0"))
+        tracer = Tracer()
+        record_trace_log(tracer, log)
+        by_name = {s.name: s for s in tracer.finished()}
+        assert by_name["fault:task-fault"].status == "error"
+        assert by_name["fault:retry"].status == "ok"
+        assert by_name["fault:task-fault"].duration == 0.0
+
+    def test_parent_links_replayed_spans(self):
+        log = TraceLog()
+        log.record_task(
+            TaskTrace(1, "t", "dgemm", "cpu#0", "x86_64", 0.0, 1.0, 0.0)
+        )
+        tracer = Tracer()
+        with tracer.span("runtime.run") as run_span:
+            record_trace_log(tracer, log, parent=run_span)
+        task = next(s for s in tracer.finished() if s.name == "task:dgemm")
+        assert task.parent_id == run_span.span_id
+        assert task.trace_id == run_span.trace_id
+
+
+class TestEngineBridging:
+    def test_run_replays_trace_under_run_span(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            _, result = _small_run()
+        spans = tracer.finished()
+        run_span = next(s for s in spans if s.name == "runtime.run")
+        assert run_span.attributes["makespan_s"] == result.makespan
+        tasks = [s for s in spans if s.name.startswith("task:")]
+        assert len(tasks) == result.task_count
+        assert all(s.parent_id == run_span.span_id for s in tasks)
+        assert all(s.clock == SIM_CLOCK for s in tasks)
+
+    def test_disabled_tracing_records_nothing(self):
+        _, result = _small_run()
+        assert result.makespan > 0  # and no tracer captured anything

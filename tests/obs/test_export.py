@@ -1,0 +1,112 @@
+"""Exporters: Chrome trace-event JSON, deterministic payloads, text tree."""
+
+import json
+
+from repro.obs import (
+    SIM_CLOCK,
+    Tracer,
+    chrome_trace,
+    render_payload_tree,
+    render_tree,
+    trace_payload,
+    write_chrome_trace,
+)
+
+
+def _sample_tracer() -> Tracer:
+    t = Tracer(trace_id="a" * 16)
+    with t.span("outer", phase="demo"):
+        with t.span("inner"):
+            pass
+    t.record_span(
+        "task:dgemm", 0.0, 0.5, clock=SIM_CLOCK, track="gpu0#0", kernel="dgemm"
+    )
+    return t
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        doc = chrome_trace(_sample_tracer())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3
+        names = {e["args"]["name"] for e in metadata if e["name"] == "process_name"}
+        assert names == {"repro wall clock", "repro sim time"}
+
+    def test_clock_separation_by_pid(self):
+        doc = chrome_trace(_sample_tracer())
+        complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        sim = [e for e in complete if e["name"] == "task:dgemm"]
+        wall = [e for e in complete if e["name"] != "task:dgemm"]
+        assert {e["pid"] for e in sim} == {2}
+        assert {e["pid"] for e in wall} == {1}
+
+    def test_microsecond_timestamps_and_args(self):
+        doc = chrome_trace(_sample_tracer())
+        (sim_event,) = [
+            e for e in doc["traceEvents"] if e.get("name") == "task:dgemm"
+        ]
+        assert sim_event["ts"] == 0.0
+        assert sim_event["dur"] == 0.5e6
+        assert sim_event["args"]["kernel"] == "dgemm"
+        assert sim_event["args"]["trace_id"]
+        assert "span_id" in sim_event["args"]
+
+    def test_parent_child_args_link(self):
+        doc = chrome_trace(_sample_tracer())
+        by_name = {
+            e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"
+        }
+        assert (
+            by_name["inner"]["args"]["parent_id"]
+            == by_name["outer"]["args"]["span_id"]
+        )
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(_sample_tracer(), path)
+        with open(written, "r", encoding="utf-8") as handle:
+            assert "traceEvents" in json.load(handle)
+
+
+class TestPayloadAndTree:
+    def test_trace_payload_matches_tracer(self):
+        t = _sample_tracer()
+        assert trace_payload(t) == t.to_payload()
+
+    def test_render_tree_nests_and_marks_sim(self):
+        rendered = render_tree(_sample_tracer())
+        lines = rendered.splitlines()
+        outer = next(i for i, l in enumerate(lines) if l.startswith("outer"))
+        assert lines[outer + 1].startswith("  inner")  # child indented
+        assert "(sim)" in rendered
+        assert "{kernel=dgemm" in rendered
+
+    def test_render_tree_without_attributes(self):
+        rendered = render_tree(_sample_tracer(), attributes=False)
+        assert "{" not in rendered
+
+    def test_render_payload_tree_round_trip(self):
+        t = _sample_tracer()
+        assert render_payload_tree(t.to_payload()) == render_tree(t)
+
+    def test_error_marker(self):
+        t = Tracer()
+        try:
+            with t.span("broken"):
+                raise RuntimeError("nope")
+        except RuntimeError:
+            pass
+        assert "[ERROR]" in render_tree(t)
+
+    def test_orphan_spans_render_as_roots(self):
+        t = Tracer()
+        with t.span("parent") as parent:
+            with t.span("child"):
+                pass
+            # parent not yet finished: render mid-flight
+            rendered = render_tree(t)
+            assert rendered.startswith("child")
+        assert parent.end is not None

@@ -1,0 +1,167 @@
+"""The repro.Session facade: one object, the whole toolchain."""
+
+import pytest
+
+import repro
+from repro.obs import Tracer, get_tracer
+from repro.pdl import load_platform, write_pdl
+
+
+class TestConstruction:
+    def test_defaults(self):
+        s = repro.Session()
+        assert s.tracer is None
+        assert s.scheduler == "dmda"
+        assert s.lint_mode == "warn"
+        with pytest.raises(ValueError, match="no platform"):
+            s.platform
+
+    def test_platform_by_name_loads_lazily(self):
+        s = repro.Session("xeon_x5550_dual")
+        assert s._platform is None  # not loaded yet
+        assert s.platform.name == "xeon-x5550-dual"
+        assert s.platform is s.platform  # cached
+
+    def test_platform_object_adopted(self):
+        platform = load_platform("xeon_x5550_dual")
+        s = repro.Session(platform)
+        assert s.platform is platform
+
+    def test_trace_true_creates_tracer_metrics_shared(self):
+        s = repro.Session(trace=True)
+        assert isinstance(s.tracer, Tracer)
+        assert s.metrics is s.tracer.metrics
+
+    def test_existing_tracer_joined(self):
+        t = Tracer()
+        s = repro.Session(trace=t)
+        assert s.tracer is t
+
+    def test_use_repoints(self):
+        s = repro.Session("xeon_x5550_dual")
+        assert s.use("xeon_x5550_2gpu") is s
+        assert s.platform.name == "xeon-x5550-2gpu"
+
+    def test_repr(self):
+        s = repro.Session("xeon_x5550_dual", trace=True)
+        text = repr(s)
+        assert "xeon_x5550_dual" in text
+        assert "tracing=True" in text
+
+
+class TestVerbs:
+    def test_parse_adopts_platform(self):
+        xml = write_pdl(load_platform("xeon_x5550_dual"))
+        s = repro.Session(trace=True)
+        platform = s.parse(xml)
+        assert s.platform is platform
+        assert any(sp.name == "pdl.parse" for sp in s.tracer.finished())
+
+    def test_translate_uses_session_platform_and_lint(self, program_source):
+        s = repro.Session("xeon_x5550_2gpu", trace=True, lint="off")
+        result = s.translate(program_source)
+        assert result.platform.name == "xeon-x5550-2gpu"
+        assert result.lint_reports == []  # session lint default applied
+        names = {sp.name for sp in s.tracer.finished()}
+        assert "cascabel.translate" in names
+        assert "cascabel.lint" not in names
+
+    def test_preselect_returns_report(self, program_source):
+        s = repro.Session("xeon_x5550_2gpu", trace=True)
+        report = s.preselect(program_source)
+        assert report.__class__ is repro.SelectionReport
+        assert "Idgemm" in report.selected
+        assert any(
+            sp.name == "cascabel.preselect" for sp in s.tracer.finished()
+        )
+
+    def test_lint_platform_and_program(self, program_source):
+        s = repro.Session("xeon_x5550_2gpu")
+        (platform_report,) = s.lint()
+        assert platform_report.kind == "pdl"
+        program_reports = s.lint(program_source)
+        assert [r.kind for r in program_reports] == ["cascabel", "cross"]
+
+    def test_run_workload(self):
+        from repro.experiments import submit_tiled_dgemm
+
+        s = repro.Session("xeon_x5550_dual", trace=True)
+        result = s.run(lambda eng: submit_tiled_dgemm(eng, 512, 256))
+        assert result.makespan > 0
+        assert result.scheduler == "dmda"
+        assert s.last_engine.platform is s.platform
+        assert any(sp.name == "runtime.run" for sp in s.tracer.finished())
+
+    def test_run_scheduler_override_and_bad_mode(self):
+        s = repro.Session("xeon_x5550_dual")
+        result = s.run(
+            lambda eng: eng.submit(
+                "dgemm",
+                [(eng.register(shape=(64, 64)), "rw")],
+                dims=(64, 64, 64),
+            ),
+            scheduler="eager",
+        )
+        assert result.scheduler == "eager"
+        with pytest.raises(ValueError, match="mode"):
+            s.run(lambda eng: None, mode="warp")
+
+    def test_calibrate(self):
+        from repro.tune.calibrate import CalibrationConfig
+
+        s = repro.Session("xeon_x5550_dual", trace=True)
+        db, digest = s.calibrate(
+            config=CalibrationConfig(kernels=("dgemm",), sizes=(64,), repeats=1)
+        )
+        assert db.sample_count(digest) > 0
+        assert any(
+            sp.name == "tune.calibrate" for sp in s.tracer.finished()
+        )
+
+
+class TestTracerScoping:
+    def test_methods_restore_previous_tracer(self):
+        s = repro.Session("xeon_x5550_dual", trace=True)
+        assert get_tracer() is None
+        s.lint()
+        assert get_tracer() is None
+
+    def test_context_manager_installs_for_user_code(self):
+        s = repro.Session(trace=True)
+        with s:
+            assert get_tracer() is s.tracer
+            with repro.span("user-step"):
+                pass
+        assert get_tracer() is None
+        assert [sp.name for sp in s.tracer.finished()] == ["user-step"]
+
+    def test_untraced_session_is_inert(self):
+        s = repro.Session("xeon_x5550_dual")
+        with s:
+            assert get_tracer() is None
+        for accessor in (s.trace_payload, s.chrome_trace, s.render_trace):
+            with pytest.raises(ValueError, match="without tracing"):
+                accessor()
+
+
+class TestExports:
+    def test_trace_exports(self, tmp_path):
+        from repro.experiments import submit_tiled_dgemm
+
+        s = repro.Session("xeon_x5550_dual", trace=True)
+        s.run(lambda eng: submit_tiled_dgemm(eng, 512, 256))
+        payload = s.trace_payload()
+        assert payload["kind"] == "repro-trace"
+        assert s.chrome_trace()["traceEvents"]
+        assert "runtime.run" in s.render_trace()
+        written = s.write_chrome_trace(tmp_path / "t.json")
+        assert (tmp_path / "t.json").exists()
+        assert str(tmp_path / "t.json") == written
+
+    def test_payload_and_fingerprint(self):
+        s = repro.Session("xeon_x5550_dual", trace=True)
+        payload = s.to_payload()
+        assert payload["platform"] == "xeon_x5550_dual"
+        assert payload["tracing"] is True
+        assert payload["trace"]["spans"] == 0
+        assert s.fingerprint() == s.fingerprint()

@@ -1,0 +1,175 @@
+"""Core tracer semantics: nesting, status, propagation, disabled mode."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_SPAN,
+    Tracer,
+    current_trace_id,
+    get_tracer,
+    set_tracer,
+    span,
+    use_tracer,
+)
+
+
+class TestSpanTree:
+    def test_nesting_links_parent_ids(self):
+        t = Tracer()
+        with t.span("root") as root:
+            with t.span("child") as child:
+                with t.span("grandchild") as grand:
+                    pass
+        assert child.parent_id == root.span_id
+        assert grand.parent_id == child.span_id
+        assert root.parent_id is None
+        # completion order: innermost finishes first
+        assert [s.name for s in t.finished()] == ["grandchild", "child", "root"]
+
+    def test_children_share_the_root_trace_id(self):
+        t = Tracer()
+        with t.span("root") as root:
+            with t.span("child") as child:
+                assert child.trace_id == root.trace_id
+        with t.span("other") as other:
+            pass
+        assert other.trace_id != root.trace_id  # fresh root, fresh trace
+
+    def test_fixed_trace_id_tracer(self):
+        t = Tracer(trace_id="feedfacefeedface")
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+        assert {s.trace_id for s in t.finished()} == {"feedfacefeedface"}
+
+    def test_explicit_trace_id_wins(self):
+        t = Tracer()
+        with t.span("incoming", trace_id="abc123") as s:
+            assert s.trace_id == "abc123"
+
+    def test_timestamps_are_monotonic_and_relative(self):
+        t = Tracer()
+        with t.span("outer") as outer:
+            with t.span("inner") as inner:
+                pass
+        assert 0.0 <= outer.start <= inner.start
+        assert inner.end <= outer.end
+        assert outer.duration >= inner.duration >= 0.0
+
+    def test_attributes_and_chaining(self):
+        t = Tracer()
+        with t.span("op", a=1) as s:
+            s.set(b=2).set(c=3)
+        payload = t.finished()[0].to_payload()
+        assert payload["attributes"] == {"a": 1, "b": 2, "c": 3}
+        assert list(payload["attributes"]) == ["a", "b", "c"]  # sorted
+
+    def test_exception_marks_error_and_reraises(self):
+        t = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with t.span("failing"):
+                raise ValueError("boom")
+        (s,) = t.finished()
+        assert s.status == "error"
+        assert s.error == "ValueError: boom"
+
+    def test_roots_and_children_of(self):
+        t = Tracer()
+        with t.span("r") as r:
+            with t.span("c1"):
+                pass
+            with t.span("c2"):
+                pass
+        assert [s.name for s in t.roots()] == ["r"]
+        assert [s.name for s in t.children_of(r)] == ["c1", "c2"]
+
+    def test_record_span_appends_pretimed(self):
+        t = Tracer()
+        s = t.record_span("replayed", 1.0, 2.5, clock="sim", track="w0", x=9)
+        assert s.duration == 1.5
+        assert s.clock == "sim"
+        assert t.finished() == [s]
+
+    def test_clear_and_len(self):
+        t = Tracer()
+        with t.span("a"):
+            pass
+        assert len(t) == 1
+        t.clear()
+        assert len(t) == 0
+
+
+class TestActiveTracer:
+    def test_disabled_by_default(self):
+        assert get_tracer() is None
+        assert span("anything") is NULL_SPAN
+
+    def test_null_span_is_inert_singleton(self):
+        with span("nothing", ignored=1) as s:
+            assert s is NULL_SPAN
+            assert s.set(k=2) is s
+        assert NULL_SPAN.attributes == {}
+
+    def test_use_tracer_installs_and_restores(self):
+        t = Tracer()
+        with use_tracer(t):
+            assert get_tracer() is t
+            with span("visible"):
+                pass
+        assert get_tracer() is None
+        assert [s.name for s in t.finished()] == ["visible"]
+
+    def test_use_tracer_nests(self):
+        outer, inner = Tracer(), Tracer()
+        with use_tracer(outer):
+            with use_tracer(inner):
+                assert get_tracer() is inner
+            assert get_tracer() is outer
+
+    def test_set_tracer_returns_previous(self):
+        t = Tracer()
+        assert set_tracer(t) is None
+        assert set_tracer(None) is t
+
+    def test_current_trace_id(self):
+        t = Tracer()
+        assert current_trace_id() is None
+        with use_tracer(t):
+            with t.span("op") as s:
+                assert current_trace_id() == s.trace_id
+        assert current_trace_id() is None
+
+    def test_tracer_visible_across_threads_parentage_is_not(self):
+        t = Tracer()
+        seen = {}
+
+        def worker():
+            seen["tracer"] = get_tracer()
+            with span("threaded") as s:
+                seen["span"] = s
+
+        with use_tracer(t):
+            with t.span("main-root"):
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+        assert seen["tracer"] is t
+        # fresh thread, fresh context: the span roots its own trace
+        assert seen["span"].parent_id is None
+
+
+class TestPayloads:
+    def test_to_payload_shape_and_fingerprint_stability(self):
+        t = Tracer(trace_id="0" * 16)
+        with t.span("op", k="v"):
+            pass
+        payload = t.to_payload()
+        assert payload["kind"] == "repro-trace"
+        assert payload["version"] == 1
+        assert len(payload["spans"]) == 1
+        assert "metrics" in payload
+        assert t.fingerprint() == t.fingerprint()
+        assert len(t.fingerprint()) == 64

@@ -10,12 +10,14 @@ TOP_LEVEL_EXPORTS = [
     "Platform", "PlatformBuilder", "Property",
     "parse_pdl", "parse_pdl_file", "write_pdl", "write_pdl_file",
     "load_platform",
+    "Tracer", "span", "use_tracer", "Session", "SelectionReport",
 ]
 
 SUBPACKAGES = [
     "repro.model", "repro.pdl", "repro.query", "repro.discovery",
     "repro.perf", "repro.kernels", "repro.runtime", "repro.cascabel",
     "repro.experiments", "repro.errors", "repro.dynamic", "repro.predict",
+    "repro.obs", "repro.session",
 ]
 
 
@@ -46,6 +48,29 @@ def test_errors_all_derive_from_repro_error():
     for name in errors.__all__:
         obj = getattr(errors, name)
         assert issubclass(obj, errors.ReproError)
+
+
+def test_lazy_exports_resolve_and_dir_lists_them():
+    import repro
+
+    assert "Session" in dir(repro)
+    assert repro.Session.__name__ == "Session"
+    assert repro.SelectionReport.__name__ == "SelectionReport"
+    with pytest.raises(AttributeError):
+        repro.definitely_not_an_export
+
+
+def test_session_facade_quickstart():
+    """The Session one-object workflow from the README."""
+    import repro
+    from repro.experiments import submit_tiled_dgemm
+
+    s = repro.Session("xeon_x5550_dual", trace=True)
+    result = s.run(lambda eng: submit_tiled_dgemm(eng, 512, 256))
+    assert result.makespan > 0
+    names = {sp.name for sp in s.tracer.finished()}
+    assert "runtime.run" in names
+    assert s.chrome_trace()["traceEvents"]
 
 
 def test_readme_quickstart_sequence():

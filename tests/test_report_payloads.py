@@ -1,0 +1,158 @@
+"""Report-object coherence: every report exposes the same two verbs.
+
+``to_payload()`` must return a JSON-serializable dict that is stable
+across calls, and ``fingerprint()`` must be the shared sha256 of the
+canonical payload — the convention ``SelectionReport`` established and
+every toolchain report now follows.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.digest import fingerprint_payload
+
+
+def _selection_report():
+    from repro.cascabel.driver import translate
+
+    source = (
+        "#pragma cascabel task : x86 : I : k_cpu : (A: readwrite)\n"
+        "void k(double *A) { }\n"
+    )
+    return translate(source, "xeon_x5550_dual", lint="off").selection
+
+
+def _lint_report():
+    from repro.analysis import lint_platform
+    from repro.pdl import load_platform
+
+    return lint_platform(load_platform("xeon_x5550_dual"))
+
+
+def _validation_report():
+    from repro.pdl import load_platform
+    from repro.pdl.validator import validate_document
+
+    return validate_document(load_platform("xeon_x5550_dual"))
+
+
+def _run_result():
+    from repro.pdl import load_platform
+    from repro.runtime.engine import RuntimeEngine
+
+    engine = RuntimeEngine(load_platform("xeon_x5550_dual"), scheduler="eager")
+    handle = engine.register(shape=(128, 128))
+    engine.submit("dgemm", [(handle, "rw")], dims=(128, 128, 128))
+    return engine.run()
+
+
+def _service_metrics():
+    from repro.service.metrics import ServiceMetrics
+
+    metrics = ServiceMetrics()
+    metrics.observe_request("GET /healthz", 200, 0.01)
+    metrics.record_platform_cache(True)
+    return metrics
+
+
+def _tuning_database():
+    from repro.tune.database import TimingSample, TuningDatabase
+
+    db = TuningDatabase()
+    db.record(
+        "d" * 64,
+        TimingSample(
+            kernel="dgemm",
+            pu="cpu",
+            architecture="x86_64",
+            dims=(64, 64, 64),
+            flops=1.0,
+            bytes_touched=2.0,
+            seconds=0.5,
+        ),
+        platform_name="test",
+    )
+    return db
+
+
+def _tracer():
+    from repro.obs import Tracer
+
+    tracer = Tracer(trace_id="0" * 16)
+    with tracer.span("op", key="value"):
+        pass
+    return tracer
+
+
+def _metrics_registry():
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    registry.counter("events").inc(3)
+    registry.histogram("latency").observe(0.125)
+    return registry
+
+
+def _session():
+    import repro
+
+    return repro.Session("xeon_x5550_dual", trace=True)
+
+
+REPORT_FACTORIES = {
+    "SelectionReport": _selection_report,
+    "LintReport": _lint_report,
+    "ValidationReport": _validation_report,
+    "RunResult": _run_result,
+    "ServiceMetrics": _service_metrics,
+    "TuningDatabase": _tuning_database,
+    "Tracer": _tracer,
+    "MetricsRegistry": _metrics_registry,
+    "Session": _session,
+}
+
+
+@pytest.fixture(params=sorted(REPORT_FACTORIES), ids=sorted(REPORT_FACTORIES))
+def report(request):
+    return REPORT_FACTORIES[request.param]()
+
+
+class TestReportCoherence:
+    def test_payload_is_json_serializable_dict(self, report):
+        payload = report.to_payload()
+        assert isinstance(payload, dict)
+        round_tripped = json.loads(json.dumps(payload, sort_keys=True))
+        assert round_tripped == payload
+
+    def test_payload_keys_stable_across_calls(self, report):
+        first, second = report.to_payload(), report.to_payload()
+        assert first == second
+        assert list(first) == list(second)
+
+    def test_fingerprint_is_canonical_sha256(self, report):
+        fingerprint = report.fingerprint()
+        assert isinstance(fingerprint, str)
+        assert len(fingerprint) == 64
+        int(fingerprint, 16)  # hex
+        assert fingerprint == fingerprint_payload(report.to_payload())
+        assert report.fingerprint() == fingerprint  # stable
+
+    def test_all_mapping_keys_are_strings(self, report):
+        """Canonical JSON is only well-defined over string keys: an int
+        key would serialize via silent coercion and could collide."""
+
+        def walk(node, path):
+            if isinstance(node, dict):
+                for key, value in node.items():
+                    assert isinstance(key, str), f"non-str key {key!r} at {path}"
+                    walk(value, f"{path}.{key}")
+            elif isinstance(node, list):
+                for index, item in enumerate(node):
+                    walk(item, f"{path}[{index}]")
+
+        walk(report.to_payload(), "$")
+
+    def test_canonical_serialization_is_byte_stable(self, report):
+        canonical = lambda p: json.dumps(p, sort_keys=True, separators=(",", ":"))
+        assert canonical(report.to_payload()) == canonical(report.to_payload())
