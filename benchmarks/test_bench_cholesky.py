@@ -6,6 +6,9 @@ graph (POTRF/TRSM/SYRK/GEMM with a sequential spine).  Reported like
 Figure 5: single core vs CPU-parallel vs CPU+2GPU.
 """
 
+import json
+import os
+
 import pytest
 
 from repro.pdl.catalog import load_platform
@@ -58,6 +61,22 @@ def test_bench_cholesky_figure(benchmark):
     # (the factorization's sequential spine caps scaling)
     cpu_speedup = t_single / cpu_run.makespan
     gpu_speedup = t_single / gpu_run.makespan
+    payload = {
+        "workload": {"n": N, "block": BS},
+        "time_s": {
+            "single": t_single,
+            "starpu": cpu_run.makespan,
+            "starpu_2gpu": gpu_run.makespan,
+        },
+        "speedup": {"starpu": cpu_speedup, "starpu_2gpu": gpu_speedup},
+        "engine_wall_s": {
+            "starpu": cpu_run.wall_time,
+            "starpu_2gpu": gpu_run.wall_time,
+        },
+    }
+    out = os.environ.get("BENCH_CHOLESKY_JSON", "BENCH_cholesky.json")
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
     assert 3.0 < cpu_speedup <= 8.1
     assert gpu_speedup > cpu_speedup
 

@@ -3,12 +3,24 @@
 Not a paper figure, but the substrate behind FIG5; pins the simulator's
 own performance (simulated-seconds per wall-second and tasks/second) so
 regressions in the discrete-event core are visible.
+
+``test_bench_vectorized_speedup`` doubles as the parity gate: every
+configuration it times is also fingerprint-compared scalar vs
+vectorized, so a float divergence fails the bench before any speedup
+number is reported.  Results land in ``BENCH_runtime.json``
+(override the path with ``BENCH_RUNTIME_JSON``).
 """
+
+import json
+import os
+import time
 
 import pytest
 
+from repro.experiments.scenarios import synthetic_mesh_platform
 from repro.pdl.catalog import load_platform
 from repro.runtime.engine import RuntimeEngine
+from repro.experiments.reporting import format_table
 from repro.experiments.workloads import submit_tiled_dgemm, submit_vecadd
 from benchmarks.conftest import print_report
 
@@ -65,3 +77,86 @@ def test_bench_real_mode_vecadd(benchmark):
     result = benchmark.pedantic(run, iterations=1, rounds=3)
     assert result.task_count == 32
     assert result.mode == "real"
+
+
+# --- scalar vs vectorized: speedup figures + the parity gate ----------------
+
+# (label, platform factory, scheduler, n, block) — the many-core mesh is
+# the paper's target domain and the headline case: scalar dmda scoring is
+# O(workers) Python per ready task, the array path is O(1) numpy calls,
+# so the gap widens with core count.
+SPEEDUP_CONFIGS = [
+    ("mesh16x16/dmda",
+     lambda: synthetic_mesh_platform(16, 16), "dmda", 4096, 256),
+    ("mesh8x8/eager",
+     lambda: synthetic_mesh_platform(8, 8), "eager", 8192, 256),
+    ("xeon_2gpu/dmda",
+     lambda: load_platform("xeon_x5550_2gpu"), "dmda", 8192, 512),
+]
+
+# margin-safe floors for CI noise; measured values are far higher
+# (see BENCH_runtime.json: ~39x, ~9x, ~3x on the reference box)
+SPEEDUP_FLOORS = {
+    "mesh16x16/dmda": 10.0,
+    "mesh8x8/eager": 4.0,
+    "xeon_2gpu/dmda": 1.5,
+}
+
+
+def _timed_run(make_platform, scheduler, n, block, vectorized):
+    engine = RuntimeEngine(make_platform(), scheduler=scheduler,
+                           vectorized=vectorized)
+    submit_tiled_dgemm(engine, n, block)
+    t0 = time.perf_counter()
+    result = engine.run()
+    return engine, result, time.perf_counter() - t0
+
+
+def test_bench_vectorized_speedup():
+    """Same DAG through both engines: byte-identical traces, >=10x on
+    the many-core case.  This is the gate the CI job runs."""
+    rows, payload = [], {}
+    for label, make_platform, scheduler, n, block in SPEEDUP_CONFIGS:
+        e_s, r_s, t_scalar = _timed_run(
+            make_platform, scheduler, n, block, vectorized=False
+        )
+        _, r_v, t_vec = _timed_run(
+            make_platform, scheduler, n, block, vectorized=True
+        )
+        # parity gate: placements, timestamps and faults must be
+        # byte-identical before any speedup number means anything
+        assert r_s.trace.fingerprint() == r_v.trace.fingerprint(), label
+        assert r_s.makespan == r_v.makespan, label
+
+        speedup = t_scalar / t_vec
+        assert speedup >= SPEEDUP_FLOORS[label], (
+            f"{label}: {speedup:.1f}x below floor "
+            f"{SPEEDUP_FLOORS[label]:.1f}x"
+        )
+        rows.append((
+            label, f"{len(e_s.workers)}", f"{e_s.task_count}",
+            f"{t_scalar:.2f}", f"{t_vec:.2f}", f"{speedup:.1f}x",
+        ))
+        payload[label] = {
+            "workers": len(e_s.workers),
+            "tasks": e_s.task_count,
+            "scalar_s": t_scalar,
+            "vectorized_s": t_vec,
+            "speedup": speedup,
+            "scalar_tasks_per_s": e_s.task_count / t_scalar,
+            "vectorized_tasks_per_s": e_s.task_count / t_vec,
+            "parity": "ok",
+        }
+
+    out = os.environ.get("BENCH_RUNTIME_JSON", "BENCH_runtime.json")
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    print_report(
+        "RUNTIME — scalar vs vectorized engine (tiled DGEMM)",
+        format_table(
+            ["configuration", "workers", "tasks",
+             "scalar [s]", "vectorized [s]", "speedup"],
+            rows,
+        ) + f"\nwritten: {out}",
+    )

@@ -59,6 +59,17 @@ class TransferModel:
         #: link id → time at which the link becomes free
         self._link_free_at: dict[str, float] = {}
         self._route_cache: dict[tuple[str, str], Route] = {}
+        #: (src, dst, nbytes) → ideal seconds; the vectorized runtime's
+        #: bulk scorer hits this instead of re-walking route links (and
+        #: re-parsing their quantity properties) per candidate worker
+        self._ideal_cache: dict[tuple[str, str, float], float] = {}
+        #: opt-in memo of per-link (latency_s, bandwidth_bps): reading a
+        #: link's quantity properties re-parses unit strings, which the
+        #: contended :meth:`schedule` loop does per hop per transfer.
+        #: The vectorized engine enables this; the scalar reference path
+        #: keeps re-reading so the two implementations stay independent.
+        self.param_cache_enabled = False
+        self._link_params: dict[str, tuple[float, float]] = {}
 
     def reset(self) -> None:
         """Forget all link occupancy (start of a new simulation run)."""
@@ -69,9 +80,12 @@ class TransferModel:
 
         Routes are computed from the interconnect graph once and cached;
         an event that re-instantiates link bandwidth/latency (or re-wires
-        the topology) makes those cached paths stale.
+        the topology) makes those cached paths stale.  Memoized ideal
+        times are derived from the same link properties, so they go too.
         """
         self._route_cache.clear()
+        self._ideal_cache.clear()
+        self._link_params.clear()
 
     # -- pure estimates (no state) --------------------------------------------
     def route(self, src: str, dst: str) -> Route:
@@ -87,6 +101,26 @@ class TransferModel:
         if src == dst:
             return 0.0
         return self.route(src, dst).transfer_time(nbytes)
+
+    def ideal_time_cached(self, src: str, dst: str, nbytes: float) -> float:
+        """Memoized :meth:`ideal_time` — bit-identical by construction.
+
+        The cache stores the result of the exact scalar computation, so
+        the vectorized scheduler's batched scores match the scalar
+        path's floats to the last ulp.  Invalidated with the routes.
+        """
+        key = (src, dst, nbytes)
+        t = self._ideal_cache.get(key)
+        if t is None:
+            t = self.ideal_time(src, dst, nbytes)
+            self._ideal_cache[key] = t
+        return t
+
+    def bulk_ideal_times(
+        self, requests: "list[tuple[str, str, float]]"
+    ) -> list[float]:
+        """Resolve many ``(src, dst, nbytes)`` ideal times in one call."""
+        return [self.ideal_time_cached(s, d, n) for s, d, n in requests]
 
     # -- stateful scheduling ----------------------------------------------------
     def schedule(
@@ -112,12 +146,30 @@ class TransferModel:
             begin = max(t, free_at)
             if start is None:
                 start = begin
-            lat = link.latency_s if link.latency_s is not None else DEFAULT_LATENCY_S
-            bw = (
-                link.bandwidth_bytes_per_s
-                if link.bandwidth_bytes_per_s is not None
-                else DEFAULT_BANDWIDTH_BPS
-            )
+            if self.param_cache_enabled:
+                params = self._link_params.get(link.id)
+                if params is None:
+                    params = (
+                        link.latency_s
+                        if link.latency_s is not None
+                        else DEFAULT_LATENCY_S,
+                        link.bandwidth_bytes_per_s
+                        if link.bandwidth_bytes_per_s is not None
+                        else DEFAULT_BANDWIDTH_BPS,
+                    )
+                    self._link_params[link.id] = params
+                lat, bw = params
+            else:
+                lat = (
+                    link.latency_s
+                    if link.latency_s is not None
+                    else DEFAULT_LATENCY_S
+                )
+                bw = (
+                    link.bandwidth_bytes_per_s
+                    if link.bandwidth_bytes_per_s is not None
+                    else DEFAULT_BANDWIDTH_BPS
+                )
             hold = lat + nbytes / bw
             self._link_free_at[link.id] = begin + hold
             t = begin + hold

@@ -8,7 +8,7 @@ from repro.runtime.capacity import CapacityError, MemoryCapacityManager
 from repro.runtime.coherence import AccessMode, CoherenceDirectory, TransferNeed
 from repro.runtime.data import DataHandle, block_ranges
 from repro.runtime.engine import RuntimeEngine
-from repro.runtime.faults import FaultPolicy
+from repro.runtime.faults import FaultPolicy, ProgressClock
 from repro.runtime.schedulers import (
     SCHEDULER_NAMES,
     DequeModelScheduler,
@@ -19,7 +19,14 @@ from repro.runtime.schedulers import (
     make_scheduler,
 )
 from repro.runtime.simclock import EventQueue
-from repro.runtime.tasks import Access, DependencyTracker, RuntimeTask, TaskState
+from repro.runtime.tasks import (
+    Access,
+    DependencyTracker,
+    RuntimeTask,
+    TaskState,
+    TaskTable,
+    task_signature,
+)
 from repro.runtime.trace import (
     FaultTrace,
     RunResult,
@@ -41,6 +48,8 @@ __all__ = [
     "TaskState",
     "Access",
     "DependencyTracker",
+    "TaskTable",
+    "task_signature",
     "Scheduler",
     "EagerScheduler",
     "WorkStealingScheduler",
@@ -55,6 +64,7 @@ __all__ = [
     "FaultTrace",
     "RunResult",
     "FaultPolicy",
+    "ProgressClock",
     "WorkerContext",
     "to_paje",
     "to_json",

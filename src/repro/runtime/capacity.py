@@ -158,6 +158,9 @@ class MemoryCapacityManager:
         if not valid:
             # the home copy must survive; never drop the last copy
             valid.add(handle.home_node)
+        # the validity set was edited in place: memoized read sources
+        # for this handle are stale
+        self.coherence.invalidate_need_cache(handle)
         self._resident[node].pop(handle.id, None)
         self.eviction_count += 1
         return finish

@@ -35,7 +35,13 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # repro.analysis.__init__ imports back into the runtime
+    from repro.analysis.diagnostics import Diagnostic
+
 from repro.errors import (
+    PropertyError,
     RuntimeEngineError,
     SchedulerError,
     TaskFailureError,
@@ -53,10 +59,15 @@ from repro.perf.transfer import TransferModel
 from repro.runtime.capacity import MemoryCapacityManager
 from repro.runtime.coherence import CoherenceDirectory, TransferNeed
 from repro.runtime.data import DataHandle
-from repro.runtime.faults import FaultPolicy
+from repro.runtime.faults import FaultPolicy, ProgressClock
 from repro.runtime.schedulers import Scheduler, make_scheduler
 from repro.runtime.simclock import EventQueue
-from repro.runtime.tasks import DependencyTracker, RuntimeTask, TaskState
+from repro.runtime.tasks import (
+    DependencyTracker,
+    RuntimeTask,
+    TaskState,
+    TaskTable,
+)
 from repro.runtime.trace import (
     FaultTrace,
     RunResult,
@@ -69,15 +80,44 @@ from repro.runtime.workers import WorkerContext, expand_workers
 __all__ = ["RuntimeEngine"]
 
 
-def _is_available(pu: ProcessingUnit) -> bool:
-    """Dynamic availability: AVAILABLE=false excludes a Worker."""
+def _availability(pu: ProcessingUnit) -> "tuple[bool, Optional[Diagnostic]]":
+    """Dynamic availability: AVAILABLE=false excludes a Worker.
+
+    A *malformed* AVAILABLE value (text that is not a boolean) used to be
+    swallowed by a blanket ``except`` and treated as available — silently
+    scheduling work onto a lane whose descriptor is corrupt.  Now only
+    the specific parse failure is caught, it resolves to **unavailable**
+    (fail safe: a lane of unknown state gets no work), and the caller
+    receives a diagnostic in the PDL-lint shape to surface on
+    ``engine.diagnostics``.
+    """
     prop = pu.descriptor.find("AVAILABLE")
     if prop is None:
-        return True
+        return True, None
     try:
-        return prop.value.as_bool()
-    except Exception:
-        return True
+        return prop.value.as_bool(), None
+    except PropertyError as exc:
+        # deferred: repro.analysis's package __init__ imports the rule
+        # packs, which import this module (the diagnostics *module*
+        # itself is stdlib-only by design)
+        from repro.analysis.diagnostics import Diagnostic, Severity
+
+        return False, Diagnostic(
+            rule="RT001",
+            severity=Severity.WARNING,
+            message=(
+                f"malformed AVAILABLE property on {pu.id!r}: {exc};"
+                " treating the lane as unavailable"
+            ),
+            subject=pu.id,
+            hint="set AVAILABLE to true/false (or remove the property)",
+        )
+
+
+def _is_available(pu: ProcessingUnit) -> bool:
+    """Boolean-only view of :func:`_availability` (diagnostic dropped)."""
+    ok, _ = _availability(pu)
+    return ok
 
 
 class _EngineCostModel:
@@ -110,6 +150,238 @@ class _EngineCostModel:
         return total
 
 
+class _VectorCostModel:
+    """Array cost model: memoized signature-keyed tables + batch rows.
+
+    Implements both the scalar :class:`~repro.runtime.schedulers.CostModel`
+    protocol (for paths that stay scalar: steal, peek, unit use) and the
+    :class:`~repro.runtime.schedulers.BatchCostModel` row interface the
+    vectorized schedulers score against.  Parity with
+    :class:`_EngineCostModel` is by construction, not by re-derivation:
+
+    * execution rows memoize the **exact** ``engine.sched_estimate``
+      calls, keyed by cost signature (kernel + effective dims) — a tiled
+      DGEMM collapses 45k model evaluations into one row;
+    * transfer rows sum ``ideal_time_cached`` values (the memoized
+      scalar computation) per ``(entity, memory node)`` worker group, in
+      task-access order — the identical float-summation order as the
+      scalar loop, hence bit-identical totals.
+    """
+
+    def __init__(self, engine: "RuntimeEngine"):
+        self._engine = engine
+        workers = engine.workers
+        self._n = len(workers)
+        self._windex = {w.instance_id: i for i, w in enumerate(workers)}
+        self._arch = [w.architecture for w in workers]
+        # workers sharing (entity, memory node) have identical transfer
+        # costs; resolve each group once and broadcast into the row
+        groups: dict[tuple[str, int], list[int]] = {}
+        for i, w in enumerate(workers):
+            groups.setdefault((w.entity_id, w.memory_node), []).append(i)
+        self._groups = [
+            (eid, node, np.array(ix, dtype=np.intp))
+            for (eid, node), ix in groups.items()
+        ]
+        # worker index → group index, for scattering per-group totals
+        # back into a per-worker row with one fancy index
+        self._group_of_worker = np.empty(self._n, dtype=np.intp)
+        for g, (_eid, _node, ix) in enumerate(self._groups):
+            self._group_of_worker[ix] = g
+        self._ngroups = len(self._groups)
+        # many groups can share one memory node (e.g. mesh tiles over a
+        # shared memory); resolve read sources once per distinct node
+        self._distinct_nodes = sorted({node for _eid, node, _ix in self._groups})
+        node_slot = {node: s for s, node in enumerate(self._distinct_nodes)}
+        self._node_slot_of_group = [
+            node_slot[node] for _eid, node, _ix in self._groups
+        ]
+        #: cost signature id → exec-seconds row (np.inf = no implementation)
+        self._exec_rows: dict[int, np.ndarray] = {}
+        #: cost signature id → *truth-model* exec row (run durations);
+        #: separate from the scheduler rows because ``sched_perf_model``
+        #: may deliberately diverge from simulated truth
+        self._truth_rows: dict[int, np.ndarray] = {}
+        #: handle id → (validity epoch, per-group ideal-transfer row);
+        #: valid until the handle's coherence state changes
+        self._handle_rows: dict[int, tuple[int, np.ndarray]] = {}
+        #: kernel kind id → bool support row over workers
+        self._kind_rows: list[np.ndarray] = []
+        self._kind_matrix: Optional[np.ndarray] = None
+
+    # -- interning bridges ------------------------------------------------
+    def kind_of(self, task: RuntimeTask) -> int:
+        kid = task.kind_id
+        if kid is None:
+            # task bypassed engine.submit (unit-test construction)
+            self._engine.task_table.add(task)
+            kid = task.kind_id
+        self._ensure_kind(kid)
+        return kid
+
+    def _ensure_kind(self, kid: int) -> None:
+        table = self._engine.task_table
+        registry = self._engine.registry
+        while len(self._kind_rows) <= kid:
+            kernel_def = registry.get(table.kernel_names[len(self._kind_rows)])
+            self._kind_rows.append(
+                np.array([kernel_def.supports(a) for a in self._arch], dtype=bool)
+            )
+            self._kind_matrix = None
+
+    def _matrix(self) -> np.ndarray:
+        if self._kind_matrix is None:
+            self._kind_matrix = np.vstack(self._kind_rows)
+        return self._kind_matrix
+
+    # -- batch rows -------------------------------------------------------
+    def exec_row(self, task: RuntimeTask) -> np.ndarray:
+        sid = task.cost_sig
+        if sid is None:
+            self._engine.task_table.add(task)
+            sid = task.cost_sig
+        row = self._exec_rows.get(sid)
+        if row is None:
+            engine = self._engine
+            rep = engine.task_table.sig_representative[sid]
+            kernel_def = engine.registry.get(rep.kernel)
+            row = np.empty(self._n, dtype=np.float64)
+            for i, worker in enumerate(engine.workers):
+                if kernel_def.supports(worker.architecture):
+                    row[i] = engine.sched_estimate(rep, worker)
+                else:
+                    row[i] = np.inf
+            self._exec_rows[sid] = row
+        return row
+
+    def _handle_group_row(self, handle) -> Optional[np.ndarray]:
+        """Per-group ideal read-fetch seconds for one handle, memoized
+        against the handle's coherence epoch.  ``None`` means the handle
+        is resident everywhere it matters (an all-zero row)."""
+        engine = self._engine
+        coherence = engine.coherence
+        epoch = coherence.epoch_of(handle)
+        cached = self._handle_rows.get(handle.id)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
+        srcs = coherence.needed_src_many(handle, self._distinct_nodes)
+        row: Optional[np.ndarray] = None
+        if any(s >= 0 for s in srcs):
+            ideal = engine.transfer_model.ideal_time_cached
+            anchor = engine.node_anchor
+            nbytes = handle.nbytes
+            slots = self._node_slot_of_group
+            row = np.zeros(self._ngroups, dtype=np.float64)
+            for g, (entity_id, _node, _ix) in enumerate(self._groups):
+                src = srcs[slots[g]]
+                if src >= 0:
+                    row[g] = ideal(anchor[src], entity_id, nbytes)
+        self._handle_rows[handle.id] = (epoch, row)
+        return row
+
+    def transfer_row(self, task: RuntimeTask) -> Optional[np.ndarray]:
+        """Per-worker read-fetch seconds, or ``None`` when all zero.
+
+        Elementwise adds in task-access order reproduce the scalar
+        loop's float-summation order per worker exactly; skipping
+        all-zero rows is float-identical because every contribution is
+        non-negative (``x + 0.0 == x``)."""
+        total = None
+        for access in task.accesses:
+            if not access.mode.reads:
+                continue
+            group_row = self._handle_group_row(access.handle)
+            if group_row is None:
+                continue
+            total = group_row.copy() if total is None else total + group_row
+        if total is None:
+            return None
+        return total[self._group_of_worker]
+
+    def cost_row(self, task: RuntimeTask, data_aware: bool) -> np.ndarray:
+        # callers treat the row as read-only, so the memoized exec row
+        # may be returned as-is when there is nothing to add
+        row = self.exec_row(task)
+        if data_aware:
+            extra = self.transfer_row(task)
+            if extra is not None:
+                row = row + extra
+        offline = self._engine._offline
+        if offline:
+            mask = np.array(
+                [w.instance_id in offline for w in self._engine.workers],
+                dtype=bool,
+            )
+            row = np.where(mask, np.inf, row)
+        return row
+
+    def eager_mask(self, kinds: np.ndarray, worker_index: int) -> np.ndarray:
+        m = self._matrix()
+        if m.shape[0] == 1:
+            # single kernel kind: a scalar bool broadcasts in the
+            # caller's `live & mask`, skipping the fancy index
+            return m[0, worker_index]
+        return m[kinds, worker_index]
+
+    def worker_online(self, worker_index: int) -> bool:
+        offline = self._engine._offline
+        if not offline:
+            return True
+        return self._engine.workers[worker_index].instance_id not in offline
+
+    def invalidate_exec(self) -> None:
+        """Drop memoized execution rows (descriptor properties changed)."""
+        self._exec_rows.clear()
+        self._truth_rows.clear()
+
+    def truth_duration(self, task: RuntimeTask, worker: WorkerContext) -> float:
+        """Memoized ``engine.exec_estimate`` — the simulated-truth run
+        duration, which (like the scheduler estimate) depends only on the
+        task's cost signature and the worker."""
+        sid = task.cost_sig
+        if sid is None:
+            self._engine.task_table.add(task)
+            sid = task.cost_sig
+        row = self._truth_rows.get(sid)
+        if row is None:
+            engine = self._engine
+            rep = engine.task_table.sig_representative[sid]
+            kernel_def = engine.registry.get(rep.kernel)
+            row = np.empty(self._n, dtype=np.float64)
+            for i, w in enumerate(engine.workers):
+                if kernel_def.supports(w.architecture):
+                    row[i] = engine.exec_estimate(rep, w)
+                else:
+                    row[i] = np.inf
+            self._truth_rows[sid] = row
+        return float(row[self._windex[worker.instance_id]])
+
+    # -- scalar CostModel protocol ---------------------------------------
+    def supports(self, task: RuntimeTask, worker: WorkerContext) -> bool:
+        if worker.instance_id in self._engine._offline:
+            return False
+        return self._engine.registry.get(task.kernel).supports(worker.architecture)
+
+    def exec_estimate(self, task: RuntimeTask, worker: WorkerContext) -> float:
+        return float(self.exec_row(task)[self._windex[worker.instance_id]])
+
+    def transfer_estimate(self, task: RuntimeTask, worker: WorkerContext) -> float:
+        engine = self._engine
+        node = worker.memory_node
+        total = 0.0
+        for access in task.accesses:
+            if not access.mode.reads:
+                continue
+            src = engine.coherence.needed_src(access.handle, node)
+            if src >= 0:
+                total += engine.transfer_model.ideal_time_cached(
+                    engine.node_anchor[src],
+                    worker.entity_id,
+                    access.handle.nbytes,
+                )
+        return total
+
+
 class RuntimeEngine:
     """A StarPU-like runtime instantiated from a platform description."""
 
@@ -126,8 +398,16 @@ class RuntimeEngine:
         prefetch: bool = False,
         model_capacity: bool = False,
         model_contention: bool = True,
+        vectorized: bool = True,
     ):
         self.platform = platform
+        #: sim runs score ready tasks through numpy-backed cost rows
+        #: (bit-identical placements, 10-100x event throughput); real
+        #: mode always re-attaches the scalar cost model
+        self.vectorized = vectorized
+        #: runtime-emitted findings (e.g. malformed descriptor properties),
+        #: in the PDL-lint Diagnostic shape
+        self.diagnostics: "list[Diagnostic]" = []
         self.registry = registry if registry is not None else default_kernel_registry()
         self.perf = perf_model if perf_model is not None else PerfModel()
         #: model driving *scheduler placement decisions*; defaults to the
@@ -171,12 +451,17 @@ class RuntimeEngine:
 
         # --- workers -----------------------------------------------------------
         # dynamic availability (repro.dynamic events) is honored here:
-        # Workers whose descriptor says AVAILABLE=false are not lanes
-        leaf_workers = [
-            pu
-            for pu in platform.walk()
-            if pu.kind == "Worker" and _is_available(pu)
-        ]
+        # Workers whose descriptor says AVAILABLE=false are not lanes,
+        # and a malformed AVAILABLE excludes the lane with a diagnostic
+        leaf_workers = []
+        for pu in platform.walk():
+            if pu.kind != "Worker":
+                continue
+            ok, diag = _availability(pu)
+            if diag is not None:
+                self.diagnostics.append(diag)
+            if ok:
+                leaf_workers.append(pu)
         if not leaf_workers:
             raise RuntimeEngineError(
                 f"platform {platform.name!r} declares no (available) Worker PUs"
@@ -190,10 +475,24 @@ class RuntimeEngine:
             platform, model_contention=model_contention
         )
         self.coherence = CoherenceDirectory()
+        #: struct-of-arrays mirror of the task population (state /
+        #: kernel / signature / worker / ready-time columns)
+        self.task_table = TaskTable()
         self.scheduler: Scheduler = (
             scheduler if isinstance(scheduler, Scheduler) else make_scheduler(scheduler)
         )
-        self.scheduler.attach(self.workers, _EngineCostModel(self))
+        self._vec_cost: Optional[_VectorCostModel] = None
+        if self.vectorized:
+            self._vec_cost = _VectorCostModel(self)
+            self.scheduler.attach(self.workers, self._vec_cost)
+            self.scheduler.enable_batch(self._vec_cost)
+            # contended transfer scheduling may read link latency/
+            # bandwidth thousands of times; memoize the parsed values
+            # (dropped on invalidate_routes, so dynamic interconnect
+            # events still take effect)
+            self.transfer_model.param_cache_enabled = True
+        else:
+            self.scheduler.attach(self.workers, _EngineCostModel(self))
 
         self._tasks: list[RuntimeTask] = []
         self._tracker = DependencyTracker()
@@ -247,7 +546,11 @@ class RuntimeEngine:
                 f" (architectures: {sorted({w.architecture for w in self.workers})})"
             )
         task = RuntimeTask(
-            kernel, accesses, dims=dims, args=args, priority=priority, tag=tag
+            kernel, accesses, dims=dims, args=args, priority=priority, tag=tag,
+            # run-local ids (1..n in submit order): two engines fed the
+            # same DAG mint the same ids → identical default tags →
+            # comparable trace fingerprints across engine instances
+            task_id=len(self._tasks) + 1,
         )
         for access in task.accesses:
             if access.handle.is_partitioned:
@@ -257,6 +560,7 @@ class RuntimeEngine:
                 )
         self._tracker.register(task)
         self._tasks.append(task)
+        self.task_table.add(task)
         return task
 
     @property
@@ -426,6 +730,17 @@ class RuntimeEngine:
         written_handles: dict[int, DataHandle] = {}
         idle: dict[str, WorkerContext] = {}
         worker_by_id = {w.instance_id: w for w in self.workers}
+        worker_pos = {w.instance_id: i for i, w in enumerate(self.workers)}
+        table = self.task_table
+        # vectorized mode routes per-task resolution through the memoized
+        # lanes (identical results); scalar mode keeps the reference
+        # implementations so the two paths stay independently checkable
+        vec = self._vec_cost
+        required_transfer = (
+            self.coherence.required_transfer_cached
+            if vec is not None
+            else self.coherence.required_transfer
+        )
         #: task id → (memory node prefetch targeted, initiation time);
         #: commits are deferred until the task actually starts there
         prefetched_until: dict[int, tuple[int, float]] = {}
@@ -433,7 +748,7 @@ class RuntimeEngine:
         def wake_idle() -> None:
             for worker in list(idle.values()):
                 del idle[worker.instance_id]
-                clock.schedule_in(0.0, lambda w=worker: worker_tick(w))
+                clock.schedule_call_in(0.0, worker_tick, worker)
 
         def worker_tick(worker: WorkerContext) -> None:
             now = clock.now
@@ -454,9 +769,7 @@ class RuntimeEngine:
             node = worker.memory_node
             data_ready = now
             for access in task.accesses:
-                need = self.coherence.required_transfer(
-                    access.handle, node, access.mode
-                )
+                need = required_transfer(access.handle, node, access.mode)
                 if need is None:
                     # already resident (or write-only): room still needed
                     # for write-only claims under capacity modeling
@@ -506,9 +819,11 @@ class RuntimeEngine:
                 # this attempt fails immediately; the retry policy decides
                 task.fault_armed = False
                 fail_attempt(task, now, worker.instance_id, "injected task fault")
-                clock.schedule_in(0.0, lambda w=worker: worker_tick(w))
+                clock.schedule_call_in(0.0, worker_tick, worker)
                 return
             task.state = TaskState.RUNNING
+            table.state[task.table_index] = 2  # RUNNING
+            table.worker[task.table_index] = worker_pos[worker.instance_id]
             # pin the task's working set first so staging one operand can
             # never evict another operand of the same task
             if self.capacity is not None:
@@ -527,7 +842,10 @@ class RuntimeEngine:
             transfer_wait = data_ready - now
 
             start = data_ready + self.task_overhead_s
-            duration = self.exec_estimate(task, worker)
+            if vec is not None:
+                duration = vec.truth_duration(task, worker)
+            else:
+                duration = self.exec_estimate(task, worker)
             end = start + duration
 
             # coherence transition at start (write ownership is claimed
@@ -552,8 +870,8 @@ class RuntimeEngine:
             task.start_time = start
             task.end_time = end
             incarnation = task.incarnation
-            clock.schedule_at(
-                end, lambda: finish_task(task, worker, transfer_wait, incarnation)
+            clock.schedule_call(
+                end, finish_task, (task, worker, transfer_wait, incarnation)
             )
 
             # data prefetch: note the *next* queued task's operands for
@@ -567,12 +885,10 @@ class RuntimeEngine:
                 ):
                     prefetched_until[upcoming.id] = (worker.memory_node, now)
 
-        def finish_task(
-            task: RuntimeTask,
-            worker: WorkerContext,
-            transfer_wait: float,
-            incarnation: int,
-        ) -> None:
+        def finish_task(item: tuple) -> None:
+            # single-tuple signature: scheduled through the clock's
+            # closure-free lane (no per-completion lambda allocation)
+            task, worker, transfer_wait, incarnation = item
             nonlocal pending
             now = clock.now
             if task.incarnation != incarnation or task.state is not TaskState.RUNNING:
@@ -582,6 +898,7 @@ class RuntimeEngine:
             if self.execute_kernels:
                 self._execute_payload(task, worker)
             task.state = TaskState.DONE
+            table.state[task.table_index] = 3  # DONE
             pending -= 1
             worker.busy_time += task.duration or 0.0
             worker.tasks_executed += 1
@@ -606,6 +923,7 @@ class RuntimeEngine:
             ]
             for dep in newly_ready:
                 dep.state = TaskState.READY
+                table.mark_ready(dep.table_index, now)
                 self.scheduler.task_ready(dep, now)
             if newly_ready:
                 wake_idle()
@@ -634,11 +952,13 @@ class RuntimeEngine:
                 worker = worker_by_id[task.worker_id]
                 release_pins(task, worker)
                 worker.busy_until = now
-                clock.schedule_in(0.0, lambda w=worker: worker_tick(w))
+                clock.schedule_call_in(0.0, worker_tick, worker)
             task.worker_id = None
             task.start_time = task.end_time = None
+            table.worker[task.table_index] = -1
             if task.attempt > policy.max_retries:
                 task.state = TaskState.FAILED
+                table.state[task.table_index] = 4  # FAILED
                 raise TaskFailureError(
                     f"task {task.tag!r} failed permanently after"
                     f" {task.attempt} attempt(s); last error: {detail}",
@@ -646,6 +966,7 @@ class RuntimeEngine:
                     attempts=task.attempt,
                 )
             task.state = TaskState.READY
+            table.state[task.table_index] = 1  # READY
             fault_stats["retries"] += 1
             delay = policy.backoff(task.attempt)
             record_fault(
@@ -671,6 +992,8 @@ class RuntimeEngine:
                     task.worker_id = None
                     task.start_time = task.end_time = None
                     task.state = TaskState.READY
+                    table.state[task.table_index] = 1  # READY
+                    table.worker[task.table_index] = -1
                     fault_stats["requeues"] += 1
                     record_fault("requeue", task.tag, worker.instance_id, reason)
                     self.scheduler.task_ready(task, now)
@@ -700,16 +1023,23 @@ class RuntimeEngine:
             self.perf.invalidate()
             if self.sched_perf is not self.perf:
                 self.sched_perf.invalidate()
+            if self._vec_cost is not None:
+                # memoized execution rows are derived from the (now
+                # stale) model caches; rebuild on next score
+                self._vec_cost.invalidate_exec()
             if event.affects_interconnect:
                 self.transfer_model.invalidate_routes()
             for worker in self.workers:
                 if worker.entity_id != event.pu_id:
                     continue
-                if _is_available(worker.pu):
+                available, diag = _availability(worker.pu)
+                if diag is not None:
+                    self.diagnostics.append(diag)
+                if available:
                     if worker.instance_id in self._offline and not worker.retired:
                         self._offline.discard(worker.instance_id)
                         idle.pop(worker.instance_id, None)
-                        clock.schedule_in(0.0, lambda w=worker: worker_tick(w))
+                        clock.schedule_call_in(0.0, worker_tick, worker)
                 else:
                     if worker.instance_id not in self._offline:
                         self._offline.add(worker.instance_id)
@@ -738,11 +1068,12 @@ class RuntimeEngine:
         for task in self._tasks:
             if task.ready:
                 task.state = TaskState.READY
+                table.mark_ready(task.table_index, 0.0)
                 self.scheduler.task_ready(task, 0.0)
         for worker in self.workers:
-            clock.schedule_at(0.0, lambda w=worker: worker_tick(w))
+            clock.schedule_call(0.0, worker_tick, worker)
         for when, event in dynamic_events or ():
-            clock.schedule_at(float(when), lambda e=event: on_dynamic_event(e))
+            clock.schedule_call(float(when), on_dynamic_event, event)
 
         clock.run()
 
@@ -997,7 +1328,10 @@ class RuntimeEngine:
         }
         #: instance id → task currently executing there (for diagnosis)
         running: dict[str, RuntimeTask] = {}
-        last_progress = [_time.perf_counter()]
+        # lock-protected monotonic progress timestamp (the historical
+        # bare shared list raced between lanes and could publish a stale
+        # value over a fresher one, flapping the stall watchdog)
+        progress = ProgressClock()
         self._kill_events = {w.instance_id: threading.Event() for w in workers}
         self._kill_reasons = {}
         t0 = _time.perf_counter()
@@ -1006,7 +1340,7 @@ class RuntimeEngine:
             return _time.perf_counter() - t0
 
         def note_progress() -> None:
-            last_progress[0] = _time.perf_counter()
+            progress.note()
 
         def record_fault(kind: str, task_tag: str, worker_id: str, detail: str):
             trace.record_fault(
@@ -1072,7 +1406,7 @@ class RuntimeEngine:
             try:
                 self._worker_loop(
                     worker, kill, deadline, policy, lock, work_available,
-                    pending, failure, stats, running, last_progress, trace,
+                    pending, failure, stats, running, progress, trace,
                     t0, retire_worker, workers,
                 )
             except BaseException as exc:
@@ -1125,7 +1459,7 @@ class RuntimeEngine:
 
     def _worker_loop(
         self, worker, kill, deadline, policy, lock, work_available, pending,
-        failure, stats, running, last_progress, trace, t0, retire_worker,
+        failure, stats, running, progress, trace, t0, retire_worker,
         workers,
     ) -> None:
         """One real-mode worker lane: claim, execute, retry, recover."""
@@ -1161,8 +1495,7 @@ class RuntimeEngine:
                         policy.watchdog_s is not None
                         and pending[0] > 0
                         and not running
-                        and _time.perf_counter() - last_progress[0]
-                        > policy.watchdog_s
+                        and progress.seconds_since() > policy.watchdog_s
                     ):
                         failure.append(
                             WatchdogTimeoutError(
@@ -1187,7 +1520,7 @@ class RuntimeEngine:
                 task.state = TaskState.RUNNING
                 task.worker_id = worker.instance_id
                 running[worker.instance_id] = task
-                last_progress[0] = _time.perf_counter()
+                progress.note()
                 if lane_killed():
                     # died after claiming but before the kernel ran: the
                     # claim is lost work, requeued to surviving lanes
@@ -1243,7 +1576,7 @@ class RuntimeEngine:
                         self.scheduler.task_ready(task, now_s())
                     except SchedulerError as exc2:
                         failure.append(exc2)
-                    last_progress[0] = _time.perf_counter()
+                    progress.note()
                     work_available.notify_all()
                 continue
             with lock:
@@ -1254,7 +1587,7 @@ class RuntimeEngine:
                 worker.busy_time += end - start
                 worker.tasks_executed += 1
                 pending[0] -= 1
-                last_progress[0] = _time.perf_counter()
+                progress.note()
                 trace.record_task(
                     TaskTrace(
                         task_id=task.id,

@@ -20,10 +20,42 @@ degradation.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass
 from typing import Optional
 
-__all__ = ["FaultPolicy"]
+__all__ = ["FaultPolicy", "ProgressClock"]
+
+
+class ProgressClock:
+    """Thread-safe last-progress timestamp for the stall watchdog.
+
+    Real-mode worker threads previously shared a bare one-element list of
+    ``perf_counter`` values with unsynchronized read-modify-write from
+    every lane — a data race that could publish a stale timestamp over a
+    fresher one and trip (or suppress) the watchdog spuriously.  This
+    clock serializes updates under a lock and is *monotonic in what it
+    reports*: :meth:`note` never moves the timestamp backwards, so a
+    slow thread that loses the race cannot erase a faster thread's
+    progress report.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._last = time.monotonic()
+
+    def note(self) -> None:
+        """Record that forward progress happened (now)."""
+        t = time.monotonic()
+        with self._lock:
+            if t > self._last:
+                self._last = t
+
+    def seconds_since(self) -> float:
+        """Seconds elapsed since the most recent progress report."""
+        with self._lock:
+            return time.monotonic() - self._last
 
 
 @dataclass(frozen=True)

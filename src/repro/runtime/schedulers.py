@@ -26,6 +26,8 @@ import random
 from collections import deque
 from typing import Optional, Protocol
 
+import numpy as np
+
 from repro.errors import SchedulerError
 from repro.runtime.tasks import RuntimeTask
 from repro.runtime.workers import WorkerContext
@@ -58,6 +60,33 @@ class CostModel(Protocol):
         ...
 
 
+class BatchCostModel(Protocol):
+    """What the vectorized engine offers batch-capable schedulers.
+
+    A batch model answers *rows*: one float64/bool value per attached
+    worker, aligned with the scheduler's worker list.  Scalar
+    :class:`CostModel` calls remain available (and must return the same
+    floats element-for-element) for the paths that stay scalar — steal,
+    drain, peek.
+    """
+
+    def cost_row(self, task: RuntimeTask, data_aware: bool) -> "np.ndarray":
+        """``exec [+ transfer]`` seconds per worker; +inf where the
+        worker is offline or lacks an implementation."""
+        ...
+
+    def eager_mask(self, kinds: "np.ndarray", worker_index: int) -> "np.ndarray":
+        """Bool mask over kernel-kind codes: which a worker can run."""
+        ...
+
+    def worker_online(self, worker_index: int) -> bool:
+        ...
+
+    def kind_of(self, task: RuntimeTask) -> int:
+        """Interned kernel-kind code for ``task``."""
+        ...
+
+
 class Scheduler:
     """Base class; concrete policies override the queue behaviour."""
 
@@ -66,11 +95,22 @@ class Scheduler:
     def __init__(self):
         self.workers: list[WorkerContext] = []
         self.cost: Optional[CostModel] = None
+        #: batch cost model when the engine enabled vectorized scoring
+        self._batch: Optional[BatchCostModel] = None
 
     def attach(self, workers: list[WorkerContext], cost: CostModel) -> None:
         self.workers = list(workers)
         self.cost = cost
+        self._batch = None  # re-enabled explicitly after each attach
         self.reset()
+
+    def enable_batch(self, batch: BatchCostModel) -> bool:
+        """Offer a batch cost model; returns True when the policy uses it.
+
+        Policies without an array fast path ignore the offer and keep
+        their scalar behaviour (the engine works either way).
+        """
+        return False
 
     def reset(self) -> None:
         """Clear queues for a fresh run."""
@@ -103,6 +143,93 @@ class Scheduler:
         raise NotImplementedError
 
 
+class _EagerArrayQueue:
+    """SoA central queue: priority/kind/liveness arrays + task refs.
+
+    The scalar eager policy re-scans its whole deque per idle-worker
+    poll (O(queue) Python iterations each).  Here the scan is one numpy
+    ``argmax`` over a masked priority column.  ``argmax`` returns the
+    *first* occurrence of the maximum, which is exactly the scalar
+    loop's first-strict-greater rule — FIFO among equal priorities — so
+    pick order (and hence trace fingerprints) is unchanged.
+    """
+
+    _GROW = 1024
+
+    def __init__(self, batch: BatchCostModel):
+        self._batch = batch
+        cap = self._GROW
+        self._prio = np.full(cap, -np.inf, dtype=np.float64)
+        self._kind = np.zeros(cap, dtype=np.int32)
+        self._live = np.zeros(cap, dtype=bool)
+        self._tasks: list[Optional[RuntimeTask]] = [None] * cap
+        self._n = 0
+        self._alive = 0
+
+    def push(self, task: RuntimeTask) -> None:
+        if self._n == len(self._prio):
+            self._compact_or_grow()
+        i = self._n
+        self._n += 1
+        self._prio[i] = task.priority
+        self._kind[i] = self._batch.kind_of(task)
+        self._live[i] = True
+        self._tasks[i] = task
+        self._alive += 1
+
+    def _compact_or_grow(self) -> None:
+        n = self._n
+        keep = np.flatnonzero(self._live[:n])
+        if len(keep) <= n // 2:
+            # mostly dead rows: compact in place, preserving FIFO order
+            m = len(keep)
+            self._prio[:m] = self._prio[keep]
+            self._kind[:m] = self._kind[keep]
+            self._live[:m] = True
+            self._live[m:n] = False
+            self._prio[m:n] = -np.inf
+            self._tasks[:m] = [self._tasks[i] for i in keep]
+            self._tasks[m:n] = [None] * (n - m)
+            self._n = m
+            return
+        cap = len(self._prio) * 2
+        for name, fill in (("_prio", -np.inf), ("_kind", 0), ("_live", False)):
+            old = getattr(self, name)
+            grown = np.full(cap, fill, dtype=old.dtype)
+            grown[: len(old)] = old
+            setattr(self, name, grown)
+        self._tasks.extend([None] * (cap - len(self._tasks)))
+
+    def _best(self, worker_index: int) -> Optional[int]:
+        if self._alive == 0 or not self._batch.worker_online(worker_index):
+            return None
+        n = self._n
+        mask = self._live[:n] & self._batch.eager_mask(self._kind[:n], worker_index)
+        scores = np.where(mask, self._prio[:n], -np.inf)
+        i = int(scores.argmax()) if n else 0
+        if n == 0 or scores[i] == -np.inf:
+            return None
+        return i
+
+    def pop(self, worker_index: int) -> Optional[RuntimeTask]:
+        i = self._best(worker_index)
+        if i is None:
+            return None
+        task = self._tasks[i]
+        self._tasks[i] = None
+        self._live[i] = False
+        self._prio[i] = -np.inf
+        self._alive -= 1
+        return task
+
+    def peek(self, worker_index: int) -> Optional[RuntimeTask]:
+        i = self._best(worker_index)
+        return None if i is None else self._tasks[i]
+
+    def __len__(self) -> int:
+        return self._alive
+
+
 class EagerScheduler(Scheduler):
     """Central queue; highest-priority compatible task wins, FIFO on ties."""
 
@@ -110,11 +237,25 @@ class EagerScheduler(Scheduler):
 
     def reset(self) -> None:
         self._queue: deque[RuntimeTask] = deque()
+        self._aq: Optional[_EagerArrayQueue] = (
+            _EagerArrayQueue(self._batch) if self._batch is not None else None
+        )
+        self._windex = {w.instance_id: i for i, w in enumerate(self.workers)}
+
+    def enable_batch(self, batch: BatchCostModel) -> bool:
+        self._batch = batch
+        self.reset()
+        return True
 
     def task_ready(self, task: RuntimeTask, now: float) -> None:
-        self._queue.append(task)
+        if self._aq is not None:
+            self._aq.push(task)
+        else:
+            self._queue.append(task)
 
     def next_task(self, worker: WorkerContext, now: float) -> Optional[RuntimeTask]:
+        if self._aq is not None:
+            return self._aq.pop(self._windex[worker.instance_id])
         best_index: Optional[int] = None
         best_priority = None
         for i, task in enumerate(self._queue):
@@ -129,6 +270,8 @@ class EagerScheduler(Scheduler):
         return task
 
     def peek(self, worker: WorkerContext) -> Optional[RuntimeTask]:
+        if self._aq is not None:
+            return self._aq.peek(self._windex[worker.instance_id])
         best = None
         for task in self._queue:
             if not self.cost.supports(task, worker):
@@ -138,6 +281,8 @@ class EagerScheduler(Scheduler):
         return best
 
     def pending_count(self) -> int:
+        if self._aq is not None:
+            return len(self._aq)
         return len(self._queue)
 
 
@@ -208,6 +353,15 @@ class DequeModelScheduler(Scheduler):
     queued task moves its charge from the victim to the thief.  Without
     the rewind an offline/online cycle leaves the revived lane with an
     inflated finish estimate and dm/dmda placement shuns it.
+
+    The rewind is a *re-derivation*, not a clamped subtraction: each
+    lane also tracks a ``committed`` horizon — the finish estimate of
+    work already popped for execution there — and after any refund
+    ``est_free`` is recomputed as ``committed + Σ remaining charges``.
+    The historical ``max(0, est_free - refund)`` clamp silently dropped
+    part of the refund whenever the subtraction crossed zero (repeated
+    steals off a lane whose clock had mostly drained), leaving the
+    victim permanently over-booked and shunned by later placements.
     """
 
     def __init__(self, *, data_aware: bool = True, steal: bool = False):
@@ -228,6 +382,35 @@ class DequeModelScheduler(Scheduler):
         self._charge: dict[str, dict[int, float]] = {
             w.instance_id: {} for w in self.workers
         }
+        #: worker id → finish horizon of work already popped to execute
+        #: there (the part of est_free no refund may touch)
+        self._committed: dict[str, float] = {
+            w.instance_id: 0.0 for w in self.workers
+        }
+        self._windex = {w.instance_id: i for i, w in enumerate(self.workers)}
+        self._est_free_arr: Optional[np.ndarray] = (
+            np.zeros(len(self.workers), dtype=np.float64)
+            if self._batch is not None
+            else None
+        )
+
+    def enable_batch(self, batch: BatchCostModel) -> bool:
+        self._batch = batch
+        self.reset()
+        return True
+
+    def _set_est_free(self, instance_id: str, value: float) -> None:
+        self._est_free[instance_id] = value
+        if self._est_free_arr is not None:
+            self._est_free_arr[self._windex[instance_id]] = value
+
+    def _rederive(self, instance_id: str) -> None:
+        """Recompute ``est_free`` from committed work + queued charges."""
+        self._set_est_free(
+            instance_id,
+            self._committed[instance_id]
+            + sum(self._charge[instance_id].values()),
+        )
 
     def _task_cost(self, task: RuntimeTask, worker: WorkerContext) -> float:
         cost = self.cost.exec_estimate(task, worker)
@@ -236,6 +419,9 @@ class DequeModelScheduler(Scheduler):
         return cost
 
     def task_ready(self, task: RuntimeTask, now: float) -> None:
+        if self._batch is not None:
+            self._task_ready_batch(task, now)
+            return
         best: Optional[WorkerContext] = None
         best_finish = float("inf")
         best_cost = 0.0
@@ -253,15 +439,41 @@ class DequeModelScheduler(Scheduler):
             raise SchedulerError(f"no worker supports kernel {task.kernel!r}")
         self._queues[best.instance_id].append(task)
         self._charge[best.instance_id][task.id] = best_cost
-        self._est_free[best.instance_id] = best_finish
+        self._set_est_free(best.instance_id, best_finish)
+
+    def _task_ready_batch(self, task: RuntimeTask, now: float) -> None:
+        """Array scoring: one vectorized pass over the candidate row.
+
+        Element-for-element this computes the same IEEE doubles as the
+        scalar loop (``np.maximum``/``+`` are the same operations), and
+        ``argmin`` returns the first occurrence of the minimum — the
+        scalar loop's first-strict-less winner — so placement, charges
+        and clocks match the scalar path bit-for-bit.
+        """
+        cost = self._batch.cost_row(task, self.data_aware)
+        finish = np.maximum(now, self._est_free_arr) + cost
+        i = int(finish.argmin())
+        best_finish = float(finish[i])
+        if best_finish == float("inf"):
+            raise SchedulerError(f"no worker supports kernel {task.kernel!r}")
+        instance_id = self.workers[i].instance_id
+        self._queues[instance_id].append(task)
+        self._charge[instance_id][task.id] = float(cost[i])
+        self._est_free[instance_id] = best_finish
+        self._est_free_arr[i] = best_finish
 
     def next_task(self, worker: WorkerContext, now: float) -> Optional[RuntimeTask]:
         own = self._queues[worker.instance_id]
         if own:
             task = own.popleft()
             # the cost stays baked into est_free: the worker is about to
-            # spend it executing; only the per-task record is retired
-            self._charge[worker.instance_id].pop(task.id, None)
+            # spend it executing.  The charge record migrates into the
+            # committed horizon so later refunds cannot rewind past it.
+            charge = self._charge[worker.instance_id].pop(task.id, None)
+            if charge is not None:
+                self._committed[worker.instance_id] = (
+                    max(now, self._committed[worker.instance_id]) + charge
+                )
             return task
         if not self.steal:
             return None
@@ -276,16 +488,19 @@ class DequeModelScheduler(Scheduler):
                     continue
                 task = queue[i]
                 del queue[i]
-                # migrate the charge: credit the victim's clock, debit
+                # migrate the charge: re-derive the victim's clock from
+                # its committed work + remaining queued charges, debit
                 # the thief's with the thief's own estimate
                 refund = self._charge[victim.instance_id].pop(task.id, None)
                 if refund is not None:
-                    self._est_free[victim.instance_id] = max(
-                        0.0, self._est_free[victim.instance_id] - refund
-                    )
-                self._est_free[worker.instance_id] = max(
+                    self._rederive(victim.instance_id)
+                debited = max(
                     now, self._est_free[worker.instance_id]
                 ) + self._task_cost(task, worker)
+                self._set_est_free(worker.instance_id, debited)
+                # the stolen task executes immediately on the thief: its
+                # cost is committed work, not a refundable queue charge
+                self._committed[worker.instance_id] = debited
                 return task
         return None
 
@@ -298,12 +513,12 @@ class DequeModelScheduler(Scheduler):
         drained = list(own)
         own.clear()
         charges = self._charge[worker.instance_id]
-        refund = sum(charges.pop(t.id, 0.0) for t in drained)
+        for t in drained:
+            charges.pop(t.id, None)
         # rewind the estimated-free clock so a later online event sees
-        # the lane as free, not burdened by work it will never run
-        self._est_free[worker.instance_id] = max(
-            0.0, self._est_free[worker.instance_id] - refund
-        )
+        # the lane as free, not burdened by work it will never run —
+        # but never below the horizon of work it already accepted
+        self._rederive(worker.instance_id)
         return drained
 
     def pending_count(self) -> int:

@@ -18,11 +18,20 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Optional, Sequence
 
+import numpy as np
+
 from repro.errors import RuntimeEngineError
 from repro.runtime.coherence import AccessMode
 from repro.runtime.data import DataHandle
 
-__all__ = ["TaskState", "Access", "RuntimeTask", "DependencyTracker"]
+__all__ = [
+    "TaskState",
+    "Access",
+    "RuntimeTask",
+    "DependencyTracker",
+    "TaskTable",
+    "task_signature",
+]
 
 _task_ids = itertools.count(1)
 
@@ -62,6 +71,12 @@ class RuntimeTask:
         Larger = more urgent; schedulers may use it as a tie-break.
     tag:
         Free-form label for traces.
+    task_id:
+        Explicit id.  The engine assigns run-local ids (1..n in submit
+        order) so that two engines simulating the same DAG produce the
+        same ids — and hence identical default tags and byte-identical
+        trace fingerprints.  Standalone tasks fall back to a process-wide
+        counter.
     """
 
     def __init__(
@@ -73,8 +88,9 @@ class RuntimeTask:
         args: Optional[dict] = None,
         priority: int = 0,
         tag: str = "",
+        task_id: Optional[int] = None,
     ):
-        self.id = next(_task_ids)
+        self.id = next(_task_ids) if task_id is None else task_id
         self.kernel = kernel
         self.accesses: tuple[Access, ...] = tuple(
             Access(handle, mode if isinstance(mode, AccessMode) else AccessMode.parse(mode))
@@ -98,6 +114,11 @@ class RuntimeTask:
         self.worker_id: Optional[str] = None
         self.start_time: Optional[float] = None
         self.end_time: Optional[float] = None
+
+        # filled by TaskTable.add for engine-managed tasks
+        self.table_index: Optional[int] = None
+        self.kind_id: Optional[int] = None
+        self.cost_sig: Optional[int] = None
 
         # -- fault-tolerance state -------------------------------------
         #: failed execution attempts so far (retry budget consumed)
@@ -153,6 +174,137 @@ class RuntimeTask:
 
     def __repr__(self) -> str:
         return f"RuntimeTask({self.tag!r}, state={self.state.value})"
+
+
+def task_signature(task: RuntimeTask) -> tuple:
+    """The cost-model identity of a task: ``(kernel, effective dims)``.
+
+    Two tasks with the same signature get identical execution estimates
+    on every worker (the performance models read only kernel name and
+    dims), so the vectorized engine computes cost rows once per
+    signature instead of once per task — a tiled DGEMM is one signature,
+    a tiled Cholesky four, regardless of task count.
+
+    The dims fallback mirrors :meth:`RuntimeEngine._estimate_with`: when
+    a task carries no explicit dims, the first access's handle shape is
+    the size proxy.
+    """
+    dims = task.dims if task.dims is not None else task.accesses[0].handle.shape
+    return (task.kernel, tuple(dims))
+
+
+# numeric task-state codes for the SoA table (stable, part of the
+# introspection payload; do not renumber)
+_STATE_CODE = {
+    TaskState.BLOCKED: 0,
+    TaskState.READY: 1,
+    TaskState.RUNNING: 2,
+    TaskState.DONE: 3,
+    TaskState.FAILED: 4,
+}
+
+
+class TaskTable:
+    """Struct-of-arrays mirror of the engine's task population.
+
+    Columns (one row per submitted task, indexed by ``task.table_index``):
+
+    ``state``
+        int8 task-state code (``_STATE_CODE`` order).
+    ``kernel_id`` / ``sig_id``
+        interned kernel name / cost signature (:func:`task_signature`).
+    ``worker``
+        int32 index of the worker the task ran on (-1 while unplaced).
+    ``ready_time``
+        sim seconds at which the task became ready (NaN until then).
+    ``priority``
+        float64 copy of the task's priority (scheduler tie-break).
+
+    The table is bookkeeping the vectorized engine reads in bulk —
+    signature interning feeds the batched cost rows, the state column
+    feeds cheap population counts — while scalar per-task objects remain
+    the API surface.  Updates are O(1) array stores.
+    """
+
+    _GROW = 1024
+
+    def __init__(self):
+        self._n = 0
+        cap = self._GROW
+        self.state = np.zeros(cap, dtype=np.int8)
+        self.kernel_id = np.zeros(cap, dtype=np.int32)
+        self.sig_id = np.zeros(cap, dtype=np.int32)
+        self.worker = np.full(cap, -1, dtype=np.int32)
+        self.ready_time = np.full(cap, np.nan, dtype=np.float64)
+        self.priority = np.zeros(cap, dtype=np.float64)
+        self._kernels: dict[str, int] = {}
+        self.kernel_names: list[str] = []
+        self._sigs: dict[tuple, int] = {}
+        #: sig id → one task carrying that signature (cost-row probe)
+        self.sig_representative: list[RuntimeTask] = []
+
+    def __len__(self) -> int:
+        return self._n
+
+    def _ensure_capacity(self) -> None:
+        if self._n < len(self.state):
+            return
+        for name in ("state", "kernel_id", "sig_id", "worker", "ready_time", "priority"):
+            old = getattr(self, name)
+            grown = np.empty(len(old) * 2, dtype=old.dtype)
+            grown[: len(old)] = old
+            setattr(self, name, grown)
+        self.worker[self._n :] = -1
+        self.ready_time[self._n :] = np.nan
+
+    def add(self, task: RuntimeTask) -> int:
+        """Intern ``task``; sets ``task.table_index``/``sig_id``/``kind_id``."""
+        self._ensure_capacity()
+        i = self._n
+        self._n += 1
+        kid = self._kernels.get(task.kernel)
+        if kid is None:
+            kid = len(self.kernel_names)
+            self._kernels[task.kernel] = kid
+            self.kernel_names.append(task.kernel)
+        sig = task_signature(task)
+        sid = self._sigs.get(sig)
+        if sid is None:
+            sid = len(self.sig_representative)
+            self._sigs[sig] = sid
+            self.sig_representative.append(task)
+        self.state[i] = _STATE_CODE[task.state]
+        self.kernel_id[i] = kid
+        self.sig_id[i] = sid
+        self.worker[i] = -1
+        self.ready_time[i] = np.nan
+        self.priority[i] = task.priority
+        task.table_index = i
+        task.kind_id = kid
+        task.cost_sig = sid
+        return i
+
+    # -- O(1) column stores, called from the engine's hot path ---------
+    def set_state(self, index: int, state: TaskState) -> None:
+        self.state[index] = _STATE_CODE[state]
+
+    def mark_ready(self, index: int, now: float) -> None:
+        self.state[index] = 1
+        self.ready_time[index] = now
+
+    def assign(self, index: int, worker_index: int) -> None:
+        self.worker[index] = worker_index
+
+    # -- bulk views ----------------------------------------------------
+    def state_counts(self) -> dict[str, int]:
+        """Task-state name → population count (one bincount)."""
+        counts = np.bincount(self.state[: self._n], minlength=len(_STATE_CODE))
+        return {
+            state.value: int(counts[code]) for state, code in _STATE_CODE.items()
+        }
+
+    def signature_count(self) -> int:
+        return len(self.sig_representative)
 
 
 class DependencyTracker:

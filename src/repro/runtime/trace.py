@@ -142,6 +142,71 @@ class TraceLog:
             )
         return out.getvalue()
 
+    def to_payload(self) -> dict:
+        """Canonical JSON-serializable form of the full event log.
+
+        Every float goes in *exactly* (no rounding): the payload is the
+        substrate of the scalar-vs-vectorized parity gate, which demands
+        bit-identical timelines, not approximately-equal ones.  Records
+        are canonically sorted so that benign reorderings of same-time
+        recordings (two transfers issued in one event) cannot produce a
+        spurious mismatch while every value still participates.
+        """
+        return {
+            "tasks": [
+                {
+                    "task_id": t.task_id,
+                    "tag": t.tag,
+                    "kernel": t.kernel,
+                    "worker": t.worker_id,
+                    "architecture": t.architecture,
+                    "start": t.start,
+                    "end": t.end,
+                    "transfer_wait": t.transfer_wait,
+                }
+                for t in sorted(self.tasks, key=lambda t: (t.task_id, t.start))
+            ],
+            "transfers": [
+                {
+                    "handle": t.handle_name,
+                    "nbytes": t.nbytes,
+                    "src": t.src_node,
+                    "dst": t.dst_node,
+                    "start": t.start,
+                    "end": t.end,
+                }
+                for t in sorted(
+                    self.transfers,
+                    key=lambda t: (
+                        t.start, t.end, t.handle_name, t.src_node,
+                        t.dst_node, t.nbytes,
+                    ),
+                )
+            ],
+            "faults": [
+                {
+                    "kind": f.kind,
+                    "time": f.time,
+                    "task_tag": f.task_tag,
+                    "worker": f.worker_id,
+                    "detail": f.detail,
+                }
+                for f in sorted(
+                    self.faults,
+                    key=lambda f: (
+                        f.time, f.kind, f.task_tag, f.worker_id, f.detail
+                    ),
+                )
+            ],
+        }
+
+    def fingerprint(self) -> str:
+        """Stable sha256 over :meth:`to_payload` (the shared convention
+        of every toolchain report object).  Two runs of the same DAG on
+        the same platform fingerprint identically iff their complete
+        task/transfer/fault timelines are byte-identical."""
+        return fingerprint_payload(self.to_payload())
+
 
 @dataclass
 class RunResult:

@@ -128,3 +128,79 @@ class TestDirectory:
         b = DataHandle(shape=(4,), name="b")
         d.note_access(a, 1, AccessMode.WRITE)
         assert d.valid_nodes(b) == {0}
+
+
+class TestNeedMemo:
+    """The memoized read-source lane used by the vectorized engine must
+    track every validity transition the reference methods see."""
+
+    def test_needed_src_matches_required_transfer(self, handle):
+        d = CoherenceDirectory()
+        # resident on home: no transfer either way
+        assert d.needed_src(handle, 0) == -1
+        assert d.required_transfer_cached(handle, 0, AccessMode.READ) is None
+        # absent on node 2: both pick the home copy
+        need = d.required_transfer(handle, 2, AccessMode.READ)
+        assert d.needed_src(handle, 2) == need.src_node == 0
+
+    def test_memo_invalidated_by_transfer(self, handle):
+        d = CoherenceDirectory()
+        assert d.needed_src(handle, 1) == 0
+        d.note_transfer(d.required_transfer(handle, 1, AccessMode.READ))
+        assert d.needed_src(handle, 1) == -1  # now resident
+
+    def test_memo_invalidated_by_write(self, handle):
+        d = CoherenceDirectory()
+        assert d.needed_src(handle, 0) == -1
+        d.note_access(handle, 2, AccessMode.WRITE)  # node 2 exclusive
+        assert d.needed_src(handle, 0) == 2
+        assert d.needed_src(handle, 1) == 2
+
+    def test_needed_src_many_one_pass(self, handle):
+        d = CoherenceDirectory()
+        d.note_access(handle, 3, AccessMode.WRITE)
+        srcs = d.needed_src_many(handle, [0, 1, 2, 3])
+        assert srcs == [3, 3, 3, -1]
+        # agrees with the per-node method after caching
+        assert [d.needed_src(handle, n) for n in (0, 1, 2, 3)] == srcs
+
+    def test_write_only_needs_nothing(self, handle):
+        d = CoherenceDirectory()
+        assert d.required_transfer_cached(handle, 5, AccessMode.WRITE) is None
+
+    def test_epoch_bumps_on_transitions(self, handle):
+        d = CoherenceDirectory()
+        e0 = d.epoch_of(handle)
+        d.note_transfer(d.required_transfer(handle, 1, AccessMode.READ))
+        e1 = d.epoch_of(handle)
+        assert e1 > e0
+        d.note_access(handle, 2, AccessMode.WRITE)
+        e2 = d.epoch_of(handle)
+        assert e2 > e1
+        d.invalidate_need_cache(handle)
+        assert d.epoch_of(handle) > e2
+
+    def test_epoch_stable_on_reads(self, handle):
+        d = CoherenceDirectory()
+        e0 = d.epoch_of(handle)
+        d.note_access(handle, 0, AccessMode.READ)
+        assert d.needed_src(handle, 4) == 0
+        assert d.epoch_of(handle) == e0
+
+    def test_reset_clears_memo(self, handle):
+        d = CoherenceDirectory()
+        d.note_access(handle, 2, AccessMode.WRITE)
+        assert d.needed_src(handle, 0) == 2
+        d.reset()
+        assert d.needed_src(handle, 0) == -1  # back to home-only
+
+    def test_eviction_invalidation_hook(self, handle):
+        """The capacity manager edits validity sets in place and must be
+        able to drop stale memo entries explicitly."""
+        d = CoherenceDirectory()
+        d.note_transfer(d.required_transfer(handle, 1, AccessMode.READ))
+        assert d.needed_src(handle, 1) == -1
+        # out-of-band eviction (what MemoryCapacityManager._evict does)
+        d.valid_nodes(handle).discard(1)
+        d.invalidate_need_cache(handle)
+        assert d.needed_src(handle, 1) == 0  # re-derived, not stale

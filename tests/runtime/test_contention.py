@@ -62,3 +62,51 @@ class TestTransferModelFlag:
         model.schedule("host", "gpu0", nbytes, now=0.0)
         second = model.schedule("host", "gpu0", nbytes, now=0.0)
         assert second.start > 0.0
+
+
+class TestTransferModelCaches:
+    """Memoized lanes of the transfer model (vectorized engine): exact
+    scalar floats, dropped on fabric invalidation."""
+
+    def test_ideal_time_cached_bit_identical(self, gpgpu_platform):
+        model = TransferModel(gpgpu_platform)
+        nbytes = 8 * 2**20
+        assert model.ideal_time_cached("host", "gpu0", nbytes) == model.ideal_time(
+            "host", "gpu0", nbytes
+        )
+        # second hit comes from the memo and stays identical
+        assert model.ideal_time_cached("host", "gpu0", nbytes) == model.ideal_time(
+            "host", "gpu0", nbytes
+        )
+
+    def test_invalidate_routes_drops_ideal_memo(self, gpgpu_platform):
+        model = TransferModel(gpgpu_platform)
+        model.ideal_time_cached("host", "gpu0", 1024.0)
+        assert model._ideal_cache
+        model.invalidate_routes()
+        assert not model._ideal_cache
+
+    def test_bulk_ideal_times(self, gpgpu_platform):
+        model = TransferModel(gpgpu_platform)
+        reqs = [("host", "gpu0", 1024.0), ("host", "gpu1", 2048.0)]
+        assert model.bulk_ideal_times(reqs) == [
+            model.ideal_time(*r) for r in reqs
+        ]
+
+    def test_param_cache_schedules_identically(self, gpgpu_platform):
+        cached = TransferModel(gpgpu_platform)
+        cached.param_cache_enabled = True
+        plain = TransferModel(gpgpu_platform)
+        nbytes = 16 * 2**20
+        for now in (0.0, 0.0, 0.1):
+            a = cached.schedule("host", "gpu0", nbytes, now)
+            b = plain.schedule("host", "gpu0", nbytes, now)
+            assert (a.start, a.finish) == (b.start, b.finish)
+
+    def test_param_cache_dropped_on_invalidation(self, gpgpu_platform):
+        model = TransferModel(gpgpu_platform)
+        model.param_cache_enabled = True
+        model.schedule("host", "gpu0", 1024.0, 0.0)
+        assert model._link_params
+        model.invalidate_routes()
+        assert not model._link_params

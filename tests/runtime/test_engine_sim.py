@@ -65,6 +65,58 @@ class TestEngineConstruction:
             engine.run()
 
 
+class TestAvailabilityDiagnostics:
+    """A malformed AVAILABLE used to be swallowed by a blanket ``except``
+    and the lane treated as *available* — work scheduled onto a worker
+    whose descriptor is corrupt.  Now it resolves to unavailable and the
+    engine surfaces a lint-shaped diagnostic."""
+
+    @staticmethod
+    def _platform_with_available(value):
+        from repro.model.properties import Property, PropertyValue
+        from repro.pdl.catalog import load_platform
+
+        plat = load_platform("xeon_x5550_2gpu")
+        plat.pu("gpu0").descriptor.add(
+            Property("AVAILABLE", PropertyValue(value), fixed=False,
+                     source="test")
+        )
+        return plat
+
+    def test_corrupt_available_excludes_lane(self):
+        engine = RuntimeEngine(self._platform_with_available("maybe"))
+        assert "gpu0" not in [w.instance_id for w in engine.workers]
+
+    def test_corrupt_available_emits_diagnostic(self):
+        from repro.analysis.diagnostics import Severity
+
+        engine = RuntimeEngine(self._platform_with_available("maybe"))
+        assert len(engine.diagnostics) == 1
+        diag = engine.diagnostics[0]
+        assert diag.rule == "RT001"
+        assert diag.severity is Severity.WARNING
+        assert diag.subject == "gpu0"
+        assert "maybe" in diag.message
+        assert "true/false" in diag.hint
+
+    def test_corrupt_available_run_completes_degraded(self):
+        engine = RuntimeEngine(self._platform_with_available("maybe"))
+        submit_tiled_dgemm(engine, 1024, 256)
+        result = engine.run()
+        assert len(result.trace.tasks) == engine.task_count
+        assert not any(t.worker_id == "gpu0" for t in result.trace.tasks)
+
+    def test_wellformed_false_excludes_without_diagnostic(self):
+        engine = RuntimeEngine(self._platform_with_available("false"))
+        assert "gpu0" not in [w.instance_id for w in engine.workers]
+        assert engine.diagnostics == []
+
+    def test_wellformed_true_keeps_lane(self):
+        engine = RuntimeEngine(self._platform_with_available("true"))
+        assert "gpu0" in [w.instance_id for w in engine.workers]
+        assert engine.diagnostics == []
+
+
 class TestSimulationBasics:
     def test_all_tasks_complete(self, small_platform):
         engine = RuntimeEngine(small_platform, scheduler="eager")

