@@ -1,0 +1,113 @@
+"""Design-space exploration throughput: serial vs worker-pool sweeps.
+
+Times the same synthesized candidate family through ``sweep()`` with one
+process and with a 4-worker pool, reporting points-evaluated-per-second
+for each.  Determinism rides along as a gate: both sweeps must produce
+byte-identical frontier fingerprints before any throughput number is
+reported.
+
+Results land in ``BENCH_explore.json`` (override the path with
+``BENCH_EXPLORE_JSON``).  The >2x pool-scaling floor is only asserted
+when the host actually has >= 4 usable cores — on a 1-core container the
+pool cannot beat serial and the bench records the truth instead of
+failing on physics.
+"""
+
+import json
+import os
+import time
+
+from repro.explore.pareto import build_report
+from repro.explore.score import WorkloadSpec
+from repro.explore.sweep import default_processes, sweep
+from repro.explore.synth import synthesize
+from repro.experiments.reporting import format_table
+from benchmarks.conftest import print_report
+
+#: big enough for pool startup to amortize, small enough to stay quick
+WORKLOAD = WorkloadSpec(name="dgemm", n=1024, block_size=256)
+POOL_PROCESSES = 4
+SCALING_FLOOR = 2.0
+
+
+def _timed_sweep(candidates, processes):
+    t0 = time.perf_counter()
+    scores = sweep(candidates, WORKLOAD, processes=processes)
+    elapsed = time.perf_counter() - t0
+    return scores, elapsed
+
+
+def test_bench_sweep_scaling():
+    synthesis = synthesize("dgemm-default", "sys-large", seed=0, max_points=48)
+    candidates = synthesis.candidates
+    cores = default_processes()
+
+    serial_scores, t_serial = _timed_sweep(candidates, 1)
+    pooled_scores, t_pooled = _timed_sweep(candidates, POOL_PROCESSES)
+
+    # determinism gate: throughput numbers are meaningless if the pool
+    # changed the answer
+    serial_fp = build_report(synthesis, serial_scores, WORKLOAD).fingerprint()
+    pooled_fp = build_report(synthesis, pooled_scores, WORKLOAD).fingerprint()
+    assert serial_fp == pooled_fp
+    assert all(s.status == "ok" for s in serial_scores)
+
+    points = len(candidates)
+    serial_pps = points / t_serial
+    pooled_pps = points / t_pooled
+    scaling = pooled_pps / serial_pps
+
+    payload = {
+        "workload": WORKLOAD.to_payload(),
+        "points": points,
+        "cpu_count": cores,
+        "pool_processes": POOL_PROCESSES,
+        "serial_s": t_serial,
+        "pooled_s": t_pooled,
+        "serial_points_per_s": serial_pps,
+        "pooled_points_per_s": pooled_pps,
+        "scaling": scaling,
+        "scaling_floor": SCALING_FLOOR,
+        "scaling_gated": cores >= POOL_PROCESSES,
+        "frontier_fingerprint": serial_fp,
+        "determinism": "ok",
+    }
+    out = os.environ.get("BENCH_EXPLORE_JSON", "BENCH_explore.json")
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    print_report(
+        "EXPLORE — design-space sweep throughput (tiled DGEMM scoring)",
+        format_table(
+            ["mode", "processes", "points", "wall [s]", "points/s"],
+            [
+                ("serial", "1", str(points), f"{t_serial:.2f}",
+                 f"{serial_pps:.2f}"),
+                ("pool", str(POOL_PROCESSES), str(points), f"{t_pooled:.2f}",
+                 f"{pooled_pps:.2f}"),
+            ],
+        )
+        + f"\nscaling: {scaling:.2f}x on {cores} visible core(s);"
+        f" frontier fingerprint {serial_fp[:16]} (serial == pool)",
+    )
+
+    if cores >= POOL_PROCESSES:
+        assert scaling >= SCALING_FLOOR, (
+            f"pool-of-{POOL_PROCESSES} sweep scaled {scaling:.2f}x over"
+            f" serial on {cores} cores (floor {SCALING_FLOOR:.1f}x)"
+        )
+
+
+def test_bench_synthesis_rate():
+    """Synthesis alone (build + validate + serialize + digest per point):
+    the non-simulation overhead a sweep pays up front."""
+    t0 = time.perf_counter()
+    result = synthesize("dgemm-default", "sys-large", seed=0)
+    elapsed = time.perf_counter() - t0
+    rate = result.considered / elapsed
+    assert len(result.candidates) >= 100
+    print_report(
+        "EXPLORE — synthesis rate",
+        f"{result.considered} grid points -> {len(result.candidates)}"
+        f" candidates in {elapsed:.2f} s ({rate:,.0f} points/s)",
+    )

@@ -28,7 +28,11 @@ Subpackages
     trace exporters (Chrome trace-event JSON, deterministic JSON, text).
 ``repro.session``
     The :class:`Session` facade tying platform + tracer + policies into
-    one object with ``parse/translate/run/preselect/lint/calibrate``.
+    one object with ``parse/translate/run/preselect/lint/calibrate/explore``.
+``repro.explore``
+    Design-space exploration: synthesize PDL platform families under
+    area/power/bandwidth budgets, sweep them across a worker pool, and
+    rank Pareto frontiers (``repro explore`` on the command line).
 """
 
 __version__ = "1.0.0"
@@ -74,6 +78,7 @@ __all__ = [
     "use_tracer",
     "Session",
     "SelectionReport",
+    "run_exploration",
 ]
 
 #: heavyweight exports resolved lazily (PEP 562) so ``import repro``
@@ -81,6 +86,7 @@ __all__ = [
 _LAZY = {
     "Session": ("repro.session", "Session"),
     "SelectionReport": ("repro.cascabel.selection", "SelectionReport"),
+    "run_exploration": ("repro.explore.sweep", "run_exploration"),
 }
 
 

@@ -8,6 +8,7 @@ One entry point, five familiar tools plus trace inspection::
     repro tune calibrate ...          # was: repro-tune calibrate ...
     repro cascabel program.c ...      # was: cascabel program.c ...
     repro trace view trace.json       # new: render an exported trace
+    repro explore sweep ...           # new: design-space exploration
 
 The historical console scripts still work — they print a one-line
 pointer to the umbrella spelling on stderr and delegate — so existing
@@ -37,6 +38,7 @@ toolchain commands (each accepts --help):
   tune       calibration sweeps and tuning-profile management
   cascabel   the source-to-source compiler for annotated programs
   trace      inspect exported traces (repro trace view <file>)
+  explore    design-space exploration: sweep / frontier / show / spaces
 
 options:
   -h, --help     show this message
@@ -74,12 +76,19 @@ def _dispatch_cascabel(argv: list) -> int:
     return main(argv)
 
 
+def _dispatch_explore(argv: list) -> int:
+    from repro.explore.cli import main
+
+    return main(argv)
+
+
 _COMMANDS: dict = {
     "pdl": _dispatch_pdl,
     "lint": _dispatch_lint,
     "registry": _dispatch_registry,
     "tune": _dispatch_tune,
     "cascabel": _dispatch_cascabel,
+    "explore": _dispatch_explore,
 }
 
 

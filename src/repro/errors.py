@@ -43,6 +43,7 @@ __all__ = [
     "ServiceProtocolError",
     "ServiceOverloadError",
     "UnknownPlatformError",
+    "ExploreError",
 ]
 
 
@@ -270,3 +271,10 @@ class ServiceOverloadError(ServiceError):
 
 class UnknownPlatformError(ServiceError):
     """No stored descriptor matches the requested tag or digest (HTTP 404)."""
+
+
+# --------------------------------------------------------------------------
+# Design-space exploration
+# --------------------------------------------------------------------------
+class ExploreError(ReproError):
+    """Invalid design space, budget, or exploration configuration."""

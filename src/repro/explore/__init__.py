@@ -1,0 +1,100 @@
+"""Design-space exploration: synthesize PDL families, sweep, rank.
+
+The inverse of the rest of the toolchain: instead of asking how to run
+a program on a given platform description, generate *families* of
+schema-valid descriptors under area/power/bandwidth budgets, score each
+candidate through the full pipeline (parse → strict lint → translate →
+vectorized simulation), and report Pareto frontiers over makespan, area
+and power.
+
+Entry points
+------------
+:func:`run_exploration`
+    One call: synthesize → parallel sweep → :class:`FrontierReport`.
+:func:`synthesize` / :func:`sweep` / :func:`build_report`
+    The same pipeline as separate stages.
+:class:`DesignSpace` / :class:`Budget` / :class:`WorkloadSpec`
+    The exploration's inputs; shipped presets via
+    :func:`builtin_space` / :func:`builtin_budget`.
+
+Also reachable as ``Session.explore(...)`` and ``repro explore`` on the
+command line.
+"""
+
+from repro.explore.pareto import (  # noqa: F401
+    OBJECTIVES,
+    FrontierReport,
+    build_report,
+    dominates,
+    pareto_ranks,
+)
+from repro.explore.score import (  # noqa: F401
+    PointScore,
+    WorkloadSpec,
+    available_workloads,
+    score_candidate,
+)
+from repro.explore.space import (  # noqa: F401
+    SYS_LARGE,
+    SYS_MEDIUM,
+    SYS_SMALL,
+    Budget,
+    DesignSpace,
+    ExploreError,
+    PlatformParams,
+    PUKindSpec,
+    available_budgets,
+    available_pu_kinds,
+    available_spaces,
+    builtin_budget,
+    builtin_space,
+    pu_kind,
+    register_pu_kind,
+)
+from repro.explore.sweep import (  # noqa: F401
+    default_processes,
+    run_exploration,
+    sweep,
+)
+from repro.explore.synth import (  # noqa: F401
+    Candidate,
+    SynthesisResult,
+    build_platform,
+    estimate_costs,
+    synthesize,
+)
+
+__all__ = [
+    "ExploreError",
+    "PUKindSpec",
+    "pu_kind",
+    "register_pu_kind",
+    "available_pu_kinds",
+    "Budget",
+    "SYS_SMALL",
+    "SYS_MEDIUM",
+    "SYS_LARGE",
+    "builtin_budget",
+    "available_budgets",
+    "PlatformParams",
+    "DesignSpace",
+    "builtin_space",
+    "available_spaces",
+    "Candidate",
+    "SynthesisResult",
+    "estimate_costs",
+    "build_platform",
+    "synthesize",
+    "WorkloadSpec",
+    "PointScore",
+    "score_candidate",
+    "available_workloads",
+    "sweep",
+    "run_exploration",
+    "default_processes",
+    "OBJECTIVES",
+    "dominates",
+    "pareto_ranks",
+    "FrontierReport",
+    "build_report",
+]

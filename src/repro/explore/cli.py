@@ -1,0 +1,239 @@
+"""``repro explore`` — design-space exploration from the command line.
+
+Sub-commands::
+
+    repro explore sweep    [options] [-o report.json]   # synthesize + score
+    repro explore frontier <report.json> [--all]        # show Pareto table
+    repro explore show     <report.json> <digest>       # one point, full JSON
+    repro explore spaces                                # list presets
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.errors import ExploreError
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro explore",
+        description="synthesize PDL platform families and search them",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser(
+        "sweep", help="synthesize a family under a budget and score every point"
+    )
+    sweep.add_argument("--space", default="dgemm-default",
+                       help="design-space preset name (see `spaces`)")
+    sweep.add_argument("--budget", default="sys-large",
+                       help="budget preset name (see `spaces`)")
+    sweep.add_argument("--workload", default="dgemm",
+                       help="workload to score on (dgemm/cholesky/vecadd)")
+    sweep.add_argument("--n", type=int, default=2048,
+                       help="workload problem size (default 2048)")
+    sweep.add_argument("--block", type=int, default=256,
+                       help="workload tile size (default 256)")
+    sweep.add_argument("--scheduler", default="dmda",
+                       help="runtime scheduling policy (default dmda)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="synthesis seed (default 0)")
+    sweep.add_argument("--max-points", type=int, default=None,
+                       help="cap considered grid points (seeded sample)")
+    sweep.add_argument("--processes", "-j", type=int, default=None,
+                       help="pool size; 1 = serial (default: all cores)")
+    sweep.add_argument("--tuning", default=None, metavar="DB.json",
+                       help="TuningDatabase path for history-model scheduling")
+    sweep.add_argument("--output", "-o", default=None, metavar="FILE",
+                       help="write the full report payload as JSON")
+    sweep.add_argument("--quiet", "-q", action="store_true",
+                       help="suppress the frontier table on stdout")
+
+    frontier = sub.add_parser(
+        "frontier", help="print the Pareto frontier of a saved report"
+    )
+    frontier.add_argument("report", help="report JSON written by `sweep -o`")
+    frontier.add_argument("--all", action="store_true",
+                          help="list every point, not just rank 0")
+
+    show = sub.add_parser("show", help="print one scored point in full")
+    show.add_argument("report", help="report JSON written by `sweep -o`")
+    show.add_argument("digest", help="point digest (unique prefix suffices)")
+
+    sub.add_parser("spaces", help="list shipped spaces, budgets and PU kinds")
+    return parser
+
+
+def _load_report(path: str):
+    from repro.explore.pareto import FrontierReport
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ExploreError(f"cannot read report {path!r}: {exc}") from exc
+    try:
+        return FrontierReport.from_payload(payload)
+    except KeyError as exc:
+        raise ExploreError(
+            f"{path!r} is not an exploration report (missing {exc})"
+        ) from exc
+
+
+def _format_points(rows, *, objectives) -> str:
+    from repro.experiments.reporting import format_table
+
+    header = ["rank", "platform", "digest"] + list(objectives) + [
+        "gflops", "status"
+    ]
+    table = []
+    for row in rows:
+        table.append(
+            [
+                "-" if row.get("rank") is None else str(row["rank"]),
+                row["name"],
+                row["digest"][:12],
+                *(
+                    "-"
+                    if row.get(objective) is None
+                    else f"{row[objective]:.6g}"
+                    for objective in objectives
+                ),
+                "-" if row.get("gflops") is None else f"{row['gflops']:.1f}",
+                row["status"],
+            ]
+        )
+    return format_table(header, table)
+
+
+def _cmd_sweep(args) -> int:
+    from repro.explore.score import WorkloadSpec
+    from repro.explore.sweep import default_processes, run_exploration
+
+    processes = args.processes if args.processes is not None else (
+        default_processes()
+    )
+    workload = WorkloadSpec(
+        name=args.workload,
+        n=args.n,
+        block_size=args.block,
+        scheduler=args.scheduler,
+    )
+    report = run_exploration(
+        args.space,
+        args.budget,
+        workload=workload,
+        seed=args.seed,
+        max_points=args.max_points,
+        processes=processes,
+        tuning_path=args.tuning,
+    )
+    stats = report.stats
+    timing = report.timing
+    print(
+        f"swept {stats['evaluated']} points"
+        f" ({stats['rejected_budget']} over budget,"
+        f" {stats['duplicates']} duplicates)"
+        f" with {timing.get('processes', 1)} process(es)"
+        f" in {timing.get('sweep_wall_s', 0.0):.2f}s"
+        f" ({timing.get('points_per_second', 0.0):.1f} points/s)"
+    )
+    print(
+        f"frontier: {stats['frontier_size']} Pareto-optimal points;"
+        f" {stats['degraded']} degraded, {stats['errors']} failed"
+    )
+    if not args.quiet:
+        print()
+        print(_format_points(report.frontier(), objectives=report.objectives))
+    print(f"report fingerprint: {report.fingerprint()}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report.to_payload(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_frontier(args) -> int:
+    report = _load_report(args.report)
+    rows = report.points if args.all else report.frontier()
+    if not rows:
+        print("(no scored points)")
+        return 0
+    print(_format_points(rows, objectives=report.objectives))
+    print(f"\nreport fingerprint: {report.fingerprint()}")
+    return 0
+
+
+def _cmd_show(args) -> int:
+    report = _load_report(args.report)
+    row = report.find(args.digest)
+    if row is None:
+        print(
+            f"repro explore: no unique point matches digest prefix"
+            f" {args.digest!r}",
+            file=sys.stderr,
+        )
+        return 2
+    print(json.dumps(row, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_spaces(_args) -> int:
+    from repro.explore.space import (
+        available_budgets,
+        available_pu_kinds,
+        available_spaces,
+        builtin_budget,
+        builtin_space,
+        pu_kind,
+    )
+
+    print("design spaces:")
+    for name in available_spaces():
+        space = builtin_space(name)
+        print(f"  {name:16s} raw grid {space.raw_size()} points")
+    print("budgets:")
+    for name in available_budgets():
+        budget = builtin_budget(name)
+        print(
+            f"  {name:16s} area {budget.area_mm2:g} mm2,"
+            f" power {budget.power_w:g} W,"
+            f" bandwidth {budget.bandwidth_gbs:g} GB/s"
+        )
+    print("pu kinds:")
+    for name in available_pu_kinds():
+        spec = pu_kind(name)
+        print(
+            f"  {name:16s} {spec.kind}: {spec.peak_gflops_dp:g} GFLOPS,"
+            f" {spec.area_mm2:g} mm2, {spec.tdp_w:g} W"
+        )
+    return 0
+
+
+_COMMANDS = {
+    "sweep": _cmd_sweep,
+    "frontier": _cmd_frontier,
+    "show": _cmd_show,
+    "spaces": _cmd_spaces,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ExploreError as exc:
+        print(f"repro explore: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

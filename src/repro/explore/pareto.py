@@ -1,0 +1,199 @@
+"""Pareto frontiers over scored design points.
+
+Three objectives, all minimized: makespan (performance), die area and
+power (cost).  Points are ranked by non-dominated sorting — rank 0 is
+the Pareto frontier, rank 1 the frontier after removing rank 0, and so
+on — so a designer reads the report top-down from "build one of these"
+to "dominated, ignore".
+
+:class:`FrontierReport` follows the toolchain-wide report conventions:
+canonical ordering, a deterministic :meth:`to_payload`, and a
+:meth:`fingerprint` that is stable across reruns and worker counts
+(wall-clock numbers live outside the payload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.explore.score import PointScore, WorkloadSpec
+from repro.explore.synth import SynthesisResult
+
+__all__ = [
+    "OBJECTIVES",
+    "dominates",
+    "pareto_ranks",
+    "FrontierReport",
+    "build_report",
+]
+
+#: objective keys in a scored point's payload, all minimized
+OBJECTIVES: tuple[str, ...] = ("makespan_s", "area_mm2", "power_w")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether objective vector ``a`` Pareto-dominates ``b`` (minimize):
+    no worse in every objective, strictly better in at least one."""
+    better = False
+    for ai, bi in zip(a, b):
+        if ai > bi:
+            return False
+        if ai < bi:
+            better = True
+    return better
+
+
+def pareto_ranks(vectors: Sequence[Sequence[float]]) -> list[int]:
+    """Non-dominated sorting: rank 0 = Pareto-optimal, rank ``k`` =
+    optimal once ranks ``< k`` are removed.  O(n²) per front — fine for
+    the hundreds-of-points sweeps this subsystem produces."""
+    n = len(vectors)
+    ranks = [-1] * n
+    remaining = list(range(n))
+    rank = 0
+    while remaining:
+        front = [
+            i
+            for i in remaining
+            if not any(
+                dominates(vectors[j], vectors[i]) for j in remaining if j != i
+            )
+        ]
+        for i in front:
+            ranks[i] = rank
+        remaining = [i for i in remaining if ranks[i] < 0]
+        rank += 1
+    return ranks
+
+
+@dataclass
+class FrontierReport:
+    """The deliverable of one exploration: every scored point, ranked.
+
+    ``points`` holds payload rows (plain dicts) with a ``"rank"`` key —
+    ``0`` for the frontier, higher for dominated points, ``None`` for
+    points that failed to score.  Rows are canonically ordered by
+    (rank, makespan, area, power, digest); identical explorations are
+    byte-identical payloads.
+    """
+
+    space: dict
+    budget: dict
+    workload: dict
+    seed: int
+    objectives: tuple[str, ...] = OBJECTIVES
+    points: list = field(default_factory=list)
+    stats: dict = field(default_factory=dict)
+    #: wall-clock observations — intentionally OUTSIDE to_payload()
+    timing: dict = field(default_factory=dict)
+
+    # -- views ---------------------------------------------------------------
+    def frontier(self) -> list:
+        """The rank-0 (Pareto-optimal) payload rows."""
+        return [p for p in self.points if p.get("rank") == 0]
+
+    def degraded(self) -> list:
+        return [p for p in self.points if p.get("status") == "degraded"]
+
+    def errors(self) -> list:
+        return [p for p in self.points if p.get("status") == "error"]
+
+    def find(self, digest_prefix: str) -> Optional[dict]:
+        """The unique point whose digest starts with ``digest_prefix``."""
+        matches = [
+            p for p in self.points if p["digest"].startswith(digest_prefix)
+        ]
+        return matches[0] if len(matches) == 1 else None
+
+    # -- report conventions --------------------------------------------------
+    def to_payload(self) -> dict:
+        return {
+            "space": self.space,
+            "budget": self.budget,
+            "workload": self.workload,
+            "seed": self.seed,
+            "objectives": list(self.objectives),
+            "stats": dict(sorted(self.stats.items())),
+            "points": list(self.points),
+        }
+
+    def fingerprint(self) -> str:
+        from repro.obs.digest import fingerprint_payload
+
+        return fingerprint_payload(self.to_payload())
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FrontierReport":
+        """Rehydrate a report the CLI wrote to disk."""
+        return cls(
+            space=payload["space"],
+            budget=payload["budget"],
+            workload=payload["workload"],
+            seed=payload["seed"],
+            objectives=tuple(payload["objectives"]),
+            points=list(payload["points"]),
+            stats=dict(payload.get("stats", {})),
+        )
+
+
+def _sort_key(row: dict) -> tuple:
+    rank = row.get("rank")
+    return (
+        0 if rank is not None else 1,
+        rank if rank is not None else 0,
+        row.get("makespan_s") if row.get("makespan_s") is not None else 0.0,
+        row.get("area_mm2", 0.0),
+        row.get("power_w", 0.0),
+        row["digest"],
+    )
+
+
+def build_report(
+    synthesis: SynthesisResult,
+    scores: Sequence[PointScore],
+    workload: WorkloadSpec,
+    *,
+    timing: Optional[dict] = None,
+) -> FrontierReport:
+    """Rank scored points and assemble the canonical frontier report.
+
+    Only completed runs (``ok``/``degraded``) enter the dominance
+    ranking; failed points are listed with ``rank: None`` so a sweep
+    over a partially-broken family still reports what happened.
+    """
+    scored = [s for s in scores if s.makespan_s is not None]
+    vectors = [
+        (s.makespan_s, s.area_mm2, s.power_w) for s in scored
+    ]
+    ranks = pareto_ranks(vectors) if vectors else []
+    rank_of = {s.digest: r for s, r in zip(scored, ranks)}
+
+    rows = []
+    for score in scores:
+        row = score.to_payload()
+        row["rank"] = rank_of.get(score.digest)
+        rows.append(row)
+    rows.sort(key=_sort_key)
+
+    degraded = sum(1 for s in scores if s.status == "degraded")
+    errors = sum(1 for s in scores if s.status == "error")
+    return FrontierReport(
+        space=synthesis.space.to_payload(),
+        budget=synthesis.budget.to_payload(),
+        workload=workload.to_payload(),
+        seed=synthesis.seed,
+        points=rows,
+        stats={
+            "grid_size": synthesis.grid_size,
+            "considered": synthesis.considered,
+            "duplicates": synthesis.duplicates,
+            "rejected_budget": len(synthesis.rejected),
+            "evaluated": len(scores),
+            "ok": len(scores) - degraded - errors,
+            "degraded": degraded,
+            "errors": errors,
+            "frontier_size": sum(1 for r in ranks if r == 0),
+        },
+        timing=dict(timing or {}),
+    )

@@ -1,0 +1,399 @@
+"""Design spaces and system budgets for platform synthesis.
+
+The paper answers "how do I run on *this* platform"; this module opens
+the inverse question — "what platform *should* I build" — by making the
+space of candidate platforms itself an explicit, enumerable object.  A
+:class:`DesignSpace` is a parameterized PDL template: axes over PU
+kinds and counts, interconnect bandwidth and memory size.  A
+:class:`Budget` bounds the feasible region the Lumos way (``MPSoC``
+takes a ``Budget`` of area/power/bandwidth and refuses configurations
+that exceed it); infeasible grid points are rejected before any
+simulation spends time on them.
+
+PU kinds live in a small registry of :class:`PUKindSpec` entries that
+pair the performance properties the runtime's perf model reads
+(``PEAK_GFLOPS_DP``, ``DGEMM_EFFICIENCY``) with the physical costs the
+budget charges (die area, TDP).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.errors import ExploreError
+
+__all__ = [
+    "ExploreError",
+    "PUKindSpec",
+    "pu_kind",
+    "register_pu_kind",
+    "available_pu_kinds",
+    "Budget",
+    "SYS_SMALL",
+    "SYS_MEDIUM",
+    "SYS_LARGE",
+    "builtin_budget",
+    "available_budgets",
+    "PlatformParams",
+    "DesignSpace",
+    "builtin_space",
+    "available_spaces",
+]
+
+
+# --------------------------------------------------------------------------
+# PU kinds: perf properties + physical budget costs
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PUKindSpec:
+    """One synthesizable processing-unit kind.
+
+    ``kind`` is the architectural class (``"cpu"`` maps to x86_64
+    Workers, ``"gpu"`` to gpu Workers with a local memory region); the
+    perf fields become descriptor properties; the cost fields are what
+    the :class:`Budget` charges per instantiated unit.
+    """
+
+    name: str
+    kind: str  # "cpu" | "gpu"
+    peak_gflops_dp: float
+    dgemm_efficiency: float
+    area_mm2: float
+    tdp_w: float
+    frequency_ghz: Optional[float] = None
+    mem_mb: Optional[float] = None  # gpu-local memory size
+    mem_bandwidth_gbs: Optional[float] = None
+
+    def to_payload(self) -> dict:
+        payload = {
+            "name": self.name,
+            "kind": self.kind,
+            "peak_gflops_dp": self.peak_gflops_dp,
+            "dgemm_efficiency": self.dgemm_efficiency,
+            "area_mm2": self.area_mm2,
+            "tdp_w": self.tdp_w,
+        }
+        if self.frequency_ghz is not None:
+            payload["frequency_ghz"] = self.frequency_ghz
+        if self.mem_mb is not None:
+            payload["mem_mb"] = self.mem_mb
+        if self.mem_bandwidth_gbs is not None:
+            payload["mem_bandwidth_gbs"] = self.mem_bandwidth_gbs
+        return payload
+
+
+#: the a-priori kind library; numbers are in the realm of the paper's
+#: evaluation hardware (Xeon X5550 cores, GTX 285/480 class GPUs)
+_PU_KINDS: dict[str, PUKindSpec] = {}
+
+
+def register_pu_kind(spec: PUKindSpec) -> PUKindSpec:
+    """Add (or replace) a synthesizable PU kind."""
+    if spec.kind not in ("cpu", "gpu"):
+        raise ExploreError(f"PU kind class must be 'cpu' or 'gpu', got {spec.kind!r}")
+    _PU_KINDS[spec.name] = spec
+    return spec
+
+
+def pu_kind(name: str) -> PUKindSpec:
+    spec = _PU_KINDS.get(name)
+    if spec is None:
+        raise ExploreError(
+            f"unknown PU kind {name!r} (choose from {', '.join(sorted(_PU_KINDS))})"
+        )
+    return spec
+
+
+def available_pu_kinds() -> list[str]:
+    return sorted(_PU_KINDS)
+
+
+register_pu_kind(
+    PUKindSpec(
+        name="small-core",
+        kind="cpu",
+        peak_gflops_dp=5.32,
+        dgemm_efficiency=0.85,
+        area_mm2=6.0,
+        tdp_w=4.5,
+        frequency_ghz=1.33,
+    )
+)
+register_pu_kind(
+    PUKindSpec(
+        name="big-core",
+        kind="cpu",
+        peak_gflops_dp=10.64,
+        dgemm_efficiency=0.90,
+        area_mm2=18.0,
+        tdp_w=15.0,
+        frequency_ghz=2.66,
+    )
+)
+register_pu_kind(
+    PUKindSpec(
+        name="fast-core",
+        kind="cpu",
+        peak_gflops_dp=21.3,
+        dgemm_efficiency=0.88,
+        area_mm2=30.0,
+        tdp_w=28.0,
+        frequency_ghz=3.4,
+    )
+)
+register_pu_kind(
+    PUKindSpec(
+        name="gpu-small",
+        kind="gpu",
+        peak_gflops_dp=88.5,
+        dgemm_efficiency=0.80,
+        area_mm2=220.0,
+        tdp_w=160.0,
+        mem_mb=1024.0,
+        mem_bandwidth_gbs=159.0,
+    )
+)
+register_pu_kind(
+    PUKindSpec(
+        name="gpu-large",
+        kind="gpu",
+        peak_gflops_dp=168.0,
+        dgemm_efficiency=0.70,
+        area_mm2=330.0,
+        tdp_w=250.0,
+        mem_mb=1536.0,
+        mem_bandwidth_gbs=177.4,
+    )
+)
+
+
+# --------------------------------------------------------------------------
+# Budgets
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Budget:
+    """System-level resource envelope (the Lumos ``Budget`` pattern).
+
+    A candidate platform is *feasible* when its accumulated die area,
+    power draw and aggregate interconnect bandwidth all fit.
+    """
+
+    name: str
+    area_mm2: float
+    power_w: float
+    bandwidth_gbs: float
+
+    def __post_init__(self):
+        for field_name in ("area_mm2", "power_w", "bandwidth_gbs"):
+            if getattr(self, field_name) <= 0:
+                raise ExploreError(f"budget {field_name} must be positive")
+
+    def check(
+        self, *, area_mm2: float, power_w: float, bandwidth_gbs: float
+    ) -> Optional[str]:
+        """``None`` when the point fits; a human-readable reason otherwise."""
+        if area_mm2 > self.area_mm2:
+            return f"area {area_mm2:.1f} mm2 exceeds budget {self.area_mm2:.1f} mm2"
+        if power_w > self.power_w:
+            return f"power {power_w:.1f} W exceeds budget {self.power_w:.1f} W"
+        if bandwidth_gbs > self.bandwidth_gbs:
+            return (
+                f"aggregate bandwidth {bandwidth_gbs:.1f} GB/s exceeds"
+                f" budget {self.bandwidth_gbs:.1f} GB/s"
+            )
+        return None
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "area_mm2": self.area_mm2,
+            "power_w": self.power_w,
+            "bandwidth_gbs": self.bandwidth_gbs,
+        }
+
+
+SYS_SMALL = Budget("sys-small", area_mm2=300.0, power_w=180.0, bandwidth_gbs=64.0)
+SYS_MEDIUM = Budget("sys-medium", area_mm2=800.0, power_w=550.0, bandwidth_gbs=128.0)
+SYS_LARGE = Budget("sys-large", area_mm2=1800.0, power_w=1100.0, bandwidth_gbs=256.0)
+
+_BUDGETS = {b.name: b for b in (SYS_SMALL, SYS_MEDIUM, SYS_LARGE)}
+
+
+def builtin_budget(name: Union[str, Budget]) -> Budget:
+    if isinstance(name, Budget):
+        return name
+    budget = _BUDGETS.get(name)
+    if budget is None:
+        raise ExploreError(
+            f"unknown budget {name!r} (choose from {', '.join(sorted(_BUDGETS))})"
+        )
+    return budget
+
+
+def available_budgets() -> list[str]:
+    return sorted(_BUDGETS)
+
+
+# --------------------------------------------------------------------------
+# Parameter points and design spaces
+# --------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlatformParams:
+    """One normalized grid point of a design space.
+
+    ``gpu_kind`` is ``None`` exactly when ``gpu_count`` is zero, so two
+    raw grid points that differ only in an irrelevant GPU kind normalize
+    to the same params (and therefore the same descriptor digest).
+    """
+
+    cpu_kind: str
+    cpu_count: int
+    gpu_kind: Optional[str]
+    gpu_count: int
+    link_bandwidth_gbs: float
+    memory_gb: float
+
+    def slug(self) -> str:
+        gpu = f"{self.gpu_count}x{self.gpu_kind}" if self.gpu_count else "0"
+        return (
+            f"c{self.cpu_count}x{self.cpu_kind}-g{gpu}"
+            f"-bw{self.link_bandwidth_gbs:g}-m{self.memory_gb:g}"
+        )
+
+    def to_payload(self) -> dict:
+        return {
+            "cpu_kind": self.cpu_kind,
+            "cpu_count": self.cpu_count,
+            "gpu_kind": self.gpu_kind,
+            "gpu_count": self.gpu_count,
+            "link_bandwidth_gbs": self.link_bandwidth_gbs,
+            "memory_gb": self.memory_gb,
+        }
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A parameterized platform family (the synthesizer's template).
+
+    Axes are plain tuples; the grid is their cartesian product in
+    deterministic (document) order.  All referenced kinds must exist in
+    the PU-kind registry — checked eagerly so a typo fails at space
+    construction, not halfway through a sweep.
+    """
+
+    name: str
+    cpu_kinds: tuple[str, ...] = ("big-core",)
+    cpu_counts: tuple[int, ...] = (4, 8)
+    gpu_kinds: tuple[str, ...] = ("gpu-small",)
+    gpu_counts: tuple[int, ...] = (0, 1, 2)
+    link_bandwidths_gbs: tuple[float, ...] = (5.7,)
+    memory_gb: tuple[float, ...] = (48.0,)
+
+    def __post_init__(self):
+        if not all((self.cpu_kinds, self.cpu_counts, self.gpu_counts,
+                    self.link_bandwidths_gbs, self.memory_gb)):
+            raise ExploreError(f"design space {self.name!r} has an empty axis")
+        for kind_name in self.cpu_kinds:
+            if pu_kind(kind_name).kind != "cpu":
+                raise ExploreError(f"{kind_name!r} is not a cpu kind")
+        for kind_name in self.gpu_kinds:
+            if pu_kind(kind_name).kind != "gpu":
+                raise ExploreError(f"{kind_name!r} is not a gpu kind")
+        if any(count < 1 for count in self.cpu_counts):
+            raise ExploreError("cpu_counts must be >= 1 (a Worker is required)")
+        if any(count < 0 for count in self.gpu_counts):
+            raise ExploreError("gpu_counts must be >= 0")
+        if not self.gpu_kinds and any(self.gpu_counts):
+            raise ExploreError("non-zero gpu_counts need at least one gpu kind")
+
+    def raw_size(self) -> int:
+        """Cartesian-product size before normalization/deduplication."""
+        return (
+            len(self.cpu_kinds)
+            * len(self.cpu_counts)
+            * max(1, len(self.gpu_kinds))
+            * len(self.gpu_counts)
+            * len(self.link_bandwidths_gbs)
+            * len(self.memory_gb)
+        )
+
+    def points(self) -> Iterator[PlatformParams]:
+        """Normalized grid points in deterministic order, duplicates
+        (e.g. GPU kind with ``gpu_count == 0``) already collapsed."""
+        seen: set[PlatformParams] = set()
+        gpu_kinds: Sequence[Optional[str]] = self.gpu_kinds or (None,)
+        for cpu_kind_name, cpu_count, gpu_kind_name, gpu_count, bw, mem in (
+            itertools.product(
+                self.cpu_kinds,
+                self.cpu_counts,
+                gpu_kinds,
+                self.gpu_counts,
+                self.link_bandwidths_gbs,
+                self.memory_gb,
+            )
+        ):
+            params = PlatformParams(
+                cpu_kind=cpu_kind_name,
+                cpu_count=int(cpu_count),
+                gpu_kind=gpu_kind_name if gpu_count else None,
+                gpu_count=int(gpu_count),
+                link_bandwidth_gbs=float(bw),
+                memory_gb=float(mem),
+            )
+            if params in seen:
+                continue
+            seen.add(params)
+            yield params
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "cpu_kinds": list(self.cpu_kinds),
+            "cpu_counts": list(self.cpu_counts),
+            "gpu_kinds": list(self.gpu_kinds),
+            "gpu_counts": list(self.gpu_counts),
+            "link_bandwidths_gbs": list(self.link_bandwidths_gbs),
+            "memory_gb": list(self.memory_gb),
+        }
+
+
+#: shipped spaces: the acceptance-scale default family plus a small one
+#: for tests/examples that must stay fast
+_SPACES: dict[str, DesignSpace] = {
+    "dgemm-default": DesignSpace(
+        name="dgemm-default",
+        cpu_kinds=("small-core", "big-core"),
+        cpu_counts=(4, 8, 16),
+        gpu_kinds=("gpu-small", "gpu-large"),
+        gpu_counts=(0, 1, 2, 4),
+        link_bandwidths_gbs=(5.7, 16.0),
+        memory_gb=(24.0, 48.0),
+    ),
+    "tiny": DesignSpace(
+        name="tiny",
+        cpu_kinds=("small-core",),
+        cpu_counts=(2, 4),
+        gpu_kinds=("gpu-small",),
+        gpu_counts=(0, 1),
+        link_bandwidths_gbs=(8.0,),
+        memory_gb=(16.0,),
+    ),
+}
+
+
+def builtin_space(name: Union[str, DesignSpace]) -> DesignSpace:
+    if isinstance(name, DesignSpace):
+        return name
+    space = _SPACES.get(name)
+    if space is None:
+        raise ExploreError(
+            f"unknown design space {name!r}"
+            f" (choose from {', '.join(sorted(_SPACES))})"
+        )
+    return space
+
+
+def available_spaces() -> list[str]:
+    return sorted(_SPACES)

@@ -1,0 +1,316 @@
+"""Platform synthesizer: design-space points → schema-valid descriptors.
+
+Each feasible grid point becomes a complete, validated
+:class:`~repro.model.platform.Platform` plus its canonical PDL document
+and content digest — the same sha256-of-canonical-XML identity the
+registry store and parse cache use, so synthesized families are
+content-addressed and deduplicated exactly like hand-written catalog
+descriptors.
+
+The synthesizer is deterministic by construction: grid enumeration
+follows document order, and when ``max_points`` subsamples a large
+space, a seeded ``random.Random`` draws the sample — identical seeds
+yield byte-identical descriptor sets regardless of host or worker
+count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import ExploreError
+from repro.explore.space import (
+    Budget,
+    DesignSpace,
+    PlatformParams,
+    builtin_budget,
+    builtin_space,
+    pu_kind,
+)
+from repro.model.builder import PlatformBuilder
+from repro.model.entities import MemoryRegion
+from repro.model.platform import Platform
+from repro.model.properties import Property, PropertyValue
+from repro.obs import spans as _obs
+from repro.pdl.catalog import content_digest
+from repro.pdl.writer import write_pdl
+
+__all__ = [
+    "Candidate",
+    "SynthesisResult",
+    "estimate_costs",
+    "build_platform",
+    "synthesize",
+]
+
+#: fixed platform overheads charged against the budget: the host uncore
+#: (memory controllers, IO) plus per-GB DRAM area/power
+_UNCORE_AREA_MM2 = 50.0
+_UNCORE_POWER_W = 20.0
+_DRAM_AREA_MM2_PER_GB = 0.8
+_DRAM_POWER_W_PER_GB = 0.35
+
+#: host memory parameters shared by every synthesized point
+_HOST_MEM_BANDWIDTH_GBS = 25.6
+_SHM_LATENCY = ("100", "ns")
+_PCIE_LATENCY = ("15", "us")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One synthesized, budget-feasible platform: the sweep's work unit.
+
+    Carries the built :class:`Platform` itself (pickle-safe, so pool
+    workers receive it directly without re-parsing), the canonical XML
+    text, and the content digest that identifies the point everywhere —
+    dedup, result collation, report rows, tuning-profile lookup.
+    """
+
+    params: PlatformParams
+    platform: Platform
+    xml: str
+    digest: str
+    area_mm2: float
+    power_w: float
+    aggregate_bandwidth_gbs: float
+
+    @property
+    def name(self) -> str:
+        return self.platform.name
+
+    def to_payload(self) -> dict:
+        return {
+            "name": self.name,
+            "digest": self.digest,
+            "params": self.params.to_payload(),
+            "area_mm2": round(self.area_mm2, 6),
+            "power_w": round(self.power_w, 6),
+            "aggregate_bandwidth_gbs": round(self.aggregate_bandwidth_gbs, 6),
+        }
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of expanding one design space under one budget."""
+
+    space: DesignSpace
+    budget: Budget
+    seed: int
+    candidates: list[Candidate] = field(default_factory=list)
+    #: raw cartesian-product size of the space
+    grid_size: int = 0
+    #: normalized grid points considered (after gpu-kind collapse)
+    considered: int = 0
+    #: points dropped because another point produced identical XML
+    duplicates: int = 0
+    #: slug → rejection reason for budget-infeasible points
+    rejected: dict[str, str] = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        return {
+            "space": self.space.to_payload(),
+            "budget": self.budget.to_payload(),
+            "seed": self.seed,
+            "grid_size": self.grid_size,
+            "considered": self.considered,
+            "duplicates": self.duplicates,
+            "rejected": dict(sorted(self.rejected.items())),
+            "candidates": [c.to_payload() for c in self.candidates],
+        }
+
+    def fingerprint(self) -> str:
+        from repro.obs.digest import fingerprint_payload
+
+        return fingerprint_payload(self.to_payload())
+
+
+def estimate_costs(params: PlatformParams) -> tuple[float, float, float]:
+    """(area mm², power W, aggregate bandwidth GB/s) of one grid point.
+
+    Area and power accumulate the PU kind specs plus uncore and DRAM
+    overheads; aggregate bandwidth sums the synthesized interconnects
+    (host SHM link + one PCIe link per GPU).
+    """
+    cpu = pu_kind(params.cpu_kind)
+    area = _UNCORE_AREA_MM2 + params.memory_gb * _DRAM_AREA_MM2_PER_GB
+    power = _UNCORE_POWER_W + params.memory_gb * _DRAM_POWER_W_PER_GB
+    area += params.cpu_count * cpu.area_mm2
+    power += params.cpu_count * cpu.tdp_w
+    bandwidth = _HOST_MEM_BANDWIDTH_GBS
+    if params.gpu_count:
+        gpu = pu_kind(params.gpu_kind)
+        area += params.gpu_count * gpu.area_mm2
+        power += params.gpu_count * gpu.tdp_w
+        bandwidth += params.gpu_count * params.link_bandwidth_gbs
+    return area, power, bandwidth
+
+
+def _quantity(value: float) -> str:
+    """Format a magnitude the way the builder does ("48", not "48.0")."""
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def build_platform(params: PlatformParams) -> Platform:
+    """Instantiate the PDL template at one grid point.
+
+    Star topology like the paper's evaluation box: one Master host with
+    main memory, a quantity-collapsed cpu Worker entity, and one gpu
+    Worker (with local memory) per GPU, attached over PCIe.  Every
+    Worker joins ``executionset01`` so annotated programs using the
+    canonical execution group map onto any member of the family.
+    """
+    cpu = pu_kind(params.cpu_kind)
+    builder = PlatformBuilder(f"dse-{params.slug()}")
+    builder.master(
+        "host",
+        architecture="x86_64",
+        properties={"RUNTIME": "starpu", "MODEL": "dse-host"},
+    )
+    builder.memory(
+        "main",
+        size=f"{_quantity(params.memory_gb)} GB",
+        properties={
+            "BANDWIDTH": PropertyValue(
+                _quantity(_HOST_MEM_BANDWIDTH_GBS), "GB/s"
+            ),
+            "KIND": "DDR3",
+        },
+    )
+    cpu_props = {
+        "MODEL": cpu.name,
+        "PEAK_GFLOPS_DP": _quantity(cpu.peak_gflops_dp),
+        "DGEMM_EFFICIENCY": _quantity(cpu.dgemm_efficiency),
+    }
+    if cpu.frequency_ghz is not None:
+        cpu_props["FREQUENCY"] = PropertyValue(
+            _quantity(cpu.frequency_ghz), "GHz"
+        )
+    builder.worker(
+        "cpu",
+        architecture="x86_64",
+        quantity=params.cpu_count,
+        properties=cpu_props,
+        groups=("cpus", "executionset01"),
+    )
+    builder.interconnect(
+        "host",
+        "cpu",
+        type="SHM",
+        scheme="shared-memory",
+        bandwidth=f"{_quantity(_HOST_MEM_BANDWIDTH_GBS)} GB/s",
+        latency=" ".join(_SHM_LATENCY),
+        id="shm",
+    )
+
+    if params.gpu_count:
+        gpu = pu_kind(params.gpu_kind)
+        for index in range(params.gpu_count):
+            builder.worker(
+                f"gpu{index}",
+                architecture="gpu",
+                properties={
+                    "MODEL": gpu.name,
+                    "PEAK_GFLOPS_DP": _quantity(gpu.peak_gflops_dp),
+                    "DGEMM_EFFICIENCY": _quantity(gpu.dgemm_efficiency),
+                },
+                groups=("gpus", "executionset01"),
+            )
+            builder.interconnect(
+                "host",
+                f"gpu{index}",
+                type="PCIe",
+                scheme="rDMA",
+                bandwidth=f"{_quantity(params.link_bandwidth_gbs)} GB/s",
+                latency=" ".join(_PCIE_LATENCY),
+                id=f"pcie{index}",
+            )
+    platform = builder.build(validate=False)
+    if params.gpu_count:
+        gpu = pu_kind(params.gpu_kind)
+        for index in range(params.gpu_count):
+            region = MemoryRegion(f"gpu{index}-mem")
+            region.descriptor.add(
+                Property("SIZE", PropertyValue(_quantity(gpu.mem_mb), "MB"))
+            )
+            if gpu.mem_bandwidth_gbs is not None:
+                region.descriptor.add(
+                    Property(
+                        "BANDWIDTH",
+                        PropertyValue(_quantity(gpu.mem_bandwidth_gbs), "GB/s"),
+                    )
+                )
+            platform.pu(f"gpu{index}").add_memory_region(region)
+    platform.validate()
+    return platform
+
+
+def synthesize(
+    space: Union[str, DesignSpace],
+    budget: Union[str, Budget],
+    *,
+    seed: int = 0,
+    max_points: Optional[int] = None,
+) -> SynthesisResult:
+    """Expand ``space`` into budget-feasible candidate platforms.
+
+    Every candidate is validated, serialized to canonical PDL and
+    content-digested; points whose XML digests collide are deduplicated
+    (first occurrence wins).  ``max_points`` caps the *considered* grid
+    points via a seeded sample, keeping huge spaces tractable while
+    staying reproducible.
+    """
+    space = builtin_space(space)
+    budget = builtin_budget(budget)
+    if max_points is not None and max_points < 1:
+        raise ExploreError("max_points must be >= 1")
+
+    points = list(space.points())
+    result = SynthesisResult(
+        space=space, budget=budget, seed=seed, grid_size=space.raw_size()
+    )
+    if max_points is not None and len(points) > max_points:
+        rng = random.Random(seed)
+        chosen = sorted(rng.sample(range(len(points)), max_points))
+        points = [points[i] for i in chosen]
+    result.considered = len(points)
+
+    seen: set[str] = set()
+    with _obs.span(
+        "explore.synthesize", space=space.name, budget=budget.name
+    ) as span_:
+        for params in points:
+            area, power, bandwidth = estimate_costs(params)
+            reason = budget.check(
+                area_mm2=area, power_w=power, bandwidth_gbs=bandwidth
+            )
+            if reason is not None:
+                result.rejected[params.slug()] = reason
+                continue
+            platform = build_platform(params)
+            xml = write_pdl(platform)
+            digest = content_digest(xml)
+            if digest in seen:
+                result.duplicates += 1
+                continue
+            seen.add(digest)
+            result.candidates.append(
+                Candidate(
+                    params=params,
+                    platform=platform,
+                    xml=xml,
+                    digest=digest,
+                    area_mm2=area,
+                    power_w=power,
+                    aggregate_bandwidth_gbs=bandwidth,
+                )
+            )
+        span_.set(
+            candidates=len(result.candidates),
+            rejected=len(result.rejected),
+            duplicates=result.duplicates,
+        )
+    return result

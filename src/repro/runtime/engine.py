@@ -1106,7 +1106,16 @@ class RuntimeEngine:
             retry_count=fault_stats["retries"],
             requeue_count=fault_stats["requeues"],
             worker_failures=fault_stats["worker_failures"],
+            diagnostics=self._diagnostic_payloads(),
         )
+
+    def _diagnostic_payloads(self) -> list:
+        """Runtime findings in canonical order as JSON payloads, so the
+        result of a degraded run carries its own health report."""
+        return [
+            diag.to_payload()
+            for diag in sorted(self.diagnostics, key=lambda d: d.sort_key())
+        ]
 
     def _stall_diagnosis(
         self,
@@ -1455,6 +1464,7 @@ class RuntimeEngine:
             retry_count=stats["retries"],
             requeue_count=stats["requeues"],
             worker_failures=stats["worker_failures"],
+            diagnostics=self._diagnostic_payloads(),
         )
 
     def _worker_loop(

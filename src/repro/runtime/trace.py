@@ -9,7 +9,7 @@ read their numbers from here.
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.obs.digest import fingerprint_payload
 
@@ -232,6 +232,11 @@ class RunResult:
     requeue_count: int = 0
     #: fault tolerance: worker lanes lost mid-run
     worker_failures: int = 0
+    #: runtime-emitted findings (``engine.diagnostics`` at run end, e.g.
+    #: RT001 corrupt-AVAILABLE lane exclusions), as canonical-ordered
+    #: JSON payloads — a sweep scoring this platform sees the run was
+    #: degraded instead of silently trusting the makespan
+    diagnostics: list = field(default_factory=list)
 
     def gflops(self, total_flops: float) -> float:
         """Achieved GFLOP/s for a computation of ``total_flops``."""
@@ -268,6 +273,7 @@ class RunResult:
             "utilization": {
                 w: round(u, 9) for w, u in self.trace.utilization().items()
             },
+            "diagnostics": list(self.diagnostics),
         }
 
     def fingerprint(self) -> str:

@@ -76,6 +76,11 @@ class Session:
         )
         self.scheduler = scheduler
         self.lint_mode = lint
+        #: last engine / result from :meth:`run`, last report from
+        #: :meth:`explore` — for post-hoc inspection
+        self.last_engine = None
+        self.last_result = None
+        self.last_exploration = None
         self._platform: Optional[Platform] = None
         self._platform_ref: Optional[str] = None
         if isinstance(platform, Platform):
@@ -243,6 +248,7 @@ class Session:
             workload(eng)
             result = eng.run() if mode == "sim" else eng.run_real()
             self.last_engine = eng
+            self.last_result = result
             return result
 
     def calibrate(
@@ -265,6 +271,49 @@ class Session:
                 perf_model=perf_model,
                 registry=registry,
             )
+
+    def explore(
+        self,
+        space="dgemm-default",
+        budget="sys-large",
+        *,
+        workload=None,
+        seed: int = 0,
+        max_points: Optional[int] = None,
+        processes: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        tuning_path=None,
+        vectorized: bool = True,
+    ):
+        """Design-space exploration: synthesize a platform family under a
+        budget, score every candidate, rank the Pareto frontier.
+
+        Unlike the other verbs this does not use the session platform —
+        finding platforms is the point.  The session scheduler is the
+        default workload policy; the report is kept on
+        :attr:`last_exploration`.  See :func:`repro.explore.run_exploration`.
+        """
+        from repro.explore.score import WorkloadSpec
+        from repro.explore.sweep import run_exploration
+
+        if workload is None:
+            workload = WorkloadSpec(scheduler=self.scheduler)
+        elif isinstance(workload, str):
+            workload = WorkloadSpec(name=workload, scheduler=self.scheduler)
+        with self._activate():
+            report = run_exploration(
+                space,
+                budget,
+                workload=workload,
+                seed=seed,
+                max_points=max_points,
+                processes=processes,
+                mp_context=mp_context,
+                tuning_path=tuning_path,
+                vectorized=vectorized,
+            )
+            self.last_exploration = report
+            return report
 
     # -- trace access --------------------------------------------------------
     def _require_tracer(self) -> Tracer:
@@ -309,6 +358,17 @@ class Session:
             payload["trace"] = {
                 "spans": len(spans),
                 "trace_ids": sorted({s.trace_id for s in spans}),
+            }
+        if self.last_result is not None:
+            payload["last_run"] = {
+                "tasks": self.last_result.task_count,
+                "makespan": self.last_result.makespan,
+                "diagnostics": list(self.last_result.diagnostics),
+            }
+        if self.last_exploration is not None:
+            payload["last_exploration"] = {
+                "stats": dict(sorted(self.last_exploration.stats.items())),
+                "fingerprint": self.last_exploration.fingerprint(),
             }
         return payload
 

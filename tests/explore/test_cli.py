@@ -1,0 +1,104 @@
+"""``repro explore`` end to end: sweep, frontier, show, spaces."""
+
+import json
+
+import pytest
+
+from repro.cli import main as umbrella_main
+from repro.explore.cli import main as explore_main
+
+SWEEP_ARGS = [
+    "sweep",
+    "--space", "tiny",
+    "--budget", "sys-medium",
+    "--n", "256",
+    "--block", "128",
+    "-j", "1",
+]
+
+
+@pytest.fixture(scope="module")
+def report_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("explore") / "report.json"
+    assert explore_main(SWEEP_ARGS + ["-o", str(path), "--quiet"]) == 0
+    return path
+
+
+class TestSweep:
+    def test_prints_summary_and_frontier(self, capsys, tmp_path):
+        path = tmp_path / "r.json"
+        assert explore_main(SWEEP_ARGS + ["-o", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "swept 4 points" in out
+        assert "Pareto-optimal" in out
+        assert "report fingerprint:" in out
+        assert "rank" in out  # the frontier table rendered
+
+    def test_written_report_is_canonical_json(self, report_path):
+        payload = json.loads(report_path.read_text())
+        assert payload["stats"]["evaluated"] == 4
+        assert {p["status"] for p in payload["points"]} == {"ok"}
+
+    def test_unknown_space_fails_cleanly(self, capsys):
+        assert explore_main(["sweep", "--space", "nope", "-j", "1"]) == 2
+        assert "unknown design space" in capsys.readouterr().err
+
+
+class TestFrontier:
+    def test_lists_rank_zero_only_by_default(self, report_path, capsys):
+        assert explore_main(["frontier", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "report fingerprint:" in out
+        for line in out.splitlines():
+            cells = line.split()
+            if cells and cells[0].isdigit():
+                assert cells[0] == "0"
+
+    def test_all_flag_lists_every_point(self, report_path, capsys):
+        assert explore_main(["frontier", str(report_path), "--all"]) == 0
+        out = capsys.readouterr().out
+        rows = [l for l in out.splitlines() if l.strip() and l.split()[0].isdigit()]
+        assert len(rows) == 4
+
+    def test_missing_file_fails_cleanly(self, capsys, tmp_path):
+        assert explore_main(["frontier", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read report" in capsys.readouterr().err
+
+    def test_non_report_json_fails_cleanly(self, capsys, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text("{}")
+        assert explore_main(["frontier", str(path)]) == 2
+        assert "not an exploration report" in capsys.readouterr().err
+
+
+class TestShow:
+    def test_unique_prefix_prints_full_point(self, report_path, capsys):
+        payload = json.loads(report_path.read_text())
+        digest = payload["points"][0]["digest"]
+        assert explore_main(["show", str(report_path), digest[:12]]) == 0
+        shown = json.loads(capsys.readouterr().out)
+        assert shown["digest"] == digest
+        assert "selection_fingerprint" in shown
+
+    def test_unmatched_prefix_fails(self, report_path, capsys):
+        assert explore_main(["show", str(report_path), "zzzz"]) == 2
+        assert "no unique point" in capsys.readouterr().err
+
+
+class TestSpaces:
+    def test_lists_presets(self, capsys):
+        assert explore_main(["spaces"]) == 0
+        out = capsys.readouterr().out
+        assert "dgemm-default" in out
+        assert "sys-medium" in out
+        assert "big-core" in out
+
+
+class TestUmbrellaDispatch:
+    def test_explore_reachable_from_repro(self, capsys):
+        assert umbrella_main(["explore", "spaces"]) == 0
+        assert "design spaces:" in capsys.readouterr().out
+
+    def test_usage_mentions_explore(self, capsys):
+        assert umbrella_main([]) == 0
+        assert "explore" in capsys.readouterr().out

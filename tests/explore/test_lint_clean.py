@@ -1,0 +1,48 @@
+"""Satellite guard: every synthesized descriptor is strict-lint clean.
+
+The synthesizer promises catalog-grade output — anything the PDL rule
+pack would flag in a hand-written descriptor is a synthesizer bug.
+Parametrized over a small budget grid so the guard covers cpu-only,
+single-GPU and multi-GPU shapes under every shipped budget.
+"""
+
+import pytest
+
+from repro.analysis.engine import Linter
+from repro.explore.space import available_budgets
+from repro.explore.synth import synthesize
+from repro.pdl.catalog import content_digest
+from repro.pdl.parser import parse_pdl
+from repro.pdl.validator import validate_document
+from repro.pdl.writer import write_pdl
+
+
+def _grid():
+    for budget in available_budgets():
+        for space in ("tiny", "dgemm-default"):
+            yield space, budget
+
+
+@pytest.mark.parametrize("space, budget", list(_grid()))
+def test_synthesized_family_is_strict_lint_clean(space, budget):
+    # cap the big space: 12 seeded points per cell keeps the grid fast
+    # while still sampling every budget x space combination
+    result = synthesize(space, budget, seed=5, max_points=12)
+    assert result.candidates, f"{space} under {budget} produced nothing"
+    linter = Linter()
+    for candidate in result.candidates:
+        report = linter.lint_platform(candidate.platform)
+        assert report.ok, (
+            f"{candidate.name}: "
+            + "; ".join(d.format() for d in report.sorted())
+        )
+
+
+@pytest.mark.parametrize("space, budget", list(_grid()))
+def test_synthesized_xml_validates_and_round_trips(space, budget):
+    result = synthesize(space, budget, seed=5, max_points=6)
+    for candidate in result.candidates:
+        platform = parse_pdl(candidate.xml)
+        validation = validate_document(platform)
+        assert validation.ok, f"{candidate.name}: {validation.to_payload()}"
+        assert content_digest(write_pdl(platform)) == candidate.digest

@@ -1,0 +1,127 @@
+"""Dominance, non-dominated sorting, and the frontier report."""
+
+import pytest
+
+from repro.explore.pareto import (
+    FrontierReport,
+    build_report,
+    dominates,
+    pareto_ranks,
+)
+from repro.explore.score import PointScore, WorkloadSpec
+from repro.explore.synth import synthesize
+
+
+class TestDominates:
+    def test_strictly_better_everywhere(self):
+        assert dominates((1, 1, 1), (2, 2, 2))
+
+    def test_better_in_one_equal_elsewhere(self):
+        assert dominates((1, 2, 3), (1, 2, 4))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1, 2), (1, 2))
+
+    def test_tradeoff_is_incomparable(self):
+        assert not dominates((1, 5), (5, 1))
+        assert not dominates((5, 1), (1, 5))
+
+
+class TestParetoRanks:
+    def test_known_fronts(self):
+        vectors = [
+            (1.0, 4.0),  # frontier
+            (4.0, 1.0),  # frontier
+            (2.0, 2.0),  # frontier (trade-off)
+            (3.0, 3.0),  # dominated by (2,2) -> rank 1
+            (5.0, 5.0),  # dominated by everything -> rank 2
+        ]
+        assert pareto_ranks(vectors) == [0, 0, 0, 1, 2]
+
+    def test_single_point_is_rank_zero(self):
+        assert pareto_ranks([(7.0, 7.0, 7.0)]) == [0]
+
+    def test_empty(self):
+        assert pareto_ranks([]) == []
+
+    def test_duplicates_share_a_rank(self):
+        assert pareto_ranks([(1.0, 1.0), (1.0, 1.0)]) == [0, 0]
+
+
+def _score(digest, makespan, area, power, status="ok"):
+    return PointScore(
+        digest=digest,
+        name=f"p-{digest[:4]}",
+        params={},
+        area_mm2=area,
+        power_w=power,
+        aggregate_bandwidth_gbs=25.6,
+        status=status,
+        makespan_s=makespan,
+        gflops=1.0 if makespan is not None else None,
+        error=None if status != "error" else "simulate: boom",
+    )
+
+
+@pytest.fixture(scope="module")
+def synthesis():
+    return synthesize("tiny", "sys-medium")
+
+
+class TestBuildReport:
+    def test_ranks_and_canonical_order(self, synthesis):
+        scores = [
+            _score("c" * 64, 3.0, 100.0, 50.0),   # dominated -> rank 1
+            _score("a" * 64, 1.0, 100.0, 50.0),   # frontier
+            _score("b" * 64, 2.0, 50.0, 25.0),    # frontier (trade-off)
+        ]
+        report = build_report(synthesis, scores, WorkloadSpec())
+        assert [p["digest"][0] for p in report.points] == ["a", "b", "c"]
+        assert [p["rank"] for p in report.points] == [0, 0, 1]
+        assert report.stats["frontier_size"] == 2
+        assert len(report.frontier()) == 2
+
+    def test_failed_points_keep_a_row_without_rank(self, synthesis):
+        scores = [
+            _score("a" * 64, 1.0, 100.0, 50.0),
+            _score("b" * 64, None, 50.0, 25.0, status="error"),
+        ]
+        report = build_report(synthesis, scores, WorkloadSpec())
+        failed = report.points[-1]
+        assert failed["status"] == "error" and failed["rank"] is None
+        assert report.stats == {
+            "grid_size": 4,
+            "considered": 4,
+            "duplicates": 0,
+            "rejected_budget": 0,
+            "evaluated": 2,
+            "ok": 1,
+            "degraded": 0,
+            "errors": 1,
+            "frontier_size": 1,
+        }
+        assert report.errors() == [failed]
+
+    def test_find_by_digest_prefix(self, synthesis):
+        scores = [_score("a" * 64, 1.0, 1.0, 1.0), _score("ab" + "c" * 62, 2.0, 2.0, 2.0)]
+        report = build_report(synthesis, scores, WorkloadSpec())
+        assert report.find("aa") is not None
+        assert report.find("a") is None  # ambiguous
+        assert report.find("zz") is None  # no match
+
+    def test_timing_stays_out_of_the_fingerprint(self, synthesis):
+        scores = [_score("a" * 64, 1.0, 1.0, 1.0)]
+        bare = build_report(synthesis, scores, WorkloadSpec())
+        timed = build_report(
+            synthesis, scores, WorkloadSpec(), timing={"sweep_wall_s": 123.0}
+        )
+        assert timed.timing["sweep_wall_s"] == 123.0
+        assert "timing" not in timed.to_payload()
+        assert bare.fingerprint() == timed.fingerprint()
+
+    def test_payload_round_trip_preserves_fingerprint(self, synthesis):
+        scores = [_score("a" * 64, 1.0, 1.0, 1.0), _score("b" * 64, 2.0, 2.0, 2.0)]
+        report = build_report(synthesis, scores, WorkloadSpec())
+        clone = FrontierReport.from_payload(report.to_payload())
+        assert clone.fingerprint() == report.fingerprint()
+        assert clone.frontier() == report.frontier()

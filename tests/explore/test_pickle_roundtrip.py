@@ -1,0 +1,87 @@
+"""Satellite guard: the sweep's work units survive pickling.
+
+The pool driver ships whole :class:`Candidate` objects (platform
+included) to worker processes, so ``Platform``, ``Descriptor`` and
+``FaultPolicy`` must round-trip through pickle — including under the
+``spawn`` start method, where the child shares nothing with the parent
+and reconstructs everything from the pickled bytes alone.
+"""
+
+import pickle
+
+from repro.explore.space import PlatformParams
+from repro.explore.synth import build_platform, synthesize
+from repro.pdl.catalog import content_digest
+from repro.pdl.writer import write_pdl
+
+PARAMS = PlatformParams(
+    cpu_kind="big-core",
+    cpu_count=4,
+    gpu_kind="gpu-small",
+    gpu_count=2,
+    link_bandwidth_gbs=5.7,
+    memory_gb=48.0,
+)
+
+
+def _spawn_probe(platform):
+    """Runs in a spawn child: prove the platform arrived whole."""
+    from repro.pdl.catalog import content_digest
+    from repro.pdl.writer import write_pdl
+
+    platform.validate()
+    return (
+        platform.name,
+        sorted(pu.id for pu in platform.walk()),
+        content_digest(write_pdl(platform)),
+    )
+
+
+class TestInProcessRoundTrip:
+    def test_platform_round_trips(self):
+        platform = build_platform(PARAMS)
+        clone = pickle.loads(pickle.dumps(platform))
+        clone.validate()
+        assert clone.name == platform.name
+        assert sorted(pu.id for pu in clone.walk()) == sorted(
+            pu.id for pu in platform.walk()
+        )
+        assert content_digest(write_pdl(clone)) == content_digest(
+            write_pdl(platform)
+        )
+
+    def test_descriptor_round_trips(self):
+        descriptor = build_platform(PARAMS).pu("cpu").descriptor
+        clone = pickle.loads(pickle.dumps(descriptor))
+        assert clone.get("PEAK_GFLOPS_DP").text == "10.64"
+        assert clone.get("FREQUENCY").unit == "GHz"
+
+    def test_fault_policy_round_trips(self):
+        from repro.runtime.faults import FaultPolicy
+
+        policy = FaultPolicy(max_retries=3)
+        clone = pickle.loads(pickle.dumps(policy))
+        assert clone == policy
+
+    def test_candidate_round_trips(self):
+        candidate = synthesize("tiny", "sys-medium").candidates[0]
+        clone = pickle.loads(pickle.dumps(candidate))
+        assert clone.digest == candidate.digest
+        assert clone.params == candidate.params
+        assert write_pdl(clone.platform) == candidate.xml
+
+
+class TestSpawnContextRoundTrip:
+    def test_platform_survives_a_spawn_child(self):
+        import multiprocessing
+
+        platform = build_platform(PARAMS)
+        expected = (
+            platform.name,
+            sorted(pu.id for pu in platform.walk()),
+            content_digest(write_pdl(platform)),
+        )
+        ctx = multiprocessing.get_context("spawn")
+        with ctx.Pool(1) as pool:
+            result = pool.apply(_spawn_probe, (platform,))
+        assert result == expected

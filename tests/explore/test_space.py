@@ -1,0 +1,166 @@
+"""Design spaces, budgets and the PU-kind registry."""
+
+import pytest
+
+from repro.errors import ExploreError
+from repro.explore.space import (
+    Budget,
+    DesignSpace,
+    PlatformParams,
+    PUKindSpec,
+    available_budgets,
+    available_pu_kinds,
+    available_spaces,
+    builtin_budget,
+    builtin_space,
+    pu_kind,
+    register_pu_kind,
+)
+
+
+class TestPUKindRegistry:
+    def test_shipped_kinds_present(self):
+        kinds = available_pu_kinds()
+        assert {"small-core", "big-core", "gpu-small", "gpu-large"} <= set(kinds)
+        assert kinds == sorted(kinds)
+
+    def test_lookup_returns_spec(self):
+        spec = pu_kind("big-core")
+        assert spec.kind == "cpu"
+        assert spec.peak_gflops_dp > 0 and spec.area_mm2 > 0
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ExploreError, match="unknown PU kind"):
+            pu_kind("quantum-core")
+
+    def test_register_rejects_bad_class(self):
+        with pytest.raises(ExploreError, match="'cpu' or 'gpu'"):
+            register_pu_kind(
+                PUKindSpec(
+                    name="fpga",
+                    kind="fpga",
+                    peak_gflops_dp=1.0,
+                    dgemm_efficiency=0.5,
+                    area_mm2=1.0,
+                    tdp_w=1.0,
+                )
+            )
+
+    def test_payload_skips_absent_optionals(self):
+        payload = pu_kind("gpu-small").to_payload()
+        assert "mem_mb" in payload and "frequency_ghz" not in payload
+        payload = pu_kind("small-core").to_payload()
+        assert "frequency_ghz" in payload and "mem_mb" not in payload
+
+
+class TestBudget:
+    def test_check_passes_inside_envelope(self):
+        budget = Budget("b", area_mm2=100.0, power_w=50.0, bandwidth_gbs=10.0)
+        assert budget.check(area_mm2=99.0, power_w=49.0, bandwidth_gbs=9.0) is None
+
+    @pytest.mark.parametrize(
+        "kwargs, needle",
+        [
+            (dict(area_mm2=101.0, power_w=1.0, bandwidth_gbs=1.0), "area"),
+            (dict(area_mm2=1.0, power_w=51.0, bandwidth_gbs=1.0), "power"),
+            (dict(area_mm2=1.0, power_w=1.0, bandwidth_gbs=11.0), "bandwidth"),
+        ],
+    )
+    def test_check_names_the_violated_axis(self, kwargs, needle):
+        budget = Budget("b", area_mm2=100.0, power_w=50.0, bandwidth_gbs=10.0)
+        reason = budget.check(**kwargs)
+        assert reason is not None and needle in reason
+
+    def test_nonpositive_axis_rejected(self):
+        with pytest.raises(ExploreError, match="positive"):
+            Budget("b", area_mm2=0.0, power_w=1.0, bandwidth_gbs=1.0)
+
+    def test_builtin_lookup_and_passthrough(self):
+        budget = builtin_budget("sys-small")
+        assert budget.name == "sys-small"
+        assert builtin_budget(budget) is budget
+        assert available_budgets() == ["sys-large", "sys-medium", "sys-small"]
+
+    def test_unknown_budget_raises(self):
+        with pytest.raises(ExploreError, match="unknown budget"):
+            builtin_budget("sys-galactic")
+
+
+class TestPlatformParams:
+    def test_slug_encodes_axes(self):
+        params = PlatformParams(
+            cpu_kind="big-core",
+            cpu_count=8,
+            gpu_kind="gpu-small",
+            gpu_count=2,
+            link_bandwidth_gbs=5.7,
+            memory_gb=48.0,
+        )
+        assert params.slug() == "c8xbig-core-g2xgpu-small-bw5.7-m48"
+
+    def test_gpuless_slug(self):
+        params = PlatformParams(
+            cpu_kind="small-core",
+            cpu_count=4,
+            gpu_kind=None,
+            gpu_count=0,
+            link_bandwidth_gbs=8.0,
+            memory_gb=16.0,
+        )
+        assert params.slug() == "c4xsmall-core-g0-bw8-m16"
+
+
+class TestDesignSpace:
+    def test_points_follow_document_order(self):
+        space = builtin_space("tiny")
+        slugs = [p.slug() for p in space.points()]
+        assert slugs == [
+            "c2xsmall-core-g0-bw8-m16",
+            "c2xsmall-core-g1xgpu-small-bw8-m16",
+            "c4xsmall-core-g0-bw8-m16",
+            "c4xsmall-core-g1xgpu-small-bw8-m16",
+        ]
+
+    def test_irrelevant_gpu_kind_collapses(self):
+        # two GPU kinds, but gpu_count 0 makes the kind irrelevant: the
+        # raw grid has 2*2*2 = 8 points, normalization folds the
+        # gpu-less duplicates into one point per (count, kind=None)
+        space = DesignSpace(
+            name="collapse",
+            cpu_kinds=("small-core",),
+            cpu_counts=(2, 4),
+            gpu_kinds=("gpu-small", "gpu-large"),
+            gpu_counts=(0, 1),
+            link_bandwidths_gbs=(8.0,),
+            memory_gb=(16.0,),
+        )
+        points = list(space.points())
+        assert space.raw_size() == 8
+        assert len(points) == 6
+        gpuless = [p for p in points if p.gpu_count == 0]
+        assert len(gpuless) == 2
+        assert all(p.gpu_kind is None for p in gpuless)
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ExploreError, match="empty axis"):
+            DesignSpace(name="bad", cpu_counts=())
+
+    def test_wrong_kind_class_rejected(self):
+        with pytest.raises(ExploreError, match="not a cpu kind"):
+            DesignSpace(name="bad", cpu_kinds=("gpu-small",))
+        with pytest.raises(ExploreError, match="not a gpu kind"):
+            DesignSpace(name="bad", gpu_kinds=("big-core",))
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(ExploreError, match=">= 1"):
+            DesignSpace(name="bad", cpu_counts=(0, 4))
+
+    def test_builtin_lookup_and_passthrough(self):
+        space = builtin_space("dgemm-default")
+        assert space.name == "dgemm-default"
+        assert builtin_space(space) is space
+        assert "tiny" in available_spaces()
+
+    def test_unknown_space_raises(self):
+        with pytest.raises(ExploreError, match="unknown design space"):
+            builtin_space("everything")

@@ -1,0 +1,156 @@
+"""The sweep driver: serial/pool scoring, degraded points, metrics."""
+
+import pytest
+
+from repro.errors import ExploreError
+from repro.explore.score import WorkloadSpec, score_candidate
+from repro.explore.space import PlatformParams
+from repro.explore.sweep import default_processes, run_exploration, sweep
+from repro.explore.synth import (
+    Candidate,
+    build_platform,
+    estimate_costs,
+    synthesize,
+)
+from repro.model.properties import Property, PropertyValue
+from repro.pdl.catalog import content_digest
+from repro.pdl.writer import write_pdl
+
+WORKLOAD = WorkloadSpec(name="dgemm", n=256, block_size=128)
+
+
+def _candidate(params, *, mutate=None, xml_override=None):
+    platform = build_platform(params)
+    if mutate is not None:
+        mutate(platform)
+    xml = xml_override if xml_override is not None else write_pdl(platform)
+    area, power, bandwidth = estimate_costs(params)
+    return Candidate(
+        params=params,
+        platform=platform,
+        xml=xml,
+        digest=content_digest(xml),
+        area_mm2=area,
+        power_w=power,
+        aggregate_bandwidth_gbs=bandwidth,
+    )
+
+
+def _params(**overrides):
+    defaults = dict(
+        cpu_kind="small-core",
+        cpu_count=2,
+        gpu_kind=None,
+        gpu_count=0,
+        link_bandwidth_gbs=8.0,
+        memory_gb=16.0,
+    )
+    defaults.update(overrides)
+    return PlatformParams(**defaults)
+
+
+class TestScoreCandidate:
+    def test_clean_candidate_scores_ok(self):
+        score = score_candidate(_candidate(_params()), WORKLOAD)
+        assert score.status == "ok"
+        assert score.makespan_s > 0 and score.gflops > 0
+        assert score.task_count > 0
+        assert score.selection_fingerprint is not None
+        assert score.diagnostics == [] and score.error is None
+
+    def test_corrupt_available_scores_degraded(self):
+        # a synthesized GPU lane with a malformed AVAILABLE: the run
+        # completes on the remaining lanes but the score must say so
+        def corrupt(platform):
+            # fixed=True so the strict-lint stage (which flags unfixed
+            # free-form properties) passes and the runtime stage gets to
+            # see the corrupt value
+            platform.pu("gpu0").descriptor.add(
+                Property("AVAILABLE", PropertyValue("maybe"), fixed=True)
+            )
+
+        candidate = _candidate(
+            _params(gpu_kind="gpu-small", gpu_count=1), mutate=corrupt
+        )
+        score = score_candidate(candidate, WORKLOAD)
+        assert score.status == "degraded"
+        assert score.makespan_s is not None
+        assert [d["rule"] for d in score.diagnostics] == ["RT001"]
+        assert "gpu" not in score.tasks_by_architecture
+
+    def test_unparseable_xml_scores_error(self):
+        candidate = _candidate(_params(), xml_override="<garbage")
+        score = score_candidate(candidate, WORKLOAD)
+        assert score.status == "error"
+        assert score.error.startswith("parse:")
+        assert score.makespan_s is None
+
+    def test_never_raises_on_bad_scheduler(self):
+        score = score_candidate(
+            _candidate(_params()),
+            WorkloadSpec(n=256, block_size=128, scheduler="astrology"),
+        )
+        assert score.status == "error"
+        assert score.error.startswith("simulate:")
+
+
+class TestSweep:
+    def test_serial_results_sorted_by_digest(self):
+        candidates = synthesize("tiny", "sys-medium").candidates
+        scores = sweep(candidates, WORKLOAD, processes=1)
+        digests = [s.digest for s in scores]
+        assert digests == sorted(digests)
+        assert len(scores) == len(candidates)
+
+    def test_negative_processes_rejected(self):
+        with pytest.raises(ExploreError, match="processes"):
+            sweep([], WORKLOAD, processes=-1)
+
+    def test_points_evaluated_metric_counts(self):
+        from repro.obs import Tracer, use_tracer
+
+        candidates = synthesize("tiny", "sys-medium").candidates
+        tracer = Tracer()
+        with use_tracer(tracer):
+            sweep(candidates, WORKLOAD, processes=1)
+        counters = tracer.metrics.to_payload()["counters"]
+        assert counters["explore.points_evaluated"] == len(candidates)
+
+    def test_sweep_span_carries_shape(self):
+        from repro.obs import Tracer, use_tracer
+
+        candidates = synthesize("tiny", "sys-medium").candidates[:1]
+        tracer = Tracer()
+        with use_tracer(tracer):
+            sweep(candidates, WORKLOAD, processes=1)
+        span = next(
+            s for s in tracer.finished() if s.name == "explore.sweep"
+        )
+        assert span.attributes["points"] == 1
+        assert span.attributes["workload"] == "dgemm"
+
+
+class TestRunExploration:
+    def test_end_to_end_report(self):
+        report = run_exploration(
+            "tiny", "sys-medium", workload=WORKLOAD, processes=1
+        )
+        assert report.stats["evaluated"] == 4
+        assert report.stats["errors"] == 0
+        assert report.stats["frontier_size"] >= 1
+        assert report.timing["processes"] == 1
+        assert report.timing["sweep_wall_s"] > 0
+
+    def test_workload_accepts_name_shorthand(self):
+        report = run_exploration(
+            "tiny",
+            "sys-medium",
+            workload="vecadd",
+            max_points=1,
+            processes=1,
+        )
+        assert report.workload["name"] == "vecadd"
+        assert report.stats["evaluated"] == 1
+
+    def test_default_processes_is_positive(self):
+        assert default_processes() >= 1

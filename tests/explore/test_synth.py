@@ -1,0 +1,122 @@
+"""Platform synthesis: grid point → validated descriptor + digest."""
+
+import pytest
+
+from repro.errors import ExploreError
+from repro.explore.space import Budget, DesignSpace, PlatformParams, pu_kind
+from repro.explore.synth import build_platform, estimate_costs, synthesize
+from repro.pdl.catalog import content_digest
+from repro.pdl.parser import parse_pdl
+from repro.pdl.writer import write_pdl
+
+
+def _params(**overrides):
+    defaults = dict(
+        cpu_kind="big-core",
+        cpu_count=4,
+        gpu_kind="gpu-small",
+        gpu_count=2,
+        link_bandwidth_gbs=5.7,
+        memory_gb=48.0,
+    )
+    defaults.update(overrides)
+    return PlatformParams(**defaults)
+
+
+class TestEstimateCosts:
+    def test_accumulates_pu_and_overhead_costs(self):
+        params = _params()
+        cpu, gpu = pu_kind("big-core"), pu_kind("gpu-small")
+        area, power, bandwidth = estimate_costs(params)
+        assert area == pytest.approx(50.0 + 48.0 * 0.8 + 4 * cpu.area_mm2 + 2 * gpu.area_mm2)
+        assert power == pytest.approx(20.0 + 48.0 * 0.35 + 4 * cpu.tdp_w + 2 * gpu.tdp_w)
+        assert bandwidth == pytest.approx(25.6 + 2 * 5.7)
+
+    def test_gpuless_point_charges_no_gpu(self):
+        area, power, bandwidth = estimate_costs(
+            _params(gpu_kind=None, gpu_count=0)
+        )
+        gpu = pu_kind("gpu-small")
+        assert bandwidth == pytest.approx(25.6)
+        assert area < 50.0 + 48.0 * 0.8 + 4 * 18.0 + gpu.area_mm2
+
+
+class TestBuildPlatform:
+    def test_structure_matches_params(self):
+        platform = build_platform(_params())
+        assert platform.name == "dse-c4xbig-core-g2xgpu-small-bw5.7-m48"
+        pus = {pu.id for pu in platform.walk()}
+        assert {"host", "cpu", "gpu0", "gpu1"} <= pus
+
+    def test_workers_join_execution_group(self):
+        platform = build_platform(_params())
+        members = {pu.id for pu in platform.group_members("executionset01")}
+        assert members == {"cpu", "gpu0", "gpu1"}
+
+    def test_gpu_carries_local_memory(self):
+        platform = build_platform(_params())
+        gpu = platform.pu("gpu0")
+        regions = list(gpu.memory_regions)
+        assert len(regions) == 1
+        size = regions[0].descriptor.get("SIZE")
+        assert size.text == "1024" and size.unit == "MB"
+
+    def test_descriptor_round_trips_to_same_digest(self):
+        platform = build_platform(_params(gpu_count=1))
+        xml = write_pdl(platform)
+        again = write_pdl(parse_pdl(xml))
+        assert content_digest(xml) == content_digest(again)
+
+    def test_perf_properties_present(self):
+        platform = build_platform(_params())
+        cpu = platform.pu("cpu")
+        assert cpu.descriptor.get("PEAK_GFLOPS_DP").text == "10.64"
+        assert cpu.descriptor.get("FREQUENCY").unit == "GHz"
+        gpu = platform.pu("gpu0")
+        assert gpu.descriptor.get("DGEMM_EFFICIENCY").text == "0.8"
+
+
+class TestSynthesize:
+    def test_budget_rejections_carry_reasons(self):
+        result = synthesize("tiny", "sys-small")
+        assert result.considered == 4
+        assert len(result.candidates) == 2
+        assert len(result.rejected) == 2
+        assert all("exceeds budget" in r for r in result.rejected.values())
+        # the survivors are exactly the gpu-less points
+        assert all(c.params.gpu_count == 0 for c in result.candidates)
+
+    def test_candidates_are_content_addressed(self):
+        result = synthesize("tiny", "sys-medium")
+        digests = [c.digest for c in result.candidates]
+        assert len(set(digests)) == len(digests)
+        for candidate in result.candidates:
+            assert candidate.digest == content_digest(candidate.xml)
+
+    def test_acceptance_scale_family(self):
+        # the acceptance floor: >= 100 feasible platforms in the shipped
+        # default space under the large budget
+        result = synthesize("dgemm-default", "sys-large")
+        assert len(result.candidates) >= 100
+
+    def test_max_points_samples_deterministically(self):
+        first = synthesize("dgemm-default", "sys-large", seed=11, max_points=20)
+        second = synthesize("dgemm-default", "sys-large", seed=11, max_points=20)
+        other = synthesize("dgemm-default", "sys-large", seed=12, max_points=20)
+        assert first.considered == second.considered == 20
+        assert first.fingerprint() == second.fingerprint()
+        assert first.fingerprint() != other.fingerprint()
+
+    def test_max_points_must_be_positive(self):
+        with pytest.raises(ExploreError, match="max_points"):
+            synthesize("tiny", "sys-small", max_points=0)
+
+    def test_accepts_explicit_objects(self):
+        space = DesignSpace(name="one", cpu_kinds=("small-core",),
+                            cpu_counts=(2,), gpu_kinds=(), gpu_counts=(0,),
+                            link_bandwidths_gbs=(8.0,), memory_gb=(16.0,))
+        budget = Budget("loose", area_mm2=1e6, power_w=1e6, bandwidth_gbs=1e6)
+        result = synthesize(space, budget)
+        assert [c.params.slug() for c in result.candidates] == [
+            "c2xsmall-core-g0-bw8-m16"
+        ]

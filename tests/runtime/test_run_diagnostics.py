@@ -1,0 +1,97 @@
+"""Regression: engine diagnostics surface in RunResult and Session payloads.
+
+``engine.diagnostics`` (e.g. RT001 corrupt-AVAILABLE) used to be
+reachable only on the engine object itself — anything consuming the
+:class:`RunResult` (sweeps, payload archives, the Session facade) saw a
+clean-looking run from a silently-degraded platform.
+"""
+
+from repro.model.properties import Property, PropertyValue
+from repro.pdl.catalog import load_platform
+from repro.runtime.engine import RuntimeEngine
+from repro.experiments.workloads import submit_tiled_dgemm
+
+
+def _platform(available=None):
+    plat = load_platform("xeon_x5550_2gpu")
+    if available is not None:
+        plat.pu("gpu0").descriptor.add(
+            Property(
+                "AVAILABLE", PropertyValue(available), fixed=False,
+                source="test",
+            )
+        )
+    return plat
+
+
+def _run(platform):
+    engine = RuntimeEngine(platform)
+    submit_tiled_dgemm(engine, 512, 256)
+    return engine.run()
+
+
+class TestRunResultDiagnostics:
+    def test_clean_run_has_empty_diagnostics(self):
+        result = _run(_platform())
+        assert result.diagnostics == []
+        assert result.to_payload()["diagnostics"] == []
+
+    def test_rt001_lands_in_result_and_payload(self):
+        result = _run(_platform("maybe"))
+        assert len(result.diagnostics) == 1
+        diag = result.diagnostics[0]
+        assert diag["rule"] == "RT001"
+        assert diag["subject"] == "gpu0"
+        assert result.to_payload()["diagnostics"] == [diag]
+
+    def test_diagnostics_change_the_fingerprint(self):
+        clean = _run(_platform())
+        degraded = _run(_platform("maybe"))
+        assert clean.fingerprint() != degraded.fingerprint()
+
+    def test_diagnostic_payloads_are_canonically_sorted(self):
+        plat = _platform("maybe")
+        plat.pu("gpu1").descriptor.add(
+            Property(
+                "AVAILABLE", PropertyValue("perhaps"), fixed=False,
+                source="test",
+            )
+        )
+        # both GPUs corrupt: the run still completes on the CPUs and the
+        # payload lists both findings in rule/subject order
+        result = _run(plat)
+        assert [d["subject"] for d in result.diagnostics] == ["gpu0", "gpu1"]
+
+
+class TestSessionSurfacesDiagnostics:
+    def test_last_run_block_with_diagnostics(self):
+        import repro
+
+        session = repro.Session(_platform("maybe"))
+        session.run(lambda eng: submit_tiled_dgemm(eng, 512, 256))
+        payload = session.to_payload()
+        last_run = payload["last_run"]
+        assert last_run["tasks"] > 0 and last_run["makespan"] > 0
+        assert [d["rule"] for d in last_run["diagnostics"]] == ["RT001"]
+
+    def test_no_last_run_block_before_any_run(self):
+        import repro
+
+        assert "last_run" not in repro.Session("xeon_x5550_dual").to_payload()
+
+    def test_exploration_block_after_explore(self):
+        import repro
+        from repro.explore import WorkloadSpec
+
+        session = repro.Session()
+        report = session.explore(
+            "tiny",
+            "sys-medium",
+            workload=WorkloadSpec(n=256, block_size=128),
+            max_points=1,
+            processes=1,
+        )
+        payload = session.to_payload()
+        assert payload["last_exploration"]["fingerprint"] == report.fingerprint()
+        assert payload["last_exploration"]["stats"]["evaluated"] == 1
+        assert session.last_exploration is report

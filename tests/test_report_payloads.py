@@ -100,6 +100,23 @@ def _session():
     return repro.Session("xeon_x5550_dual", trace=True)
 
 
+def _synthesis_result():
+    from repro.explore import synthesize
+
+    return synthesize("tiny", "sys-medium")
+
+
+def _frontier_report():
+    from repro.explore import WorkloadSpec, run_exploration
+
+    return run_exploration(
+        "tiny",
+        "sys-medium",
+        workload=WorkloadSpec(n=256, block_size=128),
+        processes=1,
+    )
+
+
 REPORT_FACTORIES = {
     "SelectionReport": _selection_report,
     "LintReport": _lint_report,
@@ -110,6 +127,8 @@ REPORT_FACTORIES = {
     "Tracer": _tracer,
     "MetricsRegistry": _metrics_registry,
     "Session": _session,
+    "SynthesisResult": _synthesis_result,
+    "FrontierReport": _frontier_report,
 }
 
 
