@@ -33,6 +33,10 @@ Subpackages
     Design-space exploration: synthesize PDL platform families under
     area/power/bandwidth budgets, sweep them across a worker pool, and
     rank Pareto frontiers (``repro explore`` on the command line).
+``repro.serve``
+    Online serving: streaming task ingestion with admission control,
+    SLO-aware deadline scheduling, simulated autoscaling, and an online
+    tuning loop (``repro serve`` on the command line).
 """
 
 __version__ = "1.0.0"
@@ -79,6 +83,8 @@ __all__ = [
     "Session",
     "SelectionReport",
     "run_exploration",
+    "ServeEngine",
+    "ServeConfig",
 ]
 
 #: heavyweight exports resolved lazily (PEP 562) so ``import repro``
@@ -87,6 +93,8 @@ _LAZY = {
     "Session": ("repro.session", "Session"),
     "SelectionReport": ("repro.cascabel.selection", "SelectionReport"),
     "run_exploration": ("repro.explore.sweep", "run_exploration"),
+    "ServeEngine": ("repro.serve.engine", "ServeEngine"),
+    "ServeConfig": ("repro.serve.engine", "ServeConfig"),
 }
 
 

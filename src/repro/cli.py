@@ -39,6 +39,7 @@ toolchain commands (each accepts --help):
   cascabel   the source-to-source compiler for annotated programs
   trace      inspect exported traces (repro trace view <file>)
   explore    design-space exploration: sweep / frontier / show / spaces
+  serve      online serving: run / replay / stats
 
 options:
   -h, --help     show this message
@@ -82,6 +83,12 @@ def _dispatch_explore(argv: list) -> int:
     return main(argv)
 
 
+def _dispatch_serve(argv: list) -> int:
+    from repro.serve.cli import main
+
+    return main(argv)
+
+
 _COMMANDS: dict = {
     "pdl": _dispatch_pdl,
     "lint": _dispatch_lint,
@@ -89,6 +96,7 @@ _COMMANDS: dict = {
     "tune": _dispatch_tune,
     "cascabel": _dispatch_cascabel,
     "explore": _dispatch_explore,
+    "serve": _dispatch_serve,
 }
 
 

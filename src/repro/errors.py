@@ -44,6 +44,7 @@ __all__ = [
     "ServiceOverloadError",
     "UnknownPlatformError",
     "ExploreError",
+    "ServeError",
 ]
 
 
@@ -278,3 +279,10 @@ class UnknownPlatformError(ServiceError):
 # --------------------------------------------------------------------------
 class ExploreError(ReproError):
     """Invalid design space, budget, or exploration configuration."""
+
+
+# --------------------------------------------------------------------------
+# Online serving
+# --------------------------------------------------------------------------
+class ServeError(ReproError):
+    """Invalid serving configuration, stream, or replay input."""

@@ -503,6 +503,9 @@ class RuntimeEngine:
         #: real mode only: per-lane kill switches (live during run_real)
         self._kill_events: Optional[dict[str, threading.Event]] = None
         self._kill_reasons: dict[str, str] = {}
+        #: real mode only: per-lane graceful-retirement requests
+        self._retire_events: Optional[dict[str, threading.Event]] = None
+        self._retire_reasons: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # data API
@@ -1213,6 +1216,24 @@ class RuntimeEngine:
         self._kill_reasons[instance_id] = reason or "killed"
         events[instance_id].set()
 
+    def retire_worker(self, instance_id: str, *, reason: str = "") -> None:
+        """Gracefully retire one real-mode worker lane (scale-down).
+
+        Thread-safe, like :meth:`kill_worker` — but where a kill abandons
+        the lane's claimed task mid-flight, retirement is cooperative:
+        the lane finishes the task it is executing, its *queued* tasks
+        are drained and requeued to surviving compatible lanes, and the
+        lane leaves the fleet without counting as a worker failure.
+        """
+        events = self._retire_events
+        if events is None or instance_id not in events:
+            raise RuntimeEngineError(
+                f"retire_worker: no live lane {instance_id!r}"
+                " (only valid while run_real executes)"
+            )
+        self._retire_reasons[instance_id] = reason or "retired"
+        events[instance_id].set()
+
     def run_real(
         self,
         *,
@@ -1343,6 +1364,8 @@ class RuntimeEngine:
         progress = ProgressClock()
         self._kill_events = {w.instance_id: threading.Event() for w in workers}
         self._kill_reasons = {}
+        self._retire_events = {w.instance_id: threading.Event() for w in workers}
+        self._retire_reasons = {}
         t0 = _time.perf_counter()
 
         def now_s() -> float:
@@ -1393,6 +1416,39 @@ class RuntimeEngine:
             note_progress()
             work_available.notify_all()
 
+        def graceful_retire(worker: WorkerContext, why: str) -> None:
+            """Drain-down for a cooperative scale-down (under lock).
+
+            The in-flight task (if any) already completed by the time the
+            lane observes the request, so only the queue is requeued —
+            and the lane leaving is *not* a worker failure.
+            """
+            if worker.retired:
+                return
+            self._offline.add(worker.instance_id)
+            worker.retired = True
+            record_fault("retire", "", worker.instance_id, why)
+            for t in self.scheduler.drain(worker):
+                t.state = TaskState.READY
+                t.worker_id = None
+                stats["requeues"] += 1
+                record_fault("requeue", t.tag, worker.instance_id, why)
+                try:
+                    self.scheduler.task_ready(t, now_s())
+                except SchedulerError as exc:
+                    failure.append(exc)
+            if pending[0] and not any(
+                w.instance_id not in self._offline for w in workers
+            ):
+                failure.append(
+                    WorkerFailureError(
+                        "every worker lane retired with work still pending"
+                        f" (last: {worker.instance_id}: {why})"
+                    )
+                )
+            note_progress()
+            work_available.notify_all()
+
         with lock:
             for task in self._tasks:
                 if task.ready:
@@ -1417,6 +1473,7 @@ class RuntimeEngine:
                     worker, kill, deadline, policy, lock, work_available,
                     pending, failure, stats, running, progress, trace,
                     t0, retire_worker, workers,
+                    self._retire_events[worker.instance_id], graceful_retire,
                 )
             except BaseException as exc:
                 # the lane itself died (scheduler bug, chaos injection):
@@ -1443,6 +1500,8 @@ class RuntimeEngine:
         finally:
             self._kill_events = None
             self._kill_reasons = {}
+            self._retire_events = None
+            self._retire_reasons = {}
         if failure:
             raise failure[0]
         if pending[0]:
@@ -1470,7 +1529,7 @@ class RuntimeEngine:
     def _worker_loop(
         self, worker, kill, deadline, policy, lock, work_available, pending,
         failure, stats, running, progress, trace, t0, retire_worker,
-        workers,
+        workers, retire, graceful_retire,
     ) -> None:
         """One real-mode worker lane: claim, execute, retry, recover."""
 
@@ -1496,6 +1555,14 @@ class RuntimeEngine:
                     retire_worker(
                         worker, None,
                         self._kill_reasons.get(worker.instance_id, "killed"),
+                    )
+                    return
+                if retire.is_set():
+                    # cooperative scale-down: only honored *between* tasks,
+                    # so a claimed task always runs to completion first
+                    graceful_retire(
+                        worker,
+                        self._retire_reasons.get(worker.instance_id, "retired"),
                     )
                     return
                 now = now_s()

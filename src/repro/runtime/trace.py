@@ -9,7 +9,9 @@ read their numbers from here.
 from __future__ import annotations
 
 import io
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.obs.digest import fingerprint_payload
 
@@ -53,7 +55,10 @@ class FaultTrace:
     ``kind`` is one of ``task-fault`` (an execution attempt failed),
     ``worker-fault`` (a lane died), ``retry`` (a failed task was given
     another attempt), ``requeue`` (a claimed or queued task migrated off
-    a dead lane) or ``watchdog`` (the stall watchdog fired).
+    a dead or retiring lane), ``watchdog`` (the stall watchdog fired),
+    ``retire`` (a lane left the fleet gracefully — scale-down, not a
+    failure), or — serving front end — ``shed`` / ``rate-limited`` (an
+    arrival was rejected by admission control).
     """
 
     kind: str
@@ -64,22 +69,57 @@ class FaultTrace:
 
 
 class TraceLog:
-    """Accumulates traces during one run."""
+    """Accumulates traces during one run.
 
-    def __init__(self):
-        self.tasks: list[TaskTrace] = []
-        self.transfers: list[TransferTrace] = []
-        self.faults: list[FaultTrace] = []
+    ``max_events`` (per record kind) turns the log into a bounded ring
+    buffer for long-lived runs — the serving loop records forever, so an
+    unbounded list would grow without bound.  Once a ring is full the
+    oldest record of that kind is evicted for each new one and the
+    matching ``dropped_*`` counter increments; counters and the
+    ``dropped`` block in :meth:`to_payload` stay at zero until an
+    eviction actually happens, so payloads and fingerprints of runs that
+    never hit the bound are byte-identical to the unbounded form.
+    """
+
+    def __init__(self, *, max_events: Optional[int] = None):
+        if max_events is not None and max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events!r}")
+        self.max_events = max_events
+        if max_events is None:
+            self.tasks: list[TaskTrace] = []
+            self.transfers: list[TransferTrace] = []
+            self.faults: list[FaultTrace] = []
+        else:
+            self.tasks = deque(maxlen=max_events)  # type: ignore[assignment]
+            self.transfers = deque(maxlen=max_events)  # type: ignore[assignment]
+            self.faults = deque(maxlen=max_events)  # type: ignore[assignment]
+        self.dropped_tasks = 0
+        self.dropped_transfers = 0
+        self.dropped_faults = 0
+
+    def _full(self, records) -> bool:
+        return self.max_events is not None and len(records) == self.max_events
 
     # -- recording ---------------------------------------------------------
     def record_task(self, trace: TaskTrace) -> None:
+        if self._full(self.tasks):
+            self.dropped_tasks += 1
         self.tasks.append(trace)
 
     def record_transfer(self, trace: TransferTrace) -> None:
+        if self._full(self.transfers):
+            self.dropped_transfers += 1
         self.transfers.append(trace)
 
     def record_fault(self, trace: FaultTrace) -> None:
+        if self._full(self.faults):
+            self.dropped_faults += 1
         self.faults.append(trace)
+
+    @property
+    def dropped_events(self) -> int:
+        """Total records evicted by the ring bound (0 when unbounded)."""
+        return self.dropped_tasks + self.dropped_transfers + self.dropped_faults
 
     # -- aggregates ------------------------------------------------------------
     @property
@@ -151,8 +191,12 @@ class TraceLog:
         are canonically sorted so that benign reorderings of same-time
         recordings (two transfers issued in one event) cannot produce a
         spurious mismatch while every value still participates.
+
+        A bounded log that actually evicted records gains a ``dropped``
+        block; a bounded log that never hit its ring bound emits exactly
+        the unbounded payload.
         """
-        return {
+        payload = {
             "tasks": [
                 {
                     "task_id": t.task_id,
@@ -199,6 +243,60 @@ class TraceLog:
                 )
             ],
         }
+        if self.dropped_events:
+            payload["dropped"] = {
+                "tasks": self.dropped_tasks,
+                "transfers": self.dropped_transfers,
+                "faults": self.dropped_faults,
+            }
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "TraceLog":
+        """Rehydrate a log from its :meth:`to_payload` form (the replay
+        driver feeds saved trace files back in as arrival streams).
+        Dropped-event counters survive the round trip; the evicted
+        records themselves are gone by construction."""
+        log = cls()
+        for t in payload.get("tasks", ()):
+            log.record_task(
+                TaskTrace(
+                    task_id=t["task_id"],
+                    tag=t["tag"],
+                    kernel=t["kernel"],
+                    worker_id=t["worker"],
+                    architecture=t["architecture"],
+                    start=t["start"],
+                    end=t["end"],
+                    transfer_wait=t["transfer_wait"],
+                )
+            )
+        for t in payload.get("transfers", ()):
+            log.record_transfer(
+                TransferTrace(
+                    handle_name=t["handle"],
+                    nbytes=t["nbytes"],
+                    src_node=t["src"],
+                    dst_node=t["dst"],
+                    start=t["start"],
+                    end=t["end"],
+                )
+            )
+        for f in payload.get("faults", ()):
+            log.record_fault(
+                FaultTrace(
+                    kind=f["kind"],
+                    time=f["time"],
+                    task_tag=f["task_tag"],
+                    worker_id=f["worker"],
+                    detail=f["detail"],
+                )
+            )
+        dropped = payload.get("dropped", {})
+        log.dropped_tasks = dropped.get("tasks", 0)
+        log.dropped_transfers = dropped.get("transfers", 0)
+        log.dropped_faults = dropped.get("faults", 0)
+        return log
 
     def fingerprint(self) -> str:
         """Stable sha256 over :meth:`to_payload` (the shared convention

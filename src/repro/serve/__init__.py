@@ -1,0 +1,50 @@
+"""Online serving: streaming ingestion, SLO-aware scheduling, autoscaling.
+
+The offline half of this codebase answers "how fast does one task graph
+run on this platform?"  This package answers the production question:
+*keep* answering, indefinitely, for a stream of independent requests
+under per-tenant SLOs — admission control and load shedding at the front
+door (reusing the registry service's token-bucket/backoff machinery),
+deadline-aware dmda placement, a simulated autoscaler that grows and
+drains the worker fleet, and an online tuning loop that keeps refining
+the scheduler's performance model from the completions it just served.
+
+Entry points: :class:`ServeEngine` (or :meth:`repro.Session.serve`),
+:func:`synthetic_arrivals` / :func:`arrivals_from_trace` for streams,
+and the ``repro serve`` CLI verb.
+"""
+
+from repro.serve.autoscale import AutoscalePolicy, Autoscaler
+from repro.serve.engine import ServeConfig, ServeEngine
+from repro.serve.replay import arrivals_from_trace, figure5_arrival_stream
+from repro.serve.report import ServingReport
+from repro.serve.request import (
+    ServeTask,
+    TaskRequest,
+    TenantSpec,
+    synthetic_arrivals,
+)
+from repro.serve.scheduler import (
+    SERVE_SCHEDULER_NAMES,
+    DeadlineScheduler,
+    make_serve_scheduler,
+)
+from repro.serve.slo import SLOTracker
+
+__all__ = [
+    "ServeEngine",
+    "ServeConfig",
+    "ServingReport",
+    "TaskRequest",
+    "TenantSpec",
+    "ServeTask",
+    "synthetic_arrivals",
+    "arrivals_from_trace",
+    "figure5_arrival_stream",
+    "AutoscalePolicy",
+    "Autoscaler",
+    "DeadlineScheduler",
+    "make_serve_scheduler",
+    "SERVE_SCHEDULER_NAMES",
+    "SLOTracker",
+]

@@ -1,0 +1,174 @@
+"""Simulated autoscaling: spawn and retire worker lanes under load.
+
+The fleet is the platform's full set of expanded worker lanes; the
+autoscaler decides how many of them are *active* at any moment.  Policy
+evaluation runs on the simulated clock at a fixed cadence and is a pure
+function of queue backlog vs. active capacity, so runs are deterministic.
+
+Scaling up activates inactive lanes (cheap: a lane is a simulation
+object, "spawn" means it starts taking work).  Scaling down is the
+interesting half: a retiring lane must not strand queued work.  The
+engine drains the lane through the scheduler's
+:meth:`~repro.runtime.schedulers.Scheduler.drain` — the same rewind +
+requeue path PR 1 built for abrupt worker death — then lets the lane
+finish its in-flight task before it leaves the fleet.  The decision
+record (:attr:`Autoscaler.actions`) lands in the serving report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ServeError
+
+__all__ = ["AutoscalePolicy", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Knobs of the backlog-proportional scaling loop.
+
+    The control signal is ``backlog / active`` (queued tasks per active
+    lane).  Above ``scale_up_backlog`` the fleet grows by ``step_up``
+    lanes; below ``scale_down_backlog`` — and only when some lane is
+    idle — it shrinks by one.  ``cooldown_s`` spaces actions so one
+    burst cannot thrash the fleet.
+    """
+
+    enabled: bool = True
+    min_workers: int = 1
+    max_workers: Optional[int] = None  # None = every lane of the platform
+    interval_s: float = 0.05
+    scale_up_backlog: float = 2.0
+    scale_down_backlog: float = 0.25
+    step_up: int = 2
+    cooldown_s: float = 0.1
+
+    def __post_init__(self):
+        if self.min_workers < 1:
+            raise ServeError(
+                f"min_workers must be >= 1, got {self.min_workers!r}"
+            )
+        if self.max_workers is not None and self.max_workers < self.min_workers:
+            raise ServeError(
+                f"max_workers ({self.max_workers}) < min_workers"
+                f" ({self.min_workers})"
+            )
+        if self.interval_s <= 0.0:
+            raise ServeError(
+                f"interval_s must be positive, got {self.interval_s!r}"
+            )
+        if self.scale_down_backlog >= self.scale_up_backlog:
+            raise ServeError(
+                f"scale_down_backlog ({self.scale_down_backlog}) must be"
+                f" below scale_up_backlog ({self.scale_up_backlog})"
+            )
+        if self.step_up < 1:
+            raise ServeError(f"step_up must be >= 1, got {self.step_up!r}")
+
+    def to_payload(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "min_workers": self.min_workers,
+            "max_workers": self.max_workers,
+            "interval_s": self.interval_s,
+            "scale_up_backlog": self.scale_up_backlog,
+            "scale_down_backlog": self.scale_down_backlog,
+            "step_up": self.step_up,
+            "cooldown_s": self.cooldown_s,
+        }
+
+
+class Autoscaler:
+    """Pure decision logic + action ledger (the engine executes moves)."""
+
+    def __init__(self, policy: AutoscalePolicy, fleet_size: int):
+        if fleet_size < 1:
+            raise ServeError(f"fleet_size must be >= 1, got {fleet_size!r}")
+        self.policy = policy
+        self.fleet_size = fleet_size
+        self._last_action_at = float("-inf")
+        #: (sim time, "up"|"down", lanes moved, backlog at decision)
+        self.actions: list[tuple[float, str, int, int]] = []
+        self.spawned = 0
+        self.retired = 0
+        self.max_active = 0
+        self.min_active: Optional[int] = None
+
+    @property
+    def ceiling(self) -> int:
+        if self.policy.max_workers is None:
+            return self.fleet_size
+        return min(self.policy.max_workers, self.fleet_size)
+
+    def initial_active(self) -> int:
+        """Fleet size to start serving with (the policy floor)."""
+        return min(self.policy.min_workers, self.fleet_size)
+
+    def observe(self, active: int) -> None:
+        """Track the active-lane envelope for the report."""
+        self.max_active = max(self.max_active, active)
+        if self.min_active is None or active < self.min_active:
+            self.min_active = active
+
+    def decide(
+        self, now: float, *, backlog: int, active: int, idle: int
+    ) -> int:
+        """Lanes to add (+n), retire (-1), or hold (0) at time ``now``.
+
+        A proposal, not a commitment: the engine executes what it can
+        (an "up" may find fewer inactive lanes, a "down" may find no
+        retireable one) and reports back via :meth:`commit`, which is
+        what the action ledger and the cooldown clock track.
+        """
+        self.observe(active)
+        if not self.policy.enabled or active == 0:
+            return 0
+        if now - self._last_action_at < self.policy.cooldown_s:
+            return 0
+        per_lane = backlog / active
+        if per_lane > self.policy.scale_up_backlog and active < self.ceiling:
+            # grow proportionally to how far past the threshold we are,
+            # capped by the policy step and the fleet ceiling
+            overload = per_lane / self.policy.scale_up_backlog
+            return min(
+                self.policy.step_up * max(1, math.ceil(overload) - 1),
+                self.ceiling - active,
+            )
+        if (
+            per_lane < self.policy.scale_down_backlog
+            and idle > 0
+            and active > self.policy.min_workers
+        ):
+            return -1
+        return 0
+
+    def commit(self, now: float, direction: str, lanes: int, backlog: int) -> None:
+        """Record an executed action (starts the cooldown window)."""
+        self._last_action_at = now
+        self.actions.append((now, direction, lanes, backlog))
+        if direction == "up":
+            self.spawned += lanes
+        else:
+            self.retired += lanes
+
+    def to_payload(self) -> dict:
+        return {
+            "policy": self.policy.to_payload(),
+            "fleet_size": self.fleet_size,
+            "spawned": self.spawned,
+            "retired": self.retired,
+            "max_active": self.max_active,
+            "min_active": self.min_active if self.min_active is not None else 0,
+            "actions": [
+                {
+                    "time": when,
+                    "direction": direction,
+                    "lanes": lanes,
+                    "backlog": backlog,
+                }
+                for when, direction, lanes, backlog in self.actions
+            ],
+        }

@@ -1,0 +1,229 @@
+"""``repro serve`` — the serving subsystem from the command line.
+
+Sub-commands::
+
+    repro serve run    [options] [-o report.json]   # synthetic stream
+    repro serve replay <trace.json> [options]       # recorded-trace stream
+    repro serve stats  <report.json>                # pretty-print a report
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from repro.errors import ReproError, ServeError
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="serve task streams against a simulated platform fleet",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def serving_options(cmd):
+        cmd.add_argument("--platform", default="xeon_x5550_2gpu",
+                         help="catalog platform name (default xeon_x5550_2gpu)")
+        cmd.add_argument("--scheduler", default="dmda-slo",
+                         help="dmda-slo | dmda | dm | eager (default dmda-slo)")
+        cmd.add_argument("--miss-weight", type=float, default=4.0,
+                         help="dmda-slo lateness penalty weight (default 4)")
+        cmd.add_argument("--deadline", type=float, default=0.05, metavar="S",
+                         help="default relative SLO deadline (default 0.05s)")
+        cmd.add_argument("--max-queue", type=int, default=256,
+                         help="admission queue bound (default 256)")
+        cmd.add_argument("--rate-limit", type=float, default=None, metavar="R",
+                         help="per-tenant token rate (default: unlimited)")
+        cmd.add_argument("--no-autoscale", action="store_true",
+                         help="fixed fleet at --min-workers lanes")
+        cmd.add_argument("--min-workers", type=int, default=1,
+                         help="autoscaler floor / fixed-fleet size (default 1)")
+        cmd.add_argument("--max-workers", type=int, default=None,
+                         help="autoscaler ceiling (default: every lane)")
+        cmd.add_argument("--online-tuning", action="store_true",
+                         help="harvest completions into a tuning database"
+                              " and schedule with the history model")
+        cmd.add_argument("--tuning", default=None, metavar="DB.json",
+                         help="TuningDatabase path (merge-saved on exit)")
+        cmd.add_argument("--output", "-o", default=None, metavar="FILE",
+                         help="write the report payload as JSON")
+        cmd.add_argument("--json", action="store_true",
+                         help="print the payload instead of the summary")
+
+    run = sub.add_parser(
+        "run", help="serve a synthetic multi-tenant Poisson stream"
+    )
+    run.add_argument("--duration", type=float, default=2.0, metavar="S",
+                     help="stream duration in simulated seconds (default 2)")
+    run.add_argument("--rate", type=float, default=200.0,
+                     help="per-tenant offered load, tasks/s (default 200)")
+    run.add_argument("--tenants", type=int, default=2,
+                     help="number of synthetic tenants (default 2)")
+    run.add_argument("--kernel", default="dgemm",
+                     help="kernel every request runs (default dgemm)")
+    run.add_argument("--size", type=int, default=128,
+                     help="problem size per request (default 128)")
+    run.add_argument("--seed", type=int, default=0,
+                     help="arrival-stream seed (default 0)")
+    serving_options(run)
+
+    replay = sub.add_parser(
+        "replay", help="serve a stream derived from a recorded trace"
+    )
+    replay.add_argument("trace", help="TraceLog payload JSON (to_payload form)")
+    replay.add_argument("--tenants", default="batch,interactive",
+                        help="comma-separated tenant names"
+                             " (default batch,interactive)")
+    replay.add_argument("--time-scale", type=float, default=1.0,
+                        help="compress (<1) or stretch (>1) the recording")
+    replay.add_argument("--size", type=int, default=256,
+                        help="replayed problem size per request (default 256)")
+    serving_options(replay)
+
+    stats = sub.add_parser("stats", help="pretty-print a saved serving report")
+    stats.add_argument("report", help="report JSON written by `run -o`")
+    return parser
+
+
+def _engine_for(args, platform):
+    from repro.serve.autoscale import AutoscalePolicy
+    from repro.serve.engine import ServeConfig, ServeEngine
+    from repro.tune.database import TuningDatabase
+
+    autoscale = AutoscalePolicy(
+        enabled=not args.no_autoscale,
+        min_workers=args.min_workers,
+        max_workers=args.max_workers,
+    )
+    config = ServeConfig(
+        scheduler=args.scheduler,
+        miss_weight=args.miss_weight,
+        default_deadline_s=args.deadline,
+        max_queue=args.max_queue,
+        tenant_rate_per_s=args.rate_limit,
+        autoscale=autoscale,
+        online_tuning=args.online_tuning,
+    )
+    database = None
+    if args.tuning is not None:
+        database = TuningDatabase.load(args.tuning)
+        database.path = args.tuning
+    return ServeEngine(platform, config=config, tuning_database=database)
+
+
+def _emit(args, engine, report) -> int:
+    payload = report.to_payload()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+        print(f"report fingerprint: {report.fingerprint()}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.tuning is not None and engine.tuning_database is not None:
+        engine.tuning_database.merge_save(args.tuning)
+        print(f"merged tuning samples into {args.tuning}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.pdl.catalog import load_platform
+    from repro.serve.request import TenantSpec, synthetic_arrivals
+
+    if args.tenants < 1:
+        raise ServeError(f"--tenants must be >= 1, got {args.tenants}")
+    tenants = [
+        TenantSpec(
+            name=f"tenant{i}",
+            rate_per_s=args.rate,
+            kernel=args.kernel,
+            size=args.size,
+        )
+        for i in range(args.tenants)
+    ]
+    arrivals = synthetic_arrivals(
+        tenants, duration_s=args.duration, seed=args.seed
+    )
+    engine = _engine_for(args, load_platform(args.platform))
+    report = engine.run(arrivals)
+    return _emit(args, engine, report)
+
+
+def _cmd_replay(args) -> int:
+    from repro.pdl.catalog import load_platform
+    from repro.runtime.trace import TraceLog
+    from repro.serve.replay import arrivals_from_trace
+
+    try:
+        with open(args.trace, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ServeError(f"cannot read trace {args.trace!r}: {exc}") from exc
+    trace = TraceLog.from_payload(payload)
+    tenants = [name.strip() for name in args.tenants.split(",") if name.strip()]
+    arrivals = arrivals_from_trace(
+        trace,
+        tenants=tenants,
+        time_scale=args.time_scale,
+        default_size=args.size,
+    )
+    engine = _engine_for(args, load_platform(args.platform))
+    report = engine.run(arrivals)
+    return _emit(args, engine, report)
+
+
+def _cmd_stats(args) -> int:
+    from repro.serve.report import ServingReport
+
+    try:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ServeError(f"cannot read report {args.report!r}: {exc}") from exc
+    try:
+        report = ServingReport(
+            platform=payload["platform"],
+            scheduler=payload["scheduler"],
+            config=payload["config"],
+            duration_s=payload["duration_s"],
+            totals=payload["totals"],
+            tenants=payload["tenants"],
+            autoscaler=payload["autoscaler"],
+            tuning=payload["tuning"],
+            requeues=payload["requeues"],
+        )
+    except KeyError as exc:
+        raise ServeError(
+            f"{args.report!r} is not a serving report (missing {exc})"
+        ) from exc
+    print(report.summary())
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "replay": _cmd_replay,
+    "stats": _cmd_stats,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

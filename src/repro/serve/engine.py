@@ -1,0 +1,661 @@
+"""The long-lived serving loop: ingestion → scheduling → autoscaling → tuning.
+
+:class:`ServeEngine` is a discrete-event simulator purpose-built for
+*open-loop streams of independent tasks*, reusing the runtime's parts:
+the deterministic :class:`~repro.runtime.simclock.EventQueue`, the
+worker-lane expansion and memory-node mapping of
+:class:`~repro.runtime.engine.RuntimeEngine` (borrowed via an internal
+binding engine, the same trick the calibrator uses), the contention-aware
+:class:`~repro.perf.transfer.TransferModel` for operand staging, the
+scheduler zoo (plus :class:`~repro.serve.scheduler.DeadlineScheduler`),
+and :class:`~repro.runtime.trace.TraceLog` in its bounded ring mode.
+
+One run weaves four loops together:
+
+* **Ingestion** — each arrival passes per-tenant token buckets and the
+  bounded-queue :class:`~repro.service.admission.CapacityGate` (the
+  registry server's 429 machinery); rejects are shed, admits become
+  :class:`~repro.serve.request.ServeTask` objects with absolute
+  deadlines.
+* **Execution** — lanes pull from the scheduler, stage operand bytes
+  host→device through the transfer model, and execute for the *truth*
+  perf model's duration (which may differ from what the scheduler's
+  model predicts — that gap is what online tuning closes).
+* **Autoscaling** — a fixed-cadence policy tick activates or drains
+  lanes; drain-down rides the scheduler's ``drain()`` rewind + requeue
+  path, so no queued task is stranded and dmda's est-free clocks stay
+  honest.
+* **Online tuning** — completed windows are folded into a
+  :class:`~repro.tune.database.TuningDatabase` via
+  :func:`~repro.tune.calibrate.harvest_run`, and the scheduler-side
+  :class:`~repro.tune.model.HistoryPerfModel` refits, improving
+  placement *while serving*.
+
+Everything is simulated-deterministic: same platform + config + arrival
+stream ⇒ an identical :class:`~repro.serve.report.ServingReport`
+fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.errors import ServeError
+from repro.model.platform import Platform
+from repro.obs import spans as _obs
+from repro.perf.calibration import TASK_SCHEDULING_OVERHEAD_S
+from repro.runtime.simclock import EventQueue
+from repro.runtime.trace import FaultTrace, TaskTrace, TraceLog, TransferTrace
+from repro.runtime.workers import WorkerContext
+from repro.serve.autoscale import AutoscalePolicy, Autoscaler
+from repro.serve.report import ServingReport
+from repro.serve.request import ServeTask, TaskRequest, validate_stream
+from repro.serve.scheduler import make_serve_scheduler
+from repro.serve.slo import SLOTracker
+from repro.service.admission import CapacityGate, TenantRateLimiter
+
+__all__ = ["ServeConfig", "ServeEngine"]
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Tunables of one serving run."""
+
+    #: placement policy: ``dmda-slo`` (deadline-aware) or a plain
+    #: runtime policy (``dmda``/``dm``/``eager``) as ablation baseline
+    scheduler: str = "dmda-slo"
+    #: predicted-lateness penalty weight of ``dmda-slo``
+    miss_weight: float = 4.0
+    #: relative SLO deadline for requests that carry none
+    default_deadline_s: float = 0.05
+    #: ready-queue bound; arrivals beyond it are shed (429-style)
+    max_queue: int = 256
+    #: default per-tenant token rate (None = tenants are not rate-limited
+    #: unless individually configured via :meth:`ServeEngine.limit_tenant`)
+    tenant_rate_per_s: Optional[float] = None
+    tenant_burst: float = 16.0
+    #: per-task dispatch overhead, same constant the runtime engine uses
+    task_overhead_s: float = TASK_SCHEDULING_OVERHEAD_S
+    autoscale: AutoscalePolicy = field(default_factory=AutoscalePolicy)
+    #: continuously harvest completed windows into the tuning database
+    #: and refit the scheduler-side history model
+    online_tuning: bool = False
+    harvest_interval_s: float = 0.25
+    tuning_blend: float = 1.0
+    #: ring bound of the serving TraceLog (None = unbounded)
+    trace_max_events: Optional[int] = 65536
+    #: per-tenant latency reservoir size
+    latency_window: int = 8192
+
+    def __post_init__(self):
+        if self.default_deadline_s <= 0.0:
+            raise ServeError(
+                f"default_deadline_s must be positive,"
+                f" got {self.default_deadline_s!r}"
+            )
+        if self.max_queue < 1:
+            raise ServeError(f"max_queue must be >= 1, got {self.max_queue!r}")
+        if self.harvest_interval_s <= 0.0:
+            raise ServeError(
+                f"harvest_interval_s must be positive,"
+                f" got {self.harvest_interval_s!r}"
+            )
+
+    def to_payload(self) -> dict:
+        return {
+            "scheduler": self.scheduler,
+            "miss_weight": self.miss_weight,
+            "default_deadline_s": self.default_deadline_s,
+            "max_queue": self.max_queue,
+            "tenant_rate_per_s": self.tenant_rate_per_s,
+            "tenant_burst": self.tenant_burst,
+            "task_overhead_s": self.task_overhead_s,
+            "autoscale": self.autoscale.to_payload(),
+            "online_tuning": self.online_tuning,
+            "harvest_interval_s": self.harvest_interval_s,
+            "tuning_blend": self.tuning_blend,
+            "trace_max_events": self.trace_max_events,
+            "latency_window": self.latency_window,
+        }
+
+
+class _ServeCostModel:
+    """Scheduler-facing cost model over :class:`ServeTask` objects.
+
+    ``supports`` folds in lane liveness (inactive and draining lanes take
+    no new work), which is how the autoscaler's fleet shape reaches the
+    scheduler.  Estimates are memoized per (kernel, dims, entity) and the
+    memo epoch is bumped whenever online tuning refits the history model.
+    """
+
+    def __init__(self, engine: "ServeEngine"):
+        self._engine = engine
+        self._memo: dict[tuple, float] = {}
+        self._staging: dict[tuple, float] = {}
+        self.epoch = 0
+
+    def invalidate(self) -> None:
+        self._memo.clear()
+        self._staging.clear()
+        self.epoch += 1
+
+    def exec_estimate(self, task: ServeTask, worker: WorkerContext) -> float:
+        key = (task.kernel, task.dims, worker.entity_id)
+        est = self._memo.get(key)
+        if est is None:
+            est = self._engine._estimate_exec(
+                self._engine.sched_perf, task, worker
+            )
+            self._memo[key] = est
+        return est
+
+    def transfer_estimate(self, task: ServeTask, worker: WorkerContext) -> float:
+        if task.nbytes <= 0.0 or worker.memory_node == 0:
+            return 0.0
+        key = (worker.entity_id, task.nbytes)
+        est = self._staging.get(key)
+        if est is None:
+            est = self._engine.transfer_model.ideal_time(
+                self._engine.node_anchor[0], worker.entity_id, task.nbytes
+            )
+            self._staging[key] = est
+        return est
+
+    def supports(self, task: ServeTask, worker: WorkerContext) -> bool:
+        return (
+            worker.instance_id in self._engine._active
+            and worker.instance_id not in self._engine._draining
+            and worker.supports(self._engine.registry, task.kernel)
+        )
+
+
+class ServeEngine:
+    """One serving fleet bound to a platform; :meth:`run` drives a stream."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        *,
+        config: Optional[ServeConfig] = None,
+        registry=None,
+        truth_perf_model=None,
+        sched_perf_model=None,
+        tuning_database=None,
+        metrics=None,
+    ):
+        from repro.runtime.engine import RuntimeEngine
+
+        self.config = config or ServeConfig()
+        # binding engine: reuses RuntimeEngine's platform validation,
+        # worker expansion, node mapping and transfer model — the serving
+        # loop itself never runs it
+        binding = RuntimeEngine(
+            platform, scheduler="eager", registry=registry, vectorized=False
+        )
+        self.platform = platform
+        self.registry = binding.registry
+        self.workers: list[WorkerContext] = binding.workers
+        self.node_anchor: dict[int, str] = binding.node_anchor
+        self.transfer_model = binding.transfer_model
+        self.truth_perf = (
+            truth_perf_model if truth_perf_model is not None else binding.perf
+        )
+        self.metrics = metrics
+
+        # scheduler-side model: explicit > online-tuned history > truth
+        self.tuning_database = tuning_database
+        self.digest: Optional[str] = None
+        self._harvests = 0
+        self._harvested_samples = 0
+        if sched_perf_model is not None:
+            self.sched_perf = sched_perf_model
+        elif self.config.online_tuning:
+            from repro.pdl.catalog import content_digest
+            from repro.pdl.writer import write_pdl
+            from repro.tune.database import TuningDatabase
+            from repro.tune.model import HistoryPerfModel
+
+            if self.tuning_database is None:
+                self.tuning_database = TuningDatabase()
+            self.digest = content_digest(write_pdl(platform))
+            self.sched_perf = HistoryPerfModel(
+                self.tuning_database, self.digest, blend=self.config.tuning_blend
+            )
+        else:
+            self.sched_perf = self.truth_perf
+        if self.config.online_tuning and self.digest is None:
+            from repro.pdl.catalog import content_digest
+            from repro.pdl.writer import write_pdl
+
+            self.digest = content_digest(write_pdl(platform))
+
+        self.scheduler = make_serve_scheduler(
+            self.config.scheduler, miss_weight=self.config.miss_weight
+        )
+        self.cost_model = _ServeCostModel(self)
+        self.scheduler.attach(self.workers, self.cost_model)
+
+        # fleet shape: activation order puts one lane per architecture
+        # first (the always-on "core", so every fleet-supported kernel
+        # keeps a compatible active lane through any drain-down), then
+        # the rest in platform order
+        core: dict[str, str] = {}
+        rest: list[str] = []
+        for worker in self.workers:
+            if worker.architecture not in core:
+                core[worker.architecture] = worker.instance_id
+            else:
+                rest.append(worker.instance_id)
+        self._core: set[str] = set(core.values())
+        self._lane_order: list[str] = list(core.values()) + rest
+        self._lane_of = {w.instance_id: w for w in self.workers}
+        self.autoscaler = Autoscaler(self.config.autoscale, len(self.workers))
+        self._active: set[str] = set()
+        self._draining: set[str] = set()
+
+        # admission machinery (shared with the registry server)
+        self.capacity_gate = CapacityGate(self.config.max_queue)
+        self.rate_limiter = TenantRateLimiter(
+            default_rate_per_s=self.config.tenant_rate_per_s,
+            default_burst=self.config.tenant_burst,
+        )
+        self._consecutive_shed: dict[str, int] = {}
+
+        self.clock = EventQueue()
+        self.trace = TraceLog(max_events=self.config.trace_max_events)
+        self.slo = SLOTracker(
+            latency_window=self.config.latency_window, metrics=metrics
+        )
+        self._live: dict[int, ServeTask] = {}
+        self._next_id = 0
+        self._arrivals: Optional[Iterable[TaskRequest]] = None
+        self._stream_open = False
+        self.requeues = 0
+        self.completed = 0
+
+        # harvest window (online tuning)
+        self._window_tasks: list[ServeTask] = []
+        self._window_trace = TraceLog()
+        #: harvest_run reads ``engine._tasks``; points at the current window
+        self._tasks: list[ServeTask] = self._window_tasks
+
+    # -- configuration -------------------------------------------------------
+    def limit_tenant(self, tenant: str, rate_per_s: float, burst: float) -> None:
+        """Give one tenant an explicit token-bucket budget."""
+        self.rate_limiter.configure(tenant, rate_per_s, burst)
+
+    # -- cost plumbing -------------------------------------------------------
+    def _estimate_exec(self, model, task: ServeTask, worker: WorkerContext) -> float:
+        kernel_def = self.registry.get(task.kernel)
+        dims = task.dims
+        return model.estimate(
+            worker.pu,
+            kernel=task.kernel,
+            flops=kernel_def.flops(dims),
+            bytes_touched=kernel_def.bytes_touched(dims),
+            dims=dims if len(dims) == 3 else None,
+        )
+
+    def _fleet_supports(self, kernel: str) -> bool:
+        try:
+            kernel_def = self.registry.get(kernel)
+        except Exception:
+            return False
+        return any(
+            kernel_def.supports(w.architecture) for w in self.workers
+        )
+
+    # -- fleet shape ---------------------------------------------------------
+    def _activate_initial(self) -> None:
+        want = max(self.autoscaler.initial_active(), len(self._core))
+        for instance_id in self._lane_order[:want]:
+            self._active.add(instance_id)
+        self.autoscaler.observe(len(self._active))
+
+    def _activate_lanes(self, count: int) -> int:
+        """Turn on up to ``count`` inactive lanes; returns how many."""
+        now = self.clock.now
+        moved = 0
+        for instance_id in self._lane_order:
+            if moved == count:
+                break
+            if instance_id in self._active:
+                continue
+            self._draining.discard(instance_id)
+            self._active.add(instance_id)
+            moved += 1
+            self.clock.schedule_call(now, self._worker_tick, instance_id)
+        return moved
+
+    def _retire_candidate(self) -> Optional[str]:
+        """Last activatable lane that is not core and not draining;
+        prefer an idle one so retirement is instant."""
+        candidates = [
+            iid
+            for iid in reversed(self._lane_order)
+            if iid in self._active and iid not in self._core
+        ]
+        now = self.clock.now
+        for iid in candidates:
+            if self._lane_of[iid].busy_until <= now + _EPS:
+                return iid
+        return candidates[0] if candidates else None
+
+    def _retire_lane(self, instance_id: str) -> None:
+        """Graceful drain-down: requeue queued work, finish in-flight."""
+        now = self.clock.now
+        worker = self._lane_of[instance_id]
+        # order matters: deactivate first so supports() excludes the lane,
+        # then drain + requeue — re-placement can never land back on it
+        self._active.discard(instance_id)
+        drained = self.scheduler.drain(worker)
+        for task in drained:
+            self.requeues += 1
+            self.trace.record_fault(
+                FaultTrace(
+                    kind="requeue",
+                    time=now,
+                    task_tag=task.tag,
+                    worker_id=instance_id,
+                    detail="autoscale-retire",
+                )
+            )
+            self.scheduler.task_ready(task, now)
+        if worker.busy_until > now + _EPS:
+            # in-flight task finishes on this lane; completion closes it
+            self._draining.add(instance_id)
+        if drained:
+            self._kick_idle(now)
+
+    def _autoscale_tick(self, _arg=None) -> None:
+        if self._finished():
+            return
+        now = self.clock.now
+        backlog = self.scheduler.pending_count()
+        active = len(self._active)
+        idle = sum(
+            1
+            for iid in self._active
+            if self._lane_of[iid].busy_until <= now + _EPS
+        )
+        if self.metrics is not None:
+            self.metrics.gauge("serve.active_workers").set(active)
+            self.metrics.gauge("serve.queue_depth").set(backlog)
+        want = self.autoscaler.decide(
+            now, backlog=backlog, active=active, idle=idle
+        )
+        if want > 0:
+            moved = self._activate_lanes(want)
+            if moved:
+                self.autoscaler.commit(now, "up", moved, backlog)
+        elif want < 0:
+            candidate = self._retire_candidate()
+            if candidate is not None:
+                self._retire_lane(candidate)
+                self.autoscaler.commit(now, "down", 1, backlog)
+        self.clock.schedule_call_in(
+            self.config.autoscale.interval_s, self._autoscale_tick, None
+        )
+
+    # -- ingestion -----------------------------------------------------------
+    def _admit(self, request: TaskRequest, now: float):
+        """Run the admission pipeline; returns the decision."""
+        tenant = request.tenant
+        if not self._fleet_supports(request.kernel):
+            self.slo.observe_rejected(tenant, "shed")
+            self.trace.record_fault(
+                FaultTrace(
+                    kind="shed",
+                    time=now,
+                    task_tag=f"{tenant}:{request.kernel}",
+                    worker_id="",
+                    detail="unsupported-kernel",
+                )
+            )
+            return None
+        decision = self.rate_limiter.admit(tenant, now)
+        if not decision:
+            self.slo.observe_rejected(tenant, "rate-limited")
+            self._observe_retry_after(decision.retry_after_s)
+            self.trace.record_fault(
+                FaultTrace(
+                    kind="rate-limited",
+                    time=now,
+                    task_tag=f"{tenant}:{request.kernel}",
+                    worker_id="",
+                    detail=f"retry_after={decision.retry_after_s:.3f}",
+                )
+            )
+            return None
+        consecutive = self._consecutive_shed.get(tenant, 0)
+        decision = self.capacity_gate.check(
+            self.scheduler.pending_count(), consecutive=consecutive
+        )
+        if not decision:
+            self._consecutive_shed[tenant] = consecutive + 1
+            self.slo.observe_rejected(tenant, "shed")
+            self._observe_retry_after(decision.retry_after_s)
+            self.trace.record_fault(
+                FaultTrace(
+                    kind="shed",
+                    time=now,
+                    task_tag=f"{tenant}:{request.kernel}",
+                    worker_id="",
+                    detail=f"retry_after={decision.retry_after_s:.3f}",
+                )
+            )
+            return None
+        self._consecutive_shed[tenant] = 0
+        return decision
+
+    def _observe_retry_after(self, retry_after_s: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram("serve.retry_after_s").observe(retry_after_s)
+
+    def _on_arrival(self, request: TaskRequest) -> None:
+        now = self.clock.now
+        if self._admit(request, now) is not None:
+            deadline = (
+                request.deadline_s
+                if request.deadline_s is not None
+                else self.config.default_deadline_s
+            )
+            task = ServeTask(
+                self._next_id, request, deadline_abs=request.arrival_s + deadline
+            )
+            self._next_id += 1
+            self._live[task.id] = task
+            self.slo.observe_admitted(request.tenant)
+            self.scheduler.task_ready(task, now)
+            self._kick_idle(now)
+        self._pull_next_arrival()
+
+    def _pull_next_arrival(self) -> None:
+        assert self._arrivals is not None
+        try:
+            request = next(self._arrivals)
+        except StopIteration:
+            self._stream_open = False
+            return
+        self.clock.schedule_call(request.arrival_s, self._on_arrival, request)
+
+    def _kick_idle(self, now: float) -> None:
+        for instance_id in self._lane_order:
+            if (
+                instance_id in self._active
+                and instance_id not in self._draining
+                and self._lane_of[instance_id].busy_until <= now + _EPS
+            ):
+                self.clock.schedule_call(now, self._worker_tick, instance_id)
+
+    # -- execution -----------------------------------------------------------
+    def _worker_tick(self, instance_id: str) -> None:
+        now = self.clock.now
+        worker = self._lane_of[instance_id]
+        if instance_id not in self._active or instance_id in self._draining:
+            return
+        if worker.busy_until > now + _EPS:
+            return
+        task = self.scheduler.next_task(worker, now)
+        if task is None:
+            return
+        self._start_task(task, worker, now)
+
+    def _start_task(self, task: ServeTask, worker: WorkerContext, now: float) -> None:
+        data_ready = now
+        if task.nbytes > 0.0 and worker.memory_node != 0:
+            est = self.transfer_model.schedule(
+                self.node_anchor[0], worker.entity_id, task.nbytes, now
+            )
+            data_ready = est.finish
+            record = TransferTrace(
+                handle_name=f"req-{task.id}",
+                nbytes=int(task.nbytes),
+                src_node=0,
+                dst_node=worker.memory_node,
+                start=est.start,
+                end=est.finish,
+            )
+            self.trace.record_transfer(record)
+            if self.config.online_tuning:
+                self._window_trace.record_transfer(record)
+        task.transfer_wait = max(0.0, data_ready - now)
+        start = data_ready + self.config.task_overhead_s
+        duration = self._estimate_exec(self.truth_perf, task, worker)
+        end = start + duration
+        task.worker_id = worker.instance_id
+        task.start_time = start
+        task.end_time = end
+        worker.busy_until = end
+        worker.is_idle = False
+        self.clock.schedule_call(end, self._complete_task, task)
+
+    def _complete_task(self, task: ServeTask) -> None:
+        now = self.clock.now
+        worker = self._lane_of[task.worker_id]
+        worker.is_idle = True
+        worker.busy_time += task.end_time - task.start_time
+        worker.tasks_executed += 1
+        record = TaskTrace(
+            task_id=task.id,
+            tag=task.tag,
+            kernel=task.kernel,
+            worker_id=worker.instance_id,
+            architecture=worker.architecture,
+            start=task.start_time,
+            end=task.end_time,
+            transfer_wait=task.transfer_wait,
+        )
+        self.trace.record_task(record)
+        latency = now - task.arrival
+        met = now <= task.deadline + _EPS
+        self.slo.observe_completion(task.tenant, latency, met_deadline=met)
+        self.completed += 1
+        del self._live[task.id]
+        if self.config.online_tuning:
+            self._window_tasks.append(task)
+            self._window_trace.record_task(record)
+        if worker.instance_id in self._draining:
+            # graceful retirement completes: the in-flight task is done,
+            # the queue was requeued at drain time — the lane goes dark
+            self._draining.discard(worker.instance_id)
+        else:
+            self._worker_tick(worker.instance_id)
+
+    # -- online tuning -------------------------------------------------------
+    def _harvest_tick(self, _arg=None) -> None:
+        self._harvest_window()
+        if not self._finished():
+            self.clock.schedule_call_in(
+                self.config.harvest_interval_s, self._harvest_tick, None
+            )
+
+    def _harvest_window(self) -> None:
+        if not self._window_tasks:
+            return
+        from repro.runtime.trace import RunResult
+        from repro.tune.calibrate import harvest_run
+
+        result = RunResult(
+            makespan=self._window_trace.makespan,
+            mode="sim",
+            scheduler=self.scheduler.name,
+            task_count=len(self._window_tasks),
+            trace=self._window_trace,
+        )
+        self._harvested_samples += harvest_run(
+            self, result, self.tuning_database, digest=self.digest, source="serve"
+        )
+        self._harvests += 1
+        self._window_tasks = []
+        self._tasks = self._window_tasks
+        self._window_trace = TraceLog()
+        # refit: drop fitted curves and every memoized placement estimate
+        if hasattr(self.sched_perf, "invalidate"):
+            self.sched_perf.invalidate()
+        self.cost_model.invalidate()
+
+    # -- the run -------------------------------------------------------------
+    def _finished(self) -> bool:
+        return not self._stream_open and not self._live
+
+    def run(self, arrivals: Iterable[TaskRequest]) -> ServingReport:
+        """Serve the stream to completion; returns the serving report."""
+        tracer = _obs.get_tracer()
+        if tracer is None:
+            return self._run(arrivals)
+        with tracer.span(
+            "serve.run",
+            platform=self.platform.name,
+            scheduler=self.scheduler.name,
+            fleet=len(self.workers),
+        ) as span_:
+            report = self._run(arrivals)
+            span_.set(
+                offered=report.totals["offered"],
+                completed=report.totals["completed"],
+                deadline_misses=report.totals["deadline_misses"],
+            )
+            return report
+
+    def _run(self, arrivals: Iterable[TaskRequest]) -> ServingReport:
+        if self._next_id:
+            raise ServeError(
+                "ServeEngine.run is one-shot; build a fresh engine per run"
+            )
+        self._arrivals = iter(validate_stream(arrivals))
+        self._stream_open = True
+        self._activate_initial()
+        self._pull_next_arrival()
+        if not self._stream_open:
+            raise ServeError("arrival stream is empty")
+        self.clock.schedule_call(0.0, self._autoscale_tick, None)
+        if self.config.online_tuning:
+            self.clock.schedule_call_in(
+                self.config.harvest_interval_s, self._harvest_tick, None
+            )
+        self.clock.run()
+        if self.config.online_tuning:
+            self._harvest_window()  # fold the tail window
+        return self._build_report()
+
+    def _build_report(self) -> ServingReport:
+        return ServingReport(
+            platform=self.platform.name,
+            scheduler=self.scheduler.name,
+            config=self.config.to_payload(),
+            duration_s=self.trace.makespan,
+            totals=self.slo.totals(),
+            tenants=self.slo.tenant_payload(),
+            autoscaler=self.autoscaler.to_payload(),
+            tuning={
+                "online": self.config.online_tuning,
+                "harvests": self._harvests,
+                "samples": self._harvested_samples,
+            },
+            requeues=self.requeues,
+            trace=self.trace,
+        )

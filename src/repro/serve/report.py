@@ -1,0 +1,110 @@
+"""The deterministic outcome of one serving run.
+
+Like every report in this codebase (:class:`~repro.runtime.trace.RunResult`,
+the exploration and calibration reports), :class:`ServingReport` carries
+only simulated-deterministic quantities — no wall-clock time, no host
+names — so ``fingerprint()`` is stable across replays of the same seed
+and arrival stream.  That property is what the CI determinism gate
+asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs.digest import fingerprint_payload
+from repro.runtime.trace import TraceLog
+
+__all__ = ["ServingReport"]
+
+
+@dataclass
+class ServingReport:
+    """Aggregated statistics of one :meth:`~repro.serve.engine.ServeEngine.run`."""
+
+    platform: str
+    scheduler: str
+    config: dict
+    duration_s: float  # simulated makespan, not wall time
+    totals: dict  # offered/admitted/shed/…/latency digest
+    tenants: dict  # tenant → per-tenant stats block
+    autoscaler: dict
+    tuning: dict
+    requeues: int
+    trace: Optional[TraceLog] = field(default=None, repr=False)
+
+    @property
+    def throughput(self) -> float:
+        """Completed tasks per simulated second."""
+        if self.duration_s <= 0.0:
+            return 0.0
+        return self.totals["completed"] / self.duration_s
+
+    @property
+    def miss_rate(self) -> float:
+        return self.totals["miss_rate"]
+
+    @property
+    def p99_latency(self) -> float:
+        return self.totals["latency"]["p99"]
+
+    def to_payload(self) -> dict:
+        """Deterministic JSON shape (replay-stable for a fixed seed)."""
+        payload = {
+            "platform": self.platform,
+            "scheduler": self.scheduler,
+            "config": self.config,
+            "duration_s": self.duration_s,
+            "throughput": self.throughput,
+            "totals": self.totals,
+            "tenants": self.tenants,
+            "autoscaler": self.autoscaler,
+            "tuning": self.tuning,
+            "requeues": self.requeues,
+        }
+        if self.trace is not None:
+            payload["trace_fingerprint"] = self.trace.fingerprint()
+            if self.trace.dropped_events:
+                payload["trace_dropped_events"] = self.trace.dropped_events
+        return payload
+
+    def fingerprint(self) -> str:
+        return fingerprint_payload(self.to_payload())
+
+    def summary(self) -> str:
+        """Human-readable digest for CLI output."""
+        totals = self.totals
+        latency = totals["latency"]
+        lines = [
+            f"serving report — platform={self.platform}"
+            f" scheduler={self.scheduler}",
+            f"  duration      {self.duration_s * 1e3:10.3f} ms (simulated)",
+            f"  offered       {totals['offered']:10d}",
+            f"  admitted      {totals['admitted']:10d}"
+            f"  (shed {totals['shed']}, rate-limited {totals['rate_limited']})",
+            f"  completed     {totals['completed']:10d}"
+            f"  ({self.throughput:,.0f} tasks/s)",
+            f"  deadline miss {totals['deadline_misses']:10d}"
+            f"  ({totals['miss_rate']:.2%})",
+            f"  latency p50   {latency['p50'] * 1e3:10.3f} ms",
+            f"  latency p99   {latency['p99'] * 1e3:10.3f} ms",
+            f"  fleet         max {self.autoscaler['max_active']}"
+            f" / min {self.autoscaler['min_active']}"
+            f" (spawned {self.autoscaler['spawned']},"
+            f" retired {self.autoscaler['retired']},"
+            f" requeues {self.requeues})",
+        ]
+        if self.tuning.get("online"):
+            lines.append(
+                f"  tuning        {self.tuning['harvests']} harvests,"
+                f" {self.tuning['samples']} samples"
+            )
+        for tenant in sorted(self.tenants):
+            stats = self.tenants[tenant]
+            lines.append(
+                f"  [{tenant}] admitted {stats['admitted']}/{stats['offered']}"
+                f"  miss {stats['miss_rate']:.2%}"
+                f"  p99 {stats['latency']['p99'] * 1e3:.3f} ms"
+            )
+        return "\n".join(lines)

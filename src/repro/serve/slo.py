@@ -1,0 +1,142 @@
+"""Per-tenant SLO accounting: latency digests and deadline miss-rates.
+
+The tracker observes every admission decision and completion, keeping a
+bounded latency reservoir per tenant (the serving loop is long-lived, so
+unbounded lists are off the table) and producing the deterministic
+per-tenant blocks of the :class:`~repro.serve.report.ServingReport` —
+p50/p99 via the shared :func:`~repro.obs.digest.digest_summary` math, so
+serving latencies are digested exactly like the registry's
+``ServiceMetrics``.  When a :class:`~repro.obs.metrics.MetricsRegistry`
+is attached (e.g. the session's), the same observations also feed
+``serve.*`` counters and histograms for live dashboards.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.obs.digest import digest_summary
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["SLOTracker"]
+
+
+class _TenantStats:
+    __slots__ = (
+        "offered",
+        "admitted",
+        "shed",
+        "rate_limited",
+        "completed",
+        "misses",
+        "latencies",
+    )
+
+    def __init__(self, window: int):
+        self.offered = 0
+        self.admitted = 0
+        self.shed = 0
+        self.rate_limited = 0
+        self.completed = 0
+        self.misses = 0
+        self.latencies: deque[float] = deque(maxlen=window)
+
+
+class SLOTracker:
+    """Accumulates per-tenant serving statistics during one run."""
+
+    def __init__(
+        self,
+        *,
+        latency_window: int = 8192,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        self.latency_window = latency_window
+        self.metrics = metrics
+        self._tenants: dict[str, _TenantStats] = {}
+
+    def _stats(self, tenant: str) -> _TenantStats:
+        stats = self._tenants.get(tenant)
+        if stats is None:
+            stats = self._tenants[tenant] = _TenantStats(self.latency_window)
+        return stats
+
+    def _count(self, name: str, tenant: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(f"serve.{name}").inc()
+            self.metrics.counter(f"serve.{name}.{tenant}").inc()
+
+    # -- observations --------------------------------------------------------
+    def observe_admitted(self, tenant: str) -> None:
+        stats = self._stats(tenant)
+        stats.offered += 1
+        stats.admitted += 1
+        self._count("admitted", tenant)
+
+    def observe_rejected(self, tenant: str, reason: str) -> None:
+        stats = self._stats(tenant)
+        stats.offered += 1
+        if reason == "rate-limited":
+            stats.rate_limited += 1
+            self._count("rate_limited", tenant)
+        else:
+            stats.shed += 1
+            self._count("shed", tenant)
+
+    def observe_completion(
+        self, tenant: str, latency_s: float, *, met_deadline: bool
+    ) -> None:
+        stats = self._stats(tenant)
+        stats.completed += 1
+        stats.latencies.append(latency_s)
+        if not met_deadline:
+            stats.misses += 1
+            self._count("deadline_miss", tenant)
+        self._count("completed", tenant)
+        if self.metrics is not None:
+            self.metrics.histogram("serve.latency_s").observe(latency_s)
+
+    # -- aggregates ----------------------------------------------------------
+    def tenants(self) -> list[str]:
+        return sorted(self._tenants)
+
+    def totals(self) -> dict:
+        offered = sum(s.offered for s in self._tenants.values())
+        admitted = sum(s.admitted for s in self._tenants.values())
+        shed = sum(s.shed for s in self._tenants.values())
+        rate_limited = sum(s.rate_limited for s in self._tenants.values())
+        completed = sum(s.completed for s in self._tenants.values())
+        misses = sum(s.misses for s in self._tenants.values())
+        latencies: list[float] = []
+        for tenant in self.tenants():
+            latencies.extend(self._tenants[tenant].latencies)
+        return {
+            "offered": offered,
+            "admitted": admitted,
+            "shed": shed,
+            "rate_limited": rate_limited,
+            "completed": completed,
+            "deadline_misses": misses,
+            "miss_rate": (misses / completed) if completed else 0.0,
+            "latency": digest_summary(latencies),
+        }
+
+    def tenant_payload(self) -> dict:
+        """Tenant → deterministic stats block, tenants sorted by name."""
+        out: dict[str, dict] = {}
+        for tenant in self.tenants():
+            stats = self._tenants[tenant]
+            out[tenant] = {
+                "offered": stats.offered,
+                "admitted": stats.admitted,
+                "shed": stats.shed,
+                "rate_limited": stats.rate_limited,
+                "completed": stats.completed,
+                "deadline_misses": stats.misses,
+                "miss_rate": (
+                    stats.misses / stats.completed if stats.completed else 0.0
+                ),
+                "latency": digest_summary(list(stats.latencies)),
+            }
+        return out

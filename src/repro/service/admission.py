@@ -1,0 +1,229 @@
+"""Reusable admission control: token buckets, capacity gates, backoff.
+
+Two front ends shed load the same way in this toolchain: the registry
+server answers ``429`` with a ``Retry-After`` computed from the
+:class:`~repro.runtime.faults.FaultPolicy` backoff curve, and the
+serving subsystem (:mod:`repro.serve`) applies per-tenant token-bucket
+rate limits plus a bounded ready queue before tasks reach the
+scheduler.  This module is the shared home of that machinery, so both
+layers make identical decisions from identical knobs:
+
+* :class:`TokenBucket` — a continuous-refill rate limiter driven by an
+  externally supplied clock (wall time for the server, the simulated
+  clock for the serving loop), so behaviour is deterministic under
+  simulation.
+* :class:`CapacityGate` — the bounded-queue 429 policy extracted from
+  :class:`~repro.service.server.RegistryServer`: beyond ``max_queue``
+  queued + in-flight requests, reject with an exponential
+  ``Retry-After`` that grows with *consecutive* rejections.
+* :class:`TenantRateLimiter` — a named family of token buckets with a
+  default rate, tracking per-tenant consecutive rejections so the
+  retry hint follows the same backoff curve.
+
+Every decision is an :class:`AdmissionDecision` — truthy when admitted,
+otherwise carrying the machine-readable reason and the retry hint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.runtime.faults import FaultPolicy
+
+__all__ = [
+    "AdmissionDecision",
+    "TokenBucket",
+    "CapacityGate",
+    "TenantRateLimiter",
+    "default_overload_policy",
+]
+
+
+def default_overload_policy() -> FaultPolicy:
+    """The overload backoff curve shared by server and serving loop:
+    50 ms doubling per consecutive rejection, capped at 2 s."""
+    return FaultPolicy(
+        max_retries=0,
+        backoff_base_s=0.05,
+        backoff_factor=2.0,
+        backoff_cap_s=2.0,
+        watchdog_s=None,
+    )
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check (truthy iff admitted)."""
+
+    admitted: bool
+    #: "" when admitted, else "queue-full" | "rate-limited"
+    reason: str = ""
+    #: suggested client wait before retrying (seconds)
+    retry_after_s: float = 0.0
+
+    def __bool__(self) -> bool:
+        return self.admitted
+
+
+#: the shared "yes" — admission carries no further detail
+ADMIT = AdmissionDecision(True)
+
+
+class TokenBucket:
+    """Continuous-refill token bucket on an externally supplied clock.
+
+    The bucket holds up to ``burst`` tokens and refills at ``rate_per_s``
+    tokens per second of the *caller's* timeline — callers pass ``now``
+    into every operation, so the same bucket works against wall time and
+    against a simulated clock (where determinism matters).  Time never
+    moves backwards: a stale ``now`` is clamped to the newest one seen.
+    """
+
+    def __init__(self, rate_per_s: float, burst: float):
+        if rate_per_s <= 0.0:
+            raise ValueError(f"rate_per_s must be positive, got {rate_per_s!r}")
+        if burst <= 0.0:
+            raise ValueError(f"burst must be positive, got {burst!r}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._level = float(burst)  # start full: an initial burst is admitted
+        self._stamp = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._stamp:
+            self._level = min(
+                self.burst, self._level + (now - self._stamp) * self.rate_per_s
+            )
+            self._stamp = now
+
+    def available(self, now: float) -> float:
+        """Tokens available at time ``now``."""
+        self._refill(now)
+        return self._level
+
+    def try_take(self, now: float, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; returns whether the take happened."""
+        self._refill(now)
+        if self._level + 1e-12 >= tokens:
+            self._level -= tokens
+            return True
+        return False
+
+    def retry_after(self, now: float, tokens: float = 1.0) -> float:
+        """Seconds from ``now`` until ``tokens`` will be available."""
+        self._refill(now)
+        deficit = tokens - self._level
+        if deficit <= 0.0:
+            return 0.0
+        return deficit / self.rate_per_s
+
+    def __repr__(self) -> str:
+        return (
+            f"TokenBucket(rate={self.rate_per_s:g}/s, burst={self.burst:g},"
+            f" level={self._level:.3f})"
+        )
+
+
+class CapacityGate:
+    """Bounded queued+in-flight capacity with backoff ``Retry-After``.
+
+    This is the admission control of the registry server, extracted:
+    while ``depth`` (queued + in-flight requests) is below ``max_queue``
+    the request is admitted; beyond it the caller is told to retry after
+    ``policy.backoff(consecutive + 1)`` seconds, so consecutive
+    rejections of one client back off exponentially — mirroring the
+    runtime's retry idiom.
+    """
+
+    def __init__(
+        self, max_queue: int, *, policy: Optional[FaultPolicy] = None
+    ):
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue!r}")
+        self.max_queue = int(max_queue)
+        self.policy = policy if policy is not None else default_overload_policy()
+
+    def check(self, depth: int, *, consecutive: int = 0) -> AdmissionDecision:
+        """Admit while ``depth < max_queue``; reject with backoff beyond.
+
+        ``consecutive`` counts the caller's rejections since its last
+        admitted request (the registry server tracks it per connection,
+        the serving loop per tenant).
+        """
+        if depth < self.max_queue:
+            return ADMIT
+        return AdmissionDecision(
+            False,
+            reason="queue-full",
+            retry_after_s=self.policy.backoff(consecutive + 1),
+        )
+
+    def __repr__(self) -> str:
+        return f"CapacityGate(max_queue={self.max_queue})"
+
+
+class TenantRateLimiter:
+    """Per-tenant token buckets with backoff-shaped retry hints.
+
+    Tenants not explicitly configured get the default rate/burst; a
+    ``default_rate_per_s`` of ``None`` disables rate limiting for
+    unconfigured tenants (they are always admitted).  Consecutive
+    rejections per tenant stretch the retry hint along the
+    :class:`~repro.runtime.faults.FaultPolicy` backoff curve, so a
+    tenant hammering past its budget is told to back off harder — the
+    hint never falls below the bucket's own refill horizon.
+    """
+
+    def __init__(
+        self,
+        *,
+        default_rate_per_s: Optional[float] = None,
+        default_burst: float = 8.0,
+        policy: Optional[FaultPolicy] = None,
+    ):
+        self.default_rate_per_s = default_rate_per_s
+        self.default_burst = float(default_burst)
+        self.policy = policy if policy is not None else default_overload_policy()
+        self._buckets: dict[str, Optional[TokenBucket]] = {}
+        self._consecutive: dict[str, int] = {}
+
+    def configure(self, tenant: str, rate_per_s: float, burst: float) -> None:
+        """Set one tenant's budget (replacing any previous bucket)."""
+        self._buckets[tenant] = TokenBucket(rate_per_s, burst)
+
+    def _bucket(self, tenant: str) -> Optional[TokenBucket]:
+        if tenant not in self._buckets:
+            if self.default_rate_per_s is None:
+                self._buckets[tenant] = None
+            else:
+                self._buckets[tenant] = TokenBucket(
+                    self.default_rate_per_s, self.default_burst
+                )
+        return self._buckets[tenant]
+
+    def admit(
+        self, tenant: str, now: float, tokens: float = 1.0
+    ) -> AdmissionDecision:
+        bucket = self._bucket(tenant)
+        if bucket is None or bucket.try_take(now, tokens):
+            self._consecutive[tenant] = 0
+            return ADMIT
+        consecutive = self._consecutive.get(tenant, 0) + 1
+        self._consecutive[tenant] = consecutive
+        retry = max(
+            bucket.retry_after(now, tokens), self.policy.backoff(consecutive)
+        )
+        return AdmissionDecision(
+            False, reason="rate-limited", retry_after_s=retry
+        )
+
+    def tenants(self) -> list[str]:
+        """Tenants seen so far (configured or defaulted), sorted."""
+        return sorted(self._buckets)
+
+    def __repr__(self) -> str:
+        return (
+            f"TenantRateLimiter(tenants={len(self._buckets)},"
+            f" default_rate={self.default_rate_per_s})"
+        )

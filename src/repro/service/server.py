@@ -52,6 +52,7 @@ from repro.errors import ServiceProtocolError
 from repro.obs import spans as _obs
 from repro.runtime.faults import FaultPolicy
 from repro.service import protocol
+from repro.service.admission import CapacityGate, default_overload_policy
 from repro.service.metrics import ServiceMetrics
 from repro.service.store import DescriptorStore
 
@@ -62,15 +63,8 @@ _MAX_HEADERS = 100
 
 _SERVER_NAME = "repro-registry/1.0"
 
-
-def _default_overload_policy() -> FaultPolicy:
-    return FaultPolicy(
-        max_retries=0,
-        backoff_base_s=0.05,
-        backoff_factor=2.0,
-        backoff_cap_s=2.0,
-        watchdog_s=None,
-    )
+# backwards-compatible alias: the policy now lives in repro.service.admission
+_default_overload_policy = default_overload_policy
 
 
 @dataclass(frozen=True)
@@ -123,6 +117,9 @@ class RegistryServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._executor: Optional[ThreadPoolExecutor] = None
         self._routes = self._build_routes()
+        self._gate = CapacityGate(
+            self.config.max_queue, policy=self.config.overload_policy
+        )
 
     # -- lifecycle ----------------------------------------------------------
     @property
@@ -371,32 +368,31 @@ class RegistryServer:
                     },
                 ),
             )
-        if (
-            endpoint not in self._UNGATED
-            and self.metrics.queue_depth >= self.config.max_queue
-        ):
-            retry_after = self.config.overload_policy.backoff(
-                consecutive_overloads + 1
+        if endpoint not in self._UNGATED:
+            decision = self._gate.check(
+                self.metrics.queue_depth, consecutive=consecutive_overloads
             )
-            return endpoint, self._echo_trace(
-                trace_id,
-                _Response(
-                    429,
-                    {
-                        "error": {
-                            "code": "overloaded",
-                            "type": "ServiceOverloadError",
-                            "message": (
-                                f"request queue full"
-                                f" ({self.config.max_queue} in flight);"
-                                f" retry after {retry_after:.3f}s"
-                            ),
-                            "status": 429,
-                        }
-                    },
-                    headers={"Retry-After": f"{retry_after:.3f}"},
-                ),
-            )
+            if not decision:
+                retry_after = decision.retry_after_s
+                return endpoint, self._echo_trace(
+                    trace_id,
+                    _Response(
+                        429,
+                        {
+                            "error": {
+                                "code": "overloaded",
+                                "type": "ServiceOverloadError",
+                                "message": (
+                                    f"request queue full"
+                                    f" ({self.config.max_queue} in flight);"
+                                    f" retry after {retry_after:.3f}s"
+                                ),
+                                "status": 429,
+                            }
+                        },
+                        headers={"Retry-After": f"{retry_after:.3f}"},
+                    ),
+                )
         self.metrics.enter_queue()
         try:
             tracer = _obs.get_tracer()

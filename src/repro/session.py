@@ -81,6 +81,7 @@ class Session:
         self.last_engine = None
         self.last_result = None
         self.last_exploration = None
+        self.last_serving = None
         self._platform: Optional[Platform] = None
         self._platform_ref: Optional[str] = None
         if isinstance(platform, Platform):
@@ -315,6 +316,55 @@ class Session:
             self.last_exploration = report
             return report
 
+    def serve(
+        self,
+        arrivals=None,
+        *,
+        config=None,
+        tenants=None,
+        duration_s: float = 1.0,
+        seed: int = 0,
+        truth_perf_model=None,
+        sched_perf_model=None,
+        tuning_database=None,
+        registry=None,
+    ):
+        """Serve a task stream against the session platform's fleet.
+
+        ``arrivals`` is any time-ordered iterable of
+        :class:`~repro.serve.request.TaskRequest`; when omitted, a
+        synthetic Poisson stream is generated from ``tenants`` (a list of
+        :class:`~repro.serve.request.TenantSpec`, default: one
+        ``"default"`` tenant) over ``duration_s`` simulated seconds.
+        Returns the :class:`~repro.serve.report.ServingReport`, kept on
+        :attr:`last_serving`; the engine lands on :attr:`last_engine`.
+        """
+        from repro.serve.engine import ServeConfig, ServeEngine
+        from repro.serve.request import TenantSpec, synthetic_arrivals
+
+        with self._activate():
+            if arrivals is None:
+                if tenants is None:
+                    tenants = [TenantSpec(name="default")]
+                arrivals = synthetic_arrivals(
+                    tenants, duration_s=duration_s, seed=seed
+                )
+            if config is None:
+                config = ServeConfig()  # serving default: dmda-slo
+            engine = ServeEngine(
+                self.platform,
+                config=config,
+                registry=registry,
+                truth_perf_model=truth_perf_model,
+                sched_perf_model=sched_perf_model,
+                tuning_database=tuning_database,
+                metrics=self.metrics,
+            )
+            report = engine.run(arrivals)
+            self.last_engine = engine
+            self.last_serving = report
+            return report
+
     # -- trace access --------------------------------------------------------
     def _require_tracer(self) -> Tracer:
         if self.tracer is None:
@@ -369,6 +419,11 @@ class Session:
             payload["last_exploration"] = {
                 "stats": dict(sorted(self.last_exploration.stats.items())),
                 "fingerprint": self.last_exploration.fingerprint(),
+            }
+        if self.last_serving is not None:
+            payload["last_serving"] = {
+                "totals": dict(self.last_serving.totals),
+                "fingerprint": self.last_serving.fingerprint(),
             }
         return payload
 

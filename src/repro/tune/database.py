@@ -42,6 +42,23 @@ __all__ = ["TimingSample", "TransferSample", "TuningDatabase"]
 
 _FORMAT_VERSION = 1
 
+# One lock per store file (process-wide): `save(merge=True)` is a
+# read-modify-write of the JSON document, and online serving runs
+# `harvest_run` → save from several threads against one path.  Without
+# the path lock, two writers interleave load/replace and the slower one
+# silently drops the faster one's samples (and both share a ".tmp" name).
+_PATH_LOCKS: dict[str, threading.Lock] = {}
+_PATH_LOCKS_GUARD = threading.Lock()
+
+
+def _path_lock(path: str) -> threading.Lock:
+    key = os.path.abspath(path)
+    with _PATH_LOCKS_GUARD:
+        lock = _PATH_LOCKS.get(key)
+        if lock is None:
+            lock = _PATH_LOCKS[key] = threading.Lock()
+        return lock
+
 
 @dataclass(frozen=True)
 class TimingSample:
@@ -324,18 +341,39 @@ class TuningDatabase:
         return fingerprint_payload(self.to_payload())
 
     # -- persistence ---------------------------------------------------------
-    def save(self, path: Optional[str] = None) -> str:
-        """Write the database to disk (atomically); returns the path used."""
+    def save(self, path: Optional[str] = None, *, merge: bool = False) -> str:
+        """Write the database to disk (atomically); returns the path used.
+
+        With ``merge=True`` the on-disk document is read back first and
+        this database's samples are appended to it, all under a
+        process-wide per-path lock — the idiom for concurrent
+        ``harvest_run`` writers sharing one store: no writer's samples
+        are lost, whichever order they land in.  Plain saves take the
+        same lock so a concurrent merge can never interleave with the
+        tmp-file replace.  This database object itself is not modified
+        by a merged save.
+        """
         target = path or self.path
         if target is None:
             raise TuningError("TuningDatabase.save: no path given or configured")
-        tmp = f"{target}.tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(self.to_payload(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, target)
+        with _path_lock(target):
+            if merge and os.path.exists(target):
+                base = TuningDatabase.load(target)
+                base.merge(self)
+                payload = base.to_payload()
+            else:
+                payload = self.to_payload()
+            tmp = f"{target}.tmp"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp, target)
         self.path = target
         return target
+
+    def merge_save(self, path: Optional[str] = None) -> str:
+        """Shorthand for :meth:`save` with ``merge=True``."""
+        return self.save(path, merge=True)
 
     @classmethod
     def load(cls, path: str) -> "TuningDatabase":

@@ -1,0 +1,170 @@
+"""Graceful worker retirement in real (threaded) mode.
+
+``retire_worker`` is the cooperative counterpart of ``kill_worker``: the
+lane finishes its claimed task, its queue drains and requeues to the
+survivors, and nothing counts as a failure.  This is the drain-down the
+serving autoscaler's simulated scale-down mirrors.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeEngineError, WorkerFailureError
+from repro.kernels.registry import KernelRegistry
+from repro.runtime.engine import RuntimeEngine
+from repro.runtime.faults import FaultPolicy
+
+
+def make_registry():
+    registry = KernelRegistry()
+    registry.define("slow_bump", flops=lambda d: 1.0, bytes_touched=lambda d: 8.0)
+
+    def slow_bump(X):
+        time.sleep(0.02)
+        X += 1.0
+
+    registry.variant("slow_bump", "x86_64")(slow_bump)
+    registry.variant("slow_bump", "gpu")(slow_bump)
+    return registry
+
+
+POLICY = FaultPolicy(max_retries=1, backoff_base_s=0.0, watchdog_s=10.0)
+
+
+def _loaded_engine(platform, n_tasks=30):
+    engine = RuntimeEngine(platform, scheduler="eager", registry=make_registry())
+    handles = [engine.register(np.zeros(1)) for _ in range(n_tasks)]
+    for i, h in enumerate(handles):
+        engine.submit("slow_bump", [(h, "rw")], dims=(1,), tag=f"b{i}")
+    return engine, handles
+
+
+def _retire_later(engine, instance_id, delay, reason=""):
+    import threading
+
+    def fire():
+        time.sleep(delay)
+        try:
+            engine.retire_worker(instance_id, reason=reason)
+        except RuntimeEngineError:
+            pass  # run already finished — nothing to retire
+
+    thread = threading.Thread(target=fire, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestGracefulRetirement:
+    def test_retired_lane_loses_no_work(self, small_platform):
+        engine, handles = _loaded_engine(small_platform)
+        _retire_later(engine, "cpu#0", 0.05, reason="scale-down")
+        result = engine.run_real(fault_policy=POLICY)
+        # exactly-once: every task completed despite the lane leaving
+        for h in handles:
+            assert h.array[0] == 1.0
+        assert result.task_count == 30
+        # a graceful exit is not a failure
+        assert result.worker_failures == 0
+        kinds = {f.kind for f in result.trace.faults}
+        assert "retire" in kinds
+        assert "worker-fault" not in kinds
+
+    def test_queued_tasks_requeue_to_survivors(self, small_platform):
+        # eager scheduler queues centrally, so force per-lane queues via
+        # dmda to exercise the drain+requeue path
+        engine = RuntimeEngine(
+            small_platform, scheduler="dmda", registry=make_registry()
+        )
+        handles = [engine.register(np.zeros(1)) for _ in range(40)]
+        for i, h in enumerate(handles):
+            engine.submit("slow_bump", [(h, "rw")], dims=(1,), tag=f"b{i}")
+        _retire_later(engine, "cpu#0", 0.03, reason="autoscale")
+        result = engine.run_real(fault_policy=POLICY)
+        for h in handles:
+            assert h.array[0] == 1.0
+        assert result.worker_failures == 0
+        requeues = [f for f in result.trace.faults if f.kind == "requeue"]
+        assert result.requeue_count == len(requeues)
+        assert result.requeue_count > 0
+        assert all(f.detail == "autoscale" for f in requeues)
+        # nothing ran on the retired lane after it observed the request
+        # plus its claimed task's worst-case runtime
+        late = [
+            t for t in result.trace.tasks
+            if t.worker_id == "cpu#0" and t.start > 0.4
+        ]
+        assert late == []
+
+    def test_claimed_task_completes_before_exit(self, small_platform):
+        # retirement is honored between tasks only: whatever cpu#0 was
+        # executing when the request landed still finished exactly once
+        engine, handles = _loaded_engine(small_platform)
+        _retire_later(engine, "cpu#0", 0.03)
+        result = engine.run_real(fault_policy=POLICY)
+        ran_on_retired = [
+            t for t in result.trace.tasks if t.worker_id == "cpu#0"
+        ]
+        retire_time = next(
+            f.time for f in result.trace.faults if f.kind == "retire"
+        )
+        for t in ran_on_retired:
+            # no task *starts* on the lane after it retired
+            assert t.start <= retire_time + 1e-6
+        for h in handles:
+            assert h.array[0] == 1.0
+
+    def test_retiring_every_lane_with_pending_work_fails(self, small_platform):
+        engine, _ = _loaded_engine(small_platform, n_tasks=60)
+        for lane in ("cpu#0", "cpu#1", "gpu0"):
+            _retire_later(engine, lane, 0.02)
+        with pytest.raises(WorkerFailureError, match="retired"):
+            engine.run_real(fault_policy=POLICY)
+
+    def test_retire_worker_outside_run_rejected(self, small_platform):
+        engine = RuntimeEngine(small_platform, registry=make_registry())
+        with pytest.raises(RuntimeEngineError, match="retire_worker"):
+            engine.retire_worker("cpu#0")
+
+    def test_retire_unknown_lane_rejected(self, small_platform):
+        engine, _ = _loaded_engine(small_platform, n_tasks=5)
+        seen = []
+
+        def probe():
+            try:
+                engine.retire_worker("tpu9")
+            except RuntimeEngineError as exc:
+                seen.append(exc)
+
+        import threading
+
+        # fire mid-run so _retire_events exists
+        timer = threading.Timer(0.02, probe)
+        timer.start()
+        engine.run_real(fault_policy=POLICY)
+        timer.join()
+        assert seen and "tpu9" in str(seen[0])
+
+
+class TestKillVersusRetire:
+    def test_kill_counts_failure_retire_does_not(self, small_platform):
+        killed, _ = _loaded_engine(small_platform)
+        result_killed = killed.run_real(
+            fault_policy=POLICY, kill_at=[(0.05, "cpu#0")]
+        )
+        retired, _ = _loaded_engine(small_platform)
+        _retire_later(retired, "cpu#0", 0.05)
+        result_retired = retired.run_real(fault_policy=POLICY)
+
+        assert result_killed.worker_failures == 1
+        assert result_retired.worker_failures == 0
+        assert any(f.kind == "worker-fault" for f in result_killed.trace.faults)
+        assert any(f.kind == "retire" for f in result_retired.trace.faults)
+        # both paths mark the lane permanently retired
+        assert next(
+            w for w in killed.workers if w.instance_id == "cpu#0"
+        ).retired
+        assert next(
+            w for w in retired.workers if w.instance_id == "cpu#0"
+        ).retired

@@ -1,0 +1,105 @@
+"""Autoscaler decision logic: thresholds, cooldown, ledger."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.autoscale import AutoscalePolicy, Autoscaler
+
+
+def _scaler(fleet=8, **kwargs):
+    return Autoscaler(AutoscalePolicy(**kwargs), fleet)
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ServeError):
+            AutoscalePolicy(min_workers=0)
+        with pytest.raises(ServeError):
+            AutoscalePolicy(min_workers=4, max_workers=2)
+        with pytest.raises(ServeError):
+            AutoscalePolicy(interval_s=0.0)
+        with pytest.raises(ServeError):
+            AutoscalePolicy(scale_up_backlog=1.0, scale_down_backlog=1.0)
+        with pytest.raises(ServeError):
+            AutoscalePolicy(step_up=0)
+        with pytest.raises(ServeError):
+            Autoscaler(AutoscalePolicy(), 0)
+
+    def test_ceiling(self):
+        assert _scaler(fleet=8).ceiling == 8
+        assert _scaler(fleet=8, max_workers=4).ceiling == 4
+        assert _scaler(fleet=3, max_workers=10).ceiling == 3
+
+
+class TestDecide:
+    def test_scales_up_past_threshold(self):
+        scaler = _scaler()
+        # 2 lanes, 10 queued -> 5 per lane, threshold 2.0
+        want = scaler.decide(0.0, backlog=10, active=2, idle=0)
+        assert want > 0
+        assert want <= scaler.ceiling - 2
+
+    def test_scale_up_proportional_to_overload(self):
+        mild = _scaler().decide(0.0, backlog=5, active=2, idle=0)
+        severe = _scaler(fleet=32).decide(0.0, backlog=100, active=2, idle=0)
+        assert severe >= mild
+
+    def test_scales_down_when_idle_and_light(self):
+        scaler = _scaler()
+        assert scaler.decide(0.0, backlog=0, active=4, idle=2) == -1
+
+    def test_no_scale_down_without_idle_lane(self):
+        assert _scaler().decide(0.0, backlog=0, active=4, idle=0) == 0
+
+    def test_never_below_min_workers(self):
+        scaler = _scaler(min_workers=2)
+        assert scaler.decide(0.0, backlog=0, active=2, idle=2) == 0
+
+    def test_never_above_ceiling(self):
+        scaler = _scaler(max_workers=3)
+        want = scaler.decide(0.0, backlog=100, active=3, idle=0)
+        assert want == 0
+
+    def test_disabled_policy_holds(self):
+        scaler = _scaler(enabled=False)
+        assert scaler.decide(0.0, backlog=100, active=1, idle=0) == 0
+
+    def test_cooldown_spaces_actions(self):
+        scaler = _scaler(cooldown_s=0.5)
+        assert scaler.decide(0.0, backlog=10, active=2, idle=0) > 0
+        scaler.commit(0.0, "up", 2, 10)
+        # still hot: same overload is ignored inside the cooldown window
+        assert scaler.decide(0.3, backlog=10, active=4, idle=0) == 0
+        assert scaler.decide(0.6, backlog=10, active=4, idle=0) > 0
+
+    def test_cooldown_starts_at_commit_not_proposal(self):
+        scaler = _scaler(cooldown_s=0.5)
+        # a proposal the engine could not execute must not start cooldown
+        assert scaler.decide(0.0, backlog=10, active=2, idle=0) > 0
+        assert scaler.decide(0.1, backlog=10, active=2, idle=0) > 0
+
+
+class TestLedger:
+    def test_commit_records_actions(self):
+        scaler = _scaler()
+        scaler.commit(0.1, "up", 2, 9)
+        scaler.commit(0.9, "down", 1, 0)
+        assert scaler.spawned == 2
+        assert scaler.retired == 1
+        payload = scaler.to_payload()
+        assert payload["actions"] == [
+            {"time": 0.1, "direction": "up", "lanes": 2, "backlog": 9},
+            {"time": 0.9, "direction": "down", "lanes": 1, "backlog": 0},
+        ]
+
+    def test_observe_tracks_envelope(self):
+        scaler = _scaler()
+        for active in (2, 5, 3):
+            scaler.observe(active)
+        assert scaler.max_active == 5
+        assert scaler.min_active == 2
+
+    def test_initial_active_is_policy_floor(self):
+        assert _scaler(min_workers=3).initial_active() == 3
+        assert _scaler(fleet=2, max_workers=None, min_workers=1).initial_active() == 1
+        assert Autoscaler(AutoscalePolicy(min_workers=5), 2).initial_active() == 2

@@ -1,0 +1,114 @@
+"""Trace replay: recorded runs become serving arrival streams."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.runtime.trace import TaskTrace, TraceLog
+from repro.serve.replay import arrivals_from_trace, figure5_arrival_stream
+from repro.serve.request import TenantSpec
+
+
+def _trace(n=6):
+    log = TraceLog()
+    for i in range(n):
+        log.record_task(
+            TaskTrace(
+                task_id=i,
+                tag=f"t{i}",
+                kernel="dgemm",
+                worker_id="gpu0#0",
+                architecture="gpu",
+                start=0.1 * i,
+                end=0.1 * i + 0.05,
+                transfer_wait=0.0,
+            )
+        )
+    return log
+
+
+class TestArrivalsFromTrace:
+    def test_round_robin_tenant_assignment(self):
+        arrivals = arrivals_from_trace(_trace(6), tenants=["a", "b", "c"])
+        assert [r.tenant for r in arrivals] == ["a", "b", "c"] * 2
+
+    def test_arrival_times_follow_recording(self):
+        arrivals = arrivals_from_trace(_trace(4), tenants=["a"])
+        assert [r.arrival_s for r in arrivals] == pytest.approx(
+            [0.0, 0.1, 0.2, 0.3]
+        )
+
+    def test_time_scale_compresses_recording(self):
+        arrivals = arrivals_from_trace(
+            _trace(4), tenants=["a"], time_scale=0.5
+        )
+        assert [r.arrival_s for r in arrivals] == pytest.approx(
+            [0.0, 0.05, 0.1, 0.15]
+        )
+
+    def test_deterministic(self):
+        trace = _trace()
+        assert arrivals_from_trace(trace, tenants=["a", "b"]) == (
+            arrivals_from_trace(trace, tenants=["a", "b"])
+        )
+
+    def test_tenant_spec_contributes_deadline_and_priority(self):
+        arrivals = arrivals_from_trace(
+            _trace(4),
+            tenants=[
+                TenantSpec(name="interactive", deadline_s=0.01, priority=1),
+                "batch",
+            ],
+            deadline_s=0.5,
+        )
+        interactive = [r for r in arrivals if r.tenant == "interactive"]
+        batch = [r for r in arrivals if r.tenant == "batch"]
+        assert all(r.deadline_s == 0.01 and r.priority == 1 for r in interactive)
+        assert all(r.deadline_s == 0.5 and r.priority == 0 for r in batch)
+
+    def test_default_dims_use_calibration_shapes(self):
+        arrivals = arrivals_from_trace(
+            _trace(1), tenants=["a"], default_size=64
+        )
+        assert arrivals[0].dims == (64, 64, 64)  # GEMM family: cubic
+        assert arrivals[0].nbytes == 64 * 64 * 8  # one square double tile
+
+    def test_dims_of_override(self):
+        arrivals = arrivals_from_trace(
+            _trace(1), tenants=["a"], dims_of=lambda kernel: (32, 16, 8)
+        )
+        assert arrivals[0].dims == (32, 16, 8)
+        assert arrivals[0].nbytes == 32 * 32 * 8
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ServeError, match="at least one tenant"):
+            arrivals_from_trace(_trace(), tenants=[])
+        with pytest.raises(ServeError, match="time_scale"):
+            arrivals_from_trace(_trace(), tenants=["a"], time_scale=0.0)
+        with pytest.raises(ServeError, match="no task records"):
+            arrivals_from_trace(TraceLog(), tenants=["a"])
+        with pytest.raises(ServeError, match="duplicate"):
+            arrivals_from_trace(_trace(), tenants=["a", "a"])
+
+
+class TestFigure5Stream:
+    def test_stream_shape_and_determinism(self):
+        one = figure5_arrival_stream(n=1024, block_size=256, deadline_s=0.1)
+        two = figure5_arrival_stream(n=1024, block_size=256, deadline_s=0.1)
+        assert one == two
+        # 1024/256 = 4 tiles per side -> 4*4*4 = 64 GEMM block tasks
+        assert len(one) == 64
+        assert {r.tenant for r in one} == {"batch", "interactive"}
+        assert all(r.kernel == "dgemm" for r in one)
+        times = [r.arrival_s for r in one]
+        assert times == sorted(times)
+
+    def test_stream_serves_end_to_end(self):
+        from repro.pdl.catalog import load_platform
+        from repro.serve import ServeEngine
+
+        arrivals = figure5_arrival_stream(
+            n=1024, block_size=256, deadline_s=0.1, time_scale=2.0
+        )
+        report = ServeEngine(load_platform("xeon_x5550_2gpu")).run(arrivals)
+        assert report.totals["completed"] == len(arrivals)
+        assert set(report.tenants) == {"batch", "interactive"}

@@ -1,0 +1,100 @@
+"""Arrival streams: determinism, merging, validation."""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.request import (
+    ServeTask,
+    TaskRequest,
+    TenantSpec,
+    synthetic_arrivals,
+    validate_stream,
+)
+
+
+class TestSyntheticArrivals:
+    def test_deterministic_for_seed(self):
+        tenants = [TenantSpec(name="a", rate_per_s=500.0)]
+        one = synthetic_arrivals(tenants, duration_s=0.5, seed=7)
+        two = synthetic_arrivals(tenants, duration_s=0.5, seed=7)
+        assert one == two
+
+    def test_seed_changes_stream(self):
+        tenants = [TenantSpec(name="a", rate_per_s=500.0)]
+        assert synthetic_arrivals(tenants, duration_s=0.5, seed=0) != (
+            synthetic_arrivals(tenants, duration_s=0.5, seed=1)
+        )
+
+    def test_adding_tenant_never_perturbs_existing(self):
+        a = TenantSpec(name="a", rate_per_s=300.0)
+        b = TenantSpec(name="b", rate_per_s=300.0)
+        solo = synthetic_arrivals([a], duration_s=0.5, seed=3)
+        merged = synthetic_arrivals([a, b], duration_s=0.5, seed=3)
+        assert [r for r in merged if r.tenant == "a"] == solo
+
+    def test_time_ordered(self):
+        stream = synthetic_arrivals(
+            [TenantSpec(name="a", rate_per_s=400.0),
+             TenantSpec(name="b", rate_per_s=400.0)],
+            duration_s=0.5,
+        )
+        times = [r.arrival_s for r in stream]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 0.5 for t in times)
+
+    def test_burst_factor_raises_offered_load(self):
+        calm = synthetic_arrivals(
+            [TenantSpec(name="a", rate_per_s=300.0)], duration_s=1.0
+        )
+        bursty = synthetic_arrivals(
+            [TenantSpec(name="a", rate_per_s=300.0, burst_factor=4.0)],
+            duration_s=1.0,
+        )
+        assert len(bursty) > len(calm)
+
+    def test_rejects_duplicate_tenants(self):
+        with pytest.raises(ServeError, match="duplicate"):
+            synthetic_arrivals(
+                [TenantSpec(name="a"), TenantSpec(name="a")], duration_s=0.1
+            )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ServeError):
+            synthetic_arrivals([], duration_s=1.0)
+        with pytest.raises(ServeError):
+            synthetic_arrivals([TenantSpec(name="a")], duration_s=0.0)
+        with pytest.raises(ServeError):
+            TenantSpec(name="a", rate_per_s=-1.0)
+        with pytest.raises(ServeError):
+            TenantSpec(name="a", burst_factor=0.5)
+
+
+class TestValidateStream:
+    def test_passes_ordered(self):
+        reqs = [
+            TaskRequest(arrival_s=t, tenant="a", kernel="dgemm", dims=(8, 8, 8))
+            for t in (0.0, 0.1, 0.1, 0.2)
+        ]
+        assert list(validate_stream(reqs)) == reqs
+
+    def test_rejects_out_of_order(self):
+        reqs = [
+            TaskRequest(arrival_s=0.2, tenant="a", kernel="dgemm", dims=(8, 8, 8)),
+            TaskRequest(arrival_s=0.1, tenant="a", kernel="dgemm", dims=(8, 8, 8)),
+        ]
+        with pytest.raises(ServeError, match="not time-ordered"):
+            list(validate_stream(reqs))
+
+
+class TestServeTask:
+    def test_binding(self):
+        request = TaskRequest(
+            arrival_s=1.0, tenant="a", kernel="dgemm", dims=(8, 8, 8),
+            nbytes=512.0,
+        )
+        task = ServeTask(7, request, deadline_abs=1.05)
+        assert task.id == 7
+        assert task.tag == "a:dgemm#7"
+        assert task.deadline == 1.05
+        assert task.arrival == 1.0
+        assert task.dims == (8, 8, 8)

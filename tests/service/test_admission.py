@@ -1,0 +1,190 @@
+"""Shared admission control: token buckets, capacity gates, rate limiters.
+
+These primitives back two front ends — the registry server's 429 path
+and the serving loop's per-tenant shedding — so the tests pin down the
+exact numbers both rely on.
+"""
+
+import pytest
+
+from repro.runtime.faults import FaultPolicy
+from repro.service.admission import (
+    ADMIT,
+    AdmissionDecision,
+    CapacityGate,
+    TenantRateLimiter,
+    TokenBucket,
+    default_overload_policy,
+)
+
+
+class TestAdmissionDecision:
+    def test_truthiness(self):
+        assert ADMIT
+        assert AdmissionDecision(True)
+        assert not AdmissionDecision(False, reason="queue-full")
+
+    def test_admit_carries_no_detail(self):
+        assert ADMIT.reason == ""
+        assert ADMIT.retry_after_s == 0.0
+
+
+class TestTokenBucket:
+    def test_initial_burst_admitted(self):
+        bucket = TokenBucket(10.0, 4.0)
+        taken = sum(bucket.try_take(0.0) for _ in range(10))
+        assert taken == 4  # burst allows exactly 4, then dry
+
+    def test_steady_state_matches_rate(self):
+        bucket = TokenBucket(100.0, 1.0)
+        admitted = 0
+        # offer 1000 requests over 1s (1 per ms) against a 100/s budget
+        for i in range(1000):
+            if bucket.try_take(i / 1000.0):
+                admitted += 1
+        assert 95 <= admitted <= 105
+
+    def test_refill_clamps_at_burst(self):
+        bucket = TokenBucket(1000.0, 2.0)
+        assert bucket.try_take(0.0)
+        # a long idle period never banks more than `burst` tokens
+        assert bucket.available(100.0) == 2.0
+
+    def test_time_never_moves_backwards(self):
+        bucket = TokenBucket(10.0, 1.0)
+        assert bucket.try_take(1.0)
+        # a stale timestamp neither refills nor raises
+        assert not bucket.try_take(0.5)
+        assert bucket.available(0.0) < 1.0
+
+    def test_retry_after_is_refill_horizon(self):
+        bucket = TokenBucket(10.0, 1.0)
+        assert bucket.try_take(0.0)
+        # empty at t=0; one token refills in 1/rate seconds
+        assert bucket.retry_after(0.0) == pytest.approx(0.1)
+        assert bucket.retry_after(0.05) == pytest.approx(0.05)
+        assert bucket.retry_after(0.2) == 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0, 1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(10.0, 0.0)
+
+
+class TestCapacityGate:
+    def test_admits_below_bound(self):
+        gate = CapacityGate(4)
+        assert gate.check(0)
+        assert gate.check(3)
+
+    def test_rejects_at_bound(self):
+        decision = CapacityGate(4).check(4)
+        assert not decision
+        assert decision.reason == "queue-full"
+        assert decision.retry_after_s > 0.0
+
+    def test_backoff_grows_with_consecutive_rejections(self):
+        gate = CapacityGate(1)
+        waits = [gate.check(1, consecutive=n).retry_after_s for n in range(4)]
+        assert waits == sorted(waits)
+        assert waits[1] > waits[0]
+
+    def test_backoff_matches_fault_policy_curve(self):
+        # the server's Retry-After and the serving loop's shed hint must
+        # come from the same curve: base * factor**consecutive, capped
+        policy = default_overload_policy()
+        gate = CapacityGate(1, policy=policy)
+        for consecutive in range(6):
+            decision = gate.check(1, consecutive=consecutive)
+            assert decision.retry_after_s == pytest.approx(
+                policy.backoff(consecutive + 1)
+            )
+
+    def test_custom_policy_honored(self):
+        policy = FaultPolicy(
+            max_retries=0, backoff_base_s=1.0, backoff_factor=3.0,
+            backoff_cap_s=5.0, watchdog_s=None,
+        )
+        gate = CapacityGate(1, policy=policy)
+        assert gate.check(1, consecutive=0).retry_after_s == pytest.approx(1.0)
+        assert gate.check(1, consecutive=1).retry_after_s == pytest.approx(3.0)
+        assert gate.check(1, consecutive=5).retry_after_s == pytest.approx(5.0)
+
+    def test_rejects_bad_bound(self):
+        with pytest.raises(ValueError):
+            CapacityGate(0)
+
+
+class TestTenantRateLimiter:
+    def test_unconfigured_default_is_unlimited(self):
+        limiter = TenantRateLimiter()
+        assert all(limiter.admit("anyone", i * 0.001) for i in range(500))
+
+    def test_default_rate_applies_to_unknown_tenants(self):
+        limiter = TenantRateLimiter(default_rate_per_s=10.0, default_burst=2.0)
+        decisions = [limiter.admit("t", 0.0) for _ in range(5)]
+        assert sum(map(bool, decisions)) == 2
+        assert decisions[-1].reason == "rate-limited"
+
+    def test_configure_overrides_default(self):
+        limiter = TenantRateLimiter(default_rate_per_s=1.0, default_burst=1.0)
+        limiter.configure("vip", 1000.0, 100.0)
+        assert sum(bool(limiter.admit("vip", 0.0)) for _ in range(50)) == 50
+        assert sum(bool(limiter.admit("t", 0.0)) for _ in range(50)) == 1
+
+    def test_consecutive_rejections_stretch_retry_hint(self):
+        # fast refill: the backoff curve is the binding term in the hint
+        limiter = TenantRateLimiter(default_rate_per_s=100.0, default_burst=1.0)
+        assert limiter.admit("t", 0.0)
+        hints = [limiter.admit("t", 0.0).retry_after_s for _ in range(5)]
+        assert hints == sorted(hints)
+        assert hints[-1] > hints[0]
+
+    def test_hint_never_below_refill_horizon(self):
+        # slow bucket: the backoff curve's early steps are shorter than
+        # the refill time, so the refill horizon must win
+        limiter = TenantRateLimiter(default_rate_per_s=0.5, default_burst=1.0)
+        assert limiter.admit("t", 0.0)
+        decision = limiter.admit("t", 0.0)
+        assert decision.retry_after_s >= 2.0  # 1 token / 0.5 per s
+
+    def test_admission_resets_consecutive_count(self):
+        limiter = TenantRateLimiter(default_rate_per_s=10.0, default_burst=1.0)
+        assert limiter.admit("t", 0.0)
+        for _ in range(4):
+            assert not limiter.admit("t", 0.0)
+        stretched = limiter.admit("t", 0.0).retry_after_s
+        assert limiter.admit("t", 10.0)  # refilled -> admitted, count reset
+        assert limiter.admit("t", 10.0).retry_after_s < stretched
+
+    def test_tenant_isolation(self):
+        limiter = TenantRateLimiter(default_rate_per_s=10.0, default_burst=1.0)
+        assert limiter.admit("a", 0.0)
+        assert not limiter.admit("a", 0.0)
+        # tenant b has its own untouched bucket
+        assert limiter.admit("b", 0.0)
+
+    def test_tenants_listing(self):
+        limiter = TenantRateLimiter(default_rate_per_s=1.0)
+        limiter.configure("z", 1.0, 1.0)
+        limiter.admit("a", 0.0)
+        assert limiter.tenants() == ["a", "z"]
+
+
+class TestServerParity:
+    def test_server_gate_uses_shared_capacity_gate(self):
+        # the registry server's 429 machinery is this module's gate, not
+        # a parallel implementation
+        from repro.service.server import RegistryServer
+
+        server = RegistryServer(seed_catalog=False)
+        assert isinstance(server._gate, CapacityGate)
+        assert server._gate.max_queue == server.config.max_queue
+
+    def test_default_curve_values(self):
+        # 50ms doubling capped at 2s — documented contract for clients
+        policy = default_overload_policy()
+        assert policy.backoff(1) == pytest.approx(0.05)
+        assert policy.backoff(2) == pytest.approx(0.1)
+        assert policy.backoff(10) == pytest.approx(2.0)

@@ -117,6 +117,17 @@ def _frontier_report():
     )
 
 
+def _serving_report():
+    from repro.pdl import load_platform
+    from repro.serve import ServeEngine, TenantSpec, synthetic_arrivals
+
+    arrivals = synthetic_arrivals(
+        [TenantSpec(name="t0", rate_per_s=200.0, size=64)],
+        duration_s=0.2,
+    )
+    return ServeEngine(load_platform("xeon_x5550_dual")).run(arrivals)
+
+
 REPORT_FACTORIES = {
     "SelectionReport": _selection_report,
     "LintReport": _lint_report,
@@ -129,6 +140,7 @@ REPORT_FACTORIES = {
     "Session": _session,
     "SynthesisResult": _synthesis_result,
     "FrontierReport": _frontier_report,
+    "ServingReport": _serving_report,
 }
 
 

@@ -1,0 +1,208 @@
+"""TuningDatabase under concurrent writers: no sample may be lost.
+
+Online serving runs ``harvest_run`` → ``merge_save`` from several
+threads against one store path; these tests hammer exactly that pattern.
+"""
+
+import threading
+
+import pytest
+
+from repro.tune.database import TimingSample, TransferSample, TuningDatabase
+
+DIGEST = "d" * 64
+
+
+def _sample(i, *, source="hammer"):
+    return TimingSample(
+        kernel="dgemm",
+        pu="gpu0",
+        architecture="gpu",
+        dims=(64, 64, 64),
+        flops=float(i + 1),
+        bytes_touched=1.0,
+        seconds=0.001 * (i + 1),
+        source=source,
+    )
+
+
+class TestConcurrentRecord:
+    def test_threaded_record_hammer(self):
+        db = TuningDatabase()
+        n_threads, per_thread = 8, 250
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(tid):
+            barrier.wait()
+            for i in range(per_thread):
+                db.record(DIGEST, _sample(tid * per_thread + i))
+                if i % 50 == 0:
+                    db.record_transfer(
+                        DIGEST,
+                        TransferSample(src="main", dst="gpu0_mem",
+                                       nbytes=1024.0, seconds=0.001),
+                    )
+
+        threads = [
+            threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert db.sample_count(DIGEST) == n_threads * per_thread
+        assert len(db.transfers(DIGEST)) == n_threads * 5
+        # every distinct sample made it in — nothing overwritten
+        assert len({s.flops for s in db.samples(DIGEST)}) == n_threads * per_thread
+
+    def test_reads_stay_consistent_during_writes(self):
+        db = TuningDatabase()
+        stop = threading.Event()
+        errors = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                db.record(DIGEST, _sample(i))
+                i += 1
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    samples = db.samples(DIGEST, kernel="dgemm")
+                    # a snapshot is internally consistent: monotone count
+                    assert len(samples) <= db.sample_count(DIGEST)
+                    db.fingerprint()
+            except Exception as exc:  # pragma: no cover - only on failure
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        timer = threading.Timer(0.5, stop.set)
+        timer.start()
+        for t in threads:
+            t.join()
+        timer.cancel()
+        assert not errors
+
+
+class TestConcurrentMergeSave:
+    def test_merge_save_loses_no_writer(self, tmp_path):
+        # N databases, each with distinct samples, merge-saving into one
+        # path concurrently: the final document holds every sample
+        path = str(tmp_path / "tuning.json")
+        n_writers, per_writer = 6, 40
+        barrier = threading.Barrier(n_writers)
+
+        def write(tid):
+            local = TuningDatabase()
+            for i in range(per_writer):
+                local.record(
+                    DIGEST,
+                    _sample(tid * per_writer + i, source=f"writer-{tid}"),
+                    platform_name="hammered",
+                )
+            barrier.wait()
+            local.merge_save(path)
+
+        threads = [
+            threading.Thread(target=write, args=(t,)) for t in range(n_writers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        merged = TuningDatabase.load(path)
+        assert merged.sample_count(DIGEST) == n_writers * per_writer
+        assert len({s.flops for s in merged.samples(DIGEST)}) == (
+            n_writers * per_writer
+        )
+        # provenance survives the merge
+        sources = {s.source for s in merged.samples(DIGEST)}
+        assert sources == {f"writer-{t}" for t in range(n_writers)}
+        assert merged.platforms() == {DIGEST: "hammered"}
+
+    def test_repeated_merge_save_appends(self, tmp_path):
+        path = str(tmp_path / "tuning.json")
+        for round_no in range(3):
+            window = TuningDatabase()
+            window.record(DIGEST, _sample(round_no))
+            window.merge_save(path)
+        assert TuningDatabase.load(path).sample_count(DIGEST) == 3
+
+    def test_merge_save_does_not_mutate_writer(self, tmp_path):
+        path = str(tmp_path / "tuning.json")
+        seed = TuningDatabase()
+        seed.record(DIGEST, _sample(0))
+        seed.save(path)
+
+        window = TuningDatabase()
+        window.record(DIGEST, _sample(1))
+        window.merge_save(path)
+        # the in-memory window still holds only its own sample
+        assert window.sample_count(DIGEST) == 1
+        assert TuningDatabase.load(path).sample_count(DIGEST) == 2
+
+    def test_plain_save_and_merge_save_serialize(self, tmp_path):
+        # a plain save racing a merge save must not interleave with the
+        # tmp-file replace; the surviving document is always parseable
+        path = str(tmp_path / "tuning.json")
+        barrier = threading.Barrier(4)
+
+        def plain(tid):
+            local = TuningDatabase()
+            local.record(DIGEST, _sample(100 + tid))
+            barrier.wait()
+            local.save(path)
+
+        def merging(tid):
+            local = TuningDatabase()
+            local.record(DIGEST, _sample(200 + tid))
+            barrier.wait()
+            local.merge_save(path)
+
+        threads = [threading.Thread(target=plain, args=(t,)) for t in range(2)]
+        threads += [threading.Thread(target=merging, args=(t,)) for t in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        loaded = TuningDatabase.load(path)  # must not raise
+        assert 1 <= loaded.sample_count(DIGEST) <= 4
+
+
+class TestServeHarvestIntegration:
+    def test_online_serving_samples_merge_with_offline_store(self, tmp_path):
+        # an offline store already exists; a serving run harvests online
+        # and merge-saves into it — both provenances coexist
+        from repro.pdl.catalog import load_platform
+        from repro.serve import ServeConfig, ServeEngine, TenantSpec, synthetic_arrivals
+
+        platform = load_platform("xeon_x5550_2gpu")
+        engine = ServeEngine(
+            platform,
+            config=ServeConfig(online_tuning=True, harvest_interval_s=0.1),
+        )
+        path = str(tmp_path / "tuning.json")
+        offline = TuningDatabase()
+        offline.record(
+            engine.digest, _sample(0, source="microbench"),
+            platform_name=platform.name,
+        )
+        offline.save(path)
+
+        arrivals = synthetic_arrivals(
+            [TenantSpec(name="t0", rate_per_s=200.0, size=64)],
+            duration_s=0.3,
+        )
+        report = engine.run(arrivals)
+        assert report.tuning["samples"] > 0
+        engine.tuning_database.merge_save(path)
+
+        merged = TuningDatabase.load(path)
+        sources = {s.source for s in merged.samples(engine.digest)}
+        assert sources == {"microbench", "serve"}
+        assert merged.sample_count(engine.digest) == 1 + report.tuning["samples"]
