@@ -1,0 +1,129 @@
+"""INTERFERENCE — contended vs uncontended makespans and IFR lint cost.
+
+Two questions with one benchmark module: what does honoring the declared
+contention domains (``model_interference=True``) do to the Figure-5
+GPU-box makespan, and how fast does the IFR rule pack lint the
+XTRA-SCALE mesh family?  Results land in ``BENCH_interference.json``
+(override via the ``BENCH_INTERFERENCE_JSON`` environment variable).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis import Linter
+from repro.experiments.reporting import format_table
+from repro.experiments.scenarios import synthetic_mesh_platform
+from repro.experiments.workloads import submit_tiled_dgemm
+from repro.pdl.catalog import load_platform
+from repro.runtime.engine import RuntimeEngine
+from benchmarks.conftest import print_report
+
+MESHES = ((4, 4), (8, 8), (16, 16))
+N, BLOCK = 4096, 512
+
+
+def run_gpu_box(model_interference):
+    engine = RuntimeEngine(
+        load_platform("xeon_x5550_2gpu"),
+        scheduler="dmda",
+        model_interference=model_interference,
+    )
+    submit_tiled_dgemm(engine, N, BLOCK)
+    return engine.run()
+
+
+def test_bench_interference_makespan(benchmark):
+    """Contended vs uncontended Figure-5 GPU-box DGEMM makespan."""
+    clean = run_gpu_box(False)
+    contended = benchmark.pedantic(
+        run_gpu_box, args=(True,), iterations=1, rounds=3
+    )
+    delta = contended.makespan / clean.makespan
+    rows = [
+        ("uncontended", f"{clean.makespan:.4f}", "1.000"),
+        ("contended", f"{contended.makespan:.4f}", f"{delta:.3f}"),
+    ]
+    print_report(
+        "INTERFERENCE — DGEMM %dx%d on xeon_x5550_2gpu" % (N, N),
+        format_table(["model", "makespan [s]", "vs clean"], rows),
+    )
+
+    lint_rows = []
+    lint_results = {}
+    linter = Linter()
+    for mesh_rows, mesh_cols in MESHES:
+        platform = synthetic_mesh_platform(
+            mesh_rows, mesh_cols, distributed_memory=True
+        )
+        n_pus = mesh_rows * mesh_cols + 1
+        t0 = time.perf_counter()
+        report = linter.lint_interference(platform)
+        elapsed = time.perf_counter() - t0
+        assert report.ok, report.summary()
+        lint_rows.append(
+            (
+                f"{mesh_rows}x{mesh_cols}",
+                n_pus,
+                f"{elapsed * 1e3:.2f}",
+                f"{n_pus / elapsed:.0f}",
+            )
+        )
+        lint_results[f"{mesh_rows}x{mesh_cols}"] = {
+            "pus": n_pus,
+            "lint_seconds": elapsed,
+            "pus_per_second": n_pus / elapsed,
+            "findings": len(report.diagnostics),
+        }
+    print_report(
+        "INTERFERENCE — IFR rule-pack cost vs mesh size",
+        format_table(["mesh", "PUs", "lint [ms]", "PUs/s"], lint_rows),
+    )
+
+    out = os.environ.get("BENCH_INTERFERENCE_JSON", "BENCH_interference.json")
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "tool": "repro-lint-interference",
+                "workload": {"n": N, "block_size": BLOCK, "scheduler": "dmda"},
+                "makespan": {
+                    "uncontended_s": clean.makespan,
+                    "contended_s": contended.makespan,
+                    "ratio": delta,
+                },
+                "meshes": lint_results,
+            },
+            handle,
+            indent=2,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    # the fluid model reshapes the timeline but must stay in the same
+    # regime: aggregate ddr throughput is unchanged (budget == link
+    # rate), so removing head-of-line blocking can shave a hair off,
+    # while a 2x blowup would mean the domains throttle undomained
+    # traffic
+    assert 0.9 <= delta < 2.0
+    assert contended.makespan != clean.makespan  # the model did engage
+
+
+def test_bench_interference_lint_16x16(benchmark):
+    """Steady-state IFR pack cost on the largest mesh."""
+    linter = Linter()
+    platform = synthetic_mesh_platform(16, 16, distributed_memory=True)
+    report = benchmark(linter.lint_interference, platform)
+    assert report.ok
+
+
+def test_bench_interference_report_figure5(benchmark):
+    """Whole-platform interference report on the Figure-5 GPU box."""
+    from repro.analysis.interference import analyze_interference
+
+    platform = load_platform("xeon_x5550_2gpu")
+    report = benchmark.pedantic(
+        analyze_interference, args=(platform,), iterations=1, rounds=3
+    )
+    assert report.ok
+    assert report.max_slowdown() == pytest.approx(2.0, rel=1e-3)

@@ -15,6 +15,10 @@ checks those invariants statically, before selection/codegen/runtime:
   including static race detection over task access modes;
 * :mod:`repro.analysis.cross_rules` — ``XAR0xx``: program × descriptor
   consistency (variant satisfiability, toolchains, transfer routes);
+* :mod:`repro.analysis.interference_rules` — ``IFR0xx``: contention-domain
+  hazards (undeclared shared channels, budget conflicts, dangling members);
+* :mod:`repro.analysis.interference` — the whole-platform
+  :class:`InterferenceReport` (domains, utilization, slowdown matrix);
 * :mod:`repro.analysis.render` — text/JSON/SARIF output;
 * :mod:`repro.analysis.engine` — the :class:`Linter` façade;
 * :mod:`repro.analysis.cli` — the ``repro-lint`` command.
@@ -28,9 +32,12 @@ from repro.analysis.diagnostics import (
     SourceLocation,
 )
 from repro.analysis.engine import Linter, lint_platform, lint_program
+from repro.analysis.interference import InterferenceReport, analyze_interference
 from repro.analysis.rules import LintConfig, Rule, RuleRegistry, default_registry
 
 __all__ = [
+    "InterferenceReport",
+    "analyze_interference",
     "Diagnostic",
     "Finding",
     "LintReport",

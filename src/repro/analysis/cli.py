@@ -184,6 +184,12 @@ def _list_rules(registry) -> str:
 
 
 def main(argv: Optional[list] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "interference":
+        # `repro lint interference ...` — the whole-platform report
+        from repro.analysis.interference import interference_main
+
+        return interference_main(argv[1:])
     parser = build_arg_parser()
     args = parser.parse_args(argv)
 

@@ -1,6 +1,8 @@
 """The :class:`Linter` façade: run rule packs over artifacts.
 
-Three entry points — one per pack — plus path dispatch for the CLI.
+One entry point per artifact kind — descriptors get the PDL pack plus
+the interference pack, programs the Cascabel pack, program × platform
+pairs the cross pack — plus path dispatch for the CLI.
 Every entry point returns a :class:`~repro.analysis.diagnostics.LintReport`
 with diagnostics in canonical (location, rule) order, so repeated runs
 over the same input render byte-identically in every output format.
@@ -49,11 +51,27 @@ class Linter:
     def lint_platform(
         self, platform: Platform, *, filename: Optional[str] = None
     ) -> LintReport:
-        """PDL pack over one parsed platform."""
+        """PDL + interference packs over one parsed platform.
+
+        Both packs read the same context, so every descriptor entry
+        point (CLI, registry publish, explore scoring) gets the
+        interference hazards alongside the descriptor-local rules."""
         artifact = filename or platform.name
         report = LintReport(artifact=artifact, kind="pdl")
         ctx = PdlContext(platform=platform, filename=filename)
-        return self._run_pack("pdl", ctx, report)
+        self._run_pack("pdl", ctx, report)
+        return self._run_pack("interference", ctx, report)
+
+    def lint_interference(
+        self, platform: Platform, *, filename: Optional[str] = None
+    ) -> LintReport:
+        """Interference pack alone (the translate hook and the
+        interference report want the hazards without re-litigating the
+        descriptor-local rules)."""
+        artifact = filename or platform.name
+        report = LintReport(artifact=artifact, kind="interference")
+        ctx = PdlContext(platform=platform, filename=filename)
+        return self._run_pack("interference", ctx, report)
 
     def lint_program(
         self,

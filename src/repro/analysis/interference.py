@@ -1,0 +1,337 @@
+"""Whole-platform interference report.
+
+Ties the three interference layers together into one canonical report:
+the *declared* contention domains (:mod:`repro.model.contention`), the
+*predicted* co-location behavior (the fluid-sharing transfer model of
+:mod:`repro.perf.transfer` with ``model_interference=True``), and the
+*lint* verdict (the ``IFR`` pack).  The report answers the question the
+PML interference-analysis follow-up poses: given this platform
+description, which co-located transfers slow each other down, and by how
+much?
+
+The pairwise slowdown matrix is computed from first principles: for each
+ordered pair of Worker entities ``(victim, aggressor)``, the aggressor's
+operand fetch from the host anchor is scheduled at ``t=0`` and the
+victim's identical fetch is scheduled concurrently; the entry is the
+victim's duration divided by its uncontended duration.  On the Figure-5
+GPU platform this reproduces the asymmetry the declarations encode: CPU
+fetches crossing the ``ddr`` domain slow 2x under co-location while
+PCIe-bound GPU fetches stay link-limited at 1.0x.
+
+Reports follow the repo-wide convention: a deterministic
+:meth:`~InterferenceReport.to_payload` and a sha256
+:meth:`~InterferenceReport.fingerprint` over it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.analysis.diagnostics import LintReport
+from repro.errors import PathError, ReproError
+from repro.model.contention import ContentionDomain, collect_contention_domains
+from repro.model.platform import Platform
+from repro.obs import spans as _obs
+
+__all__ = [
+    "DEFAULT_PROBE_BYTES",
+    "InterferenceReport",
+    "analyze_interference",
+    "render_interference_text",
+    "interference_main",
+]
+
+#: probe operand size for the slowdown matrix: 64 MiB, the scale of a
+#: Figure-5 DGEMM tile set where transfer time dominates link latency
+DEFAULT_PROBE_BYTES = 64 * 1024 * 1024
+
+
+@dataclass
+class InterferenceReport:
+    """Contention domains, utilization, and co-location slowdowns."""
+
+    platform_name: str
+    digest: str
+    nbytes: float
+    domains: list[ContentionDomain] = field(default_factory=list)
+    #: worker entity ids with a route from the host anchor, sorted
+    actors: list[str] = field(default_factory=list)
+    #: actor id → uncontended probe-transfer duration (seconds)
+    solo_s: dict[str, float] = field(default_factory=dict)
+    #: ``matrix[i][j]``: actor ``i``'s slowdown with actor ``j`` active
+    matrix: list[list[float]] = field(default_factory=list)
+    lint: Optional[LintReport] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the IFR pack found nothing at warning or above."""
+        return self.lint is None or self.lint.ok
+
+    def max_slowdown(self) -> float:
+        """Worst off-diagonal entry (1.0 when nothing interferes)."""
+        worst = 1.0
+        for i, row in enumerate(self.matrix):
+            for j, value in enumerate(row):
+                if i != j and value > worst:
+                    worst = value
+        return worst
+
+    def utilization(self) -> list[dict]:
+        """Per-domain budget vs. member-link demand.
+
+        ``demand_gbs`` sums the member links' own BANDWIDTH figures —
+        the load the channel sees when every member link is busy at
+        once.  ``utilization`` caps the ratio at 1.0 (the channel
+        cannot exceed itself); ``subscription_ratio`` in the domain
+        payload keeps the uncapped figure for oversubscription checks.
+        """
+        rows = []
+        for dom in self.domains:
+            budget = dom.budget_bps
+            links = dom.link_members()
+            demand = dom.link_subscription_bps()
+            rows.append(
+                {
+                    "name": dom.name,
+                    "budget_gbs": (
+                        None if budget is None else round(budget / 1e9, 6)
+                    ),
+                    "demand_gbs": round(demand / 1e9, 6),
+                    "utilization": (
+                        None
+                        if budget is None or not budget
+                        else round(min(1.0, demand / budget), 6)
+                    ),
+                    "fair_share_gbs": (
+                        None
+                        if budget is None or not links
+                        else round(budget / len(links) / 1e9, 6)
+                    ),
+                }
+            )
+        return rows
+
+    def to_payload(self) -> dict:
+        payload: dict = {
+            "platform": self.platform_name,
+            "digest": self.digest,
+            "probe_mb": round(self.nbytes / 1e6, 6),
+            "domains": [dom.to_payload() for dom in self.domains],
+            "utilization": self.utilization(),
+            "actors": list(self.actors),
+            "solo_s": {
+                actor: round(self.solo_s[actor], 9) for actor in self.actors
+            },
+            "slowdown_matrix": [
+                [round(value, 6) for value in row] for row in self.matrix
+            ],
+            "max_slowdown": round(self.max_slowdown(), 6),
+        }
+        if self.lint is not None:
+            payload["lint"] = self.lint.to_payload()
+        return payload
+
+    def fingerprint(self) -> str:
+        from repro.obs.digest import fingerprint_payload
+
+        return fingerprint_payload(self.to_payload())
+
+
+def analyze_interference(
+    platform: Platform,
+    *,
+    nbytes: float = DEFAULT_PROBE_BYTES,
+    filename: Optional[str] = None,
+) -> InterferenceReport:
+    """Build the :class:`InterferenceReport` for one platform.
+
+    Runs the IFR lint pack, collects the declared contention domains,
+    and computes the pairwise co-location slowdown matrix with the
+    interference-aware transfer model.  Platforms without Masters (or
+    without routable Workers) get an empty matrix but still carry the
+    lint verdict and domain inventory.
+    """
+    from repro.analysis.engine import Linter
+    from repro.pdl.catalog import content_digest
+    from repro.pdl.writer import write_pdl
+    from repro.perf.transfer import TransferModel
+
+    with _obs.span("analysis.interference", platform=platform.name):
+        lint = Linter().lint_interference(platform, filename=filename)
+        domains = collect_contention_domains(platform)
+        digest = content_digest(write_pdl(platform))
+        report = InterferenceReport(
+            platform_name=platform.name,
+            digest=digest,
+            nbytes=float(nbytes),
+            domains=domains,
+            lint=lint,
+        )
+        if not platform.masters:
+            return report
+        anchor = platform.masters[0].id
+        model = TransferModel(platform, model_interference=True)
+
+        actors = []
+        for pu in platform.walk():
+            if pu.kind != "Worker" or pu.id == anchor:
+                continue
+            try:
+                model.route(anchor, pu.id)
+            except PathError:
+                continue
+            actors.append(pu.id)
+        actors.sort()
+        report.actors = actors
+
+        for actor in actors:
+            model.reset()
+            est = model.schedule(anchor, actor, nbytes, 0.0)
+            report.solo_s[actor] = est.duration
+
+        for victim in actors:
+            row = []
+            for aggressor in actors:
+                if victim == aggressor:
+                    row.append(1.0)
+                    continue
+                model.reset()
+                model.schedule(anchor, aggressor, nbytes, 0.0)
+                est = model.schedule(anchor, victim, nbytes, 0.0)
+                solo = report.solo_s[victim]
+                row.append(est.duration / solo if solo else 1.0)
+            report.matrix.append(row)
+        return report
+
+
+# ---------------------------------------------------------------------------
+# rendering + CLI (`repro lint interference ...`)
+# ---------------------------------------------------------------------------
+def render_interference_text(report: InterferenceReport) -> str:
+    """Human-readable summary: domains, utilization, slowdown matrix."""
+    lines = [f"== {report.platform_name} (interference)"]
+    if not report.domains:
+        lines.append("  no contention domains declared")
+    for row in report.utilization():
+        budget = "?" if row["budget_gbs"] is None else f"{row['budget_gbs']:g}"
+        util = (
+            "?"
+            if row["utilization"] is None
+            else f"{row['utilization'] * 100:.0f}%"
+        )
+        lines.append(
+            f"  domain {row['name']}: budget {budget} GB/s,"
+            f" link demand {row['demand_gbs']:g} GB/s ({util} utilized)"
+        )
+    if report.actors:
+        width = max(len(actor) for actor in report.actors)
+        header = " ".join(f"{actor:>{width}}" for actor in report.actors)
+        lines.append(f"  slowdown (victim row x aggressor column), probe"
+                     f" {report.nbytes / 1e6:g} MB:")
+        lines.append(f"  {'':>{width}}  {header}")
+        for actor, row in zip(report.actors, report.matrix):
+            cells = " ".join(f"{value:>{width}.2f}" for value in row)
+            lines.append(f"  {actor:>{width}}  {cells}")
+        lines.append(f"  max slowdown: {report.max_slowdown():.2f}x")
+    if report.lint is not None:
+        if report.lint.diagnostics:
+            for diag in report.lint.diagnostics:
+                lines.append(
+                    f"  {diag.rule} {diag.severity.value}: {diag.message}"
+                )
+        else:
+            lines.append("  lint: clean")
+    return "\n".join(lines) + "\n"
+
+
+def _load_platform_ref(ref: str) -> Platform:
+    import os
+
+    from repro.pdl.catalog import load_platform
+    from repro.pdl.parser import parse_pdl_file
+
+    if os.path.exists(ref):
+        return parse_pdl_file(ref, validate=False)
+    return load_platform(ref, validate=False)
+
+
+def interference_main(argv: Optional[list] = None) -> int:
+    """``repro lint interference`` — whole-platform interference report."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint interference",
+        description=(
+            "contention-domain inventory, per-domain utilization, and the"
+            " pairwise co-location slowdown matrix for PDL platforms"
+        ),
+    )
+    parser.add_argument(
+        "platforms",
+        nargs="*",
+        help="descriptor files or shipped catalog names",
+    )
+    parser.add_argument(
+        "--catalog",
+        action="store_true",
+        help="also report every shipped catalog descriptor",
+    )
+    parser.add_argument(
+        "--nbytes",
+        type=float,
+        default=DEFAULT_PROBE_BYTES,
+        help="probe transfer size in bytes (default: 64 MiB)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    args = parser.parse_args(argv)
+
+    refs = list(args.platforms)
+    if args.catalog:
+        from repro.pdl.catalog import available_platforms
+
+        refs.extend(available_platforms())
+    if not refs:
+        parser.print_usage(sys.stderr)
+        print(
+            "repro lint interference: nothing to analyze (pass platform"
+            " refs or --catalog)",
+            file=sys.stderr,
+        )
+        return 2
+
+    reports = []
+    for ref in refs:
+        try:
+            platform = _load_platform_ref(ref)
+        except (OSError, ReproError) as exc:
+            print(f"repro lint interference: {ref}: {exc}", file=sys.stderr)
+            return 2
+        reports.append(
+            analyze_interference(platform, nbytes=args.nbytes, filename=ref)
+        )
+
+    if args.format == "json":
+        document = {
+            "tool": "repro-lint-interference",
+            "ok": all(r.ok for r in reports),
+            "reports": [r.to_payload() for r in reports],
+        }
+        sys.stdout.write(
+            json.dumps(document, indent=2, sort_keys=True) + "\n"
+        )
+    else:
+        for report in reports:
+            sys.stdout.write(render_interference_text(report))
+
+    return 0 if all(r.ok for r in reports) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(interference_main())

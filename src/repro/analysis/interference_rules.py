@@ -1,0 +1,419 @@
+"""Interference-hazard lint rules (``IFR0xx``).
+
+The fourth rule pack.  It runs over one parsed platform (the same
+:class:`~repro.analysis.pdl_rules.PdlContext` the PDL pack uses) and
+checks the contention-domain declarations of
+:mod:`repro.model.contention`: every shared channel the runtime would
+contend on must be *explicit*, budgets must exist and be consistent,
+and group membership must resolve.  The pack is what makes
+co-location analysis trustworthy — a descriptor that lints clean here
+gives the interference-aware transfer model everything it needs.
+
+Severity philosophy: a missing or self-contradictory declaration is an
+ERROR (strict publish and strict translate reject it); a declaration
+that is merely *suspicious* (cross-domain route with no declared
+crossing link, one-sided membership of a directed pair) warns; an
+over-subscribed channel — more member link bandwidth than budget — is
+a NOTE, because that is precisely the (legal, common) configuration
+where co-located transfers slow each other and the interference report
+becomes interesting.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.analysis.diagnostics import Finding, Severity
+from repro.analysis.pdl_rules import PdlContext
+from repro.errors import PathError
+from repro.model.contention import (
+    CONTENTION_DOMAIN,
+    CONTENTION_MEMBERS,
+    ContentionDomain,
+    collect_contention_domains,
+)
+from repro.model.entities import ProcessingUnit
+
+__all__ = ["RULES"]
+
+
+def _domains(ctx: PdlContext) -> list[ContentionDomain]:
+    return collect_contention_domains(ctx.platform)
+
+
+def _fmt_gbs(bps: float) -> str:
+    return f"{bps / 1e9:g} GB/s"
+
+
+# ---------------------------------------------------------------------------
+# IFR001 — undeclared shared channel
+# ---------------------------------------------------------------------------
+def _anchor(pu: ProcessingUnit) -> Optional[ProcessingUnit]:
+    """The controller memory a PU stages operands from: its nearest
+    ancestor owning a region (PDL010's anchor rule).  A PU with local
+    memory of its own is *still* a client of the controller region —
+    operands travel controller → local before compute."""
+    for ancestor in pu.ancestors():
+        if ancestor.memory_regions:
+            return ancestor
+    return None
+
+
+def check_undeclared_shared_channel(ctx: PdlContext) -> Iterable[Finding]:
+    """A memory region that ≥2 routable clients stage data from, with no
+    CONTENTION_DOMAIN declaring the shared channel.
+
+    Clients of a region are the expanded (quantity-counted) non-Master
+    PUs anchored at its owner that also have an interconnect route to
+    the owner — exactly the population whose transfers the runtime
+    would serialize through that memory.  Documents without
+    interconnects imply connectivity through the control hierarchy and
+    are skipped, mirroring PDL010.
+    """
+    platform = ctx.platform
+    if not platform.interconnects() or not platform.memory_regions():
+        return
+    from repro.query.paths import InterconnectGraph
+
+    graph = InterconnectGraph(platform)
+
+    def routable(a: str, b: str) -> bool:
+        for src, dst in ((a, b), (b, a)):
+            try:
+                graph.shortest(src, dst)
+                return True
+            except PathError:
+                continue
+        return False
+
+    clients_of: dict[str, list[str]] = {}
+    counts: dict[str, int] = {}
+    for pu in platform.walk():
+        if pu.kind == "Master":
+            continue
+        home = _anchor(pu)
+        if home is None:
+            continue
+        if not routable(pu.id, home.id):
+            continue
+        clients_of.setdefault(home.id, []).append(pu.id)
+        counts[home.id] = counts.get(home.id, 0) + max(1, pu.quantity)
+
+    for pu in platform.walk():
+        if counts.get(pu.id, 0) < 2:
+            continue
+        for region in pu.memory_regions:
+            if region.descriptor.get(CONTENTION_DOMAIN) is not None:
+                continue
+            clients = sorted(set(clients_of[pu.id]))
+            yield Finding(
+                message=(
+                    f"memory region {region.id!r} on {pu.kind} {pu.id!r} is"
+                    f" a shared channel ({counts[pu.id]} client PUs:"
+                    f" {', '.join(clients)}) but declares no"
+                    f" CONTENTION_DOMAIN — co-located transfers through it"
+                    f" cannot be bounded"
+                ),
+                location=ctx.location,
+                subject=region.id,
+                hint=(
+                    "add CONTENTION_DOMAIN and CONTENTION_BANDWIDTH to the"
+                    " MRDescriptor naming the shared channel and its"
+                    " aggregate budget"
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# IFR002 / IFR003 — budget presence and consistency
+# ---------------------------------------------------------------------------
+def check_missing_budget(ctx: PdlContext) -> Iterable[Finding]:
+    """A domain none of whose members declares CONTENTION_BANDWIDTH."""
+    for dom in _domains(ctx):
+        if dom.budgets_bps():
+            continue
+        member_ids = [m.id for m in dom.members]
+        yield Finding(
+            message=(
+                f"contention domain {dom.name!r} (members:"
+                f" {', '.join(member_ids) or '(none)'}) declares no"
+                f" CONTENTION_BANDWIDTH — the channel has no budget to"
+                f" share"
+            ),
+            location=ctx.location,
+            subject=dom.name,
+            hint=(
+                "declare CONTENTION_BANDWIDTH (a bandwidth quantity) on at"
+                " least one member of the domain"
+            ),
+        )
+
+
+def check_budget_conflict(ctx: PdlContext) -> Iterable[Finding]:
+    """Members of one domain disagreeing on the channel budget."""
+    for dom in _domains(ctx):
+        budgets = dom.budgets_bps()
+        if len(budgets) < 2:
+            continue
+        claims = "; ".join(
+            f"{m.id}: {_fmt_gbs(m.declared_budget_bps)}"
+            for m in dom.members
+            if m.declared_budget_bps is not None
+        )
+        yield Finding(
+            message=(
+                f"contention domain {dom.name!r} has conflicting"
+                f" CONTENTION_BANDWIDTH declarations — {claims}"
+            ),
+            location=ctx.location,
+            subject=dom.name,
+            hint="a channel has one aggregate budget; make the figures agree",
+        )
+
+
+# ---------------------------------------------------------------------------
+# IFR004 / IFR008 — budget vs member bandwidth
+# ---------------------------------------------------------------------------
+def check_over_subscribed(ctx: PdlContext) -> Iterable[Finding]:
+    """Member link bandwidth summing past the channel budget.
+
+    This is the configuration where interference actually bites (all
+    members active ⇒ each gets less than its own link rate), so it is a
+    NOTE: worth surfacing in the interference report, not a defect.
+    """
+    for dom in _domains(ctx):
+        budget = dom.budget_bps
+        if budget is None:
+            continue
+        subscription = dom.link_subscription_bps()
+        if subscription <= budget:
+            continue
+        links = ", ".join(
+            f"{m.id} ({_fmt_gbs(m.bandwidth_bps)})"
+            for m in dom.link_members()
+            if m.bandwidth_bps is not None
+        )
+        yield Finding(
+            message=(
+                f"contention domain {dom.name!r} is over-subscribed:"
+                f" member links {links} sum to {_fmt_gbs(subscription)}"
+                f" against a {_fmt_gbs(budget)} budget — concurrent"
+                f" transfers will share the channel"
+            ),
+            location=ctx.location,
+            subject=dom.name,
+            hint=(
+                "expected for genuinely shared channels; run the"
+                " interference report to quantify the co-location slowdown"
+            ),
+        )
+
+
+def check_member_exceeds_budget(ctx: PdlContext) -> Iterable[Finding]:
+    """A single member link faster than the whole channel budget."""
+    for dom in _domains(ctx):
+        budget = dom.budget_bps
+        if budget is None:
+            continue
+        for member in dom.link_members():
+            if member.bandwidth_bps is None:
+                continue
+            if member.bandwidth_bps <= budget:
+                continue
+            yield Finding(
+                message=(
+                    f"interconnect {member.id!r} declares"
+                    f" {_fmt_gbs(member.bandwidth_bps)} but its contention"
+                    f" domain {dom.name!r} budgets only {_fmt_gbs(budget)}"
+                    f" — the link can never reach its own figure"
+                ),
+                location=ctx.location,
+                subject=member.id,
+                hint=(
+                    "raise the domain's CONTENTION_BANDWIDTH or lower the"
+                    " link's BANDWIDTH; one of the two figures is wrong"
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# IFR005 — dangling members
+# ---------------------------------------------------------------------------
+def check_dangling_members(ctx: PdlContext) -> Iterable[Finding]:
+    """CONTENTION_MEMBERS ids that name no component in the document."""
+    for dom in _domains(ctx):
+        for declaring_id, missing in dom.dangling:
+            yield Finding(
+                message=(
+                    f"contention domain {dom.name!r}: {CONTENTION_MEMBERS}"
+                    f" on {declaring_id!r} names {missing!r}, which is"
+                    f" neither an interconnect nor a memory region"
+                ),
+                location=ctx.location,
+                subject=declaring_id,
+                hint="remove the entry or fix the id it references",
+            )
+
+
+# ---------------------------------------------------------------------------
+# IFR006 — undeclared cross-domain routes
+# ---------------------------------------------------------------------------
+def check_cross_domain_routes(ctx: PdlContext) -> Iterable[Finding]:
+    """Two regions in different domains connected only by links no
+    domain claims: traffic between the channels is unaccounted for."""
+    platform = ctx.platform
+    if not platform.interconnects():
+        return
+    domains = _domains(ctx)
+    if len(domains) < 2:
+        return
+    region_domain: dict[str, tuple[str, str]] = {}  # region id → (domain, owner)
+    link_domains: set[str] = set()
+    for dom in domains:
+        for member in dom.members:
+            if member.kind == "memory":
+                region_domain.setdefault(member.id, (dom.name, member.owner))
+            else:
+                link_domains.add(member.id)
+    if len({name for name, _ in region_domain.values()}) < 2:
+        return
+    from repro.query.paths import InterconnectGraph
+
+    graph = InterconnectGraph(platform)
+    entries = sorted(region_domain.items())
+    for i, (region_a, (dom_a, owner_a)) in enumerate(entries):
+        for region_b, (dom_b, owner_b) in entries[i + 1:]:
+            if dom_a == dom_b or owner_a == owner_b:
+                continue
+            try:
+                route = graph.shortest(owner_a, owner_b)
+            except PathError:
+                continue
+            if any(link.id in link_domains for link in route.links):
+                continue
+            hops = " -> ".join(link.id for link in route.links)
+            yield Finding(
+                message=(
+                    f"route between {region_a!r} (domain {dom_a!r}) and"
+                    f" {region_b!r} (domain {dom_b!r}) crosses only"
+                    f" undeclared links ({hops}) — inter-domain traffic"
+                    f" bypasses every declared channel"
+                ),
+                location=ctx.location,
+                subject=region_a,
+                hint=(
+                    "enroll the crossing link(s) in one of the domains"
+                    " (CONTENTION_DOMAIN on the link or CONTENTION_MEMBERS"
+                    " on the region)"
+                ),
+            )
+
+
+# ---------------------------------------------------------------------------
+# IFR007 — asymmetric domain membership
+# ---------------------------------------------------------------------------
+def check_asymmetric_membership(ctx: PdlContext) -> Iterable[Finding]:
+    """Directed link pairs (a→b plus b→a) on different sides of a domain
+    boundary: the channel would throttle one direction only."""
+    membership: dict[str, frozenset] = {}
+    for dom in _domains(ctx):
+        for member in dom.link_members():
+            membership[member.id] = membership.get(
+                member.id, frozenset()
+            ) | {dom.name}
+    links = [ic for _pu, ic in ctx.interconnects()]
+    for ic in links:
+        for other in links:
+            if other.from_pu != ic.to_pu or other.to_pu != ic.from_pu:
+                continue
+            if ic.id >= other.id:
+                continue  # report each directed pair once
+            mine = membership.get(ic.id, frozenset())
+            theirs = membership.get(other.id, frozenset())
+            if mine == theirs:
+                continue
+            yield Finding(
+                message=(
+                    f"interconnects {ic.id!r} and {other.id!r} form a"
+                    f" directed pair but belong to different contention"
+                    f" domains ({sorted(mine) or 'none'} vs"
+                    f" {sorted(theirs) or 'none'}) — only one direction"
+                    f" would contend"
+                ),
+                location=ctx.location,
+                subject=ic.id,
+                hint="declare both directions of a channel in the same domain",
+            )
+
+
+def _rule(rule_id, name, severity, summary, check):
+    from repro.analysis.rules import Rule
+
+    return Rule(
+        id=rule_id,
+        name=name,
+        pack="interference",
+        severity=severity,
+        summary=summary,
+        check=check,
+    )
+
+
+RULES = [
+    _rule(
+        "IFR001",
+        "undeclared-shared-channel",
+        Severity.ERROR,
+        "memory region with multiple clients but no contention domain",
+        check_undeclared_shared_channel,
+    ),
+    _rule(
+        "IFR002",
+        "domain-missing-budget",
+        Severity.ERROR,
+        "contention domain with no CONTENTION_BANDWIDTH budget",
+        check_missing_budget,
+    ),
+    _rule(
+        "IFR003",
+        "domain-budget-conflict",
+        Severity.ERROR,
+        "members of one domain declare different channel budgets",
+        check_budget_conflict,
+    ),
+    _rule(
+        "IFR004",
+        "domain-over-subscribed",
+        Severity.NOTE,
+        "member link bandwidth sums past the channel budget",
+        check_over_subscribed,
+    ),
+    _rule(
+        "IFR005",
+        "dangling-domain-member",
+        Severity.ERROR,
+        "CONTENTION_MEMBERS names a component that does not exist",
+        check_dangling_members,
+    ),
+    _rule(
+        "IFR006",
+        "undeclared-cross-domain-route",
+        Severity.WARNING,
+        "route between domains crosses only undeclared links",
+        check_cross_domain_routes,
+    ),
+    _rule(
+        "IFR007",
+        "asymmetric-domain-membership",
+        Severity.WARNING,
+        "directed link pair split across contention domains",
+        check_asymmetric_membership,
+    ),
+    _rule(
+        "IFR008",
+        "member-exceeds-budget",
+        Severity.ERROR,
+        "a single member link is faster than its channel budget",
+        check_member_exceeds_budget,
+    ),
+]

@@ -7,6 +7,7 @@ rule keeps its ID.  Conventions::
     PDL0xx   descriptor-local rules      (pack "pdl")
     CAS0xx   program-local rules         (pack "cascabel")
     XAR0xx   cross-artifact rules        (pack "cross")
+    IFR0xx   interference-hazard rules   (pack "interference")
 """
 
 from __future__ import annotations
@@ -165,10 +166,16 @@ def default_registry() -> RuleRegistry:
     """A fresh registry holding every built-in rule pack."""
     # imported here, not at module top: the packs pull in model/cascabel/
     # query layers that must not become dependencies of the diagnostic core
-    from repro.analysis import cascabel_rules, cross_rules, pdl_rules
+    from repro.analysis import (
+        cascabel_rules,
+        cross_rules,
+        interference_rules,
+        pdl_rules,
+    )
 
     registry = RuleRegistry()
     registry.register_all(pdl_rules.RULES)
     registry.register_all(cascabel_rules.RULES)
     registry.register_all(cross_rules.RULES)
+    registry.register_all(interference_rules.RULES)
     return registry

@@ -213,11 +213,15 @@ def _translate(
 def _lint_translation(
     program: AnnotatedProgram, target: Platform, *, strict: bool
 ) -> list:
-    """Run the Cascabel + cross rule packs over one translation's inputs.
+    """Run the Cascabel + cross + interference packs over one
+    translation's inputs.
 
     Lints the variants the program itself defines — the auto-injected
     builtin expert variants are speculative retargeting stock and would
-    only add dead-variant noise on targets they don't fit.
+    only add dead-variant noise on targets they don't fit.  The target
+    platform itself is checked for interference hazards (IFR pack): a
+    descriptor whose shared channels are undeclared cannot honestly
+    back the transfer costs the mapping is planned against.
     """
     from repro.analysis.cascabel_rules import CascabelContext
     from repro.analysis.diagnostics import Severity
@@ -233,6 +237,7 @@ def _lint_translation(
     reports = [
         linter.lint_program(ctx),
         linter.lint_cross(ctx, [(target.name, target)]),
+        linter.lint_interference(target),
     ]
     if strict:
         errors = [d for r in reports for d in r.at_least(Severity.ERROR)]

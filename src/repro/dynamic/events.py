@@ -39,7 +39,10 @@ AVAILABLE_PROP = "AVAILABLE"
 
 #: descriptor properties that parameterize the interconnect fabric; an
 #: event updating one of these invalidates memoized transfer routes
-INTERCONNECT_PROPS = frozenset({"BANDWIDTH", "LATENCY", "LINKWIDTH"})
+#: (and, for CONTENTION_BANDWIDTH, the contention-domain tables)
+INTERCONNECT_PROPS = frozenset(
+    {"BANDWIDTH", "LATENCY", "LINKWIDTH", "CONTENTION_BANDWIDTH"}
+)
 
 
 @dataclass(frozen=True)

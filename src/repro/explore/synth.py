@@ -178,6 +178,12 @@ def build_platform(params: PlatformParams) -> Platform:
                 _quantity(_HOST_MEM_BANDWIDTH_GBS), "GB/s"
             ),
             "KIND": "DDR3",
+            # declare the memory-controller channel so synthesized
+            # points pass the interference (IFR) lint gate
+            "CONTENTION_DOMAIN": "ddr",
+            "CONTENTION_BANDWIDTH": PropertyValue(
+                _quantity(_HOST_MEM_BANDWIDTH_GBS), "GB/s"
+            ),
         },
     )
     cpu_props = {
@@ -204,6 +210,7 @@ def build_platform(params: PlatformParams) -> Platform:
         bandwidth=f"{_quantity(_HOST_MEM_BANDWIDTH_GBS)} GB/s",
         latency=" ".join(_SHM_LATENCY),
         id="shm",
+        properties={"CONTENTION_DOMAIN": "ddr"},
     )
 
     if params.gpu_count:

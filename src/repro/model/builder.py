@@ -177,6 +177,7 @@ class PlatformBuilder:
         latency: Optional[str] = None,
         bidirectional: bool = True,
         id: Optional[str] = None,
+        properties: Optional[Mapping[str, object]] = None,
     ) -> "PlatformBuilder":
         """Attach an interconnect to the current PU scope."""
         if not self._stack:
@@ -199,6 +200,9 @@ class PlatformBuilder:
             prop = Property("LATENCY", _format_number(magnitude))
             prop.value.unit = unit
             ic.descriptor.add(prop)
+        if properties:
+            for key, value in properties.items():
+                ic.descriptor.add(Property(key, value))
         self._stack[-1].add_interconnect(ic)
         return self
 

@@ -1,0 +1,249 @@
+"""Contention-domain declarations: shared channels in a platform.
+
+The PML follow-up to the paper ("Analysing Interference on Hardware
+Accelerators through PML") argues that *interference channels* — shared
+memory controllers, common buses, IO hubs — must be explicit in the
+platform description before any tool can certify co-located workloads.
+This module defines the PDL convention for that and the collector that
+turns a parsed :class:`~repro.model.platform.Platform` into a list of
+:class:`ContentionDomain` objects the lint pack
+(:mod:`repro.analysis.interference_rules`) and the runtime transfer
+model (:mod:`repro.perf.transfer`) share.
+
+Declaration convention (ordinary fixed properties, so documents
+round-trip through parse/validate/write and content digests with no
+schema change):
+
+``CONTENTION_DOMAIN``
+    on an ``MRDescriptor`` or ``ICDescriptor``: the name of the shared
+    channel this memory region / interconnect draws bandwidth from.
+
+``CONTENTION_BANDWIDTH``
+    the channel's *aggregate* bandwidth budget (a bandwidth quantity,
+    e.g. ``25.6 GB/s``).  At least one member of a domain must declare
+    it; members that do declare it must agree.
+
+``CONTENTION_MEMBERS``
+    optional, next to a ``CONTENTION_DOMAIN`` declaration: a
+    whitespace/comma-separated list of interconnect or memory-region
+    ids enrolled into the same domain (a link *group* joining one
+    channel without repeating the declaration on every link).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.model.platform import Platform
+
+__all__ = [
+    "CONTENTION_DOMAIN",
+    "CONTENTION_BANDWIDTH",
+    "CONTENTION_MEMBERS",
+    "DomainMember",
+    "ContentionDomain",
+    "collect_contention_domains",
+]
+
+CONTENTION_DOMAIN = "CONTENTION_DOMAIN"
+CONTENTION_BANDWIDTH = "CONTENTION_BANDWIDTH"
+CONTENTION_MEMBERS = "CONTENTION_MEMBERS"
+
+_MEMBER_SEP = re.compile(r"[\s,]+")
+
+
+@dataclass(frozen=True)
+class DomainMember:
+    """One component enrolled in a contention domain."""
+
+    kind: str  # "memory" | "interconnect"
+    id: str  # the member entity's id
+    owner: str  # id of the PU declaring the member entity
+    #: the member's own BANDWIDTH figure (bytes/s), when declared
+    bandwidth_bps: Optional[float]
+    #: the member's CONTENTION_BANDWIDTH budget claim (bytes/s), if any
+    declared_budget_bps: Optional[float]
+    #: "property" (declared on the member itself) or "members-list"
+    #: (enrolled through another member's CONTENTION_MEMBERS)
+    via: str
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": self.kind,
+            "id": self.id,
+            "owner": self.owner,
+            "bandwidth_gbs": (
+                None
+                if self.bandwidth_bps is None
+                else round(self.bandwidth_bps / 1e9, 6)
+            ),
+            "via": self.via,
+        }
+
+
+@dataclass
+class ContentionDomain:
+    """One shared channel: its members and aggregate bandwidth budget."""
+
+    name: str
+    members: list[DomainMember] = field(default_factory=list)
+    #: ``(declaring entity id, missing id)`` for every CONTENTION_MEMBERS
+    #: entry that names no interconnect or memory region in the document
+    dangling: list[tuple[str, str]] = field(default_factory=list)
+
+    def budgets_bps(self) -> list[float]:
+        """Distinct declared budgets, ascending (one entry when consistent)."""
+        return sorted({
+            m.declared_budget_bps
+            for m in self.members
+            if m.declared_budget_bps is not None
+        })
+
+    @property
+    def budget_bps(self) -> Optional[float]:
+        """The effective budget: the smallest declared figure (the lint
+        pack flags disagreements; the runtime stays conservative)."""
+        budgets = self.budgets_bps()
+        return budgets[0] if budgets else None
+
+    def link_members(self) -> list[DomainMember]:
+        return [m for m in self.members if m.kind == "interconnect"]
+
+    def region_members(self) -> list[DomainMember]:
+        return [m for m in self.members if m.kind == "memory"]
+
+    def link_subscription_bps(self) -> float:
+        """Sum of the member links' own bandwidth figures."""
+        return sum(
+            m.bandwidth_bps
+            for m in self.link_members()
+            if m.bandwidth_bps is not None
+        )
+
+    def to_payload(self) -> dict:
+        budget = self.budget_bps
+        subscription = self.link_subscription_bps()
+        return {
+            "name": self.name,
+            "budget_gbs": None if budget is None else round(budget / 1e9, 6),
+            "members": [
+                m.to_payload()
+                for m in sorted(self.members, key=lambda m: (m.kind, m.id))
+            ],
+            "link_subscription_gbs": round(subscription / 1e9, 6),
+            "subscription_ratio": (
+                None
+                if budget is None or not budget
+                else round(subscription / budget, 6)
+            ),
+            "dangling": [list(pair) for pair in sorted(self.dangling)],
+        }
+
+
+def split_members(text: str) -> list[str]:
+    """Member ids out of a CONTENTION_MEMBERS value."""
+    return [part for part in _MEMBER_SEP.split(text.strip()) if part]
+
+
+def _declarations(platform: Platform):
+    """Every entity carrying a CONTENTION_DOMAIN property.
+
+    Yields ``(kind, entity_id, owner_pu_id, descriptor)``.
+    """
+    for pu in platform.walk():
+        for region in pu.memory_regions:
+            if region.descriptor.get(CONTENTION_DOMAIN) is not None:
+                yield "memory", region.id, pu.id, region.descriptor
+        for ic in pu.interconnects:
+            if ic.descriptor.get(CONTENTION_DOMAIN) is not None:
+                yield "interconnect", ic.id, pu.id, ic.descriptor
+
+
+def collect_contention_domains(platform: Platform) -> list[ContentionDomain]:
+    """All declared contention domains, sorted by name.
+
+    Membership comes from per-entity ``CONTENTION_DOMAIN`` properties
+    plus ``CONTENTION_MEMBERS`` group enrollment; a component named both
+    ways appears once (the direct declaration wins, so its budget claim
+    is kept).  Unresolvable CONTENTION_MEMBERS ids land in
+    :attr:`ContentionDomain.dangling` for the lint pack.
+    """
+    regions = {}
+    links = {}
+    for pu in platform.walk():
+        for region in pu.memory_regions:
+            regions[region.id] = (pu.id, region.descriptor)
+        for ic in pu.interconnects:
+            links[ic.id] = (pu.id, ic.descriptor)
+
+    domains: dict[str, ContentionDomain] = {}
+    enrolled: dict[str, set[tuple[str, str]]] = {}
+
+    def domain(name: str) -> ContentionDomain:
+        if name not in domains:
+            domains[name] = ContentionDomain(name=name)
+            enrolled[name] = set()
+        return domains[name]
+
+    def add_member(name: str, member: DomainMember) -> None:
+        dom = domain(name)
+        key = (member.kind, member.id)
+        if key in enrolled[name]:
+            return
+        enrolled[name].add(key)
+        dom.members.append(member)
+
+    # pass 1: direct declarations (budget claims live here)
+    declarations = list(_declarations(platform))
+    for kind, entity_id, owner, descriptor in declarations:
+        name = str(descriptor.get_str(CONTENTION_DOMAIN)).strip()
+        add_member(
+            name,
+            DomainMember(
+                kind=kind,
+                id=entity_id,
+                owner=owner,
+                bandwidth_bps=descriptor.get_quantity("BANDWIDTH"),
+                declared_budget_bps=descriptor.get_quantity(
+                    CONTENTION_BANDWIDTH
+                ),
+                via="property",
+            ),
+        )
+
+    # pass 2: CONTENTION_MEMBERS group enrollment
+    for _kind, entity_id, _owner, descriptor in declarations:
+        members_text = descriptor.get_str(CONTENTION_MEMBERS)
+        if not members_text:
+            continue
+        name = str(descriptor.get_str(CONTENTION_DOMAIN)).strip()
+        for member_id in split_members(members_text):
+            if member_id in links:
+                owner_id, member_descriptor = links[member_id]
+                member_kind = "interconnect"
+            elif member_id in regions:
+                owner_id, member_descriptor = regions[member_id]
+                member_kind = "memory"
+            else:
+                domain(name).dangling.append((entity_id, member_id))
+                continue
+            add_member(
+                name,
+                DomainMember(
+                    kind=member_kind,
+                    id=member_id,
+                    owner=owner_id,
+                    bandwidth_bps=member_descriptor.get_quantity("BANDWIDTH"),
+                    declared_budget_bps=member_descriptor.get_quantity(
+                        CONTENTION_BANDWIDTH
+                    ),
+                    via="members-list",
+                ),
+            )
+
+    for dom in domains.values():
+        dom.members.sort(key=lambda m: (m.kind, m.id))
+        dom.dangling.sort()
+    return [domains[name] for name in sorted(domains)]

@@ -398,6 +398,7 @@ class RuntimeEngine:
         prefetch: bool = False,
         model_capacity: bool = False,
         model_contention: bool = True,
+        model_interference: bool = False,
         vectorized: bool = True,
     ):
         self.platform = platform
@@ -472,7 +473,9 @@ class RuntimeEngine:
 
         # --- plumbing -------------------------------------------------------------
         self.transfer_model = TransferModel(
-            platform, model_contention=model_contention
+            platform,
+            model_contention=model_contention,
+            model_interference=model_interference,
         )
         self.coherence = CoherenceDirectory()
         #: struct-of-arrays mirror of the task population (state /

@@ -103,9 +103,11 @@ class DescriptorStore:
         canonicalized, and content-addressed.  Publishing identical
         content twice is idempotent.
 
-        With ``strict_lint`` the PDL rule pack runs before anything is
-        stored, and error-severity findings reject the publish with
-        :class:`~repro.errors.LintError`.
+        With ``strict_lint`` the PDL and interference (IFR) rule packs
+        run before anything is stored, and error-severity findings
+        reject the publish with :class:`~repro.errors.LintError` — a
+        descriptor whose shared channels are undeclared never enters
+        the registry.
         """
         if isinstance(xml_text, bytes):
             xml_text = xml_text.decode("utf-8")
@@ -333,7 +335,7 @@ class DescriptorStore:
         return Linter().lint_platform(platform, filename=filename)
 
     def lint(self, ref: str) -> dict:
-        """Run the PDL rule pack against a stored version.
+        """Run the PDL + interference rule packs against a stored version.
 
         Returns the :class:`~repro.analysis.diagnostics.LintReport`
         payload plus the resolved digest; never raises on findings (the

@@ -82,6 +82,7 @@ class Session:
         self.last_result = None
         self.last_exploration = None
         self.last_serving = None
+        self.last_interference = None
         self._platform: Optional[Platform] = None
         self._platform_ref: Optional[str] = None
         if isinstance(platform, Platform):
@@ -217,6 +218,32 @@ class Session:
                     source, [(target.name, target)], filename=filename
                 ),
             ]
+
+    def analyze_interference(
+        self,
+        platform: Optional[Union[str, Platform]] = None,
+        *,
+        nbytes: Optional[float] = None,
+        filename: Optional[str] = None,
+    ):
+        """Whole-platform interference report: contention domains, per-
+        domain utilization, the pairwise co-location slowdown matrix,
+        and the IFR lint verdict.  Returns the
+        :class:`~repro.analysis.interference.InterferenceReport`, kept
+        on :attr:`last_interference`."""
+        from repro.analysis.interference import (
+            DEFAULT_PROBE_BYTES,
+            analyze_interference,
+        )
+
+        with self._activate():
+            report = analyze_interference(
+                self._resolve(platform),
+                nbytes=nbytes if nbytes is not None else DEFAULT_PROBE_BYTES,
+                filename=filename,
+            )
+            self.last_interference = report
+            return report
 
     def engine(self, **kwargs):
         """A fresh :class:`~repro.runtime.engine.RuntimeEngine` for the
@@ -424,6 +451,12 @@ class Session:
             payload["last_serving"] = {
                 "totals": dict(self.last_serving.totals),
                 "fingerprint": self.last_serving.fingerprint(),
+            }
+        if self.last_interference is not None:
+            payload["last_interference"] = {
+                "max_slowdown": round(self.last_interference.max_slowdown(), 6),
+                "ok": self.last_interference.ok,
+                "fingerprint": self.last_interference.fingerprint(),
             }
         return payload
 

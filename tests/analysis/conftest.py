@@ -129,6 +129,196 @@ STALE_SCHEMA_XML = _pdl(
     version="9.9",
 )
 
+#: main memory feeds two routable GPUs but declares no domain → IFR001
+IFR_SHARED_CHANNEL_XML = _pdl(
+    f"""  <Master id="host" quantity="1">
+    <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+    <MemoryRegion id="main">
+      <MRDescriptor>{_prop("SIZE", "16", "GB")}</MRDescriptor>
+    </MemoryRegion>
+    <Worker id="gpu0" quantity="1">
+      <PUDescriptor>{_prop("ARCHITECTURE", "gpu")}</PUDescriptor>
+    </Worker>
+    <Worker id="gpu1" quantity="1">
+      <PUDescriptor>{_prop("ARCHITECTURE", "gpu")}</PUDescriptor>
+    </Worker>
+    <Interconnect id="pcie0" type="PCIe" from="host" to="gpu0">
+      <ICDescriptor>{_prop("BANDWIDTH", "5.7", "GB/s")}</ICDescriptor>
+    </Interconnect>
+    <Interconnect id="pcie1" type="PCIe" from="host" to="gpu1">
+      <ICDescriptor>{_prop("BANDWIDTH", "5.7", "GB/s")}</ICDescriptor>
+    </Interconnect>
+  </Master>"""
+)
+
+#: a domain whose members never state CONTENTION_BANDWIDTH → IFR002
+IFR_NO_BUDGET_XML = _pdl(
+    f"""  <Master id="host" quantity="1">
+    <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+    <MemoryRegion id="main">
+      <MRDescriptor>
+        {_prop("SIZE", "16", "GB")}
+        {_prop("CONTENTION_DOMAIN", "ddr")}
+      </MRDescriptor>
+    </MemoryRegion>
+    <Worker id="cpu" quantity="4">
+      <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+    </Worker>
+    <Interconnect id="shm" type="SHM" from="host" to="cpu">
+      <ICDescriptor>{_prop("BANDWIDTH", "25.6", "GB/s")}</ICDescriptor>
+    </Interconnect>
+  </Master>"""
+)
+
+#: region and link claim different budgets for one channel → IFR003
+IFR_BUDGET_CONFLICT_XML = _pdl(
+    f"""  <Master id="host" quantity="1">
+    <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+    <MemoryRegion id="main">
+      <MRDescriptor>
+        {_prop("SIZE", "16", "GB")}
+        {_prop("CONTENTION_DOMAIN", "ddr")}
+        {_prop("CONTENTION_BANDWIDTH", "25.6", "GB/s")}
+      </MRDescriptor>
+    </MemoryRegion>
+    <Worker id="cpu" quantity="4">
+      <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+    </Worker>
+    <Interconnect id="shm" type="SHM" from="host" to="cpu">
+      <ICDescriptor>
+        {_prop("BANDWIDTH", "12.8", "GB/s")}
+        {_prop("CONTENTION_DOMAIN", "ddr")}
+        {_prop("CONTENTION_BANDWIDTH", "12.8", "GB/s")}
+      </ICDescriptor>
+    </Interconnect>
+  </Master>"""
+)
+
+#: two 8 GB/s member links against a 10 GB/s channel → IFR004 (note)
+IFR_OVERSUBSCRIBED_XML = _pdl(
+    f"""  <Master id="host" quantity="1">
+    <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+    <MemoryRegion id="main">
+      <MRDescriptor>
+        {_prop("SIZE", "16", "GB")}
+        {_prop("CONTENTION_DOMAIN", "ioh")}
+        {_prop("CONTENTION_BANDWIDTH", "10", "GB/s")}
+      </MRDescriptor>
+    </MemoryRegion>
+    <Worker id="gpu0" quantity="1">
+      <PUDescriptor>{_prop("ARCHITECTURE", "gpu")}</PUDescriptor>
+    </Worker>
+    <Worker id="gpu1" quantity="1">
+      <PUDescriptor>{_prop("ARCHITECTURE", "gpu")}</PUDescriptor>
+    </Worker>
+    <Interconnect id="pcie0" type="PCIe" from="host" to="gpu0">
+      <ICDescriptor>
+        {_prop("BANDWIDTH", "8", "GB/s")}
+        {_prop("CONTENTION_DOMAIN", "ioh")}
+      </ICDescriptor>
+    </Interconnect>
+    <Interconnect id="pcie1" type="PCIe" from="host" to="gpu1">
+      <ICDescriptor>
+        {_prop("BANDWIDTH", "8", "GB/s")}
+        {_prop("CONTENTION_DOMAIN", "ioh")}
+      </ICDescriptor>
+    </Interconnect>
+  </Master>"""
+)
+
+#: CONTENTION_MEMBERS naming a component that does not exist → IFR005
+IFR_DANGLING_MEMBER_XML = _pdl(
+    f"""  <Master id="host" quantity="1">
+    <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+    <MemoryRegion id="main">
+      <MRDescriptor>
+        {_prop("SIZE", "16", "GB")}
+        {_prop("CONTENTION_DOMAIN", "ddr")}
+        {_prop("CONTENTION_BANDWIDTH", "25.6", "GB/s")}
+        {_prop("CONTENTION_MEMBERS", "shm ghost-link")}
+      </MRDescriptor>
+    </MemoryRegion>
+    <Worker id="cpu" quantity="4">
+      <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+    </Worker>
+    <Interconnect id="shm" type="SHM" from="host" to="cpu">
+      <ICDescriptor>{_prop("BANDWIDTH", "25.6", "GB/s")}</ICDescriptor>
+    </Interconnect>
+  </Master>"""
+)
+
+#: two domains whose only connecting link belongs to neither → IFR006
+IFR_CROSS_DOMAIN_XML = _pdl(
+    f"""  <Master id="head" quantity="1">
+    <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+    <MemoryRegion id="head-mem">
+      <MRDescriptor>
+        {_prop("SIZE", "96", "GB")}
+        {_prop("CONTENTION_DOMAIN", "head-ddr")}
+        {_prop("CONTENTION_BANDWIDTH", "25.6", "GB/s")}
+      </MRDescriptor>
+    </MemoryRegion>
+    <Hybrid id="node0" quantity="1">
+      <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+      <MemoryRegion id="node0-mem">
+        <MRDescriptor>
+          {_prop("SIZE", "24", "GB")}
+          {_prop("CONTENTION_DOMAIN", "node0-ddr")}
+          {_prop("CONTENTION_BANDWIDTH", "25.6", "GB/s")}
+        </MRDescriptor>
+      </MemoryRegion>
+    </Hybrid>
+    <Interconnect id="ib0" type="InfiniBand" from="head" to="node0">
+      <ICDescriptor>{_prop("BANDWIDTH", "3.2", "GB/s")}</ICDescriptor>
+    </Interconnect>
+  </Master>"""
+)
+
+#: only one direction of a directed link pair joins the domain → IFR007
+IFR_ASYMMETRIC_XML = _pdl(
+    f"""  <Master id="host" quantity="1">
+    <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+    <Worker id="gpu0" quantity="1">
+      <PUDescriptor>{_prop("ARCHITECTURE", "gpu")}</PUDescriptor>
+    </Worker>
+    <Interconnect id="pcie-up" type="PCIe" from="host" to="gpu0"
+                  bidirectional="false">
+      <ICDescriptor>
+        {_prop("BANDWIDTH", "5.7", "GB/s")}
+        {_prop("CONTENTION_DOMAIN", "ioh")}
+        {_prop("CONTENTION_BANDWIDTH", "11.4", "GB/s")}
+      </ICDescriptor>
+    </Interconnect>
+    <Interconnect id="pcie-down" type="PCIe" from="gpu0" to="host"
+                  bidirectional="false">
+      <ICDescriptor>{_prop("BANDWIDTH", "5.7", "GB/s")}</ICDescriptor>
+    </Interconnect>
+  </Master>"""
+)
+
+#: a 20 GB/s member link in a 10 GB/s channel → IFR008 (+ IFR004 note)
+IFR_MEMBER_EXCEEDS_XML = _pdl(
+    f"""  <Master id="host" quantity="1">
+    <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+    <MemoryRegion id="main">
+      <MRDescriptor>
+        {_prop("SIZE", "16", "GB")}
+        {_prop("CONTENTION_DOMAIN", "ddr")}
+        {_prop("CONTENTION_BANDWIDTH", "10", "GB/s")}
+      </MRDescriptor>
+    </MemoryRegion>
+    <Worker id="cpu" quantity="4">
+      <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+    </Worker>
+    <Interconnect id="shm" type="SHM" from="host" to="cpu">
+      <ICDescriptor>
+        {_prop("BANDWIDTH", "20", "GB/s")}
+        {_prop("CONTENTION_DOMAIN", "ddr")}
+      </ICDescriptor>
+    </Interconnect>
+  </Master>"""
+)
+
 #: shared buffer written from two different execution groups → CAS010
 RACY_PROGRAM = """\
 #pragma cascabel task : x86 : Iaxpy : axpy_serial : (A: readwrite, B: read)

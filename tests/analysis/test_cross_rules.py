@@ -109,7 +109,7 @@ class TestDriverHook:
     def test_translate_attaches_clean_reports(self):
         result = translate(sample_source("vecadd"), "xeon_x5550_2gpu")
         kinds = [r.kind for r in result.lint_reports]
-        assert kinds == ["cascabel", "cross"]
+        assert kinds == ["cascabel", "cross", "interference"]
         assert all(r.ok for r in result.lint_reports)
 
     def test_translate_lint_off(self):

@@ -116,8 +116,9 @@ class TestRules:
     def test_default_registry_has_all_packs(self):
         registry = default_registry()
         packs = {r.pack for r in registry.rules()}
-        assert packs == {"pdl", "cascabel", "cross"}
-        assert "PDL001" in registry and "CAS010" in registry and "XAR001" in registry
+        assert packs == {"pdl", "cascabel", "cross", "interference"}
+        assert "PDL001" in registry and "CAS010" in registry
+        assert "XAR001" in registry and "IFR001" in registry
 
 
 class TestLintConfig:

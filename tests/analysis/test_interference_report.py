@@ -1,0 +1,132 @@
+"""The whole-platform interference report and its CLI verb."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro
+from repro.analysis.cli import main as lint_main
+from repro.analysis.interference import (
+    DEFAULT_PROBE_BYTES,
+    analyze_interference,
+    render_interference_text,
+)
+from repro.pdl.catalog import load_platform
+
+from tests.analysis.conftest import IFR_SHARED_CHANNEL_XML
+
+
+@pytest.fixture(scope="module")
+def figure5_report():
+    return analyze_interference(load_platform("xeon_x5550_2gpu"))
+
+
+class TestFigure5Report:
+    def test_domains_and_actors(self, figure5_report):
+        assert [d.name for d in figure5_report.domains] == ["ddr", "ioh"]
+        assert figure5_report.actors == ["cpu", "gpu0", "gpu1"]
+        assert figure5_report.ok
+
+    def test_slowdown_matrix_is_nontrivial(self, figure5_report):
+        """CPU fetches cross the ddr channel and halve under any
+        co-located aggressor; GPU fetches stay PCIe-limited at 1.0x."""
+        matrix = dict(zip(figure5_report.actors, figure5_report.matrix))
+        cpu_row = dict(zip(figure5_report.actors, matrix["cpu"]))
+        assert cpu_row["cpu"] == 1.0  # diagonal
+        # latency is a fixed cost, so the halved-bandwidth slowdown
+        # lands just under the asymptotic 2.0
+        assert cpu_row["gpu0"] == pytest.approx(2.0, rel=1e-3)
+        assert cpu_row["gpu1"] == pytest.approx(2.0, rel=1e-3)
+        for gpu in ("gpu0", "gpu1"):
+            for value in matrix[gpu]:
+                assert value == pytest.approx(1.0, rel=1e-6)
+        assert figure5_report.max_slowdown() == pytest.approx(2.0, rel=1e-3)
+
+    def test_payload_shape(self, figure5_report):
+        payload = figure5_report.to_payload()
+        assert payload["platform"] == "xeon-x5550-2gpu"
+        assert len(payload["digest"]) == 64
+        assert payload["probe_mb"] == pytest.approx(
+            DEFAULT_PROBE_BYTES / 1e6
+        )
+        assert [u["name"] for u in payload["utilization"]] == ["ddr", "ioh"]
+        for row in payload["utilization"]:
+            assert row["utilization"] == pytest.approx(1.0)
+        assert payload["lint"]["ok"] is True
+        assert payload["max_slowdown"] == pytest.approx(2.0, rel=1e-3)
+
+    def test_fingerprint_is_deterministic(self, figure5_report):
+        again = analyze_interference(load_platform("xeon_x5550_2gpu"))
+        assert figure5_report.fingerprint() == again.fingerprint()
+
+    def test_text_rendering(self, figure5_report):
+        text = render_interference_text(figure5_report)
+        assert "domain ddr" in text and "domain ioh" in text
+        assert "max slowdown: 2.00x" in text
+        assert "lint: clean" in text
+
+
+class TestHazardousReport:
+    def test_lint_findings_carried(self, parse):
+        report = analyze_interference(parse(IFR_SHARED_CHANNEL_XML))
+        assert not report.ok
+        assert [d.rule for d in report.lint.diagnostics] == ["IFR001"]
+        assert report.domains == []  # nothing declared
+
+    def test_platform_without_workers_gets_empty_matrix(self, parse):
+        from tests.analysis.conftest import _pdl, _prop
+
+        xml = _pdl(
+            f"""  <Master id="m0" quantity="1">
+    <PUDescriptor>{_prop("ARCHITECTURE", "x86_64")}</PUDescriptor>
+  </Master>"""
+        )
+        report = analyze_interference(parse(xml))
+        assert report.actors == [] and report.matrix == []
+
+
+class TestSessionVerb:
+    def test_analyze_interference_kept_on_session(self):
+        session = repro.Session("xeon_x5550_2gpu")
+        report = session.analyze_interference()
+        assert session.last_interference is report
+        payload = session.to_payload()
+        assert payload["last_interference"]["ok"] is True
+        assert payload["last_interference"]["max_slowdown"] == pytest.approx(
+            2.0, rel=1e-3
+        )
+
+
+class TestCli:
+    def test_clean_platform_exits_zero(self, capsys):
+        assert lint_main(["interference", "xeon_x5550_2gpu"]) == 0
+        out = capsys.readouterr().out
+        assert "xeon-x5550-2gpu (interference)" in out
+        assert "max slowdown" in out
+
+    def test_hazardous_file_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text(IFR_SHARED_CHANNEL_XML)
+        assert lint_main(["interference", str(bad)]) == 1
+        assert "IFR001" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert (
+            lint_main(["interference", "xeon_x5550_2gpu", "--format", "json"])
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["tool"] == "repro-lint-interference"
+        assert document["ok"] is True
+        assert document["reports"][0]["platform"] == "xeon-x5550-2gpu"
+
+    def test_catalog_sweep_is_clean(self, capsys):
+        assert lint_main(["interference", "--catalog"]) == 0
+
+    def test_no_arguments_is_usage_error(self, capsys):
+        assert lint_main(["interference"]) == 2
+
+    def test_classic_lint_cli_still_works(self, capsys):
+        assert lint_main(["xeon_x5550_2gpu"]) == 0

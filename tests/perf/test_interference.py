@@ -1,0 +1,125 @@
+"""Fluid contention-domain sharing in the transfer model.
+
+The Figure-5 GPU platform declares two domains: ``ddr`` (the ``main``
+region and the ``shm`` link, 25.6 GB/s aggregate) and ``ioh`` (the two
+PCIe links, 11.4 GB/s).  With ``model_interference=True`` transfers
+crossing a domain split its budget instead of queueing serially.
+"""
+
+import pytest
+
+from repro.model.properties import Property, PropertyValue
+from repro.perf.transfer import TransferModel
+
+NBYTES = 8 * 2**20
+
+
+def _interference_model(platform):
+    return TransferModel(platform, model_interference=True)
+
+
+class TestFluidSharing:
+    def test_solo_transfer_matches_serial_model(self, gpgpu_platform):
+        """With nothing else in flight the domain budget is not the
+        bottleneck, so the flag must not change a lone transfer."""
+        serial = TransferModel(gpgpu_platform)
+        fluid = _interference_model(gpgpu_platform)
+        a = serial.schedule("host", "cpu", NBYTES, now=0.0)
+        b = fluid.schedule("host", "cpu", NBYTES, now=0.0)
+        assert b.start == a.start == 0.0
+        assert b.finish == pytest.approx(a.finish)
+
+    def test_concurrent_crossers_split_the_budget(self, gpgpu_platform):
+        """Two ddr crossers both start at t=0 — no serial queueing — and
+        the second runs at half the channel rate."""
+        model = _interference_model(gpgpu_platform)
+        first = model.schedule("host", "cpu", NBYTES, now=0.0)
+        second = model.schedule("host", "cpu", NBYTES, now=0.0)
+        assert first.start == second.start == 0.0
+        # rate snapshot at begin: the first crosser saw an empty channel,
+        # the second sees one crosser and gets budget/2
+        lat = first.duration - NBYTES / (25.6 * 1024**3)
+        assert second.duration == pytest.approx(
+            lat + NBYTES / (12.8 * 1024**3)
+        )
+
+    def test_serial_model_queues_instead(self, gpgpu_platform):
+        model = TransferModel(gpgpu_platform)  # flag off
+        first = model.schedule("host", "cpu", NBYTES, now=0.0)
+        second = model.schedule("host", "cpu", NBYTES, now=0.0)
+        assert second.start == pytest.approx(first.finish)
+
+    def test_pcie_transfer_unaffected_by_ddr_crosser(self, gpgpu_platform):
+        """A host→gpu0 hop crosses ddr (host's region) and ioh, but with
+        one competitor both fair shares still exceed the 5.7 GB/s link."""
+        model = _interference_model(gpgpu_platform)
+        solo = model.schedule("host", "gpu0", NBYTES, now=0.0)
+        model.reset()
+        model.schedule("host", "cpu", NBYTES, now=0.0)
+        contended = model.schedule("host", "gpu0", NBYTES, now=0.0)
+        assert contended.duration == pytest.approx(solo.duration)
+
+    def test_reset_clears_domain_occupancy(self, gpgpu_platform):
+        model = _interference_model(gpgpu_platform)
+        solo = model.schedule("host", "cpu", NBYTES, now=0.0)
+        model.schedule("host", "cpu", NBYTES, now=0.0)
+        model.reset()
+        again = model.schedule("host", "cpu", NBYTES, now=0.0)
+        assert again.duration == pytest.approx(solo.duration)
+
+    def test_undeclared_platform_is_unchanged(self, small_platform):
+        """No CONTENTION_* declarations → the flag is a no-op."""
+        serial = TransferModel(small_platform)
+        fluid = _interference_model(small_platform)
+        for _ in range(2):
+            a = serial.schedule("host", "gpu0", NBYTES, now=0.0)
+            b = fluid.schedule("host", "gpu0", NBYTES, now=0.0)
+            assert (a.start, a.finish) == (b.start, b.finish)
+
+
+class TestDomainTableInvalidation:
+    def _set_budget(self, platform, value):
+        # only the main region claims the ddr budget; shm just enrolls
+        region = next(
+            r for r in platform.memory_regions() if r.id == "main"
+        )
+        region.descriptor.remove("CONTENTION_BANDWIDTH")
+        region.descriptor.add(
+            Property("CONTENTION_BANDWIDTH", PropertyValue(value, "GB/s"))
+        )
+
+    def test_stale_budget_until_invalidated(self, gpgpu_platform):
+        model = _interference_model(gpgpu_platform)
+        solo = model.schedule("host", "cpu", NBYTES, now=0.0)
+        model.reset()
+
+        # halve the declared ddr budget below the shm link rate
+        self._set_budget(gpgpu_platform, "12.8")
+
+        stale = model.schedule("host", "cpu", NBYTES, now=0.0)
+        assert stale.duration == pytest.approx(solo.duration)  # memoized
+
+        model.reset()
+        model.invalidate_routes()
+        fresh = model.schedule("host", "cpu", NBYTES, now=0.0)
+        lat = solo.duration - NBYTES / (25.6 * 1024**3)
+        assert fresh.duration == pytest.approx(
+            lat + NBYTES / (12.8 * 1024**3)
+        )
+
+    def test_budgetless_domain_drops_out(self, gpgpu_platform):
+        """Removing every budget claim removes the domain from the
+        runtime tables entirely (a lint error, but not a crash)."""
+        model = _interference_model(gpgpu_platform)
+        region = next(
+            r for r in gpgpu_platform.memory_regions() if r.id == "main"
+        )
+        region.descriptor.remove("CONTENTION_BANDWIDTH")
+        model.invalidate_routes()
+        budgets, link_domains, _ = model._domains()
+        assert "ddr" not in budgets
+        assert "shm" not in link_domains
+        # and transfers fall back to the serial link model
+        first = model.schedule("host", "cpu", NBYTES, now=0.0)
+        second = model.schedule("host", "cpu", NBYTES, now=0.0)
+        assert second.start == pytest.approx(first.finish)

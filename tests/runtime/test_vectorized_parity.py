@@ -39,7 +39,7 @@ SCHEDULERS = {
 
 
 def _fingerprints(make_scheduler, *, workload="dgemm", platform="xeon",
-                  events=None, policy=None):
+                  events=None, policy=None, interference=False):
     """Run the identical DAG scalar and vectorized; return both prints."""
     out = []
     for vectorized in (False, True):
@@ -48,7 +48,10 @@ def _fingerprints(make_scheduler, *, workload="dgemm", platform="xeon",
         else:
             plat = synthetic_mesh_platform(4, 4)
         engine = RuntimeEngine(
-            plat, scheduler=make_scheduler(), vectorized=vectorized
+            plat,
+            scheduler=make_scheduler(),
+            vectorized=vectorized,
+            model_interference=interference,
         )
         if workload == "dgemm":
             submit_tiled_dgemm(engine, 2048, 256)
@@ -136,6 +139,43 @@ def test_dynamic_reinstantiation_parity(name):
     ]
     (fp_s, _, _), (fp_v, _, _) = _fingerprints(SCHEDULERS[name], events=events)
     assert fp_s == fp_v
+
+
+@pytest.mark.parametrize("name", sorted(SCHEDULERS))
+def test_contended_run_parity_xeon(name):
+    """Fluid contention-domain sharing must vectorize identically."""
+    (fp_s, mk_s, _), (fp_v, mk_v, _) = _fingerprints(
+        SCHEDULERS[name], interference=True
+    )
+    assert mk_s == mk_v
+    assert fp_s == fp_v
+
+
+@pytest.mark.parametrize("name", ["eager", "dmda"])
+def test_contended_differs_from_uncontended(name):
+    """On the Figure-5 box the ddr/ioh domains reshape the transfer
+    timeline, so contended traces must not collide with clean ones."""
+    (fp_clean, _, _), _ = _fingerprints(SCHEDULERS[name])
+    (fp_s, _, _), (fp_v, _, _) = _fingerprints(
+        SCHEDULERS[name], interference=True
+    )
+    assert fp_s == fp_v
+    assert fp_s != fp_clean
+
+
+def test_uncontended_flag_is_trace_identical():
+    """With the flag on but no concurrent domain crossers forced, a
+    platform without declarations produces byte-identical traces."""
+    fingerprints = []
+    for interference in (False, True):
+        engine = RuntimeEngine(
+            synthetic_mesh_platform(4, 4),
+            scheduler="dmda",
+            model_interference=interference,
+        )
+        submit_tiled_dgemm(engine, 2048, 256)
+        fingerprints.append(engine.run().trace.fingerprint())
+    assert fingerprints[0] == fingerprints[1]
 
 
 def test_vectorized_is_default_and_scalar_optable():

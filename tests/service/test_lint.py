@@ -60,6 +60,17 @@ class TestStoreLint:
         store = DescriptorStore()
         assert store.publish("dirty", DIRTY_XML).created is True
 
+    def test_strict_publish_rejects_interference_hazard(self):
+        """An undeclared shared channel (IFR001) gates a strict publish
+        even though the descriptor is clean under the PDL pack."""
+        from tests.analysis.conftest import IFR_SHARED_CHANNEL_XML
+
+        store = DescriptorStore()
+        with pytest.raises(LintError) as excinfo:
+            store.publish("shared", IFR_SHARED_CHANNEL_XML, strict_lint=True)
+        assert [d["rule"] for d in excinfo.value.diagnostics] == ["IFR001"]
+        assert store.digests() == []
+
 
 class TestProtocolMapping:
     def test_lint_error_payload_carries_diagnostics(self):
@@ -113,3 +124,15 @@ class TestLintOverHttp:
         xml = service.fetch("xeon_x5550_2gpu")["xml"]
         result = service.publish("strict-copy", xml, strict_lint=True)
         assert result["name"] == "strict-copy"
+
+    def test_strict_put_rejects_interference_hazard(self, service):
+        """?strict=1 carries the IFR rule ID back over the wire as a 422."""
+        from tests.analysis.conftest import IFR_SHARED_CHANNEL_XML
+
+        with pytest.raises(LintError) as excinfo:
+            service.publish(
+                "shared-strict", IFR_SHARED_CHANNEL_XML, strict_lint=True
+            )
+        assert "IFR001" in [d["rule"] for d in excinfo.value.diagnostics]
+        names = {p["name"] for p in service.platforms()}
+        assert "shared-strict" not in names

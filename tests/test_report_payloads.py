@@ -128,7 +128,15 @@ def _serving_report():
     return ServeEngine(load_platform("xeon_x5550_dual")).run(arrivals)
 
 
+def _interference_report():
+    from repro.analysis.interference import analyze_interference
+    from repro.pdl import load_platform
+
+    return analyze_interference(load_platform("xeon_x5550_2gpu"))
+
+
 REPORT_FACTORIES = {
+    "InterferenceReport": _interference_report,
     "SelectionReport": _selection_report,
     "LintReport": _lint_report,
     "ValidationReport": _validation_report,
