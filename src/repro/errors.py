@@ -41,6 +41,7 @@ __all__ = [
     "LintError",
     "ServiceError",
     "ServiceProtocolError",
+    "ProtocolMismatchError",
     "ServiceOverloadError",
     "UnknownPlatformError",
     "ExploreError",
@@ -257,6 +258,14 @@ class ServiceError(ReproError):
 
 class ServiceProtocolError(ServiceError):
     """Malformed request or response on the registry wire protocol."""
+
+
+class ProtocolMismatchError(ServiceProtocolError):
+    """Client and server speak no common registry protocol version.
+
+    Raised instead of a confusing payload error when version negotiation
+    on first contact fails (wire error code ``protocol-mismatch``).
+    """
 
 
 class ServiceOverloadError(ServiceError):

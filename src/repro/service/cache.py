@@ -1,17 +1,21 @@
-"""Thread-safe LRU cache used by the registry store's hot paths.
+"""Caches used by the registry's hot paths: a thread-safe LRU for
+digest-keyed (immutable) entries and a TTL map for tag resolutions.
 
-Deliberately tiny: the store keys entries by content digest, so entries
-are immutable-by-construction and eviction is purely a memory bound —
-a stale read is impossible, only a re-parse.
+The split *is* the consistency contract: content digests are immutable
+by construction, so :class:`LRUCache` entries never go stale — eviction
+is purely a memory bound and revalidation is never needed.  Tags are the
+registry's only movable refs, so :class:`TTLCache` entries expire after
+a bounded window and the next read revalidates against the server.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Callable, Hashable, Optional
 
-__all__ = ["LRUCache"]
+__all__ = ["LRUCache", "TTLCache"]
 
 _MISSING = object()
 
@@ -81,5 +85,74 @@ class LRUCache:
     def __repr__(self) -> str:
         return (
             f"LRUCache(size={len(self)}/{self.capacity},"
+            f" hits={self.hits}, misses={self.misses})"
+        )
+
+
+class TTLCache:
+    """Bounded mapping whose entries expire after ``ttl_s`` seconds.
+
+    Used for *movable* refs (tags, digest prefixes): a hit within the
+    TTL serves the cached resolution, a hit past it counts as a miss and
+    forces revalidation.  ``ttl_s=0`` disables caching entirely (every
+    lookup misses), which is the safe default for strongly-read-your-
+    writes callers.  LRU-bounded like :class:`LRUCache`.
+    """
+
+    def __init__(
+        self, capacity: int, ttl_s: float, *, clock: Callable[[], float] = time.monotonic
+    ):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        if ttl_s < 0:
+            raise ValueError("ttl_s must be >= 0")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self.hits = 0
+        self.misses = 0
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()  # key -> (expiry, value)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        if self.ttl_s == 0:
+            self.misses += 1
+            return default
+        now = self._clock()
+        with self._lock:
+            entry = self._data.get(key, _MISSING)
+            if entry is _MISSING or entry[0] < now:
+                if entry is not _MISSING:
+                    del self._data[key]
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return entry[1]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if self.ttl_s == 0:
+            return
+        with self._lock:
+            self._data[key] = (self._clock() + self.ttl_s, value)
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+
+    def invalidate(self, key: Hashable) -> None:
+        with self._lock:
+            self._data.pop(key, None)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __repr__(self) -> str:
+        return (
+            f"TTLCache(size={len(self)}/{self.capacity}, ttl={self.ttl_s}s,"
             f" hits={self.hits}, misses={self.misses})"
         )

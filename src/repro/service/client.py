@@ -1,9 +1,21 @@
 """Blocking client for the platform registry service.
 
-Thin ``http.client`` wrapper that speaks the JSON protocol of
-:mod:`repro.service.server` and rehydrates structured errors back into
-:mod:`repro.errors` exceptions, so remote callers handle failures
-exactly like in-process toolchain callers.
+Since the sharded-registry redesign this is a **thin sync facade** over
+:class:`~repro.service.async_client.AsyncRegistryClient`: every call is
+submitted to one shared background event loop, so blocking callers get
+the async client's connection pooling, request coalescing and
+immutable-digest caching for free.  The caller's contextvars travel into
+the loop, so traced calls still produce one client span under the
+caller's active span.
+
+Construction takes a base URL *or* a
+:class:`~repro.service.async_client.RegistryEndpoint` — the unified
+entry-point object shared with the async and cluster clients and with
+``Session(registry=...)``.  The old keyword sprawl
+(``RegistryClient(url, timeout=…, retry_policy=…)``) still works but
+emits :class:`DeprecationWarning`; note that ``retry_policy=None`` now
+*disables* retry (each 429 raises immediately), which is what the
+keyword always documented.
 
 Overload handling mirrors the runtime's fault idiom: on ``429`` the
 client honours the server's ``Retry-After`` (bounded by its own
@@ -14,85 +26,79 @@ to ``policy.max_retries`` times before surfacing
 
 from __future__ import annotations
 
-import http.client
-import time
+import warnings
 from typing import Optional, Union
-from urllib.parse import quote, urlencode, urlsplit
 
-from repro.errors import ServiceError, ServiceOverloadError
 from repro.model.platform import Platform
-from repro.obs import spans as _obs
-from repro.pdl.catalog import parse_cached
-from repro.pdl.writer import write_pdl
 from repro.runtime.faults import FaultPolicy
-from repro.service import protocol
+from repro.service.async_client import (
+    LOOP_RUNNER,
+    AsyncRegistryClient,
+    RegistryEndpoint,
+    default_retry_policy,
+)
 
 __all__ = ["RegistryClient"]
 
+# backwards-compatible alias: the default policy moved with the client core
+_default_retry_policy = default_retry_policy
 
-def _default_retry_policy() -> FaultPolicy:
-    return FaultPolicy(
-        max_retries=3,
-        backoff_base_s=0.05,
-        backoff_factor=2.0,
-        backoff_cap_s=1.0,
-        watchdog_s=None,
-    )
+_UNSET = object()
 
 
 class RegistryClient:
-    """Synchronous registry client bound to one base URL."""
+    """Synchronous registry client bound to one endpoint."""
 
     def __init__(
         self,
-        base_url: str,
+        endpoint: Union[str, RegistryEndpoint] = "127.0.0.1:8787",
         *,
-        timeout: float = 30.0,
-        retry_policy: Optional[FaultPolicy] = None,
+        timeout=_UNSET,
+        retry_policy=_UNSET,
     ):
-        split = urlsplit(base_url if "//" in base_url else f"http://{base_url}")
-        if split.scheme not in ("", "http"):
-            raise ServiceError(f"unsupported registry scheme {split.scheme!r}")
-        if not split.hostname:
-            raise ServiceError(f"invalid registry URL {base_url!r}")
-        self.host = split.hostname
-        self.port = split.port or 80
-        self.timeout = timeout
-        #: None disables retry entirely (each 429 raises immediately)
-        self.retry_policy = (
-            _default_retry_policy() if retry_policy is None else retry_policy
-        )
+        overrides = {}
+        if timeout is not _UNSET:
+            warnings.warn(
+                "RegistryClient(timeout=...) is deprecated; pass"
+                " RegistryEndpoint(host, port, timeout=...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            overrides["timeout"] = timeout
+        if retry_policy is not _UNSET:
+            warnings.warn(
+                "RegistryClient(retry_policy=...) is deprecated; pass"
+                " RegistryEndpoint(host, port, retry_policy=...) instead"
+                " (None disables retry, as always documented)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            overrides["retry_policy"] = retry_policy
+        self.endpoint = RegistryEndpoint.parse(endpoint, **overrides)
+        self._async = AsyncRegistryClient(self.endpoint)
+
+    # endpoint attributes kept as properties for source compatibility
+    @property
+    def host(self) -> str:
+        return self.endpoint.host
+
+    @property
+    def port(self) -> int:
+        return self.endpoint.port
+
+    @property
+    def timeout(self) -> float:
+        return self.endpoint.timeout
+
+    @property
+    def retry_policy(self) -> Optional[FaultPolicy]:
+        return self.endpoint.retry_policy
 
     # -- low-level ----------------------------------------------------------
-    def _once(
-        self,
-        method: str,
-        path: str,
-        body: Optional[bytes],
-        trace_id: Optional[str] = None,
-    ) -> tuple:
-        conn = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
-        try:
-            headers = {"Accept": "application/json", "Connection": "close"}
-            if trace_id is not None:
-                headers["X-Repro-Trace-Id"] = trace_id
-            if body is not None:
-                headers["Content-Type"] = (
-                    "application/json"
-                    if body[:1] in (b"{", b"[")
-                    else "application/xml"
-                )
-            conn.request(method, path, body=body, headers=headers)
-            response = conn.getresponse()
-            raw = response.read()
-            retry_after = response.getheader("Retry-After")
-            return response.status, raw, retry_after
-        except (ConnectionError, OSError) as exc:
-            raise ServiceError(
-                f"registry at {self.host}:{self.port} unreachable: {exc}"
-            ) from exc
-        finally:
-            conn.close()
+    def _call(self, coro):
+        """Run one client coroutine on the shared loop, propagating the
+        caller's context (and with it any active span)."""
+        return LOOP_RUNNER.submit(coro)
 
     def request(
         self,
@@ -111,70 +117,22 @@ class RegistryClient:
         under the same id and echoes the header back, so one trace shows
         both halves of the trip.
         """
-        tracer = _obs.get_tracer()
-        if tracer is None:
-            return self._request_impl(method, path, body=body, params=params)
-        with tracer.span(
-            "registry.client.request", method=method, path=path
-        ) as span_:
-            payload = self._request_impl(
-                method, path, body=body, params=params, trace_id=span_.trace_id
-            )
-            return payload
-
-    def _request_impl(
-        self,
-        method: str,
-        path: str,
-        *,
-        body: Optional[bytes] = None,
-        params: Optional[dict] = None,
-        trace_id: Optional[str] = None,
-    ) -> dict:
-        if params:
-            path = f"{path}?{urlencode(params)}"
-        attempt = 0
-        while True:
-            status, raw, retry_after_header = self._once(
-                method, path, body, trace_id
-            )
-            try:
-                payload = protocol.loads(raw) if raw else {}
-            except ServiceError:
-                raise ServiceError(
-                    f"registry returned non-JSON body for {method} {path}"
-                    f" (HTTP {status})"
-                ) from None
-            if status != 429:
-                protocol.raise_for_error(status, payload)
-                return payload
-            retry_after = None
-            if retry_after_header is not None:
-                try:
-                    retry_after = float(retry_after_header)
-                except ValueError:
-                    retry_after = None
-            policy = self.retry_policy
-            if policy is None or attempt >= policy.max_retries:
-                protocol.raise_for_error(status, payload, retry_after=retry_after)
-            attempt += 1
-            delay = policy.backoff(attempt)
-            if retry_after is not None:
-                delay = max(delay, min(retry_after, policy.backoff_cap_s))
-            time.sleep(delay)
+        return self._call(
+            self._async.request(method, path, body=body, params=params)
+        )
 
     # -- registry operations -------------------------------------------------
     def health(self) -> dict:
-        return self.request("GET", "/healthz")
+        return self._call(self._async.health())
 
     def metrics(self) -> dict:
-        return self.request("GET", "/metrics")
+        return self._call(self._async.metrics())
 
     def info(self) -> dict:
-        return self.request("GET", "/")
+        return self._call(self._async.info())
 
     def platforms(self) -> list[dict]:
-        return self.request("GET", "/platforms")["platforms"]
+        return self._call(self._async.platforms())
 
     def publish(
         self,
@@ -190,51 +148,49 @@ class RegistryClient:
         :class:`~repro.errors.LintError` (the finding payloads ride along
         on the exception's ``diagnostics``).
         """
-        if isinstance(descriptor, Platform):
-            descriptor = write_pdl(descriptor)
-        if isinstance(descriptor, str):
-            descriptor = descriptor.encode("utf-8")
-        return self.request(
-            "PUT",
-            f"/platforms/{quote(name, safe='')}",
-            body=descriptor,
-            params={"strict": "1"} if strict_lint else None,
+        return self._call(
+            self._async.publish(name, descriptor, strict_lint=strict_lint)
         )
 
+    def put_blob(
+        self, xml_text: Union[str, bytes], *, strict_lint: bool = False
+    ) -> dict:
+        """Content-addressed tagless write (``PUT /blobs/{digest}``)."""
+        return self._call(self._async.put_blob(xml_text, strict_lint=strict_lint))
+
     def fetch(self, ref: str) -> dict:
-        """``{"ref", "digest", "name", "xml"}`` of a stored version."""
-        return self.request("GET", f"/platforms/{quote(ref, safe='')}")
+        """``{"ref", "digest", "name", "xml"}`` of a stored version.
+
+        Full-digest refs are served from the client's immutable cache
+        once seen — no revalidation, ever.  Tag refs revalidate unless
+        the endpoint sets a ``tag_ttl_s`` staleness window.
+        """
+        return self._call(self._async.fetch(ref))
 
     def platform(self, ref: str) -> Platform:
         """Fetch and parse a descriptor (client-side digest cache applies)."""
-        record = self.fetch(ref)
-        return parse_cached(
-            record["xml"], digest=record["digest"], name=record["name"]
-        )
+        return self._call(self._async.platform(ref))
+
+    def resolve(self, ref: str) -> str:
+        """Tag/prefix → digest (one tiny round trip, TTL-cached)."""
+        return self._call(self._async.resolve(ref))
 
     def delete_tag(self, name: str) -> dict:
-        return self.request("DELETE", f"/platforms/{quote(name, safe='')}")
+        return self._call(self._async.delete_tag(name))
 
     def retag(self, name: str, ref: str) -> dict:
-        return self.request(
-            "POST", "/tags", body=protocol.dumps({"name": name, "ref": ref})
-        )
+        return self._call(self._async.retag(name, ref))
 
     def query(self, ref: str, selector: Optional[str] = None) -> dict:
-        params = {"selector": selector} if selector is not None else None
-        return self.request(
-            "GET", f"/platforms/{quote(ref, safe='')}/query", params=params
-        )
+        return self._call(self._async.query(ref, selector))
 
     def lint(self, ref: str) -> dict:
         """Lint a stored version; returns the ``LintReport`` payload plus
         the resolved digest (findings never raise — inspect ``ok``)."""
-        return self.request("POST", "/lint", body=protocol.dumps({"ref": ref}))
+        return self._call(self._async.lint(ref))
 
     def diff(self, old_ref: str, new_ref: str) -> dict:
-        return self.request(
-            "POST", "/diff", body=protocol.dumps({"old": old_ref, "new": new_ref})
-        )
+        return self._call(self._async.diff(old_ref, new_ref))
 
     def preselect(
         self,
@@ -245,32 +201,23 @@ class RegistryClient:
         require_fallback: bool = True,
     ) -> dict:
         """Pre-select one program; returns ``{"cached", "report"}``."""
-        return self.preselect_batch(
-            platform_ref,
-            [
-                {
-                    "source": source,
-                    "expert_variants": expert_variants,
-                    "require_fallback": require_fallback,
-                }
-            ],
-        )[0]
+        return self._call(
+            self._async.preselect(
+                platform_ref,
+                source,
+                expert_variants=expert_variants,
+                require_fallback=require_fallback,
+            )
+        )
 
     def preselect_batch(self, platform_ref: str, programs: list) -> list[dict]:
         """Batched pre-selection: one round trip, one result per program."""
-        payload = self.request(
-            "POST",
-            "/preselect",
-            body=protocol.dumps(
-                {"platform": platform_ref, "programs": programs}
-            ),
-        )
-        return payload["results"]
+        return self._call(self._async.preselect_batch(platform_ref, programs))
 
     # -- tuning profiles -----------------------------------------------------
     def profiles(self) -> list[dict]:
         """Summaries of every tuning profile stored on the registry."""
-        return self.request("GET", "/profiles")["profiles"]
+        return self._call(self._async.profiles())
 
     def publish_profile(self, ref: str, profile) -> dict:
         """Attach a tuning profile to a stored descriptor version.
@@ -279,17 +226,21 @@ class RegistryClient:
         or its wire payload (``TuningDatabase.to_payload()``); it must
         contain samples for the digest ``ref`` resolves to.
         """
-        if hasattr(profile, "to_payload"):
-            profile = profile.to_payload()
-        return self.request(
-            "PUT",
-            f"/profiles/{quote(ref, safe='')}",
-            body=protocol.dumps(profile),
-        )
+        return self._call(self._async.publish_profile(ref, profile))
 
     def fetch_profile(self, ref: str) -> dict:
         """``{"digest", "profile"}`` — the stored tuning payload of ``ref``."""
-        return self.request("GET", f"/profiles/{quote(ref, safe='')}")
+        return self._call(self._async.fetch_profile(ref))
+
+    # -- lifecycle -----------------------------------------------------------
+    def cache_stats(self) -> dict:
+        """Pool/cache/coalescing counters of the underlying async client."""
+        return self._async.cache_stats()
+
+    def close(self) -> None:
+        """Release pooled connections (idempotent; clients are otherwise
+        safe to abandon — the pool holds only daemon-loop resources)."""
+        self._call(self._async.aclose())
 
     def __repr__(self) -> str:
-        return f"RegistryClient(http://{self.host}:{self.port})"
+        return f"RegistryClient({self.endpoint.base_url})"

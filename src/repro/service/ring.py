@@ -1,0 +1,100 @@
+"""Consistent-hash ring with virtual nodes (the cluster's placement map).
+
+Descriptors are content-addressed — a blob's digest *is* its identity —
+so blob placement reduces to hashing the digest onto a ring of shards.
+Tags (the only movable refs) hash by name onto the same ring, making
+each tag's owning shard the serialization point for its moves.
+
+The ring is fully deterministic: node positions are sha256 hashes of
+``"{node}#{replica}"``, so every client and every server derives the
+identical placement from the same member list — no coordination service,
+no handshakes.  With ``vnodes`` virtual points per node, adding or
+removing one node of N moves ~1/N of the key space (asserted by the
+rebalancing test) instead of rehashing everything.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["HashRing"]
+
+
+def _hash64(key: str) -> int:
+    """Stable 64-bit position on the ring (sha256 prefix)."""
+    return int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over named nodes."""
+
+    def __init__(self, nodes: Iterable[str] = (), *, vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._nodes: List[str] = []
+        self._points: List[int] = []  # sorted vnode positions
+        self._owners: List[str] = []  # owner of each position (parallel)
+        for node in nodes:
+            self.add_node(node)
+
+    # -- membership ---------------------------------------------------------
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._nodes)
+
+    def add_node(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError(f"node {node!r} already on the ring")
+        self._nodes.append(node)
+        for replica in range(self.vnodes):
+            point = _hash64(f"{node}#{replica}")
+            index = bisect.bisect(self._points, point)
+            self._points.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove_node(self, node: str) -> None:
+        if node not in self._nodes:
+            raise ValueError(f"node {node!r} not on the ring")
+        self._nodes.remove(node)
+        keep = [
+            (p, o)
+            for p, o in zip(self._points, self._owners)
+            if o != node
+        ]
+        self._points = [p for p, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    # -- placement ----------------------------------------------------------
+    def node_for(self, key: str) -> str:
+        """The node owning ``key`` (first vnode clockwise of its hash)."""
+        if not self._points:
+            raise ValueError("hash ring has no nodes")
+        index = bisect.bisect(self._points, _hash64(key))
+        if index == len(self._points):
+            index = 0  # wrap around
+        return self._owners[index]
+
+    def assignments(self, keys: Sequence[str]) -> Dict[str, str]:
+        """``{key: owning node}`` for a batch of keys."""
+        return {key: self.node_for(key) for key in keys}
+
+    def load(self, keys: Sequence[str]) -> Dict[str, int]:
+        """Keys-per-node histogram (balance introspection)."""
+        counts = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def __repr__(self) -> str:
+        return f"HashRing(nodes={self._nodes}, vnodes={self.vnodes})"

@@ -21,10 +21,29 @@ Endpoints
 ``POST /lint``                               lint a stored version: ``{"ref": ...}``
 ``POST /diff``                               ``{"old", "new"}`` → structural diff
 ``POST /preselect``                          batched Cascabel pre-selection
+``GET  /tags/{name}``                        resolve a tag/prefix to its digest
+``PUT  /blobs/{digest}``                     content-addressed tagless write (cluster path)
+``GET  /oplog?since=N``                      replication pull (bypasses admission)
 ``GET  /profiles``                           stored tuning profiles (digest summaries)
 ``PUT  /profiles/{ref}``                     attach a tuning-database payload to a digest
 ``GET  /profiles/{ref}``                     fetch the tuning profile of a digest
 ===========================================  ===========================================
+
+The route table itself lives in :data:`repro.service.protocol.ROUTES`;
+dispatch patterns, metrics labels, admission exemptions and the
+write-set a replica refuses are all derived from it, so server and
+clients can never disagree about paths.
+
+Replication
+-----------
+A server started with ``ServiceConfig(replica_of=primary_url)`` is a
+**read replica**: it refuses every write route with ``403
+read-only-replica`` and runs a background task that pulls the primary's
+ordered oplog (``GET /oplog``) every ``replication_interval_s`` and
+applies it through :meth:`DescriptorStore.apply_ops`.  Because blob ops
+are content-verified on apply and tag ops replay in publication order, a
+replica can serve a *stale* tag for one poll interval but never a wrong
+``(digest, xml)`` pair.
 
 Backpressure
 ------------
@@ -48,7 +67,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 from urllib.parse import parse_qsl, unquote, urlsplit
 
-from repro.errors import ServiceProtocolError
+from repro.errors import ProtocolMismatchError, ServiceProtocolError
 from repro.obs import spans as _obs
 from repro.runtime.faults import FaultPolicy
 from repro.service import protocol
@@ -78,6 +97,10 @@ class ServiceConfig:
     max_body_bytes: int = 8 * 1024 * 1024
     idle_timeout_s: float = 30.0
     overload_policy: FaultPolicy = field(default_factory=_default_overload_policy)
+    #: base URL of the primary this node replicates; None = primary
+    replica_of: Optional[str] = None
+    #: oplog poll period of a replica (bounds tag staleness)
+    replication_interval_s: float = 0.05
 
 
 @dataclass(frozen=True)
@@ -108,9 +131,15 @@ class RegistryServer:
     ):
         self.config = config or ServiceConfig()
         if store is None:
-            store = DescriptorStore()
-            if seed_catalog is None:
-                seed_catalog = True
+            if self.config.replica_of is not None:
+                # replicas hold a tag directory (tags may point at blobs
+                # owned by other shards) and never self-seed: content
+                # arrives exclusively through the oplog
+                store = DescriptorStore(tag_directory=True)
+            else:
+                store = DescriptorStore()
+                if seed_catalog is None:
+                    seed_catalog = True
         self.store = store
         if seed_catalog:
             self.store.seed_catalog()
@@ -120,6 +149,12 @@ class RegistryServer:
         self._gate = CapacityGate(
             self.config.max_queue, policy=self.config.overload_policy
         )
+        self._repl_task: Optional[asyncio.Task] = None
+        self.replication = {"pulls": 0, "ops_applied": 0, "errors": 0}
+
+    @property
+    def is_replica(self) -> bool:
+        return self.config.replica_of is not None
 
     # -- lifecycle ----------------------------------------------------------
     @property
@@ -144,8 +179,17 @@ class RegistryServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.config.host, self.config.port
         )
+        if self.is_replica:
+            self._repl_task = asyncio.ensure_future(self._replicate_forever())
 
     async def stop(self) -> None:
+        if self._repl_task is not None:
+            self._repl_task.cancel()
+            try:
+                await self._repl_task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+            self._repl_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -153,6 +197,49 @@ class RegistryServer:
         if self._executor is not None:
             self._executor.shutdown(wait=False)
             self._executor = None
+
+    # -- replication (replicas only) -----------------------------------------
+    async def _replicate_forever(self) -> None:
+        """Pull the primary's oplog on a fixed cadence, forever.
+
+        A primary outage only pauses convergence: the replica keeps
+        serving whatever it already holds and resumes from its applied
+        sequence number once the primary answers again.
+        """
+        from repro.service.async_client import AsyncRegistryClient, RegistryEndpoint
+
+        endpoint = RegistryEndpoint.parse(
+            self.config.replica_of, retry_policy=None, cache_size=0
+        )
+        upstream = AsyncRegistryClient(endpoint)
+        try:
+            while True:
+                try:
+                    await self.replicate_once(upstream)
+                except Exception:  # noqa: BLE001 — primary down/overloaded
+                    self.replication["errors"] += 1
+                await asyncio.sleep(self.config.replication_interval_s)
+        finally:
+            await upstream.aclose()
+
+    async def replicate_once(self, upstream) -> int:
+        """One oplog pull+apply; returns the number of ops applied.
+
+        Exposed separately so tests can drive replication deterministically
+        instead of sleeping for poll intervals.
+        """
+        applied_total = 0
+        while True:
+            payload = await upstream.oplog(since=self.store.applied_seq)
+            ops = payload.get("ops", [])
+            if not ops:
+                break
+            applied_total += self.store.apply_ops(ops)
+            self.replication["pulls"] += 1
+            if self.store.applied_seq >= payload.get("head", 0):
+                break
+        self.replication["ops_applied"] += applied_total
+        return applied_total
 
     async def serve_forever(self) -> None:
         if self._server is None:
@@ -192,6 +279,11 @@ class RegistryServer:
                 if close:
                     break
         except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancels handlers parked on idle keep-alive
+            # connections; finish normally so the StreamReaderProtocol
+            # done-callback (which calls task.exception()) stays quiet.
             pass
         finally:
             try:
@@ -255,6 +347,7 @@ class RegistryServer:
             "Content-Type": protocol.JSON_CONTENT_TYPE,
             "Content-Length": str(len(body)),
             "Connection": "close" if close else "keep-alive",
+            protocol.PROTOCOL_HEADER: str(protocol.PROTOCOL_VERSION),
             **response.headers,
         }
         head = f"HTTP/1.1 {response.status} {phrase}\r\n" + "".join(
@@ -264,72 +357,24 @@ class RegistryServer:
         await writer.drain()
 
     # -- routing / dispatch --------------------------------------------------
-    def _build_routes(self) -> list[tuple[str, re.Pattern, str, Callable]]:
-        return [
-            ("GET", re.compile(r"^/$"), "GET /", self._ep_index),
-            ("GET", re.compile(r"^/healthz$"), "GET /healthz", self._ep_health),
-            ("GET", re.compile(r"^/metrics$"), "GET /metrics", self._ep_metrics),
-            (
-                "GET",
-                re.compile(r"^/platforms$"),
-                "GET /platforms",
-                self._ep_list,
-            ),
-            (
-                "PUT",
-                re.compile(r"^/platforms/(?P<name>[^/]+)$"),
-                "PUT /platforms/{name}",
-                self._ep_publish,
-            ),
-            (
-                "GET",
-                re.compile(r"^/platforms/(?P<ref>[^/]+)$"),
-                "GET /platforms/{ref}",
-                self._ep_fetch,
-            ),
-            (
-                "DELETE",
-                re.compile(r"^/platforms/(?P<name>[^/]+)$"),
-                "DELETE /platforms/{name}",
-                self._ep_delete_tag,
-            ),
-            (
-                "GET",
-                re.compile(r"^/platforms/(?P<ref>[^/]+)/query$"),
-                "GET /platforms/{ref}/query",
-                self._ep_query,
-            ),
-            ("POST", re.compile(r"^/tags$"), "POST /tags", self._ep_retag),
-            ("POST", re.compile(r"^/lint$"), "POST /lint", self._ep_lint),
-            ("POST", re.compile(r"^/diff$"), "POST /diff", self._ep_diff),
-            (
-                "POST",
-                re.compile(r"^/preselect$"),
-                "POST /preselect",
-                self._ep_preselect,
-            ),
-            (
-                "GET",
-                re.compile(r"^/profiles$"),
-                "GET /profiles",
-                self._ep_profiles_list,
-            ),
-            (
-                "PUT",
-                re.compile(r"^/profiles/(?P<ref>[^/]+)$"),
-                "PUT /profiles/{ref}",
-                self._ep_profile_put,
-            ),
-            (
-                "GET",
-                re.compile(r"^/profiles/(?P<ref>[^/]+)$"),
-                "GET /profiles/{ref}",
-                self._ep_profile_get,
-            ),
-        ]
+    def _build_routes(self) -> list[tuple[str, re.Pattern, str, Callable, bool]]:
+        """Compile dispatch entries from the shared protocol route table.
+
+        Every :data:`repro.service.protocol.ROUTES` entry must have a
+        matching ``_ep_<name>`` handler — a missing one fails loudly at
+        construction, not with a 404 in production.
+        """
+        routes = []
+        for route in protocol.ROUTES:
+            handler = getattr(self, f"_ep_{route.name}")
+            routes.append(
+                (route.method, route.pattern(), route.label, handler, route.write)
+            )
+        return routes
 
     #: endpoints that must answer even when the service sheds load
-    _UNGATED = {"GET /healthz", "GET /metrics", "GET /"}
+    #: (health/metrics plane + the replication pull)
+    _UNGATED = frozenset(r.label for r in protocol.ROUTES if not r.gated)
 
     #: request header carrying the caller's trace id (lower-cased by the
     #: reader); echoed back on every response so client and server spans
@@ -342,15 +387,43 @@ class RegistryServer:
         handler = None
         endpoint = f"{request.method} {request.path}"
         trace_id = request.headers.get(self._TRACE_HEADER) or None
+        try:
+            protocol.check_protocol(
+                request.headers.get(protocol.PROTOCOL_HEADER.lower()), side="server"
+            )
+        except ProtocolMismatchError as exc:
+            status, payload = protocol.error_payload(exc)
+            return endpoint, self._echo_trace(trace_id, _Response(status, payload))
         path_matched = False
-        for method, pattern, label, fn in self._routes:
+        is_write = False
+        for method, pattern, label, fn, write in self._routes:
             match = pattern.match(request.path)
             if match is None:
                 continue
             path_matched = True
             if method == request.method:
                 handler, endpoint, params = fn, label, match.groupdict()
+                is_write = write
                 break
+        if handler is not None and is_write and self.is_replica:
+            return endpoint, self._echo_trace(
+                trace_id,
+                _Response(
+                    403,
+                    {
+                        "error": {
+                            "code": "read-only-replica",
+                            "type": "ServiceError",
+                            "message": (
+                                f"{endpoint} mutates the store, but this node is"
+                                f" a read replica of {self.config.replica_of};"
+                                f" send writes to the primary"
+                            ),
+                            "status": 403,
+                        }
+                    },
+                ),
+            )
         if handler is None:
             status = 405 if path_matched else 404
             code = "method-not-allowed" if path_matched else "not-found"
@@ -448,7 +521,7 @@ class RegistryServer:
             {
                 "service": "repro platform registry",
                 "version": "1.0",
-                "endpoints": sorted(label for _, _, label, _ in self._routes),
+                "endpoints": sorted(label for _, _, label, _, _ in self._routes),
                 "store": self.store.stats(),
             },
         )
@@ -459,6 +532,12 @@ class RegistryServer:
     def _ep_metrics(self, request: _Request) -> _Response:
         payload = self.metrics.snapshot()
         payload["store"] = self.store.stats()
+        if self.is_replica:
+            payload["replication"] = {
+                "replica_of": self.config.replica_of,
+                "applied_seq": self.store.applied_seq,
+                **self.replication,
+            }
         return _Response(200, payload)
 
     def _ep_list(self, request: _Request) -> _Response:
@@ -498,6 +577,36 @@ class RegistryServer:
     def _ep_delete_tag(self, request: _Request, name: str) -> _Response:
         digest = self.store.delete_tag(name)
         return _Response(200, {"name": name, "digest": digest, "deleted": True})
+
+    def _ep_resolve(self, request: _Request, name: str) -> _Response:
+        """Tag/prefix → digest without shipping the blob (the cluster
+        client's cross-shard hop)."""
+        return _Response(200, {"name": name, "digest": self.store.resolve(name)})
+
+    def _ep_blob_put(self, request: _Request, digest: str) -> _Response:
+        if not request.body:
+            raise ServiceProtocolError(
+                "PUT /blobs/{digest} requires a PDL XML body"
+            )
+        strict = request.query.get("strict", "").lower() in ("1", "true", "yes")
+        stored_digest, created = self.store.put_blob(
+            request.body.decode("utf-8"), expect_digest=digest, strict_lint=strict
+        )
+        return _Response(
+            201 if created else 200,
+            {"digest": stored_digest, "created": created},
+        )
+
+    def _ep_oplog(self, request: _Request) -> _Response:
+        try:
+            since = int(request.query.get("since", "0"))
+            limit = int(request.query.get("limit", "1000"))
+        except ValueError:
+            raise ServiceProtocolError(
+                "GET /oplog expects integer 'since'/'limit' parameters"
+            ) from None
+        ops, head = self.store.ops_since(since, limit=limit)
+        return _Response(200, {"since": since, "head": head, "ops": ops})
 
     def _ep_query(self, request: _Request, ref: str) -> _Response:
         return _Response(

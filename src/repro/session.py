@@ -56,6 +56,13 @@ class Session:
         Default scheduling policy for :meth:`run` / :meth:`engine`.
     lint:
         Default lint mode for :meth:`translate` (``off``/``warn``/``strict``).
+    registry:
+        Optional platform registry: a base URL,
+        :class:`~repro.service.async_client.RegistryEndpoint`, a
+        :class:`~repro.service.cluster.ClusterMap`, or an existing
+        (sync) client object.  Platform refs that are not shipped
+        catalog names — registry tags, content digests — then resolve
+        through :attr:`registry_client` transparently.
     """
 
     def __init__(
@@ -65,6 +72,7 @@ class Session:
         trace: Union[bool, Tracer] = False,
         scheduler: str = "dmda",
         lint: str = "warn",
+        registry=None,
     ):
         if isinstance(trace, Tracer):
             self.tracer: Optional[Tracer] = trace
@@ -89,6 +97,8 @@ class Session:
             self._platform = platform
         elif platform is not None:
             self._platform_ref = platform
+        self._registry = registry
+        self._registry_client = None
 
     # -- tracer plumbing -----------------------------------------------------
     def _activate(self):
@@ -107,18 +117,56 @@ class Session:
 
     # -- platform ------------------------------------------------------------
     @property
+    def registry_client(self):
+        """The session's registry client, built lazily from whatever the
+        ``registry=`` argument was (URL, endpoint, cluster map, or an
+        already-constructed client)."""
+        if self._registry is None:
+            raise ValueError(
+                "Session has no registry: pass registry=... to Session(...)"
+            )
+        if self._registry_client is None:
+            from repro.service import (
+                ClusterClient,
+                ClusterMap,
+                RegistryClient,
+                RegistryEndpoint,
+            )
+
+            if isinstance(self._registry, ClusterMap):
+                self._registry_client = ClusterClient(self._registry)
+            elif isinstance(self._registry, (str, RegistryEndpoint)):
+                self._registry_client = RegistryClient(self._registry)
+            else:
+                self._registry_client = self._registry
+        return self._registry_client
+
+    def _load_ref(self, ref: str) -> Platform:
+        """Catalog name → parsed platform, falling back to the session
+        registry for refs the shipped catalog does not know (registry
+        tags, content digests, digest prefixes)."""
+        from repro.errors import PDLError
+        from repro.pdl.catalog import load_platform
+
+        try:
+            return load_platform(ref)
+        except PDLError:
+            if self._registry is None:
+                raise
+            return self.registry_client.platform(ref)
+
+    @property
     def platform(self) -> Platform:
-        """The session's platform, loading the catalog ref on first use."""
+        """The session's platform, loading the catalog ref (or registry
+        ref) on first use."""
         if self._platform is None:
             if self._platform_ref is None:
                 raise ValueError(
                     "Session has no platform: pass one to Session(...)"
                     " or call session.use(platform)"
                 )
-            from repro.pdl.catalog import load_platform
-
             with self._activate():
-                self._platform = load_platform(self._platform_ref)
+                self._platform = self._load_ref(self._platform_ref)
         return self._platform
 
     def use(self, platform: Union[str, Platform]) -> "Session":
@@ -134,9 +182,7 @@ class Session:
             return self.platform
         if isinstance(platform, Platform):
             return platform
-        from repro.pdl.catalog import load_platform
-
-        return load_platform(platform)
+        return self._load_ref(platform)
 
     # -- toolchain verbs -----------------------------------------------------
     def parse(self, text: Union[str, bytes], **kwargs) -> Platform:
@@ -428,6 +474,7 @@ class Session:
             "scheduler": self.scheduler,
             "lint": self.lint_mode,
             "tracing": self.tracer is not None,
+            "registry": self._registry is not None,
             "metrics": self.metrics.to_payload(),
         }
         if self.tracer is not None:

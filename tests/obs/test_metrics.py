@@ -3,6 +3,7 @@
 import threading
 
 from repro.obs import MetricsRegistry, digest_summary, percentile
+from repro.obs.digest import latency_buckets
 
 
 class TestInstruments:
@@ -91,7 +92,10 @@ class TestRegistryPayload:
             reg.histogram("latency_s").observe(v)
         service_digest = service.snapshot()["latency_s"]
         obs_digest = reg.histogram("latency_s").snapshot()
-        assert service_digest == digest_summary([0.1, 0.2, 0.3])
+        summary = {k: v for k, v in service_digest.items() if k != "buckets"}
+        assert summary == digest_summary([0.1, 0.2, 0.3])
+        # the bucket histogram rides along so shard snapshots merge
+        assert service_digest["buckets"] == latency_buckets([0.1, 0.2, 0.3])
         assert service_digest["p50"] == obs_digest["p50"]
         assert service_digest["p99"] == obs_digest["p99"]
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import ServiceError
 from repro.pdl import load_platform, write_pdl
-from repro.service import RegistryClient, ServerThread
+from repro.service import RegistryClient, RegistryEndpoint, ServerThread
 from repro.service.cli import build_arg_parser, main
 
 
@@ -89,7 +89,9 @@ class TestCLI:
 
 class TestClientEdges:
     def test_unreachable_server(self):
-        client = RegistryClient("http://127.0.0.1:9", timeout=0.5)
+        client = RegistryClient(
+            RegistryEndpoint(host="127.0.0.1", port=9, timeout=0.5)
+        )
         with pytest.raises(ServiceError, match="unreachable"):
             client.health()
 

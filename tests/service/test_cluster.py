@@ -1,0 +1,352 @@
+"""Sharded/replicated registry end-to-end: placement, routing, the
+replication consistency contract, topology-independent payloads, and the
+``cluster`` CLI verbs."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError, UnknownPlatformError
+from repro.obs.digest import fingerprint_payload
+from repro.pdl import load_platform, write_pdl
+from repro.pdl.catalog import available_platforms, content_digest
+from repro.service import (
+    ClusterClient,
+    ClusterMap,
+    RegistryClient,
+    RegistryCluster,
+    RegistryEndpoint,
+)
+from repro.service.cli import main
+from repro.tune.database import TimingSample, TuningDatabase
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    """A seeded 3-shard x 1-replica topology shared by read-mostly tests."""
+    launcher = RegistryCluster(
+        shards=3, replicas=1, replication_interval_s=0.02, seed_catalog=True
+    )
+    cluster_map = launcher.start()
+    client = ClusterClient(cluster_map)
+    client.wait_converged()
+    yield launcher, cluster_map, client
+    client.close()
+    launcher.stop()
+
+
+class TestPlacement:
+    def test_map_round_trips_with_identical_placement(self, cluster):
+        """A client rebuilding the map from its JSON payload computes the
+        same owner for every ref — placement needs no coordination."""
+        _, cluster_map, _ = cluster
+        rebuilt = ClusterMap.from_payload(cluster_map.to_payload())
+        for name in available_platforms():
+            assert (
+                rebuilt.shard_for_tag(name).shard_id
+                == cluster_map.shard_for_tag(name).shard_id
+            )
+            digest = content_digest(write_pdl(load_platform(name)))
+            assert (
+                rebuilt.shard_for_blob(digest).shard_id
+                == cluster_map.shard_for_blob(digest).shard_id
+            )
+
+    def test_seed_spreads_across_shards(self, cluster):
+        """Ring placement partitions the catalog: no shard holds all of
+        it, and shard tag counts sum to the whole directory."""
+        _, _, client = cluster
+        status = client.status()
+        total_tags = sum(s["tags"] for s in status["shards"])
+        assert total_tags == len(available_platforms())
+        assert all(s["tags"] < total_tags for s in status["shards"])
+
+    def test_publish_digest_matches_single_node_path(self, cluster):
+        """The two-step cluster publish canonicalizes exactly like
+        ``DescriptorStore.publish``: a document with no name of its own
+        adopts the tag as a fallback, so the same (name, xml) pair gets
+        the same digest whichever path stored it."""
+        from repro.pdl.catalog import platform_path
+        from repro.service.store import DescriptorStore
+
+        _, _, client = cluster
+        with open(platform_path("listing1_gpgpu"), encoding="utf-8") as fh:
+            raw = fh.read()  # ships without a name attribute
+        local = DescriptorStore().publish("parity-probe", raw)
+        remote = client.publish("parity-probe", raw)
+        assert remote["digest"] == local.digest
+
+    def test_publish_reports_owning_shards(self, cluster):
+        _, cluster_map, client = cluster
+        platform = load_platform("cell_qs22")
+        platform.name = "cluster-publish-probe"
+        result = client.publish("cluster-probe", platform)
+        assert result["blob_shard"] == cluster_map.shard_for_blob(
+            result["digest"]
+        ).shard_id
+        assert result["tag_shard"] == cluster_map.shard_for_tag(
+            "cluster-probe"
+        ).shard_id
+
+
+class TestEndToEnd:
+    def test_fetch_by_tag_digest_and_prefix(self, cluster):
+        _, _, client = cluster
+        canonical = write_pdl(load_platform("xeon_x5550_2gpu"))
+        digest = content_digest(canonical)
+        by_tag = client.fetch("xeon_x5550_2gpu")
+        assert by_tag["digest"] == digest
+        assert by_tag["xml"] == canonical
+        assert by_tag["name"] == "xeon_x5550_2gpu"
+        assert client.fetch(digest)["xml"] == canonical
+        assert client.resolve(digest[:12]) == digest
+
+    def test_platforms_merges_all_shards(self, cluster):
+        _, _, client = cluster
+        names = [e["name"] for e in client.platforms()]
+        assert names == sorted(names)
+        assert set(available_platforms()) <= set(names)
+
+    def test_unknown_ref_raises(self, cluster):
+        _, _, client = cluster
+        with pytest.raises(UnknownPlatformError):
+            client.fetch("no-such-ref-anywhere")
+
+    def test_preselect_routes_to_blob_owner(self, cluster, program_source):
+        _, _, client = cluster
+        result = client.preselect("xeon_x5550_2gpu", program_source)
+        report = result["report"]
+        selected = [v["name"] for v in report["selected"]["Idgemm"]]
+        assert "dgemm_gpu" in selected
+        assert "dgemm_spe" in report["pruned"]
+
+    def test_query_and_lint(self, cluster):
+        _, _, client = cluster
+        query = client.query("xeon_x5550_2gpu", "//Worker[ARCHITECTURE=gpu]")
+        assert {m["id"] for m in query["matches"]} == {"gpu0", "gpu1"}
+        lint = client.lint("xeon_x5550_2gpu")
+        assert lint["digest"] == client.resolve("xeon_x5550_2gpu")
+
+    def test_diff_across_shards(self, cluster):
+        """The two versions live wherever the ring put them; the cluster
+        client composes the diff locally."""
+        _, _, client = cluster
+        payload = client.diff("xeon_x5550_dual", "xeon_x5550_2gpu")
+        assert not payload["identical"]
+        assert "pu-added" in {c["kind"] for c in payload["changes"]}
+
+    def test_profile_round_trip(self, cluster):
+        _, _, client = cluster
+        digest = client.resolve("xeon_x5550_dual")
+        db = TuningDatabase()
+        db.record(
+            digest,
+            TimingSample(
+                kernel="dgemm",
+                pu="cpu0",
+                architecture="x86",
+                dims=(256, 256, 256),
+                flops=2.0 * 256**3,
+                bytes_touched=8.0 * 4 * 256**2,
+                seconds=0.02,
+            ),
+            platform_name="xeon_x5550_dual",
+        )
+        result = client.publish_profile("xeon_x5550_dual", db.to_payload())
+        assert result["digest"] == digest
+        fetched = client.fetch_profile(digest)
+        assert fetched["digest"] == digest
+        assert any(p["digest"] == digest for p in client.profiles())
+
+    def test_health_and_merged_metrics(self, cluster):
+        _, _, client = cluster
+        health = client.health()
+        assert health["ok"] and health["shards"] == 3
+        assert len(health["nodes"]) == 6  # 3 primaries + 3 replicas
+        metrics = client.metrics()
+        assert len(metrics["per_node"]) == 6
+        merged = metrics["merged"]
+        assert merged["requests_total"] == sum(
+            n["metrics"]["requests_total"] for n in metrics["per_node"]
+        )
+
+
+class TestReplication:
+    def test_replica_rejects_writes(self, cluster):
+        launcher, cluster_map, _ = cluster
+        replica_url = cluster_map.shards[0].replicas[0]
+        client = RegistryClient(replica_url)
+        with pytest.raises(ServiceError, match="read replica"):
+            client.retag("anything", "0" * 64)
+        client.close()
+
+    def test_oplog_orders_blob_before_tag(self, cluster):
+        """A publish appends blob-then-tag to the oplog, so a replica can
+        never learn a tag before it can serve the tag's content."""
+        launcher, cluster_map, client = cluster
+        platform = load_platform("xeon_x5550_dual")
+        platform.name = "oplog-order-probe"
+        result = client.publish("oplog-order", platform)
+        # same-shard publishes give the strongest form of the guarantee
+        if result["blob_shard"] == result["tag_shard"]:
+            for thread in launcher.servers():
+                if thread.base_url == cluster_map.shard(
+                    result["blob_shard"]
+                ).primary:
+                    ops, _head = thread.server.store.ops_since(0)
+                    blob_seq = next(
+                        op["seq"]
+                        for op in ops
+                        if op["kind"] == "blob"
+                        and op["digest"] == result["digest"]
+                    )
+                    tag_seq = next(
+                        op["seq"]
+                        for op in ops
+                        if op["kind"] == "tag"
+                        and op["name"] == "oplog-order"
+                    )
+                    assert blob_seq < tag_seq
+
+    def test_tag_move_stale_within_window_never_wrong(self):
+        """The consistency contract, observed on the wire: while a tag
+        move propagates, a replica serves the OLD digest or the NEW one,
+        and fetching whichever digest it reported always returns content
+        hashing to exactly that digest — never a mixed pair."""
+        launcher = RegistryCluster(
+            shards=1, replicas=1, replication_interval_s=0.1
+        )
+        try:
+            cluster_map = launcher.start()
+            cluster = ClusterClient(cluster_map)
+            v1 = load_platform("xeon_x5550_dual")
+            v1.name = "moving-v1"
+            old = cluster.publish("moving", v1)["digest"]
+            cluster.wait_converged()
+
+            v2 = load_platform("xeon_x5550_2gpu")
+            v2.name = "moving-v2"
+            new = cluster.publish("moving", v2)["digest"]
+            assert new != old
+
+            replica = RegistryClient(
+                RegistryEndpoint.parse(
+                    cluster_map.shards[0].replicas[0], cache_size=0
+                )
+            )
+            observed = set()
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                digest = replica.resolve("moving")
+                assert digest in {old, new}, "tag points at a foreign digest"
+                record = replica.fetch(digest)
+                assert content_digest(record["xml"]) == digest
+                observed.add(digest)
+                if digest == new:
+                    break
+                time.sleep(0.005)
+            assert new in observed, "replica never converged to the move"
+            cluster.wait_converged()
+            assert replica.resolve("moving") == new
+            replica.close()
+            cluster.close()
+        finally:
+            launcher.stop()
+
+    def test_replica_fallback_covers_unconverged_reads(self):
+        """A freshly-published ref is readable through the cluster client
+        immediately: replica misses fall back to the primary instead of
+        surfacing an error."""
+        launcher = RegistryCluster(
+            shards=2, replicas=1, replication_interval_s=5.0
+        )
+        try:
+            cluster_map = launcher.start()
+            client = ClusterClient(cluster_map)
+            platform = load_platform("cell_qs22")
+            platform.name = "fallback-probe"
+            digest = client.publish("fallback", platform)["digest"]
+            # replicas poll every 5s, so they cannot have it yet; reads
+            # round-robin across primary+replica and must all succeed
+            for _ in range(4):
+                assert client.fetch("fallback")["digest"] == digest
+            client.close()
+        finally:
+            launcher.stop()
+
+
+class TestTopologyIndependence:
+    def test_fetch_payloads_identical_across_topologies(self):
+        """The same catalog served by 1 shard and by 3 shards x 1 replica
+        yields byte-identical fetch payloads (the benchmark's
+        fingerprint-equality gate, in miniature)."""
+        fingerprints = []
+        for shards, replicas in ((1, 0), (3, 1)):
+            launcher = RegistryCluster(
+                shards=shards,
+                replicas=replicas,
+                replication_interval_s=0.02,
+                seed_catalog=True,
+            )
+            try:
+                cluster_map = launcher.start()
+                client = ClusterClient(cluster_map)
+                if replicas:
+                    client.wait_converged()
+                payloads = [
+                    client.fetch(name)
+                    for name in sorted(available_platforms())
+                ]
+                fingerprints.append(fingerprint_payload({"fetches": payloads}))
+                client.close()
+            finally:
+                launcher.stop()
+        assert fingerprints[0] == fingerprints[1]
+
+
+class TestClusterCLI:
+    def test_serve_and_status_smoke(self, tmp_path, capsys):
+        map_file = tmp_path / "cluster-map.json"
+        exit_codes = []
+
+        def serve():
+            exit_codes.append(
+                main(
+                    [
+                        "cluster",
+                        "serve",
+                        "--shards",
+                        "2",
+                        "--replicas",
+                        "1",
+                        "--map-file",
+                        str(map_file),
+                        "--no-seed",
+                        "--run-seconds",
+                        "6",
+                    ]
+                )
+            )
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 10.0
+            while not map_file.exists() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert map_file.exists(), "cluster serve never wrote the map"
+            # map readable -> nodes are up; empty cluster converges fast
+            assert main(["cluster", "status", "--map-file", str(map_file)]) == 0
+            out = capsys.readouterr().out
+            assert "shard-0" in out and "shard-1" in out
+            assert "replica" in out
+            assert "converged:" in out
+        finally:
+            thread.join(timeout=30)
+        assert exit_codes == [0]
+
+    def test_status_missing_map_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["cluster", "status", "--map-file", str(missing)]) == 1
+        assert "error:" in capsys.readouterr().err

@@ -14,6 +14,7 @@ from repro.pdl.catalog import content_digest
 from repro.service import (
     DescriptorStore,
     RegistryClient,
+    RegistryEndpoint,
     ServerThread,
     ServiceConfig,
 )
@@ -156,7 +157,9 @@ class TestServerOverload:
             outcomes = []
 
             def fire():
-                client = RegistryClient(url, retry_policy=None)
+                client = RegistryClient(
+                    RegistryEndpoint.parse(url, retry_policy=None)
+                )
                 try:
                     result = client.preselect("xeon_x5550_2gpu", program_source)
                     outcomes.append(("ok", result["report"]["platform"]))

@@ -1,0 +1,75 @@
+"""Consistent-hash ring: determinism, balance, minimal rebalancing."""
+
+import pytest
+
+from repro.service.ring import HashRing
+
+# deterministic synthetic key population (no RNG needed: the ring hashes
+# anyway, so sequential keys exercise it exactly like random ones)
+KEYS = [f"sha256-style-key-{i:05d}" for i in range(2000)]
+
+
+class TestDeterminism:
+    def test_same_members_same_placement(self):
+        """Two independently-built rings with equal member lists place
+        every key identically — the property that lets clients and
+        servers share placement with no coordination."""
+        a = HashRing(["s0", "s1", "s2", "s3"])
+        b = HashRing(["s0", "s1", "s2", "s3"])
+        assert a.assignments(KEYS) == b.assignments(KEYS)
+
+    def test_insertion_order_irrelevant(self):
+        a = HashRing(["s0", "s1", "s2", "s3"])
+        b = HashRing(["s3", "s1", "s0", "s2"])
+        assert a.assignments(KEYS) == b.assignments(KEYS)
+
+    def test_duplicate_node_rejected(self):
+        ring = HashRing(["s0"])
+        with pytest.raises(ValueError, match="already on the ring"):
+            ring.add_node("s0")
+
+    def test_empty_ring_rejects_lookup(self):
+        with pytest.raises(ValueError, match="no nodes"):
+            HashRing().node_for("k")
+
+
+class TestBalance:
+    def test_load_spread_with_vnodes(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"], vnodes=64)
+        load = ring.load(KEYS)
+        expected = len(KEYS) / 4
+        for node, count in load.items():
+            # virtual nodes keep the spread within ~2x of ideal
+            assert expected / 2 < count < expected * 2, (node, count)
+
+
+class TestRebalancing:
+    def test_add_node_moves_about_one_nth(self):
+        """Growing N=4 -> N=5 must move ~1/5 of the keys, and every move
+        must target the new node (consistent hashing's whole point)."""
+        before = HashRing(["s0", "s1", "s2", "s3"]).assignments(KEYS)
+        after_ring = HashRing(["s0", "s1", "s2", "s3"])
+        after_ring.add_node("s4")
+        after = after_ring.assignments(KEYS)
+        moved = [k for k in KEYS if before[k] != after[k]]
+        assert all(after[k] == "s4" for k in moved)
+        fraction = len(moved) / len(KEYS)
+        assert 0.10 < fraction < 0.35, fraction
+
+    def test_remove_node_strands_only_its_keys(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        before = ring.assignments(KEYS)
+        ring.remove_node("s2")
+        after = ring.assignments(KEYS)
+        for key in KEYS:
+            if before[key] != "s2":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "s2"
+
+    def test_add_then_remove_round_trips(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        before = ring.assignments(KEYS)
+        ring.add_node("s3")
+        ring.remove_node("s3")
+        assert ring.assignments(KEYS) == before
